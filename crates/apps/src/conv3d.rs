@@ -1,0 +1,236 @@
+//! Polybench-style 3-D convolution (paper §V-B): a 3×3×3 tap applied to
+//! a dense volume, split along the outermost dimension with a ±1 halo.
+//!
+//! Uses the Polybench `conv3d` coefficient pattern: the output at
+//! `(i,j,k)` combines the eight "diagonal" taps of the `k−1` and `k+1`
+//! planes plus the center column of the `k` plane.
+
+use gpsim::{Gpu, HostBufId, KernelCost, KernelLaunch};
+use pipeline_directive::parse_directive;
+use pipeline_rt::{ChunkCtx, Region, RtError, RtResult};
+
+use crate::util::fill_random;
+
+/// 3-D convolution problem configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct Conv3dConfig {
+    /// Fastest-varying dimension.
+    pub ni: usize,
+    /// Middle dimension.
+    pub nj: usize,
+    /// Split (outermost) dimension.
+    pub nk: usize,
+    /// Iterations per chunk.
+    pub chunk: usize,
+    /// GPU streams.
+    pub streams: usize,
+}
+
+impl Conv3dConfig {
+    /// Paper-scale shape: the default Polybench test case is "relatively
+    /// large" — the Naive/Pipelined versions need ≈3.5 GB of device
+    /// memory (Figure 6). 768³ × 4 B × 2 arrays = 3.6 GB.
+    pub fn polybench_default() -> Self {
+        // Chunk size 1 is the paper's default ("we split the task by the
+        // outer loop into small chunks, which means the chunk size is 1",
+        // §V-B).
+        Conv3dConfig {
+            ni: 768,
+            nj: 768,
+            nk: 768,
+            chunk: 1,
+            streams: 3,
+        }
+    }
+
+    /// Small shape for functional validation.
+    pub fn test_small() -> Self {
+        Conv3dConfig {
+            ni: 10,
+            nj: 12,
+            nk: 14,
+            chunk: 3,
+            streams: 2,
+        }
+    }
+
+    /// Elements per k-plane.
+    pub fn plane(&self) -> usize {
+        self.ni * self.nj
+    }
+
+    /// Total volume elements.
+    pub fn total(&self) -> usize {
+        self.plane() * self.nk
+    }
+
+    /// Directive in the paper's clause syntax.
+    pub fn directive(&self) -> String {
+        format!(
+            "pipeline(static[{},{}]) \
+             pipeline_map(to:A[k-1:3][0:{}][0:{}]) \
+             pipeline_map(from:B[k:1][0:{}][0:{}])",
+            self.chunk, self.streams, self.nj, self.ni, self.nj, self.ni
+        )
+    }
+
+    /// Allocate, initialize and bind the region (loop `k in 1..nk-1`).
+    pub fn setup(&self, gpu: &mut Gpu) -> RtResult<Conv3dInstance> {
+        let a = gpu.alloc_host(self.total(), true)?;
+        let b = gpu.alloc_host(self.total(), true)?;
+        fill_random(gpu, a, 0xC0417)?;
+        let parsed = parse_directive(&self.directive())
+            .map_err(|e| RtError::Spec(format!("conv3d directive: {e}")))?;
+        let nk = self.nk;
+        let spec = parsed
+            .to_region_spec(|_| Some(nk))
+            .map_err(|e| RtError::Spec(format!("conv3d binding: {e}")))?;
+        let region = Region::new(spec, 1, (self.nk - 1) as i64, vec![a, b]);
+        Ok(Conv3dInstance {
+            config: *self,
+            region,
+            a,
+            b,
+        })
+    }
+
+    /// Kernel cost per plane: 11 taps → 21 flops/point, streaming ~12
+    /// bytes/point.
+    fn plane_cost(&self) -> KernelCost {
+        let pts = self.plane() as u64;
+        KernelCost {
+            flops: 21 * pts,
+            bytes: 12 * pts,
+        }
+    }
+
+    /// Polybench conv3d coefficients.
+    const C: [f32; 9] = [2.0, -3.0, 4.0, 5.0, 6.0, -7.0, 8.0, -9.0, 10.0];
+
+    /// Chunk-kernel builder shared by all execution models.
+    pub fn builder(&self) -> impl Fn(&ChunkCtx) -> KernelLaunch + 'static {
+        let cfg = *self;
+        move |ctx: &ChunkCtx| {
+            let (k0, k1) = (ctx.k0, ctx.k1);
+            let (vin, vout) = (ctx.view(0), ctx.view(1));
+            let per_plane = cfg.plane_cost();
+            let planes = (k1 - k0) as u64;
+            KernelLaunch::new(
+                "conv3d",
+                KernelCost {
+                    flops: per_plane.flops * planes,
+                    bytes: per_plane.bytes * planes,
+                },
+                move |kc| {
+                    let [c11, c12, c13, c21, c22, c23, c31, c32, c33] = Conv3dConfig::C;
+                    let (ni, nj) = (cfg.ni, cfg.nj);
+                    let plane = cfg.plane();
+                    for k in k0..k1 {
+                        let km = kc.read(vin.slice_ptr(k - 1), plane)?;
+                        let kmid = kc.read(vin.slice_ptr(k), plane)?;
+                        let kp = kc.read(vin.slice_ptr(k + 1), plane)?;
+                        let mut out = kc.write(vout.slice_ptr(k), plane)?;
+                        for j in 1..nj - 1 {
+                            for i in 1..ni - 1 {
+                                let at = |p: &[f32], di: i64, dj: i64| {
+                                    p[((j as i64 + dj) as usize) * ni + (i as i64 + di) as usize]
+                                };
+                                out[j * ni + i] = c11 * at(&km, -1, -1)
+                                    + c13 * at(&km, 1, -1)
+                                    + c21 * at(&km, -1, 0)
+                                    + c23 * at(&km, 1, 0)
+                                    + c31 * at(&km, -1, 1)
+                                    + c33 * at(&km, 1, 1)
+                                    + c12 * at(&kmid, 0, -1)
+                                    + c22 * at(&kmid, 0, 0)
+                                    + c32 * at(&kmid, 0, 1)
+                                    + c11 * at(&kp, -1, -1)
+                                    + c13 * at(&kp, 1, -1);
+                            }
+                        }
+                    }
+                    Ok(())
+                },
+            )
+        }
+    }
+
+    /// Sequential CPU reference with identical arithmetic order.
+    pub fn cpu_reference(&self, a: &[f32]) -> Vec<f32> {
+        let [c11, c12, c13, c21, c22, c23, c31, c32, c33] = Self::C;
+        let (ni, nj, nk) = (self.ni, self.nj, self.nk);
+        let plane = self.plane();
+        let idx = |i: usize, j: usize, k: usize| k * plane + j * ni + i;
+        let mut out = vec![0.0f32; self.total()];
+        for k in 1..nk - 1 {
+            for j in 1..nj - 1 {
+                for i in 1..ni - 1 {
+                    out[idx(i, j, k)] = c11 * a[idx(i - 1, j - 1, k - 1)]
+                        + c13 * a[idx(i + 1, j - 1, k - 1)]
+                        + c21 * a[idx(i - 1, j, k - 1)]
+                        + c23 * a[idx(i + 1, j, k - 1)]
+                        + c31 * a[idx(i - 1, j + 1, k - 1)]
+                        + c33 * a[idx(i + 1, j + 1, k - 1)]
+                        + c12 * a[idx(i, j - 1, k)]
+                        + c22 * a[idx(i, j, k)]
+                        + c32 * a[idx(i, j + 1, k)]
+                        + c11 * a[idx(i - 1, j - 1, k + 1)]
+                        + c13 * a[idx(i + 1, j - 1, k + 1)];
+                }
+            }
+        }
+        out
+    }
+}
+
+/// A bound 3-D convolution problem.
+pub struct Conv3dInstance {
+    /// The configuration that produced this instance.
+    pub config: Conv3dConfig,
+    /// The bound region (loop `k in 1..nk-1`).
+    pub region: Region,
+    /// Input volume host buffer.
+    pub a: HostBufId,
+    /// Output volume host buffer.
+    pub b: HostBufId,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::util::{assert_exact, read_host};
+    use gpsim::{DeviceProfile, ExecMode};
+    use pipeline_rt::{
+        run_naive, run_pipelined, run_pipelined_buffer, KernelBuilder, RtResult, RunReport,
+    };
+
+    type Driver = fn(&mut Gpu, &Region, &KernelBuilder<'_>) -> RtResult<RunReport>;
+
+    #[test]
+    fn all_models_match_cpu_reference() {
+        let cfg = Conv3dConfig::test_small();
+        let mut gpu = Gpu::new(DeviceProfile::k40m(), ExecMode::Functional).unwrap();
+        gpu.set_race_check(true);
+        let inst = cfg.setup(&mut gpu).unwrap();
+        let a = read_host(&gpu, inst.a).unwrap();
+        let expect = cfg.cpu_reference(&a);
+        let builder = cfg.builder();
+
+        for (name, f) in [
+            ("naive", run_naive as Driver),
+            ("pipelined", run_pipelined as Driver),
+            ("buffer", run_pipelined_buffer as Driver),
+        ] {
+            gpu.host_fill(inst.b, |_| 0.0).unwrap();
+            f(&mut gpu, &inst.region, &builder).unwrap();
+            assert_exact(&read_host(&gpu, inst.b).unwrap(), &expect, name);
+        }
+    }
+
+    #[test]
+    fn paper_scale_footprint_is_about_3_5_gb() {
+        let cfg = Conv3dConfig::polybench_default();
+        let bytes = 2 * cfg.total() as u64 * 4;
+        assert!((3_400_000_000..3_800_000_000).contains(&bytes), "{bytes}");
+    }
+}

@@ -1,0 +1,100 @@
+//! Property tests at the application level: random problem shapes and
+//! schedules through the *directive* front end must match the CPU
+//! references for every execution model.
+
+use gpsim::{DeviceProfile, ExecMode, Gpu};
+use pipeline_apps::util::{assert_exact, max_rel_error, read_host};
+use pipeline_apps::{Conv3dConfig, MatmulConfig, StencilConfig};
+use pipeline_rt::{run_naive, run_pipelined, run_pipelined_buffer};
+use proptest::prelude::*;
+
+fn gpu() -> Gpu {
+    Gpu::new(DeviceProfile::k40m(), ExecMode::Functional).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn stencil_random_shapes_and_schedules(
+        nx in 3usize..14,
+        ny in 3usize..14,
+        nz in 3usize..20,
+        chunk in 1usize..6,
+        streams in 1usize..5,
+    ) {
+        let cfg = StencilConfig {
+            nx, ny, nz,
+            c0: 0.25,
+            c1: 0.125,
+            chunk,
+            streams,
+        };
+        let mut gpu = gpu();
+        gpu.set_race_check(true);
+        let inst = cfg.setup(&mut gpu).unwrap();
+        let a0 = read_host(&gpu, inst.a0).unwrap();
+        let expect = cfg.cpu_reference(&a0);
+        let builder = cfg.builder();
+
+        run_naive(&mut gpu, &inst.region, &builder).unwrap();
+        let naive_out = read_host(&gpu, inst.anext).unwrap();
+        gpu.host_fill(inst.anext, |_| 0.0).unwrap();
+        run_pipelined(&mut gpu, &inst.region, &builder).unwrap();
+        let pipe_out = read_host(&gpu, inst.anext).unwrap();
+        gpu.host_fill(inst.anext, |_| 0.0).unwrap();
+        run_pipelined_buffer(&mut gpu, &inst.region, &builder).unwrap();
+        let buf_out = read_host(&gpu, inst.anext).unwrap();
+
+        // Interior planes only — the boundary planes are never written.
+        let plane = cfg.plane();
+        let interior = plane..(nz - 1) * plane;
+        assert_exact(&naive_out[interior.clone()], &expect[interior.clone()], "naive");
+        assert_exact(&pipe_out[interior.clone()], &expect[interior.clone()], "pipelined");
+        assert_exact(&buf_out[interior.clone()], &expect[interior], "buffer");
+    }
+
+    #[test]
+    fn conv3d_random_shapes(
+        ni in 3usize..12,
+        nj in 3usize..12,
+        nk in 3usize..16,
+        chunk in 1usize..5,
+        streams in 1usize..4,
+    ) {
+        let cfg = Conv3dConfig { ni, nj, nk, chunk, streams };
+        let mut gpu = gpu();
+        let inst = cfg.setup(&mut gpu).unwrap();
+        let a = read_host(&gpu, inst.a).unwrap();
+        let expect = cfg.cpu_reference(&a);
+        let builder = cfg.builder();
+        run_pipelined_buffer(&mut gpu, &inst.region, &builder).unwrap();
+        let got = read_host(&gpu, inst.b).unwrap();
+        let plane = cfg.plane();
+        assert_exact(
+            &got[plane..(nk - 1) * plane],
+            &expect[plane..(nk - 1) * plane],
+            "conv3d buffer",
+        );
+    }
+
+    #[test]
+    fn matmul_random_shapes(
+        blocks in 2usize..6,
+        bc in 2usize..6,
+        streams in 1usize..5,
+    ) {
+        let n = blocks * bc;
+        let cfg = MatmulConfig { n, bc, chunk: 1, streams };
+        let mut gpu = gpu();
+        let (a, b, c) = cfg.host_matrices(&mut gpu).unwrap();
+        let expect = cfg.cpu_reference(
+            &read_host(&gpu, a).unwrap(),
+            &read_host(&gpu, b).unwrap(),
+        );
+        cfg.run_pipeline_buffer(&mut gpu, a, b, c).unwrap();
+        let got = read_host(&gpu, c).unwrap();
+        let err = max_rel_error(&got, &expect);
+        prop_assert!(err < 1e-4, "relative error {err} at n={n} bc={bc}");
+    }
+}

@@ -1,0 +1,54 @@
+//! Criterion benches of the runtime's design-choice ablations
+//! (DESIGN.md §7): residency tracking and ring slack, at reduced size.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pipeline_apps::StencilConfig;
+use pipeline_bench::gpu_k40m;
+use pipeline_rt::{run_pipelined_buffer_with, BufferOptions};
+use std::hint::black_box;
+
+fn small() -> StencilConfig {
+    StencilConfig {
+        nx: 128,
+        ny: 128,
+        nz: 32,
+        ..StencilConfig::parboil_default()
+    }
+}
+
+fn run(opts: BufferOptions) -> gpsim::SimTime {
+    let mut gpu = gpu_k40m();
+    let cfg = small();
+    let inst = cfg.setup(&mut gpu).unwrap();
+    run_pipelined_buffer_with(&mut gpu, &inst.region, &cfg.builder(), &opts)
+        .unwrap()
+        .total
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablations");
+    g.sample_size(25);
+    g.bench_function("prototype_defaults", |b| {
+        b.iter(|| black_box(run(BufferOptions::default())))
+    });
+    g.bench_function("no_residency_tracking", |b| {
+        b.iter(|| {
+            black_box(run(BufferOptions {
+                track_residency: false,
+                ..Default::default()
+            }))
+        })
+    });
+    g.bench_function("minimal_ring_slots", |b| {
+        b.iter(|| {
+            black_box(run(BufferOptions {
+                minimal_slots: true,
+                ..Default::default()
+            }))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

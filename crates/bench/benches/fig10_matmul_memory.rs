@@ -1,0 +1,28 @@
+//! Criterion bench for the Figure 10 harness: memory accounting of the
+//! GEMM versions across two sizes (timing mode).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pipeline_apps::MatmulConfig;
+use pipeline_bench::gpu_k40m;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig10_matmul_memory");
+    g.sample_size(20);
+    for n in [1024usize, 2048] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let cfg = MatmulConfig::with_n(n);
+                let mut gpu = gpu_k40m();
+                let (a, bb, cc) = cfg.host_matrices(&mut gpu).unwrap();
+                let base = cfg.run_baseline(&mut gpu, a, bb, cc).unwrap();
+                let buf = cfg.run_pipeline_buffer(&mut gpu, a, bb, cc).unwrap();
+                black_box((base.gpu_mem_bytes, buf.gpu_mem_bytes))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Criterion bench for the Figure 3 harness: end-to-end cost of the
+//! naive and pipelined QCD runs (DES + runtime host code) at reduced
+//! lattice size. The *simulated* results are validated in the library
+//! tests; this measures how fast the harness itself regenerates them.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pipeline_apps::QcdConfig;
+use pipeline_bench::gpu_k40m;
+use pipeline_rt::{run_naive, run_pipelined};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig3_qcd_breakdown");
+    g.sample_size(20);
+    g.bench_function("naive_n12", |b| {
+        b.iter(|| {
+            let mut gpu = gpu_k40m();
+            let cfg = QcdConfig::paper_size(12);
+            let inst = cfg.setup(&mut gpu).unwrap();
+            let rep = run_naive(&mut gpu, &inst.region, &cfg.builder()).unwrap();
+            black_box(rep.total)
+        })
+    });
+    g.bench_function("pipelined_n12", |b| {
+        b.iter(|| {
+            let mut gpu = gpu_k40m();
+            let cfg = QcdConfig::paper_size(12);
+            let inst = cfg.setup(&mut gpu).unwrap();
+            let rep = run_pipelined(&mut gpu, &inst.region, &cfg.builder()).unwrap();
+            black_box(rep.total)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

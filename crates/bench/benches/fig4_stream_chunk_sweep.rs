@@ -1,0 +1,35 @@
+//! Criterion bench for the Figure 4 harness: one pipelined-buffer QCD
+//! run per (chunk, streams) configuration at reduced lattice size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pipeline_apps::QcdConfig;
+use pipeline_bench::gpu_k40m;
+use pipeline_rt::run_pipelined_buffer;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4_stream_chunk_sweep");
+    g.sample_size(15);
+    for (chunk, streams) in [(1usize, 1usize), (1, 3), (4, 3), (8, 5)] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("chunk{chunk}_streams{streams}")),
+            &(chunk, streams),
+            |b, &(chunk, streams)| {
+                b.iter(|| {
+                    let mut gpu = gpu_k40m();
+                    let mut cfg = QcdConfig::paper_size(12);
+                    cfg.chunk = chunk;
+                    cfg.streams = streams;
+                    let inst = cfg.setup(&mut gpu).unwrap();
+                    let rep =
+                        run_pipelined_buffer(&mut gpu, &inst.region, &cfg.builder()).unwrap();
+                    black_box(rep.total)
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Criterion bench for the Figure 5 harness: all three execution models
+//! on a reduced stencil, measuring driver + DES cost per model.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pipeline_apps::StencilConfig;
+use pipeline_bench::gpu_k40m;
+use pipeline_rt::{run_naive, run_pipelined, run_pipelined_buffer};
+use std::hint::black_box;
+
+fn small() -> StencilConfig {
+    StencilConfig {
+        nx: 128,
+        ny: 128,
+        nz: 32,
+        ..StencilConfig::parboil_default()
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5_performance");
+    g.sample_size(30);
+    g.bench_function("naive", |b| {
+        b.iter(|| {
+            let mut gpu = gpu_k40m();
+            let cfg = small();
+            let inst = cfg.setup(&mut gpu).unwrap();
+            black_box(run_naive(&mut gpu, &inst.region, &cfg.builder()).unwrap().total)
+        })
+    });
+    g.bench_function("pipelined", |b| {
+        b.iter(|| {
+            let mut gpu = gpu_k40m();
+            let cfg = small();
+            let inst = cfg.setup(&mut gpu).unwrap();
+            black_box(
+                run_pipelined(&mut gpu, &inst.region, &cfg.builder())
+                    .unwrap()
+                    .total,
+            )
+        })
+    });
+    g.bench_function("pipelined_buffer", |b| {
+        b.iter(|| {
+            let mut gpu = gpu_k40m();
+            let cfg = small();
+            let inst = cfg.setup(&mut gpu).unwrap();
+            black_box(
+                run_pipelined_buffer(&mut gpu, &inst.region, &cfg.builder())
+                    .unwrap()
+                    .total,
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

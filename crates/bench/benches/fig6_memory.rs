@@ -1,0 +1,48 @@
+//! Criterion bench for the Figure 6 harness: the memory-accounting path
+//! (allocation, ring sizing, peak tracking) of the buffer driver.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pipeline_apps::Conv3dConfig;
+use pipeline_bench::gpu_k40m;
+use pipeline_rt::{resolve_plan, run_pipelined_buffer};
+use std::hint::black_box;
+
+fn small() -> Conv3dConfig {
+    Conv3dConfig {
+        ni: 96,
+        nj: 96,
+        nk: 64,
+        chunk: 1,
+        streams: 3,
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6_memory");
+    g.bench_function("plan_resolution", |b| {
+        let gpu = gpu_k40m();
+        let cfg = small();
+        let mut setup_gpu = gpu_k40m();
+        let inst = cfg.setup(&mut setup_gpu).unwrap();
+        b.iter(|| {
+            black_box(
+                resolve_plan(&inst.region.spec, gpu.profile(), inst.region.lo, inst.region.hi)
+                    .unwrap()
+                    .buffer_bytes,
+            )
+        })
+    });
+    g.bench_function("buffer_run_with_accounting", |b| {
+        b.iter(|| {
+            let mut gpu = gpu_k40m();
+            let cfg = small();
+            let inst = cfg.setup(&mut gpu).unwrap();
+            let rep = run_pipelined_buffer(&mut gpu, &inst.region, &cfg.builder()).unwrap();
+            black_box((rep.gpu_mem_bytes, rep.array_bytes))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

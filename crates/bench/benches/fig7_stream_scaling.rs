@@ -1,0 +1,63 @@
+//! Criterion bench for the Figure 7 harness: Pipelined vs
+//! Pipelined-buffer at low and high stream counts (reduced stencil).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pipeline_apps::StencilConfig;
+use pipeline_bench::gpu_k40m;
+use pipeline_rt::{run_pipelined, run_pipelined_buffer};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig7_stream_scaling");
+    g.sample_size(20);
+    for streams in [2usize, 8] {
+        g.bench_with_input(
+            BenchmarkId::new("pipelined", streams),
+            &streams,
+            |b, &streams| {
+                b.iter(|| {
+                    let mut gpu = gpu_k40m();
+                    let mut cfg = StencilConfig {
+                        nx: 128,
+                        ny: 128,
+                        nz: 32,
+                        ..StencilConfig::parboil_default()
+                    };
+                    cfg.streams = streams;
+                    let inst = cfg.setup(&mut gpu).unwrap();
+                    black_box(
+                        run_pipelined(&mut gpu, &inst.region, &cfg.builder())
+                            .unwrap()
+                            .total,
+                    )
+                })
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("pipelined_buffer", streams),
+            &streams,
+            |b, &streams| {
+                b.iter(|| {
+                    let mut gpu = gpu_k40m();
+                    let mut cfg = StencilConfig {
+                        nx: 128,
+                        ny: 128,
+                        nz: 32,
+                        ..StencilConfig::parboil_default()
+                    };
+                    cfg.streams = streams;
+                    let inst = cfg.setup(&mut gpu).unwrap();
+                    black_box(
+                        run_pipelined_buffer(&mut gpu, &inst.region, &cfg.builder())
+                            .unwrap()
+                            .total,
+                    )
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Criterion bench for the Figure 8 harness: naive vs pipelined on the
+//! simulated HD 7970 at two chunk granularities (reduced volume).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pipeline_apps::Conv3dConfig;
+use pipeline_bench::gpu_hd7970;
+use pipeline_rt::{run_naive, run_pipelined};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig8_amd_chunks");
+    g.sample_size(15);
+    for chunk in [1usize, 16] {
+        g.bench_with_input(BenchmarkId::new("pipelined_chunk", chunk), &chunk, |b, &chunk| {
+            b.iter(|| {
+                let mut gpu = gpu_hd7970();
+                let cfg = Conv3dConfig {
+                    ni: 128,
+                    nj: 128,
+                    nk: 64,
+                    chunk,
+                    streams: 3,
+                };
+                let inst = cfg.setup(&mut gpu).unwrap();
+                black_box(
+                    run_pipelined(&mut gpu, &inst.region, &cfg.builder())
+                        .unwrap()
+                        .total,
+                )
+            })
+        });
+    }
+    g.bench_function("naive", |b| {
+        b.iter(|| {
+            let mut gpu = gpu_hd7970();
+            let cfg = Conv3dConfig {
+                ni: 128,
+                nj: 128,
+                nk: 64,
+                chunk: 1,
+                streams: 3,
+            };
+            let inst = cfg.setup(&mut gpu).unwrap();
+            black_box(run_naive(&mut gpu, &inst.region, &cfg.builder()).unwrap().total)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion bench for the Figure 9 harness: all three GEMM versions at
+//! a reduced size (timing mode).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pipeline_apps::MatmulConfig;
+use pipeline_bench::gpu_k40m;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig9_matmul_speedup");
+    g.sample_size(20);
+    let cfg = MatmulConfig::with_n(1024);
+    g.bench_function("baseline", |b| {
+        b.iter(|| {
+            let mut gpu = gpu_k40m();
+            let (a, bb, cc) = cfg.host_matrices(&mut gpu).unwrap();
+            black_box(cfg.run_baseline(&mut gpu, a, bb, cc).unwrap().total)
+        })
+    });
+    g.bench_function("block_shared", |b| {
+        b.iter(|| {
+            let mut gpu = gpu_k40m();
+            let (a, bb, cc) = cfg.host_matrices(&mut gpu).unwrap();
+            black_box(cfg.run_block_shared(&mut gpu, a, bb, cc).unwrap().total)
+        })
+    });
+    g.bench_function("pipeline_buffer", |b| {
+        b.iter(|| {
+            let mut gpu = gpu_k40m();
+            let (a, bb, cc) = cfg.host_matrices(&mut gpu).unwrap();
+            black_box(cfg.run_pipeline_buffer(&mut gpu, a, bb, cc).unwrap().total)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

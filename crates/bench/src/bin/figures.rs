@@ -1,0 +1,189 @@
+//! Regenerate every table and figure of the paper's evaluation section.
+//!
+//! ```text
+//! cargo run --release -p pipeline-bench --bin figures              # all
+//! cargo run --release -p pipeline-bench --bin figures -- fig5      # one
+//! cargo run --release -p pipeline-bench --bin figures -- --csv out # + CSVs
+//! ```
+
+use std::fs;
+use std::path::PathBuf;
+
+use pipeline_bench::{ablate, fig3, fig4, fig56, fig7, fig8, fig910, header};
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let csv_dir: Option<PathBuf> = args
+        .iter()
+        .position(|a| a == "--csv")
+        .map(|i| {
+            let dir = args
+                .get(i + 1)
+                .map(PathBuf::from)
+                .unwrap_or_else(|| PathBuf::from("figures_csv"));
+            args.drain(i..(i + 2).min(args.len()));
+            dir
+        });
+    if let Some(dir) = &csv_dir {
+        fs::create_dir_all(dir).expect("create csv dir");
+    }
+    let write_csv = |name: &str, content: String| {
+        if let Some(dir) = &csv_dir {
+            let path = dir.join(name);
+            fs::write(&path, content).expect("write csv");
+            eprintln!("wrote {}", path.display());
+        }
+    };
+    const KNOWN: &[&str] = &[
+        "all", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
+        "future", "ablations",
+    ];
+    for a in &args {
+        if !KNOWN.contains(&a.as_str()) {
+            eprintln!("unknown figure '{a}' (expected one of: {})", KNOWN.join(", "));
+            std::process::exit(2);
+        }
+    }
+    let want = |name: &str| args.is_empty() || args.iter().any(|a| a == name || a == "all");
+
+    if want("fig3") {
+        header("Figure 3 — Lattice QCD time distribution & pipelined speedup (K40m)");
+        let rows = fig3::run(&fig3::paper_sizes());
+        fig3::print(&rows);
+        let mut csv = String::from("dataset,n,d2h_frac,h2d_frac,kernel_frac,speedup\n");
+        for r in &rows {
+            csv.push_str(&format!(
+                "{},{},{:.4},{:.4},{:.4},{:.4}\n",
+                r.dataset, r.n, r.d2h_frac, r.h2d_frac, r.kernel_frac, r.speedup
+            ));
+        }
+        write_csv("fig3.csv", csv);
+    }
+    if want("fig4") {
+        header("Figure 4 — chunk size x stream count, QCD large (K40m)");
+        let (chunks, streams) = fig4::paper_grid();
+        let rows = fig4::run(36, &chunks, &streams);
+        fig4::print(&rows);
+        let mut csv = String::from("chunk,streams,time_ms\n");
+        for r in &rows {
+            csv.push_str(&format!("{},{},{:.6}\n", r.chunk, r.streams, r.time.as_ms_f64()));
+        }
+        write_csv("fig4.csv", csv);
+    }
+    if want("fig5") || want("fig6") {
+        let rows = fig56::run();
+        header("Figure 5 — normalized speedup over Naive (K40m)");
+        fig56::print_fig5(&rows);
+        header("Figure 6 — GPU memory usage (K40m)");
+        fig56::print_fig6(&rows);
+        let mut csv5 = String::from("benchmark,pipelined_speedup,buffer_speedup\n");
+        let mut csv6 =
+            String::from("benchmark,naive_mb,pipelined_mb,buffer_mb,saving_frac\n");
+        for r in &rows {
+            let (p, b) = r.speedups();
+            csv5.push_str(&format!("{},{:.4},{:.4}\n", r.name, p, b));
+            csv6.push_str(&format!(
+                "{},{:.1},{:.1},{:.1},{:.4}\n",
+                r.name,
+                r.naive.gpu_mem_bytes as f64 / 1e6,
+                r.pipelined.gpu_mem_bytes as f64 / 1e6,
+                r.buffer.gpu_mem_bytes as f64 / 1e6,
+                r.mem_saving()
+            ));
+        }
+        write_csv("fig5.csv", csv5);
+        write_csv("fig6.csv", csv6);
+    }
+    if want("fig7") {
+        header("Figure 7 — execution time vs stream count (K40m)");
+        let rows = fig7::run(&fig7::paper_streams());
+        fig7::print(&rows);
+        let mut csv = String::from("bench,streams,pipelined_ms,buffer_ms\n");
+        for r in &rows {
+            csv.push_str(&format!(
+                "{},{},{:.6},{:.6}\n",
+                r.bench.name(),
+                r.streams,
+                r.pipelined.as_ms_f64(),
+                r.buffer.as_ms_f64()
+            ));
+        }
+        write_csv("fig7.csv", csv);
+    }
+    if want("fig8") {
+        header("Figure 8 — AMD HD 7970: speedup vs number of chunks");
+        let rows = fig8::run(&fig8::paper_chunk_counts());
+        fig8::print(&rows);
+        let mut csv = String::from("bench,requested_chunks,actual_chunks,speedup\n");
+        for r in &rows {
+            csv.push_str(&format!(
+                "{},{},{},{:.4}\n",
+                r.bench.name(),
+                if r.n_chunks == 0 { "default".into() } else { r.n_chunks.to_string() },
+                r.actual_chunks,
+                r.speedup
+            ));
+        }
+        write_csv("fig8.csv", csv);
+    }
+    if want("fig9") || want("fig10") {
+        let rows = fig910::run(&fig910::paper_sizes());
+        header("Figure 9 — GEMM normalized speedup (K40m)");
+        fig910::print_fig9(&rows);
+        header("Figure 10 — GEMM memory consumption (K40m)");
+        fig910::print_fig10(&rows);
+        let mut csv = String::from(
+            "n,baseline_ms,block_shared_ms,buffer_ms,baseline_mb,block_shared_mb,buffer_mb\n",
+        );
+        for r in &rows {
+            let cell_ms = |v: &fig910::VersionResult| {
+                v.report()
+                    .map(|r| format!("{:.6}", r.total.as_ms_f64()))
+                    .unwrap_or_else(|| "OOM".into())
+            };
+            let cell_mb = |v: &fig910::VersionResult| {
+                v.report()
+                    .map(|r| format!("{:.1}", r.gpu_mem_bytes as f64 / 1e6))
+                    .unwrap_or_else(|| "OOM".into())
+            };
+            csv.push_str(&format!(
+                "{},{},{},{},{},{},{}\n",
+                r.n,
+                cell_ms(&r.baseline),
+                cell_ms(&r.block_shared),
+                cell_ms(&r.pipeline_buffer),
+                cell_mb(&r.baseline),
+                cell_mb(&r.block_shared),
+                cell_mb(&r.pipeline_buffer)
+            ));
+        }
+        write_csv("fig9_10.csv", csv);
+    }
+    if want("future") {
+        header("Future hardware — Figure 5 on a P100-class profile (no paper counterpart)");
+        let rows = pipeline_bench::future_hw::run();
+        pipeline_bench::future_hw::print(&rows);
+        let mut csv =
+            String::from("benchmark,speedup_k40m,speedup_p100,share_k40m,share_p100\n");
+        for r in &rows {
+            csv.push_str(&format!(
+                "{},{:.4},{:.4},{:.4},{:.4}\n",
+                r.name, r.speedup_k40m, r.speedup_p100, r.transfer_share_k40m, r.transfer_share_p100
+            ));
+        }
+        write_csv("future_hw.csv", csv);
+    }
+    if want("ablations") {
+        header("Ablations — design-choice studies (DESIGN.md §7)");
+        let rows = ablate::run_all();
+        ablate::print(&rows);
+        let mut csv = String::from("ablation,metric,with,without,penalty\n");
+        for r in &rows {
+            csv.push_str(&format!(
+                "{},{},{:.6},{:.6},{:.4}\n",
+                r.name, r.metric, r.with, r.without, r.penalty()
+            ));
+        }
+        write_csv("ablations.csv", csv);
+    }
+}

@@ -1,0 +1,101 @@
+//! Figure 3 — Lattice QCD time distribution (left) and normalized
+//! pipelined speedup (right) on the NVIDIA K40m.
+//!
+//! Paper claims: transfers consume ≈50 % of naive execution time; the
+//! pipelined version achieves ≈1.6× on the small case, growing with
+//! problem size toward the 2× perfect-overlap bound.
+
+use pipeline_apps::QcdConfig;
+use pipeline_rt::{run_naive, run_pipelined};
+
+use crate::gpu_k40m;
+
+/// One dataset row of Figure 3.
+#[derive(Debug, Clone)]
+pub struct Fig3Row {
+    /// Dataset label (`small` / `medium` / `large`).
+    pub dataset: &'static str,
+    /// Lattice extent n (n⁴ sites).
+    pub n: usize,
+    /// Fraction of naive busy time in device→host copies.
+    pub d2h_frac: f64,
+    /// Fraction of naive busy time in host→device copies.
+    pub h2d_frac: f64,
+    /// Fraction of naive busy time in kernels.
+    pub kernel_frac: f64,
+    /// Pipelined speedup over naive.
+    pub speedup: f64,
+}
+
+/// Run the Figure 3 experiment for the given lattice sizes
+/// (paper: 12 / 24 / 36).
+pub fn run(sizes: &[(&'static str, usize)]) -> Vec<Fig3Row> {
+    let mut rows = Vec::new();
+    for &(dataset, n) in sizes {
+        let mut gpu = gpu_k40m();
+        let cfg = QcdConfig::paper_size(n);
+        let inst = cfg.setup(&mut gpu).expect("qcd setup");
+        let builder = cfg.builder();
+        let naive = run_naive(&mut gpu, &inst.region, &builder).expect("naive run");
+        let pipe = run_pipelined(&mut gpu, &inst.region, &builder).expect("pipelined run");
+        let busy = (naive.h2d + naive.d2h + naive.kernel).as_secs_f64();
+        rows.push(Fig3Row {
+            dataset,
+            n,
+            d2h_frac: naive.d2h.as_secs_f64() / busy,
+            h2d_frac: naive.h2d.as_secs_f64() / busy,
+            kernel_frac: naive.kernel.as_secs_f64() / busy,
+            speedup: pipe.speedup_over(&naive),
+        });
+    }
+    rows
+}
+
+/// The paper's dataset sizes.
+pub fn paper_sizes() -> Vec<(&'static str, usize)> {
+    vec![("small", 12), ("medium", 24), ("large", 36)]
+}
+
+/// Print the rows in the layout of Figure 3.
+pub fn print(rows: &[Fig3Row]) {
+    println!("{:<8} {:>4} {:>8} {:>8} {:>8} {:>9}", "dataset", "n", "DtoH", "HtoD", "Kernel", "speedup");
+    for r in rows {
+        println!(
+            "{:<8} {:>4} {:>7.1}% {:>7.1}% {:>7.1}% {:>8.2}x",
+            r.dataset,
+            r.n,
+            100.0 * r.d2h_frac,
+            100.0 * r.h2d_frac,
+            100.0 * r.kernel_frac,
+            r.speedup
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_match_paper() {
+        let rows = run(&paper_sizes());
+        assert_eq!(rows.len(), 3);
+        for r in &rows {
+            let transfer = r.d2h_frac + r.h2d_frac;
+            assert!(
+                (0.35..0.70).contains(&transfer),
+                "{}: transfer share {transfer} not ≈50%",
+                r.dataset
+            );
+            assert!(
+                (transfer + r.kernel_frac - 1.0).abs() < 1e-9,
+                "fractions must sum to 1"
+            );
+            assert!(r.speedup > 1.3, "{}: speedup {}", r.dataset, r.speedup);
+            assert!(r.speedup < 2.0, "{}: speedup {} above bound", r.dataset, r.speedup);
+        }
+        // Speedup grows with problem size (paper: "As the problem size
+        // grows, the speedup increases").
+        assert!(rows[2].speedup >= rows[0].speedup - 0.05);
+    }
+}

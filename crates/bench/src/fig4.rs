@@ -1,0 +1,126 @@
+//! Figure 4 — execution time for different chunk sizes (1/2/4/8) and GPU
+//! stream counts (1–5), Lattice QCD large test case on the K40m.
+//!
+//! Paper claims: two streams are significantly better than one; more
+//! than four streams offers no further benefit; increasing the chunk
+//! size usually does not hurt.
+
+use gpsim::SimTime;
+use pipeline_apps::QcdConfig;
+use pipeline_rt::run_pipelined_buffer;
+
+use crate::gpu_k40m;
+
+/// One (chunk, streams) cell of Figure 4.
+#[derive(Debug, Clone)]
+pub struct Fig4Row {
+    /// Chunk size (iterations per sub-task).
+    pub chunk: usize,
+    /// Number of GPU streams.
+    pub streams: usize,
+    /// Region execution time.
+    pub time: SimTime,
+}
+
+/// Run the sweep for lattice extent `n` (paper: 36).
+pub fn run(n: usize, chunks: &[usize], streams: &[usize]) -> Vec<Fig4Row> {
+    let mut rows = Vec::new();
+    for &chunk in chunks {
+        for &ns in streams {
+            let mut gpu = gpu_k40m();
+            let mut cfg = QcdConfig::paper_size(n);
+            cfg.chunk = chunk;
+            cfg.streams = ns;
+            let inst = cfg.setup(&mut gpu).expect("qcd setup");
+            let rep =
+                run_pipelined_buffer(&mut gpu, &inst.region, &cfg.builder()).expect("buffer run");
+            rows.push(Fig4Row {
+                chunk,
+                streams: ns,
+                time: rep.total,
+            });
+        }
+    }
+    rows
+}
+
+/// The paper's sweep grid.
+pub fn paper_grid() -> (Vec<usize>, Vec<usize>) {
+    (vec![1, 2, 4, 8], vec![1, 2, 3, 4, 5])
+}
+
+/// Print the sweep as a chunk × streams table.
+pub fn print(rows: &[Fig4Row]) {
+    let streams: Vec<usize> = {
+        let mut s: Vec<usize> = rows.iter().map(|r| r.streams).collect();
+        s.sort_unstable();
+        s.dedup();
+        s
+    };
+    print!("{:<8}", "chunk");
+    for s in &streams {
+        print!(" {:>10}", format!("{s} stream"));
+    }
+    println!();
+    let chunks: Vec<usize> = {
+        let mut c: Vec<usize> = rows.iter().map(|r| r.chunk).collect();
+        c.sort_unstable();
+        c.dedup();
+        c
+    };
+    for c in chunks {
+        print!("{c:<8}");
+        for s in &streams {
+            let t = rows
+                .iter()
+                .find(|r| r.chunk == c && r.streams == *s)
+                .map(|r| r.time)
+                .unwrap_or(SimTime::ZERO);
+            print!(" {:>10}", t.to_string());
+        }
+        println!();
+    }
+}
+
+/// Cell lookup helper for tests.
+pub fn cell(rows: &[Fig4Row], chunk: usize, streams: usize) -> SimTime {
+    rows.iter()
+        .find(|r| r.chunk == chunk && r.streams == streams)
+        .map(|r| r.time)
+        .expect("cell present")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_scaling_matches_paper() {
+        let (chunks, streams) = paper_grid();
+        let rows = run(36, &chunks, &streams);
+        // "Using two streams generally performs significantly better
+        // than one."
+        for &c in &chunks {
+            let one = cell(&rows, c, 1);
+            let two = cell(&rows, c, 2);
+            assert!(
+                two.as_secs_f64() < 0.85 * one.as_secs_f64(),
+                "chunk {c}: 2 streams {two} not ≫ 1 stream {one}"
+            );
+        }
+        // "Using more than four streams offers no further benefit."
+        for &c in &chunks {
+            let four = cell(&rows, c, 4).as_secs_f64();
+            let five = cell(&rows, c, 5).as_secs_f64();
+            assert!(
+                five > 0.93 * four,
+                "chunk {c}: 5 streams {five} still much faster than 4 {four}"
+            );
+        }
+        // "Increasing the chunk size usually does not adversely impact
+        // performance" (within 25 % at the best stream count).
+        let best1 = cell(&rows, 1, 3).as_secs_f64();
+        let best8 = cell(&rows, 8, 3).as_secs_f64();
+        assert!(best8 < 1.25 * best1, "chunk 8 {best8} vs chunk 1 {best1}");
+    }
+}

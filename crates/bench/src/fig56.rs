@@ -1,0 +1,174 @@
+//! Figures 5 & 6 — normalized speedup (Fig. 5) and GPU memory usage
+//! (Fig. 6) of the Naive / Pipelined / Pipelined-buffer versions across
+//! all benchmarks on the K40m.
+//!
+//! Paper claims: 3dconv 1.45×/1.46×; stencil 1.57× with the buffered
+//! version even faster; QCD large 1.54× (buffered slightly below the
+//! hand-coded pipeline due to index translation); memory savings from
+//! ≈50 % (stencil) to 97 % (3dconv).
+
+use gpsim::Gpu;
+use pipeline_apps::{Conv3dConfig, QcdConfig, StencilConfig};
+use pipeline_rt::{
+    run_naive, run_pipelined, run_pipelined_buffer, KernelBuilder, Region, RtResult, RunReport,
+};
+
+use crate::gpu_k40m;
+
+/// Reports of all three versions for one benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchRow {
+    /// Benchmark label as used in the paper's x-axis.
+    pub name: &'static str,
+    /// Naive offload report.
+    pub naive: RunReport,
+    /// Hand-style pipelined report.
+    pub pipelined: RunReport,
+    /// Pipelined-buffer (the prototype) report.
+    pub buffer: RunReport,
+}
+
+impl BenchRow {
+    /// Speedups over naive (Figure 5's y-axis).
+    pub fn speedups(&self) -> (f64, f64) {
+        (
+            self.pipelined.speedup_over(&self.naive),
+            self.buffer.speedup_over(&self.naive),
+        )
+    }
+
+    /// Memory saving of the buffered version vs naive (abstract's
+    /// 52–97 % claim).
+    pub fn mem_saving(&self) -> f64 {
+        self.buffer.mem_saving_over(&self.naive)
+    }
+}
+
+fn run_three(
+    gpu: &mut Gpu,
+    name: &'static str,
+    region: &Region,
+    builder: &KernelBuilder<'_>,
+) -> RtResult<BenchRow> {
+    Ok(BenchRow {
+        name,
+        naive: run_naive(gpu, region, builder)?,
+        pipelined: run_pipelined(gpu, region, builder)?,
+        buffer: run_pipelined_buffer(gpu, region, builder)?,
+    })
+}
+
+/// Run all five benchmark columns of Figures 5 & 6.
+pub fn run() -> Vec<BenchRow> {
+    let mut rows = Vec::new();
+
+    {
+        let mut gpu = gpu_k40m();
+        let cfg = Conv3dConfig::polybench_default();
+        let inst = cfg.setup(&mut gpu).expect("conv3d setup");
+        rows.push(run_three(&mut gpu, "3dconv", &inst.region, &cfg.builder()).expect("3dconv"));
+    }
+    {
+        let mut gpu = gpu_k40m();
+        let cfg = StencilConfig::parboil_default();
+        let inst = cfg.setup(&mut gpu).expect("stencil setup");
+        rows.push(run_three(&mut gpu, "stencil", &inst.region, &cfg.builder()).expect("stencil"));
+    }
+    for (name, n) in [("qcd-small", 12), ("qcd-medium", 24), ("qcd-large", 36)] {
+        let mut gpu = gpu_k40m();
+        let cfg = QcdConfig::paper_size(n);
+        let inst = cfg.setup(&mut gpu).expect("qcd setup");
+        rows.push(run_three(&mut gpu, name, &inst.region, &cfg.builder()).expect("qcd"));
+    }
+    rows
+}
+
+/// Print Figure 5 (normalized speedup).
+pub fn print_fig5(rows: &[BenchRow]) {
+    println!(
+        "{:<12} {:>8} {:>11} {:>17}",
+        "benchmark", "Naive", "Pipelined", "Pipelined-buffer"
+    );
+    for r in rows {
+        let (p, b) = r.speedups();
+        println!("{:<12} {:>7.2}x {:>10.2}x {:>16.2}x", r.name, 1.0, p, b);
+    }
+}
+
+/// Print Figure 6 (GPU memory usage, MB).
+pub fn print_fig6(rows: &[BenchRow]) {
+    println!(
+        "{:<12} {:>10} {:>11} {:>17} {:>9}",
+        "benchmark", "Naive MB", "Pipelined", "Pipelined-buffer", "saving"
+    );
+    for r in rows {
+        println!(
+            "{:<12} {:>10} {:>11} {:>17} {:>8.0}%",
+            r.name,
+            crate::mb(r.naive.gpu_mem_bytes),
+            crate::mb(r.pipelined.gpu_mem_bytes),
+            crate::mb(r.buffer.gpu_mem_bytes),
+            100.0 * r.mem_saving()
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn speedups_and_memory_match_paper_shape() {
+        let rows = run();
+        assert_eq!(rows.len(), 5);
+        for r in &rows {
+            let (p, b) = r.speedups();
+            assert!(
+                p > 1.3 && p < 2.2,
+                "{}: pipelined speedup {p} outside the paper's band",
+                r.name
+            );
+            assert!(
+                b > 1.3 && b < 2.2,
+                "{}: buffer speedup {b} outside the paper's band",
+                r.name
+            );
+            // The prototype performs competitively with the hand-coded
+            // pipeline (within ~15 %).
+            assert!(
+                (b / p) > 0.85,
+                "{}: buffer {b} not competitive with pipelined {p}",
+                r.name
+            );
+        }
+
+        let conv = &rows[0];
+        assert!(
+            conv.mem_saving() > 0.90,
+            "3dconv saving {} (paper: 97 %)",
+            conv.mem_saving()
+        );
+        let stencil = &rows[1];
+        assert!(
+            stencil.mem_saving() > 0.35,
+            "stencil saving {} (paper: ≈50 %)",
+            stencil.mem_saving()
+        );
+        for r in &rows[2..] {
+            // qcd-small's footprint is dominated by the fixed runtime
+            // reservation (the paper notes the same effect for its small
+            // stencil case), so compare at the array level there.
+            let saving = if r.name == "qcd-small" {
+                1.0 - r.buffer.array_bytes as f64 / r.naive.array_bytes as f64
+            } else {
+                r.mem_saving()
+            };
+            assert!(saving > 0.5, "{} saving {saving} (paper: 52–79 %)", r.name);
+        }
+        // QCD savings grow with problem size (§V-D).
+        assert!(rows[4].mem_saving() > rows[2].mem_saving());
+        // QCD buffered version trails the hand pipeline (index overhead).
+        let (p, b) = rows[4].speedups();
+        assert!(b <= p + 0.02, "qcd-large: buffer {b} vs pipelined {p}");
+    }
+}

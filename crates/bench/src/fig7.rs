@@ -1,0 +1,161 @@
+//! Figure 7 — execution time varying the GPU stream count (2–8) for the
+//! 3-D convolution and stencil benchmarks on the K40m.
+//!
+//! Paper claims: the hand-coded Pipelined version degrades dramatically
+//! as streams grow (its OpenACC runtime pays per-queue bookkeeping),
+//! while the Pipelined-buffer prototype stays stable; the curves cross
+//! around six streams; with two streams the Pipelined version is best.
+
+use gpsim::SimTime;
+use pipeline_apps::{Conv3dConfig, StencilConfig};
+use pipeline_rt::{run_pipelined, run_pipelined_buffer};
+
+use crate::gpu_k40m;
+
+/// Which benchmark a sweep row belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fig7Bench {
+    /// Polybench 3-D convolution.
+    Conv3d,
+    /// Parboil stencil.
+    Stencil,
+}
+
+impl Fig7Bench {
+    /// Display label.
+    pub fn name(self) -> &'static str {
+        match self {
+            Fig7Bench::Conv3d => "3dconv",
+            Fig7Bench::Stencil => "stencil",
+        }
+    }
+}
+
+/// One stream-count measurement.
+#[derive(Debug, Clone)]
+pub struct Fig7Row {
+    /// Benchmark.
+    pub bench: Fig7Bench,
+    /// Stream count of this measurement.
+    pub streams: usize,
+    /// Hand-pipelined execution time.
+    pub pipelined: SimTime,
+    /// Pipelined-buffer execution time.
+    pub buffer: SimTime,
+}
+
+/// Run the sweep over `streams` for both benchmarks.
+pub fn run(streams: &[usize]) -> Vec<Fig7Row> {
+    let mut rows = Vec::new();
+    for &ns in streams {
+        // 3-D convolution.
+        {
+            let mut gpu = gpu_k40m();
+            let mut cfg = Conv3dConfig::polybench_default();
+            cfg.streams = ns;
+            let inst = cfg.setup(&mut gpu).expect("conv3d setup");
+            let builder = cfg.builder();
+            let p = run_pipelined(&mut gpu, &inst.region, &builder).expect("pipelined");
+            let b = run_pipelined_buffer(&mut gpu, &inst.region, &builder).expect("buffer");
+            rows.push(Fig7Row {
+                bench: Fig7Bench::Conv3d,
+                streams: ns,
+                pipelined: p.total,
+                buffer: b.total,
+            });
+        }
+        // Stencil.
+        {
+            let mut gpu = gpu_k40m();
+            let mut cfg = StencilConfig::parboil_default();
+            cfg.streams = ns;
+            let inst = cfg.setup(&mut gpu).expect("stencil setup");
+            let builder = cfg.builder();
+            let p = run_pipelined(&mut gpu, &inst.region, &builder).expect("pipelined");
+            let b = run_pipelined_buffer(&mut gpu, &inst.region, &builder).expect("buffer");
+            rows.push(Fig7Row {
+                bench: Fig7Bench::Stencil,
+                streams: ns,
+                pipelined: p.total,
+                buffer: b.total,
+            });
+        }
+    }
+    rows
+}
+
+/// The paper's x-axis.
+pub fn paper_streams() -> Vec<usize> {
+    (2..=8).collect()
+}
+
+/// Print the sweep.
+pub fn print(rows: &[Fig7Row]) {
+    println!(
+        "{:<8} {:>8} {:>13} {:>17}",
+        "bench", "streams", "Pipelined", "Pipelined-buffer"
+    );
+    for r in rows {
+        println!(
+            "{:<8} {:>8} {:>13} {:>17}",
+            r.bench.name(),
+            r.streams,
+            r.pipelined.to_string(),
+            r.buffer.to_string()
+        );
+    }
+}
+
+/// Rows of one benchmark, ordered by stream count.
+pub fn series(rows: &[Fig7Row], bench: Fig7Bench) -> Vec<&Fig7Row> {
+    let mut v: Vec<&Fig7Row> = rows.iter().filter(|r| r.bench == bench).collect();
+    v.sort_by_key(|r| r.streams);
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_sensitivity_matches_paper() {
+        let rows = run(&paper_streams());
+        for bench in [Fig7Bench::Conv3d, Fig7Bench::Stencil] {
+            let s = series(&rows, bench);
+            let p2 = s[0].pipelined.as_secs_f64();
+            let p8 = s.last().unwrap().pipelined.as_secs_f64();
+            // Pipelined degrades dramatically with stream count.
+            assert!(
+                p8 > 1.3 * p2,
+                "{}: pipelined flat ({p2} → {p8})",
+                bench.name()
+            );
+            // Pipelined-buffer stays stable (within 15 % across sweep).
+            let bmin = s
+                .iter()
+                .map(|r| r.buffer.as_secs_f64())
+                .fold(f64::INFINITY, f64::min);
+            let bmax = s
+                .iter()
+                .map(|r| r.buffer.as_secs_f64())
+                .fold(0.0, f64::max);
+            assert!(
+                bmax < 1.15 * bmin,
+                "{}: buffer not stable ({bmin} → {bmax})",
+                bench.name()
+            );
+            // At two streams the hand pipeline wins; by eight streams the
+            // buffer version is faster (the crossover of Figure 7).
+            assert!(
+                s[0].pipelined <= s[0].buffer,
+                "{}: expected pipelined best at 2 streams",
+                bench.name()
+            );
+            assert!(
+                s.last().unwrap().buffer < s.last().unwrap().pipelined,
+                "{}: expected buffer faster at 8 streams",
+                bench.name()
+            );
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! Forward-looking study (no paper counterpart; motivated by §VII's
+//! "test and analyze our approach on other systems"): re-run the
+//! Figure 5 comparison on a Pascal-generation (P100-like) profile.
+//!
+//! Expectation: faster device memory shrinks kernel time more than PCIe
+//! bandwidth grows, so the *transfer share rises* and pipelining matters
+//! **more** on newer hardware — while larger device memory postpones
+//! (but does not remove) the out-of-memory motivation for the ring
+//! buffer.
+
+use gpsim::{DeviceProfile, ExecMode, Gpu};
+use pipeline_apps::{Conv3dConfig, QcdConfig, StencilConfig};
+use pipeline_rt::{run_naive, run_pipelined_buffer};
+
+/// One benchmark's K40m-vs-P100 comparison.
+#[derive(Debug, Clone)]
+pub struct FutureRow {
+    /// Benchmark label.
+    pub name: &'static str,
+    /// Pipelined-buffer speedup over naive on the K40m profile.
+    pub speedup_k40m: f64,
+    /// The same on the P100 profile.
+    pub speedup_p100: f64,
+    /// Naive transfer share on the K40m.
+    pub transfer_share_k40m: f64,
+    /// Naive transfer share on the P100.
+    pub transfer_share_p100: f64,
+}
+
+fn run_on(profile: DeviceProfile, name: &'static str) -> (f64, f64) {
+    let mut gpu = Gpu::new(profile, ExecMode::Timing).expect("context");
+    let (naive, buffer) = match name {
+        "3dconv" => {
+            let cfg = Conv3dConfig::polybench_default();
+            let inst = cfg.setup(&mut gpu).expect("setup");
+            let b = cfg.builder();
+            (
+                run_naive(&mut gpu, &inst.region, &b).expect("naive"),
+                run_pipelined_buffer(&mut gpu, &inst.region, &b).expect("buffer"),
+            )
+        }
+        "stencil" => {
+            let cfg = StencilConfig::parboil_default();
+            let inst = cfg.setup(&mut gpu).expect("setup");
+            let b = cfg.builder();
+            (
+                run_naive(&mut gpu, &inst.region, &b).expect("naive"),
+                run_pipelined_buffer(&mut gpu, &inst.region, &b).expect("buffer"),
+            )
+        }
+        _ => {
+            let cfg = QcdConfig::paper_size(24);
+            let inst = cfg.setup(&mut gpu).expect("setup");
+            let b = cfg.builder();
+            (
+                run_naive(&mut gpu, &inst.region, &b).expect("naive"),
+                run_pipelined_buffer(&mut gpu, &inst.region, &b).expect("buffer"),
+            )
+        }
+    };
+    (buffer.speedup_over(&naive), naive.transfer_fraction())
+}
+
+/// Run the comparison for all three transfer-bound benchmarks.
+pub fn run() -> Vec<FutureRow> {
+    ["3dconv", "stencil", "qcd-medium"]
+        .into_iter()
+        .map(|name| {
+            let (speedup_k40m, transfer_share_k40m) = run_on(DeviceProfile::k40m(), name);
+            let (speedup_p100, transfer_share_p100) = run_on(DeviceProfile::p100(), name);
+            FutureRow {
+                name,
+                speedup_k40m,
+                speedup_p100,
+                transfer_share_k40m,
+                transfer_share_p100,
+            }
+        })
+        .collect()
+}
+
+/// Print the comparison table.
+pub fn print(rows: &[FutureRow]) {
+    println!(
+        "{:<12} {:>14} {:>14} {:>16} {:>16}",
+        "benchmark", "speedup K40m", "speedup P100", "xfer share K40m", "xfer share P100"
+    );
+    for r in rows {
+        println!(
+            "{:<12} {:>13.2}x {:>13.2}x {:>15.0}% {:>15.0}%",
+            r.name,
+            r.speedup_k40m,
+            r.speedup_p100,
+            100.0 * r.transfer_share_k40m,
+            100.0 * r.transfer_share_p100
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pipelining_matters_at_least_as_much_on_pascal() {
+        for r in run() {
+            // Transfer share grows (kernels speed up more than PCIe).
+            assert!(
+                r.transfer_share_p100 >= r.transfer_share_k40m - 0.02,
+                "{}: share {} -> {}",
+                r.name,
+                r.transfer_share_k40m,
+                r.transfer_share_p100
+            );
+            // And the buffered pipeline keeps winning.
+            assert!(
+                r.speedup_p100 > 1.3,
+                "{}: P100 speedup {}",
+                r.name,
+                r.speedup_p100
+            );
+        }
+    }
+}

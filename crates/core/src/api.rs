@@ -1,0 +1,435 @@
+//! High-level builder API: the ergonomic front door for applications.
+//!
+//! [`Pipeline`] ties the pieces together — parseable directive text or a
+//! typed spec, named host-array bindings, a loop range, and a kernel —
+//! and runs under any execution model:
+//!
+//! ```
+//! use gpsim::{DeviceProfile, ExecMode, Gpu, KernelCost, KernelLaunch};
+//! use pipeline_rt::{ExecModel, Pipeline};
+//!
+//! let mut gpu = Gpu::new(DeviceProfile::k40m(), ExecMode::Functional).unwrap();
+//! let data = gpu.alloc_host(32 * 64, true).unwrap();
+//! gpu.host_fill(data, |i| i as f32).unwrap();
+//!
+//! let report = Pipeline::new()
+//!     .map_tofrom("data", 32, 64)          // 32 slices of 64 elements
+//!     .schedule_static(4, 2)
+//!     .bind("data", data)
+//!     .for_range(0, 32)
+//!     .kernel(|ctx| {
+//!         let (k0, k1) = (ctx.k0, ctx.k1);
+//!         let v = ctx.view(0);
+//!         KernelLaunch::new("double", KernelCost::default(), move |kc| {
+//!             for k in k0..k1 {
+//!                 let mut d = kc.write(v.slice_ptr(k), 64)?;
+//!                 for x in d.iter_mut() { *x *= 2.0; }
+//!             }
+//!             Ok(())
+//!         })
+//!     })
+//!     .run(&mut gpu, ExecModel::PipelinedBuffer)
+//!     .unwrap();
+//! assert!(report.total > gpsim::SimTime::ZERO);
+//! ```
+
+use std::collections::HashMap;
+
+use gpsim::{Gpu, HostBufId, KernelLaunch};
+
+use crate::buffer::run_pipelined_buffer;
+use crate::error::{RtError, RtResult};
+use crate::exec::{run_naive, run_pipelined, Region};
+use crate::report::{ExecModel, RunReport};
+use crate::spec::{Affine, MapDir, MapSpec, RegionSpec, Schedule, SplitSpec};
+use crate::view::ChunkCtx;
+
+type BoxedBuilder<'a> = Box<dyn Fn(&ChunkCtx) -> KernelLaunch + 'a>;
+
+/// Fluent builder over [`RegionSpec`] + bindings + kernel.
+#[derive(Default)]
+pub struct Pipeline<'a> {
+    spec: Option<RegionSpec>,
+    maps: Vec<MapSpec>,
+    schedule: Option<Schedule>,
+    mem_limit: Option<u64>,
+    bindings: HashMap<String, HostBufId>,
+    range: Option<(i64, i64)>,
+    kernel: Option<BoxedBuilder<'a>>,
+}
+
+impl<'a> Pipeline<'a> {
+    /// Start an empty pipeline.
+    pub fn new() -> Self {
+        Pipeline::default()
+    }
+
+    /// Use a fully formed spec (e.g. from `pipeline-directive`); any
+    /// `map_*`/`schedule_*` calls are then rejected at `run`.
+    #[must_use]
+    pub fn with_spec(mut self, spec: RegionSpec) -> Self {
+        self.spec = Some(spec);
+        self
+    }
+
+    fn push_simple_map(&mut self, name: &str, dir: MapDir, extent: usize, slice_elems: usize) {
+        self.maps.push(MapSpec {
+            name: name.to_string(),
+            dir,
+            split: SplitSpec::OneD {
+                offset: Affine::IDENTITY,
+                window: 1,
+                extent,
+                slice_elems,
+            },
+        });
+    }
+
+    /// Add an input array split into `extent` slices of `slice_elems`,
+    /// window `[k:1]`.
+    #[must_use]
+    pub fn map_to(mut self, name: &str, extent: usize, slice_elems: usize) -> Self {
+        self.push_simple_map(name, MapDir::To, extent, slice_elems);
+        self
+    }
+
+    /// Add an output array (window `[k:1]`).
+    #[must_use]
+    pub fn map_from(mut self, name: &str, extent: usize, slice_elems: usize) -> Self {
+        self.push_simple_map(name, MapDir::From, extent, slice_elems);
+        self
+    }
+
+    /// Add an in/out array (window `[k:1]`).
+    #[must_use]
+    pub fn map_tofrom(mut self, name: &str, extent: usize, slice_elems: usize) -> Self {
+        self.push_simple_map(name, MapDir::ToFrom, extent, slice_elems);
+        self
+    }
+
+    /// Add an input array with an explicit affine window
+    /// `[scale·k+bias : window]` (e.g. `(-1, 3)` for a stencil halo).
+    #[must_use]
+    pub fn map_to_windowed(
+        mut self,
+        name: &str,
+        extent: usize,
+        slice_elems: usize,
+        bias: i64,
+        window: usize,
+    ) -> Self {
+        self.maps.push(MapSpec {
+            name: name.to_string(),
+            dir: MapDir::To,
+            split: SplitSpec::OneD {
+                offset: Affine::shifted(bias),
+                window,
+                extent,
+                slice_elems,
+            },
+        });
+        self
+    }
+
+    /// Static schedule: `chunk` iterations per sub-task on `streams`
+    /// streams (the paper's `pipeline(static[chunk,streams])`).
+    #[must_use]
+    pub fn schedule_static(mut self, chunk: usize, streams: usize) -> Self {
+        self.schedule = Some(Schedule::static_(chunk, streams));
+        self
+    }
+
+    /// Adaptive schedule (`pipeline(adaptive)`).
+    #[must_use]
+    pub fn schedule_adaptive(mut self) -> Self {
+        self.schedule = Some(Schedule::Adaptive);
+        self
+    }
+
+    /// Device-memory ceiling in bytes (`pipeline_mem_limit`).
+    #[must_use]
+    pub fn mem_limit(mut self, bytes: u64) -> Self {
+        self.mem_limit = Some(bytes);
+        self
+    }
+
+    /// Bind a named array to a host buffer.
+    #[must_use]
+    pub fn bind(mut self, name: &str, buf: HostBufId) -> Self {
+        self.bindings.insert(name.to_string(), buf);
+        self
+    }
+
+    /// The loop range `[lo, hi)`.
+    #[must_use]
+    pub fn for_range(mut self, lo: i64, hi: i64) -> Self {
+        self.range = Some((lo, hi));
+        self
+    }
+
+    /// The chunk-kernel factory.
+    #[must_use]
+    pub fn kernel(mut self, f: impl Fn(&ChunkCtx) -> KernelLaunch + 'a) -> Self {
+        self.kernel = Some(Box::new(f));
+        self
+    }
+
+    /// Assemble the bound [`Region`] (exposed for advanced callers that
+    /// want the §VII drivers, e.g. multi-device or custom windows).
+    pub fn build_region(&self) -> RtResult<Region> {
+        let spec = match (&self.spec, self.maps.is_empty()) {
+            (Some(_), false) => {
+                return Err(RtError::Spec(
+                    "with_spec() cannot be combined with map_*() calls".into(),
+                ));
+            }
+            (Some(s), true) => {
+                let mut s = s.clone();
+                if let Some(sched) = self.schedule {
+                    s.schedule = sched;
+                }
+                if self.mem_limit.is_some() {
+                    s.mem_limit = self.mem_limit;
+                }
+                s
+            }
+            (None, false) => {
+                let sched = self
+                    .schedule
+                    .ok_or_else(|| RtError::Spec("missing schedule_*() call".into()))?;
+                let mut s = RegionSpec::new(sched);
+                s.maps = self.maps.clone();
+                s.mem_limit = self.mem_limit;
+                s
+            }
+            (None, true) => {
+                return Err(RtError::Spec("pipeline has no maps".into()));
+            }
+        };
+        let (lo, hi) = self
+            .range
+            .ok_or_else(|| RtError::Spec("missing for_range() call".into()))?;
+        let mut arrays = Vec::with_capacity(spec.maps.len());
+        for m in &spec.maps {
+            let buf = self.bindings.get(&m.name).ok_or_else(|| {
+                RtError::Spec(format!("array '{}' was never bound", m.name))
+            })?;
+            arrays.push(*buf);
+        }
+        Ok(Region::new(spec, lo, hi, arrays))
+    }
+
+    /// Run under the given execution model.
+    pub fn run(&self, gpu: &mut Gpu, model: ExecModel) -> RtResult<RunReport> {
+        let region = self.build_region()?;
+        let kernel = self
+            .kernel
+            .as_ref()
+            .ok_or_else(|| RtError::Spec("missing kernel() call".into()))?;
+        match model {
+            ExecModel::Naive => run_naive(gpu, &region, kernel),
+            ExecModel::Pipelined => run_pipelined(gpu, &region, kernel),
+            ExecModel::PipelinedBuffer => run_pipelined_buffer(gpu, &region, kernel),
+        }
+    }
+
+    /// Run all three models and return `(naive, pipelined, buffer)` —
+    /// the paper's comparison matrix in one call.
+    pub fn run_all(&self, gpu: &mut Gpu) -> RtResult<(RunReport, RunReport, RunReport)> {
+        Ok((
+            self.run(gpu, ExecModel::Naive)?,
+            self.run(gpu, ExecModel::Pipelined)?,
+            self.run(gpu, ExecModel::PipelinedBuffer)?,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpsim::{DeviceProfile, ExecMode, KernelCost};
+
+    fn gpu() -> Gpu {
+        Gpu::new(DeviceProfile::k40m(), ExecMode::Functional).unwrap()
+    }
+
+    fn doubler<'a>() -> impl Fn(&ChunkCtx) -> KernelLaunch + 'a {
+        |ctx: &ChunkCtx| {
+            let (k0, k1) = (ctx.k0, ctx.k1);
+            let v = ctx.view(0);
+            KernelLaunch::new("double", KernelCost::default(), move |kc| {
+                for k in k0..k1 {
+                    let mut d = kc.write(v.slice_ptr(k), 16)?;
+                    for x in d.iter_mut() {
+                        *x *= 2.0;
+                    }
+                }
+                Ok(())
+            })
+        }
+    }
+
+    #[test]
+    fn builder_runs_all_models() {
+        let mut g = gpu();
+        let data = g.alloc_host(8 * 16, true).unwrap();
+        g.host_fill(data, |i| i as f32).unwrap();
+        let p = Pipeline::new()
+            .map_tofrom("data", 8, 16)
+            .schedule_static(2, 2)
+            .bind("data", data)
+            .for_range(0, 8)
+            .kernel(doubler());
+        let (naive, pipe, buf) = p.run_all(&mut g).unwrap();
+        assert_eq!(naive.model, ExecModel::Naive);
+        assert_eq!(pipe.model, ExecModel::Pipelined);
+        assert_eq!(buf.model, ExecModel::PipelinedBuffer);
+        // Three runs of ×2 → ×8.
+        let mut out = vec![0.0; 4];
+        g.host_read(data, 0, &mut out).unwrap();
+        assert_eq!(out, [0.0, 8.0, 16.0, 24.0]);
+    }
+
+    #[test]
+    fn builder_reports_missing_pieces() {
+        let mut g = gpu();
+        let data = g.alloc_host(128, true).unwrap();
+
+        let e = Pipeline::new().run(&mut g, ExecModel::Naive).unwrap_err();
+        assert!(e.to_string().contains("no maps"), "{e}");
+
+        let e = Pipeline::new()
+            .map_to("a", 8, 16)
+            .bind("a", data)
+            .for_range(0, 8)
+            .kernel(doubler())
+            .run(&mut g, ExecModel::Naive)
+            .unwrap_err();
+        assert!(e.to_string().contains("schedule"), "{e}");
+
+        let e = Pipeline::new()
+            .map_to("a", 8, 16)
+            .schedule_static(1, 1)
+            .for_range(0, 8)
+            .kernel(doubler())
+            .run(&mut g, ExecModel::Naive)
+            .unwrap_err();
+        assert!(e.to_string().contains("never bound"), "{e}");
+
+        let e = Pipeline::new()
+            .map_to("a", 8, 16)
+            .schedule_static(1, 1)
+            .bind("a", data)
+            .kernel(doubler())
+            .run(&mut g, ExecModel::Naive)
+            .unwrap_err();
+        assert!(e.to_string().contains("for_range"), "{e}");
+
+        let e = Pipeline::new()
+            .map_to("a", 8, 16)
+            .schedule_static(1, 1)
+            .bind("a", data)
+            .for_range(0, 8)
+            .run(&mut g, ExecModel::Naive)
+            .unwrap_err();
+        assert!(e.to_string().contains("kernel"), "{e}");
+    }
+
+    #[test]
+    fn builder_accepts_directive_specs() {
+        let mut g = gpu();
+        let data = g.alloc_host(8 * 16, true).unwrap();
+        g.host_fill(data, |i| i as f32).unwrap();
+        let spec = RegionSpec::new(Schedule::static_(1, 2)).with_map(MapSpec {
+            name: "data".into(),
+            dir: MapDir::ToFrom,
+            split: SplitSpec::OneD {
+                offset: Affine::IDENTITY,
+                window: 1,
+                extent: 8,
+                slice_elems: 16,
+            },
+        });
+        let rep = Pipeline::new()
+            .with_spec(spec)
+            .bind("data", data)
+            .for_range(0, 8)
+            .kernel(doubler())
+            .run(&mut g, ExecModel::PipelinedBuffer)
+            .unwrap();
+        assert_eq!(rep.chunks, 8);
+
+        // Mixing with_spec and map_* is rejected.
+        let spec2 = RegionSpec::new(Schedule::static_(1, 1));
+        let e = Pipeline::new()
+            .with_spec(spec2)
+            .map_to("x", 4, 4)
+            .build_region()
+            .unwrap_err();
+        assert!(e.to_string().contains("cannot be combined"), "{e}");
+    }
+
+    #[test]
+    fn builder_overrides_schedule_and_limit_on_spec() {
+        let mut g = gpu();
+        let data = g.alloc_host(8 * 16, true).unwrap();
+        let spec = RegionSpec::new(Schedule::static_(1, 1)).with_map(MapSpec {
+            name: "data".into(),
+            dir: MapDir::ToFrom,
+            split: SplitSpec::OneD {
+                offset: Affine::IDENTITY,
+                window: 1,
+                extent: 8,
+                slice_elems: 16,
+            },
+        });
+        let region = Pipeline::new()
+            .with_spec(spec)
+            .schedule_static(4, 3)
+            .mem_limit(1 << 20)
+            .bind("data", data)
+            .for_range(0, 8)
+            .build_region()
+            .unwrap();
+        assert_eq!(region.spec.schedule, Schedule::static_(4, 3));
+        assert_eq!(region.spec.mem_limit, Some(1 << 20));
+    }
+
+    #[test]
+    fn stencil_window_through_builder() {
+        let mut g = gpu();
+        let src = g.alloc_host(10 * 4, true).unwrap();
+        let dst = g.alloc_host(10 * 4, true).unwrap();
+        g.host_fill(src, |i| i as f32).unwrap();
+        let rep = Pipeline::new()
+            .map_to_windowed("src", 10, 4, -1, 3)
+            .map_from("dst", 10, 4)
+            .schedule_static(1, 2)
+            .bind("src", src)
+            .bind("dst", dst)
+            .for_range(1, 9)
+            .kernel(|ctx| {
+                let (k0, k1) = (ctx.k0, ctx.k1);
+                let (vi, vo) = (ctx.view(0), ctx.view(1));
+                KernelLaunch::new("sum3", KernelCost::default(), move |kc| {
+                    for k in k0..k1 {
+                        let a = kc.read(vi.slice_ptr(k - 1), 4)?;
+                        let b = kc.read(vi.slice_ptr(k), 4)?;
+                        let c = kc.read(vi.slice_ptr(k + 1), 4)?;
+                        let mut o = kc.write(vo.slice_ptr(k), 4)?;
+                        for i in 0..4 {
+                            o[i] = a[i] + b[i] + c[i];
+                        }
+                    }
+                    Ok(())
+                })
+            })
+            .run(&mut g, ExecModel::PipelinedBuffer)
+            .unwrap();
+        assert_eq!(rep.chunks, 8);
+        let mut out = vec![0.0; 4];
+        g.host_read(dst, 4, &mut out).unwrap();
+        // dst[1][i] = src[0][i] + src[1][i] + src[2][i] = i + (i+4) + (i+8)
+        assert_eq!(out, [12.0, 15.0, 18.0, 21.0]);
+    }
+}

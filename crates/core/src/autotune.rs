@@ -1,0 +1,253 @@
+//! Auto-tuning scheduler — the paper's §VII outlook ("integrate a
+//! performance model in an autotuning scheduler").
+//!
+//! The performance model *is* the device simulator: candidate
+//! `(chunk_size, num_streams)` schedules are executed against a
+//! timing-mode twin of the caller's context (phantom data, cost model
+//! only), and the best-performing schedule is returned. Tuning therefore
+//! never touches the caller's data and costs only simulated enqueues.
+
+use gpsim::{Gpu, HostPool, SimTime};
+
+use crate::buffer::run_pipelined_buffer;
+use crate::error::{RtError, RtResult};
+use crate::exec::{KernelBuilder, Region};
+use crate::report::RunReport;
+use crate::spec::Schedule;
+
+/// The candidate grid explored by [`autotune`].
+#[derive(Debug, Clone)]
+pub struct TuneSpace {
+    /// Candidate chunk sizes.
+    pub chunks: Vec<usize>,
+    /// Candidate stream counts.
+    pub streams: Vec<usize>,
+}
+
+impl Default for TuneSpace {
+    /// Powers of two up to 64 iterations per chunk × 1–5 streams — a
+    /// superset of every configuration the paper explores in Figures 4,
+    /// 7 and 8.
+    fn default() -> Self {
+        TuneSpace {
+            chunks: vec![1, 2, 4, 8, 16, 32, 64],
+            streams: vec![1, 2, 3, 4, 5],
+        }
+    }
+}
+
+/// One tuning trial.
+#[derive(Debug, Clone, Copy)]
+pub struct Trial {
+    /// Chunk size tried.
+    pub chunk: usize,
+    /// Stream count tried.
+    pub streams: usize,
+    /// Simulated region time (`None` if the configuration failed, e.g.
+    /// exceeded the memory limit).
+    pub time: Option<SimTime>,
+}
+
+/// Result of a tuning sweep.
+#[derive(Debug, Clone)]
+pub struct TuneResult {
+    /// The winning schedule.
+    pub best: Schedule,
+    /// Its simulated region time.
+    pub best_time: SimTime,
+    /// Every trial, in sweep order.
+    pub trials: Vec<Trial>,
+}
+
+/// Sweep the tune space on a timing-mode twin of `gpu` and return the
+/// fastest schedule for this region (Pipelined-buffer model).
+pub fn autotune(
+    gpu: &Gpu,
+    region: &Region,
+    builder: &KernelBuilder<'_>,
+    space: &TuneSpace,
+) -> RtResult<TuneResult> {
+    if space.chunks.is_empty() || space.streams.is_empty() {
+        return Err(RtError::Spec("empty tuning space".into()));
+    }
+    region.validate_binding(gpu)?;
+
+    // Build the timing-mode twin: same device profile, phantom host
+    // arrays of the same sizes (allocation order preserves buffer ids).
+    let pool = HostPool::new(gpsim::ExecMode::Timing);
+    let mut twin = Gpu::with_host_pool(gpu.profile().clone(), pool)?;
+    let mut twin_arrays = Vec::with_capacity(region.arrays.len());
+    for &h in &region.arrays {
+        let len = gpu.host_len(h)?;
+        // Pinnedness affects transfer cost; preserve it in the twin.
+        let pinned = gpu.host_pinned(h)?;
+        twin_arrays.push(twin.alloc_host(len, pinned)?);
+    }
+    let twin_region = Region::new(region.spec.clone(), region.lo, region.hi, twin_arrays);
+
+    let mut trials = Vec::new();
+    let mut best: Option<(Schedule, SimTime)> = None;
+    for &chunk in &space.chunks {
+        for &streams in &space.streams {
+            let mut candidate = twin_region.clone();
+            candidate.spec.schedule = Schedule::static_(chunk, streams);
+            let time = match run_pipelined_buffer(&mut twin, &candidate, builder) {
+                Ok(rep) => {
+                    let t = rep.total;
+                    if best.is_none() || t < best.as_ref().unwrap().1 {
+                        best = Some((candidate.spec.schedule, t));
+                    }
+                    Some(t)
+                }
+                // Infeasible configurations (memory limit) are skipped.
+                Err(RtError::MemLimitInfeasible { .. }) => None,
+                Err(e) => return Err(e),
+            };
+            trials.push(Trial {
+                chunk,
+                streams,
+                time,
+            });
+        }
+    }
+    let (best, best_time) =
+        best.ok_or_else(|| RtError::Spec("no feasible schedule in tuning space".into()))?;
+    Ok(TuneResult {
+        best,
+        best_time,
+        trials,
+    })
+}
+
+/// Tune, then run the region with the winning schedule on the caller's
+/// context. Returns the tuning result alongside the real run's report.
+pub fn run_autotuned(
+    gpu: &mut Gpu,
+    region: &Region,
+    builder: &KernelBuilder<'_>,
+    space: &TuneSpace,
+) -> RtResult<(TuneResult, RunReport)> {
+    let tuned = autotune(gpu, region, builder, space)?;
+    let mut best_region = region.clone();
+    best_region.spec.schedule = tuned.best;
+    let report = run_pipelined_buffer(gpu, &best_region, builder)?;
+    Ok((tuned, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{Affine, MapDir, MapSpec, RegionSpec, SplitSpec};
+    use gpsim::{DeviceProfile, ExecMode, KernelCost, KernelLaunch};
+
+    const NZ: usize = 64;
+    const SLICE: usize = 1 << 18; // 1 MB slices
+
+    fn setup(profile: DeviceProfile) -> (Gpu, Region) {
+        let mut gpu = Gpu::new(profile, ExecMode::Timing).unwrap();
+        let input = gpu.alloc_host(NZ * SLICE, true).unwrap();
+        let output = gpu.alloc_host(NZ * SLICE, true).unwrap();
+        let spec = RegionSpec::new(Schedule::static_(1, 3))
+            .with_map(MapSpec {
+                name: "in".into(),
+                dir: MapDir::To,
+                split: SplitSpec::OneD {
+                    offset: Affine::shifted(-1),
+                    window: 3,
+                    extent: NZ,
+                    slice_elems: SLICE,
+                },
+            })
+            .with_map(MapSpec {
+                name: "out".into(),
+                dir: MapDir::From,
+                split: SplitSpec::OneD {
+                    offset: Affine::IDENTITY,
+                    window: 1,
+                    extent: NZ,
+                    slice_elems: SLICE,
+                },
+            });
+        let region = Region::new(spec, 1, (NZ - 1) as i64, vec![input, output]);
+        (gpu, region)
+    }
+
+    fn builder(ctx: &ChunkCtxAlias) -> KernelLaunch {
+        let n = (ctx.k1 - ctx.k0) as u64;
+        KernelLaunch::cost_only(
+            "probe",
+            KernelCost {
+                flops: n * SLICE as u64 * 8,
+                bytes: n * SLICE as u64 * 8,
+            },
+        )
+    }
+    type ChunkCtxAlias = crate::view::ChunkCtx;
+
+    #[test]
+    fn autotune_beats_the_worst_static_choice_on_amd() {
+        let (mut gpu, region) = setup(DeviceProfile::hd7970());
+        let tuned = autotune(&gpu, &region, &builder, &TuneSpace::default()).unwrap();
+        // On the AMD model, chunk size 1 is catastrophic (Figure 8); the
+        // tuner must pick a larger chunk.
+        match tuned.best {
+            Schedule::Static { chunk_size, .. } => {
+                assert!(chunk_size >= 8, "tuner picked chunk {chunk_size}")
+            }
+            other => panic!("{other:?}"),
+        }
+        // And the tuned run must beat the paper's default static[1,3].
+        let mut dflt = region.clone();
+        dflt.spec.schedule = Schedule::static_(1, 3);
+        let worst = run_pipelined_buffer(&mut gpu, &dflt, &builder).unwrap();
+        let (_, best) = run_autotuned(&mut gpu, &region, &builder, &TuneSpace::default()).unwrap();
+        assert!(
+            best.total.as_secs_f64() < 0.7 * worst.total.as_secs_f64(),
+            "tuned {} vs default {}",
+            best.total,
+            worst.total
+        );
+    }
+
+    #[test]
+    fn best_time_is_minimum_of_trials() {
+        let (gpu, region) = setup(DeviceProfile::k40m());
+        let tuned = autotune(&gpu, &region, &builder, &TuneSpace::default()).unwrap();
+        let min = tuned
+            .trials
+            .iter()
+            .filter_map(|t| t.time)
+            .min()
+            .unwrap();
+        assert_eq!(tuned.best_time, min);
+        assert_eq!(
+            tuned.trials.len(),
+            TuneSpace::default().chunks.len() * TuneSpace::default().streams.len()
+        );
+    }
+
+    #[test]
+    fn infeasible_configs_are_skipped_not_fatal() {
+        let (gpu, mut region) = setup(DeviceProfile::k40m());
+        // A limit only the smallest configurations can meet.
+        region.spec.mem_limit = Some(6 * SLICE as u64 * 4);
+        let tuned = autotune(&gpu, &region, &builder, &TuneSpace::default()).unwrap();
+        assert!(tuned.trials.iter().any(|t| t.time.is_some()));
+    }
+
+    #[test]
+    fn empty_space_is_an_error() {
+        let (gpu, region) = setup(DeviceProfile::k40m());
+        let err = autotune(
+            &gpu,
+            &region,
+            &builder,
+            &TuneSpace {
+                chunks: vec![],
+                streams: vec![1],
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, RtError::Spec(_)));
+    }
+}

@@ -1,0 +1,734 @@
+//! The **Pipelined-buffer** driver — the paper's contribution.
+//!
+//! Each mapped array gets a small pre-allocated device ring buffer of
+//! `slots` slices; slice `s` of the host array lives at ring slot
+//! `s % slots` ("we copy chunk *i* to position (*i* % 4)", paper §IV).
+//! The loop is divided into chunks dispatched round-robin over streams;
+//! per chunk the runtime:
+//!
+//! 1. copies the chunk's not-yet-resident input slices into their ring
+//!    slots (waiting, via events, for any still-running kernels that read
+//!    the slices being evicted — the write-after-read hazard of ring
+//!    reuse),
+//! 2. launches the kernel (waiting for H2D groups of *other* streams that
+//!    copied slices this chunk reuses, e.g. stencil halos — the
+//!    read-after-write hazard),
+//! 3. copies the chunk's output slices back to the host and records their
+//!    completion (so a later chunk reusing the slot can wait — the
+//!    write-after-write/D2H hazard).
+//!
+//! Residency tracking means shared halo slices are copied exactly once,
+//! like the paper's dependency calculation that "removes the data that
+//! only previous chunks require".
+
+use std::collections::HashMap;
+
+use gpsim::{Copy2D, EventId, Gpu, StreamId};
+
+use crate::error::RtResult;
+use crate::exec::{declare_accesses, KernelBuilder, Region};
+use crate::plan::{build_window_table, resolve_plan, resolve_plan_fn, Plan, WindowFn, WindowTable};
+use crate::report::{ExecModel, RunReport};
+use crate::spec::SplitSpec;
+use crate::view::{ArrayView, ChunkCtx};
+
+/// Ring bookkeeping for one mapped array.
+struct RingBook {
+    slots: usize,
+    /// slot → currently mapped slice.
+    mapped: Vec<Option<i64>>,
+    /// slice → chunk that copied it in (inputs).
+    copied_by: HashMap<i64, usize>,
+    /// slice → chunks whose kernels read it (inputs).
+    readers: HashMap<i64, Vec<usize>>,
+    /// slice → chunk that produced and drained it (outputs).
+    written_by: HashMap<i64, usize>,
+}
+
+impl RingBook {
+    fn new(slots: usize) -> Self {
+        RingBook {
+            slots,
+            mapped: vec![None; slots],
+            copied_by: HashMap::new(),
+            readers: HashMap::new(),
+            written_by: HashMap::new(),
+        }
+    }
+}
+
+/// Split the slice range `[lo, hi)` into ring-contiguous runs: a run ends
+/// when the ring wraps (slot returns to 0), so each run is one contiguous
+/// device range.
+fn slot_runs(lo: i64, hi: i64, slots: usize) -> Vec<(i64, usize)> {
+    let mut out = Vec::new();
+    let mut s = lo;
+    while s < hi {
+        let to_wrap = slots as i64 - s.rem_euclid(slots as i64);
+        let end = (s + to_wrap).min(hi);
+        out.push((s, (end - s) as usize));
+        s = end;
+    }
+    out
+}
+
+fn push_unique(waits: &mut Vec<EventId>, e: EventId) {
+    if !waits.contains(&e) {
+        waits.push(e);
+    }
+}
+
+/// How chunks are assigned to streams.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StreamAssignment {
+    /// Chunk `c` goes to stream `c % num_streams` (the paper's
+    /// prototype).
+    #[default]
+    RoundRobin,
+    /// Each chunk goes to the stream with the least estimated enqueued
+    /// work (transfer + roofline kernel time). Helps when chunk costs
+    /// vary — uneven tails, custom dependency windows.
+    LeastLoaded,
+}
+
+/// Ablation switches for the Pipelined-buffer driver (used by the
+/// `ablations` bench to quantify each design choice; defaults reproduce
+/// the paper's prototype).
+#[derive(Debug, Clone, Copy)]
+pub struct BufferOptions {
+    /// Track slice residency and skip re-copies of halo slices already on
+    /// the device. Off = every chunk copies its full window.
+    pub track_residency: bool,
+    /// Size each ring to the single-chunk minimum instead of covering all
+    /// in-flight chunks: lower memory, but write-after-read stalls
+    /// serialize the pipeline.
+    pub minimal_slots: bool,
+    /// Chunk-to-stream policy.
+    pub assignment: StreamAssignment,
+}
+
+impl Default for BufferOptions {
+    fn default() -> Self {
+        BufferOptions {
+            track_residency: true,
+            minimal_slots: false,
+            assignment: StreamAssignment::RoundRobin,
+        }
+    }
+}
+
+/// Estimate one chunk's device occupancy for the least-loaded policy:
+/// input-window and output transfer times plus the roofline kernel time.
+#[allow(clippy::too_many_arguments)]
+fn estimate_chunk_cost(
+    gpu: &Gpu,
+    region: &Region,
+    table: &WindowTable,
+    views: &[ArrayView],
+    builder: &KernelBuilder<'_>,
+    c: usize,
+    k0: i64,
+    k1: i64,
+) -> f64 {
+    let p = gpu.profile();
+    let mut t = 0.0;
+    for (i, m) in region.spec.maps.iter().enumerate() {
+        let (a, b) = table.ranges[i][c];
+        let bytes = (b - a) as u64 * m.split.slice_elems() as u64 * gpsim::ELEM_BYTES;
+        if m.dir.is_input() {
+            t += p.h2d_time(bytes, true).as_secs_f64();
+        }
+        if m.dir.is_output() {
+            t += p.d2h_time(bytes, true).as_secs_f64();
+        }
+    }
+    let probe = builder(&ChunkCtx {
+        k0,
+        k1,
+        views: views.to_vec(),
+    });
+    t + p.kernel_time(probe.cost.flops, probe.cost.bytes).as_secs_f64()
+}
+
+/// Resolve the chunk → stream map under the configured policy.
+fn assign_streams(
+    gpu: &Gpu,
+    region: &Region,
+    plan: &Plan,
+    table: &WindowTable,
+    views: &[ArrayView],
+    builder: &KernelBuilder<'_>,
+    policy: StreamAssignment,
+) -> Vec<usize> {
+    let ns = plan.num_streams;
+    match policy {
+        StreamAssignment::RoundRobin => (0..plan.chunks.len()).map(|c| c % ns).collect(),
+        StreamAssignment::LeastLoaded => {
+            let mut loads = vec![0.0f64; ns];
+            let mut out = Vec::with_capacity(plan.chunks.len());
+            for (c, &(k0, k1)) in plan.chunks.iter().enumerate() {
+                let cost = estimate_chunk_cost(gpu, region, table, views, builder, c, k0, k1);
+                let (best, _) = loads
+                    .iter()
+                    .enumerate()
+                    .min_by(|a, b| a.1.total_cmp(b.1))
+                    .expect("ns >= 1");
+                loads[best] += cost;
+                out.push(best);
+            }
+            out
+        }
+    }
+}
+
+/// With a non-round-robin assignment, the chunks simultaneously in
+/// flight are the i-th entries of each stream's queue (streams advance
+/// roughly in lockstep rounds, skewed by load) — widen each ring to
+/// cover the dependency span of every round and its successor.
+fn widen_rings_for_assignment(
+    region: &Region,
+    plan: &mut Plan,
+    table: &WindowTable,
+    chunk_stream: &[usize],
+) {
+    let ns = plan.num_streams;
+    let mut per_stream: Vec<Vec<usize>> = vec![Vec::new(); ns];
+    for (c, &s) in chunk_stream.iter().enumerate() {
+        per_stream[s].push(c);
+    }
+    let rounds = per_stream.iter().map(Vec::len).max().unwrap_or(0);
+    for (i, m) in region.spec.maps.iter().enumerate() {
+        let mut worst = plan.ring_slots[i] as i64;
+        for r in 0..rounds {
+            // Chunks live during rounds r and r+1 across all streams.
+            let mut a_min = i64::MAX;
+            let mut b_max = i64::MIN;
+            for q in per_stream.iter() {
+                for rr in [r, r + 1] {
+                    if let Some(&c) = q.get(rr) {
+                        let (a, b) = table.ranges[i][c];
+                        a_min = a_min.min(a);
+                        b_max = b_max.max(b);
+                    }
+                }
+            }
+            if a_min < b_max {
+                worst = worst.max(b_max - a_min);
+            }
+        }
+        plan.ring_slots[i] = (worst as usize).min(m.split.extent());
+    }
+    plan.buffer_bytes = region
+        .spec
+        .maps
+        .iter()
+        .zip(&plan.ring_slots)
+        .map(|(m, &s)| crate::plan::map_buffer_bytes(&m.split, s))
+        .sum();
+}
+
+/// Run a region under the **Pipelined-buffer** model (see module docs).
+///
+/// Respects `pipeline_mem_limit` by shrinking the schedule (see
+/// [`resolve_plan`]); honours static and adaptive schedules; inflates the
+/// kernel cost by the region's `index_overhead` to account for the
+/// runtime's mod-index translation inside kernels (paper §V-D).
+///
+/// Resets the context's activity counters.
+pub fn run_pipelined_buffer(
+    gpu: &mut Gpu,
+    region: &Region,
+    builder: &KernelBuilder<'_>,
+) -> RtResult<RunReport> {
+    run_pipelined_buffer_with(gpu, region, builder, &BufferOptions::default())
+}
+
+/// [`run_pipelined_buffer`] with explicit ablation options.
+pub fn run_pipelined_buffer_with(
+    gpu: &mut Gpu,
+    region: &Region,
+    builder: &KernelBuilder<'_>,
+    opts: &BufferOptions,
+) -> RtResult<RunReport> {
+    region.validate(gpu)?;
+    let mut plan = resolve_plan(&region.spec, gpu.profile(), region.lo, region.hi)?;
+    if opts.minimal_slots {
+        plan.ring_slots = region
+            .spec
+            .maps
+            .iter()
+            .map(|m| crate::plan::ring_slots_min(&m.split, plan.chunk_size))
+            .collect();
+        plan.buffer_bytes = region
+            .spec
+            .maps
+            .iter()
+            .zip(&plan.ring_slots)
+            .map(|(m, &s)| crate::plan::map_buffer_bytes(&m.split, s))
+            .sum();
+    }
+    let table = build_window_table(&region.spec, &plan.chunks, &[])?;
+    run_buffer_inner(gpu, region, builder, opts, plan, &table)
+}
+
+/// Run a region with **explicit dependency functions** — the paper's
+/// §VII "function-based extension that allows the developer to pass in a
+/// function pointer" for dependencies the affine clause syntax cannot
+/// express. `windows[i]`, when present, overrides map `i`'s affine
+/// window: given a chunk `[k0, k1)` it returns the slice range `[a, b)`
+/// that must be resident. Ring capacities are derived from the actual
+/// per-chunk table.
+pub fn run_pipelined_buffer_fn(
+    gpu: &mut Gpu,
+    region: &Region,
+    builder: &KernelBuilder<'_>,
+    windows: &[Option<&WindowFn<'_>>],
+) -> RtResult<RunReport> {
+    region.validate_binding(gpu)?;
+    let (plan, table) = resolve_plan_fn(
+        &region.spec,
+        gpu.profile(),
+        region.lo,
+        region.hi,
+        windows,
+    )?;
+    run_buffer_inner(
+        gpu,
+        region,
+        builder,
+        &BufferOptions::default(),
+        plan,
+        &table,
+    )
+}
+
+fn run_buffer_inner(
+    gpu: &mut Gpu,
+    region: &Region,
+    builder: &KernelBuilder<'_>,
+    opts: &BufferOptions,
+    mut plan: Plan,
+    table: &WindowTable,
+) -> RtResult<RunReport> {
+    gpu.reset_counters();
+    let t0 = gpu.now();
+
+    // --- Resolve the chunk → stream assignment -------------------------
+    // Done before ring allocation because non-round-robin assignments
+    // widen the set of simultaneously in-flight chunks, and the rings
+    // must cover it or write-after-read stalls serialize the pipeline.
+    let chunk_stream = if opts.assignment == StreamAssignment::RoundRobin {
+        (0..plan.chunks.len())
+            .map(|c| c % plan.num_streams)
+            .collect::<Vec<_>>()
+    } else {
+        // Probe views over a placeholder allocation: builders may consult
+        // views to compute costs, but probe kernels are never executed.
+        let probe = gpu.alloc(1)?;
+        let probe_views: Vec<ArrayView> = region
+            .spec
+            .maps
+            .iter()
+            .map(|m| match &m.split {
+                SplitSpec::OneD { slice_elems, .. } => {
+                    ArrayView::ring_1d(probe, *slice_elems, 1)
+                }
+                SplitSpec::ColBlocks {
+                    rows, block_cols, ..
+                } => ArrayView::ring_2d(probe, *block_cols, *block_cols, *rows, 1),
+            })
+            .collect();
+        let assignment = assign_streams(
+            gpu,
+            region,
+            &plan,
+            table,
+            &probe_views,
+            builder,
+            opts.assignment,
+        );
+        gpu.free(probe)?;
+        assignment
+    };
+    if opts.assignment != StreamAssignment::RoundRobin {
+        widen_rings_for_assignment(region, &mut plan, table, &chunk_stream);
+    }
+
+    // --- Allocate ring buffers and build ring views --------------------
+    let n_maps = region.spec.maps.len();
+    let mut views: Vec<ArrayView> = Vec::with_capacity(n_maps);
+    let mut books = Vec::with_capacity(n_maps);
+    for (m, &slots) in region.spec.maps.iter().zip(&plan.ring_slots) {
+        let alloc = match &m.split {
+            SplitSpec::OneD { slice_elems, .. } => gpu
+                .alloc(slots * slice_elems)
+                .map(|ptr| ArrayView::ring_1d(ptr, *slice_elems, slots)),
+            SplitSpec::ColBlocks {
+                rows, block_cols, ..
+            } => gpu
+                .alloc_pitched(*rows, slots * block_cols)
+                .map(|(ptr, pitch)| ArrayView::ring_2d(ptr, pitch, *block_cols, *rows, slots)),
+        };
+        match alloc {
+            Ok(v) => views.push(v),
+            Err(e) => {
+                // Roll back partial ring allocations on failure.
+                for v in &views {
+                    let _ = gpu.free(v.base());
+                }
+                return Err(e.into());
+            }
+        }
+        books.push(RingBook::new(slots));
+    }
+
+    let streams: Vec<StreamId> = match (0..plan.num_streams)
+        .map(|_| gpu.create_stream())
+        .collect::<Result<Vec<_>, _>>()
+    {
+        Ok(s) => s,
+        Err(e) => {
+            for v in &views {
+                let _ = gpu.free(v.base());
+            }
+            return Err(e.into());
+        }
+    };
+    let gpu_mem = gpu.current_mem();
+
+    let n_chunks = plan.chunks.len();
+    let mut h2d_ev: Vec<Option<EventId>> = vec![None; n_chunks];
+    let mut kernel_ev: Vec<Option<EventId>> = vec![None; n_chunks];
+    let mut d2h_ev: Vec<Option<EventId>> = vec![None; n_chunks];
+
+    for (c, &(k0, k1)) in plan.chunks.iter().enumerate() {
+        let s = streams[chunk_stream[c]];
+        let same_stream = |other: usize| chunk_stream[other] == chunk_stream[c];
+
+        // ---- Pass 1: classify slices, collect hazards ------------------
+        // (map index, run start slice, run length)
+        let mut copy_runs: Vec<(usize, i64, usize)> = Vec::new();
+        let mut copy_waits: Vec<EventId> = Vec::new();
+        let mut kernel_waits: Vec<EventId> = Vec::new();
+
+        for (i, m) in region.spec.maps.iter().enumerate() {
+            if !m.dir.is_input() {
+                continue;
+            }
+            let (a, b) = table.ranges[i][c];
+            let book = &mut books[i];
+            let mut missing: Vec<i64> = Vec::new();
+            for sl in a..b {
+                match book.copied_by.get(&sl).filter(|_| opts.track_residency) {
+                    Some(&owner) => {
+                        // RAW across streams: wait for the copier's group.
+                        if owner != c && !same_stream(owner) {
+                            if let Some(e) = h2d_ev[owner] {
+                                push_unique(&mut kernel_waits, e);
+                            }
+                        }
+                    }
+                    None => missing.push(sl),
+                }
+            }
+            // Evictions: overwriting a slot whose old slice may still be
+            // in use by another stream's kernel (WAR) or pending D2H.
+            for &sl in &missing {
+                let slot = sl.rem_euclid(book.slots as i64) as usize;
+                if let Some(old) = book.mapped[slot] {
+                    if let Some(rs) = book.readers.remove(&old) {
+                        for r in rs {
+                            if !same_stream(r) {
+                                if let Some(e) = kernel_ev[r] {
+                                    push_unique(&mut copy_waits, e);
+                                }
+                            }
+                        }
+                    }
+                    if let Some(w) = book.written_by.remove(&old) {
+                        if !same_stream(w) {
+                            if let Some(e) = d2h_ev[w] {
+                                push_unique(&mut copy_waits, e);
+                            }
+                        }
+                    }
+                    book.copied_by.remove(&old);
+                }
+                book.mapped[slot] = Some(sl);
+                book.copied_by.insert(sl, c);
+            }
+            // Group missing slices into consecutive runs (affine windows
+            // produce one run; custom window functions may leave gaps),
+            // then split each run at ring-wrap boundaries.
+            let mut run_start: Option<i64> = None;
+            let mut prev = 0i64;
+            for &sl in &missing {
+                match run_start {
+                    Some(_) if sl == prev + 1 => {}
+                    Some(st) => {
+                        for (start, len) in slot_runs(st, prev + 1, book.slots) {
+                            copy_runs.push((i, start, len));
+                        }
+                        run_start = Some(sl);
+                    }
+                    None => run_start = Some(sl),
+                }
+                prev = sl;
+            }
+            if let Some(st) = run_start {
+                for (start, len) in slot_runs(st, prev + 1, book.slots) {
+                    copy_runs.push((i, start, len));
+                }
+            }
+            // This chunk reads all its needed slices.
+            for sl in a..b {
+                book.readers.entry(sl).or_default().push(c);
+            }
+        }
+
+        // Output slots: kernel writes them, so the previous occupant's
+        // D2H (and, for ToFrom, any readers) must be complete first.
+        for (i, m) in region.spec.maps.iter().enumerate() {
+            if !m.dir.is_output() {
+                continue;
+            }
+            let (a, b) = table.ranges[i][c];
+            let book = &mut books[i];
+            for sl in a..b {
+                let slot = sl.rem_euclid(book.slots as i64) as usize;
+                match book.mapped[slot] {
+                    Some(old) if old != sl => {
+                        if let Some(w) = book.written_by.remove(&old) {
+                            if !same_stream(w) {
+                                if let Some(e) = d2h_ev[w] {
+                                    push_unique(&mut kernel_waits, e);
+                                }
+                            }
+                        }
+                        if let Some(rs) = book.readers.remove(&old) {
+                            for r in rs {
+                                if !same_stream(r) {
+                                    if let Some(e) = kernel_ev[r] {
+                                        push_unique(&mut kernel_waits, e);
+                                    }
+                                }
+                            }
+                        }
+                        book.copied_by.remove(&old);
+                        book.mapped[slot] = Some(sl);
+                    }
+                    None => book.mapped[slot] = Some(sl),
+                    _ => {}
+                }
+            }
+        }
+
+        // ---- Pass 2: enqueue ------------------------------------------
+        for e in copy_waits {
+            gpu.wait_event(s, e)?;
+        }
+        let any_copies = !copy_runs.is_empty();
+        for (i, start, len) in copy_runs {
+            enqueue_h2d_ring(gpu, region, &views[i], i, start, len, s)?;
+        }
+        if any_copies {
+            let e = gpu.create_event();
+            gpu.record_event(s, e)?;
+            h2d_ev[c] = Some(e);
+        }
+
+        for e in kernel_waits {
+            gpu.wait_event(s, e)?;
+        }
+        let ctx = ChunkCtx {
+            k0,
+            k1,
+            views: views.clone(),
+        };
+        let mut kernel = builder(&ctx);
+        // Mod-index translation adds instructions *and* address-generation
+        // pressure, so both roofline terms inflate.
+        let infl = 1.0 + region.spec.index_overhead;
+        kernel.cost.flops = (kernel.cost.flops as f64 * infl) as u64;
+        kernel.cost.bytes = (kernel.cost.bytes as f64 * infl) as u64;
+        let chunk_ranges: Vec<(i64, i64)> =
+            (0..n_maps).map(|i| table.ranges[i][c]).collect();
+        let kernel = declare_accesses(gpu, kernel, region, &views, &chunk_ranges);
+        gpu.launch(s, kernel)?;
+        let ke = gpu.create_event();
+        gpu.record_event(s, ke)?;
+        kernel_ev[c] = Some(ke);
+
+        let mut any_out = false;
+        for (i, m) in region.spec.maps.iter().enumerate() {
+            if !m.dir.is_output() {
+                continue;
+            }
+            let (a, b) = table.ranges[i][c];
+            let book = &mut books[i];
+            for (start, len) in slot_runs(a, b, book.slots) {
+                enqueue_d2h_ring(gpu, region, &views[i], i, start, len, s)?;
+                any_out = true;
+            }
+            for sl in a..b {
+                book.written_by.insert(sl, c);
+            }
+        }
+        if any_out {
+            let e = gpu.create_event();
+            gpu.record_event(s, e)?;
+            d2h_ev[c] = Some(e);
+        }
+    }
+
+    gpu.synchronize()?;
+    let total = gpu.now() - t0;
+    let report = RunReport::from_counters(
+        ExecModel::PipelinedBuffer,
+        total,
+        &gpu.counters().clone(),
+        gpu_mem,
+        plan.buffer_bytes,
+        n_chunks,
+        plan.num_streams,
+    );
+    for s in streams {
+        gpu.destroy_stream(s)?;
+    }
+    for v in &views {
+        gpu.free(v.base())?;
+    }
+    Ok(report)
+}
+
+/// Copy slices `[start, start+len)` of map `i` from the host array into
+/// their (contiguous) ring slots.
+fn enqueue_h2d_ring(
+    gpu: &mut Gpu,
+    region: &Region,
+    view: &ArrayView,
+    i: usize,
+    start: i64,
+    len: usize,
+    stream: StreamId,
+) -> RtResult<()> {
+    let m = &region.spec.maps[i];
+    let host = region.arrays[i];
+    match &m.split {
+        SplitSpec::OneD { slice_elems, .. } => {
+            gpu.memcpy_h2d_async(
+                stream,
+                host,
+                start as usize * slice_elems,
+                view.slice_ptr(start),
+                len * slice_elems,
+            )?;
+        }
+        SplitSpec::ColBlocks {
+            rows,
+            block_cols,
+            row_stride,
+            ..
+        } => {
+            let (dev, stride) = view.block_ptr(start);
+            gpu.memcpy2d_h2d_async(
+                stream,
+                Copy2D {
+                    rows: *rows,
+                    row_elems: len * block_cols,
+                    host,
+                    host_off: start as usize * block_cols,
+                    host_stride: *row_stride,
+                    dev,
+                    dev_stride: stride,
+                },
+            )?;
+        }
+    }
+    Ok(())
+}
+
+/// Copy slices `[start, start+len)` of map `i` from their ring slots back
+/// to the host array.
+fn enqueue_d2h_ring(
+    gpu: &mut Gpu,
+    region: &Region,
+    view: &ArrayView,
+    i: usize,
+    start: i64,
+    len: usize,
+    stream: StreamId,
+) -> RtResult<()> {
+    let m = &region.spec.maps[i];
+    let host = region.arrays[i];
+    match &m.split {
+        SplitSpec::OneD { slice_elems, .. } => {
+            gpu.memcpy_d2h_async(
+                stream,
+                view.slice_ptr(start),
+                len * slice_elems,
+                host,
+                start as usize * slice_elems,
+            )?;
+        }
+        SplitSpec::ColBlocks {
+            rows,
+            block_cols,
+            row_stride,
+            ..
+        } => {
+            let (dev, stride) = view.block_ptr(start);
+            gpu.memcpy2d_d2h_async(
+                stream,
+                Copy2D {
+                    rows: *rows,
+                    row_elems: len * block_cols,
+                    host,
+                    host_off: start as usize * block_cols,
+                    host_stride: *row_stride,
+                    dev,
+                    dev_stride: stride,
+                },
+            )?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slot_runs_split_at_wrap() {
+        // Slices 3..9 in a 4-slot ring: slots 3 | 0 1 2 3 | 0.
+        assert_eq!(slot_runs(3, 9, 4), vec![(3, 1), (4, 4), (8, 1)]);
+        // Fully inside one revolution.
+        assert_eq!(slot_runs(4, 7, 8), vec![(4, 3)]);
+        // Empty range.
+        assert!(slot_runs(5, 5, 4).is_empty());
+        // Exact revolutions.
+        assert_eq!(slot_runs(0, 8, 4), vec![(0, 4), (4, 4)]);
+    }
+
+    #[test]
+    fn push_unique_dedupes() {
+        let mut v = Vec::new();
+        let e = EventId_for_test(3);
+        push_unique(&mut v, e);
+        push_unique(&mut v, e);
+        assert_eq!(v.len(), 1);
+    }
+
+    // EventId's field is crate-private to gpsim; create through a Gpu.
+    #[allow(non_snake_case)]
+    fn EventId_for_test(n: usize) -> EventId {
+        let mut g = Gpu::new(gpsim::DeviceProfile::uniform_test(), gpsim::ExecMode::Timing)
+            .unwrap();
+        let mut last = g.create_event();
+        for _ in 0..n {
+            last = g.create_event();
+        }
+        last
+    }
+}

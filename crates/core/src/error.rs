@@ -1,0 +1,69 @@
+//! Runtime error type.
+
+use std::fmt;
+
+use gpsim::SimError;
+
+/// Errors from the partitioning/pipelining runtime.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RtError {
+    /// The region specification is inconsistent.
+    Spec(String),
+    /// The memory limit cannot be met even with the smallest schedule.
+    MemLimitInfeasible {
+        /// Requested ceiling in bytes.
+        limit: u64,
+        /// Smallest achievable footprint in bytes.
+        needed: u64,
+    },
+    /// An underlying device/simulator failure.
+    Sim(SimError),
+}
+
+impl fmt::Display for RtError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RtError::Spec(s) => write!(f, "invalid region spec: {s}"),
+            RtError::MemLimitInfeasible { limit, needed } => write!(
+                f,
+                "pipeline_mem_limit({limit} B) infeasible: minimum footprint is {needed} B"
+            ),
+            RtError::Sim(e) => write!(f, "device error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RtError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RtError::Sim(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SimError> for RtError {
+    fn from(e: SimError) -> Self {
+        RtError::Sim(e)
+    }
+}
+
+/// Result alias for runtime operations.
+pub type RtResult<T> = Result<T, RtError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversion() {
+        let e: RtError = SimError::Deadlock("x".into()).into();
+        assert!(e.to_string().contains("device error"));
+        let e = RtError::MemLimitInfeasible {
+            limit: 10,
+            needed: 20,
+        };
+        assert!(e.to_string().contains("10"));
+        assert!(e.to_string().contains("20"));
+    }
+}

@@ -1,0 +1,539 @@
+//! Region execution: the Naive and Pipelined reference drivers plus the
+//! shared infrastructure (the Pipelined-buffer driver — the paper's
+//! contribution — lives in [`crate::buffer`]).
+//!
+//! All three drivers share one kernel-builder interface: the application
+//! provides a closure from a [`ChunkCtx`] (iteration sub-range + device
+//! views) to a [`KernelLaunch`]. Because kernels address arrays only
+//! through [`ArrayView`](crate::ArrayView), the *same* kernel body is
+//! correct under direct and ring-buffer mappings — mirroring how the
+//! paper passes device base pointers and offsets into unmodified OpenACC
+//! kernel bodies.
+
+use gpsim::{Gpu, HostBufId, KernelLaunch, SimTime};
+
+use crate::error::{RtError, RtResult};
+use crate::plan::{chunk_ranges, map_full_bytes, resolve_plan};
+use crate::report::{ExecModel, RunReport};
+use crate::spec::{RegionSpec, Schedule, SplitSpec};
+use crate::view::{ArrayView, ChunkCtx};
+
+/// A kernel factory: called once per chunk (or once for the whole loop in
+/// the Naive model) to produce the kernel launch for that sub-range.
+pub type KernelBuilder<'a> = dyn Fn(&ChunkCtx) -> KernelLaunch + 'a;
+
+/// A bound region: a spec, a loop range, and one host buffer per map.
+#[derive(Debug, Clone)]
+pub struct Region {
+    /// The clause-level specification.
+    pub spec: RegionSpec,
+    /// Loop lower bound (inclusive).
+    pub lo: i64,
+    /// Loop upper bound (exclusive).
+    pub hi: i64,
+    /// Host buffers, one per map in `spec.maps` order.
+    pub arrays: Vec<HostBufId>,
+}
+
+impl Region {
+    /// Bind host arrays to a spec over a loop range.
+    pub fn new(spec: RegionSpec, lo: i64, hi: i64, arrays: Vec<HostBufId>) -> Region {
+        Region {
+            spec,
+            lo,
+            hi,
+            arrays,
+        }
+    }
+
+    /// Validate the spec and that every bound host buffer is large enough
+    /// for its map.
+    pub fn validate(&self, gpu: &Gpu) -> RtResult<()> {
+        self.spec.validate(self.lo, self.hi)?;
+        self.validate_binding(gpu)
+    }
+
+    /// Binding-only validation (array counts and sizes), used when custom
+    /// window functions replace the affine bounds check.
+    pub fn validate_binding(&self, gpu: &Gpu) -> RtResult<()> {
+        if self.arrays.len() != self.spec.maps.len() {
+            return Err(RtError::Spec(format!(
+                "{} maps but {} bound arrays",
+                self.spec.maps.len(),
+                self.arrays.len()
+            )));
+        }
+        for (m, &h) in self.spec.maps.iter().zip(&self.arrays) {
+            let need = m.split.total_elems();
+            let have = gpu.host_len(h)?;
+            if have < need {
+                return Err(RtError::Spec(format!(
+                    "map '{}' needs {} host elements, buffer has {}",
+                    m.name, need, have
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// The static (or adaptively resolved) chunk size and stream count.
+    pub(crate) fn schedule_params(&self, gpu: &Gpu) -> RtResult<(usize, usize)> {
+        match self.spec.schedule {
+            Schedule::Static {
+                chunk_size,
+                num_streams,
+            } => {
+                let iters = (self.hi - self.lo) as usize;
+                Ok((chunk_size.min(iters).max(1), num_streams))
+            }
+            Schedule::Adaptive => {
+                let plan = resolve_plan(&self.spec, gpu.profile(), self.lo, self.hi)?;
+                Ok((plan.chunk_size, plan.num_streams))
+            }
+        }
+    }
+}
+
+/// Allocate the *full* device footprint of every map (Naive/Pipelined
+/// models) and return the direct views. The caller frees via
+/// [`free_views`].
+pub(crate) fn alloc_full(gpu: &mut Gpu, region: &Region) -> RtResult<Vec<ArrayView>> {
+    let mut views: Vec<ArrayView> = Vec::with_capacity(region.spec.maps.len());
+    for m in &region.spec.maps {
+        let alloc = match &m.split {
+            SplitSpec::OneD { slice_elems, .. } => gpu
+                .alloc(m.split.total_elems())
+                .map(|ptr| ArrayView::direct_1d(ptr, *slice_elems)),
+            SplitSpec::ColBlocks {
+                rows,
+                block_cols,
+                row_stride,
+                ..
+            } => gpu
+                .alloc(rows * row_stride)
+                .map(|ptr| ArrayView::direct_2d(ptr, *row_stride, *block_cols, *rows)),
+        };
+        match alloc {
+            Ok(v) => views.push(v),
+            Err(e) => {
+                // Roll back partial allocations so a failed run (e.g. the
+                // paper's out-of-memory GEMM sizes) leaves the context
+                // clean for the next version.
+                let _ = free_views(gpu, &views);
+                return Err(e.into());
+            }
+        }
+    }
+    Ok(views)
+}
+
+/// Free the allocations behind a set of views.
+pub(crate) fn free_views(gpu: &mut Gpu, views: &[ArrayView]) -> RtResult<()> {
+    for v in views {
+        gpu.free(v.base())?;
+    }
+    Ok(())
+}
+
+/// Sum of full-footprint device bytes of a region.
+pub(crate) fn full_bytes(region: &Region) -> u64 {
+    region.spec.maps.iter().map(|m| map_full_bytes(&m.split)).sum()
+}
+
+/// Attach declared access ranges for the race checker: the kernel reads
+/// all input slices of its chunk and writes all output slices, through
+/// the given views. Only populated when the context's race checker is
+/// enabled (the declarations are O(slices·rows) and test-only).
+pub(crate) fn declare_accesses(
+    gpu: &Gpu,
+    mut kernel: KernelLaunch,
+    region: &Region,
+    views: &[ArrayView],
+    ranges: &[(i64, i64)],
+) -> KernelLaunch {
+    if !gpu.race_check_enabled() {
+        return kernel;
+    }
+    for (i, m) in region.spec.maps.iter().enumerate() {
+        let (a, b) = ranges[i];
+        let v = &views[i];
+        for s in a..b {
+            match m.split {
+                SplitSpec::OneD { slice_elems, .. } => {
+                    let ptr = v.slice_ptr(s);
+                    if m.dir.is_input() {
+                        kernel = kernel.reading(ptr, slice_elems);
+                    }
+                    if m.dir.is_output() {
+                        kernel = kernel.writing(ptr, slice_elems);
+                    }
+                }
+                SplitSpec::ColBlocks {
+                    rows, block_cols, ..
+                } => {
+                    // Per-row ranges: a column block is strided, and its
+                    // bounding box would falsely overlap sibling blocks.
+                    let (ptr, stride) = v.block_ptr(s);
+                    for r in 0..rows {
+                        let row_ptr = ptr.add(r * stride);
+                        if m.dir.is_input() {
+                            kernel = kernel.reading(row_ptr, block_cols);
+                        }
+                        if m.dir.is_output() {
+                            kernel = kernel.writing(row_ptr, block_cols);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    kernel
+}
+
+/// Run a region under the **Naive** offload model: synchronously copy all
+/// inputs, launch one kernel covering the whole loop, synchronously copy
+/// all outputs back (paper §II: "the naive offload model").
+///
+/// Resets the context's activity counters.
+pub fn run_naive(gpu: &mut Gpu, region: &Region, builder: &KernelBuilder<'_>) -> RtResult<RunReport> {
+    region.validate(gpu)?;
+    gpu.reset_counters();
+    let t0 = gpu.now();
+
+    let views = alloc_full(gpu, region)?;
+    let gpu_mem = gpu.current_mem();
+
+    // Copy every input array in full.
+    for (i, m) in region.spec.maps.iter().enumerate() {
+        if m.dir.is_input() {
+            gpu.memcpy_h2d(region.arrays[i], 0, views[i].base(), m.split.total_elems())?;
+        }
+    }
+
+    // One kernel for the entire iteration space.
+    let ctx = ChunkCtx {
+        k0: region.lo,
+        k1: region.hi,
+        views: views.clone(),
+    };
+    let full_ranges: Vec<(i64, i64)> = region
+        .spec
+        .maps
+        .iter()
+        .map(|m| m.split.needed_slices(region.lo, region.hi))
+        .collect();
+    let kernel = declare_accesses(gpu, builder(&ctx), region, &views, &full_ranges);
+    let s0 = gpu.default_stream();
+    gpu.launch(s0, kernel)?;
+    gpu.stream_synchronize(s0)?;
+
+    // Copy every output array back in full.
+    for (i, m) in region.spec.maps.iter().enumerate() {
+        if m.dir.is_output() {
+            gpu.memcpy_d2h(views[i].base(), m.split.total_elems(), region.arrays[i], 0)?;
+        }
+    }
+
+    let total = gpu.now() - t0;
+    let report = RunReport::from_counters(
+        ExecModel::Naive,
+        total,
+        &gpu.counters().clone(),
+        gpu_mem,
+        full_bytes(region),
+        1,
+        1,
+    );
+    free_views(gpu, &views)?;
+    Ok(report)
+}
+
+/// Tuning knobs of the Pipelined (hand-coded OpenACC-style) driver.
+#[derive(Debug, Clone, Copy)]
+pub struct PipelinedOptions {
+    /// Host bookkeeping charged per enqueue, as a multiple of the
+    /// device's API overhead *per live stream beyond the second*. Models
+    /// the per-queue polling of an OpenACC async runtime; the paper
+    /// observes the hand-pipelined version degrading dramatically as
+    /// streams grow (Figure 7) while the prototype, which talks to CUDA
+    /// streams directly, stays flat.
+    pub poll_factor: f64,
+}
+
+impl PipelinedOptions {
+    /// Per-enqueue polling charge for `num_streams` live queues.
+    pub(crate) fn poll_time(&self, api_overhead: SimTime, num_streams: usize) -> SimTime {
+        let extra = num_streams.saturating_sub(2) as f64;
+        SimTime::from_secs_f64(api_overhead.as_secs_f64() * self.poll_factor * extra)
+    }
+}
+
+impl Default for PipelinedOptions {
+    fn default() -> Self {
+        // Calibrated so that, at the paper's problem sizes, the host-side
+        // queue polling overtakes the device pipeline somewhere between
+        // 4 and 6 streams — the crossover of Figure 7.
+        PipelinedOptions { poll_factor: 2.4 }
+    }
+}
+
+/// Run a region under the **Pipelined** model: the loop is divided into
+/// chunks launched with their transfers on round-robin streams, but
+/// device arrays keep their *full* footprint and indices are unchanged —
+/// the paper's hand-coded comparator ("manually divides the iterations
+/// but does not alter array indices", §IV).
+pub fn run_pipelined(
+    gpu: &mut Gpu,
+    region: &Region,
+    builder: &KernelBuilder<'_>,
+) -> RtResult<RunReport> {
+    run_pipelined_with(gpu, region, builder, &PipelinedOptions::default())
+}
+
+/// [`run_pipelined`] with explicit tuning options.
+pub fn run_pipelined_with(
+    gpu: &mut Gpu,
+    region: &Region,
+    builder: &KernelBuilder<'_>,
+    opts: &PipelinedOptions,
+) -> RtResult<RunReport> {
+    region.validate(gpu)?;
+    // Output windows that overlap between chunks would be drained to the
+    // host by different streams in nondeterministic order (the buffer
+    // driver rejects this through its window table; mirror that here).
+    for m in &region.spec.maps {
+        if m.dir.is_output() {
+            let scale = m.split.offset().scale.max(0) as usize;
+            if m.split.window() > scale {
+                return Err(RtError::Spec(format!(
+                    "map '{}': output window {} exceeds stride {}; chunks would                      write overlapping host ranges in nondeterministic order",
+                    m.name,
+                    m.split.window(),
+                    scale
+                )));
+            }
+        }
+    }
+    let (chunk_size, num_streams) = region.schedule_params(gpu)?;
+    gpu.reset_counters();
+    let t0 = gpu.now();
+
+    let views = alloc_full(gpu, region)?;
+    let streams: Vec<_> = match (0..num_streams)
+        .map(|_| gpu.create_stream())
+        .collect::<Result<Vec<_>, _>>()
+    {
+        Ok(s) => s,
+        Err(e) => {
+            let _ = free_views(gpu, &views);
+            return Err(e.into());
+        }
+    };
+    let gpu_mem = gpu.current_mem();
+    let poll = opts.poll_time(gpu.profile().api_overhead, num_streams);
+
+    let chunks = chunk_ranges(region.lo, region.hi, chunk_size);
+    let n_maps = region.spec.maps.len();
+
+    // Disjoint input coverage: chunk c copies the slices in its window not
+    // already copied by earlier chunks. `owner[m][slice - first]` is the
+    // chunk that copies each slice.
+    let mut hwm: Vec<i64> = Vec::with_capacity(n_maps); // per-map high-water mark
+    let mut first: Vec<i64> = Vec::with_capacity(n_maps);
+    let mut owner: Vec<Vec<usize>> = Vec::with_capacity(n_maps);
+    for m in &region.spec.maps {
+        let (a, b) = m.split.needed_slices(region.lo, region.hi);
+        first.push(a);
+        hwm.push(a);
+        owner.push(vec![usize::MAX; (b - a) as usize]);
+    }
+
+    let mut h2d_event: Vec<Option<gpsim::EventId>> = vec![None; chunks.len()];
+
+    for (c, &(k0, k1)) in chunks.iter().enumerate() {
+        let s = streams[c % num_streams];
+
+        // --- H2D: this chunk's not-yet-copied input slices -------------
+        let mut copied_any = false;
+        for (i, m) in region.spec.maps.iter().enumerate() {
+            if !m.dir.is_input() {
+                continue;
+            }
+            let (_, b) = m.split.needed_slices(k0, k1);
+            if hwm[i] >= b {
+                continue;
+            }
+            let (lo_s, hi_s) = (hwm[i], b);
+            enqueue_h2d_direct(gpu, region, &views[i], i, lo_s, hi_s, s, poll)?;
+            for sl in lo_s..hi_s {
+                owner[i][(sl - first[i]) as usize] = c;
+            }
+            hwm[i] = b;
+            copied_any = true;
+        }
+        if copied_any {
+            let e = gpu.create_event();
+            gpu.record_event(s, e)?;
+            gpu.host_busy(poll);
+            h2d_event[c] = Some(e);
+        }
+
+        // --- Kernel: wait for other-stream chunks that copied our slices.
+        let mut wait_chunks: Vec<usize> = Vec::new();
+        for (i, m) in region.spec.maps.iter().enumerate() {
+            if !m.dir.is_input() {
+                continue;
+            }
+            let (a, b) = m.split.needed_slices(k0, k1);
+            for sl in a..b {
+                let o = owner[i][(sl - first[i]) as usize];
+                debug_assert_ne!(o, usize::MAX, "slice {sl} of map {i} never copied");
+                if o != c && o % num_streams != c % num_streams && !wait_chunks.contains(&o) {
+                    wait_chunks.push(o);
+                }
+            }
+        }
+        for o in wait_chunks {
+            if let Some(e) = h2d_event[o] {
+                gpu.wait_event(s, e)?;
+                gpu.host_busy(poll);
+            }
+        }
+
+        let ctx = ChunkCtx {
+            k0,
+            k1,
+            views: views.clone(),
+        };
+        let ranges: Vec<(i64, i64)> = region
+            .spec
+            .maps
+            .iter()
+            .map(|m| m.split.needed_slices(k0, k1))
+            .collect();
+        let kernel = declare_accesses(gpu, builder(&ctx), region, &views, &ranges);
+        gpu.launch(s, kernel)?;
+        gpu.host_busy(poll);
+
+        // --- D2H: the chunk's output slices -----------------------------
+        for (i, m) in region.spec.maps.iter().enumerate() {
+            if !m.dir.is_output() {
+                continue;
+            }
+            let (a, b) = m.split.needed_slices(k0, k1);
+            enqueue_d2h_direct(gpu, region, &views[i], i, a, b, s, poll)?;
+        }
+    }
+
+    gpu.synchronize()?;
+    let total = gpu.now() - t0;
+    let report = RunReport::from_counters(
+        ExecModel::Pipelined,
+        total,
+        &gpu.counters().clone(),
+        gpu_mem,
+        full_bytes(region),
+        chunks.len(),
+        num_streams,
+    );
+    for s in streams {
+        gpu.destroy_stream(s)?;
+    }
+    free_views(gpu, &views)?;
+    Ok(report)
+}
+
+/// Enqueue an H2D copy of slices `[lo_s, hi_s)` of map `i` into a direct
+/// (full-footprint) view. 1-D maps use one contiguous copy; column-block
+/// maps use one strided 2-D copy.
+#[allow(clippy::too_many_arguments)]
+fn enqueue_h2d_direct(
+    gpu: &mut Gpu,
+    region: &Region,
+    view: &ArrayView,
+    i: usize,
+    lo_s: i64,
+    hi_s: i64,
+    stream: gpsim::StreamId,
+    poll: SimTime,
+) -> RtResult<()> {
+    let m = &region.spec.maps[i];
+    let host = region.arrays[i];
+    match &m.split {
+        SplitSpec::OneD { slice_elems, .. } => {
+            let off = lo_s as usize * slice_elems;
+            let elems = (hi_s - lo_s) as usize * slice_elems;
+            gpu.memcpy_h2d_async(stream, host, off, view.slice_ptr(lo_s), elems)?;
+            gpu.host_busy(poll);
+        }
+        SplitSpec::ColBlocks {
+            rows,
+            block_cols,
+            row_stride,
+            ..
+        } => {
+            let (dev, stride) = view.block_ptr(lo_s);
+            gpu.memcpy2d_h2d_async(
+                stream,
+                gpsim::Copy2D {
+                    rows: *rows,
+                    row_elems: (hi_s - lo_s) as usize * block_cols,
+                    host,
+                    host_off: lo_s as usize * block_cols,
+                    host_stride: *row_stride,
+                    dev,
+                    dev_stride: stride,
+                },
+            )?;
+            gpu.host_busy(poll);
+        }
+    }
+    Ok(())
+}
+
+/// Enqueue a D2H copy of slices `[lo_s, hi_s)` of map `i` from a direct
+/// view back to the host array.
+#[allow(clippy::too_many_arguments)]
+fn enqueue_d2h_direct(
+    gpu: &mut Gpu,
+    region: &Region,
+    view: &ArrayView,
+    i: usize,
+    lo_s: i64,
+    hi_s: i64,
+    stream: gpsim::StreamId,
+    poll: SimTime,
+) -> RtResult<()> {
+    let m = &region.spec.maps[i];
+    let host = region.arrays[i];
+    match &m.split {
+        SplitSpec::OneD { slice_elems, .. } => {
+            let off = lo_s as usize * slice_elems;
+            let elems = (hi_s - lo_s) as usize * slice_elems;
+            gpu.memcpy_d2h_async(stream, view.slice_ptr(lo_s), elems, host, off)?;
+            gpu.host_busy(poll);
+        }
+        SplitSpec::ColBlocks {
+            rows,
+            block_cols,
+            row_stride,
+            ..
+        } => {
+            let (dev, stride) = view.block_ptr(lo_s);
+            gpu.memcpy2d_d2h_async(
+                stream,
+                gpsim::Copy2D {
+                    rows: *rows,
+                    row_elems: (hi_s - lo_s) as usize * block_cols,
+                    host,
+                    host_off: lo_s as usize * block_cols,
+                    host_stride: *row_stride,
+                    dev,
+                    dev_stride: stride,
+                },
+            )?;
+            gpu.host_busy(poll);
+        }
+    }
+    Ok(())
+}

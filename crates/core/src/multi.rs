@@ -1,0 +1,188 @@
+//! Multi-device co-scheduling — the paper's §VII outlook ("multi-nodes
+//! with different accelerators") built on the CoreTSAR-style static
+//! partitioning the authors cite: the iteration space is divided across
+//! devices proportionally to a cost-model estimate of each device's
+//! per-iteration throughput, and every device runs the Pipelined-buffer
+//! driver on its own sub-range.
+//!
+//! Because the mapped arrays live in a [`HostPool`](gpsim::HostPool)
+//! shared by all contexts, input halos that cross a partition boundary
+//! are simply read by both devices from host memory — no device-to-device
+//! traffic is required, exactly like the single-dimension array
+//! association of CoreTSAR.
+
+use gpsim::{Gpu, SimTime, ELEM_BYTES};
+
+use crate::buffer::run_pipelined_buffer;
+use crate::error::{RtError, RtResult};
+use crate::exec::{KernelBuilder, Region};
+use crate::report::RunReport;
+use crate::spec::MapDir;
+
+/// Result of a co-scheduled region execution.
+#[derive(Debug, Clone)]
+pub struct MultiReport {
+    /// Per-device reports, in device order (empty sub-ranges yield
+    /// `None`).
+    pub per_device: Vec<Option<RunReport>>,
+    /// Iteration sub-range assigned to each device.
+    pub partitions: Vec<(i64, i64)>,
+    /// Wall-clock of the co-scheduled execution: the slowest device
+    /// (devices run concurrently in real time; each simulation context
+    /// has its own clock).
+    pub makespan: SimTime,
+}
+
+impl MultiReport {
+    /// Speedup of the co-scheduled run over a single-device report.
+    pub fn speedup_over(&self, single: &RunReport) -> f64 {
+        if self.makespan.is_zero() {
+            return f64::INFINITY;
+        }
+        single.total.as_secs_f64() / self.makespan.as_secs_f64()
+    }
+}
+
+/// Estimate a device's time per loop iteration from its profile: the
+/// dominant engine (transfer of the per-iteration slice bytes vs the
+/// roofline kernel time) bounds the pipeline's steady state.
+fn per_iter_cost(gpu: &Gpu, region: &Region, kernel_flops: u64, kernel_bytes: u64) -> f64 {
+    let p = gpu.profile();
+    let mut in_bytes = 0u64;
+    let mut out_bytes = 0u64;
+    for m in &region.spec.maps {
+        let scale = m.split.offset().scale.max(0) as u64;
+        let per_iter = scale * m.split.slice_elems() as u64 * ELEM_BYTES;
+        if m.dir.is_input() {
+            in_bytes += per_iter;
+        }
+        if m.dir.is_output() {
+            out_bytes += per_iter;
+        }
+    }
+    let t_in = p.h2d_time(in_bytes, true).as_secs_f64();
+    let t_out = p.d2h_time(out_bytes, true).as_secs_f64();
+    let t_kernel = p.kernel_time(kernel_flops, kernel_bytes).as_secs_f64();
+    t_in.max(t_out).max(t_kernel)
+}
+
+/// Partition `[lo, hi)` into contiguous sub-ranges with lengths inversely
+/// proportional to the per-iteration costs.
+pub fn partition_iterations(lo: i64, hi: i64, costs: &[f64]) -> Vec<(i64, i64)> {
+    assert!(!costs.is_empty());
+    let total = (hi - lo) as f64;
+    let weights: Vec<f64> = costs.iter().map(|c| 1.0 / c.max(1e-30)).collect();
+    let wsum: f64 = weights.iter().sum();
+    let mut bounds = Vec::with_capacity(costs.len() + 1);
+    bounds.push(lo);
+    let mut acc = 0.0;
+    for w in &weights[..weights.len() - 1] {
+        acc += w;
+        bounds.push(lo + (total * acc / wsum).round() as i64);
+    }
+    bounds.push(hi);
+    // Monotonic clamp (rounding can momentarily regress).
+    for i in 1..bounds.len() {
+        if bounds[i] < bounds[i - 1] {
+            bounds[i] = bounds[i - 1];
+        }
+    }
+    bounds.windows(2).map(|w| (w[0], w[1])).collect()
+}
+
+/// Run a region co-scheduled across several devices with the
+/// Pipelined-buffer model.
+///
+/// Requirements:
+/// * every context shares one host pool (the region's arrays must be
+///   valid in all of them);
+/// * output maps must not overlap across iterations
+///   (`scale ≥ window` — otherwise two devices would write the same
+///   host slices);
+/// * `probe_cost` supplies the kernel cost of one representative
+///   iteration for the load balancer (flops, bytes).
+pub fn run_pipelined_buffer_multi(
+    gpus: &mut [Gpu],
+    region: &Region,
+    builder: &KernelBuilder<'_>,
+    probe_cost: (u64, u64),
+) -> RtResult<MultiReport> {
+    if gpus.is_empty() {
+        return Err(RtError::Spec("no devices given".into()));
+    }
+    for m in &region.spec.maps {
+        if m.dir == MapDir::From || m.dir == MapDir::ToFrom {
+            let scale = m.split.offset().scale.max(0) as usize;
+            if m.split.window() > scale {
+                return Err(RtError::Spec(format!(
+                    "map '{}': output window {} exceeds stride {}; partitions would \
+                     write overlapping host slices",
+                    m.name,
+                    m.split.window(),
+                    scale
+                )));
+            }
+        }
+    }
+
+    let costs: Vec<f64> = gpus
+        .iter()
+        .map(|g| per_iter_cost(g, region, probe_cost.0, probe_cost.1))
+        .collect();
+    let partitions = partition_iterations(region.lo, region.hi, &costs);
+
+    let mut per_device = Vec::with_capacity(gpus.len());
+    let mut makespan = SimTime::ZERO;
+    for (gpu, &(lo, hi)) in gpus.iter_mut().zip(&partitions) {
+        if hi <= lo {
+            per_device.push(None);
+            continue;
+        }
+        let sub = Region::new(region.spec.clone(), lo, hi, region.arrays.clone());
+        let t0 = gpu.now();
+        let report = run_pipelined_buffer(gpu, &sub, builder)?;
+        let elapsed = gpu.now() - t0;
+        makespan = makespan.max(elapsed);
+        per_device.push(Some(report));
+    }
+    Ok(MultiReport {
+        per_device,
+        partitions,
+        makespan,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_proportions() {
+        // Device 0 twice as fast (half the cost) → gets two thirds.
+        let parts = partition_iterations(0, 90, &[1.0, 2.0]);
+        assert_eq!(parts, vec![(0, 60), (60, 90)]);
+        // Equal devices split evenly.
+        let parts = partition_iterations(10, 20, &[3.0, 3.0]);
+        assert_eq!(parts, vec![(10, 15), (15, 20)]);
+        // Single device takes everything.
+        let parts = partition_iterations(5, 9, &[1.0]);
+        assert_eq!(parts, vec![(5, 9)]);
+    }
+
+    #[test]
+    fn partition_covers_exactly_without_overlap() {
+        let parts = partition_iterations(3, 103, &[1.0, 0.5, 2.0, 1.0]);
+        assert_eq!(parts.first().unwrap().0, 3);
+        assert_eq!(parts.last().unwrap().1, 103);
+        for w in parts.windows(2) {
+            assert_eq!(w[0].1, w[1].0);
+        }
+    }
+
+    #[test]
+    fn degenerate_costs_do_not_panic() {
+        let parts = partition_iterations(0, 4, &[0.0, 0.0]);
+        assert_eq!(parts.first().unwrap().0, 0);
+        assert_eq!(parts.last().unwrap().1, 4);
+    }
+}

@@ -1,0 +1,177 @@
+//! Per-run measurement reports.
+
+use std::fmt;
+
+use gpsim::{Counters, SimTime};
+use serde::Serialize;
+
+/// The three execution models compared throughout the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum ExecModel {
+    /// Synchronous copy-in → kernel → copy-out; whole arrays resident.
+    Naive,
+    /// Hand-style pipelining: chunked async copies + kernels over multiple
+    /// streams, full-size device arrays, no index rewriting.
+    Pipelined,
+    /// The paper's contribution: pipelining into a small pre-allocated
+    /// ring buffer with mod-indexing.
+    PipelinedBuffer,
+}
+
+impl fmt::Display for ExecModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ExecModel::Naive => "Naive",
+            ExecModel::Pipelined => "Pipelined",
+            ExecModel::PipelinedBuffer => "Pipelined-buffer",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Measurements of one region execution.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Which execution model produced this report.
+    pub model: ExecModel,
+    /// End-to-end time of the region on the host clock (the paper's
+    /// metric: "the function that contains the GPU operations, including
+    /// all transfers").
+    pub total: SimTime,
+    /// Busy time of the host→device copy engine.
+    pub h2d: SimTime,
+    /// Busy time of the device→host copy engine.
+    pub d2h: SimTime,
+    /// Busy time of the compute engine.
+    pub kernel: SimTime,
+    /// Host time inside driver API calls and runtime bookkeeping.
+    pub host_api: SimTime,
+    /// Bytes moved host→device.
+    pub h2d_bytes: u64,
+    /// Bytes moved device→host.
+    pub d2h_bytes: u64,
+    /// Device memory in use while the region ran (arrays/buffers plus
+    /// runtime and stream overhead — what `nvidia-smi` would report).
+    pub gpu_mem_bytes: u64,
+    /// Device bytes allocated specifically for this region's arrays or
+    /// ring buffers.
+    pub array_bytes: u64,
+    /// Number of sub-task chunks executed.
+    pub chunks: usize,
+    /// Number of streams used.
+    pub streams: usize,
+}
+
+impl RunReport {
+    pub(crate) fn from_counters(
+        model: ExecModel,
+        total: SimTime,
+        c: &Counters,
+        gpu_mem_bytes: u64,
+        array_bytes: u64,
+        chunks: usize,
+        streams: usize,
+    ) -> RunReport {
+        RunReport {
+            model,
+            total,
+            h2d: c.h2d_time,
+            d2h: c.d2h_time,
+            kernel: c.kernel_time,
+            host_api: c.host_api_time,
+            h2d_bytes: c.h2d_bytes,
+            d2h_bytes: c.d2h_bytes,
+            gpu_mem_bytes,
+            array_bytes,
+            chunks,
+            streams,
+        }
+    }
+
+    /// Speedup of `self` relative to a baseline run (`baseline.total /
+    /// self.total`).
+    pub fn speedup_over(&self, baseline: &RunReport) -> f64 {
+        if self.total.is_zero() {
+            return f64::INFINITY;
+        }
+        baseline.total.as_secs_f64() / self.total.as_secs_f64()
+    }
+
+    /// Memory saving of `self` relative to a baseline run, as a fraction
+    /// in `[0, 1]` (the paper reports 0.52–0.97).
+    pub fn mem_saving_over(&self, baseline: &RunReport) -> f64 {
+        if baseline.gpu_mem_bytes == 0 {
+            return 0.0;
+        }
+        1.0 - self.gpu_mem_bytes as f64 / baseline.gpu_mem_bytes as f64
+    }
+
+    /// Fraction of busy time spent in transfers (Figure 3's motivation:
+    /// ~50 % for naive Lattice QCD).
+    pub fn transfer_fraction(&self) -> f64 {
+        let busy = (self.h2d + self.d2h + self.kernel).as_ns();
+        if busy == 0 {
+            return 0.0;
+        }
+        (self.h2d + self.d2h).as_ns() as f64 / busy as f64
+    }
+}
+
+impl fmt::Display for RunReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<17} total={:>10} h2d={:>10} d2h={:>10} kernel={:>10} mem={:>7.1} MB chunks={} streams={}",
+            self.model.to_string(),
+            self.total.to_string(),
+            self.h2d.to_string(),
+            self.d2h.to_string(),
+            self.kernel.to_string(),
+            self.gpu_mem_bytes as f64 / 1e6,
+            self.chunks,
+            self.streams,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(total_ms: u64, mem: u64) -> RunReport {
+        RunReport {
+            model: ExecModel::Naive,
+            total: SimTime::from_ms(total_ms),
+            h2d: SimTime::from_ms(3),
+            d2h: SimTime::from_ms(2),
+            kernel: SimTime::from_ms(5),
+            host_api: SimTime::ZERO,
+            h2d_bytes: 0,
+            d2h_bytes: 0,
+            gpu_mem_bytes: mem,
+            array_bytes: mem,
+            chunks: 1,
+            streams: 1,
+        }
+    }
+
+    #[test]
+    fn speedup_and_saving() {
+        let naive = report(100, 1000);
+        let fast = report(50, 100);
+        assert!((fast.speedup_over(&naive) - 2.0).abs() < 1e-12);
+        assert!((fast.mem_saving_over(&naive) - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn transfer_fraction_matches_phases() {
+        let r = report(10, 1);
+        assert!((r.transfer_fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_contains_model() {
+        assert!(report(1, 1).to_string().contains("Naive"));
+        assert_eq!(ExecModel::PipelinedBuffer.to_string(), "Pipelined-buffer");
+    }
+}

@@ -1,0 +1,238 @@
+//! Device-side array views handed to kernels.
+//!
+//! The paper avoids compiler index rewriting by passing a device base
+//! pointer plus offsets into the kernel region; [`ArrayView`] is exactly
+//! that object. For full-footprint runs (`Naive`/`Pipelined`), a slice
+//! index maps directly to its device location; for `Pipelined-buffer`
+//! runs the view applies the paper's mod-indexing: slice `s` lives at ring
+//! slot `s % slots` of a small pre-allocated buffer.
+
+use gpsim::DevPtr;
+
+/// How slice indices translate to device addresses.
+#[derive(Debug, Clone, Copy)]
+enum ViewKind {
+    /// Whole array resident: slice `s` at `base + s·slice_elems`.
+    Direct1D,
+    /// Ring buffer of `slots` slices: slice `s` at
+    /// `base + (s % slots)·slice_elems`.
+    Ring1D {
+        /// Ring capacity in slices.
+        slots: usize,
+    },
+    /// Whole matrix resident (row stride `stride`): block `b` starts at
+    /// `base + b·block_cols`.
+    Direct2D {
+        /// Row stride of the resident matrix, in elements.
+        stride: usize,
+        /// Columns per block.
+        block_cols: usize,
+    },
+    /// Ring of `slots` column blocks in a pitched buffer.
+    Ring2D {
+        /// Pitch of the ring buffer, in elements.
+        stride: usize,
+        /// Columns per block.
+        block_cols: usize,
+        /// Ring capacity in blocks.
+        slots: usize,
+    },
+}
+
+/// A device view of one mapped array, resolved for the current execution
+/// model. Kernels address data exclusively through this view, which makes
+/// the same kernel body correct in all three models.
+#[derive(Debug, Clone, Copy)]
+pub struct ArrayView {
+    base: DevPtr,
+    slice_elems: usize,
+    kind: ViewKind,
+}
+
+impl ArrayView {
+    pub(crate) fn direct_1d(base: DevPtr, slice_elems: usize) -> ArrayView {
+        ArrayView {
+            base,
+            slice_elems,
+            kind: ViewKind::Direct1D,
+        }
+    }
+
+    pub(crate) fn ring_1d(base: DevPtr, slice_elems: usize, slots: usize) -> ArrayView {
+        ArrayView {
+            base,
+            slice_elems,
+            kind: ViewKind::Ring1D { slots },
+        }
+    }
+
+    pub(crate) fn direct_2d(base: DevPtr, stride: usize, block_cols: usize, rows: usize) -> ArrayView {
+        ArrayView {
+            base,
+            slice_elems: rows * block_cols,
+            kind: ViewKind::Direct2D { stride, block_cols },
+        }
+    }
+
+    pub(crate) fn ring_2d(
+        base: DevPtr,
+        stride: usize,
+        block_cols: usize,
+        rows: usize,
+        slots: usize,
+    ) -> ArrayView {
+        ArrayView {
+            base,
+            slice_elems: rows * block_cols,
+            kind: ViewKind::Ring2D {
+                stride,
+                block_cols,
+                slots,
+            },
+        }
+    }
+
+    /// Device pointer of 1-D slice `s` (panics if called on a 2-D view —
+    /// a kernel/array mismatch that is a programming error).
+    pub fn slice_ptr(&self, s: i64) -> DevPtr {
+        debug_assert!(s >= 0, "negative slice index {s}");
+        let s = s as usize;
+        match self.kind {
+            ViewKind::Direct1D => self.base.add(s * self.slice_elems),
+            ViewKind::Ring1D { slots } => self.base.add((s % slots) * self.slice_elems),
+            _ => panic!("slice_ptr on a 2-D (column-block) view"),
+        }
+    }
+
+    /// Device pointer and row stride of 2-D block `b`.
+    pub fn block_ptr(&self, b: i64) -> (DevPtr, usize) {
+        debug_assert!(b >= 0, "negative block index {b}");
+        let b = b as usize;
+        match self.kind {
+            ViewKind::Direct2D { stride, block_cols } => (self.base.add(b * block_cols), stride),
+            ViewKind::Ring2D {
+                stride,
+                block_cols,
+                slots,
+            } => (self.base.add((b % slots) * block_cols), stride),
+            _ => panic!("block_ptr on a 1-D view"),
+        }
+    }
+
+    /// Elements per slice/block.
+    pub fn slice_elems(&self) -> usize {
+        self.slice_elems
+    }
+
+    /// Base device pointer of the underlying allocation.
+    pub fn base(&self) -> DevPtr {
+        self.base
+    }
+
+    /// Ring capacity in slices, if this is a ring view.
+    pub fn ring_slots(&self) -> Option<usize> {
+        match self.kind {
+            ViewKind::Ring1D { slots } | ViewKind::Ring2D { slots, .. } => Some(slots),
+            _ => None,
+        }
+    }
+}
+
+/// Everything a kernel builder needs about one chunk: its iteration
+/// sub-range and a device view per mapped array (in map declaration
+/// order).
+#[derive(Debug)]
+pub struct ChunkCtx {
+    /// First iteration of the chunk (inclusive).
+    pub k0: i64,
+    /// End iteration of the chunk (exclusive).
+    pub k1: i64,
+    /// One view per `pipeline_map`, in declaration order.
+    pub views: Vec<ArrayView>,
+}
+
+impl ChunkCtx {
+    /// Number of iterations in the chunk.
+    pub fn len(&self) -> usize {
+        (self.k1 - self.k0) as usize
+    }
+
+    /// True for an empty chunk (never produced by the planners).
+    pub fn is_empty(&self) -> bool {
+        self.k1 <= self.k0
+    }
+
+    /// View of the `i`-th mapped array.
+    pub fn view(&self, i: usize) -> ArrayView {
+        self.views[i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpsim::{DeviceProfile, ExecMode, Gpu};
+
+    fn dev_ptr(len: usize) -> (Gpu, DevPtr) {
+        let mut g = Gpu::new(DeviceProfile::uniform_test(), ExecMode::Timing).unwrap();
+        let p = g.alloc(len).unwrap();
+        (g, p)
+    }
+
+    #[test]
+    fn direct_view_is_linear() {
+        let (_g, p) = dev_ptr(100);
+        let v = ArrayView::direct_1d(p, 10);
+        assert_eq!(v.slice_ptr(0).offset, 0);
+        assert_eq!(v.slice_ptr(7).offset, 70);
+        assert_eq!(v.ring_slots(), None);
+    }
+
+    #[test]
+    fn ring_view_wraps_mod_slots() {
+        let (_g, p) = dev_ptr(40);
+        let v = ArrayView::ring_1d(p, 10, 4);
+        // Paper Section IV: "if we have a buffer that can hold four
+        // chunks ... we copy chunk i to position (i % 4)".
+        assert_eq!(v.slice_ptr(0).offset, 0);
+        assert_eq!(v.slice_ptr(5).offset, 10);
+        assert_eq!(v.slice_ptr(11).offset, 30);
+        assert_eq!(v.ring_slots(), Some(4));
+    }
+
+    #[test]
+    fn block_views_resolve_columns() {
+        let (_g, p) = dev_ptr(1024);
+        let direct = ArrayView::direct_2d(p, 64, 8, 4);
+        let (ptr, stride) = direct.block_ptr(3);
+        assert_eq!(ptr.offset, 24);
+        assert_eq!(stride, 64);
+
+        let ring = ArrayView::ring_2d(p, 32, 8, 4, 4);
+        let (ptr, stride) = ring.block_ptr(6);
+        assert_eq!(ptr.offset, 16); // (6 % 4) * 8
+        assert_eq!(stride, 32);
+        assert_eq!(ring.slice_elems(), 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "2-D")]
+    fn kind_mismatch_panics() {
+        let (_g, p) = dev_ptr(64);
+        let v = ArrayView::direct_2d(p, 8, 8, 8);
+        let _ = v.slice_ptr(0);
+    }
+
+    #[test]
+    fn chunk_ctx_basics() {
+        let (_g, p) = dev_ptr(64);
+        let ctx = ChunkCtx {
+            k0: 3,
+            k1: 7,
+            views: vec![ArrayView::direct_1d(p, 8)],
+        };
+        assert_eq!(ctx.len(), 4);
+        assert!(!ctx.is_empty());
+        assert_eq!(ctx.view(0).slice_elems(), 8);
+    }
+}

@@ -1,0 +1,167 @@
+//! Multi-device co-scheduling tests: regions split across several
+//! simulated GPUs sharing one host pool (the §VII extension).
+
+use gpsim::{DeviceProfile, ExecMode, Gpu, HostPool, KernelCost, KernelLaunch};
+use pipeline_rt::{
+    run_pipelined_buffer, run_pipelined_buffer_multi, Affine, ChunkCtx, MapDir, MapSpec, Region,
+    RegionSpec, RtError, Schedule, SplitSpec,
+};
+
+const NZ: usize = 64;
+const SLICE: usize = 4096;
+
+fn shared_setup(profiles: &[DeviceProfile]) -> (Vec<Gpu>, Region) {
+    let pool = HostPool::new(ExecMode::Functional);
+    let mut gpus: Vec<Gpu> = profiles
+        .iter()
+        .map(|p| Gpu::with_host_pool(p.clone(), pool.clone()).unwrap())
+        .collect();
+    let input = gpus[0].alloc_host(NZ * SLICE, true).unwrap();
+    let output = gpus[0].alloc_host(NZ * SLICE, true).unwrap();
+    gpus[0].host_fill(input, |i| (i % 113) as f32).unwrap();
+    let spec = RegionSpec::new(Schedule::static_(2, 3))
+        .with_map(MapSpec {
+            name: "in".into(),
+            dir: MapDir::To,
+            split: SplitSpec::OneD {
+                offset: Affine::shifted(-1),
+                window: 3,
+                extent: NZ,
+                slice_elems: SLICE,
+            },
+        })
+        .with_map(MapSpec {
+            name: "out".into(),
+            dir: MapDir::From,
+            split: SplitSpec::OneD {
+                offset: Affine::IDENTITY,
+                window: 1,
+                extent: NZ,
+                slice_elems: SLICE,
+            },
+        });
+    let region = Region::new(spec, 1, (NZ - 1) as i64, vec![input, output]);
+    (gpus, region)
+}
+
+fn builder(ctx: &ChunkCtx) -> KernelLaunch {
+    let (k0, k1) = (ctx.k0, ctx.k1);
+    let (vin, vout) = (ctx.view(0), ctx.view(1));
+    KernelLaunch::new(
+        "sum3",
+        KernelCost {
+            flops: (k1 - k0) as u64 * SLICE as u64 * 2,
+            bytes: (k1 - k0) as u64 * SLICE as u64 * 16,
+        },
+        move |kc| {
+            for k in k0..k1 {
+                let a = kc.read(vin.slice_ptr(k - 1), SLICE)?;
+                let b = kc.read(vin.slice_ptr(k), SLICE)?;
+                let c = kc.read(vin.slice_ptr(k + 1), SLICE)?;
+                let mut out = kc.write(vout.slice_ptr(k), SLICE)?;
+                for i in 0..SLICE {
+                    out[i] = a[i] + b[i] + c[i];
+                }
+            }
+            Ok(())
+        },
+    )
+}
+
+const PROBE: (u64, u64) = (2 * SLICE as u64, 16 * SLICE as u64);
+
+fn expected(gpu: &Gpu, input: gpsim::HostBufId) -> Vec<f32> {
+    let mut data = vec![0.0f32; NZ * SLICE];
+    gpu.host_read(input, 0, &mut data).unwrap();
+    let mut out = vec![0.0f32; NZ * SLICE];
+    for k in 1..NZ - 1 {
+        for i in 0..SLICE {
+            out[k * SLICE + i] =
+                data[(k - 1) * SLICE + i] + data[k * SLICE + i] + data[(k + 1) * SLICE + i];
+        }
+    }
+    out
+}
+
+#[test]
+fn two_homogeneous_devices_split_evenly_and_compute_correctly() {
+    let (mut gpus, region) = shared_setup(&[DeviceProfile::k40m(), DeviceProfile::k40m()]);
+    let expect = expected(&gpus[0], region.arrays[0]);
+
+    let multi = run_pipelined_buffer_multi(&mut gpus, &region, &builder, PROBE).unwrap();
+    assert_eq!(multi.partitions.len(), 2);
+    let lens: Vec<i64> = multi.partitions.iter().map(|(a, b)| b - a).collect();
+    assert!((lens[0] - lens[1]).abs() <= 1, "uneven split {lens:?}");
+
+    let mut got = vec![0.0f32; NZ * SLICE];
+    gpus[0].host_read(region.arrays[1], 0, &mut got).unwrap();
+    assert_eq!(
+        &got[SLICE..(NZ - 1) * SLICE],
+        &expect[SLICE..(NZ - 1) * SLICE]
+    );
+}
+
+#[test]
+fn co_scheduling_beats_a_single_device() {
+    let (mut gpus, region) = shared_setup(&[DeviceProfile::k40m(), DeviceProfile::k40m()]);
+    let single = run_pipelined_buffer(&mut gpus[0], &region, &builder).unwrap();
+    let multi = run_pipelined_buffer_multi(&mut gpus, &region, &builder, PROBE).unwrap();
+    let speedup = multi.speedup_over(&single);
+    assert!(
+        speedup > 1.5,
+        "two equal devices should be ≈2x: got {speedup}"
+    );
+}
+
+#[test]
+fn heterogeneous_devices_get_proportional_shares() {
+    let (mut gpus, region) = shared_setup(&[DeviceProfile::k40m(), DeviceProfile::hd7970()]);
+    let expect = expected(&gpus[0], region.arrays[0]);
+    let multi = run_pipelined_buffer_multi(&mut gpus, &region, &builder, PROBE).unwrap();
+    // The K40m (faster PCIe + memory) must receive the larger share.
+    let lens: Vec<i64> = multi.partitions.iter().map(|(a, b)| b - a).collect();
+    assert!(
+        lens[0] > lens[1],
+        "expected the K40m to take more iterations: {lens:?}"
+    );
+    let mut got = vec![0.0f32; NZ * SLICE];
+    gpus[0].host_read(region.arrays[1], 0, &mut got).unwrap();
+    assert_eq!(
+        &got[SLICE..(NZ - 1) * SLICE],
+        &expect[SLICE..(NZ - 1) * SLICE]
+    );
+}
+
+#[test]
+fn overlapping_output_windows_are_rejected() {
+    let (mut gpus, mut region) = shared_setup(&[DeviceProfile::k40m(), DeviceProfile::k40m()]);
+    // Make the output window span 2 slices per iteration with stride 1:
+    // partitions would write common slices.
+    if let SplitSpec::OneD { window, .. } = &mut region.spec.maps[1].split {
+        *window = 2;
+    }
+    region.hi -= 1; // keep the widened window in range
+    let err = run_pipelined_buffer_multi(&mut gpus, &region, &builder, PROBE).unwrap_err();
+    assert!(matches!(err, RtError::Spec(_)), "{err:?}");
+    assert!(err.to_string().contains("overlapping"), "{err}");
+}
+
+#[test]
+fn empty_device_list_is_an_error() {
+    let (_, region) = shared_setup(&[DeviceProfile::k40m()]);
+    let err = run_pipelined_buffer_multi(&mut [], &region, &builder, PROBE).unwrap_err();
+    assert!(matches!(err, RtError::Spec(_)));
+}
+
+#[test]
+fn host_pool_is_really_shared() {
+    let pool = HostPool::new(ExecMode::Functional);
+    let mut a = Gpu::with_host_pool(DeviceProfile::k40m(), pool.clone()).unwrap();
+    let b = Gpu::with_host_pool(DeviceProfile::hd7970(), pool).unwrap();
+    let h = a.alloc_host(8, true).unwrap();
+    a.host_write(h, 0, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0])
+        .unwrap();
+    let mut out = vec![0.0f32; 8];
+    b.host_read(h, 0, &mut out).unwrap();
+    assert_eq!(out[7], 8.0);
+}

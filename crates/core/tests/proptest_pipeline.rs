@@ -1,0 +1,236 @@
+//! Property tests of the Pipelined-buffer driver: for *random* region
+//! shapes and schedules, the streamed result must equal the sequential
+//! CPU reference, each input byte must cross the bus exactly once, and
+//! no device memory may leak.
+
+use gpsim::{DeviceProfile, ExecMode, Gpu, KernelCost, KernelLaunch};
+use proptest::prelude::*;
+use pipeline_rt::{
+    run_pipelined, run_pipelined_buffer, Affine, ChunkCtx, MapDir, MapSpec, Region, RegionSpec,
+    Schedule, SplitSpec,
+};
+
+/// A randomly shaped pipeline problem: `out[k] = Σ in[off(k) .. off(k)+w)`.
+#[derive(Debug, Clone)]
+struct Shape {
+    extent: usize,
+    slice: usize,
+    window: usize,
+    bias: i64,
+    chunk: usize,
+    streams: usize,
+    mem_limit_frac: Option<u8>,
+}
+
+fn shapes() -> impl Strategy<Value = Shape> {
+    (
+        6usize..40,   // extent
+        1usize..96,   // slice elems
+        1usize..4,    // window
+        -2i64..2,     // bias
+        1usize..7,    // chunk
+        1usize..6,    // streams
+        proptest::option::of(30u8..100),
+    )
+        .prop_map(
+            |(extent, slice, window, bias, chunk, streams, mem_limit_frac)| Shape {
+                extent,
+                slice,
+                window,
+                bias,
+                chunk,
+                streams,
+                mem_limit_frac,
+            },
+        )
+}
+
+impl Shape {
+    /// Loop bounds keeping `[off(k), off(k)+window)` inside the array.
+    fn bounds(&self) -> Option<(i64, i64)> {
+        let lo = (-self.bias).max(0);
+        let hi = (self.extent as i64 - self.window as i64 - self.bias + 1).min(self.extent as i64);
+        if hi <= lo {
+            None
+        } else {
+            Some((lo, hi))
+        }
+    }
+}
+
+fn run_shape(s: &Shape) -> Result<(), TestCaseError> {
+    let Some((lo, hi)) = s.bounds() else {
+        return Ok(()); // degenerate shape: nothing to test
+    };
+    let mut gpu = Gpu::new(DeviceProfile::k40m(), ExecMode::Functional).unwrap();
+    gpu.set_race_check(true);
+    let n = s.extent * s.slice;
+    let input = gpu.alloc_host(n, true).unwrap();
+    let output = gpu.alloc_host(n, true).unwrap();
+    gpu.host_fill(input, |i| ((i * 7 + 3) % 101) as f32).unwrap();
+
+    let mut spec = RegionSpec::new(Schedule::static_(s.chunk, s.streams))
+        .with_map(MapSpec {
+            name: "in".into(),
+            dir: MapDir::To,
+            split: SplitSpec::OneD {
+                offset: Affine { scale: 1, bias: s.bias },
+                window: s.window,
+                extent: s.extent,
+                slice_elems: s.slice,
+            },
+        })
+        .with_map(MapSpec {
+            name: "out".into(),
+            dir: MapDir::From,
+            split: SplitSpec::OneD {
+                offset: Affine::IDENTITY,
+                window: 1,
+                extent: s.extent,
+                slice_elems: s.slice,
+            },
+        });
+    if let Some(frac) = s.mem_limit_frac {
+        let unlimited = pipeline_rt::footprint(&spec, s.chunk, s.streams);
+        spec.mem_limit = Some((unlimited * frac as u64 / 100).max(1));
+    }
+    let region = Region::new(spec, lo, hi, vec![input, output]);
+
+    let shape = s.clone();
+    let builder = move |ctx: &ChunkCtx| {
+        let (k0, k1) = (ctx.k0, ctx.k1);
+        let (vin, vout) = (ctx.view(0), ctx.view(1));
+        let (slice, window, bias) = (shape.slice, shape.window, shape.bias);
+        KernelLaunch::new(
+            "window_sum",
+            KernelCost {
+                flops: (k1 - k0) as u64 * slice as u64 * window as u64,
+                bytes: 0,
+            },
+            move |kc| {
+                for k in k0..k1 {
+                    let mut out = kc.write(vout.slice_ptr(k), slice)?;
+                    out.fill(0.0);
+                    for w in 0..window as i64 {
+                        let src = kc.read(vin.slice_ptr(k + bias + w), slice)?;
+                        for i in 0..slice {
+                            out[i] += src[i];
+                        }
+                    }
+                }
+                Ok(())
+            },
+        )
+    };
+
+    let mem_before = gpu.current_mem();
+    let report = match run_pipelined_buffer(&mut gpu, &region, &builder) {
+        Ok(r) => r,
+        Err(pipeline_rt::RtError::MemLimitInfeasible { .. }) => return Ok(()),
+        Err(e) => return Err(TestCaseError::fail(format!("driver failed: {e}"))),
+    };
+    prop_assert_eq!(gpu.current_mem(), mem_before, "device memory leak");
+
+    // Exactly-once input traffic: the slices any iteration touches.
+    let first = lo + s.bias;
+    let last = (hi - 1) + s.bias + s.window as i64;
+    let touched = (last - first) as u64;
+    prop_assert_eq!(report.h2d_bytes, touched * s.slice as u64 * 4);
+
+    // Functional equality with the sequential reference.
+    let mut inp = vec![0.0f32; n];
+    gpu.host_read(input, 0, &mut inp).unwrap();
+    let mut got = vec![0.0f32; n];
+    gpu.host_read(output, 0, &mut got).unwrap();
+    for k in lo..hi {
+        for i in 0..s.slice {
+            let expect: f32 = (0..s.window as i64)
+                .map(|w| inp[((k + s.bias + w) as usize) * s.slice + i])
+                .sum();
+            prop_assert_eq!(
+                got[k as usize * s.slice + i],
+                expect,
+                "mismatch at k={} i={} shape={:?}",
+                k,
+                i,
+                s
+            );
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn buffer_driver_matches_reference_on_random_shapes(s in shapes()) {
+        run_shape(&s)?;
+    }
+
+    #[test]
+    fn pipelined_driver_matches_buffer_driver(s in shapes()) {
+        let Some((lo, hi)) = s.bounds() else { return Ok(()); };
+        prop_assume!(s.mem_limit_frac.is_none()); // full-footprint model
+        let mut gpu = Gpu::new(DeviceProfile::k40m(), ExecMode::Functional).unwrap();
+        let n = s.extent * s.slice;
+        let input = gpu.alloc_host(n, true).unwrap();
+        let output = gpu.alloc_host(n, true).unwrap();
+        gpu.host_fill(input, |i| ((i * 13 + 5) % 89) as f32).unwrap();
+        let spec = RegionSpec::new(Schedule::static_(s.chunk, s.streams))
+            .with_map(MapSpec {
+                name: "in".into(),
+                dir: MapDir::To,
+                split: SplitSpec::OneD {
+                    offset: Affine { scale: 1, bias: s.bias },
+                    window: s.window,
+                    extent: s.extent,
+                    slice_elems: s.slice,
+                },
+            })
+            .with_map(MapSpec {
+                name: "out".into(),
+                dir: MapDir::From,
+                split: SplitSpec::OneD {
+                    offset: Affine::IDENTITY,
+                    window: 1,
+                    extent: s.extent,
+                    slice_elems: s.slice,
+                },
+            });
+        let region = Region::new(spec, lo, hi, vec![input, output]);
+        let shape = s.clone();
+        let builder = move |ctx: &ChunkCtx| {
+            let (k0, k1) = (ctx.k0, ctx.k1);
+            let (vin, vout) = (ctx.view(0), ctx.view(1));
+            let (slice, window, bias) = (shape.slice, shape.window, shape.bias);
+            KernelLaunch::new(
+                "window_sum",
+                KernelCost { flops: 1, bytes: 0 },
+                move |kc| {
+                    for k in k0..k1 {
+                        let mut out = kc.write(vout.slice_ptr(k), slice)?;
+                        out.fill(0.0);
+                        for w in 0..window as i64 {
+                            let src = kc.read(vin.slice_ptr(k + bias + w), slice)?;
+                            for i in 0..slice {
+                                out[i] += src[i];
+                            }
+                        }
+                    }
+                    Ok(())
+                },
+            )
+        };
+        run_pipelined(&mut gpu, &region, &builder).unwrap();
+        let mut a = vec![0.0f32; n];
+        gpu.host_read(output, 0, &mut a).unwrap();
+        gpu.host_fill(output, |_| -1.0).unwrap();
+        run_pipelined_buffer(&mut gpu, &region, &builder).unwrap();
+        let mut b = vec![0.0f32; n];
+        gpu.host_read(output, 0, &mut b).unwrap();
+        // Interior slices written by the loop must agree bit-for-bit.
+        let (w0, w1) = (lo as usize * s.slice, hi as usize * s.slice);
+        prop_assert_eq!(&a[w0..w1], &b[w0..w1]);
+    }
+}

@@ -1,0 +1,257 @@
+//! Tests of the function-based dependency extension
+//! ([`run_pipelined_buffer_fn`]): custom per-chunk window functions in
+//! place of the affine clause windows (paper §VII).
+
+use gpsim::{DeviceProfile, ExecMode, Gpu, KernelCost, KernelLaunch};
+use pipeline_rt::{
+    run_pipelined_buffer, run_pipelined_buffer_fn, Affine, ChunkCtx, MapDir, MapSpec, Region,
+    RegionSpec, RtError, Schedule, SplitSpec, WindowFn,
+};
+
+const NZ: usize = 32;
+const SLICE: usize = 64;
+
+fn gpu() -> Gpu {
+    Gpu::new(DeviceProfile::k40m(), ExecMode::Functional).unwrap()
+}
+
+fn one_d(offset: Affine, window: usize) -> SplitSpec {
+    SplitSpec::OneD {
+        offset,
+        window,
+        extent: NZ,
+        slice_elems: SLICE,
+    }
+}
+
+fn region(gpu: &mut Gpu, in_split: SplitSpec, lo: i64, hi: i64) -> Region {
+    let input = gpu.alloc_host(NZ * SLICE, true).unwrap();
+    let output = gpu.alloc_host(NZ * SLICE, true).unwrap();
+    gpu.host_fill(input, |i| (i % 53) as f32).unwrap();
+    let spec = RegionSpec::new(Schedule::static_(2, 3))
+        .with_map(MapSpec {
+            name: "in".into(),
+            dir: MapDir::To,
+            split: in_split,
+        })
+        .with_map(MapSpec {
+            name: "out".into(),
+            dir: MapDir::From,
+            split: one_d(Affine::IDENTITY, 1),
+        });
+    Region::new(spec, lo, hi, vec![input, output])
+}
+
+fn read(gpu: &Gpu, h: gpsim::HostBufId) -> Vec<f32> {
+    let mut v = vec![0.0f32; NZ * SLICE];
+    gpu.host_read(h, 0, &mut v).unwrap();
+    v
+}
+
+#[test]
+fn affine_window_fn_matches_builtin_driver() {
+    // A custom window that recomputes the affine [k-1:3] dependency must
+    // behave exactly like the affine path.
+    let mut g = gpu();
+    g.set_race_check(true);
+    let region = region(&mut g, one_d(Affine::shifted(-1), 3), 1, (NZ - 1) as i64);
+    let builder = |ctx: &ChunkCtx| {
+        let (k0, k1) = (ctx.k0, ctx.k1);
+        let (vin, vout) = (ctx.view(0), ctx.view(1));
+        KernelLaunch::new(
+            "sum3",
+            KernelCost {
+                flops: (k1 - k0) as u64 * SLICE as u64,
+                bytes: 0,
+            },
+            move |kc| {
+                for k in k0..k1 {
+                    let a = kc.read(vin.slice_ptr(k - 1), SLICE)?;
+                    let b = kc.read(vin.slice_ptr(k), SLICE)?;
+                    let c = kc.read(vin.slice_ptr(k + 1), SLICE)?;
+                    let mut out = kc.write(vout.slice_ptr(k), SLICE)?;
+                    for i in 0..SLICE {
+                        out[i] = a[i] + b[i] + c[i];
+                    }
+                }
+                Ok(())
+            },
+        )
+    };
+    let affine = run_pipelined_buffer(&mut g, &region, &builder).unwrap();
+    let out_affine = read(&g, region.arrays[1]);
+
+    g.host_fill(region.arrays[1], |_| 0.0).unwrap();
+    let window = |k0: i64, k1: i64| (k0 - 1, k1 + 1);
+    let windows: Vec<Option<&WindowFn<'_>>> = vec![Some(&window), None];
+    let custom = run_pipelined_buffer_fn(&mut g, &region, &builder, &windows).unwrap();
+    let out_custom = read(&g, region.arrays[1]);
+
+    assert_eq!(out_affine, out_custom);
+    assert_eq!(affine.total, custom.total, "same schedule, same timing");
+    assert_eq!(affine.h2d_bytes, custom.h2d_bytes);
+    assert_eq!(affine.array_bytes, custom.array_bytes);
+}
+
+#[test]
+fn non_affine_step_window_is_correct() {
+    // out[k] = in[even(k)] + in[even(k)+1], where even(k) = k & !1 —
+    // a step function no affine window can describe exactly. The
+    // affine spec in the region is a placeholder; the custom window is
+    // authoritative.
+    let mut g = gpu();
+    g.set_race_check(true);
+    let region = region(&mut g, one_d(Affine::IDENTITY, 2), 0, (NZ - 1) as i64);
+    let builder = |ctx: &ChunkCtx| {
+        let (k0, k1) = (ctx.k0, ctx.k1);
+        let (vin, vout) = (ctx.view(0), ctx.view(1));
+        KernelLaunch::new(
+            "pair",
+            KernelCost {
+                flops: (k1 - k0) as u64 * SLICE as u64,
+                bytes: 0,
+            },
+            move |kc| {
+                for k in k0..k1 {
+                    let e = k & !1;
+                    let a = kc.read(vin.slice_ptr(e), SLICE)?;
+                    let b = kc.read(vin.slice_ptr(e + 1), SLICE)?;
+                    let mut out = kc.write(vout.slice_ptr(k), SLICE)?;
+                    for i in 0..SLICE {
+                        out[i] = a[i] + b[i];
+                    }
+                }
+                Ok(())
+            },
+        )
+    };
+    let window = |k0: i64, k1: i64| (k0 & !1, ((k1 - 1) & !1) + 2);
+    let windows: Vec<Option<&WindowFn<'_>>> = vec![Some(&window), None];
+    run_pipelined_buffer_fn(&mut g, &region, &builder, &windows).unwrap();
+
+    let input = read(&g, region.arrays[0]);
+    let got = read(&g, region.arrays[1]);
+    for k in 0..NZ - 1 {
+        let e = k & !1;
+        for i in 0..SLICE {
+            assert_eq!(
+                got[k * SLICE + i],
+                input[e * SLICE + i] + input[(e + 1) * SLICE + i],
+                "k={k} i={i}"
+            );
+        }
+    }
+}
+
+#[test]
+fn widening_prefix_window_is_correct() {
+    // out[k] = Σ in[0..=k]: the window grows with k, so the ring
+    // degenerates to the full array — the runtime must size it so.
+    let mut g = gpu();
+    let region = region(&mut g, one_d(Affine::IDENTITY, 1), 0, NZ as i64);
+    let builder = |ctx: &ChunkCtx| {
+        let (k0, k1) = (ctx.k0, ctx.k1);
+        let (vin, vout) = (ctx.view(0), ctx.view(1));
+        KernelLaunch::new(
+            "prefix",
+            KernelCost {
+                flops: (k1 * k1 - k0 * k0) as u64 * SLICE as u64,
+                bytes: 0,
+            },
+            move |kc| {
+                for k in k0..k1 {
+                    let mut out = kc.write(vout.slice_ptr(k), SLICE)?;
+                    out.fill(0.0);
+                    for s in 0..=k {
+                        let src = kc.read(vin.slice_ptr(s), SLICE)?;
+                        for i in 0..SLICE {
+                            out[i] += src[i];
+                        }
+                    }
+                }
+                Ok(())
+            },
+        )
+    };
+    let window = |_k0: i64, k1: i64| (0, k1);
+    let windows: Vec<Option<&WindowFn<'_>>> = vec![Some(&window), None];
+    let rep = run_pipelined_buffer_fn(&mut g, &region, &builder, &windows).unwrap();
+    // The input ring must hold the whole array; every slice still crosses
+    // the bus exactly once thanks to residency tracking.
+    assert_eq!(rep.h2d_bytes, (NZ * SLICE * 4) as u64);
+
+    let input = read(&g, region.arrays[0]);
+    let got = read(&g, region.arrays[1]);
+    for k in 0..NZ {
+        for i in 0..SLICE {
+            let expect: f32 = (0..=k).map(|s| input[s * SLICE + i]).sum();
+            assert_eq!(got[k * SLICE + i], expect, "k={k} i={i}");
+        }
+    }
+}
+
+#[test]
+fn window_fn_errors_are_validated() {
+    let mut g = gpu();
+    let region = region(&mut g, one_d(Affine::IDENTITY, 1), 0, NZ as i64);
+    let builder = |ctx: &ChunkCtx| {
+        let (vout, k0, k1) = (ctx.view(1), ctx.k0, ctx.k1);
+        KernelLaunch::new("noop", KernelCost::default(), move |kc| {
+            for k in k0..k1 {
+                kc.write(vout.slice_ptr(k), SLICE)?;
+            }
+            Ok(())
+        })
+    };
+
+    // Out-of-bounds range.
+    let oob = |k0: i64, k1: i64| (k0 - 5, k1);
+    let windows: Vec<Option<&WindowFn<'_>>> = vec![Some(&oob), None];
+    let err = run_pipelined_buffer_fn(&mut g, &region, &builder, &windows).unwrap_err();
+    assert!(err.to_string().contains("outside"), "{err}");
+
+    // Empty range.
+    let empty = |k0: i64, _k1: i64| (k0, k0);
+    let windows: Vec<Option<&WindowFn<'_>>> = vec![Some(&empty), None];
+    let err = run_pipelined_buffer_fn(&mut g, &region, &builder, &windows).unwrap_err();
+    assert!(err.to_string().contains("empty"), "{err}");
+
+    // Wrong arity.
+    let ok = |k0: i64, k1: i64| (k0, k1);
+    let windows: Vec<Option<&WindowFn<'_>>> = vec![Some(&ok)];
+    let err = run_pipelined_buffer_fn(&mut g, &region, &builder, &windows).unwrap_err();
+    assert!(err.to_string().contains("window functions"), "{err}");
+
+    // Overlapping output ranges.
+    let overlap = |k0: i64, k1: i64| ((k0 - 1).max(0), k1);
+    let windows: Vec<Option<&WindowFn<'_>>> = vec![None, Some(&overlap)];
+    let err = run_pipelined_buffer_fn(&mut g, &region, &builder, &windows).unwrap_err();
+    assert!(err.to_string().contains("overlap"), "{err}");
+}
+
+#[test]
+fn mem_limit_applies_to_custom_windows() {
+    let mut g = gpu();
+    let mut region = region(&mut g, one_d(Affine::IDENTITY, 1), 0, NZ as i64);
+    // A 4-slice sliding window (clamped), via a custom function.
+    let window = |k0: i64, k1: i64| ((k0 - 3).max(0), k1);
+    let builder = |ctx: &ChunkCtx| {
+        let (vout, k0, k1) = (ctx.view(1), ctx.k0, ctx.k1);
+        KernelLaunch::new("noop", KernelCost::default(), move |kc| {
+            for k in k0..k1 {
+                kc.write(vout.slice_ptr(k), SLICE)?;
+            }
+            Ok(())
+        })
+    };
+    let windows: Vec<Option<&WindowFn<'_>>> = vec![Some(&window), None];
+    let unlimited = run_pipelined_buffer_fn(&mut g, &region, &builder, &windows).unwrap();
+
+    region.spec.mem_limit = Some(unlimited.array_bytes / 2);
+    let limited = run_pipelined_buffer_fn(&mut g, &region, &builder, &windows).unwrap();
+    assert!(limited.array_bytes <= unlimited.array_bytes / 2);
+
+    region.spec.mem_limit = Some(64); // hopeless
+    let err = run_pipelined_buffer_fn(&mut g, &region, &builder, &windows).unwrap_err();
+    assert!(matches!(err, RtError::MemLimitInfeasible { .. }));
+}

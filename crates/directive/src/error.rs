@@ -1,0 +1,46 @@
+//! Parse error type with source positions.
+
+use std::fmt;
+
+/// A directive parse (or binding) error, with the byte offset where it
+/// was detected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset in the directive source (0 for binding-time errors
+    /// without a position).
+    pub pos: usize,
+    /// Description of what went wrong.
+    pub message: String,
+}
+
+impl ParseError {
+    pub(crate) fn new(pos: usize, message: impl Into<String>) -> Self {
+        ParseError {
+            pos,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "directive parse error at byte {}: {}", self.pos, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Result alias for parser operations.
+pub type ParseResult<T> = Result<T, ParseError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_position() {
+        let e = ParseError::new(42, "boom");
+        assert!(e.to_string().contains("42"));
+        assert!(e.to_string().contains("boom"));
+    }
+}

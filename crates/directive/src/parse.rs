@@ -1,0 +1,545 @@
+//! Recursive-descent parser for the clause grammar, and binding of the
+//! parsed form to a typed [`RegionSpec`].
+//!
+//! Grammar (Figure 1 of the paper):
+//!
+//! ```text
+//! directive  := clause+
+//! clause     := 'pipeline' '(' schedule ')'
+//!             | 'pipeline_map' '(' map_type ':' array ')'
+//!             | 'pipeline_mem_limit' '(' mem ')'
+//! schedule   := 'static' '[' number ',' number ']' | 'adaptive'
+//! map_type   := 'to' | 'from' | 'tofrom'
+//! array      := ident section+
+//! section    := '[' expr ':' number ']'
+//! expr       := affine expression over one loop variable, or a constant
+//! mem        := number unit? | UNIT '_' number   (e.g. 256MB, MB_256)
+//! ```
+//!
+//! Sections follow OpenMP array-section semantics: `[start : length]`.
+//! A section whose start expression mentions the loop variable is the
+//! *split* dimension; the paper allows exactly one loop variable per
+//! region.
+
+use pipeline_rt::{Affine, MapDir, MapSpec, RegionSpec, Schedule, SplitSpec};
+
+use crate::error::{ParseError, ParseResult};
+use crate::token::{tokenize, Token, TokenKind};
+
+/// One `[start : length]` array section.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DimSection {
+    /// Start expression mentions the loop variable: this is the split
+    /// dimension, with the given affine start and window length.
+    Split {
+        /// Loop variable name.
+        var: String,
+        /// Affine start offset as a function of the loop variable.
+        affine: Affine,
+        /// Window length (the paper's `size`).
+        len: u64,
+    },
+    /// Constant section `[lo : len]`.
+    Fixed {
+        /// Constant start.
+        lo: u64,
+        /// Length.
+        len: u64,
+    },
+}
+
+impl DimSection {
+    /// Length of the section.
+    pub fn len(&self) -> u64 {
+        match self {
+            DimSection::Split { len, .. } | DimSection::Fixed { len, .. } => *len,
+        }
+    }
+
+    /// True for zero-length sections (always a spec error downstream).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// One parsed `pipeline_map` clause.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsedMap {
+    /// Transfer direction.
+    pub dir: MapDir,
+    /// Array name.
+    pub name: String,
+    /// Array sections, outermost first.
+    pub dims: Vec<DimSection>,
+    /// Byte position of the clause (for binding errors).
+    pub pos: usize,
+}
+
+/// A fully parsed directive (all clauses).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsedDirective {
+    /// Schedule from the `pipeline(...)` clause.
+    pub schedule: Schedule,
+    /// All `pipeline_map(...)` clauses, in source order.
+    pub maps: Vec<ParsedMap>,
+    /// Memory ceiling in bytes, if `pipeline_mem_limit` was present.
+    pub mem_limit: Option<u64>,
+}
+
+struct Parser {
+    toks: Vec<Token>,
+    i: usize,
+    src_len: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&TokenKind> {
+        self.toks.get(self.i).map(|t| &t.kind)
+    }
+
+    fn pos(&self) -> usize {
+        self.toks.get(self.i).map(|t| t.pos).unwrap_or(self.src_len)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.toks.get(self.i).cloned();
+        if t.is_some() {
+            self.i += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, kind: &TokenKind) -> ParseResult<()> {
+        match self.next() {
+            Some(t) if &t.kind == kind => Ok(()),
+            Some(t) => Err(ParseError::new(
+                t.pos,
+                format!("expected {}, found {}", kind.describe(), t.kind.describe()),
+            )),
+            None => Err(ParseError::new(
+                self.src_len,
+                format!("expected {}, found end of directive", kind.describe()),
+            )),
+        }
+    }
+
+    fn expect_number(&mut self) -> ParseResult<u64> {
+        match self.next() {
+            Some(Token {
+                kind: TokenKind::Number(n),
+                ..
+            }) => Ok(n),
+            Some(t) => Err(ParseError::new(
+                t.pos,
+                format!("expected a number, found {}", t.kind.describe()),
+            )),
+            None => Err(ParseError::new(self.src_len, "expected a number")),
+        }
+    }
+
+    fn expect_ident(&mut self) -> ParseResult<(usize, String)> {
+        match self.next() {
+            Some(Token {
+                pos,
+                kind: TokenKind::Ident(s),
+            }) => Ok((pos, s)),
+            Some(t) => Err(ParseError::new(
+                t.pos,
+                format!("expected an identifier, found {}", t.kind.describe()),
+            )),
+            None => Err(ParseError::new(self.src_len, "expected an identifier")),
+        }
+    }
+
+    fn parse_directive(&mut self) -> ParseResult<ParsedDirective> {
+        let mut schedule: Option<Schedule> = None;
+        let mut maps = Vec::new();
+        let mut mem_limit: Option<u64> = None;
+
+        while self.peek().is_some() {
+            let (pos, clause) = self.expect_ident()?;
+            match clause.as_str() {
+                "pipeline" => {
+                    if schedule.is_some() {
+                        return Err(ParseError::new(pos, "duplicate pipeline() clause"));
+                    }
+                    self.expect(&TokenKind::LParen)?;
+                    schedule = Some(self.parse_schedule()?);
+                    self.expect(&TokenKind::RParen)?;
+                }
+                "pipeline_map" => {
+                    self.expect(&TokenKind::LParen)?;
+                    maps.push(self.parse_map(pos)?);
+                    self.expect(&TokenKind::RParen)?;
+                }
+                "pipeline_mem_limit" => {
+                    if mem_limit.is_some() {
+                        return Err(ParseError::new(pos, "duplicate pipeline_mem_limit() clause"));
+                    }
+                    self.expect(&TokenKind::LParen)?;
+                    mem_limit = Some(self.parse_mem()?);
+                    self.expect(&TokenKind::RParen)?;
+                }
+                other => {
+                    return Err(ParseError::new(
+                        pos,
+                        format!("unknown clause '{other}' (expected pipeline, pipeline_map or pipeline_mem_limit)"),
+                    ));
+                }
+            }
+        }
+
+        let schedule = schedule
+            .ok_or_else(|| ParseError::new(self.src_len, "missing pipeline() clause"))?;
+        if maps.is_empty() {
+            return Err(ParseError::new(
+                self.src_len,
+                "missing pipeline_map() clause",
+            ));
+        }
+        Ok(ParsedDirective {
+            schedule,
+            maps,
+            mem_limit,
+        })
+    }
+
+    fn parse_schedule(&mut self) -> ParseResult<Schedule> {
+        let (pos, kind) = self.expect_ident()?;
+        match kind.as_str() {
+            "static" => {
+                self.expect(&TokenKind::LBracket)?;
+                let chunk = self.expect_number()?;
+                self.expect(&TokenKind::Comma)?;
+                let streams = self.expect_number()?;
+                self.expect(&TokenKind::RBracket)?;
+                if chunk == 0 || streams == 0 {
+                    return Err(ParseError::new(
+                        pos,
+                        "chunk_size and num_stream must be ≥ 1",
+                    ));
+                }
+                Ok(Schedule::static_(chunk as usize, streams as usize))
+            }
+            "adaptive" => Ok(Schedule::Adaptive),
+            other => Err(ParseError::new(
+                pos,
+                format!("unknown schedule_kind '{other}' (expected static or adaptive)"),
+            )),
+        }
+    }
+
+    fn parse_map(&mut self, pos: usize) -> ParseResult<ParsedMap> {
+        let (dpos, dir) = self.expect_ident()?;
+        let dir = match dir.as_str() {
+            "to" => MapDir::To,
+            "from" => MapDir::From,
+            "tofrom" => MapDir::ToFrom,
+            other => {
+                return Err(ParseError::new(
+                    dpos,
+                    format!("unknown map_type '{other}' (expected to, from or tofrom)"),
+                ));
+            }
+        };
+        self.expect(&TokenKind::Colon)?;
+        let (_, name) = self.expect_ident()?;
+        let mut dims = Vec::new();
+        while self.peek() == Some(&TokenKind::LBracket) {
+            dims.push(self.parse_section()?);
+        }
+        if dims.is_empty() {
+            return Err(ParseError::new(
+                self.pos(),
+                format!("array '{name}' needs at least one [start:length] section"),
+            ));
+        }
+        Ok(ParsedMap {
+            dir,
+            name,
+            dims,
+            pos,
+        })
+    }
+
+    /// `[` expr `:` number `]`
+    fn parse_section(&mut self) -> ParseResult<DimSection> {
+        self.expect(&TokenKind::LBracket)?;
+        let start = self.parse_start_expr()?;
+        self.expect(&TokenKind::Colon)?;
+        let len = self.expect_number()?;
+        self.expect(&TokenKind::RBracket)?;
+        Ok(match start {
+            StartExpr::Const(lo) => DimSection::Fixed { lo, len },
+            StartExpr::Affine { var, affine } => DimSection::Split { var, affine, len },
+        })
+    }
+
+    /// Affine start expression: `c`, `k`, `k±c`, `a*k`, `k*a`, `a*k±c`,
+    /// `k*a±c`.
+    fn parse_start_expr(&mut self) -> ParseResult<StartExpr> {
+        let pos = self.pos();
+        // First term: number, var, number*var, or var*number.
+        let var: Option<String>;
+        let scale: i64;
+        let mut bias: i64;
+        match self.next() {
+            Some(Token {
+                kind: TokenKind::Number(n),
+                ..
+            }) => {
+                if self.peek() == Some(&TokenKind::Star) {
+                    self.next();
+                    let (_, v) = self.expect_ident()?;
+                    var = Some(v);
+                    scale = n as i64;
+                    bias = 0;
+                } else {
+                    var = None;
+                    scale = 0;
+                    bias = n as i64;
+                }
+            }
+            Some(Token {
+                kind: TokenKind::Ident(v),
+                ..
+            }) => {
+                var = Some(v);
+                if self.peek() == Some(&TokenKind::Star) {
+                    self.next();
+                    scale = self.expect_number()? as i64;
+                } else {
+                    scale = 1;
+                }
+                bias = 0;
+            }
+            other => {
+                let p = other.map(|t| t.pos).unwrap_or(self.src_len);
+                return Err(ParseError::new(p, "expected a start expression"));
+            }
+        }
+        // Optional ± constant.
+        match self.peek() {
+            Some(TokenKind::Plus) => {
+                self.next();
+                bias += self.expect_number()? as i64;
+            }
+            Some(TokenKind::Minus) => {
+                self.next();
+                bias -= self.expect_number()? as i64;
+            }
+            _ => {}
+        }
+        Ok(match var {
+            Some(var) => {
+                if scale == 0 {
+                    return Err(ParseError::new(pos, "split_iter scale must be non-zero"));
+                }
+                StartExpr::Affine {
+                    var,
+                    affine: Affine { scale, bias },
+                }
+            }
+            None => {
+                if bias < 0 {
+                    return Err(ParseError::new(pos, "constant section start must be ≥ 0"));
+                }
+                StartExpr::Const(bias as u64)
+            }
+        })
+    }
+
+    /// Memory size: `N` (bytes), `N KB|MB|GB` (also lexed from `256MB`),
+    /// or the paper's `MB_256` form.
+    fn parse_mem(&mut self) -> ParseResult<u64> {
+        match self.next() {
+            Some(Token {
+                kind: TokenKind::Number(n),
+                pos,
+            }) => {
+                if let Some(TokenKind::Ident(unit)) = self.peek() {
+                    let mult = unit_multiplier(unit)
+                        .ok_or_else(|| ParseError::new(pos, format!("unknown unit '{unit}'")))?;
+                    self.next();
+                    Ok(n * mult)
+                } else {
+                    Ok(n)
+                }
+            }
+            Some(Token {
+                kind: TokenKind::Ident(s),
+                pos,
+            }) => {
+                // `MB_256` form.
+                let (unit, value) = s
+                    .split_once('_')
+                    .ok_or_else(|| ParseError::new(pos, format!("bad memory size '{s}'")))?;
+                let mult = unit_multiplier(unit)
+                    .ok_or_else(|| ParseError::new(pos, format!("unknown unit '{unit}'")))?;
+                let n: u64 = value
+                    .parse()
+                    .map_err(|_| ParseError::new(pos, format!("bad memory value '{value}'")))?;
+                Ok(n * mult)
+            }
+            other => {
+                let p = other.map(|t| t.pos).unwrap_or(self.src_len);
+                Err(ParseError::new(p, "expected a memory size"))
+            }
+        }
+    }
+}
+
+enum StartExpr {
+    Const(u64),
+    Affine { var: String, affine: Affine },
+}
+
+fn unit_multiplier(unit: &str) -> Option<u64> {
+    match unit.to_ascii_uppercase().as_str() {
+        "B" => Some(1),
+        "KB" => Some(1 << 10),
+        "MB" => Some(1 << 20),
+        "GB" => Some(1 << 30),
+        _ => None,
+    }
+}
+
+/// Parse a full directive string.
+pub fn parse_directive(src: &str) -> ParseResult<ParsedDirective> {
+    let toks = tokenize(src)?;
+    let mut p = Parser {
+        toks,
+        i: 0,
+        src_len: src.len(),
+    };
+    p.parse_directive()
+}
+
+impl ParsedDirective {
+    /// The loop variable used by the split sections (validated unique).
+    pub fn loop_var(&self) -> ParseResult<String> {
+        let mut found: Option<String> = None;
+        for m in &self.maps {
+            for d in &m.dims {
+                if let DimSection::Split { var, .. } = d {
+                    match &found {
+                        None => found = Some(var.clone()),
+                        Some(v) if v == var => {}
+                        Some(v) => {
+                            return Err(ParseError::new(
+                                m.pos,
+                                format!(
+                                    "multiple loop variables '{v}' and '{var}': the paper's \
+                                     extension allows one split_iter per region"
+                                ),
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        found.ok_or_else(|| ParseError::new(0, "no split dimension in any pipeline_map"))
+    }
+
+    /// Bind to a typed [`RegionSpec`]. `extent_of(name)` must return the
+    /// number of slices (1-D splits) or blocks (column splits) of each
+    /// mapped array's split dimension.
+    pub fn to_region_spec(
+        &self,
+        extent_of: impl Fn(&str) -> Option<usize>,
+    ) -> ParseResult<RegionSpec> {
+        self.loop_var()?; // validates uniqueness
+        let mut spec = RegionSpec::new(self.schedule);
+        spec.mem_limit = self.mem_limit;
+        for m in &self.maps {
+            let extent = extent_of(&m.name).ok_or_else(|| {
+                ParseError::new(m.pos, format!("no extent provided for array '{}'", m.name))
+            })?;
+            let split_positions: Vec<usize> = m
+                .dims
+                .iter()
+                .enumerate()
+                .filter(|(_, d)| matches!(d, DimSection::Split { .. }))
+                .map(|(i, _)| i)
+                .collect();
+            let split = match split_positions.as_slice() {
+                [] => {
+                    return Err(ParseError::new(
+                        m.pos,
+                        format!("array '{}' has no split dimension", m.name),
+                    ));
+                }
+                [0] => {
+                    // Outermost split: 1-D contiguous slices.
+                    let DimSection::Split { affine, len, .. } = &m.dims[0] else {
+                        unreachable!()
+                    };
+                    let slice_elems: u64 = m.dims[1..].iter().map(DimSection::len).product();
+                    if slice_elems == 0 || *len == 0 {
+                        return Err(ParseError::new(
+                            m.pos,
+                            format!("array '{}' has a zero-length section", m.name),
+                        ));
+                    }
+                    SplitSpec::OneD {
+                        offset: *affine,
+                        window: *len as usize,
+                        extent,
+                        slice_elems: slice_elems as usize,
+                    }
+                }
+                [1] if m.dims.len() == 2 => {
+                    // Column-block split of a row-major matrix.
+                    let rows = m.dims[0].len() as usize;
+                    let DimSection::Split { affine, len, .. } = &m.dims[1] else {
+                        unreachable!()
+                    };
+                    let bc = *len as usize;
+                    if rows == 0 || bc == 0 {
+                        return Err(ParseError::new(
+                            m.pos,
+                            format!("array '{}' has a zero-length section", m.name),
+                        ));
+                    }
+                    if affine.scale % bc as i64 != 0 || affine.bias % bc as i64 != 0 {
+                        return Err(ParseError::new(
+                            m.pos,
+                            format!(
+                                "array '{}': column split start must be block-aligned \
+                                 (multiple of {bc})",
+                                m.name
+                            ),
+                        ));
+                    }
+                    SplitSpec::ColBlocks {
+                        offset: Affine {
+                            scale: affine.scale / bc as i64,
+                            bias: affine.bias / bc as i64,
+                        },
+                        window: 1,
+                        extent,
+                        rows,
+                        block_cols: bc,
+                        row_stride: extent * bc,
+                    }
+                }
+                _ => {
+                    return Err(ParseError::new(
+                        m.pos,
+                        format!(
+                            "array '{}': unsupported split shape (supported: outermost-dimension \
+                             split, or column split of a 2-D array)",
+                            m.name
+                        ),
+                    ));
+                }
+            };
+            spec.maps.push(MapSpec {
+                name: m.name.clone(),
+                dir: m.dir,
+                split,
+            });
+        }
+        Ok(spec)
+    }
+}

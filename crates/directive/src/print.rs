@@ -1,0 +1,100 @@
+//! Canonical pretty-printing of parsed directives (used by round-trip
+//! property tests and diagnostics).
+
+use std::fmt;
+
+use pipeline_rt::Schedule;
+
+use crate::parse::{DimSection, ParsedDirective, ParsedMap};
+
+impl fmt::Display for DimSection {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DimSection::Fixed { lo, len } => write!(f, "[{lo}:{len}]"),
+            DimSection::Split { var, affine, len } => {
+                write!(f, "[")?;
+                match (affine.scale, affine.bias) {
+                    (1, 0) => write!(f, "{var}")?,
+                    (1, b) if b > 0 => write!(f, "{var}+{b}")?,
+                    (1, b) => write!(f, "{var}-{}", -b)?,
+                    (s, 0) => write!(f, "{s}*{var}")?,
+                    (s, b) if b > 0 => write!(f, "{s}*{var}+{b}")?,
+                    (s, b) => write!(f, "{s}*{var}-{}", -b)?,
+                }
+                write!(f, ":{len}]")
+            }
+        }
+    }
+}
+
+impl fmt::Display for ParsedMap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let dir = match self.dir {
+            pipeline_rt::MapDir::To => "to",
+            pipeline_rt::MapDir::From => "from",
+            pipeline_rt::MapDir::ToFrom => "tofrom",
+        };
+        write!(f, "pipeline_map({dir}:{}", self.name)?;
+        for d in &self.dims {
+            write!(f, "{d}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl fmt::Display for ParsedDirective {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.schedule {
+            Schedule::Static {
+                chunk_size,
+                num_streams,
+            } => write!(f, "pipeline(static[{chunk_size},{num_streams}])")?,
+            Schedule::Adaptive => write!(f, "pipeline(adaptive)")?,
+        }
+        for m in &self.maps {
+            write!(f, " {m}")?;
+        }
+        if let Some(limit) = self.mem_limit {
+            write!(f, " pipeline_mem_limit({limit})")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::parse_directive;
+
+    #[test]
+    fn canonical_form_round_trips() {
+        let src = "pipeline(static[2,4]) \
+                   pipeline_map(to:A0[k-1:3][0:64][0:64]) \
+                   pipeline_map(from:Anext[k:1][0:64][0:64]) \
+                   pipeline_mem_limit(MB_256)";
+        let parsed = parse_directive(src).unwrap();
+        let printed = parsed.to_string();
+        let reparsed = parse_directive(&printed).unwrap();
+        assert_eq!(parsed, reparsed);
+        assert!(printed.contains("pipeline_mem_limit(268435456)"));
+    }
+
+    #[test]
+    fn affine_forms_print_readably() {
+        for (expr, expect) in [
+            ("k", "[k:2]"),
+            ("k+5", "[k+5:2]"),
+            ("k-5", "[k-5:2]"),
+            ("3*k", "[3*k:2]"),
+            ("3*k+1", "[3*k+1:2]"),
+            ("3*k-1", "[3*k-1:2]"),
+        ] {
+            let src = format!("pipeline(static[1,1]) pipeline_map(to:A[{expr}:2][0:4])");
+            let parsed = parse_directive(&src).unwrap();
+            assert!(
+                parsed.maps[0].to_string().contains(expect),
+                "{expr} printed as {}",
+                parsed.maps[0]
+            );
+        }
+    }
+}

@@ -1,0 +1,272 @@
+//! Tokenizer for the directive clause syntax of the paper's Figure 1:
+//!
+//! ```text
+//! #pragma omp target \
+//!     pipeline(static[1,3]) \
+//!     pipeline_map(to:A0[k-1:3][0:ny-1][0:nx-1]) \
+//!     pipeline_mem_limit(MB_256)
+//! ```
+//!
+//! Line continuations (`\`) and the `#pragma omp target` prefix are
+//! handled here so the parser sees a flat token stream.
+
+use crate::error::{ParseError, ParseResult};
+
+/// One lexical token with its byte offset in the source (for errors).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Byte offset of the token start.
+    pub pos: usize,
+    /// Token payload.
+    pub kind: TokenKind,
+}
+
+/// Token kinds of the clause grammar.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`pipeline`, `static`, `A0`, `k`, `MB_256`).
+    Ident(String),
+    /// Unsigned integer literal.
+    Number(u64),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `:`
+    Colon,
+    /// `,`
+    Comma,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+}
+
+impl TokenKind {
+    /// Human-readable token description for error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Ident(s) => format!("identifier '{s}'"),
+            TokenKind::Number(n) => format!("number {n}"),
+            TokenKind::LParen => "'('".into(),
+            TokenKind::RParen => "')'".into(),
+            TokenKind::LBracket => "'['".into(),
+            TokenKind::RBracket => "']'".into(),
+            TokenKind::Colon => "':'".into(),
+            TokenKind::Comma => "','".into(),
+            TokenKind::Plus => "'+'".into(),
+            TokenKind::Minus => "'-'".into(),
+            TokenKind::Star => "'*'".into(),
+        }
+    }
+}
+
+/// Tokenize a directive string. Strips an optional `#pragma omp target`
+/// prefix and backslash line continuations.
+pub fn tokenize(src: &str) -> ParseResult<Vec<Token>> {
+    let mut out = Vec::new();
+    let bytes = src.as_bytes();
+    let mut i = 0;
+
+    // Skip an optional `#pragma omp target` prefix.
+    let trimmed = src.trim_start();
+    if let Some(rest) = trimmed.strip_prefix('#') {
+        let off = src.len() - trimmed.len();
+        let rest_trim = rest.trim_start();
+        if let Some(after) = rest_trim.strip_prefix("pragma") {
+            let after_trim = after.trim_start();
+            if let Some(after_omp) = after_trim.strip_prefix("omp") {
+                let after_omp_trim = after_omp.trim_start();
+                if let Some(after_target) = after_omp_trim.strip_prefix("target") {
+                    i = src.len() - after_target.len();
+                } else {
+                    return Err(ParseError::new(off, "expected 'target' after '#pragma omp'"));
+                }
+            } else {
+                return Err(ParseError::new(off, "expected 'omp' after '#pragma'"));
+            }
+        } else {
+            return Err(ParseError::new(off, "expected 'pragma' after '#'"));
+        }
+    }
+
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' | '\\' => {
+                i += 1;
+            }
+            '(' => {
+                out.push(Token {
+                    pos: i,
+                    kind: TokenKind::LParen,
+                });
+                i += 1;
+            }
+            ')' => {
+                out.push(Token {
+                    pos: i,
+                    kind: TokenKind::RParen,
+                });
+                i += 1;
+            }
+            '[' => {
+                out.push(Token {
+                    pos: i,
+                    kind: TokenKind::LBracket,
+                });
+                i += 1;
+            }
+            ']' => {
+                out.push(Token {
+                    pos: i,
+                    kind: TokenKind::RBracket,
+                });
+                i += 1;
+            }
+            ':' => {
+                out.push(Token {
+                    pos: i,
+                    kind: TokenKind::Colon,
+                });
+                i += 1;
+            }
+            ',' => {
+                out.push(Token {
+                    pos: i,
+                    kind: TokenKind::Comma,
+                });
+                i += 1;
+            }
+            '+' => {
+                out.push(Token {
+                    pos: i,
+                    kind: TokenKind::Plus,
+                });
+                i += 1;
+            }
+            '-' => {
+                out.push(Token {
+                    pos: i,
+                    kind: TokenKind::Minus,
+                });
+                i += 1;
+            }
+            '*' => {
+                out.push(Token {
+                    pos: i,
+                    kind: TokenKind::Star,
+                });
+                i += 1;
+            }
+            '0'..='9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let text = &src[start..i];
+                let n: u64 = text
+                    .parse()
+                    .map_err(|_| ParseError::new(start, format!("number '{text}' out of range")))?;
+                out.push(Token {
+                    pos: start,
+                    kind: TokenKind::Number(n),
+                });
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                out.push(Token {
+                    pos: start,
+                    kind: TokenKind::Ident(src[start..i].to_string()),
+                });
+            }
+            other => {
+                return Err(ParseError::new(i, format!("unexpected character '{other}'")));
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        tokenize(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        assert_eq!(
+            kinds("pipeline(static[1,3])"),
+            vec![
+                TokenKind::Ident("pipeline".into()),
+                TokenKind::LParen,
+                TokenKind::Ident("static".into()),
+                TokenKind::LBracket,
+                TokenKind::Number(1),
+                TokenKind::Comma,
+                TokenKind::Number(3),
+                TokenKind::RBracket,
+                TokenKind::RParen,
+            ]
+        );
+    }
+
+    #[test]
+    fn pragma_prefix_and_continuations() {
+        let src = "#pragma omp target \\\n pipeline(static[1,3])";
+        let toks = tokenize(src).unwrap();
+        assert_eq!(toks[0].kind, TokenKind::Ident("pipeline".into()));
+    }
+
+    #[test]
+    fn arithmetic_tokens() {
+        assert_eq!(
+            kinds("k-1 2*k+3"),
+            vec![
+                TokenKind::Ident("k".into()),
+                TokenKind::Minus,
+                TokenKind::Number(1),
+                TokenKind::Number(2),
+                TokenKind::Star,
+                TokenKind::Ident("k".into()),
+                TokenKind::Plus,
+                TokenKind::Number(3),
+            ]
+        );
+    }
+
+    #[test]
+    fn bad_pragma_is_rejected() {
+        assert!(tokenize("#pragma acc target pipeline(static[1,1])").is_err());
+        assert!(tokenize("# nonsense").is_err());
+    }
+
+    #[test]
+    fn unexpected_character_reports_position() {
+        let err = tokenize("pipeline(static[1;3])").unwrap_err();
+        assert_eq!(err.pos, 17);
+        assert!(err.to_string().contains("';'"));
+    }
+
+    #[test]
+    fn positions_are_byte_offsets() {
+        let toks = tokenize("ab (cd)").unwrap();
+        assert_eq!(toks[0].pos, 0);
+        assert_eq!(toks[1].pos, 3);
+        assert_eq!(toks[2].pos, 4);
+    }
+}

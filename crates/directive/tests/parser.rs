@@ -1,0 +1,227 @@
+//! Parser integration tests, anchored on the paper's own examples.
+
+use pipeline_directive::{parse_directive, DimSection};
+use pipeline_rt::{Affine, MapDir, Schedule, SplitSpec};
+
+/// The exact directive of the paper's Figure 2 (stencil benchmark).
+const FIGURE2: &str = "#pragma omp target \
+    pipeline(static[1,3]) \
+    pipeline_map(to:A0[k-1:3][0:127][0:127]) \
+    pipeline_map(from:Anext[k:1][0:127][0:127]) \
+    pipeline_mem_limit(MB_256)";
+
+#[test]
+fn figure2_stencil_directive_parses() {
+    let d = parse_directive(FIGURE2).unwrap();
+    assert_eq!(
+        d.schedule,
+        Schedule::Static {
+            chunk_size: 1,
+            num_streams: 3
+        }
+    );
+    assert_eq!(d.mem_limit, Some(256 << 20));
+    assert_eq!(d.maps.len(), 2);
+
+    let a0 = &d.maps[0];
+    assert_eq!(a0.name, "A0");
+    assert_eq!(a0.dir, MapDir::To);
+    assert_eq!(
+        a0.dims[0],
+        DimSection::Split {
+            var: "k".into(),
+            affine: Affine {
+                scale: 1,
+                bias: -1
+            },
+            len: 3
+        }
+    );
+    assert_eq!(a0.dims[1], DimSection::Fixed { lo: 0, len: 127 });
+
+    let anext = &d.maps[1];
+    assert_eq!(anext.dir, MapDir::From);
+    assert_eq!(
+        anext.dims[0],
+        DimSection::Split {
+            var: "k".into(),
+            affine: Affine { scale: 1, bias: 0 },
+            len: 1
+        }
+    );
+}
+
+#[test]
+fn figure2_binds_to_region_spec() {
+    let d = parse_directive(FIGURE2).unwrap();
+    let spec = d.to_region_spec(|_| Some(130)).unwrap();
+    assert_eq!(spec.mem_limit, Some(256 << 20));
+    match &spec.maps[0].split {
+        SplitSpec::OneD {
+            offset,
+            window,
+            extent,
+            slice_elems,
+        } => {
+            assert_eq!(*offset, Affine::shifted(-1));
+            assert_eq!(*window, 3);
+            assert_eq!(*extent, 130);
+            assert_eq!(*slice_elems, 127 * 127);
+        }
+        other => panic!("wrong split: {other:?}"),
+    }
+}
+
+#[test]
+fn column_split_binds_to_col_blocks() {
+    // Matrix B split by columns of 32, as in the GEMM pipeline-buffer
+    // version (paper §V-E): blocks of all n rows.
+    let d = parse_directive(
+        "pipeline(static[1,4]) pipeline_map(to:B[0:1024][32*k:32])",
+    )
+    .unwrap();
+    let spec = d.to_region_spec(|_| Some(32)).unwrap(); // 32 blocks
+    match &spec.maps[0].split {
+        SplitSpec::ColBlocks {
+            offset,
+            window,
+            extent,
+            rows,
+            block_cols,
+            row_stride,
+        } => {
+            assert_eq!(*offset, Affine { scale: 1, bias: 0 }); // block units
+            assert_eq!(*window, 1);
+            assert_eq!(*extent, 32);
+            assert_eq!(*rows, 1024);
+            assert_eq!(*block_cols, 32);
+            assert_eq!(*row_stride, 1024);
+        }
+        other => panic!("wrong split: {other:?}"),
+    }
+}
+
+#[test]
+fn misaligned_column_split_is_rejected() {
+    let d = parse_directive(
+        "pipeline(static[1,4]) pipeline_map(to:B[0:64][32*k+7:32])",
+    )
+    .unwrap();
+    let err = d.to_region_spec(|_| Some(8)).unwrap_err();
+    assert!(err.to_string().contains("block-aligned"), "{err}");
+}
+
+#[test]
+fn adaptive_schedule_parses() {
+    let d = parse_directive("pipeline(adaptive) pipeline_map(to:A[k:1][0:8])").unwrap();
+    assert_eq!(d.schedule, Schedule::Adaptive);
+}
+
+#[test]
+fn mem_limit_unit_forms() {
+    for (src, expect) in [
+        ("pipeline_mem_limit(1024)", 1024u64),
+        ("pipeline_mem_limit(64KB)", 64 << 10),
+        ("pipeline_mem_limit(256MB)", 256 << 20),
+        ("pipeline_mem_limit(2GB)", 2 << 30),
+        ("pipeline_mem_limit(KB_512)", 512 << 10),
+        ("pipeline_mem_limit(GB_1)", 1 << 30),
+    ] {
+        let full = format!("pipeline(static[1,1]) pipeline_map(to:A[k:1][0:8]) {src}");
+        let d = parse_directive(&full).unwrap();
+        assert_eq!(d.mem_limit, Some(expect), "{src}");
+    }
+}
+
+#[test]
+fn affine_expression_forms() {
+    for (expr, scale, bias) in [
+        ("k", 1, 0),
+        ("k+2", 1, 2),
+        ("k-3", 1, -3),
+        ("2*k", 2, 0),
+        ("k*2", 2, 0),
+        ("4*k+1", 4, 1),
+        ("k*4-1", 4, -1),
+    ] {
+        let src = format!("pipeline(static[1,1]) pipeline_map(to:A[{expr}:1][0:8])");
+        let d = parse_directive(&src).unwrap();
+        match &d.maps[0].dims[0] {
+            DimSection::Split { affine, .. } => {
+                assert_eq!((affine.scale, affine.bias), (scale, bias), "{expr}");
+            }
+            other => panic!("{expr} parsed as {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn error_cases_have_useful_messages() {
+    let cases: &[(&str, &str)] = &[
+        ("pipeline(static[1,3])", "missing pipeline_map"),
+        ("pipeline_map(to:A[k:1][0:8])", "missing pipeline()"),
+        (
+            "pipeline(static[0,3]) pipeline_map(to:A[k:1][0:8])",
+            "must be ≥ 1",
+        ),
+        (
+            "pipeline(dynamic[1,3]) pipeline_map(to:A[k:1][0:8])",
+            "unknown schedule_kind",
+        ),
+        (
+            "pipeline(static[1,3]) pipeline_map(inout:A[k:1][0:8])",
+            "unknown map_type",
+        ),
+        (
+            "pipeline(static[1,3]) pipeline_map(to:A)",
+            "at least one",
+        ),
+        (
+            "pipeline(static[1,3]) pipeline_map(to:A[0:8])",
+            "no split dimension",
+        ),
+        (
+            "pipeline(static[1,3]) pipeline(static[1,3]) pipeline_map(to:A[k:1][0:8])",
+            "duplicate pipeline()",
+        ),
+        (
+            "pipelin(static[1,3]) pipeline_map(to:A[k:1][0:8])",
+            "unknown clause",
+        ),
+    ];
+    for (src, needle) in cases {
+        let err = parse_directive(src)
+            .and_then(|d| d.to_region_spec(|_| Some(16)))
+            .unwrap_err();
+        assert!(
+            err.to_string().contains(needle),
+            "source {src:?}: expected {needle:?} in {err}"
+        );
+    }
+}
+
+#[test]
+fn two_loop_variables_rejected() {
+    let d = parse_directive(
+        "pipeline(static[1,1]) pipeline_map(to:A[k:1][0:8]) pipeline_map(to:B[j:1][0:8])",
+    )
+    .unwrap();
+    let err = d.loop_var().unwrap_err();
+    assert!(err.to_string().contains("one split_iter"), "{err}");
+}
+
+#[test]
+fn missing_extent_is_reported_with_array_name() {
+    let d = parse_directive("pipeline(static[1,1]) pipeline_map(to:Zed[k:1][0:8])").unwrap();
+    let err = d.to_region_spec(|_| None).unwrap_err();
+    assert!(err.to_string().contains("Zed"));
+}
+
+#[test]
+fn bound_spec_validates_against_loop_range() {
+    // End-to-end: parse, bind, validate with pipeline_rt.
+    let d = parse_directive(FIGURE2).unwrap();
+    let spec = d.to_region_spec(|_| Some(64)).unwrap();
+    assert!(spec.validate(1, 63).is_ok());
+    assert!(spec.validate(0, 63).is_err(), "k=0 touches slice -1");
+}

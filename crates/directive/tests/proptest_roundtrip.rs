@@ -1,0 +1,130 @@
+//! Property tests of the directive parser: generated directives must
+//! round-trip through the canonical printer, and binding must agree with
+//! the generated shapes.
+
+use pipeline_directive::parse_directive;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct GenMap {
+    dir: &'static str,
+    name: String,
+    scale: i64,
+    bias: i64,
+    window: u64,
+    dims: Vec<u64>,
+}
+
+fn map_strategy(idx: usize) -> impl Strategy<Value = GenMap> {
+    (
+        prop_oneof![Just("to"), Just("from"), Just("tofrom")],
+        1i64..4,
+        -4i64..5,
+        1u64..5,
+        proptest::collection::vec(1u64..64, 1..3),
+    )
+        .prop_map(move |(dir, scale, bias, window, dims)| GenMap {
+            dir,
+            name: format!("arr{idx}"),
+            scale,
+            bias,
+            window,
+            dims,
+        })
+}
+
+fn directive_strategy() -> impl Strategy<Value = (u64, u64, Vec<GenMap>, Option<u64>)> {
+    (
+        1u64..16,
+        1u64..8,
+        proptest::collection::vec(any::<u8>(), 1..4).prop_flat_map(|v| {
+            let n = v.len();
+            let maps: Vec<_> = (0..n).map(map_strategy).collect();
+            maps
+        }),
+        proptest::option::of(1u64..1_000_000),
+    )
+}
+
+fn render(chunk: u64, streams: u64, maps: &[GenMap], mem: Option<u64>) -> String {
+    let mut s = format!("pipeline(static[{chunk},{streams}])");
+    for m in maps {
+        let expr = match (m.scale, m.bias) {
+            (1, 0) => "k".to_string(),
+            (1, b) if b > 0 => format!("k+{b}"),
+            (1, b) => format!("k-{}", -b),
+            (a, 0) => format!("{a}*k"),
+            (a, b) if b > 0 => format!("{a}*k+{b}"),
+            (a, b) => format!("{a}*k-{}", -b),
+        };
+        s.push_str(&format!(" pipeline_map({}:{}[{expr}:{}]", m.dir, m.name, m.window));
+        for d in &m.dims {
+            s.push_str(&format!("[0:{d}]"));
+        }
+        s.push(')');
+    }
+    if let Some(v) = mem {
+        s.push_str(&format!(" pipeline_mem_limit({v})"));
+    }
+    s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn generated_directives_round_trip(
+        (chunk, streams, maps, mem) in directive_strategy()
+    ) {
+        let src = render(chunk, streams, &maps, mem);
+        let parsed = parse_directive(&src)
+            .map_err(|e| TestCaseError::fail(format!("parse of {src:?}: {e}")))?;
+        // Canonical print → reparse → identical AST.
+        let printed = parsed.to_string();
+        let reparsed = parse_directive(&printed)
+            .map_err(|e| TestCaseError::fail(format!("reparse of {printed:?}: {e}")))?;
+        prop_assert_eq!(&parsed, &reparsed, "round trip through {}", printed);
+
+        // Structure is preserved.
+        prop_assert_eq!(parsed.maps.len(), maps.len());
+        prop_assert_eq!(parsed.mem_limit, mem);
+        for (p, g) in parsed.maps.iter().zip(&maps) {
+            prop_assert_eq!(&p.name, &g.name);
+            prop_assert_eq!(p.dims.len(), g.dims.len() + 1);
+        }
+
+        // Binding derives the right slice sizes.
+        let spec = parsed
+            .to_region_spec(|_| Some(1024))
+            .map_err(|e| TestCaseError::fail(format!("bind of {src:?}: {e}")))?;
+        for (m, g) in spec.maps.iter().zip(&maps) {
+            let expect: u64 = g.dims.iter().product();
+            prop_assert_eq!(m.split.slice_elems() as u64, expect);
+            prop_assert_eq!(m.split.window() as u64, g.window);
+        }
+    }
+
+    /// The parser never panics on arbitrary input (errors are values).
+    #[test]
+    fn parser_is_panic_free(src in "[ -~]{0,120}") {
+        let _ = parse_directive(&src);
+    }
+
+    /// ...including inputs made of grammar-adjacent tokens.
+    #[test]
+    fn parser_is_panic_free_on_tokenish_soup(
+        parts in proptest::collection::vec(
+            prop_oneof![
+                Just("pipeline"), Just("pipeline_map"), Just("pipeline_mem_limit"),
+                Just("static"), Just("adaptive"), Just("to"), Just("from"),
+                Just("tofrom"), Just("("), Just(")"), Just("["), Just("]"),
+                Just(":"), Just(","), Just("+"), Just("-"), Just("*"),
+                Just("k"), Just("A"), Just("7"), Just("MB_256"), Just(" "),
+            ],
+            0..40,
+        )
+    ) {
+        let src: String = parts.concat();
+        let _ = parse_directive(&src);
+    }
+}

@@ -1,0 +1,163 @@
+//! Per-run accounting: phase times, byte counts, command counts, and an
+//! optional command timeline.
+//!
+//! These counters drive the paper's Figure 3 (time distribution of
+//! DtoH / HtoD / Kernel phases in the naive model) and are used throughout
+//! the test suite to assert overlap actually happened (busy time exceeding
+//! the makespan is only possible with concurrency).
+
+use serde::Serialize;
+
+use crate::cmd::EngineKind;
+use crate::time::SimTime;
+
+/// Aggregated activity counters for a simulation context.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Counters {
+    /// Total busy time of the host→device copy engine.
+    pub h2d_time: SimTime,
+    /// Total busy time of the device→host copy engine.
+    pub d2h_time: SimTime,
+    /// Total busy time of the compute engine.
+    pub kernel_time: SimTime,
+    /// Host-side time spent inside driver API calls.
+    pub host_api_time: SimTime,
+    /// Bytes moved host→device.
+    pub h2d_bytes: u64,
+    /// Bytes moved device→host.
+    pub d2h_bytes: u64,
+    /// Number of host→device copy commands completed.
+    pub h2d_count: u64,
+    /// Number of device→host copy commands completed.
+    pub d2h_count: u64,
+    /// Number of compute-engine commands completed (kernels, memsets,
+    /// device-to-device copies).
+    pub kernel_count: u64,
+    /// Number of driver API calls made (enqueues, records, syncs...).
+    pub api_calls: u64,
+}
+
+impl Counters {
+    /// Engine busy time by kind.
+    pub fn engine_time(&self, kind: EngineKind) -> SimTime {
+        match kind {
+            EngineKind::H2D => self.h2d_time,
+            EngineKind::D2H => self.d2h_time,
+            EngineKind::Compute => self.kernel_time,
+        }
+    }
+
+    /// Sum of all engine busy times — the serialized lower bound on how
+    /// long this work would take with zero overlap.
+    pub fn total_busy(&self) -> SimTime {
+        self.h2d_time + self.d2h_time + self.kernel_time
+    }
+
+    /// Fraction of `total_busy` spent in transfers (both directions).
+    pub fn transfer_fraction(&self) -> f64 {
+        let total = self.total_busy().as_ns();
+        if total == 0 {
+            return 0.0;
+        }
+        (self.h2d_time + self.d2h_time).as_ns() as f64 / total as f64
+    }
+}
+
+/// Classification of a timeline entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum TimelineKind {
+    /// Host→device copy.
+    H2D,
+    /// Device→host copy.
+    D2H,
+    /// Kernel execution.
+    Kernel,
+}
+
+impl TimelineKind {
+    pub(crate) fn from_engine(e: EngineKind) -> TimelineKind {
+        match e {
+            EngineKind::H2D => TimelineKind::H2D,
+            EngineKind::D2H => TimelineKind::D2H,
+            EngineKind::Compute => TimelineKind::Kernel,
+        }
+    }
+}
+
+/// One completed engine command on the device timeline.
+#[derive(Debug, Clone, Serialize)]
+pub struct TimelineEntry {
+    /// Display label (`h2d[4096]`, kernel name, ...).
+    pub label: String,
+    /// Entry class.
+    pub kind: TimelineKind,
+    /// Stream index the command ran on.
+    pub stream: usize,
+    /// Start instant (ns since context creation).
+    pub start_ns: u64,
+    /// End instant (ns since context creation).
+    pub end_ns: u64,
+}
+
+impl TimelineEntry {
+    /// Duration of the entry.
+    pub fn duration(&self) -> SimTime {
+        SimTime::from_ns(self.end_ns - self.start_ns)
+    }
+
+    /// True if this entry overlaps `other` in time.
+    pub fn overlaps(&self, other: &TimelineEntry) -> bool {
+        self.start_ns < other.end_ns && other.start_ns < self.end_ns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_fraction() {
+        let c = Counters {
+            h2d_time: SimTime::from_ms(30),
+            d2h_time: SimTime::from_ms(20),
+            kernel_time: SimTime::from_ms(50),
+            ..Default::default()
+        };
+        assert!((c.transfer_fraction() - 0.5).abs() < 1e-9);
+        assert_eq!(c.total_busy(), SimTime::from_ms(100));
+        assert_eq!(c.engine_time(EngineKind::H2D), SimTime::from_ms(30));
+    }
+
+    #[test]
+    fn empty_counters_have_zero_fraction() {
+        assert_eq!(Counters::default().transfer_fraction(), 0.0);
+    }
+
+    #[test]
+    fn timeline_overlap() {
+        let a = TimelineEntry {
+            label: "a".into(),
+            kind: TimelineKind::H2D,
+            stream: 0,
+            start_ns: 0,
+            end_ns: 10,
+        };
+        let b = TimelineEntry {
+            label: "b".into(),
+            kind: TimelineKind::Kernel,
+            stream: 1,
+            start_ns: 5,
+            end_ns: 15,
+        };
+        let c = TimelineEntry {
+            label: "c".into(),
+            kind: TimelineKind::D2H,
+            stream: 2,
+            start_ns: 10,
+            end_ns: 20,
+        };
+        assert!(a.overlaps(&b));
+        assert!(!a.overlaps(&c), "touching intervals do not overlap");
+        assert_eq!(a.duration(), SimTime::from_ns(10));
+    }
+}

@@ -1,0 +1,96 @@
+//! Error type shared by every simulator operation.
+
+use std::fmt;
+
+/// Errors surfaced by the GPU simulator.
+///
+/// These mirror the failure modes of a real driver API: allocation
+/// failures, invalid handles, out-of-range accesses, and dependency
+/// deadlocks (the simulator's analogue of a hung `cudaDeviceSynchronize`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// A device allocation exceeded remaining capacity.
+    OutOfMemory {
+        /// Bytes requested by the failing allocation.
+        requested: u64,
+        /// Bytes still available on the device.
+        available: u64,
+    },
+    /// A device pointer referenced a freed or never-allocated buffer.
+    InvalidDevicePointer(String),
+    /// A host buffer handle referenced a freed or never-allocated buffer.
+    InvalidHostBuffer(String),
+    /// A copy or kernel access ran past the end of an allocation.
+    OutOfRange {
+        /// Human-readable description of the access.
+        what: String,
+        /// First element index past the access.
+        end: usize,
+        /// Allocation length in elements.
+        len: usize,
+    },
+    /// A stream or event handle was invalid.
+    InvalidHandle(String),
+    /// Synchronization could not make progress (e.g. waiting on an event
+    /// that is never recorded).
+    Deadlock(String),
+    /// Functional payloads were requested in timing-only mode.
+    TimingOnly(String),
+    /// Parameters were inconsistent (zero sizes, stride smaller than row...).
+    InvalidArgument(String),
+    /// Two concurrent commands accessed overlapping device memory with at
+    /// least one writer (only reported when race checking is enabled).
+    DataRace(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::OutOfMemory {
+                requested,
+                available,
+            } => write!(
+                f,
+                "device out of memory: requested {requested} B, {available} B available"
+            ),
+            SimError::InvalidDevicePointer(s) => write!(f, "invalid device pointer: {s}"),
+            SimError::InvalidHostBuffer(s) => write!(f, "invalid host buffer: {s}"),
+            SimError::OutOfRange { what, end, len } => {
+                write!(f, "out-of-range access ({what}): end {end} > len {len}")
+            }
+            SimError::InvalidHandle(s) => write!(f, "invalid handle: {s}"),
+            SimError::Deadlock(s) => write!(f, "synchronization deadlock: {s}"),
+            SimError::TimingOnly(s) => write!(f, "operation requires functional mode: {s}"),
+            SimError::InvalidArgument(s) => write!(f, "invalid argument: {s}"),
+            SimError::DataRace(s) => write!(f, "data race: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Convenience alias used across the simulator.
+pub type SimResult<T> = Result<T, SimError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = SimError::OutOfMemory {
+            requested: 100,
+            available: 40,
+        };
+        let s = e.to_string();
+        assert!(s.contains("100"));
+        assert!(s.contains("40"));
+
+        let e = SimError::OutOfRange {
+            what: "H2D copy".into(),
+            end: 12,
+            len: 8,
+        };
+        assert!(e.to_string().contains("H2D copy"));
+    }
+}

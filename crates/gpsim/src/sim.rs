@@ -1,0 +1,1505 @@
+//! The simulated GPU context: public driver-style API plus the
+//! discrete-event engine that resolves stream/engine concurrency.
+//!
+//! # Model
+//!
+//! * The **host clock** advances by [`DeviceProfile::api_overhead`] on
+//!   every driver call; asynchronous calls return immediately (after that
+//!   overhead), synchronous calls additionally wait for device work.
+//! * Each **stream** is a FIFO: a command may start only after its
+//!   predecessor on the same stream completed, and never before its
+//!   enqueue instant on the host clock.
+//! * Three **engines**: the H2D and D2H copy engines execute one command
+//!   at a time; the compute engine runs up to
+//!   [`DeviceProfile::max_concurrent_kernels`] kernels concurrently
+//!   (Hyper-Q slots). When an engine has a free slot, the ready command
+//!   with the lowest global enqueue sequence number is dispatched — no
+//!   false inter-stream dependencies.
+//! * **Events** are zero-cost markers: `record` completes when all prior
+//!   work on its stream completed; `wait` blocks its stream until the
+//!   recorded instant.
+//!
+//! Because completion times are computed at dispatch, event propagation is
+//! fully eager and the main loop only advances time to engine completions
+//! or command ready instants, giving an O(n·s) simulation of n commands on
+//! s streams.
+
+use std::collections::VecDeque;
+
+use crate::cmd::{Cmd, CmdKind, Copy2D, EngineKind, EventId, KernelCtx, KernelLaunch, StreamId};
+use crate::counters::{Counters, TimelineEntry, TimelineKind};
+use crate::error::{SimError, SimResult};
+use crate::mem::{DevAllocId, DevPtr, ExecMode, HostBufId, HostPool, MemPool, ELEM_BYTES};
+use crate::profile::DeviceProfile;
+use crate::time::SimTime;
+
+struct StreamState {
+    queue: VecDeque<Cmd>,
+    /// Earliest instant the current head may start (completion of the
+    /// previous command on this stream, adjusted by resolved event waits).
+    ready_at: SimTime,
+    /// Completion instant of the last finished command.
+    last_done: SimTime,
+    /// Number of commands currently running on engines.
+    running: usize,
+    /// False once destroyed; destroyed streams reject new work and stop
+    /// contributing to scheduling overhead and memory.
+    alive: bool,
+}
+
+impl StreamState {
+    fn new() -> Self {
+        StreamState {
+            queue: VecDeque::new(),
+            ready_at: SimTime::ZERO,
+            last_done: SimTime::ZERO,
+            running: 0,
+            alive: true,
+        }
+    }
+
+    fn drained(&self) -> bool {
+        self.queue.is_empty() && self.running == 0
+    }
+}
+
+struct EventState {
+    /// An `EventRecord` referencing this event has been enqueued.
+    enqueued: bool,
+    /// Completion instant, once the record has been resolved.
+    complete_at: Option<SimTime>,
+}
+
+struct Running {
+    stream: StreamId,
+    seq: u64,
+    end: SimTime,
+    start: SimTime,
+    kind: CmdKind,
+}
+
+/// Declared access ranges of a completed/running command, kept while race
+/// checking is enabled.
+struct AccessRecord {
+    label: String,
+    start: SimTime,
+    end: SimTime,
+    reads: Vec<(u32, usize, usize)>,
+    writes: Vec<(u32, usize, usize)>,
+}
+
+/// A simulated GPU device context.
+///
+/// See the [crate-level documentation](crate) for an overview; the
+/// scheduling model is described in this module's source-level docs.
+pub struct Gpu {
+    profile: DeviceProfile,
+    pool: MemPool,
+    streams: Vec<StreamState>,
+    events: Vec<EventState>,
+    engines: [Vec<Running>; 3],
+    /// Device-timeline clock (monotone; advanced during synchronization).
+    now: SimTime,
+    /// Host clock (advanced by API overhead and blocking waits).
+    now_host: SimTime,
+    seq: u64,
+    counters: Counters,
+    timeline: Vec<TimelineEntry>,
+    timeline_enabled: bool,
+    race_check: bool,
+    access_log: Vec<AccessRecord>,
+}
+
+impl Gpu {
+    /// Create a device context with the given performance profile and
+    /// execution mode, with a private host pool. Charges the profile's
+    /// base runtime memory.
+    pub fn new(profile: DeviceProfile, mode: ExecMode) -> SimResult<Gpu> {
+        let hosts = HostPool::new(mode);
+        Gpu::with_host_pool(profile, hosts)
+    }
+
+    /// Create a device context over a shared [`HostPool`], so that host
+    /// buffers are visible to several simulated devices (multi-GPU
+    /// co-scheduling). The context inherits the pool's execution mode.
+    pub fn with_host_pool(profile: DeviceProfile, hosts: HostPool) -> SimResult<Gpu> {
+        let mode = hosts.mode();
+        let mut pool = MemPool::new(mode, profile.mem_capacity, hosts);
+        pool.reserve_overhead(profile.base_runtime_mem)?;
+        let mut gpu = Gpu {
+            profile,
+            pool,
+            streams: Vec::new(),
+            events: Vec::new(),
+            engines: [Vec::new(), Vec::new(), Vec::new()],
+            now: SimTime::ZERO,
+            now_host: SimTime::ZERO,
+            seq: 0,
+            counters: Counters::default(),
+            timeline: Vec::new(),
+            timeline_enabled: true,
+            race_check: false,
+            access_log: Vec::new(),
+        };
+        // Stream 0: the default stream, free of the per-stream memory tax
+        // (it is part of the base runtime footprint).
+        gpu.streams.push(StreamState::new());
+        Ok(gpu)
+    }
+
+    /// The device performance profile.
+    pub fn profile(&self) -> &DeviceProfile {
+        &self.profile
+    }
+
+    /// Functional or timing-only execution.
+    pub fn mode(&self) -> ExecMode {
+        self.pool.mode
+    }
+
+    /// A handle to the (possibly shared) host memory pool.
+    pub fn host_pool(&self) -> HostPool {
+        self.pool.hosts.clone()
+    }
+
+    /// Current host-clock time (the caller-visible clock; the internal
+    /// `now` field is the device-timeline cursor).
+    #[allow(clippy::misnamed_getters)]
+    pub fn now(&self) -> SimTime {
+        self.now_host
+    }
+
+    /// Aggregated activity counters.
+    pub fn counters(&self) -> &Counters {
+        &self.counters
+    }
+
+    /// Reset counters and the timeline (memory accounting is unaffected).
+    pub fn reset_counters(&mut self) {
+        self.counters = Counters::default();
+        self.timeline.clear();
+    }
+
+    /// Completed engine commands, in completion order.
+    pub fn timeline(&self) -> &[TimelineEntry] {
+        &self.timeline
+    }
+
+    /// Enable/disable timeline recording (on by default).
+    pub fn set_timeline_enabled(&mut self, enabled: bool) {
+        self.timeline_enabled = enabled;
+    }
+
+    /// Enable the concurrent-access race checker (off by default; costs
+    /// O(commands²) and is intended for tests).
+    pub fn set_race_check(&mut self, enabled: bool) {
+        self.race_check = enabled;
+        if !enabled {
+            self.access_log.clear();
+        }
+    }
+
+    /// Whether the race checker is currently enabled.
+    pub fn race_check_enabled(&self) -> bool {
+        self.race_check
+    }
+
+    // ------------------------------------------------------------------
+    // Memory API
+    // ------------------------------------------------------------------
+
+    fn api_call(&mut self) {
+        self.now_host += self.profile.api_overhead;
+        self.counters.host_api_time += self.profile.api_overhead;
+        self.counters.api_calls += 1;
+    }
+
+    /// Allocate `elems` device elements (like `cudaMalloc`).
+    pub fn alloc(&mut self, elems: usize) -> SimResult<DevPtr> {
+        self.api_call();
+        self.pool.alloc(elems)
+    }
+
+    /// Pitched 2-D device allocation (like `cudaMallocPitch`); returns the
+    /// base pointer and pitch in elements.
+    pub fn alloc_pitched(&mut self, rows: usize, row_elems: usize) -> SimResult<(DevPtr, usize)> {
+        self.api_call();
+        self.pool.alloc_pitched(rows, row_elems)
+    }
+
+    /// Free a device allocation.
+    pub fn free(&mut self, ptr: DevPtr) -> SimResult<()> {
+        self.api_call();
+        self.pool.free(ptr)
+    }
+
+    /// Allocate a simulator-owned host buffer. `pinned` buffers transfer at
+    /// full bandwidth (like `cudaHostAlloc` memory); pageable buffers pay
+    /// [`DeviceProfile::pageable_bw_factor`].
+    pub fn alloc_host(&mut self, elems: usize, pinned: bool) -> SimResult<HostBufId> {
+        self.api_call();
+        self.pool.alloc_host(elems, pinned)
+    }
+
+    /// Free a host buffer.
+    pub fn free_host(&mut self, id: HostBufId) -> SimResult<()> {
+        self.api_call();
+        self.pool.free_host(id)
+    }
+
+    /// Host-side write into a host buffer (data initialization; free on
+    /// the simulated clock).
+    pub fn host_write(&self, id: HostBufId, off: usize, src: &[f32]) -> SimResult<()> {
+        self.pool
+            .with_host_mut(id, off, src.len(), |dst| dst.copy_from_slice(src))
+    }
+
+    /// Host-side read from a host buffer.
+    pub fn host_read(&self, id: HostBufId, off: usize, dst: &mut [f32]) -> SimResult<()> {
+        self.pool
+            .with_host(id, off, dst.len(), |src| dst.copy_from_slice(src))
+    }
+
+    /// Fill a host buffer by index (initialization convenience).
+    pub fn host_fill(&self, id: HostBufId, mut f: impl FnMut(usize) -> f32) -> SimResult<()> {
+        let len = self.pool.host_len(id)?;
+        self.pool.with_host_mut(id, 0, len, |dst| {
+            for (i, v) in dst.iter_mut().enumerate() {
+                *v = f(i);
+            }
+        })
+    }
+
+    /// Length in elements of a host buffer.
+    pub fn host_len(&self, id: HostBufId) -> SimResult<usize> {
+        self.pool.host_len(id)
+    }
+
+    /// Whether a host buffer is pinned.
+    pub fn host_pinned(&self, id: HostBufId) -> SimResult<bool> {
+        self.pool.host_pinned(id)
+    }
+
+    /// Device memory currently allocated, in bytes (including runtime
+    /// overhead and stream state).
+    pub fn current_mem(&self) -> u64 {
+        self.pool.current_bytes()
+    }
+
+    /// Peak device memory, in bytes.
+    pub fn peak_mem(&self) -> u64 {
+        self.pool.peak_bytes()
+    }
+
+    /// Usable device memory capacity, in bytes.
+    pub fn mem_capacity(&self) -> u64 {
+        self.pool.capacity()
+    }
+
+    /// Bytes of [`Gpu::current_mem`] attributable to runtime and stream
+    /// overhead rather than user allocations.
+    pub fn overhead_mem(&self) -> u64 {
+        self.pool.overhead_bytes()
+    }
+
+    /// Row pitch (in elements) of a pitched allocation; `None` for 1-D
+    /// allocations.
+    pub fn pitch_of(&self, id: DevAllocId) -> SimResult<Option<usize>> {
+        self.pool.alloc_pitch(id)
+    }
+
+    // ------------------------------------------------------------------
+    // Streams & events
+    // ------------------------------------------------------------------
+
+    /// The default stream (exists from context creation).
+    pub fn default_stream(&self) -> StreamId {
+        StreamId(0)
+    }
+
+    /// Create a new stream (charges the profile's per-stream memory).
+    pub fn create_stream(&mut self) -> SimResult<StreamId> {
+        self.api_call();
+        self.pool.reserve_overhead(self.profile.mem_per_stream)?;
+        let id = StreamId(self.streams.len() as u32);
+        self.streams.push(StreamState::new());
+        Ok(id)
+    }
+
+    /// Number of live streams (including the default stream).
+    pub fn stream_count(&self) -> usize {
+        self.streams.iter().filter(|s| s.alive).count()
+    }
+
+    /// Destroy a stream: waits for its pending work (CUDA semantics), then
+    /// releases its scheduler memory. The default stream cannot be
+    /// destroyed.
+    pub fn destroy_stream(&mut self, stream: StreamId) -> SimResult<()> {
+        self.check_stream(stream)?;
+        if stream.0 == 0 {
+            return Err(SimError::InvalidArgument(
+                "the default stream cannot be destroyed".into(),
+            ));
+        }
+        self.stream_synchronize(stream)?;
+        self.api_call();
+        self.streams[stream.0 as usize].alive = false;
+        self.pool.release_overhead(self.profile.mem_per_stream);
+        Ok(())
+    }
+
+    /// Charge host-side busy time outside driver API calls (runtime
+    /// bookkeeping such as per-queue polling in directive runtimes).
+    pub fn host_busy(&mut self, t: SimTime) {
+        self.now_host += t;
+        self.counters.host_api_time += t;
+    }
+
+    /// Create an event.
+    pub fn create_event(&mut self) -> EventId {
+        self.api_call();
+        let id = EventId(self.events.len() as u32);
+        self.events.push(EventState {
+            enqueued: false,
+            complete_at: None,
+        });
+        id
+    }
+
+    fn check_stream(&self, s: StreamId) -> SimResult<()> {
+        match self.streams.get(s.0 as usize) {
+            Some(st) if st.alive => Ok(()),
+            Some(_) => Err(SimError::InvalidHandle(format!(
+                "stream {} was destroyed",
+                s.0
+            ))),
+            None => Err(SimError::InvalidHandle(format!("stream {}", s.0))),
+        }
+    }
+
+    fn check_event(&self, e: EventId) -> SimResult<()> {
+        if (e.0 as usize) < self.events.len() {
+            Ok(())
+        } else {
+            Err(SimError::InvalidHandle(format!("event {}", e.0)))
+        }
+    }
+
+    /// Record `event` on `stream` (like `cudaEventRecord`).
+    pub fn record_event(&mut self, stream: StreamId, event: EventId) -> SimResult<()> {
+        self.check_stream(stream)?;
+        self.check_event(event)?;
+        self.events[event.0 as usize].enqueued = true;
+        self.enqueue(stream, CmdKind::EventRecord(event))
+    }
+
+    /// Make `stream` wait for `event` (like `cudaStreamWaitEvent`).
+    pub fn wait_event(&mut self, stream: StreamId, event: EventId) -> SimResult<()> {
+        self.check_stream(stream)?;
+        self.check_event(event)?;
+        self.enqueue(stream, CmdKind::EventWait(event))
+    }
+
+    // ------------------------------------------------------------------
+    // Copies
+    // ------------------------------------------------------------------
+
+    fn validate_1d(
+        &self,
+        host: HostBufId,
+        host_off: usize,
+        dev: DevPtr,
+        elems: usize,
+    ) -> SimResult<()> {
+        if elems == 0 {
+            return Err(SimError::InvalidArgument("zero-length copy".into()));
+        }
+        let hlen = self.pool.host_len(host)?;
+        if host_off + elems > hlen {
+            return Err(SimError::OutOfRange {
+                what: format!("host range of copy ({host:?})"),
+                end: host_off + elems,
+                len: hlen,
+            });
+        }
+        let dlen = self.pool.alloc_len(dev.alloc_id())?;
+        if dev.offset + elems > dlen {
+            return Err(SimError::OutOfRange {
+                what: format!("device range of copy ({:?})", dev.alloc_id()),
+                end: dev.offset + elems,
+                len: dlen,
+            });
+        }
+        Ok(())
+    }
+
+    fn validate_2d(&self, c: &Copy2D) -> SimResult<()> {
+        if c.rows == 0 || c.row_elems == 0 {
+            return Err(SimError::InvalidArgument("zero-size 2D copy".into()));
+        }
+        if c.host_stride < c.row_elems || c.dev_stride < c.row_elems {
+            return Err(SimError::InvalidArgument(format!(
+                "2D copy stride smaller than row: row={}, host_stride={}, dev_stride={}",
+                c.row_elems, c.host_stride, c.dev_stride
+            )));
+        }
+        let hlen = self.pool.host_len(c.host)?;
+        let host_end = c.host_off + (c.rows - 1) * c.host_stride + c.row_elems;
+        if host_end > hlen {
+            return Err(SimError::OutOfRange {
+                what: format!("host range of 2D copy ({:?})", c.host),
+                end: host_end,
+                len: hlen,
+            });
+        }
+        let dlen = self.pool.alloc_len(c.dev.alloc_id())?;
+        let dev_end = c.dev.offset + (c.rows - 1) * c.dev_stride + c.row_elems;
+        if dev_end > dlen {
+            return Err(SimError::OutOfRange {
+                what: format!("device range of 2D copy ({:?})", c.dev.alloc_id()),
+                end: dev_end,
+                len: dlen,
+            });
+        }
+        Ok(())
+    }
+
+    /// Asynchronous host→device copy (like `cudaMemcpyAsync`).
+    pub fn memcpy_h2d_async(
+        &mut self,
+        stream: StreamId,
+        host: HostBufId,
+        host_off: usize,
+        dst: DevPtr,
+        elems: usize,
+    ) -> SimResult<()> {
+        self.check_stream(stream)?;
+        self.validate_1d(host, host_off, dst, elems)?;
+        self.enqueue(
+            stream,
+            CmdKind::H2D {
+                host,
+                host_off,
+                dst,
+                elems,
+            },
+        )
+    }
+
+    /// Asynchronous device→host copy.
+    pub fn memcpy_d2h_async(
+        &mut self,
+        stream: StreamId,
+        src: DevPtr,
+        elems: usize,
+        host: HostBufId,
+        host_off: usize,
+    ) -> SimResult<()> {
+        self.check_stream(stream)?;
+        self.validate_1d(host, host_off, src, elems)?;
+        self.enqueue(
+            stream,
+            CmdKind::D2H {
+                src,
+                elems,
+                host,
+                host_off,
+            },
+        )
+    }
+
+    /// Asynchronous strided host→device copy (like `cudaMemcpy2DAsync`).
+    pub fn memcpy2d_h2d_async(&mut self, stream: StreamId, copy: Copy2D) -> SimResult<()> {
+        self.check_stream(stream)?;
+        self.validate_2d(&copy)?;
+        self.enqueue(stream, CmdKind::H2D2D(copy))
+    }
+
+    /// Asynchronous strided device→host copy.
+    pub fn memcpy2d_d2h_async(&mut self, stream: StreamId, copy: Copy2D) -> SimResult<()> {
+        self.check_stream(stream)?;
+        self.validate_2d(&copy)?;
+        self.enqueue(stream, CmdKind::D2H2D(copy))
+    }
+
+    /// Synchronous host→device copy: enqueue on the default stream and
+    /// block until done (the naive offload model's transfer).
+    pub fn memcpy_h2d(
+        &mut self,
+        host: HostBufId,
+        host_off: usize,
+        dst: DevPtr,
+        elems: usize,
+    ) -> SimResult<()> {
+        self.memcpy_h2d_async(self.default_stream(), host, host_off, dst, elems)?;
+        self.stream_synchronize(self.default_stream())
+    }
+
+    /// Synchronous device→host copy via the default stream.
+    pub fn memcpy_d2h(
+        &mut self,
+        src: DevPtr,
+        elems: usize,
+        host: HostBufId,
+        host_off: usize,
+    ) -> SimResult<()> {
+        self.memcpy_d2h_async(self.default_stream(), src, elems, host, host_off)?;
+        self.stream_synchronize(self.default_stream())
+    }
+
+    // ------------------------------------------------------------------
+    // Kernels
+    // ------------------------------------------------------------------
+
+    /// Launch a kernel on `stream`.
+    pub fn launch(&mut self, stream: StreamId, kernel: KernelLaunch) -> SimResult<()> {
+        self.check_stream(stream)?;
+        if self.pool.mode == ExecMode::Functional && kernel.body.is_none() {
+            return Err(SimError::InvalidArgument(format!(
+                "kernel '{}' has no functional body but the context is in functional mode",
+                kernel.name
+            )));
+        }
+        self.enqueue(stream, CmdKind::Kernel(kernel))
+    }
+
+    /// Asynchronously fill `elems` device elements at `dst` with `value`
+    /// (like `cudaMemsetAsync`, but with an f32 pattern). Runs on the
+    /// compute engine's memory system.
+    pub fn memset_async(
+        &mut self,
+        stream: StreamId,
+        dst: DevPtr,
+        elems: usize,
+        value: f32,
+    ) -> SimResult<()> {
+        self.check_stream(stream)?;
+        if elems == 0 {
+            return Err(SimError::InvalidArgument("zero-length memset".into()));
+        }
+        let len = self.pool.alloc_len(dst.alloc_id())?;
+        if dst.offset + elems > len {
+            return Err(SimError::OutOfRange {
+                what: format!("memset at {:?}+{}", dst.alloc_id(), dst.offset),
+                end: dst.offset + elems,
+                len,
+            });
+        }
+        self.enqueue(stream, CmdKind::Memset { dst, elems, value })
+    }
+
+    /// Asynchronous device-to-device copy. Source and destination may be
+    /// different allocations or non-overlapping ranges of the same one.
+    pub fn memcpy_d2d_async(
+        &mut self,
+        stream: StreamId,
+        src: DevPtr,
+        dst: DevPtr,
+        elems: usize,
+    ) -> SimResult<()> {
+        self.check_stream(stream)?;
+        if elems == 0 {
+            return Err(SimError::InvalidArgument("zero-length D2D copy".into()));
+        }
+        for (what, p) in [("source", src), ("destination", dst)] {
+            let len = self.pool.alloc_len(p.alloc_id())?;
+            if p.offset + elems > len {
+                return Err(SimError::OutOfRange {
+                    what: format!("D2D {what} at {:?}+{}", p.alloc_id(), p.offset),
+                    end: p.offset + elems,
+                    len,
+                });
+            }
+        }
+        if src.alloc_id() == dst.alloc_id()
+            && src.offset < dst.offset + elems
+            && dst.offset < src.offset + elems
+        {
+            return Err(SimError::InvalidArgument(
+                "overlapping same-allocation D2D copy".into(),
+            ));
+        }
+        self.enqueue(stream, CmdKind::D2D { src, dst, elems })
+    }
+
+    // ------------------------------------------------------------------
+    // Synchronization
+    // ------------------------------------------------------------------
+
+    /// Block until all streams drain (like `cudaDeviceSynchronize`).
+    pub fn synchronize(&mut self) -> SimResult<()> {
+        self.api_call();
+        self.run_until(|g| g.streams.iter().all(StreamState::drained))?;
+        let done = self
+            .streams
+            .iter()
+            .map(|s| s.last_done)
+            .fold(SimTime::ZERO, SimTime::max);
+        self.now_host = self.now_host.max(done);
+        Ok(())
+    }
+
+    /// Block until `stream` drains (like `cudaStreamSynchronize`).
+    pub fn stream_synchronize(&mut self, stream: StreamId) -> SimResult<()> {
+        self.check_stream(stream)?;
+        self.api_call();
+        let idx = stream.0 as usize;
+        self.run_until(|g| g.streams[idx].drained())?;
+        self.now_host = self.now_host.max(self.streams[idx].last_done);
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // DES internals
+    // ------------------------------------------------------------------
+
+    /// Concurrent command slots of an engine (copy engines are single-
+    /// slot; the compute engine follows the profile's Hyper-Q capacity).
+    fn engine_capacity(&self, kind: EngineKind) -> usize {
+        match kind {
+            EngineKind::Compute => self.profile.max_concurrent_kernels.max(1),
+            _ => 1,
+        }
+    }
+
+    fn enqueue(&mut self, stream: StreamId, kind: CmdKind) -> SimResult<()> {
+        self.api_call();
+        let cmd = Cmd {
+            seq: self.seq,
+            enqueue_time: self.now_host,
+            kind,
+        };
+        self.seq += 1;
+        self.streams[stream.0 as usize].queue.push_back(cmd);
+        Ok(())
+    }
+
+    /// Resolve event records/waits at stream heads; returns true if any
+    /// progress was made.
+    fn resolve_pseudo(&mut self) -> bool {
+        let mut progress = false;
+        loop {
+            let mut round = false;
+            for s in 0..self.streams.len() {
+                // A pseudo head may not run ahead of a still-running
+                // predecessor: ready_at is set at dispatch, so it is safe.
+                while let Some(head) = self.streams[s].queue.front() {
+                    match head.kind {
+                        CmdKind::EventRecord(e) => {
+                            let t = self.streams[s].ready_at.max(head.enqueue_time);
+                            self.events[e.0 as usize].complete_at = Some(t);
+                            self.streams[s].queue.pop_front();
+                            self.streams[s].ready_at = t;
+                            self.streams[s].last_done = self.streams[s].last_done.max(t);
+                            round = true;
+                        }
+                        CmdKind::EventWait(e) => {
+                            let enq = head.enqueue_time;
+                            match self.events[e.0 as usize].complete_at {
+                                Some(t) => {
+                                    self.streams[s].queue.pop_front();
+                                    let r = self.streams[s].ready_at.max(t).max(enq);
+                                    self.streams[s].ready_at = r;
+                                    // The wait itself completes at `r`: a
+                                    // stream_synchronize on this stream
+                                    // must not return earlier.
+                                    self.streams[s].last_done =
+                                        self.streams[s].last_done.max(r);
+                                    round = true;
+                                }
+                                None => break,
+                            }
+                        }
+                        _ => break,
+                    }
+                }
+            }
+            if !round {
+                break;
+            }
+            progress = true;
+        }
+        progress
+    }
+
+    /// Try to dispatch ready heads onto idle engines at the current device
+    /// clock. Returns true if anything was dispatched.
+    fn try_dispatch(&mut self) -> bool {
+        let live_streams = self.stream_count();
+        let mut dispatched = false;
+        for engine in EngineKind::ALL {
+            if self.engines[engine.index()].len() >= self.engine_capacity(engine) {
+                continue;
+            }
+            // Lowest-sequence ready head needing this engine.
+            let mut best: Option<(u64, usize)> = None;
+            for (si, st) in self.streams.iter().enumerate() {
+                let Some(head) = st.queue.front() else {
+                    continue;
+                };
+                if head.kind.engine() != Some(engine) {
+                    continue;
+                }
+                let ready = st.ready_at.max(head.enqueue_time);
+                if ready > self.now {
+                    continue;
+                }
+                if best.is_none_or(|(bseq, _)| head.seq < bseq) {
+                    best = Some((head.seq, si));
+                }
+            }
+            let Some((_, si)) = best else { continue };
+            let cmd = self.streams[si].queue.pop_front().expect("head exists");
+            let dispatch = self.profile.dispatch_overhead(live_streams);
+            let mut duration = self.command_duration(&cmd.kind);
+            // Full-duplex contention: a copy dispatched while the opposite
+            // copy engine is busy runs at duplex_factor of its bandwidth.
+            let opposite_busy = match engine {
+                EngineKind::H2D => !self.engines[EngineKind::D2H.index()].is_empty(),
+                EngineKind::D2H => !self.engines[EngineKind::H2D.index()].is_empty(),
+                EngineKind::Compute => false,
+            };
+            if opposite_busy && self.profile.duplex_factor < 1.0 {
+                duration = SimTime::from_secs_f64(
+                    duration.as_secs_f64() / self.profile.duplex_factor,
+                );
+            }
+            let start = self.now;
+            let end = start + dispatch + duration;
+            self.streams[si].ready_at = end;
+            self.streams[si].running += 1;
+            self.engines[engine.index()].push(Running {
+                stream: StreamId(si as u32),
+                seq: cmd.seq,
+                start,
+                end,
+                kind: cmd.kind,
+            });
+            dispatched = true;
+        }
+        dispatched
+    }
+
+    fn command_duration(&self, kind: &CmdKind) -> SimTime {
+        match kind {
+            CmdKind::H2D { host, elems, .. } => {
+                let pinned = self.pool.host_pinned(*host).unwrap_or(true);
+                self.profile.h2d_time(*elems as u64 * ELEM_BYTES, pinned)
+            }
+            CmdKind::D2H { host, elems, .. } => {
+                let pinned = self.pool.host_pinned(*host).unwrap_or(true);
+                self.profile.d2h_time(*elems as u64 * ELEM_BYTES, pinned)
+            }
+            CmdKind::H2D2D(c) => {
+                let pinned = self.pool.host_pinned(c.host).unwrap_or(true);
+                self.strided_copy_time(self.profile.h2d_peak_bw, c, pinned)
+            }
+            CmdKind::D2H2D(c) => {
+                let pinned = self.pool.host_pinned(c.host).unwrap_or(true);
+                self.strided_copy_time(self.profile.d2h_peak_bw, c, pinned)
+            }
+            CmdKind::Kernel(k) => self.profile.kernel_time(k.cost.flops, k.cost.bytes),
+            // Memset streams one write per element; D2D a read plus a
+            // write — both bounded by device-memory bandwidth.
+            CmdKind::Memset { elems, .. } => self
+                .profile
+                .kernel_time(0, *elems as u64 * ELEM_BYTES),
+            CmdKind::D2D { elems, .. } => self
+                .profile
+                .kernel_time(0, 2 * *elems as u64 * ELEM_BYTES),
+            CmdKind::EventRecord(_) | CmdKind::EventWait(_) => SimTime::ZERO,
+        }
+    }
+
+    /// Strided copies pay the bandwidth ramp per row: each row is a
+    /// separate DMA descriptor, which is why the paper's non-contiguous
+    /// transfers "take much longer" yet still overlap with compute.
+    fn strided_copy_time(&self, peak: f64, c: &Copy2D, pinned: bool) -> SimTime {
+        let row_bytes = c.row_elems as u64 * ELEM_BYTES;
+        let factor = if pinned {
+            1.0
+        } else {
+            self.profile.pageable_bw_factor
+        };
+        let bw = self.profile.effective_bw_2d(peak, row_bytes) * factor;
+        let per_row = row_bytes as f64 / bw;
+        self.profile.copy_latency + SimTime::from_secs_f64(per_row * c.rows as f64)
+    }
+
+    /// Execute the functional payload of a completing command and update
+    /// counters.
+    fn complete(&mut self, engine: EngineKind, slot: usize) -> SimResult<()> {
+        let running = self.engines[engine.index()].swap_remove(slot);
+        let Running {
+            stream,
+            seq: _,
+            start,
+            end,
+            mut kind,
+        } = running;
+        let dur = end - start;
+        let functional = self.pool.mode == ExecMode::Functional;
+        match &mut kind {
+            CmdKind::H2D {
+                host,
+                host_off,
+                dst,
+                elems,
+            } => {
+                self.counters.h2d_time += dur;
+                self.counters.h2d_bytes += *elems as u64 * ELEM_BYTES;
+                self.counters.h2d_count += 1;
+                if functional {
+                    let mut d = self.pool.dev_slice_mut(*dst, *elems)?;
+                    self.pool
+                        .with_host(*host, *host_off, *elems, |src| d.copy_from_slice(src))?;
+                }
+            }
+            CmdKind::D2H {
+                src,
+                elems,
+                host,
+                host_off,
+            } => {
+                self.counters.d2h_time += dur;
+                self.counters.d2h_bytes += *elems as u64 * ELEM_BYTES;
+                self.counters.d2h_count += 1;
+                if functional {
+                    let s = self.pool.dev_slice(*src, *elems)?;
+                    self.pool
+                        .with_host_mut(*host, *host_off, *elems, |d| d.copy_from_slice(&s))?;
+                }
+            }
+            CmdKind::H2D2D(c) => {
+                self.counters.h2d_time += dur;
+                self.counters.h2d_bytes += c.elems() as u64 * ELEM_BYTES;
+                self.counters.h2d_count += 1;
+                if functional {
+                    for r in 0..c.rows {
+                        let mut d = self
+                            .pool
+                            .dev_slice_mut(c.dev.add(r * c.dev_stride), c.row_elems)?;
+                        self.pool.with_host(
+                            c.host,
+                            c.host_off + r * c.host_stride,
+                            c.row_elems,
+                            |src| d.copy_from_slice(src),
+                        )?;
+                    }
+                }
+            }
+            CmdKind::D2H2D(c) => {
+                self.counters.d2h_time += dur;
+                self.counters.d2h_bytes += c.elems() as u64 * ELEM_BYTES;
+                self.counters.d2h_count += 1;
+                if functional {
+                    for r in 0..c.rows {
+                        let s = self.pool.dev_slice(c.dev.add(r * c.dev_stride), c.row_elems)?;
+                        self.pool.with_host_mut(
+                            c.host,
+                            c.host_off + r * c.host_stride,
+                            c.row_elems,
+                            |d| d.copy_from_slice(&s),
+                        )?;
+                    }
+                }
+            }
+            CmdKind::Kernel(k) => {
+                self.counters.kernel_time += dur;
+                self.counters.kernel_count += 1;
+                if functional {
+                    if let Some(body) = k.body.take() {
+                        let ctx = KernelCtx { pool: &self.pool };
+                        body(&ctx)?;
+                    }
+                }
+            }
+            CmdKind::Memset { dst, elems, value } => {
+                self.counters.kernel_time += dur;
+                self.counters.kernel_count += 1;
+                if functional {
+                    self.pool.dev_slice_mut(*dst, *elems)?.fill(*value);
+                }
+            }
+            CmdKind::D2D { src, dst, elems } => {
+                self.counters.kernel_time += dur;
+                self.counters.kernel_count += 1;
+                if functional {
+                    let data: Vec<f32> = self.pool.dev_slice(*src, *elems)?.to_vec();
+                    self.pool.dev_slice_mut(*dst, *elems)?.copy_from_slice(&data);
+                }
+            }
+            CmdKind::EventRecord(_) | CmdKind::EventWait(_) => unreachable!("pseudo on engine"),
+        }
+        if self.timeline_enabled {
+            self.timeline.push(TimelineEntry {
+                label: kind.label(),
+                kind: TimelineKind::from_engine(engine),
+                stream: stream.0 as usize,
+                start_ns: start.as_ns(),
+                end_ns: end.as_ns(),
+            });
+        }
+        if self.race_check {
+            self.record_accesses(&kind, start, end)?;
+        }
+        let st = &mut self.streams[stream.0 as usize];
+        st.running -= 1;
+        st.last_done = st.last_done.max(end);
+        Ok(())
+    }
+
+    fn record_accesses(&mut self, kind: &CmdKind, start: SimTime, end: SimTime) -> SimResult<()> {
+        fn ranges_overlap(a: &(u32, usize, usize), b: &(u32, usize, usize)) -> bool {
+            a.0 == b.0 && a.1 < b.2 && b.1 < a.2
+        }
+        let mut reads: Vec<(u32, usize, usize)> = Vec::new();
+        let mut writes: Vec<(u32, usize, usize)> = Vec::new();
+        match kind {
+            CmdKind::H2D { dst, elems, .. } => {
+                writes.push((dst.alloc_id().0, dst.offset, dst.offset + elems));
+            }
+            CmdKind::D2H { src, elems, .. } => {
+                reads.push((src.alloc_id().0, src.offset, src.offset + elems));
+            }
+            CmdKind::H2D2D(c) => {
+                // Per-row ranges: the strided footprint does not cover the
+                // gaps between rows.
+                for r in 0..c.rows {
+                    let start = c.dev.offset + r * c.dev_stride;
+                    writes.push((c.dev.alloc_id().0, start, start + c.row_elems));
+                }
+            }
+            CmdKind::D2H2D(c) => {
+                for r in 0..c.rows {
+                    let start = c.dev.offset + r * c.dev_stride;
+                    reads.push((c.dev.alloc_id().0, start, start + c.row_elems));
+                }
+            }
+            CmdKind::Kernel(k) => {
+                for (p, n) in &k.reads {
+                    reads.push((p.alloc_id().0, p.offset, p.offset + n));
+                }
+                for (p, n) in &k.writes {
+                    writes.push((p.alloc_id().0, p.offset, p.offset + n));
+                }
+            }
+            CmdKind::Memset { dst, elems, .. } => {
+                writes.push((dst.alloc_id().0, dst.offset, dst.offset + elems));
+            }
+            CmdKind::D2D { src, dst, elems } => {
+                reads.push((src.alloc_id().0, src.offset, src.offset + elems));
+                writes.push((dst.alloc_id().0, dst.offset, dst.offset + elems));
+            }
+            _ => {}
+        }
+        let rec = AccessRecord {
+            label: kind.label(),
+            start,
+            end,
+            reads,
+            writes,
+        };
+        for prev in &self.access_log {
+            // Time overlap?
+            if !(rec.start < prev.end && prev.start < rec.end) {
+                continue;
+            }
+            for w in &rec.writes {
+                for pw in &prev.writes {
+                    if ranges_overlap(w, pw) {
+                        return Err(SimError::DataRace(format!(
+                            "concurrent writes: '{}' and '{}' on alloc {} [{}, {}) x [{}, {})",
+                            rec.label, prev.label, w.0, w.1, w.2, pw.1, pw.2
+                        )));
+                    }
+                }
+                for pr in &prev.reads {
+                    if ranges_overlap(w, pr) {
+                        return Err(SimError::DataRace(format!(
+                            "write '{}' races read '{}' on alloc {}",
+                            rec.label, prev.label, w.0
+                        )));
+                    }
+                }
+            }
+            for r in &rec.reads {
+                for pw in &prev.writes {
+                    if ranges_overlap(r, pw) {
+                        return Err(SimError::DataRace(format!(
+                            "read '{}' races write '{}' on alloc {}",
+                            rec.label, prev.label, r.0
+                        )));
+                    }
+                }
+            }
+        }
+        self.access_log.push(rec);
+        Ok(())
+    }
+
+    fn run_until(&mut self, pred: impl Fn(&Gpu) -> bool) -> SimResult<()> {
+        loop {
+            self.resolve_pseudo();
+            if pred(self) {
+                // Finish engines whose work is part of the predicate's
+                // streams only when required; predicate streams are drained
+                // (running == 0), so this is safe.
+                return Ok(());
+            }
+            if self.try_dispatch() {
+                continue;
+            }
+            // Advance time to the next interesting instant.
+            let mut t_next: Option<SimTime> = None;
+            let mut consider = |t: SimTime| {
+                t_next = Some(match t_next {
+                    Some(cur) => cur.min(t),
+                    None => t,
+                });
+            };
+            for r in self.engines.iter().flat_map(|v| v.iter()) {
+                consider(r.end);
+            }
+            for st in &self.streams {
+                if let Some(head) = st.queue.front() {
+                    if head.kind.engine().is_some() {
+                        let ready = st.ready_at.max(head.enqueue_time);
+                        if ready > self.now {
+                            consider(ready);
+                        }
+                    }
+                }
+            }
+            let Some(t) = t_next else {
+                // Nothing running, nothing dispatchable, nothing to wait
+                // for: if work remains, it is deadlocked on events.
+                let blocked: Vec<String> = self
+                    .streams
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, s)| !s.queue.is_empty())
+                    .map(|(i, s)| {
+                        let head = s.queue.front();
+                        let label = head.map(|c| c.kind.label()).unwrap_or_default();
+                        let detail = match head.map(|c| &c.kind) {
+                            Some(CmdKind::EventWait(e))
+                                if !self.events[e.0 as usize].enqueued =>
+                            {
+                                " (event was never recorded)"
+                            }
+                            _ => "",
+                        };
+                        format!("stream {i} blocked at '{label}'{detail}")
+                    })
+                    .collect();
+                if blocked.is_empty() {
+                    return Ok(());
+                }
+                return Err(SimError::Deadlock(blocked.join("; ")));
+            };
+            debug_assert!(t >= self.now, "time must be monotone");
+            self.now = self.now.max(t);
+            // Complete engines due at the new time, earliest (then lowest
+            // sequence) first for deterministic functional execution.
+            loop {
+                let mut due: Option<(SimTime, u64, EngineKind, usize)> = None;
+                for kind in EngineKind::ALL {
+                    for (slot, r) in self.engines[kind.index()].iter().enumerate() {
+                        if r.end <= self.now {
+                            let key = (r.end, r.seq, kind, slot);
+                            if due.is_none_or(|(e, s, _, _)| (key.0, key.1) < (e, s)) {
+                                due = Some(key);
+                            }
+                        }
+                    }
+                }
+                match due {
+                    Some((_, _, kind, slot)) => self.complete(kind, slot)?,
+                    None => break,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cmd::KernelCost;
+
+    fn gpu() -> Gpu {
+        Gpu::new(DeviceProfile::uniform_test(), ExecMode::Functional).unwrap()
+    }
+
+    /// 1e6 elements = 4 MB = 4 ms at 1 GB/s on the uniform profile.
+    const N: usize = 1_000_000;
+    const COPY_MS: u64 = 4;
+
+    #[test]
+    fn sync_copy_round_trip() {
+        let mut g = gpu();
+        let h = g.alloc_host(N, true).unwrap();
+        let d = g.alloc(N).unwrap();
+        g.host_fill(h, |i| i as f32).unwrap();
+        g.memcpy_h2d(h, 0, d, N).unwrap();
+        let h2 = g.alloc_host(N, true).unwrap();
+        g.memcpy_d2h(d, N, h2, 0).unwrap();
+        let mut out = vec![0.0; 4];
+        g.host_read(h2, N - 4, &mut out).unwrap();
+        assert_eq!(out, [(N - 4) as f32, (N - 3) as f32, (N - 2) as f32, (N - 1) as f32]);
+        // Two copies of 4 ms each.
+        assert_eq!(g.now(), SimTime::from_ms(2 * COPY_MS));
+    }
+
+    #[test]
+    fn h2d_and_d2h_overlap_on_separate_engines() {
+        let mut g = gpu();
+        let h = g.alloc_host(2 * N, true).unwrap();
+        let d1 = g.alloc(N).unwrap();
+        let d2 = g.alloc(N).unwrap();
+        let s1 = g.create_stream().unwrap();
+        let s2 = g.create_stream().unwrap();
+        // Preload d2 so the D2H has data.
+        g.memcpy_h2d(h, 0, d2, N).unwrap();
+        g.reset_counters();
+        let t0 = g.now();
+        g.memcpy_h2d_async(s1, h, 0, d1, N).unwrap();
+        g.memcpy_d2h_async(s2, d2, N, h, N).unwrap();
+        g.synchronize().unwrap();
+        let elapsed = g.now() - t0;
+        // Perfect overlap: makespan is one copy, not two.
+        assert_eq!(elapsed, SimTime::from_ms(COPY_MS));
+        assert_eq!(g.counters().h2d_time, SimTime::from_ms(COPY_MS));
+        assert_eq!(g.counters().d2h_time, SimTime::from_ms(COPY_MS));
+    }
+
+    #[test]
+    fn same_stream_serializes() {
+        let mut g = gpu();
+        let h = g.alloc_host(2 * N, true).unwrap();
+        let d1 = g.alloc(N).unwrap();
+        let d2 = g.alloc(N).unwrap();
+        let t0 = g.now();
+        let s = g.default_stream();
+        g.memcpy_h2d_async(s, h, 0, d1, N).unwrap();
+        g.memcpy_h2d_async(s, h, N, d2, N).unwrap();
+        g.synchronize().unwrap();
+        assert_eq!(g.now() - t0, SimTime::from_ms(2 * COPY_MS));
+    }
+
+    #[test]
+    fn copy_and_kernel_overlap_across_streams() {
+        let mut g = gpu();
+        let h = g.alloc_host(N, true).unwrap();
+        let d = g.alloc(N).unwrap();
+        let d_other = g.alloc(16).unwrap();
+        let s1 = g.create_stream().unwrap();
+        let s2 = g.create_stream().unwrap();
+        let t0 = g.now();
+        g.memcpy_h2d_async(s1, h, 0, d, N).unwrap();
+        // Kernel on the other stream: 4e6 flops at 1 GFLOP/s = 4 ms.
+        g.launch(
+            s2,
+            KernelLaunch::new(
+                "busy",
+                KernelCost {
+                    flops: 4_000_000,
+                    bytes: 0,
+                },
+                move |ctx| {
+                    let mut w = ctx.write(d_other, 1)?;
+                    w[0] = 42.0;
+                    Ok(())
+                },
+            ),
+        )
+        .unwrap();
+        g.synchronize().unwrap();
+        assert_eq!(g.now() - t0, SimTime::from_ms(COPY_MS));
+        // Both engines were busy the whole time.
+        assert_eq!(g.counters().kernel_time, SimTime::from_ms(4));
+    }
+
+    #[test]
+    fn events_order_cross_stream_work() {
+        let mut g = gpu();
+        let h = g.alloc_host(N, true).unwrap();
+        let d = g.alloc(N).unwrap();
+        let s1 = g.create_stream().unwrap();
+        let s2 = g.create_stream().unwrap();
+        g.host_fill(h, |_| 7.0).unwrap();
+        let e = g.create_event();
+        g.memcpy_h2d_async(s1, h, 0, d, N).unwrap();
+        g.record_event(s1, e).unwrap();
+        g.wait_event(s2, e).unwrap();
+        // This kernel must observe the copied data.
+        g.launch(
+            s2,
+            KernelLaunch::new("check", KernelCost::default(), move |ctx| {
+                let r = ctx.read(d, 1)?;
+                assert_eq!(r[0], 7.0);
+                Ok(())
+            }),
+        )
+        .unwrap();
+        g.synchronize().unwrap();
+        // Kernel started only after the 4 ms copy.
+        let tl = g.timeline();
+        let copy = tl.iter().find(|t| matches!(t.kind, TimelineKind::H2D)).unwrap();
+        let kern = tl
+            .iter()
+            .find(|t| matches!(t.kind, TimelineKind::Kernel))
+            .unwrap();
+        assert!(kern.start_ns >= copy.end_ns);
+    }
+
+    #[test]
+    fn waiting_on_unrecorded_event_deadlocks() {
+        let mut g = gpu();
+        let s1 = g.create_stream().unwrap();
+        let e = g.create_event();
+        g.wait_event(s1, e).unwrap();
+        let d = g.alloc(16).unwrap();
+        let h = g.alloc_host(16, true).unwrap();
+        g.memcpy_h2d_async(s1, h, 0, d, 16).unwrap();
+        let err = g.synchronize().unwrap_err();
+        assert!(matches!(err, SimError::Deadlock(_)), "{err:?}");
+    }
+
+    #[test]
+    fn stream_synchronize_only_waits_for_that_stream() {
+        let mut g = gpu();
+        let h = g.alloc_host(2 * N, true).unwrap();
+        let d1 = g.alloc(N).unwrap();
+        let d2 = g.alloc(2 * N).unwrap();
+        let s1 = g.create_stream().unwrap();
+        let s2 = g.create_stream().unwrap();
+        g.memcpy_h2d_async(s1, h, 0, d1, N).unwrap();
+        // Twice the work on s2 (same engine, so it finishes at 12 ms).
+        g.memcpy_h2d_async(s2, h, 0, d2, 2 * N).unwrap();
+        g.stream_synchronize(s1).unwrap();
+        let after_s1 = g.now();
+        assert_eq!(after_s1, SimTime::from_ms(COPY_MS));
+        g.synchronize().unwrap();
+        assert_eq!(g.now(), SimTime::from_ms(3 * COPY_MS));
+    }
+
+    #[test]
+    fn kernel_without_body_rejected_in_functional_mode() {
+        let mut g = gpu();
+        let err = g
+            .launch(
+                g.default_stream(),
+                KernelLaunch::cost_only("k", KernelCost::default()),
+            )
+            .unwrap_err();
+        assert!(matches!(err, SimError::InvalidArgument(_)));
+    }
+
+    #[test]
+    fn timing_mode_runs_cost_only_kernels() {
+        let mut g = Gpu::new(DeviceProfile::uniform_test(), ExecMode::Timing).unwrap();
+        let d = g.alloc(N).unwrap();
+        let h = g.alloc_host(N, true).unwrap();
+        g.memcpy_h2d(h, 0, d, N).unwrap();
+        g.launch(
+            g.default_stream(),
+            KernelLaunch::cost_only(
+                "k",
+                KernelCost {
+                    flops: 1_000_000,
+                    bytes: 0,
+                },
+            ),
+        )
+        .unwrap();
+        g.synchronize().unwrap();
+        assert_eq!(g.now(), SimTime::from_ms(5)); // 4 ms copy + 1 ms kernel
+        assert_eq!(g.counters().kernel_count, 1);
+    }
+
+    #[test]
+    fn race_checker_flags_concurrent_write_write() {
+        let mut g = gpu();
+        g.set_race_check(true);
+        let h = g.alloc_host(N, true).unwrap();
+        let d = g.alloc(N).unwrap();
+        let s1 = g.create_stream().unwrap();
+        let s2 = g.create_stream().unwrap();
+        // Concurrent H2D (writes d) and kernel declaring a write of d.
+        g.memcpy_h2d_async(s1, h, 0, d, N).unwrap();
+        g.launch(
+            s2,
+            KernelLaunch::new(
+                "writer",
+                KernelCost {
+                    flops: 4_000_000,
+                    bytes: 0,
+                },
+                move |_| Ok(()),
+            )
+            .writing(d, N),
+        )
+        .unwrap();
+        let err = g.synchronize().unwrap_err();
+        assert!(matches!(err, SimError::DataRace(_)), "{err:?}");
+    }
+
+    #[test]
+    fn race_checker_accepts_event_ordered_access() {
+        let mut g = gpu();
+        g.set_race_check(true);
+        let h = g.alloc_host(N, true).unwrap();
+        let d = g.alloc(N).unwrap();
+        let s1 = g.create_stream().unwrap();
+        let s2 = g.create_stream().unwrap();
+        let e = g.create_event();
+        g.memcpy_h2d_async(s1, h, 0, d, N).unwrap();
+        g.record_event(s1, e).unwrap();
+        g.wait_event(s2, e).unwrap();
+        g.launch(
+            s2,
+            KernelLaunch::new("writer", KernelCost::default(), move |_| Ok(()))
+                .writing(d, N),
+        )
+        .unwrap();
+        g.synchronize().unwrap();
+    }
+
+    #[test]
+    fn concurrent_kernel_slots_overlap_kernels() {
+        let mut profile = DeviceProfile::uniform_test();
+        profile.max_concurrent_kernels = 3;
+        let mut g = Gpu::new(profile, ExecMode::Timing).unwrap();
+        let streams: Vec<_> = (0..3).map(|_| g.create_stream().unwrap()).collect();
+        // Three 1 ms kernels on three streams.
+        for &s in &streams {
+            g.launch(
+                s,
+                KernelLaunch::cost_only(
+                    "k",
+                    KernelCost {
+                        flops: 1_000_000,
+                        bytes: 0,
+                    },
+                ),
+            )
+            .unwrap();
+        }
+        g.synchronize().unwrap();
+        // With 3 slots all kernels run together: makespan = 1 ms.
+        assert_eq!(g.now(), SimTime::from_ms(1));
+        assert_eq!(g.counters().kernel_time, SimTime::from_ms(3));
+
+        // With the default single slot they serialize: makespan = 3 ms.
+        let mut g = Gpu::new(DeviceProfile::uniform_test(), ExecMode::Timing).unwrap();
+        let streams: Vec<_> = (0..3).map(|_| g.create_stream().unwrap()).collect();
+        for &s in &streams {
+            g.launch(
+                s,
+                KernelLaunch::cost_only(
+                    "k",
+                    KernelCost {
+                        flops: 1_000_000,
+                        bytes: 0,
+                    },
+                ),
+            )
+            .unwrap();
+        }
+        g.synchronize().unwrap();
+        assert_eq!(g.now(), SimTime::from_ms(3));
+    }
+
+    #[test]
+    fn limited_slots_spill_to_later_time() {
+        let mut profile = DeviceProfile::uniform_test();
+        profile.max_concurrent_kernels = 2;
+        let mut g = Gpu::new(profile, ExecMode::Timing).unwrap();
+        let streams: Vec<_> = (0..3).map(|_| g.create_stream().unwrap()).collect();
+        for &s in &streams {
+            g.launch(
+                s,
+                KernelLaunch::cost_only(
+                    "k",
+                    KernelCost {
+                        flops: 1_000_000,
+                        bytes: 0,
+                    },
+                ),
+            )
+            .unwrap();
+        }
+        g.synchronize().unwrap();
+        // Two run together, the third follows: 2 ms.
+        assert_eq!(g.now(), SimTime::from_ms(2));
+    }
+
+    #[test]
+    fn dispatch_prefers_lowest_sequence_number() {
+        let mut g = gpu();
+        let h = g.alloc_host(3 * N, true).unwrap();
+        let d = g.alloc(3 * N).unwrap();
+        let s1 = g.create_stream().unwrap();
+        let s2 = g.create_stream().unwrap();
+        let s3 = g.create_stream().unwrap();
+        g.memcpy_h2d_async(s1, h, 0, d, N).unwrap();
+        g.memcpy_h2d_async(s2, h, N, d.add(N), N).unwrap();
+        g.memcpy_h2d_async(s3, h, 2 * N, d.add(2 * N), N).unwrap();
+        g.synchronize().unwrap();
+        let tl = g.timeline();
+        assert_eq!(tl.len(), 3);
+        assert_eq!(tl[0].stream, s1.index());
+        assert_eq!(tl[1].stream, s2.index());
+        assert_eq!(tl[2].stream, s3.index());
+    }
+
+    #[test]
+    fn peak_memory_includes_streams_and_runtime() {
+        let mut g = Gpu::new(DeviceProfile::k40m(), ExecMode::Timing).unwrap();
+        let base = g.current_mem();
+        assert_eq!(base, DeviceProfile::k40m().base_runtime_mem);
+        g.create_stream().unwrap();
+        assert_eq!(
+            g.current_mem(),
+            base + DeviceProfile::k40m().mem_per_stream
+        );
+    }
+
+    #[test]
+    fn api_overhead_accumulates_on_host_clock() {
+        let mut g = Gpu::new(DeviceProfile::k40m(), ExecMode::Timing).unwrap();
+        let t0 = g.now();
+        let _ = g.alloc(1024).unwrap();
+        let api = DeviceProfile::k40m().api_overhead;
+        assert_eq!(g.now() - t0, api);
+        assert_eq!(g.counters().api_calls, 1);
+    }
+
+    #[test]
+    fn strided_copy_moves_correct_rows() {
+        let mut g = gpu();
+        let h = g.alloc_host(100, true).unwrap();
+        g.host_fill(h, |i| i as f32).unwrap();
+        let (d, pitch) = g.alloc_pitched(4, 10).unwrap();
+        let c = Copy2D {
+            rows: 4,
+            row_elems: 10,
+            host: h,
+            host_off: 3,
+            host_stride: 20,
+            dev: d,
+            dev_stride: pitch,
+        };
+        g.memcpy2d_h2d_async(g.default_stream(), c).unwrap();
+        g.synchronize().unwrap();
+        // Row 2 on the device should hold host elements [43, 53).
+        let h2 = g.alloc_host(10, true).unwrap();
+        g.memcpy_d2h(d.add(2 * pitch), 10, h2, 0).unwrap();
+        let mut out = vec![0.0; 10];
+        g.host_read(h2, 0, &mut out).unwrap();
+        let expect: Vec<f32> = (43..53).map(|x| x as f32).collect();
+        assert_eq!(out, expect);
+    }
+}

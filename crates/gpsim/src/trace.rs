@@ -1,0 +1,260 @@
+//! Timeline tooling: ASCII Gantt rendering, utilization summaries, and
+//! Chrome-trace export.
+//!
+//! The paper diagnosed its results with the NVIDIA Visual Profiler and
+//! the AMD APP Profiler; these helpers are the simulator's equivalents —
+//! they make the overlap (or its absence) visible:
+//!
+//! ```text
+//! H2D     |██████░░████░░████░░████                       | 62.1% busy
+//! D2H     |      ░░░░██████░░████░░██████                 | 48.3% busy
+//! Kernel  |      ████░░░░████░░██████                     | 41.0% busy
+//! ```
+
+use std::fmt::Write as _;
+
+use crate::counters::{TimelineEntry, TimelineKind};
+use crate::time::SimTime;
+
+/// Per-engine busy statistics over a timeline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Utilization {
+    /// Busy fraction of the H2D engine over the makespan, in `[0, 1]`.
+    pub h2d: f64,
+    /// Busy fraction of the D2H engine.
+    pub d2h: f64,
+    /// Busy fraction of the compute engine.
+    pub kernel: f64,
+    /// End of the last command (ns) minus start of the first.
+    pub makespan: SimTime,
+}
+
+impl Utilization {
+    /// Aggregate busy fraction: total busy time across engines divided
+    /// by `3 × makespan`.
+    pub fn aggregate(&self) -> f64 {
+        (self.h2d + self.d2h + self.kernel) / 3.0
+    }
+}
+
+fn span(timeline: &[TimelineEntry]) -> Option<(u64, u64)> {
+    let start = timeline.iter().map(|t| t.start_ns).min()?;
+    let end = timeline.iter().map(|t| t.end_ns).max()?;
+    Some((start, end))
+}
+
+/// Compute per-engine utilization over a timeline. Returns zeroes for an
+/// empty timeline.
+pub fn utilization(timeline: &[TimelineEntry]) -> Utilization {
+    let Some((start, end)) = span(timeline) else {
+        return Utilization {
+            h2d: 0.0,
+            d2h: 0.0,
+            kernel: 0.0,
+            makespan: SimTime::ZERO,
+        };
+    };
+    let makespan = (end - start).max(1);
+    let busy = |kind: TimelineKind| -> f64 {
+        let ns: u64 = timeline
+            .iter()
+            .filter(|t| t.kind == kind)
+            .map(|t| t.end_ns - t.start_ns)
+            .sum();
+        ns as f64 / makespan as f64
+    };
+    Utilization {
+        h2d: busy(TimelineKind::H2D),
+        d2h: busy(TimelineKind::D2H),
+        kernel: busy(TimelineKind::Kernel),
+        makespan: SimTime::from_ns(makespan),
+    }
+}
+
+/// Render the timeline as a three-row ASCII Gantt chart of the given
+/// column width. Alternating commands on an engine are drawn with `█`
+/// and `▒` so back-to-back commands remain distinguishable.
+pub fn render_gantt(timeline: &[TimelineEntry], width: usize) -> String {
+    let width = width.max(10);
+    let mut out = String::new();
+    let Some((start, end)) = span(timeline) else {
+        return "(empty timeline)\n".to_string();
+    };
+    let total = (end - start).max(1) as f64;
+    let util = utilization(timeline);
+    for (kind, label, busy) in [
+        (TimelineKind::H2D, "H2D   ", util.h2d),
+        (TimelineKind::D2H, "D2H   ", util.d2h),
+        (TimelineKind::Kernel, "Kernel", util.kernel),
+    ] {
+        let mut row = vec![' '; width];
+        let mut entries: Vec<&TimelineEntry> =
+            timeline.iter().filter(|t| t.kind == kind).collect();
+        entries.sort_by_key(|t| t.start_ns);
+        for (n, t) in entries.iter().enumerate() {
+            // Clamp the start cell first: a zero-duration entry at the very
+            // end of the span would otherwise produce a > width and panic
+            // in `clamp` below.
+            let a = ((((t.start_ns - start) as f64 / total) * width as f64) as usize)
+                .min(width - 1);
+            let b = ((((t.end_ns - start) as f64 / total) * width as f64).ceil() as usize)
+                .clamp(a + 1, width);
+            let ch = if n % 2 == 0 { '█' } else { '▒' };
+            for c in row.iter_mut().take(b).skip(a) {
+                *c = ch;
+            }
+        }
+        let bar: String = row.into_iter().collect();
+        let _ = writeln!(out, "{label} |{bar}| {:5.1}% busy", 100.0 * busy);
+    }
+    let _ = writeln!(
+        out,
+        "        0{:>w$}",
+        format!("{}", SimTime::from_ns(end - start)),
+        w = width
+    );
+    out
+}
+
+/// Export the timeline in Chrome trace-event format (load via
+/// `chrome://tracing` or <https://ui.perfetto.dev>). Engines appear as
+/// "threads"; streams are recorded as arguments.
+pub fn to_chrome_trace(timeline: &[TimelineEntry]) -> String {
+    fn escape(s: &str) -> String {
+        s.replace('\\', "\\\\").replace('"', "\\\"")
+    }
+    let mut out = String::from("[\n");
+    for (i, t) in timeline.iter().enumerate() {
+        let tid = match t.kind {
+            TimelineKind::H2D => 1,
+            TimelineKind::D2H => 2,
+            TimelineKind::Kernel => 3,
+        };
+        let _ = write!(
+            out,
+            "  {{\"name\": \"{}\", \"cat\": \"{:?}\", \"ph\": \"X\", \
+             \"ts\": {:.3}, \"dur\": {:.3}, \"pid\": 0, \"tid\": {}, \
+             \"args\": {{\"stream\": {}}}}}",
+            escape(&t.label),
+            t.kind,
+            t.start_ns as f64 / 1e3, // Chrome wants microseconds
+            (t.end_ns - t.start_ns) as f64 / 1e3,
+            tid,
+            t.stream
+        );
+        out.push_str(if i + 1 == timeline.len() { "\n" } else { ",\n" });
+    }
+    out.push_str("]\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(kind: TimelineKind, stream: usize, start: u64, end: u64) -> TimelineEntry {
+        TimelineEntry {
+            label: format!("{kind:?}@{start}"),
+            kind,
+            stream,
+            start_ns: start,
+            end_ns: end,
+        }
+    }
+
+    fn sample() -> Vec<TimelineEntry> {
+        vec![
+            entry(TimelineKind::H2D, 1, 0, 50),
+            entry(TimelineKind::H2D, 2, 50, 100),
+            entry(TimelineKind::Kernel, 1, 50, 90),
+            entry(TimelineKind::D2H, 1, 90, 100),
+        ]
+    }
+
+    #[test]
+    fn utilization_fractions() {
+        let u = utilization(&sample());
+        assert!((u.h2d - 1.0).abs() < 1e-9);
+        assert!((u.kernel - 0.4).abs() < 1e-9);
+        assert!((u.d2h - 0.1).abs() < 1e-9);
+        assert_eq!(u.makespan, SimTime::from_ns(100));
+        assert!((u.aggregate() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_timeline_is_handled() {
+        let u = utilization(&[]);
+        assert_eq!(u.makespan, SimTime::ZERO);
+        assert_eq!(render_gantt(&[], 40), "(empty timeline)\n");
+        assert_eq!(to_chrome_trace(&[]), "[\n]\n");
+    }
+
+    #[test]
+    fn gantt_rows_reflect_activity() {
+        let g = render_gantt(&sample(), 40);
+        let lines: Vec<&str> = g.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("H2D"));
+        // H2D busy the whole makespan → its bar has no spaces inside.
+        let h2d_bar: &str = lines[0].split('|').nth(1).unwrap();
+        assert!(!h2d_bar.contains(' '), "{h2d_bar:?}");
+        // D2H busy only the last 10 % → mostly blank.
+        let d2h_bar: &str = lines[1].split('|').nth(1).unwrap();
+        assert!(d2h_bar.chars().filter(|c| *c == ' ').count() > 30);
+        assert!(lines[0].contains("100.0% busy"));
+    }
+
+    #[test]
+    fn chrome_trace_is_loadable_shape() {
+        let json = to_chrome_trace(&sample());
+        assert!(json.starts_with("[\n"));
+        assert!(json.trim_end().ends_with(']'));
+        assert_eq!(json.matches("\"ph\": \"X\"").count(), 4);
+        assert!(json.contains("\"tid\": 3")); // kernel row
+        assert!(json.contains("\"stream\": 2"));
+        // Quotes in labels must be escaped.
+        let tricky = vec![TimelineEntry {
+            label: "a\"b\\c".into(),
+            kind: TimelineKind::H2D,
+            stream: 0,
+            start_ns: 0,
+            end_ns: 1,
+        }];
+        let json = to_chrome_trace(&tricky);
+        assert!(json.contains("a\\\"b\\\\c"));
+    }
+
+    #[test]
+    fn zero_duration_entry_at_span_end_does_not_panic() {
+        // Regression: a zero-cost command completing exactly at the end
+        // of the span used to hit `clamp(a + 1, width)` with a == width.
+        let tl = vec![
+            entry(TimelineKind::H2D, 0, 0, 100),
+            entry(TimelineKind::Kernel, 0, 100, 100),
+        ];
+        let g = render_gantt(&tl, 40);
+        assert!(g.contains("Kernel"));
+        let u = utilization(&tl);
+        assert_eq!(u.kernel, 0.0);
+    }
+
+    #[test]
+    fn gantt_from_a_real_run_shows_overlap() {
+        use crate::{DeviceProfile, ExecMode, Gpu};
+        let mut gpu = Gpu::new(DeviceProfile::uniform_test(), ExecMode::Timing).unwrap();
+        let h = gpu.alloc_host(2_000_000, true).unwrap();
+        let d = gpu.alloc(2_000_000).unwrap();
+        let s1 = gpu.create_stream().unwrap();
+        let s2 = gpu.create_stream().unwrap();
+        gpu.memcpy_h2d_async(s1, h, 0, d, 1_000_000).unwrap();
+        gpu.memcpy_d2h_async(s2, d.add(1_000_000), 1_000_000, h, 1_000_000)
+            .unwrap();
+        gpu.synchronize().unwrap();
+        let u = utilization(gpu.timeline());
+        // Perfect bidirectional overlap on the uniform profile.
+        assert!((u.h2d - 1.0).abs() < 1e-6, "{u:?}");
+        assert!((u.d2h - 1.0).abs() < 1e-6, "{u:?}");
+        let g = render_gantt(gpu.timeline(), 30);
+        assert!(g.contains("100.0% busy"));
+    }
+}

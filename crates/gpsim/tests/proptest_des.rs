@@ -1,0 +1,180 @@
+//! Property tests of the discrete-event core: for random command
+//! programs, the schedule must satisfy the structural invariants of the
+//! hardware model — engines execute one command at a time, streams are
+//! FIFO, events order cross-stream work, and time never runs backwards.
+
+use gpsim::{
+    DeviceProfile, EventId, ExecMode, Gpu, KernelCost, KernelLaunch, StreamId, TimelineKind,
+};
+use proptest::prelude::*;
+
+/// One random program step.
+#[derive(Debug, Clone)]
+enum Step {
+    H2D { stream: u8, elems: u16 },
+    D2H { stream: u8, elems: u16 },
+    Kernel { stream: u8, flops: u32 },
+    Record { stream: u8, event: u8 },
+    Wait { stream: u8, event: u8 },
+    StreamSync { stream: u8 },
+}
+
+fn steps() -> impl Strategy<Value = Vec<Step>> {
+    let step = prop_oneof![
+        (0u8..4, 1u16..2048).prop_map(|(stream, elems)| Step::H2D { stream, elems }),
+        (0u8..4, 1u16..2048).prop_map(|(stream, elems)| Step::D2H { stream, elems }),
+        (0u8..4, 1u32..1_000_000).prop_map(|(stream, flops)| Step::Kernel { stream, flops }),
+        (0u8..4, 0u8..4).prop_map(|(stream, event)| Step::Record { stream, event }),
+        (0u8..4, 0u8..4).prop_map(|(stream, event)| Step::Wait { stream, event }),
+        (0u8..4).prop_map(|stream| Step::StreamSync { stream }),
+    ];
+    proptest::collection::vec(step, 1..60)
+}
+
+/// Execute a random program. Waits on never-recorded events would
+/// deadlock (correctly); to keep programs valid we pre-record every
+/// event on the default stream first.
+fn run_program(steps: &[Step]) -> Result<(), TestCaseError> {
+    let mut gpu = Gpu::new(DeviceProfile::k40m(), ExecMode::Timing).unwrap();
+    let streams: Vec<StreamId> = (0..4).map(|_| gpu.create_stream().unwrap()).collect();
+    let events: Vec<EventId> = (0..4).map(|_| gpu.create_event()).collect();
+    for &e in &events {
+        gpu.record_event(gpu.default_stream(), e).unwrap();
+    }
+    let dev = gpu.alloc(4096).unwrap();
+    let host = gpu.alloc_host(4096, true).unwrap();
+
+    for s in steps {
+        match *s {
+            Step::H2D { stream, elems } => {
+                gpu.memcpy_h2d_async(streams[stream as usize], host, 0, dev, elems as usize)
+                    .unwrap();
+            }
+            Step::D2H { stream, elems } => {
+                gpu.memcpy_d2h_async(streams[stream as usize], dev, elems as usize, host, 0)
+                    .unwrap();
+            }
+            Step::Kernel { stream, flops } => {
+                gpu.launch(
+                    streams[stream as usize],
+                    KernelLaunch::cost_only(
+                        "k",
+                        KernelCost {
+                            flops: flops as u64,
+                            bytes: 0,
+                        },
+                    ),
+                )
+                .unwrap();
+            }
+            Step::Record { stream, event } => {
+                gpu.record_event(streams[stream as usize], events[event as usize])
+                    .unwrap();
+            }
+            Step::Wait { stream, event } => {
+                gpu.wait_event(streams[stream as usize], events[event as usize])
+                    .unwrap();
+            }
+            Step::StreamSync { stream } => {
+                gpu.stream_synchronize(streams[stream as usize]).unwrap();
+            }
+        }
+    }
+    gpu.synchronize().unwrap();
+
+    let tl = gpu.timeline();
+    // Invariant 1: entries on the same engine never overlap in time.
+    for kind in [TimelineKind::H2D, TimelineKind::D2H, TimelineKind::Kernel] {
+        let mut on_engine: Vec<_> = tl.iter().filter(|t| t.kind == kind).collect();
+        on_engine.sort_by_key(|t| t.start_ns);
+        for w in on_engine.windows(2) {
+            prop_assert!(
+                w[0].end_ns <= w[1].start_ns,
+                "engine {kind:?} overlap: {w:?}"
+            );
+        }
+    }
+    // Invariant 2: entries on the same stream never overlap (FIFO).
+    for s in 0..streams.len() + 1 {
+        let mut on_stream: Vec<_> = tl.iter().filter(|t| t.stream == s).collect();
+        on_stream.sort_by_key(|t| t.start_ns);
+        for w in on_stream.windows(2) {
+            prop_assert!(
+                w[0].end_ns <= w[1].start_ns,
+                "stream {s} overlap: {w:?}"
+            );
+        }
+    }
+    // Invariant 3: accounting matches the timeline.
+    let counted = gpu.counters().h2d_count + gpu.counters().d2h_count + gpu.counters().kernel_count;
+    prop_assert_eq!(counted as usize, tl.len());
+    let busy_ns: u64 = tl.iter().map(|t| t.end_ns - t.start_ns).sum();
+    prop_assert_eq!(
+        busy_ns,
+        (gpu.counters().h2d_time + gpu.counters().d2h_time + gpu.counters().kernel_time).as_ns()
+    );
+    // Invariant 4: makespan bounds every entry, and per-engine busy time
+    // never exceeds the makespan.
+    let makespan = tl.iter().map(|t| t.end_ns).max().unwrap_or(0);
+    for kind in [TimelineKind::H2D, TimelineKind::D2H, TimelineKind::Kernel] {
+        let busy: u64 = tl
+            .iter()
+            .filter(|t| t.kind == kind)
+            .map(|t| t.end_ns - t.start_ns)
+            .sum();
+        prop_assert!(busy <= makespan);
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn random_programs_satisfy_schedule_invariants(program in steps()) {
+        run_program(&program)?;
+    }
+
+    /// Host clock is monotone across arbitrary API sequences.
+    #[test]
+    fn host_clock_is_monotone(program in steps()) {
+        let mut gpu = Gpu::new(DeviceProfile::hd7970(), ExecMode::Timing).unwrap();
+        let streams: Vec<StreamId> = (0..4).map(|_| gpu.create_stream().unwrap()).collect();
+        let events: Vec<EventId> = (0..4).map(|_| gpu.create_event()).collect();
+        for &e in &events {
+            gpu.record_event(gpu.default_stream(), e).unwrap();
+        }
+        let dev = gpu.alloc(4096).unwrap();
+        let host = gpu.alloc_host(4096, false).unwrap();
+        let mut last = gpu.now();
+        for s in &program {
+            match *s {
+                Step::H2D { stream, elems } => {
+                    gpu.memcpy_h2d_async(streams[stream as usize], host, 0, dev, elems as usize).unwrap();
+                }
+                Step::D2H { stream, elems } => {
+                    gpu.memcpy_d2h_async(streams[stream as usize], dev, elems as usize, host, 0).unwrap();
+                }
+                Step::Kernel { stream, flops } => {
+                    gpu.launch(
+                        streams[stream as usize],
+                        KernelLaunch::cost_only("k", KernelCost { flops: flops as u64, bytes: 0 }),
+                    ).unwrap();
+                }
+                Step::Record { stream, event } => {
+                    gpu.record_event(streams[stream as usize], events[event as usize]).unwrap();
+                }
+                Step::Wait { stream, event } => {
+                    gpu.wait_event(streams[stream as usize], events[event as usize]).unwrap();
+                }
+                Step::StreamSync { stream } => {
+                    gpu.stream_synchronize(streams[stream as usize]).unwrap();
+                }
+            }
+            prop_assert!(gpu.now() >= last, "clock went backwards");
+            last = gpu.now();
+        }
+        gpu.synchronize().unwrap();
+        prop_assert!(gpu.now() >= last);
+    }
+}

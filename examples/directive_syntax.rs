@@ -1,0 +1,64 @@
+//! Tour of the directive clause syntax (the paper's Figure 1/2): parse
+//! several directives, show the canonical form, the bound region specs,
+//! and what the error messages look like.
+//!
+//! ```text
+//! cargo run --release -p pipeline-apps --example directive_syntax
+//! ```
+
+use pipeline_directive::parse_directive;
+
+fn main() {
+    let good = [
+        // The paper's Figure 2, verbatim modulo dimensions.
+        "#pragma omp target \
+         pipeline(static[1,3]) \
+         pipeline_map(to:A0[k-1:3][0:510][0:510]) \
+         pipeline_map(from:Anext[k:1][0:510][0:510]) \
+         pipeline_mem_limit(MB_256)",
+        // Adaptive schedule (the §VII extension) with byte-suffix limit.
+        "pipeline(adaptive) \
+         pipeline_map(tofrom:field[k:1][0:4096]) \
+         pipeline_mem_limit(64MB)",
+        // Column-block split of a matrix (the GEMM pattern).
+        "pipeline(static[1,4]) pipeline_map(to:B[0:8192][256*l:256])",
+        // Scaled split: each iteration consumes 4 rows.
+        "pipeline(static[2,2]) pipeline_map(to:rows[4*k:4][0:1024])",
+    ];
+
+    for src in good {
+        let parsed = parse_directive(src).expect("parse");
+        println!("input:     {src}");
+        println!("canonical: {parsed}");
+        let spec = parsed.to_region_spec(|_| Some(512)).expect("bind");
+        for m in &spec.maps {
+            println!(
+                "  map {:<6} dir={:?} window={} slice_elems={} extent={}",
+                m.name,
+                m.dir,
+                m.split.window(),
+                m.split.slice_elems(),
+                m.split.extent()
+            );
+        }
+        if let Some(limit) = spec.mem_limit {
+            println!("  mem_limit = {limit} bytes");
+        }
+        println!();
+    }
+
+    println!("--- diagnostics ---");
+    let bad = [
+        "pipeline(dynamic[1,3]) pipeline_map(to:A[k:1][0:8])",
+        "pipeline(static[1,3]) pipeline_map(inout:A[k:1][0:8])",
+        "pipeline(static[0,3]) pipeline_map(to:A[k:1][0:8])",
+        "pipeline(static[1,3]) pipeline_map(to:A[0:8])",
+        "pipeline(static[1,3]) pipeline_map(to:A[k:1][0:8]) pipeline_map(to:B[j:1][0:8])",
+    ];
+    for src in bad {
+        let err = parse_directive(src)
+            .and_then(|d| d.to_region_spec(|_| Some(64)))
+            .expect_err("should fail");
+        println!("input: {src}\n  -> {err}\n");
+    }
+}

@@ -1,0 +1,53 @@
+//! # dbpp — Directive-Based Partitioning and Pipelining for GPUs
+//!
+//! A complete Rust reproduction of
+//! *Directive-Based Partitioning and Pipelining for Graphics Processing
+//! Units* (Xuewen Cui, Thomas R. W. Scogland, Bronis R. de Supinski,
+//! Wu-chun Feng — IEEE IPDPS 2017, DOI 10.1109/IPDPS.2017.96), built
+//! over a discrete-event GPU simulator so it runs anywhere.
+//!
+//! This facade crate re-exports the whole stack:
+//!
+//! * [`sim`] ([`gpsim`]) — the simulated device: memory, streams,
+//!   events, copy/compute engines, calibrated K40m/HD 7970 cost models.
+//! * [`rt`] ([`pipeline_rt`]) — the paper's contribution: the
+//!   partitioning/pipelining runtime with its Naive, Pipelined and
+//!   Pipelined-buffer drivers, plus the §VII extensions (adaptive
+//!   schedules, function-based dependencies, multi-device co-scheduling,
+//!   autotuning).
+//! * [`directive`] ([`pipeline_directive`]) — the clause-syntax parser
+//!   (`pipeline(static[1,3]) pipeline_map(to:A0[k-1:3][0:ny][0:nx]) ...`).
+//! * [`apps`] ([`pipeline_apps`]) — the four evaluation applications:
+//!   3-D convolution, Parboil-style stencil, matrix multiplication, and
+//!   a Lattice QCD proxy.
+//!
+//! See `examples/quickstart.rs` for a five-minute tour and
+//! `crates/bench` for the harness that regenerates every figure of the
+//! paper's evaluation section.
+
+#![warn(missing_docs)]
+
+pub use gpsim as sim;
+pub use pipeline_apps as apps;
+pub use pipeline_directive as directive;
+pub use pipeline_rt as rt;
+
+/// Crate version (workspace-wide).
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn facade_reaches_every_layer() {
+        let profile = crate::sim::DeviceProfile::k40m();
+        assert_eq!(profile.name, "nvidia-k40m");
+        let parsed =
+            crate::directive::parse_directive("pipeline(static[1,3]) pipeline_map(to:A[k:1][0:8])")
+                .unwrap();
+        assert_eq!(parsed.maps.len(), 1);
+        let cfg = crate::apps::StencilConfig::test_small();
+        assert!(cfg.total() > 0);
+        assert_eq!(crate::rt::chunk_ranges(0, 4, 2).len(), 2);
+        assert!(!crate::VERSION.is_empty());
+    }
+}
