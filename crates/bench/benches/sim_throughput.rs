@@ -1,0 +1,82 @@
+//! DES engine throughput: how many simulated device commands the
+//! event-calendar core retires per host second, and how the sweep pool
+//! scales a reduced figure grid.
+//!
+//! Run with `cargo bench --bench sim_throughput`; CI smoke-runs it via
+//! `-- --test` (one iteration per benchmark, reduced sizes).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use gpsim::{DeviceProfile, ExecMode, Gpu, KernelCost, KernelLaunch};
+use pipeline_apps::QcdConfig;
+use pipeline_rt::{run_pipelined_buffer, sweep_map_threads};
+
+/// Raw DES hot loop: a deep multi-stream command mix (copies + kernels
+/// racing on three engines) with no runtime layer above it. Exercises
+/// the completion calendar, head index and dispatch path directly.
+fn raw_des_command_mix(streams: usize, rounds: usize) -> u64 {
+    let mut gpu = Gpu::new(DeviceProfile::k40m(), ExecMode::Timing).expect("context");
+    let elems = 1 << 12;
+    let host = gpu.alloc_host(elems * streams, true).unwrap();
+    let devs: Vec<_> = (0..streams).map(|_| gpu.alloc(elems).unwrap()).collect();
+    let ss: Vec<_> = (0..streams).map(|_| gpu.create_stream().unwrap()).collect();
+    for _ in 0..rounds {
+        for (i, (&s, &d)) in ss.iter().zip(&devs).enumerate() {
+            gpu.memcpy_h2d_async(s, host, i * elems, d, elems).unwrap();
+            gpu.launch(
+                s,
+                KernelLaunch::cost_only(
+                    "mix",
+                    KernelCost {
+                        flops: 1 << 16,
+                        bytes: 1 << 14,
+                    },
+                ),
+            )
+            .unwrap();
+            gpu.memcpy_d2h_async(s, d, elems, host, i * elems).unwrap();
+        }
+    }
+    gpu.synchronize().unwrap();
+    let c = gpu.counters();
+    c.h2d_count + c.d2h_count + c.kernel_count
+}
+
+/// One pipelined-buffer QCD run — the unit every figure harness repeats.
+fn qcd_buffer_run(n: usize) -> u64 {
+    let mut gpu = Gpu::new(DeviceProfile::k40m(), ExecMode::Timing).expect("context");
+    let cfg = QcdConfig::paper_size(n);
+    let inst = cfg.setup(&mut gpu).expect("qcd setup");
+    let rep = run_pipelined_buffer(&mut gpu, &inst.region, &cfg.builder()).expect("buffer run");
+    rep.commands
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_throughput");
+    g.sample_size(10);
+    g.bench_function("raw_des_4streams_3k_cmds", |b| {
+        b.iter(|| black_box(raw_des_command_mix(4, 250)))
+    });
+    g.bench_function("qcd12_pipelined_buffer", |b| {
+        b.iter(|| black_box(qcd_buffer_run(12)))
+    });
+    g.bench_function("fig4_grid_n8_serial", |b| {
+        b.iter(|| {
+            black_box(sweep_map_threads(1, 20, |i| {
+                qcd_buffer_run(8 + (i % 2)) // slight size mix, fixed per index
+            }))
+        })
+    });
+    g.bench_function("fig4_grid_n8_parallel", |b| {
+        b.iter(|| {
+            black_box(sweep_map_threads(
+                pipeline_rt::sweep_threads(),
+                20,
+                |i| qcd_buffer_run(8 + (i % 2)),
+            ))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -275,15 +275,21 @@ pub fn pinned_host() -> Vec<AblationRow> {
     }]
 }
 
-/// Run every ablation.
+/// Run every ablation. The six studies are independent simulations, so
+/// they fan over the sweep pool; rows come back in the fixed study
+/// order.
 pub fn run_all() -> Vec<AblationRow> {
-    let mut rows = residency();
-    rows.extend(ring_slack());
-    rows.extend(adaptive_schedule());
-    rows.extend(autotuned_schedule());
-    rows.extend(stream_assignment());
-    rows.extend(pinned_host());
-    rows
+    pipeline_rt::sweep_map(6, |i| match i {
+        0 => residency(),
+        1 => ring_slack(),
+        2 => adaptive_schedule(),
+        3 => autotuned_schedule(),
+        4 => stream_assignment(),
+        _ => pinned_host(),
+    })
+    .into_iter()
+    .flatten()
+    .collect()
 }
 
 /// Print the ablation table.

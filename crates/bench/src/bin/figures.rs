@@ -9,7 +9,7 @@
 use std::fs;
 use std::path::PathBuf;
 
-use pipeline_bench::{ablate, fig3, fig4, fig56, fig7, fig8, fig910, header};
+use pipeline_bench::{ablate, fig3, fig4, fig56, fig7, fig8, fig910, header, perf};
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
@@ -36,7 +36,7 @@ fn main() {
     };
     const KNOWN: &[&str] = &[
         "all", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
-        "future", "ablations",
+        "future", "ablations", "perf",
     ];
     for a in &args {
         if !KNOWN.contains(&a.as_str()) {
@@ -185,5 +185,12 @@ fn main() {
             ));
         }
         write_csv("ablations.csv", csv);
+    }
+    if want("perf") {
+        header("Sweep-engine throughput — fixed figure sweep, serial vs parallel");
+        let rep = perf::run(36);
+        perf::print(&rep);
+        fs::write("BENCH_sim.json", rep.to_json()).expect("write BENCH_sim.json");
+        eprintln!("wrote BENCH_sim.json");
     }
 }

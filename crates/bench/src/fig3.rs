@@ -6,7 +6,7 @@
 //! problem size toward the 2× perfect-overlap bound.
 
 use pipeline_apps::QcdConfig;
-use pipeline_rt::{run_naive, run_pipelined};
+use pipeline_rt::{run_naive, run_pipelined, sweep_map};
 
 use crate::gpu_k40m;
 
@@ -30,8 +30,10 @@ pub struct Fig3Row {
 /// Run the Figure 3 experiment for the given lattice sizes
 /// (paper: 12 / 24 / 36).
 pub fn run(sizes: &[(&'static str, usize)]) -> Vec<Fig3Row> {
-    let mut rows = Vec::new();
-    for &(dataset, n) in sizes {
+    // Each dataset is an independent simulation: fan over the sweep pool
+    // (every worker builds its own context).
+    sweep_map(sizes.len(), |i| {
+        let (dataset, n) = sizes[i];
         let mut gpu = gpu_k40m();
         let cfg = QcdConfig::paper_size(n);
         let inst = cfg.setup(&mut gpu).expect("qcd setup");
@@ -39,16 +41,15 @@ pub fn run(sizes: &[(&'static str, usize)]) -> Vec<Fig3Row> {
         let naive = run_naive(&mut gpu, &inst.region, &builder).expect("naive run");
         let pipe = run_pipelined(&mut gpu, &inst.region, &builder).expect("pipelined run");
         let busy = (naive.h2d + naive.d2h + naive.kernel).as_secs_f64();
-        rows.push(Fig3Row {
+        Fig3Row {
             dataset,
             n,
             d2h_frac: naive.d2h.as_secs_f64() / busy,
             h2d_frac: naive.h2d.as_secs_f64() / busy,
             kernel_frac: naive.kernel.as_secs_f64() / busy,
             speedup: pipe.speedup_over(&naive),
-        });
-    }
-    rows
+        }
+    })
 }
 
 /// The paper's dataset sizes.

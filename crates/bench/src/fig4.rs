@@ -7,7 +7,7 @@
 
 use gpsim::SimTime;
 use pipeline_apps::QcdConfig;
-use pipeline_rt::run_pipelined_buffer;
+use pipeline_rt::{run_pipelined_buffer, sweep_map};
 
 use crate::gpu_k40m;
 
@@ -24,24 +24,27 @@ pub struct Fig4Row {
 
 /// Run the sweep for lattice extent `n` (paper: 36).
 pub fn run(n: usize, chunks: &[usize], streams: &[usize]) -> Vec<Fig4Row> {
-    let mut rows = Vec::new();
-    for &chunk in chunks {
-        for &ns in streams {
-            let mut gpu = gpu_k40m();
-            let mut cfg = QcdConfig::paper_size(n);
-            cfg.chunk = chunk;
-            cfg.streams = ns;
-            let inst = cfg.setup(&mut gpu).expect("qcd setup");
-            let rep =
-                run_pipelined_buffer(&mut gpu, &inst.region, &cfg.builder()).expect("buffer run");
-            rows.push(Fig4Row {
-                chunk,
-                streams: ns,
-                time: rep.total,
-            });
+    let cells: Vec<(usize, usize)> = chunks
+        .iter()
+        .flat_map(|&c| streams.iter().map(move |&s| (c, s)))
+        .collect();
+    // Every grid cell is its own simulation context — fan the grid over
+    // the sweep pool; results come back in grid order.
+    sweep_map(cells.len(), |i| {
+        let (chunk, ns) = cells[i];
+        let mut gpu = gpu_k40m();
+        let mut cfg = QcdConfig::paper_size(n);
+        cfg.chunk = chunk;
+        cfg.streams = ns;
+        let inst = cfg.setup(&mut gpu).expect("qcd setup");
+        let rep =
+            run_pipelined_buffer(&mut gpu, &inst.region, &cfg.builder()).expect("buffer run");
+        Fig4Row {
+            chunk,
+            streams: ns,
+            time: rep.total,
         }
-    }
-    rows
+    })
 }
 
 /// The paper's sweep grid.

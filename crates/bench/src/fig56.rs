@@ -10,7 +10,8 @@
 use gpsim::Gpu;
 use pipeline_apps::{Conv3dConfig, QcdConfig, StencilConfig};
 use pipeline_rt::{
-    run_naive, run_pipelined, run_pipelined_buffer, KernelBuilder, Region, RtResult, RunReport,
+    run_naive, run_pipelined, run_pipelined_buffer, sweep_map, KernelBuilder, Region, RtResult,
+    RunReport,
 };
 
 use crate::gpu_k40m;
@@ -58,29 +59,37 @@ fn run_three(
     })
 }
 
+/// Number of benchmark columns in Figures 5 & 6 (trial indices for
+/// [`run_trial`]).
+pub const N_TRIALS: usize = 5;
+
+/// Run one benchmark column (`0 ≤ i <` [`N_TRIALS`]) on a fresh context.
+/// The unit of work the sweep pool — and the perf harness — fans out.
+pub fn run_trial(i: usize) -> BenchRow {
+    let mut gpu = gpu_k40m();
+    match i {
+        0 => {
+            let cfg = Conv3dConfig::polybench_default();
+            let inst = cfg.setup(&mut gpu).expect("conv3d setup");
+            run_three(&mut gpu, "3dconv", &inst.region, &cfg.builder()).expect("3dconv")
+        }
+        1 => {
+            let cfg = StencilConfig::parboil_default();
+            let inst = cfg.setup(&mut gpu).expect("stencil setup");
+            run_three(&mut gpu, "stencil", &inst.region, &cfg.builder()).expect("stencil")
+        }
+        _ => {
+            let (name, n) = [("qcd-small", 12), ("qcd-medium", 24), ("qcd-large", 36)][i - 2];
+            let cfg = QcdConfig::paper_size(n);
+            let inst = cfg.setup(&mut gpu).expect("qcd setup");
+            run_three(&mut gpu, name, &inst.region, &cfg.builder()).expect("qcd")
+        }
+    }
+}
+
 /// Run all five benchmark columns of Figures 5 & 6.
 pub fn run() -> Vec<BenchRow> {
-    let mut rows = Vec::new();
-
-    {
-        let mut gpu = gpu_k40m();
-        let cfg = Conv3dConfig::polybench_default();
-        let inst = cfg.setup(&mut gpu).expect("conv3d setup");
-        rows.push(run_three(&mut gpu, "3dconv", &inst.region, &cfg.builder()).expect("3dconv"));
-    }
-    {
-        let mut gpu = gpu_k40m();
-        let cfg = StencilConfig::parboil_default();
-        let inst = cfg.setup(&mut gpu).expect("stencil setup");
-        rows.push(run_three(&mut gpu, "stencil", &inst.region, &cfg.builder()).expect("stencil"));
-    }
-    for (name, n) in [("qcd-small", 12), ("qcd-medium", 24), ("qcd-large", 36)] {
-        let mut gpu = gpu_k40m();
-        let cfg = QcdConfig::paper_size(n);
-        let inst = cfg.setup(&mut gpu).expect("qcd setup");
-        rows.push(run_three(&mut gpu, name, &inst.region, &cfg.builder()).expect("qcd"));
-    }
-    rows
+    sweep_map(N_TRIALS, run_trial)
 }
 
 /// Print Figure 5 (normalized speedup).

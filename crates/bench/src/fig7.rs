@@ -8,7 +8,7 @@
 
 use gpsim::SimTime;
 use pipeline_apps::{Conv3dConfig, StencilConfig};
-use pipeline_rt::{run_pipelined, run_pipelined_buffer};
+use pipeline_rt::{run_pipelined, run_pipelined_buffer, sweep_map};
 
 use crate::gpu_k40m;
 
@@ -46,42 +46,40 @@ pub struct Fig7Row {
 
 /// Run the sweep over `streams` for both benchmarks.
 pub fn run(streams: &[usize]) -> Vec<Fig7Row> {
-    let mut rows = Vec::new();
-    for &ns in streams {
-        // 3-D convolution.
-        {
-            let mut gpu = gpu_k40m();
-            let mut cfg = Conv3dConfig::polybench_default();
-            cfg.streams = ns;
-            let inst = cfg.setup(&mut gpu).expect("conv3d setup");
-            let builder = cfg.builder();
-            let p = run_pipelined(&mut gpu, &inst.region, &builder).expect("pipelined");
-            let b = run_pipelined_buffer(&mut gpu, &inst.region, &builder).expect("buffer");
-            rows.push(Fig7Row {
-                bench: Fig7Bench::Conv3d,
-                streams: ns,
-                pipelined: p.total,
-                buffer: b.total,
-            });
+    let cells: Vec<(usize, Fig7Bench)> = streams
+        .iter()
+        .flat_map(|&ns| [(ns, Fig7Bench::Conv3d), (ns, Fig7Bench::Stencil)])
+        .collect();
+    sweep_map(cells.len(), |i| {
+        let (ns, bench) = cells[i];
+        let mut gpu = gpu_k40m();
+        let (p, b) = match bench {
+            Fig7Bench::Conv3d => {
+                let mut cfg = Conv3dConfig::polybench_default();
+                cfg.streams = ns;
+                let inst = cfg.setup(&mut gpu).expect("conv3d setup");
+                let builder = cfg.builder();
+                let p = run_pipelined(&mut gpu, &inst.region, &builder).expect("pipelined");
+                let b = run_pipelined_buffer(&mut gpu, &inst.region, &builder).expect("buffer");
+                (p, b)
+            }
+            Fig7Bench::Stencil => {
+                let mut cfg = StencilConfig::parboil_default();
+                cfg.streams = ns;
+                let inst = cfg.setup(&mut gpu).expect("stencil setup");
+                let builder = cfg.builder();
+                let p = run_pipelined(&mut gpu, &inst.region, &builder).expect("pipelined");
+                let b = run_pipelined_buffer(&mut gpu, &inst.region, &builder).expect("buffer");
+                (p, b)
+            }
+        };
+        Fig7Row {
+            bench,
+            streams: ns,
+            pipelined: p.total,
+            buffer: b.total,
         }
-        // Stencil.
-        {
-            let mut gpu = gpu_k40m();
-            let mut cfg = StencilConfig::parboil_default();
-            cfg.streams = ns;
-            let inst = cfg.setup(&mut gpu).expect("stencil setup");
-            let builder = cfg.builder();
-            let p = run_pipelined(&mut gpu, &inst.region, &builder).expect("pipelined");
-            let b = run_pipelined_buffer(&mut gpu, &inst.region, &builder).expect("buffer");
-            rows.push(Fig7Row {
-                bench: Fig7Bench::Stencil,
-                streams: ns,
-                pipelined: p.total,
-                buffer: b.total,
-            });
-        }
-    }
-    rows
+    })
 }
 
 /// The paper's x-axis.

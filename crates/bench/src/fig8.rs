@@ -11,7 +11,7 @@
 //! ~20–50 chunks onward.
 
 use pipeline_apps::{Conv3dConfig, StencilConfig};
-use pipeline_rt::{run_naive, run_pipelined, RunReport};
+use pipeline_rt::{run_naive, run_pipelined, sweep_map, RunReport};
 
 use crate::gpu_hd7970;
 
@@ -114,21 +114,22 @@ pub struct Fig8Row {
 /// Run the chunk-count sweep on the simulated HD 7970.
 /// `chunk_counts` uses `0` to mean "default" (chunk size 1).
 pub fn run(chunk_counts: &[usize]) -> Vec<Fig8Row> {
-    let mut rows = Vec::new();
-    for bench in [Fig8Bench::Conv3d, Fig8Bench::Stencil] {
-        for &nc in chunk_counts {
-            let iters = bench.iters();
-            let requested = if nc == 0 { iters } else { nc };
-            let (naive, pipe) = bench.run_with_chunks(requested);
-            rows.push(Fig8Row {
-                bench,
-                n_chunks: nc,
-                actual_chunks: pipe.chunks,
-                speedup: pipe.speedup_over(&naive),
-            });
+    let cells: Vec<(Fig8Bench, usize)> = [Fig8Bench::Conv3d, Fig8Bench::Stencil]
+        .into_iter()
+        .flat_map(|b| chunk_counts.iter().map(move |&nc| (b, nc)))
+        .collect();
+    sweep_map(cells.len(), |i| {
+        let (bench, nc) = cells[i];
+        let iters = bench.iters();
+        let requested = if nc == 0 { iters } else { nc };
+        let (naive, pipe) = bench.run_with_chunks(requested);
+        Fig8Row {
+            bench,
+            n_chunks: nc,
+            actual_chunks: pipe.chunks,
+            speedup: pipe.speedup_over(&naive),
         }
-    }
-    rows
+    })
 }
 
 /// The paper's x-axis: 2–10, 20, 50, default.

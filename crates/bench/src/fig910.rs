@@ -10,7 +10,7 @@
 //! versions while the pipeline-buffer version still runs.
 
 use pipeline_apps::MatmulConfig;
-use pipeline_rt::{RtError, RunReport};
+use pipeline_rt::{sweep_map, RtError, RunReport};
 
 use crate::gpu_k40m;
 
@@ -57,22 +57,21 @@ fn to_result(r: Result<RunReport, RtError>) -> VersionResult {
 
 /// Run all three versions for each matrix size.
 pub fn run(sizes: &[usize]) -> Vec<Fig910Row> {
-    let mut rows = Vec::new();
-    for &n in sizes {
+    sweep_map(sizes.len(), |i| {
+        let n = sizes[i];
         let cfg = MatmulConfig::with_n(n);
         let mut gpu = gpu_k40m();
         let (a, b, c) = cfg.host_matrices(&mut gpu).expect("host alloc");
         let baseline = to_result(cfg.run_baseline(&mut gpu, a, b, c));
         let block_shared = to_result(cfg.run_block_shared(&mut gpu, a, b, c));
         let pipeline_buffer = to_result(cfg.run_pipeline_buffer(&mut gpu, a, b, c));
-        rows.push(Fig910Row {
+        Fig910Row {
             n,
             baseline,
             block_shared,
             pipeline_buffer,
-        });
-    }
-    rows
+        }
+    })
 }
 
 /// The paper's x-axis sizes.

@@ -63,20 +63,19 @@ fn run_on(profile: DeviceProfile, name: &'static str) -> (f64, f64) {
 
 /// Run the comparison for all three transfer-bound benchmarks.
 pub fn run() -> Vec<FutureRow> {
-    ["3dconv", "stencil", "qcd-medium"]
-        .into_iter()
-        .map(|name| {
-            let (speedup_k40m, transfer_share_k40m) = run_on(DeviceProfile::k40m(), name);
-            let (speedup_p100, transfer_share_p100) = run_on(DeviceProfile::p100(), name);
-            FutureRow {
-                name,
-                speedup_k40m,
-                speedup_p100,
-                transfer_share_k40m,
-                transfer_share_p100,
-            }
-        })
-        .collect()
+    const NAMES: [&str; 3] = ["3dconv", "stencil", "qcd-medium"];
+    pipeline_rt::sweep_map(NAMES.len(), |i| {
+        let name = NAMES[i];
+        let (speedup_k40m, transfer_share_k40m) = run_on(DeviceProfile::k40m(), name);
+        let (speedup_p100, transfer_share_p100) = run_on(DeviceProfile::p100(), name);
+        FutureRow {
+            name,
+            speedup_k40m,
+            speedup_p100,
+            transfer_share_k40m,
+            transfer_share_p100,
+        }
+    })
 }
 
 /// Print the comparison table.

@@ -17,6 +17,11 @@
 //! | [`fig910`]| Figs. 9 & 10 — GEMM speedup and memory vs problem size |
 //! | [`ablate`]| Ablations of the runtime's design choices (DESIGN.md §7) |
 //! | [`future_hw`] | Forward-looking study on a Pascal-class profile |
+//! | [`perf`]  | Sweep-engine throughput (serial vs parallel wall-clock) |
+//!
+//! Harness `run()` functions fan their independent trials over the
+//! [`pipeline_rt::sweep_map`] worker pool; set `DBPP_SWEEP_THREADS=1`
+//! to force serial execution.
 //!
 //! All harness runs use timing mode: data is phantom, the DES cost model
 //! produces the timings, and device memory accounting produces the
@@ -34,6 +39,7 @@ pub mod fig7;
 pub mod fig8;
 pub mod fig910;
 pub mod future_hw;
+pub mod perf;
 
 use gpsim::{DeviceProfile, ExecMode, Gpu};
 

@@ -1,0 +1,171 @@
+//! Sweep-engine throughput: how fast the harness regenerates a
+//! paper-scale figure grid, serial vs parallel.
+//!
+//! This is the one module that measures *host* wall-clock rather than
+//! simulated time: the workload is a fixed Figure-4/5-family sweep (a
+//! chunk-size × stream-count grid of Lattice QCD pipelined-buffer runs,
+//! every cell a full DES simulation on its own context), executed once
+//! on a single worker and once on the full
+//! [`sweep_threads`](pipeline_rt::sweep_threads) pool. The `figures
+//! perf` subcommand writes the result as `BENCH_sim.json`.
+//!
+//! Because sweep results are scattered by trial index, both passes must
+//! produce identical simulations — the harness asserts the per-cell
+//! command counts match before reporting.
+
+use std::time::Instant;
+
+use pipeline_apps::QcdConfig;
+use pipeline_rt::{run_naive, run_pipelined, run_pipelined_buffer, sweep_map_threads, sweep_threads};
+
+use crate::gpu_k40m;
+
+/// The fixed grid: Figure 4's chunk sizes × stream counts.
+pub fn paper_grid() -> Vec<(usize, usize)> {
+    [1usize, 2, 4, 8]
+        .into_iter()
+        .flat_map(|c| [1usize, 2, 3, 4, 5].into_iter().map(move |s| (c, s)))
+        .collect()
+}
+
+/// Serial-vs-parallel measurement of one fixed sweep.
+#[derive(Debug, Clone)]
+pub struct PerfReport {
+    /// Lattice extent of the QCD workload.
+    pub n: usize,
+    /// Number of grid cells (independent simulations).
+    pub trials: usize,
+    /// Worker threads used by the parallel pass.
+    pub threads: usize,
+    /// Total device commands simulated in one pass over the grid.
+    pub commands: u64,
+    /// Wall-clock of the serial pass, milliseconds.
+    pub serial_ms: f64,
+    /// Wall-clock of the parallel pass, milliseconds.
+    pub parallel_ms: f64,
+}
+
+impl PerfReport {
+    /// Parallel speedup over the serial pass.
+    pub fn speedup(&self) -> f64 {
+        self.serial_ms / self.parallel_ms.max(1e-9)
+    }
+
+    /// Simulated device commands retired per wall-clock second in the
+    /// parallel pass.
+    pub fn commands_per_sec(&self) -> f64 {
+        self.commands as f64 / (self.parallel_ms.max(1e-9) / 1e3)
+    }
+
+    /// The `BENCH_sim.json` payload.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\n  \"workload\": \"qcd n={} naive+pipelined+buffer per cell, {} chunk x stream cells (fig5-style sweep)\",\n  \"trials\": {},\n  \"threads\": {},\n  \"commands\": {},\n  \"serial_ms\": {:.3},\n  \"parallel_ms\": {:.3},\n  \"speedup\": {:.3},\n  \"commands_per_sec\": {:.1}\n}}\n",
+            self.n,
+            self.trials,
+            self.trials,
+            self.threads,
+            self.commands,
+            self.serial_ms,
+            self.parallel_ms,
+            self.speedup(),
+            self.commands_per_sec(),
+        )
+    }
+}
+
+/// Run one grid cell on a fresh context — all three execution models, as
+/// a Figure-5 column does — and return the total device-command count.
+fn run_cell(n: usize, chunk: usize, streams: usize) -> u64 {
+    let mut gpu = gpu_k40m();
+    let mut cfg = QcdConfig::paper_size(n);
+    cfg.chunk = chunk;
+    cfg.streams = streams;
+    let inst = cfg.setup(&mut gpu).expect("qcd setup");
+    let builder = cfg.builder();
+    let naive = run_naive(&mut gpu, &inst.region, &builder).expect("naive run");
+    let pipe = run_pipelined(&mut gpu, &inst.region, &builder).expect("pipelined run");
+    let buf = run_pipelined_buffer(&mut gpu, &inst.region, &builder).expect("buffer run");
+    naive.commands + pipe.commands + buf.commands
+}
+
+/// Grid repetitions in one measured pass: the optimized DES retires a
+/// single 20-cell grid in a couple of milliseconds, so one pass repeats
+/// it to keep thread-spawn overhead far below the measured work.
+pub const REPS: usize = 25;
+
+/// Measure the fixed sweep at lattice extent `n` with an explicit
+/// parallel worker count.
+pub fn run_with_threads(n: usize, threads: usize) -> PerfReport {
+    let grid = paper_grid();
+    let trials = grid.len() * REPS;
+    let cell = |i: usize| {
+        let (chunk, streams) = grid[i % grid.len()];
+        run_cell(n, chunk, streams)
+    };
+
+    let t0 = Instant::now();
+    let serial = sweep_map_threads(1, trials, cell);
+    let serial_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    let t1 = Instant::now();
+    let parallel = sweep_map_threads(threads, trials, cell);
+    let parallel_ms = t1.elapsed().as_secs_f64() * 1e3;
+
+    assert_eq!(
+        serial, parallel,
+        "parallel sweep diverged from the serial reference"
+    );
+
+    PerfReport {
+        n,
+        trials,
+        threads,
+        commands: parallel.iter().sum(),
+        serial_ms,
+        parallel_ms,
+    }
+}
+
+/// Measure the fixed sweep with the default worker pool.
+pub fn run(n: usize) -> PerfReport {
+    run_with_threads(n, sweep_threads())
+}
+
+/// Print the measurement as a table row.
+pub fn print(rep: &PerfReport) {
+    println!(
+        "{:<10} {:>7} {:>8} {:>10} {:>12} {:>12} {:>8} {:>14}",
+        "workload", "trials", "threads", "commands", "serial ms", "parallel ms", "speedup", "commands/sec"
+    );
+    println!(
+        "{:<10} {:>7} {:>8} {:>10} {:>12.1} {:>12.1} {:>7.2}x {:>14.0}",
+        format!("qcd-{}", rep.n),
+        rep.trials,
+        rep.threads,
+        rep.commands,
+        rep.serial_ms,
+        rep.parallel_ms,
+        rep.speedup(),
+        rep.commands_per_sec(),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perf_report_is_consistent() {
+        // Small lattice: this is a smoke test of the measurement
+        // plumbing, not a benchmark.
+        let rep = run_with_threads(8, 2);
+        assert_eq!(rep.trials, 20 * REPS);
+        assert!(rep.commands > 0);
+        assert!(rep.serial_ms > 0.0 && rep.parallel_ms > 0.0);
+        assert!(rep.speedup() > 0.0);
+        let json = rep.to_json();
+        assert!(json.contains("\"speedup\""));
+        assert!(json.contains("\"commands_per_sec\""));
+    }
+}

@@ -44,7 +44,7 @@ use crate::report::{ExecModel, RunReport};
 use crate::spec::{Affine, MapDir, MapSpec, RegionSpec, Schedule, SplitSpec};
 use crate::view::ChunkCtx;
 
-type BoxedBuilder<'a> = Box<dyn Fn(&ChunkCtx) -> KernelLaunch + 'a>;
+type BoxedBuilder<'a> = Box<dyn Fn(&ChunkCtx) -> KernelLaunch + Sync + 'a>;
 
 /// Fluent builder over [`RegionSpec`] + bindings + kernel.
 #[derive(Default)]
@@ -169,7 +169,7 @@ impl<'a> Pipeline<'a> {
 
     /// The chunk-kernel factory.
     #[must_use]
-    pub fn kernel(mut self, f: impl Fn(&ChunkCtx) -> KernelLaunch + 'a) -> Self {
+    pub fn kernel(mut self, f: impl Fn(&ChunkCtx) -> KernelLaunch + Sync + 'a) -> Self {
         self.kernel = Some(Box::new(f));
         self
     }

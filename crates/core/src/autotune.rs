@@ -72,43 +72,62 @@ pub fn autotune(
     }
     region.validate_binding(gpu)?;
 
-    // Build the timing-mode twin: same device profile, phantom host
-    // arrays of the same sizes (allocation order preserves buffer ids).
-    let pool = HostPool::new(gpsim::ExecMode::Timing);
-    let mut twin = Gpu::with_host_pool(gpu.profile().clone(), pool)?;
-    let mut twin_arrays = Vec::with_capacity(region.arrays.len());
+    // Snapshot everything a worker needs to rebuild the timing-mode twin
+    // (the caller's context itself is !Send): device profile plus the
+    // shape and pinnedness of every bound host array — pinnedness
+    // affects transfer cost, and allocation order preserves buffer ids.
+    let profile = gpu.profile().clone();
+    let mut array_shapes = Vec::with_capacity(region.arrays.len());
     for &h in &region.arrays {
-        let len = gpu.host_len(h)?;
-        // Pinnedness affects transfer cost; preserve it in the twin.
-        let pinned = gpu.host_pinned(h)?;
-        twin_arrays.push(twin.alloc_host(len, pinned)?);
+        array_shapes.push((gpu.host_len(h)?, gpu.host_pinned(h)?));
     }
-    let twin_region = Region::new(region.spec.clone(), region.lo, region.hi, twin_arrays);
 
+    let candidates: Vec<(usize, usize)> = space
+        .chunks
+        .iter()
+        .flat_map(|&c| space.streams.iter().map(move |&s| (c, s)))
+        .collect();
+
+    // One twin per trial, built inside the worker: trials are fully
+    // isolated simulations, so the grid fans out over the sweep pool.
+    let results = crate::sweep::sweep_map(candidates.len(), |i| {
+        let (chunk, streams) = candidates[i];
+        let run = || -> RtResult<RunReport> {
+            let pool = HostPool::new(gpsim::ExecMode::Timing);
+            let mut twin = Gpu::with_host_pool(profile.clone(), pool)?;
+            let mut twin_arrays = Vec::with_capacity(array_shapes.len());
+            for &(len, pinned) in &array_shapes {
+                twin_arrays.push(twin.alloc_host(len, pinned)?);
+            }
+            let mut candidate =
+                Region::new(region.spec.clone(), region.lo, region.hi, twin_arrays);
+            candidate.spec.schedule = Schedule::static_(chunk, streams);
+            run_pipelined_buffer(&mut twin, &candidate, builder)
+        };
+        run().map(|rep| rep.total)
+    });
+
+    // Fold in grid order: the winner on ties is the earliest candidate,
+    // exactly as the serial loop chose it.
     let mut trials = Vec::new();
     let mut best: Option<(Schedule, SimTime)> = None;
-    for &chunk in &space.chunks {
-        for &streams in &space.streams {
-            let mut candidate = twin_region.clone();
-            candidate.spec.schedule = Schedule::static_(chunk, streams);
-            let time = match run_pipelined_buffer(&mut twin, &candidate, builder) {
-                Ok(rep) => {
-                    let t = rep.total;
-                    if best.is_none() || t < best.as_ref().unwrap().1 {
-                        best = Some((candidate.spec.schedule, t));
-                    }
-                    Some(t)
+    for (&(chunk, streams), result) in candidates.iter().zip(results) {
+        let time = match result {
+            Ok(t) => {
+                if best.is_none() || t < best.as_ref().unwrap().1 {
+                    best = Some((Schedule::static_(chunk, streams), t));
                 }
-                // Infeasible configurations (memory limit) are skipped.
-                Err(RtError::MemLimitInfeasible { .. }) => None,
-                Err(e) => return Err(e),
-            };
-            trials.push(Trial {
-                chunk,
-                streams,
-                time,
-            });
-        }
+                Some(t)
+            }
+            // Infeasible configurations (memory limit) are skipped.
+            Err(RtError::MemLimitInfeasible { .. }) => None,
+            Err(e) => return Err(e),
+        };
+        trials.push(Trial {
+            chunk,
+            streams,
+            time,
+        });
     }
     let (best, best_time) =
         best.ok_or_else(|| RtError::Spec("no feasible schedule in tuning space".into()))?;

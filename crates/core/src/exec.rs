@@ -20,7 +20,11 @@ use crate::view::{ArrayView, ChunkCtx};
 
 /// A kernel factory: called once per chunk (or once for the whole loop in
 /// the Naive model) to produce the kernel launch for that sub-range.
-pub type KernelBuilder<'a> = dyn Fn(&ChunkCtx) -> KernelLaunch + 'a;
+///
+/// `Sync` so that sweep workers ([`crate::sweep`]) can share one builder
+/// across threads; builders are pure functions of the chunk context in
+/// practice.
+pub type KernelBuilder<'a> = dyn Fn(&ChunkCtx) -> KernelLaunch + Sync + 'a;
 
 /// A bound region: a spec, a loop range, and one host buffer per map.
 #[derive(Debug, Clone)]
@@ -171,17 +175,16 @@ pub(crate) fn declare_accesses(
                 SplitSpec::ColBlocks {
                     rows, block_cols, ..
                 } => {
-                    // Per-row ranges: a column block is strided, and its
-                    // bounding box would falsely overlap sibling blocks.
+                    // One strided range per block: the checker understands
+                    // pitched layouts exactly, so sibling blocks interleaved
+                    // row-by-row do not falsely overlap and the log stays
+                    // O(slices) instead of O(slices·rows).
                     let (ptr, stride) = v.block_ptr(s);
-                    for r in 0..rows {
-                        let row_ptr = ptr.add(r * stride);
-                        if m.dir.is_input() {
-                            kernel = kernel.reading(row_ptr, block_cols);
-                        }
-                        if m.dir.is_output() {
-                            kernel = kernel.writing(row_ptr, block_cols);
-                        }
+                    if m.dir.is_input() {
+                        kernel = kernel.reading_strided(ptr, block_cols, stride, rows);
+                    }
+                    if m.dir.is_output() {
+                        kernel = kernel.writing_strided(ptr, block_cols, stride, rows);
                     }
                 }
             }

@@ -96,6 +96,7 @@ mod multi;
 mod plan;
 mod report;
 mod spec;
+pub mod sweep;
 mod view;
 
 pub use api::Pipeline;
@@ -115,4 +116,5 @@ pub use plan::{
 };
 pub use report::{ExecModel, RunReport};
 pub use spec::{Affine, MapDir, MapSpec, RegionSpec, Schedule, SplitSpec};
+pub use sweep::{sweep_map, sweep_map_threads, sweep_threads};
 pub use view::{ArrayView, ChunkCtx};

@@ -11,7 +11,7 @@
 //! traffic is required, exactly like the single-dimension array
 //! association of CoreTSAR.
 
-use gpsim::{Gpu, SimTime, ELEM_BYTES};
+use gpsim::{DeviceProfile, Gpu, SimTime, ELEM_BYTES};
 
 use crate::buffer::run_pipelined_buffer;
 use crate::error::{RtError, RtResult};
@@ -46,8 +46,7 @@ impl MultiReport {
 /// Estimate a device's time per loop iteration from its profile: the
 /// dominant engine (transfer of the per-iteration slice bytes vs the
 /// roofline kernel time) bounds the pipeline's steady state.
-fn per_iter_cost(gpu: &Gpu, region: &Region, kernel_flops: u64, kernel_bytes: u64) -> f64 {
-    let p = gpu.profile();
+fn per_iter_cost(p: &DeviceProfile, region: &Region, kernel_flops: u64, kernel_bytes: u64) -> f64 {
     let mut in_bytes = 0u64;
     let mut out_bytes = 0u64;
     for m in &region.spec.maps {
@@ -125,10 +124,13 @@ pub fn run_pipelined_buffer_multi(
         }
     }
 
-    let costs: Vec<f64> = gpus
-        .iter()
-        .map(|g| per_iter_cost(g, region, probe_cost.0, probe_cost.1))
-        .collect();
+    // Cost probes are independent per device profile; estimate them on
+    // the sweep pool (the contexts themselves are !Send — only their
+    // profiles cross threads).
+    let profiles: Vec<DeviceProfile> = gpus.iter().map(|g| g.profile().clone()).collect();
+    let costs: Vec<f64> = crate::sweep::sweep_map(profiles.len(), |i| {
+        per_iter_cost(&profiles[i], region, probe_cost.0, probe_cost.1)
+    });
     let partitions = partition_iterations(region.lo, region.hi, &costs);
 
     let mut per_device = Vec::with_capacity(gpus.len());

@@ -3,10 +3,9 @@
 use std::fmt;
 
 use gpsim::{Counters, SimTime};
-use serde::Serialize;
 
 /// The three execution models compared throughout the paper's evaluation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ExecModel {
     /// Synchronous copy-in → kernel → copy-out; whole arrays resident.
     Naive,
@@ -60,6 +59,9 @@ pub struct RunReport {
     pub chunks: usize,
     /// Number of streams used.
     pub streams: usize,
+    /// Device commands the run executed (copies + kernels) — the DES
+    /// workload size behind the timings, used by throughput reporting.
+    pub commands: u64,
 }
 
 impl RunReport {
@@ -85,6 +87,7 @@ impl RunReport {
             array_bytes,
             chunks,
             streams,
+            commands: c.h2d_count + c.d2h_count + c.kernel_count,
         }
     }
 
@@ -152,6 +155,7 @@ mod tests {
             array_bytes: mem,
             chunks: 1,
             streams: 1,
+            commands: 10,
         }
     }
 

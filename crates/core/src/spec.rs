@@ -8,7 +8,6 @@
 //! paper's `<var>[split_iter:size][0:m]` form (e.g. `A0[k-1:3]` →
 //! `offset(k) = k − 1`, `window = 3`).
 
-use serde::Serialize;
 
 use crate::error::{RtError, RtResult};
 
@@ -16,7 +15,7 @@ use crate::error::{RtError, RtResult};
 ///
 /// This is the `split_iter` of the paper's `array_split_list`: the first
 /// slice of the split dimension that iteration `k` depends on.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Affine {
     /// Multiplier of the loop variable (must be ≥ 0).
     pub scale: i64,
@@ -41,7 +40,7 @@ impl Affine {
 }
 
 /// Data transfer direction of a mapped array (the paper's `map_type`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MapDir {
     /// Input: copied host→device before use (`to`).
     To,
@@ -64,7 +63,7 @@ impl MapDir {
 }
 
 /// How an array is split into slices along its partition dimension.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SplitSpec {
     /// Split along the outermost (slowest-varying) dimension of a
     /// contiguous array: slice `s` is the contiguous element range
@@ -203,7 +202,7 @@ impl SplitSpec {
 }
 
 /// One mapped array: the paper's `pipeline_map(map_type: var[...]...)`.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MapSpec {
     /// Array name (diagnostics and directive binding).
     pub name: String,
@@ -214,7 +213,7 @@ pub struct MapSpec {
 }
 
 /// Sub-task schedule: the paper's `pipeline(schedule_kind[chunk, streams])`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Schedule {
     /// Fixed chunk size and stream count (the paper's prototype).
     Static {
@@ -240,7 +239,7 @@ impl Schedule {
 }
 
 /// A full region specification (all clauses of Figure 1).
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RegionSpec {
     /// Sub-task schedule.
     pub schedule: Schedule,

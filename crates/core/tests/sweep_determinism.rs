@@ -1,0 +1,102 @@
+//! Determinism of the parallel sweep engine: fanning trials over the
+//! worker pool must give results bit-identical to the serial loop —
+//! simulated times, peak device bytes, and functional outputs alike.
+
+use gpsim::{DeviceProfile, ExecMode, Gpu, KernelCost, KernelLaunch};
+use pipeline_rt::{
+    run_pipelined_buffer, sweep_map_threads, Affine, MapDir, MapSpec, Region, RegionSpec,
+    Schedule, SplitSpec,
+};
+
+const NZ: usize = 32;
+const SLICE: usize = 128;
+
+/// One complete functional-mode simulation: a moving-average pipeline
+/// whose schedule varies with the trial index. Returns every observable
+/// of the run: simulated time, device memory, and the exact output bits.
+fn trial(i: usize) -> (u64, u64, u64, Vec<u32>) {
+    let chunk = 1 + i % 4;
+    let streams = 1 + i % 3;
+    let mut gpu = Gpu::new(DeviceProfile::k40m(), ExecMode::Functional).unwrap();
+    let input = gpu.alloc_host(NZ * SLICE, true).unwrap();
+    let output = gpu.alloc_host(NZ * SLICE, true).unwrap();
+    gpu.host_fill(input, |j| ((j * 31 + i * 7) % 97) as f32).unwrap();
+
+    let spec = RegionSpec::new(Schedule::static_(chunk, streams))
+        .with_map(MapSpec {
+            name: "in".into(),
+            dir: MapDir::To,
+            split: SplitSpec::OneD {
+                offset: Affine::shifted(-1),
+                window: 3,
+                extent: NZ,
+                slice_elems: SLICE,
+            },
+        })
+        .with_map(MapSpec {
+            name: "out".into(),
+            dir: MapDir::From,
+            split: SplitSpec::OneD {
+                offset: Affine::IDENTITY,
+                window: 1,
+                extent: NZ,
+                slice_elems: SLICE,
+            },
+        });
+    let region = Region::new(spec, 1, (NZ - 1) as i64, vec![input, output]);
+
+    let report = run_pipelined_buffer(&mut gpu, &region, &|ctx| {
+        let (k0, k1) = (ctx.k0, ctx.k1);
+        let (vin, vout) = (ctx.view(0), ctx.view(1));
+        KernelLaunch::new(
+            "avg3",
+            KernelCost {
+                flops: (k1 - k0) as u64 * SLICE as u64 * 3,
+                bytes: 0,
+            },
+            move |kc| {
+                for k in k0..k1 {
+                    let up = kc.read(vin.slice_ptr(k - 1), SLICE)?;
+                    let mid = kc.read(vin.slice_ptr(k), SLICE)?;
+                    let dn = kc.read(vin.slice_ptr(k + 1), SLICE)?;
+                    let mut out = kc.write(vout.slice_ptr(k), SLICE)?;
+                    for j in 0..SLICE {
+                        out[j] = (up[j] + mid[j] + dn[j]) / 3.0;
+                    }
+                }
+                Ok(())
+            },
+        )
+    })
+    .unwrap();
+
+    let mut result = vec![0.0f32; NZ * SLICE];
+    gpu.host_read(output, 0, &mut result).unwrap();
+    (
+        report.total.as_ns(),
+        report.gpu_mem_bytes,
+        report.commands,
+        result.into_iter().map(f32::to_bits).collect(),
+    )
+}
+
+#[test]
+fn parallel_sweep_is_bit_identical_to_serial() {
+    const N: usize = 12;
+    let serial = sweep_map_threads(1, N, trial);
+    for threads in [2, 4, 8] {
+        let parallel = sweep_map_threads(threads, N, trial);
+        assert_eq!(
+            serial, parallel,
+            "sweep with {threads} workers diverged from serial reference"
+        );
+    }
+}
+
+#[test]
+fn repeated_parallel_sweeps_agree() {
+    const N: usize = 8;
+    let a = sweep_map_threads(4, N, trial);
+    let b = sweep_map_threads(4, N, trial);
+    assert_eq!(a, b, "two identical parallel sweeps diverged");
+}

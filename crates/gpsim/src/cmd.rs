@@ -73,6 +73,22 @@ impl<'a> KernelCtx<'a> {
 /// access; returns an error to abort the simulation (bad index, etc.).
 pub type KernelBody = Box<dyn FnOnce(&KernelCtx<'_>) -> SimResult<()>>;
 
+/// A declared (possibly strided) device-memory access of a kernel, used
+/// by the optional race checker. Row `k` of the range covers
+/// `[ptr + k·stride, ptr + k·stride + row_elems)`; a contiguous range is
+/// the `rows == 1` case.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessDecl {
+    /// First element of the first row.
+    pub ptr: DevPtr,
+    /// Contiguous elements per row.
+    pub row_elems: usize,
+    /// Distance between row starts, in elements.
+    pub stride: usize,
+    /// Number of rows.
+    pub rows: usize,
+}
+
 /// A kernel launch: a name (for timelines/counters), an abstract cost for
 /// the timing model, and an optional functional body executed in
 /// [`ExecMode::Functional`](crate::ExecMode::Functional).
@@ -83,11 +99,11 @@ pub struct KernelLaunch {
     pub cost: KernelCost,
     /// Functional payload; `None` for cost-only kernels.
     pub body: Option<KernelBody>,
-    /// Declared read ranges `(ptr, elems)`, used by the optional race
-    /// checker to detect unsound overlap with concurrent writers.
-    pub reads: Vec<(DevPtr, usize)>,
-    /// Declared write ranges `(ptr, elems)`.
-    pub writes: Vec<(DevPtr, usize)>,
+    /// Declared read ranges, used by the optional race checker to detect
+    /// unsound overlap with concurrent writers.
+    pub reads: Vec<AccessDecl>,
+    /// Declared write ranges.
+    pub writes: Vec<AccessDecl>,
 }
 
 impl KernelLaunch {
@@ -117,17 +133,44 @@ impl KernelLaunch {
         }
     }
 
-    /// Declare a range this kernel reads (for the race checker).
+    /// Declare a contiguous range this kernel reads (for the race
+    /// checker).
     #[must_use]
-    pub fn reading(mut self, ptr: DevPtr, elems: usize) -> Self {
-        self.reads.push((ptr, elems));
+    pub fn reading(self, ptr: DevPtr, elems: usize) -> Self {
+        self.reading_strided(ptr, elems, elems, 1)
+    }
+
+    /// Declare a contiguous range this kernel writes (for the race
+    /// checker).
+    #[must_use]
+    pub fn writing(self, ptr: DevPtr, elems: usize) -> Self {
+        self.writing_strided(ptr, elems, elems, 1)
+    }
+
+    /// Declare a strided (pitched 2-D) range this kernel reads: `rows`
+    /// rows of `row_elems` elements, `stride` elements apart. One
+    /// declaration covers the whole block — the race checker stores it
+    /// as a single range instead of one per row.
+    #[must_use]
+    pub fn reading_strided(mut self, ptr: DevPtr, row_elems: usize, stride: usize, rows: usize) -> Self {
+        self.reads.push(AccessDecl {
+            ptr,
+            row_elems,
+            stride,
+            rows,
+        });
         self
     }
 
-    /// Declare a range this kernel writes (for the race checker).
+    /// Declare a strided (pitched 2-D) range this kernel writes.
     #[must_use]
-    pub fn writing(mut self, ptr: DevPtr, elems: usize) -> Self {
-        self.writes.push((ptr, elems));
+    pub fn writing_strided(mut self, ptr: DevPtr, row_elems: usize, stride: usize, rows: usize) -> Self {
+        self.writes.push(AccessDecl {
+            ptr,
+            row_elems,
+            stride,
+            rows,
+        });
         self
     }
 }

@@ -6,7 +6,6 @@
 //! the test suite to assert overlap actually happened (busy time exceeding
 //! the makespan is only possible with concurrency).
 
-use serde::Serialize;
 
 use crate::cmd::EngineKind;
 use crate::time::SimTime;
@@ -64,7 +63,7 @@ impl Counters {
 }
 
 /// Classification of a timeline entry.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TimelineKind {
     /// Host→device copy.
     H2D,
@@ -85,7 +84,7 @@ impl TimelineKind {
 }
 
 /// One completed engine command on the device timeline.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct TimelineEntry {
     /// Display label (`h2d[4096]`, kernel name, ...).
     pub label: String,

@@ -58,11 +58,15 @@ mod counters;
 mod error;
 mod mem;
 mod profile;
+pub mod race;
 mod sim;
 mod time;
 mod trace;
 
-pub use cmd::{Copy2D, EngineKind, EventId, KernelBody, KernelCost, KernelCtx, KernelLaunch, StreamId};
+pub use cmd::{
+    AccessDecl, Copy2D, EngineKind, EventId, KernelBody, KernelCost, KernelCtx, KernelLaunch,
+    StreamId,
+};
 pub use counters::{Counters, TimelineEntry, TimelineKind};
 pub use error::{SimError, SimResult};
 pub use mem::{DevAllocId, DevPtr, ExecMode, HostBufId, HostPool, ELEM_BYTES, PITCH_ALIGN_ELEMS};

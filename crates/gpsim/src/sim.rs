@@ -21,16 +21,30 @@
 //!
 //! Because completion times are computed at dispatch, event propagation is
 //! fully eager and the main loop only advances time to engine completions
-//! or command ready instants, giving an O(n·s) simulation of n commands on
-//! s streams.
+//! or command ready instants.
+//!
+//! # Event calendar
+//!
+//! In-flight commands live in a **completion calendar**: a binary min-heap
+//! keyed on `(end, seq)` over a slab of running commands. Advancing time
+//! is a heap peek and completing due work pops the heap in deterministic
+//! `(end, seq)` order — no per-step rescan of engine slots. Dispatch uses
+//! a **per-engine head index** (ordered by enqueue sequence) over the
+//! streams whose head command needs that engine, so finding the
+//! lowest-sequence ready command does not walk every stream either. Both
+//! structures make simulated throughput O(log n) per command instead of
+//! O(engines·streams) per time step, which is what paper-scale figure
+//! sweeps spend their time on.
 
-use std::collections::VecDeque;
+use std::cmp::Reverse;
+use std::collections::{BTreeSet, BinaryHeap, HashMap, VecDeque};
 
 use crate::cmd::{Cmd, CmdKind, Copy2D, EngineKind, EventId, KernelCtx, KernelLaunch, StreamId};
 use crate::counters::{Counters, TimelineEntry, TimelineKind};
 use crate::error::{SimError, SimResult};
 use crate::mem::{DevAllocId, DevPtr, ExecMode, HostBufId, HostPool, MemPool, ELEM_BYTES};
 use crate::profile::DeviceProfile;
+use crate::race::{AccessRange, ConflictKind, RaceLog};
 use crate::time::SimTime;
 
 struct StreamState {
@@ -45,6 +59,10 @@ struct StreamState {
     /// False once destroyed; destroyed streams reject new work and stop
     /// contributing to scheduling overhead and memory.
     alive: bool,
+    /// Mirror of this stream's entry in the per-engine head index:
+    /// `(engine index, head seq)` while the queue head is an engine
+    /// command, `None` otherwise.
+    indexed_head: Option<(usize, u64)>,
 }
 
 impl StreamState {
@@ -55,6 +73,7 @@ impl StreamState {
             last_done: SimTime::ZERO,
             running: 0,
             alive: true,
+            indexed_head: None,
         }
     }
 
@@ -72,20 +91,9 @@ struct EventState {
 
 struct Running {
     stream: StreamId,
-    seq: u64,
     end: SimTime,
     start: SimTime,
     kind: CmdKind,
-}
-
-/// Declared access ranges of a completed/running command, kept while race
-/// checking is enabled.
-struct AccessRecord {
-    label: String,
-    start: SimTime,
-    end: SimTime,
-    reads: Vec<(u32, usize, usize)>,
-    writes: Vec<(u32, usize, usize)>,
 }
 
 /// A simulated GPU device context.
@@ -97,7 +105,15 @@ pub struct Gpu {
     pool: MemPool,
     streams: Vec<StreamState>,
     events: Vec<EventState>,
-    engines: [Vec<Running>; 3],
+    /// In-flight commands, keyed by enqueue sequence number.
+    running: HashMap<u64, Running>,
+    /// Completion calendar over `running`: min-heap on `(end, seq)`.
+    calendar: BinaryHeap<Reverse<(SimTime, u64)>>,
+    /// Occupied slots per engine (indexed by [`EngineKind::index`]).
+    engine_load: [usize; 3],
+    /// Per-engine dispatch index: `(head seq, stream)` for every stream
+    /// whose queue head is a command of that engine.
+    heads: [BTreeSet<(u64, u32)>; 3],
     /// Device-timeline clock (monotone; advanced during synchronization).
     now: SimTime,
     /// Host clock (advanced by API overhead and blocking waits).
@@ -107,7 +123,7 @@ pub struct Gpu {
     timeline: Vec<TimelineEntry>,
     timeline_enabled: bool,
     race_check: bool,
-    access_log: Vec<AccessRecord>,
+    access_log: RaceLog,
 }
 
 impl Gpu {
@@ -131,7 +147,10 @@ impl Gpu {
             pool,
             streams: Vec::new(),
             events: Vec::new(),
-            engines: [Vec::new(), Vec::new(), Vec::new()],
+            running: HashMap::new(),
+            calendar: BinaryHeap::new(),
+            engine_load: [0; 3],
+            heads: [BTreeSet::new(), BTreeSet::new(), BTreeSet::new()],
             now: SimTime::ZERO,
             now_host: SimTime::ZERO,
             seq: 0,
@@ -139,7 +158,7 @@ impl Gpu {
             timeline: Vec::new(),
             timeline_enabled: true,
             race_check: false,
-            access_log: Vec::new(),
+            access_log: RaceLog::new(),
         };
         // Stream 0: the default stream, free of the per-stream memory tax
         // (it is part of the base runtime footprint).
@@ -190,8 +209,10 @@ impl Gpu {
         self.timeline_enabled = enabled;
     }
 
-    /// Enable the concurrent-access race checker (off by default; costs
-    /// O(commands²) and is intended for tests).
+    /// Enable the concurrent-access race checker (off by default). The
+    /// detector indexes declared ranges per allocation and retires
+    /// records that can no longer overlap in-flight work, so it stays
+    /// near-linear in command count (see [`crate::race`]).
     pub fn set_race_check(&mut self, enabled: bool) {
         self.race_check = enabled;
         if !enabled {
@@ -671,7 +692,28 @@ impl Gpu {
         };
         self.seq += 1;
         self.streams[stream.0 as usize].queue.push_back(cmd);
+        self.refresh_head(stream.0 as usize);
         Ok(())
+    }
+
+    /// Re-sync a stream's entry in the per-engine head index after its
+    /// queue head changed.
+    fn refresh_head(&mut self, si: usize) {
+        let desired = self.streams[si]
+            .queue
+            .front()
+            .and_then(|c| c.kind.engine().map(|e| (e.index(), c.seq)));
+        let current = self.streams[si].indexed_head;
+        if desired == current {
+            return;
+        }
+        if let Some((e, seq)) = current {
+            self.heads[e].remove(&(seq, si as u32));
+        }
+        if let Some((e, seq)) = desired {
+            self.heads[e].insert((seq, si as u32));
+        }
+        self.streams[si].indexed_head = desired;
     }
 
     /// Resolve event records/waits at stream heads; returns true if any
@@ -713,6 +755,7 @@ impl Gpu {
                         _ => break,
                     }
                 }
+                self.refresh_head(s);
             }
             if !round {
                 break;
@@ -728,54 +771,55 @@ impl Gpu {
         let live_streams = self.stream_count();
         let mut dispatched = false;
         for engine in EngineKind::ALL {
-            if self.engines[engine.index()].len() >= self.engine_capacity(engine) {
-                continue;
-            }
-            // Lowest-sequence ready head needing this engine.
-            let mut best: Option<(u64, usize)> = None;
-            for (si, st) in self.streams.iter().enumerate() {
-                let Some(head) = st.queue.front() else {
-                    continue;
+            while self.engine_load[engine.index()] < self.engine_capacity(engine) {
+                // Lowest-sequence ready head needing this engine; the
+                // index iterates in sequence order, so take the first
+                // ready candidate.
+                let mut chosen: Option<usize> = None;
+                for &(seq, si) in &self.heads[engine.index()] {
+                    let st = &self.streams[si as usize];
+                    let head = st.queue.front().expect("indexed head exists");
+                    debug_assert_eq!(head.seq, seq, "head index out of sync");
+                    if st.ready_at.max(head.enqueue_time) <= self.now {
+                        chosen = Some(si as usize);
+                        break;
+                    }
+                }
+                let Some(si) = chosen else { break };
+                let cmd = self.streams[si].queue.pop_front().expect("head exists");
+                let dispatch = self.profile.dispatch_overhead(live_streams);
+                let mut duration = self.command_duration(&cmd.kind);
+                // Full-duplex contention: a copy dispatched while the
+                // opposite copy engine is busy runs at duplex_factor of
+                // its bandwidth.
+                let opposite_busy = match engine {
+                    EngineKind::H2D => self.engine_load[EngineKind::D2H.index()] > 0,
+                    EngineKind::D2H => self.engine_load[EngineKind::H2D.index()] > 0,
+                    EngineKind::Compute => false,
                 };
-                if head.kind.engine() != Some(engine) {
-                    continue;
+                if opposite_busy && self.profile.duplex_factor < 1.0 {
+                    duration = SimTime::from_secs_f64(
+                        duration.as_secs_f64() / self.profile.duplex_factor,
+                    );
                 }
-                let ready = st.ready_at.max(head.enqueue_time);
-                if ready > self.now {
-                    continue;
-                }
-                if best.is_none_or(|(bseq, _)| head.seq < bseq) {
-                    best = Some((head.seq, si));
-                }
-            }
-            let Some((_, si)) = best else { continue };
-            let cmd = self.streams[si].queue.pop_front().expect("head exists");
-            let dispatch = self.profile.dispatch_overhead(live_streams);
-            let mut duration = self.command_duration(&cmd.kind);
-            // Full-duplex contention: a copy dispatched while the opposite
-            // copy engine is busy runs at duplex_factor of its bandwidth.
-            let opposite_busy = match engine {
-                EngineKind::H2D => !self.engines[EngineKind::D2H.index()].is_empty(),
-                EngineKind::D2H => !self.engines[EngineKind::H2D.index()].is_empty(),
-                EngineKind::Compute => false,
-            };
-            if opposite_busy && self.profile.duplex_factor < 1.0 {
-                duration = SimTime::from_secs_f64(
-                    duration.as_secs_f64() / self.profile.duplex_factor,
+                let start = self.now;
+                let end = start + dispatch + duration;
+                self.streams[si].ready_at = end;
+                self.streams[si].running += 1;
+                self.engine_load[engine.index()] += 1;
+                self.calendar.push(Reverse((end, cmd.seq)));
+                self.running.insert(
+                    cmd.seq,
+                    Running {
+                        stream: StreamId(si as u32),
+                        start,
+                        end,
+                        kind: cmd.kind,
+                    },
                 );
+                self.refresh_head(si);
+                dispatched = true;
             }
-            let start = self.now;
-            let end = start + dispatch + duration;
-            self.streams[si].ready_at = end;
-            self.streams[si].running += 1;
-            self.engines[engine.index()].push(Running {
-                stream: StreamId(si as u32),
-                seq: cmd.seq,
-                start,
-                end,
-                kind: cmd.kind,
-            });
-            dispatched = true;
         }
         dispatched
     }
@@ -828,15 +872,15 @@ impl Gpu {
 
     /// Execute the functional payload of a completing command and update
     /// counters.
-    fn complete(&mut self, engine: EngineKind, slot: usize) -> SimResult<()> {
-        let running = self.engines[engine.index()].swap_remove(slot);
+    fn complete(&mut self, running: Running) -> SimResult<()> {
         let Running {
             stream,
-            seq: _,
             start,
             end,
             mut kind,
         } = running;
+        let engine = kind.engine().expect("running command has an engine");
+        self.engine_load[engine.index()] -= 1;
         let dur = end - start;
         let functional = self.pool.mode == ExecMode::Functional;
         match &mut kind {
@@ -950,91 +994,117 @@ impl Gpu {
     }
 
     fn record_accesses(&mut self, kind: &CmdKind, start: SimTime, end: SimTime) -> SimResult<()> {
-        fn ranges_overlap(a: &(u32, usize, usize), b: &(u32, usize, usize)) -> bool {
-            a.0 == b.0 && a.1 < b.2 && b.1 < a.2
-        }
-        let mut reads: Vec<(u32, usize, usize)> = Vec::new();
-        let mut writes: Vec<(u32, usize, usize)> = Vec::new();
+        let mut reads: Vec<AccessRange> = Vec::new();
+        let mut writes: Vec<AccessRange> = Vec::new();
         match kind {
             CmdKind::H2D { dst, elems, .. } => {
-                writes.push((dst.alloc_id().0, dst.offset, dst.offset + elems));
+                writes.push(AccessRange::contiguous(
+                    dst.alloc_id().0,
+                    dst.offset,
+                    dst.offset + elems,
+                ));
             }
             CmdKind::D2H { src, elems, .. } => {
-                reads.push((src.alloc_id().0, src.offset, src.offset + elems));
+                reads.push(AccessRange::contiguous(
+                    src.alloc_id().0,
+                    src.offset,
+                    src.offset + elems,
+                ));
             }
+            // One strided range per 2-D copy: the footprint excludes the
+            // gaps between rows, but no longer costs one record per row.
             CmdKind::H2D2D(c) => {
-                // Per-row ranges: the strided footprint does not cover the
-                // gaps between rows.
-                for r in 0..c.rows {
-                    let start = c.dev.offset + r * c.dev_stride;
-                    writes.push((c.dev.alloc_id().0, start, start + c.row_elems));
-                }
+                writes.push(AccessRange::strided(
+                    c.dev.alloc_id().0,
+                    c.dev.offset,
+                    c.row_elems,
+                    c.dev_stride,
+                    c.rows,
+                ));
             }
             CmdKind::D2H2D(c) => {
-                for r in 0..c.rows {
-                    let start = c.dev.offset + r * c.dev_stride;
-                    reads.push((c.dev.alloc_id().0, start, start + c.row_elems));
-                }
+                reads.push(AccessRange::strided(
+                    c.dev.alloc_id().0,
+                    c.dev.offset,
+                    c.row_elems,
+                    c.dev_stride,
+                    c.rows,
+                ));
             }
             CmdKind::Kernel(k) => {
-                for (p, n) in &k.reads {
-                    reads.push((p.alloc_id().0, p.offset, p.offset + n));
+                for d in &k.reads {
+                    reads.push(AccessRange::strided(
+                        d.ptr.alloc_id().0,
+                        d.ptr.offset,
+                        d.row_elems,
+                        d.stride.max(d.row_elems),
+                        d.rows,
+                    ));
                 }
-                for (p, n) in &k.writes {
-                    writes.push((p.alloc_id().0, p.offset, p.offset + n));
+                for d in &k.writes {
+                    writes.push(AccessRange::strided(
+                        d.ptr.alloc_id().0,
+                        d.ptr.offset,
+                        d.row_elems,
+                        d.stride.max(d.row_elems),
+                        d.rows,
+                    ));
                 }
             }
             CmdKind::Memset { dst, elems, .. } => {
-                writes.push((dst.alloc_id().0, dst.offset, dst.offset + elems));
+                writes.push(AccessRange::contiguous(
+                    dst.alloc_id().0,
+                    dst.offset,
+                    dst.offset + elems,
+                ));
             }
             CmdKind::D2D { src, dst, elems } => {
-                reads.push((src.alloc_id().0, src.offset, src.offset + elems));
-                writes.push((dst.alloc_id().0, dst.offset, dst.offset + elems));
+                reads.push(AccessRange::contiguous(
+                    src.alloc_id().0,
+                    src.offset,
+                    src.offset + elems,
+                ));
+                writes.push(AccessRange::contiguous(
+                    dst.alloc_id().0,
+                    dst.offset,
+                    dst.offset + elems,
+                ));
             }
             _ => {}
         }
-        let rec = AccessRecord {
-            label: kind.label(),
-            start,
-            end,
-            reads,
-            writes,
-        };
-        for prev in &self.access_log {
-            // Time overlap?
-            if !(rec.start < prev.end && prev.start < rec.end) {
-                continue;
-            }
-            for w in &rec.writes {
-                for pw in &prev.writes {
-                    if ranges_overlap(w, pw) {
-                        return Err(SimError::DataRace(format!(
-                            "concurrent writes: '{}' and '{}' on alloc {} [{}, {}) x [{}, {})",
-                            rec.label, prev.label, w.0, w.1, w.2, pw.1, pw.2
-                        )));
-                    }
-                }
-                for pr in &prev.reads {
-                    if ranges_overlap(w, pr) {
-                        return Err(SimError::DataRace(format!(
-                            "write '{}' races read '{}' on alloc {}",
-                            rec.label, prev.label, w.0
-                        )));
-                    }
-                }
-            }
-            for r in &rec.reads {
-                for pw in &prev.writes {
-                    if ranges_overlap(r, pw) {
-                        return Err(SimError::DataRace(format!(
-                            "read '{}' races write '{}' on alloc {}",
-                            rec.label, prev.label, r.0
-                        )));
-                    }
-                }
-            }
-        }
-        self.access_log.push(rec);
+        self.access_log
+            .check_insert(kind.label(), start, end, reads, writes)
+            .map_err(|c| {
+                SimError::DataRace(match c.kind {
+                    ConflictKind::WriteWrite => format!(
+                        "concurrent writes: '{}' and '{}' on alloc {} [{}, {}) x [{}, {})",
+                        c.label_new,
+                        c.label_old,
+                        c.range_new.alloc,
+                        c.range_new.lo,
+                        c.range_new.span_end(),
+                        c.range_old.lo,
+                        c.range_old.span_end()
+                    ),
+                    ConflictKind::WriteRead => format!(
+                        "write '{}' races read '{}' on alloc {}",
+                        c.label_new, c.label_old, c.range_new.alloc
+                    ),
+                    ConflictKind::ReadWrite => format!(
+                        "read '{}' races write '{}' on alloc {}",
+                        c.label_new, c.label_old, c.range_new.alloc
+                    ),
+                })
+            })?;
+        // Records that end before every still-running command started can
+        // never overlap future work (dispatch time is monotone), so let
+        // the log retire them.
+        let frontier = self
+            .running
+            .values()
+            .map(|r| r.start)
+            .fold(self.now, SimTime::min);
+        self.access_log.retire(frontier);
         Ok(())
     }
 
@@ -1050,7 +1120,8 @@ impl Gpu {
             if self.try_dispatch() {
                 continue;
             }
-            // Advance time to the next interesting instant.
+            // Advance time to the next interesting instant: the earliest
+            // calendar completion or the earliest not-yet-ready head.
             let mut t_next: Option<SimTime> = None;
             let mut consider = |t: SimTime| {
                 t_next = Some(match t_next {
@@ -1058,16 +1129,16 @@ impl Gpu {
                     None => t,
                 });
             };
-            for r in self.engines.iter().flat_map(|v| v.iter()) {
-                consider(r.end);
+            if let Some(&Reverse((end, _))) = self.calendar.peek() {
+                consider(end);
             }
-            for st in &self.streams {
-                if let Some(head) = st.queue.front() {
-                    if head.kind.engine().is_some() {
-                        let ready = st.ready_at.max(head.enqueue_time);
-                        if ready > self.now {
-                            consider(ready);
-                        }
+            for set in &self.heads {
+                for &(_, si) in set {
+                    let st = &self.streams[si as usize];
+                    let head = st.queue.front().expect("indexed head exists");
+                    let ready = st.ready_at.max(head.enqueue_time);
+                    if ready > self.now {
+                        consider(ready);
                     }
                 }
             }
@@ -1100,24 +1171,19 @@ impl Gpu {
             };
             debug_assert!(t >= self.now, "time must be monotone");
             self.now = self.now.max(t);
-            // Complete engines due at the new time, earliest (then lowest
-            // sequence) first for deterministic functional execution.
-            loop {
-                let mut due: Option<(SimTime, u64, EngineKind, usize)> = None;
-                for kind in EngineKind::ALL {
-                    for (slot, r) in self.engines[kind.index()].iter().enumerate() {
-                        if r.end <= self.now {
-                            let key = (r.end, r.seq, kind, slot);
-                            if due.is_none_or(|(e, s, _, _)| (key.0, key.1) < (e, s)) {
-                                due = Some(key);
-                            }
-                        }
-                    }
+            // Complete work due at the new time by popping the calendar,
+            // which yields `(end, seq)` order — deterministic functional
+            // execution without rescanning engine slots.
+            while let Some(&Reverse((end, seq))) = self.calendar.peek() {
+                if end > self.now {
+                    break;
                 }
-                match due {
-                    Some((_, _, kind, slot)) => self.complete(kind, slot)?,
-                    None => break,
-                }
+                self.calendar.pop();
+                let running = self
+                    .running
+                    .remove(&seq)
+                    .expect("calendar entry has a running command");
+                self.complete(running)?;
             }
         }
     }

@@ -1,0 +1,222 @@
+//! Minimal in-tree stand-in for the `proptest` crate.
+//!
+//! The build container has no access to crates.io, so the workspace
+//! vendors the subset of the proptest 1.x API its test suites use:
+//! strategies over integer ranges, tuples, vectors, options, one-of
+//! unions and a small character-class string generator, plus the
+//! `proptest!`, `prop_oneof!`, `prop_assert*!` and `prop_assume!`
+//! macros. Differences from upstream:
+//!
+//! * **No shrinking.** A failing case panics with its case index and
+//!   seed; generation is fully deterministic (derived from the test
+//!   name and case index), so a failure reproduces by re-running the
+//!   test.
+//! * **String strategies** support only `[class]{m,n}` patterns (one
+//!   character class with ranges, one bounded repetition) — the shape
+//!   every pattern in this repository uses.
+//! * `PROPTEST_CASES` in the environment caps the case count of every
+//!   test (used by CI smoke runs).
+//!
+//! See CONTRIBUTING.md ("Offline builds") for the policy.
+
+pub mod strategy;
+
+pub mod test_runner;
+
+pub mod collection {
+    //! Strategies for collections (upstream `proptest::collection`).
+
+    use crate::strategy::{Strategy, VecStrategy};
+    use std::ops::Range;
+
+    /// A strategy for `Vec`s of `elem` values with a length drawn from
+    /// `size`.
+    pub fn vec<S: Strategy>(elem: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy::new(elem, size)
+    }
+}
+
+pub mod option {
+    //! Strategies for `Option` (upstream `proptest::option`).
+
+    use crate::strategy::{OptionStrategy, Strategy};
+
+    /// A strategy producing `None` about a quarter of the time and
+    /// `Some` of the inner strategy's value otherwise.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy::new(inner)
+    }
+}
+
+pub mod arbitrary {
+    //! Canonical strategies per type (upstream `proptest::arbitrary`).
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical full-domain strategy.
+    pub trait Arbitrary: Sized + std::fmt::Debug {
+        /// Draw one arbitrary value.
+        fn arbitrary_value(rng: &mut TestRng) -> Self;
+    }
+
+    /// The strategy returned by [`any`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary_value(rng)
+        }
+    }
+
+    /// The canonical strategy of `T` (upstream `proptest::prelude::any`).
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    macro_rules! arb_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary_value(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary_value(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+pub mod prelude {
+    //! One-stop import, mirroring `proptest::prelude`.
+
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+}
+
+/// Define property tests (upstream `proptest::proptest!`).
+///
+/// Supported grammar: an optional `#![proptest_config(expr)]` header,
+/// then test functions whose arguments are `pattern in strategy` pairs.
+/// Bodies may use `?` and `return Ok(())` — they run inside a closure
+/// returning `Result<(), TestCaseError>`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests!(($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests!(($crate::test_runner::Config::default()) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    (($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::Config = $cfg;
+                $crate::test_runner::run_cases(__config, stringify!($name), |__rng| {
+                    $(
+                        let $pat =
+                            $crate::strategy::Strategy::generate(&($strat), &mut *__rng);
+                    )+
+                    let mut __case = move || ->
+                        ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                        let _: () = $body;
+                        ::std::result::Result::Ok(())
+                    };
+                    __case()
+                });
+            }
+        )*
+    };
+}
+
+/// Uniform choice between strategies (upstream `prop_oneof!`).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// Fallible assertion: returns `Err(TestCaseError::Fail)` instead of
+/// panicking (upstream `prop_assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Fallible equality assertion (upstream `prop_assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr) => {{
+        let (__l, __r) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+            stringify!($lhs), stringify!($rhs), __l, __r
+        );
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)*) => {{
+        let (__l, __r) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "{}\n  left: {:?}\n right: {:?}",
+            format!($($fmt)*), __l, __r
+        );
+    }};
+}
+
+/// Fallible inequality assertion (upstream `prop_assert_ne!`).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($lhs:expr, $rhs:expr) => {{
+        let (__l, __r) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *__l != *__r,
+            "assertion failed: {} != {}\n  both: {:?}",
+            stringify!($lhs), stringify!($rhs), __l
+        );
+    }};
+}
+
+/// Discard the current case without failing (upstream `prop_assume!`).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::reject(stringify!($cond)),
+            );
+        }
+    };
+}

@@ -1,0 +1,356 @@
+//! Value-generation strategies (subset of upstream `proptest::strategy`).
+
+use crate::test_runner::TestRng;
+use std::fmt::Debug;
+use std::ops::Range;
+
+/// A recipe for generating values of one type.
+///
+/// Unlike upstream there is no value tree and no shrinking: `generate`
+/// draws one concrete value directly from the deterministic [`TestRng`].
+pub trait Strategy {
+    /// The type of generated values.
+    type Value: Debug;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform every generated value with `f`.
+    fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        T: Debug,
+        F: Fn(Self::Value) -> T,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generate a value, then generate from the strategy `f` builds
+    /// out of it.
+    fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S2: Strategy,
+        F: Fn(Self::Value) -> S2,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Erase the concrete strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// Type-erased strategy (upstream `BoxedStrategy`, minus shrinking).
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T: Debug> Strategy for Box<dyn Strategy<Value = T>> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (**self).generate(rng)
+    }
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone + Debug>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Adapter returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, T, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    T: Debug,
+    F: Fn(S::Value) -> T,
+{
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Adapter returned by [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, S2, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        let mid = self.inner.generate(rng);
+        (self.f)(mid).generate(rng)
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "strategy over empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! tuple_strategy {
+    ($($S:ident . $idx:tt),+) => {
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A.0);
+tuple_strategy!(A.0, B.1);
+tuple_strategy!(A.0, B.1, C.2);
+tuple_strategy!(A.0, B.1, C.2, D.3);
+tuple_strategy!(A.0, B.1, C.2, D.3, E.4);
+tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5);
+tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5, G.6);
+tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7);
+
+// A Vec of strategies generates element-wise: the i-th output comes
+// from the i-th strategy. This is what `prop_flat_map(|..| vec_of_strats)`
+// relies on.
+impl<S: Strategy> Strategy for Vec<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        self.iter().map(|s| s.generate(rng)).collect()
+    }
+}
+
+/// Strategy for variable-length `Vec`s (see [`crate::collection::vec`]).
+pub struct VecStrategy<S> {
+    elem: S,
+    size: Range<usize>,
+}
+
+impl<S: Strategy> VecStrategy<S> {
+    pub(crate) fn new(elem: S, size: Range<usize>) -> Self {
+        assert!(size.start < size.end, "vec strategy over empty size range");
+        VecStrategy { elem, size }
+    }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let span = (self.size.end - self.size.start) as u64;
+        let len = self.size.start + rng.below(span) as usize;
+        (0..len).map(|_| self.elem.generate(rng)).collect()
+    }
+}
+
+/// Strategy for `Option`s (see [`crate::option::of`]).
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> OptionStrategy<S> {
+    pub(crate) fn new(inner: S) -> Self {
+        OptionStrategy { inner }
+    }
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+        if rng.below(4) == 0 {
+            None
+        } else {
+            Some(self.inner.generate(rng))
+        }
+    }
+}
+
+/// Uniform choice among boxed strategies (built by `prop_oneof!`).
+pub struct Union<T: Debug> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T: Debug> Union<T> {
+    /// Build a union; panics on an empty option list.
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+        Union { options }
+    }
+}
+
+impl<T: Debug> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.options.len() as u64) as usize;
+        self.options[i].generate(rng)
+    }
+}
+
+// String strategies from a regex-like pattern. Only the subset the
+// workspace uses is understood: literal characters, one-level character
+// classes `[a-z ...]`, and `{m}` / `{m,n}` repetitions.
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let elements = compile_pattern(self);
+        let mut out = String::new();
+        for (ranges, min, max) in &elements {
+            let reps = *min + rng.below((*max - *min + 1) as u64) as usize;
+            let total: u64 = ranges.iter().map(|(lo, hi)| *hi as u64 - *lo as u64 + 1).sum();
+            for _ in 0..reps {
+                let mut pick = rng.below(total);
+                for (lo, hi) in ranges {
+                    let count = *hi as u64 - *lo as u64 + 1;
+                    if pick < count {
+                        out.push(char::from_u32(*lo as u32 + pick as u32).expect("char range"));
+                        break;
+                    }
+                    pick -= count;
+                }
+            }
+        }
+        out
+    }
+}
+
+type PatternElement = (Vec<(char, char)>, usize, usize);
+
+fn compile_pattern(pattern: &str) -> Vec<PatternElement> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut elements: Vec<PatternElement> = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let ranges = if chars[i] == '[' {
+            i += 1;
+            let mut ranges = Vec::new();
+            while i < chars.len() && chars[i] != ']' {
+                let lo = if chars[i] == '\\' {
+                    i += 1;
+                    chars[i]
+                } else {
+                    chars[i]
+                };
+                if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                    let hi = chars[i + 2];
+                    assert!(lo <= hi, "descending class range in {pattern:?}");
+                    ranges.push((lo, hi));
+                    i += 3;
+                } else {
+                    ranges.push((lo, lo));
+                    i += 1;
+                }
+            }
+            assert!(i < chars.len(), "unterminated character class in {pattern:?}");
+            i += 1; // consume ']'
+            ranges
+        } else {
+            let c = chars[i];
+            i += 1;
+            vec![(c, c)]
+        };
+        let (min, max) = if i < chars.len() && chars[i] == '{' {
+            i += 1;
+            let mut min = 0usize;
+            while chars[i].is_ascii_digit() {
+                min = min * 10 + chars[i] as usize - '0' as usize;
+                i += 1;
+            }
+            let max = if chars[i] == ',' {
+                i += 1;
+                let mut max = 0usize;
+                while chars[i].is_ascii_digit() {
+                    max = max * 10 + chars[i] as usize - '0' as usize;
+                    i += 1;
+                }
+                max
+            } else {
+                min
+            };
+            assert_eq!(chars[i], '}', "malformed repetition in {pattern:?}");
+            i += 1;
+            (min, max)
+        } else {
+            (1, 1)
+        };
+        assert!(min <= max, "descending repetition in {pattern:?}");
+        elements.push((ranges, min, max));
+    }
+    elements
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_ranges_stay_in_bounds() {
+        let mut rng = TestRng::from_seed(1);
+        for _ in 0..500 {
+            let v = (-4i64..5).generate(&mut rng);
+            assert!((-4..5).contains(&v), "{v}");
+            let u = (1u16..2048).generate(&mut rng);
+            assert!((1..2048).contains(&u), "{u}");
+        }
+    }
+
+    #[test]
+    fn string_pattern_matches_class_and_length() {
+        let mut rng = TestRng::from_seed(2);
+        for _ in 0..200 {
+            let s = "[ -~]{0,120}".generate(&mut rng);
+            assert!(s.len() <= 120);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn literal_pattern_is_reproduced() {
+        let mut rng = TestRng::from_seed(3);
+        assert_eq!("abc".generate(&mut rng), "abc");
+    }
+
+    #[test]
+    fn vec_of_strategies_generates_elementwise() {
+        let mut rng = TestRng::from_seed(4);
+        let strats = vec![0u8..1, 10u8..11, 20u8..21];
+        assert_eq!(strats.generate(&mut rng), vec![0, 10, 20]);
+    }
+
+    #[test]
+    fn union_draws_from_every_arm() {
+        let mut rng = TestRng::from_seed(5);
+        let u = Union::new(vec![(0u8..1).boxed(), (1u8..2).boxed()]);
+        let mut seen = [false; 2];
+        for _ in 0..64 {
+            seen[u.generate(&mut rng) as usize] = true;
+        }
+        assert!(seen[0] && seen[1]);
+    }
+}

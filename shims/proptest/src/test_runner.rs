@@ -1,0 +1,184 @@
+//! Deterministic case runner (subset of upstream `proptest::test_runner`).
+
+use std::fmt;
+
+/// Deterministic generator used for all strategy draws (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Build from a 64-bit seed.
+    pub fn from_seed(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, n)`; panics if `n == 0`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below(0)");
+        self.next_u64() % n
+    }
+}
+
+/// Why a test case did not pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// The property was violated; the test fails.
+    Fail(String),
+    /// The inputs did not meet an assumption; the case is retried with
+    /// fresh inputs and does not count against the case budget.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A failing verdict with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// A rejection (discard) with the given reason.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Fail(msg) => write!(f, "test case failed: {msg}"),
+            TestCaseError::Reject(msg) => write!(f, "test case rejected: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// Runner configuration (upstream `ProptestConfig`).
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of successful cases required for the test to pass. The
+    /// `PROPTEST_CASES` environment variable, when set, caps this.
+    pub cases: u32,
+}
+
+impl Config {
+    /// A config that runs `cases` successful cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Config { cases }
+    }
+
+    fn effective_cases(&self) -> u32 {
+        let cap = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse::<u32>().ok())
+            .unwrap_or(u32::MAX);
+        self.cases.min(cap).max(1)
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { cases: 256 }
+    }
+}
+
+fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Run `case` until `config.cases` successes, panicking on the first
+/// failure with enough detail (case index, seed) to reproduce it.
+pub fn run_cases<F>(config: Config, name: &str, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    let cases = config.effective_cases();
+    let max_attempts = cases as u64 * 16 + 1024;
+    let mut done: u32 = 0;
+    let mut attempt: u64 = 0;
+    while done < cases {
+        attempt += 1;
+        assert!(
+            attempt <= max_attempts,
+            "proptest '{name}': too many rejected cases ({done}/{cases} passed after {max_attempts} attempts)"
+        );
+        let seed = fnv1a(name) ^ attempt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut rng = TestRng::from_seed(seed);
+        match case(&mut rng) {
+            Ok(()) => done += 1,
+            Err(TestCaseError::Reject(_)) => continue,
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("proptest '{name}' case {done} failed (seed {seed:#018x}):\n{msg}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runner_reaches_case_budget() {
+        let mut count = 0;
+        run_cases(Config::with_cases(17), "budget", |_rng| {
+            count += 1;
+            Ok(())
+        });
+        assert_eq!(count, 17);
+    }
+
+    #[test]
+    fn rejects_are_retried_not_counted() {
+        let mut attempts = 0;
+        let mut passes = 0;
+        run_cases(Config::with_cases(8), "rejects", |rng| {
+            attempts += 1;
+            if rng.below(2) == 0 {
+                return Err(TestCaseError::reject("coin flip"));
+            }
+            passes += 1;
+            Ok(())
+        });
+        assert_eq!(passes, 8);
+        assert!(attempts >= 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn failures_panic_with_message() {
+        run_cases(Config::with_cases(4), "failing", |_rng| {
+            Err(TestCaseError::fail("boom"))
+        });
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_name() {
+        let mut a = Vec::new();
+        run_cases(Config::with_cases(5), "det", |rng| {
+            a.push(rng.next_u64());
+            Ok(())
+        });
+        let mut b = Vec::new();
+        run_cases(Config::with_cases(5), "det", |rng| {
+            b.push(rng.next_u64());
+            Ok(())
+        });
+        assert_eq!(a, b);
+    }
+}

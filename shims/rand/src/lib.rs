@@ -1,0 +1,153 @@
+//! Minimal in-tree stand-in for the `rand` crate.
+//!
+//! The build container has no access to crates.io, so the workspace
+//! vendors the tiny subset of the `rand` 0.8 API it actually uses:
+//! [`rngs::SmallRng`], [`SeedableRng::seed_from_u64`] and
+//! [`Rng::gen_range`] over integer and float ranges. The generator is a
+//! SplitMix64 — deterministic for a given seed on every platform, which
+//! is exactly what the reproduction's seeded data initialization needs.
+//! See CONTRIBUTING.md ("Offline builds") for the policy.
+
+use std::ops::Range;
+
+/// Core random-number source (subset of `rand_core::RngCore`).
+pub trait RngCore {
+    /// Next raw 64-bit value.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next raw 32-bit value.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Construction from seeds (subset of `rand_core::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Build a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Range sampling, the only `Rng` capability this workspace uses.
+pub trait SampleRange {
+    /// The sampled value type.
+    type Output;
+
+    /// Draw one value from the range.
+    fn sample_from<G: RngCore + ?Sized>(self, rng: &mut G) -> Self::Output;
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for Range<$t> {
+            type Output = $t;
+            fn sample_from<G: RngCore + ?Sized>(self, rng: &mut G) -> $t {
+                assert!(self.start < self.end, "gen_range on empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = (rng.next_u64() as u128) % span;
+                (self.start as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_sample_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleRange for Range<f32> {
+    type Output = f32;
+    fn sample_from<G: RngCore + ?Sized>(self, rng: &mut G) -> f32 {
+        assert!(self.start < self.end, "gen_range on empty range");
+        // 24 mantissa bits -> uniform in [0, 1).
+        let u01 = (rng.next_u64() >> 40) as f32 / (1u64 << 24) as f32;
+        self.start + u01 * (self.end - self.start)
+    }
+}
+
+impl SampleRange for Range<f64> {
+    type Output = f64;
+    fn sample_from<G: RngCore + ?Sized>(self, rng: &mut G) -> f64 {
+        assert!(self.start < self.end, "gen_range on empty range");
+        let u01 = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        self.start + u01 * (self.end - self.start)
+    }
+}
+
+/// Convenience methods over any [`RngCore`] (subset of `rand::Rng`).
+pub trait Rng: RngCore {
+    /// Uniform sample from `range`.
+    fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+}
+
+impl<T: RngCore + ?Sized> Rng for T {}
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Small, fast, deterministic generator (SplitMix64).
+    ///
+    /// Unlike upstream's `SmallRng` this one is stable across releases
+    /// and platforms, which the test suite relies on for reproducible
+    /// fixtures.
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        state: u64,
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            SmallRng { state: seed }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0u64..1_000_000), b.gen_range(0u64..1_000_000));
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = rng.gen_range(-1.0f32..1.0);
+            assert!((-1.0..1.0).contains(&v), "{v}");
+            let i = rng.gen_range(-5i64..5);
+            assert!((-5..5).contains(&i), "{i}");
+            let u = rng.gen_range(3usize..14);
+            assert!((3..14).contains(&u), "{u}");
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SmallRng::seed_from_u64(1);
+        let mut b = SmallRng::seed_from_u64(2);
+        let va: Vec<u64> = (0..8).map(|_| a.gen_range(0u64..u64::MAX)).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.gen_range(0u64..u64::MAX)).collect();
+        assert_ne!(va, vb);
+    }
+}
