@@ -11,6 +11,66 @@ use pipeline_rt::{ChunkCtx, Region, RtError, RtResult};
 
 use crate::util::fill_random;
 
+/// One k-plane of the 11-tap convolution, scalar-indexed: the
+/// pre-blocking kernel body, kept as the bit-exact reference and the
+/// baseline the `kernel_bodies` bench compares against.
+pub fn conv3d_plane_scalar(out: &mut [f32], km: &[f32], kmid: &[f32], kp: &[f32], ni: usize, nj: usize) {
+    let [c11, c12, c13, c21, c22, c23, c31, c32, c33] = Conv3dConfig::C;
+    for j in 1..nj - 1 {
+        for i in 1..ni - 1 {
+            let at = |p: &[f32], di: i64, dj: i64| {
+                p[((j as i64 + dj) as usize) * ni + (i as i64 + di) as usize]
+            };
+            out[j * ni + i] = c11 * at(km, -1, -1)
+                + c13 * at(km, 1, -1)
+                + c21 * at(km, -1, 0)
+                + c23 * at(km, 1, 0)
+                + c31 * at(km, -1, 1)
+                + c33 * at(km, 1, 1)
+                + c12 * at(kmid, 0, -1)
+                + c22 * at(kmid, 0, 0)
+                + c32 * at(kmid, 0, 1)
+                + c11 * at(kp, -1, -1)
+                + c13 * at(kp, 1, -1);
+        }
+    }
+}
+
+/// One k-plane of the 11-tap convolution over row slices: each tap is a
+/// fixed-length stream, so the inner loop is bounds-check-free and
+/// autovectorizes. Tap addition order matches [`conv3d_plane_scalar`]
+/// exactly — results are bit-identical.
+pub fn conv3d_plane(out: &mut [f32], km: &[f32], kmid: &[f32], kp: &[f32], ni: usize, nj: usize) {
+    let [c11, c12, c13, c21, c22, c23, c31, c32, c33] = Conv3dConfig::C;
+    let w = ni - 2;
+    for j in 1..nj - 1 {
+        let (jm, j0, jp) = ((j - 1) * ni, j * ni, (j + 1) * ni);
+        let o = &mut out[j0 + 1..j0 + 1 + w];
+        let (km_nw, km_ne) = (&km[jm..jm + w], &km[jm + 2..jm + 2 + w]);
+        let (km_w, km_e) = (&km[j0..j0 + w], &km[j0 + 2..j0 + 2 + w]);
+        let (km_sw, km_se) = (&km[jp..jp + w], &km[jp + 2..jp + 2 + w]);
+        let (mid_n, mid_c, mid_s) = (
+            &kmid[jm + 1..jm + 1 + w],
+            &kmid[j0 + 1..j0 + 1 + w],
+            &kmid[jp + 1..jp + 1 + w],
+        );
+        let (kp_nw, kp_ne) = (&kp[jm..jm + w], &kp[jm + 2..jm + 2 + w]);
+        for x in 0..w {
+            o[x] = c11 * km_nw[x]
+                + c13 * km_ne[x]
+                + c21 * km_w[x]
+                + c23 * km_e[x]
+                + c31 * km_sw[x]
+                + c33 * km_se[x]
+                + c12 * mid_n[x]
+                + c22 * mid_c[x]
+                + c32 * mid_s[x]
+                + c11 * kp_nw[x]
+                + c13 * kp_ne[x];
+        }
+    }
+}
+
 /// 3-D convolution problem configuration.
 #[derive(Debug, Clone, Copy)]
 pub struct Conv3dConfig {
@@ -122,32 +182,17 @@ impl Conv3dConfig {
                     bytes: per_plane.bytes * planes,
                 },
                 move |kc| {
-                    let [c11, c12, c13, c21, c22, c23, c31, c32, c33] = Conv3dConfig::C;
                     let (ni, nj) = (cfg.ni, cfg.nj);
                     let plane = cfg.plane();
+                    // One borrow per mapped array for the whole chunk.
+                    let vi = kc.read_view(vin.base())?;
+                    let mut vo = kc.write_view(vout.base())?;
                     for k in k0..k1 {
-                        let km = kc.read(vin.slice_ptr(k - 1), plane)?;
-                        let kmid = kc.read(vin.slice_ptr(k), plane)?;
-                        let kp = kc.read(vin.slice_ptr(k + 1), plane)?;
-                        let mut out = kc.write(vout.slice_ptr(k), plane)?;
-                        for j in 1..nj - 1 {
-                            for i in 1..ni - 1 {
-                                let at = |p: &[f32], di: i64, dj: i64| {
-                                    p[((j as i64 + dj) as usize) * ni + (i as i64 + di) as usize]
-                                };
-                                out[j * ni + i] = c11 * at(&km, -1, -1)
-                                    + c13 * at(&km, 1, -1)
-                                    + c21 * at(&km, -1, 0)
-                                    + c23 * at(&km, 1, 0)
-                                    + c31 * at(&km, -1, 1)
-                                    + c33 * at(&km, 1, 1)
-                                    + c12 * at(&kmid, 0, -1)
-                                    + c22 * at(&kmid, 0, 0)
-                                    + c32 * at(&kmid, 0, 1)
-                                    + c11 * at(&kp, -1, -1)
-                                    + c13 * at(&kp, 1, -1);
-                            }
-                        }
+                        let km = vi.slice(vin.slice_ptr(k - 1), plane)?;
+                        let kmid = vi.slice(vin.slice_ptr(k), plane)?;
+                        let kp = vi.slice(vin.slice_ptr(k + 1), plane)?;
+                        let out = vo.slice_mut(vout.slice_ptr(k), plane)?;
+                        conv3d_plane(out, km, kmid, kp, ni, nj);
                     }
                     Ok(())
                 },
@@ -157,27 +202,18 @@ impl Conv3dConfig {
 
     /// Sequential CPU reference with identical arithmetic order.
     pub fn cpu_reference(&self, a: &[f32]) -> Vec<f32> {
-        let [c11, c12, c13, c21, c22, c23, c31, c32, c33] = Self::C;
         let (ni, nj, nk) = (self.ni, self.nj, self.nk);
         let plane = self.plane();
-        let idx = |i: usize, j: usize, k: usize| k * plane + j * ni + i;
         let mut out = vec![0.0f32; self.total()];
         for k in 1..nk - 1 {
-            for j in 1..nj - 1 {
-                for i in 1..ni - 1 {
-                    out[idx(i, j, k)] = c11 * a[idx(i - 1, j - 1, k - 1)]
-                        + c13 * a[idx(i + 1, j - 1, k - 1)]
-                        + c21 * a[idx(i - 1, j, k - 1)]
-                        + c23 * a[idx(i + 1, j, k - 1)]
-                        + c31 * a[idx(i - 1, j + 1, k - 1)]
-                        + c33 * a[idx(i + 1, j + 1, k - 1)]
-                        + c12 * a[idx(i, j - 1, k)]
-                        + c22 * a[idx(i, j, k)]
-                        + c32 * a[idx(i, j + 1, k)]
-                        + c11 * a[idx(i - 1, j - 1, k + 1)]
-                        + c13 * a[idx(i + 1, j - 1, k + 1)];
-                }
-            }
+            conv3d_plane_scalar(
+                &mut out[k * plane..(k + 1) * plane],
+                &a[(k - 1) * plane..k * plane],
+                &a[k * plane..(k + 1) * plane],
+                &a[(k + 1) * plane..(k + 2) * plane],
+                ni,
+                nj,
+            );
         }
         out
     }

@@ -25,6 +25,76 @@ use pipeline_rt::{
 
 use crate::util::fill_random;
 
+/// Column width of the j-blocked inner loops: one block of a `C` row and
+/// a `B` row stays L1-resident across the whole k pass.
+const GEMM_JB: usize = 512;
+
+/// Scalar i-j-k GEMM accumulating into `c` (which must be zeroed): one
+/// register accumulator per output element. This is the pre-blocking
+/// kernel body, kept as the bit-exact reference and the baseline the
+/// `kernel_bodies` bench compares against.
+pub fn gemm_scalar(c: &mut [f32], a: &[f32], b: &[f32], n: usize) {
+    for i in 0..n {
+        for j in 0..n {
+            let mut acc = c[i * n + j];
+            for k in 0..n {
+                acc += a[i * n + k] * b[k * n + j];
+            }
+            c[i * n + j] = acc;
+        }
+    }
+}
+
+/// Cache-blocked i-k-j rank-`bc` update: `C += A·B` where `a` holds `n`
+/// rows of `bc` elements at stride `a_stride` and `b` is `bc × n`
+/// contiguous.
+///
+/// For a fixed output element the products are added in ascending `k`
+/// starting from the incoming value — the identical f32 addition sequence
+/// to [`gemm_scalar`]'s register accumulator — so a full multiply built
+/// from ascending blocks over a zeroed `C` is bit-identical to the scalar
+/// reference while the j-contiguous inner loop autovectorizes.
+pub fn gemm_rank_update(
+    c: &mut [f32],
+    n: usize,
+    a: &[f32],
+    a_stride: usize,
+    b: &[f32],
+    bc: usize,
+) {
+    gemm_rank_update_jb(c, n, a, a_stride, b, bc, GEMM_JB)
+}
+
+/// [`gemm_rank_update`] with an explicit j-block width, so tests can
+/// cross the block seam at small problem sizes.
+#[doc(hidden)]
+pub fn gemm_rank_update_jb(
+    c: &mut [f32],
+    n: usize,
+    a: &[f32],
+    a_stride: usize,
+    b: &[f32],
+    bc: usize,
+    jb: usize,
+) {
+    for i in 0..n {
+        let a_row = &a[i * a_stride..i * a_stride + bc];
+        let c_row = &mut c[i * n..(i + 1) * n];
+        let mut j0 = 0;
+        while j0 < n {
+            let jw = (n - j0).min(jb);
+            let c_blk = &mut c_row[j0..j0 + jw];
+            for (kk, &av) in a_row.iter().enumerate() {
+                let b_blk = &b[kk * n + j0..kk * n + j0 + jw];
+                for (cv, &bv) in c_blk.iter_mut().zip(b_blk) {
+                    *cv += av * bv;
+                }
+            }
+            j0 += jw;
+        }
+    }
+}
+
 /// Matrix multiplication configuration (`C = A × B`, all `n × n`).
 #[derive(Debug, Clone, Copy)]
 pub struct MatmulConfig {
@@ -104,15 +174,7 @@ impl MatmulConfig {
     pub fn cpu_reference(&self, a: &[f32], b: &[f32]) -> Vec<f32> {
         let n = self.n;
         let mut c = vec![0.0f32; n * n];
-        for i in 0..n {
-            for j in 0..n {
-                let mut acc = 0.0f32;
-                for k in 0..n {
-                    acc += a[i * n + k] * b[k * n + j];
-                }
-                c[i * n + j] = acc;
-            }
-        }
+        gemm_scalar(&mut c, a, b, n);
         c
     }
 
@@ -155,19 +217,17 @@ impl MatmulConfig {
                     bytes: flops / bytes_per_flop_inv,
                 },
                 move |kc| {
-                    // Full GEMM over direct views (rows are slices).
-                    let mut c = kc.write(vc.slice_ptr(0), n * n)?;
-                    let a = kc.read(va.slice_ptr(0), n * n)?;
-                    let b = kc.read(vb.slice_ptr(0), n * n)?;
-                    for i in 0..n {
-                        for j in 0..n {
-                            let mut acc = 0.0f32;
-                            for k in 0..n {
-                                acc += a[i * n + k] * b[k * n + j];
-                            }
-                            c[i * n + j] = acc;
-                        }
-                    }
+                    // Full GEMM over direct views (rows are slices):
+                    // borrow each matrix once, then run the blocked core
+                    // as a single rank-n update over zeroed C.
+                    let mut cw = kc.write_view(vc.slice_ptr(0))?;
+                    let ar = kc.read_view(va.slice_ptr(0))?;
+                    let br = kc.read_view(vb.slice_ptr(0))?;
+                    let c = cw.slice_mut(vc.slice_ptr(0), n * n)?;
+                    let a = ar.slice(va.slice_ptr(0), n * n)?;
+                    let b = br.slice(vb.slice_ptr(0), n * n)?;
+                    c.fill(0.0);
+                    gemm_rank_update(c, n, a, n, b, n);
                     Ok(())
                 },
             )
@@ -274,25 +334,19 @@ impl MatmulConfig {
                     bytes: flops / TILED_BYTES_PER_FLOP_INV,
                 },
                 move |kc| {
-                    let mut c = kc.write(c_dev, n * n)?;
+                    // One borrow per array for the whole chunk; the A
+                    // column block is addressed through its view with a
+                    // stride instead of one `read` per matrix row.
+                    let mut cw = kc.write_view(c_dev)?;
+                    let ar = kc.read_view(va.base())?;
+                    let br = kc.read_view(vb.base())?;
+                    let c = cw.slice_mut(c_dev, n * n)?;
                     for l in l0..l1 {
                         let (a_ptr, a_stride) = va.block_ptr(l);
+                        let a = ar.slice(a_ptr, (n - 1) * a_stride + bc)?;
                         // B rows l·bc .. (l+1)·bc are contiguous slices.
-                        let b_rows = kc.read(vb.slice_ptr(l * bc as i64), bc * n)?;
-                        for i in 0..n {
-                            let a_row = kc.read(a_ptr.add(i * a_stride), bc)?;
-                            for kk in 0..bc {
-                                let av = a_row[kk];
-                                if av == 0.0 {
-                                    continue;
-                                }
-                                let brow = &b_rows[kk * n..(kk + 1) * n];
-                                let crow = &mut c[i * n..(i + 1) * n];
-                                for j in 0..n {
-                                    crow[j] += av * brow[j];
-                                }
-                            }
-                        }
+                        let b_rows = br.slice(vb.slice_ptr(l * bc as i64), bc * n)?;
+                        gemm_rank_update(c, n, a, a_stride, b_rows, bc);
                     }
                     Ok(())
                 },
@@ -358,6 +412,23 @@ mod tests {
         let got = read_host(&gpu, c).unwrap();
         let err = max_rel_error(&got, &expect);
         assert!(err < 1e-4, "relative error {err}");
+    }
+
+    #[test]
+    fn blocked_gemm_is_bit_identical_to_scalar() {
+        // Odd n and a tiny j-block so the blocked core crosses several
+        // seams; bc split into uneven ascending rank updates.
+        let n = 21;
+        let a: Vec<f32> = (0..n * n).map(|i| ((i * 37 + 11) % 97) as f32 * 0.17 - 5.0).collect();
+        let b: Vec<f32> = (0..n * n).map(|i| ((i * 53 + 29) % 89) as f32 * 0.23 - 7.0).collect();
+        let mut expect = vec![0.0f32; n * n];
+        gemm_scalar(&mut expect, &a, &b, n);
+        let mut c = vec![0.0f32; n * n];
+        for (k0, bc) in [(0usize, 7usize), (7, 7), (14, 7)] {
+            let b_rows = &b[k0 * n..(k0 + bc) * n];
+            gemm_rank_update_jb(&mut c, n, &a[k0..], n, b_rows, bc, 5);
+        }
+        assert_eq!(c, expect, "blocked i-k-j GEMM must be bit-exact");
     }
 
     #[test]

@@ -167,25 +167,24 @@ impl QcdConfig {
                 move |kc| {
                     let psi_slice = cfg.psi_slice();
                     let u_slice = cfg.u_slice();
+                    // One borrow per mapped array for the whole chunk;
+                    // the seven per-slice windows resolve through them.
+                    let pv = kc.read_view(vpsi.base())?;
+                    let uv = kc.read_view(vu.base())?;
+                    let fv = kc.read_view(vf.base())?;
+                    let mut ov = kc.write_view(vout.base())?;
                     for t in t0..t1 {
-                        let psi_m = kc.read(vpsi.slice_ptr(t - 1), psi_slice)?;
-                        let psi_0 = kc.read(vpsi.slice_ptr(t), psi_slice)?;
-                        let psi_p = kc.read(vpsi.slice_ptr(t + 1), psi_slice)?;
-                        let u_m = kc.read(vu.slice_ptr(t - 1), u_slice)?;
-                        let u_0 = kc.read(vu.slice_ptr(t), u_slice)?;
-                        let f_m = kc.read(vf.slice_ptr(t - 1), u_slice)?;
-                        let f_0 = kc.read(vf.slice_ptr(t), u_slice)?;
-                        let mut out = kc.write(vout.slice_ptr(t), psi_slice)?;
                         let slices = HopSlices {
-                            psi_m: &psi_m,
-                            psi_0: &psi_0,
-                            psi_p: &psi_p,
-                            u_m: &u_m,
-                            u_0: &u_0,
-                            f_m: &f_m,
-                            f_0: &f_0,
+                            psi_m: pv.slice(vpsi.slice_ptr(t - 1), psi_slice)?,
+                            psi_0: pv.slice(vpsi.slice_ptr(t), psi_slice)?,
+                            psi_p: pv.slice(vpsi.slice_ptr(t + 1), psi_slice)?,
+                            u_m: uv.slice(vu.slice_ptr(t - 1), u_slice)?,
+                            u_0: uv.slice(vu.slice_ptr(t), u_slice)?,
+                            f_m: fv.slice(vf.slice_ptr(t - 1), u_slice)?,
+                            f_0: fv.slice(vf.slice_ptr(t), u_slice)?,
                         };
-                        hopping_sweep(cfg.n, &slices, &mut out);
+                        let out = ov.slice_mut(vout.slice_ptr(t), psi_slice)?;
+                        hopping_sweep(cfg.n, &slices, out);
                     }
                     Ok(())
                 },
@@ -209,21 +208,28 @@ impl QcdConfig {
                 f_m: &f[(t - 1) * us..t * us],
                 f_0: &f[t * us..(t + 1) * us],
             };
-            hopping_sweep(self.n, &slices, &mut out[t * ps..(t + 1) * ps]);
+            hopping_sweep_scalar(self.n, &slices, &mut out[t * ps..(t + 1) * ps]);
         }
         out
     }
 }
 
 /// The seven input slices of one sweep.
-struct HopSlices<'a> {
-    psi_m: &'a [f32],
-    psi_0: &'a [f32],
-    psi_p: &'a [f32],
-    u_m: &'a [f32],
-    u_0: &'a [f32],
-    f_m: &'a [f32],
-    f_0: &'a [f32],
+pub struct HopSlices<'a> {
+    /// ψ at slice `t-1`.
+    pub psi_m: &'a [f32],
+    /// ψ at slice `t`.
+    pub psi_0: &'a [f32],
+    /// ψ at slice `t+1`.
+    pub psi_p: &'a [f32],
+    /// Thin links at slice `t-1`.
+    pub u_m: &'a [f32],
+    /// Thin links at slice `t`.
+    pub u_0: &'a [f32],
+    /// Fat links at slice `t-1`.
+    pub f_m: &'a [f32],
+    /// Fat links at slice `t`.
+    pub f_0: &'a [f32],
 }
 
 /// Complex 3-vector accumulator.
@@ -271,10 +277,12 @@ fn mat_dag_vec_sub(u: &[f32], site: usize, mu: usize, v: &Vec3, acc: &mut Vec3) 
     }
 }
 
-/// One hopping sweep for one time slice, applying both link fields to
-/// every RHS. Spatial directions (μ = 0,1,2) are periodic; the temporal
-/// direction (μ = 3) couples the neighbouring slices.
-fn hopping_sweep(n: usize, s: &HopSlices<'_>, out: &mut [f32]) {
+/// One hopping sweep for one time slice, scalar-indexed: the pre-PR
+/// kernel body, kept as the bit-exact reference ([`QcdConfig::cpu_reference`]
+/// uses it) and the baseline the `kernel_bodies` bench compares against.
+/// Spatial directions (μ = 0,1,2) are periodic; the temporal direction
+/// (μ = 3) couples the neighbouring slices.
+pub fn hopping_sweep_scalar(n: usize, s: &HopSlices<'_>, out: &mut [f32]) {
     let idx = |x: usize, y: usize, z: usize| (z * n + y) * n + x;
     for z in 0..n {
         for y in 0..n {
@@ -309,6 +317,147 @@ fn hopping_sweep(n: usize, s: &HopSlices<'_>, out: &mut [f32]) {
                     mat_vec_acc(s.f_0, site, 3, &vf, &mut acc);
                     let vb = load_vec(s.psi_m, site, rhs);
                     mat_dag_vec_sub(s.f_m, site, 3, &vb, &mut acc);
+
+                    let o = site * PSI_SITE + rhs * 6;
+                    out[o] = acc.re[0];
+                    out[o + 1] = acc.im[0];
+                    out[o + 2] = acc.re[1];
+                    out[o + 3] = acc.im[1];
+                    out[o + 4] = acc.re[2];
+                    out[o + 5] = acc.im[2];
+                }
+            }
+        }
+    }
+}
+
+/// Flattened SU(3) matrix: 9 complex entries split into re/im planes,
+/// loaded from the interleaved link field once and reused.
+#[derive(Clone, Copy)]
+struct Su3 {
+    re: [f32; 9],
+    im: [f32; 9],
+}
+
+#[inline]
+fn load_su3(u: &[f32], site: usize, mu: usize) -> Su3 {
+    let base = (site * 4 + mu) * 18;
+    let m = &u[base..base + 18];
+    let mut re = [0.0f32; 9];
+    let mut im = [0.0f32; 9];
+    for e in 0..9 {
+        re[e] = m[2 * e];
+        im[e] = m[2 * e + 1];
+    }
+    Su3 { re, im }
+}
+
+/// `acc += M · v` on a pre-loaded matrix: same multiply/add sequence as
+/// [`mat_vec_acc`], but over fixed-size arrays with no bounds checks.
+#[inline]
+fn su3_mv_acc(m: &Su3, v: &Vec3, acc: &mut Vec3) {
+    for r in 0..3 {
+        for c in 0..3 {
+            let e = r * 3 + c;
+            acc.re[r] += m.re[e] * v.re[c] - m.im[e] * v.im[c];
+            acc.im[r] += m.re[e] * v.im[c] + m.im[e] * v.re[c];
+        }
+    }
+}
+
+/// `acc -= M† · v` on a pre-loaded matrix (mirror of [`mat_dag_vec_sub`]).
+#[inline]
+fn su3_mv_dag_sub(m: &Su3, v: &Vec3, acc: &mut Vec3) {
+    for r in 0..3 {
+        for c in 0..3 {
+            let e = c * 3 + r;
+            let (ur, ui) = (m.re[e], -m.im[e]);
+            acc.re[r] -= ur * v.re[c] - ui * v.im[c];
+            acc.im[r] -= ur * v.im[c] + ui * v.re[c];
+        }
+    }
+}
+
+/// One hopping sweep for one time slice, optimized: the 16 link matrices
+/// a site needs (6 spatial forward + 6 spatial backward + 4 temporal)
+/// are loaded into flattened [`Su3`] registers once and reused across all
+/// [`N_RHS`] right-hand sides, with the μ loop unrolled. The per-RHS
+/// accumulation sequence is identical to [`hopping_sweep_scalar`], so
+/// results are bit-exact.
+pub fn hopping_sweep(n: usize, s: &HopSlices<'_>, out: &mut [f32]) {
+    let idx = |x: usize, y: usize, z: usize| (z * n + y) * n + x;
+    for z in 0..n {
+        for y in 0..n {
+            for x in 0..n {
+                let site = idx(x, y, z);
+                let fwd = [
+                    idx((x + 1) % n, y, z),
+                    idx(x, (y + 1) % n, z),
+                    idx(x, y, (z + 1) % n),
+                ];
+                let bwd = [
+                    idx((x + n - 1) % n, y, z),
+                    idx(x, (y + n - 1) % n, z),
+                    idx(x, y, (z + n - 1) % n),
+                ];
+                let u_fwd = [
+                    load_su3(s.u_0, site, 0),
+                    load_su3(s.u_0, site, 1),
+                    load_su3(s.u_0, site, 2),
+                ];
+                let u_bwd = [
+                    load_su3(s.u_0, bwd[0], 0),
+                    load_su3(s.u_0, bwd[1], 1),
+                    load_su3(s.u_0, bwd[2], 2),
+                ];
+                let f_fwd = [
+                    load_su3(s.f_0, site, 0),
+                    load_su3(s.f_0, site, 1),
+                    load_su3(s.f_0, site, 2),
+                ];
+                let f_bwd = [
+                    load_su3(s.f_0, bwd[0], 0),
+                    load_su3(s.f_0, bwd[1], 1),
+                    load_su3(s.f_0, bwd[2], 2),
+                ];
+                let ut_f = load_su3(s.u_0, site, 3);
+                let ut_b = load_su3(s.u_m, site, 3);
+                let ft_f = load_su3(s.f_0, site, 3);
+                let ft_b = load_su3(s.f_m, site, 3);
+                for rhs in 0..N_RHS {
+                    let mut acc = Vec3::default();
+                    let pf = [
+                        load_vec(s.psi_0, fwd[0], rhs),
+                        load_vec(s.psi_0, fwd[1], rhs),
+                        load_vec(s.psi_0, fwd[2], rhs),
+                    ];
+                    let pb = [
+                        load_vec(s.psi_0, bwd[0], rhs),
+                        load_vec(s.psi_0, bwd[1], rhs),
+                        load_vec(s.psi_0, bwd[2], rhs),
+                    ];
+                    // Thin links, μ = 0,1,2 unrolled (same order as the
+                    // scalar sweep's links × μ loop nest).
+                    su3_mv_acc(&u_fwd[0], &pf[0], &mut acc);
+                    su3_mv_dag_sub(&u_bwd[0], &pb[0], &mut acc);
+                    su3_mv_acc(&u_fwd[1], &pf[1], &mut acc);
+                    su3_mv_dag_sub(&u_bwd[1], &pb[1], &mut acc);
+                    su3_mv_acc(&u_fwd[2], &pf[2], &mut acc);
+                    su3_mv_dag_sub(&u_bwd[2], &pb[2], &mut acc);
+                    // Fat links, μ = 0,1,2.
+                    su3_mv_acc(&f_fwd[0], &pf[0], &mut acc);
+                    su3_mv_dag_sub(&f_bwd[0], &pb[0], &mut acc);
+                    su3_mv_acc(&f_fwd[1], &pf[1], &mut acc);
+                    su3_mv_dag_sub(&f_bwd[1], &pb[1], &mut acc);
+                    su3_mv_acc(&f_fwd[2], &pf[2], &mut acc);
+                    su3_mv_dag_sub(&f_bwd[2], &pb[2], &mut acc);
+                    // Temporal hops to the neighbouring slices.
+                    let vt_p = load_vec(s.psi_p, site, rhs);
+                    let vt_m = load_vec(s.psi_m, site, rhs);
+                    su3_mv_acc(&ut_f, &vt_p, &mut acc);
+                    su3_mv_dag_sub(&ut_b, &vt_m, &mut acc);
+                    su3_mv_acc(&ft_f, &vt_p, &mut acc);
+                    su3_mv_dag_sub(&ft_b, &vt_m, &mut acc);
 
                     let o = site * PSI_SITE + rhs * 6;
                     out[o] = acc.re[0];
@@ -368,6 +517,39 @@ mod tests {
         gpu.host_fill(inst.out, |_| 0.0).unwrap();
         run_pipelined_buffer(&mut gpu, &inst.region, &builder).unwrap();
         assert_exact(&read_host(&gpu, inst.out).unwrap(), &expect, "buffer");
+    }
+
+    #[test]
+    fn optimized_sweep_is_bit_identical_to_scalar() {
+        let n = 5;
+        let vol3 = n * n * n;
+        let (ps, us) = (vol3 * PSI_SITE, vol3 * U_SITE);
+        let fill = |seed: u64, len: usize| -> Vec<f32> {
+            let mut state = seed;
+            (0..len)
+                .map(|_| {
+                    state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    ((state >> 40) as f32 / (1u64 << 24) as f32) * 2.0 - 1.0
+                })
+                .collect()
+        };
+        let psi = fill(1, 3 * ps);
+        let u = fill(2, 2 * us);
+        let f = fill(3, 2 * us);
+        let slices = HopSlices {
+            psi_m: &psi[..ps],
+            psi_0: &psi[ps..2 * ps],
+            psi_p: &psi[2 * ps..],
+            u_m: &u[..us],
+            u_0: &u[us..],
+            f_m: &f[..us],
+            f_0: &f[us..],
+        };
+        let mut scalar = vec![0.0f32; ps];
+        let mut opt = vec![0.0f32; ps];
+        hopping_sweep_scalar(n, &slices, &mut scalar);
+        hopping_sweep(n, &slices, &mut opt);
+        assert_eq!(scalar, opt, "flattened SU(3) sweep must be bit-exact");
     }
 
     #[test]

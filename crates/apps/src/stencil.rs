@@ -12,6 +12,63 @@ use pipeline_rt::{ChunkCtx, Region, RtError, RtResult};
 
 use crate::util::fill_random;
 
+/// One z-plane of the 7-point sweep, scalar-indexed: the pre-blocking
+/// kernel body, kept as the bit-exact reference and the baseline the
+/// `kernel_bodies` bench compares against.
+#[allow(clippy::too_many_arguments)]
+pub fn stencil_plane_scalar(
+    out: &mut [f32],
+    below: &[f32],
+    mid: &[f32],
+    above: &[f32],
+    nx: usize,
+    ny: usize,
+    c0: f32,
+    c1: f32,
+) {
+    for j in 1..ny - 1 {
+        for i in 1..nx - 1 {
+            let c = j * nx + i;
+            out[c] =
+                (above[c] + below[c] + mid[c + nx] + mid[c - nx] + mid[c + 1] + mid[c - 1]) * c1
+                    - mid[c] * c0;
+        }
+    }
+}
+
+/// One z-plane of the 7-point sweep over row slices: every tap stream is
+/// a fixed-length sub-slice, so the inner loop carries no bounds checks
+/// and autovectorizes. The tap addition order is identical to
+/// [`stencil_plane_scalar`] — results are bit-exact.
+#[allow(clippy::too_many_arguments)]
+pub fn stencil_plane(
+    out: &mut [f32],
+    below: &[f32],
+    mid: &[f32],
+    above: &[f32],
+    nx: usize,
+    ny: usize,
+    c0: f32,
+    c1: f32,
+) {
+    let w = nx - 2;
+    for j in 1..ny - 1 {
+        let r = j * nx;
+        let o = &mut out[r + 1..r + 1 + w];
+        let up = &above[r + 1..r + 1 + w];
+        let dn = &below[r + 1..r + 1 + w];
+        let north = &mid[r + nx + 1..r + nx + 1 + w];
+        let south = &mid[r - nx + 1..r - nx + 1 + w];
+        let east = &mid[r + 2..r + 2 + w];
+        let west = &mid[r..r + w];
+        let center = &mid[r + 1..r + 1 + w];
+        for i in 0..w {
+            o[i] = (up[i] + dn[i] + north[i] + south[i] + east[i] + west[i]) * c1
+                - center[i] * c0;
+        }
+    }
+}
+
 /// Stencil problem configuration.
 #[derive(Debug, Clone, Copy)]
 pub struct StencilConfig {
@@ -129,24 +186,16 @@ impl StencilConfig {
                 move |kc| {
                     let (nx, ny) = (cfg.nx, cfg.ny);
                     let plane = cfg.plane();
+                    // One borrow per mapped array for the whole chunk;
+                    // ring slots resolve through the views per plane.
+                    let vi = kc.read_view(vin.base())?;
+                    let mut vo = kc.write_view(vout.base())?;
                     for k in k0..k1 {
-                        let below = kc.read(vin.slice_ptr(k - 1), plane)?;
-                        let mid = kc.read(vin.slice_ptr(k), plane)?;
-                        let above = kc.read(vin.slice_ptr(k + 1), plane)?;
-                        let mut out = kc.write(vout.slice_ptr(k), plane)?;
-                        for j in 1..ny - 1 {
-                            for i in 1..nx - 1 {
-                                let c = j * nx + i;
-                                out[c] = (above[c]
-                                    + below[c]
-                                    + mid[c + nx]
-                                    + mid[c - nx]
-                                    + mid[c + 1]
-                                    + mid[c - 1])
-                                    * cfg.c1
-                                    - mid[c] * cfg.c0;
-                            }
-                        }
+                        let below = vi.slice(vin.slice_ptr(k - 1), plane)?;
+                        let mid = vi.slice(vin.slice_ptr(k), plane)?;
+                        let above = vi.slice(vin.slice_ptr(k + 1), plane)?;
+                        let out = vo.slice_mut(vout.slice_ptr(k), plane)?;
+                        stencil_plane(out, below, mid, above, nx, ny, cfg.c0, cfg.c1);
                     }
                     Ok(())
                 },
@@ -159,21 +208,18 @@ impl StencilConfig {
     pub fn cpu_reference(&self, a0: &[f32]) -> Vec<f32> {
         let (nx, ny, nz) = (self.nx, self.ny, self.nz);
         let plane = self.plane();
-        let idx = |i: usize, j: usize, k: usize| k * plane + j * nx + i;
         let mut out = vec![0.0f32; self.total()];
         for k in 1..nz - 1 {
-            for j in 1..ny - 1 {
-                for i in 1..nx - 1 {
-                    out[idx(i, j, k)] = (a0[idx(i, j, k + 1)]
-                        + a0[idx(i, j, k - 1)]
-                        + a0[idx(i, j + 1, k)]
-                        + a0[idx(i, j - 1, k)]
-                        + a0[idx(i + 1, j, k)]
-                        + a0[idx(i - 1, j, k)])
-                        * self.c1
-                        - a0[idx(i, j, k)] * self.c0;
-                }
-            }
+            stencil_plane_scalar(
+                &mut out[k * plane..(k + 1) * plane],
+                &a0[(k - 1) * plane..k * plane],
+                &a0[k * plane..(k + 1) * plane],
+                &a0[(k + 1) * plane..(k + 2) * plane],
+                nx,
+                ny,
+                self.c0,
+                self.c1,
+            );
         }
         out
     }

@@ -78,6 +78,71 @@ proptest! {
         );
     }
 
+    /// The cache-blocked GEMM body must be *bit-identical* to the scalar
+    /// i-j-k reference for any shape, j-block width and k-split: blocking
+    /// only reorders the j loop, never the per-element accumulation.
+    #[test]
+    fn blocked_gemm_body_bit_identical(
+        n in 1usize..28,
+        jb in 1usize..12,
+        bc in 1usize..9,
+        seed in 0u64..1024,
+    ) {
+        let fill = |s: u64, len: usize| -> Vec<f32> {
+            let mut state = s.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+            (0..len).map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((state >> 40) as f32 / (1u64 << 24) as f32) * 2.0 - 1.0
+            }).collect()
+        };
+        let a = fill(seed, n * n);
+        let b = fill(seed ^ 0xB, n * n);
+        let mut want = vec![0.0f32; n * n];
+        pipeline_apps::matmul::gemm_scalar(&mut want, &a, &b, n);
+        // Apply the blocked body as a sequence of ascending rank-bc
+        // updates over a zeroed C — the same decomposition the pipelined
+        // kernel uses.
+        let mut got = vec![0.0f32; n * n];
+        let mut k0 = 0;
+        while k0 < n {
+            let w = bc.min(n - k0);
+            let b_rows: Vec<f32> = (0..w).flat_map(|r| b[(k0 + r) * n..(k0 + r + 1) * n].to_vec()).collect();
+            pipeline_apps::matmul::gemm_rank_update_jb(&mut got, n, &a[k0..], n, &b_rows, w, jb);
+            k0 += w;
+        }
+        prop_assert_eq!(got, want);
+    }
+
+    /// The slice-streamed stencil and conv3d plane bodies must be
+    /// bit-identical to their scalar references at any plane shape.
+    #[test]
+    fn sliced_plane_bodies_bit_identical(
+        nx in 3usize..40,
+        ny in 3usize..40,
+        seed in 0u64..1024,
+    ) {
+        let plane = nx * ny;
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        let g: Vec<f32> = (0..3 * plane).map(|_| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 40) as f32 / (1u64 << 24) as f32) * 2.0 - 1.0
+        }).collect();
+        let (below, rest) = g.split_at(plane);
+        let (mid, above) = rest.split_at(plane);
+
+        let mut want = vec![0.0f32; plane];
+        let mut got = vec![0.0f32; plane];
+        pipeline_apps::stencil::stencil_plane_scalar(&mut want, below, mid, above, nx, ny, 0.25, 0.125);
+        pipeline_apps::stencil::stencil_plane(&mut got, below, mid, above, nx, ny, 0.25, 0.125);
+        prop_assert_eq!(&got, &want);
+
+        want.fill(0.0);
+        got.fill(0.0);
+        pipeline_apps::conv3d::conv3d_plane_scalar(&mut want, below, mid, above, nx, ny);
+        pipeline_apps::conv3d::conv3d_plane(&mut got, below, mid, above, nx, ny);
+        prop_assert_eq!(&got, &want);
+    }
+
     #[test]
     fn matmul_random_shapes(
         blocks in 2usize..6,

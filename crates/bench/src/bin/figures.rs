@@ -4,6 +4,7 @@
 //! cargo run --release -p pipeline-bench --bin figures              # all
 //! cargo run --release -p pipeline-bench --bin figures -- fig5      # one
 //! cargo run --release -p pipeline-bench --bin figures -- --csv out # + CSVs
+//! cargo run --release -p pipeline-bench --bin figures -- perf --functional
 //! ```
 
 use std::fs;
@@ -27,6 +28,11 @@ fn main() {
     if let Some(dir) = &csv_dir {
         fs::create_dir_all(dir).expect("create csv dir");
     }
+    let functional = args
+        .iter()
+        .position(|a| a == "--functional")
+        .map(|i| args.remove(i))
+        .is_some();
     let write_csv = |name: &str, content: String| {
         if let Some(dir) = &csv_dir {
             let path = dir.join(name);
@@ -190,7 +196,34 @@ fn main() {
         header("Sweep-engine throughput — fixed figure sweep, serial vs parallel");
         let rep = perf::run(36);
         perf::print(&rep);
-        fs::write("BENCH_sim.json", rep.to_json()).expect("write BENCH_sim.json");
+        if functional {
+            header("Functional kernel bodies — scalar vs blocked, fixed mid-size shapes");
+            let rows = perf::run_functional();
+            perf::print_functional(&rows);
+            let mut csv = String::from(
+                "app,shape,out_elems,reps,scalar_ms,blocked_ms,speedup,scalar_elems_per_sec,blocked_elems_per_sec\n",
+            );
+            for r in &rows {
+                csv.push_str(&format!(
+                    "{},{},{},{},{:.3},{:.3},{:.3},{:.1},{:.1}\n",
+                    r.app,
+                    r.shape,
+                    r.out_elems,
+                    r.reps,
+                    r.scalar_ms,
+                    r.blocked_ms,
+                    r.speedup(),
+                    r.scalar_elems_per_sec(),
+                    r.elems_per_sec(),
+                ));
+            }
+            write_csv("functional.csv", csv);
+            fs::write("BENCH_sim.json", perf::combined_json(&rep, &rows))
+                .expect("write BENCH_sim.json");
+        } else {
+            fs::write("BENCH_sim.json", perf::combined_json(&rep, &[]))
+                .expect("write BENCH_sim.json");
+        }
         eprintln!("wrote BENCH_sim.json");
     }
 }

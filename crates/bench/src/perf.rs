@@ -15,7 +15,7 @@
 
 use std::time::Instant;
 
-use pipeline_apps::QcdConfig;
+use pipeline_apps::{conv3d, matmul, qcd, stencil, QcdConfig};
 use pipeline_rt::{run_naive, run_pipelined, run_pipelined_buffer, sweep_map_threads, sweep_threads};
 
 use crate::gpu_k40m;
@@ -151,9 +151,332 @@ pub fn print(rep: &PerfReport) {
     );
 }
 
+/// Scalar-vs-optimized throughput of one app's functional kernel body.
+///
+/// The functional plane is measured at the body level (host buffers, no
+/// DES around it): `scalar_ms` times the pre-blocking reference body,
+/// `blocked_ms` the borrow-once/cache-blocked body that kernels now run.
+/// Both passes produce output that is asserted bit-identical before the
+/// row is reported.
+#[derive(Debug, Clone)]
+pub struct FuncPerf {
+    /// Application name.
+    pub app: &'static str,
+    /// Problem shape, human-readable.
+    pub shape: String,
+    /// Output elements produced per pass.
+    pub out_elems: u64,
+    /// Passes per measurement.
+    pub reps: usize,
+    /// Wall-clock of the scalar reference passes, milliseconds.
+    pub scalar_ms: f64,
+    /// Wall-clock of the optimized-body passes, milliseconds.
+    pub blocked_ms: f64,
+}
+
+impl FuncPerf {
+    /// Optimized-body speedup over the scalar reference.
+    pub fn speedup(&self) -> f64 {
+        self.scalar_ms / self.blocked_ms.max(1e-9)
+    }
+
+    /// Output elements per wall-clock second through the optimized body.
+    pub fn elems_per_sec(&self) -> f64 {
+        (self.out_elems * self.reps as u64) as f64 / (self.blocked_ms.max(1e-9) / 1e3)
+    }
+
+    /// Output elements per wall-clock second through the scalar body.
+    pub fn scalar_elems_per_sec(&self) -> f64 {
+        (self.out_elems * self.reps as u64) as f64 / (self.scalar_ms.max(1e-9) / 1e3)
+    }
+}
+
+/// Shapes for the functional measurement: one fixed mid-size problem per
+/// app (large enough to leave caches cold between rows, small enough for
+/// a CI smoke run).
+#[derive(Debug, Clone, Copy)]
+pub struct FuncShapes {
+    /// GEMM dimension.
+    pub gemm_n: usize,
+    /// Stencil/conv3d plane edge (nx = ny = ni = nj).
+    pub grid: usize,
+    /// Stencil/conv3d plane count (nz = nk).
+    pub planes: usize,
+    /// QCD spatial extent.
+    pub qcd_n: usize,
+    /// Passes per measurement.
+    pub reps: usize,
+}
+
+impl FuncShapes {
+    /// The fixed mid-size shapes reported by `figures perf --functional`.
+    pub fn mid() -> FuncShapes {
+        FuncShapes {
+            gemm_n: 384,
+            grid: 512,
+            planes: 32,
+            qcd_n: 16,
+            reps: 3,
+        }
+    }
+
+    /// Tiny shapes for unit-testing the measurement plumbing.
+    pub fn tiny() -> FuncShapes {
+        FuncShapes {
+            gemm_n: 32,
+            grid: 24,
+            planes: 6,
+            qcd_n: 4,
+            reps: 2,
+        }
+    }
+}
+
+/// Deterministic pseudo-random fill (no RNG dependency; same values on
+/// every run so the measurement is reproducible).
+fn lcg_fill(seed: u64, len: usize) -> Vec<f32> {
+    let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+    (0..len)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 40) as f32 / (1u64 << 24) as f32) * 2.0 - 1.0
+        })
+        .collect()
+}
+
+/// Time `reps` passes of `f`, after one untimed warm-up pass. The
+/// warm-up faults in freshly allocated output pages and ramps the CPU —
+/// without it, whichever body runs second on a cold 30 MB output buffer
+/// eats ~100 ms of page-fault stalls and the comparison is noise.
+fn time_ms(reps: usize, mut f: impl FnMut()) -> f64 {
+    f();
+    let t = Instant::now();
+    for _ in 0..reps {
+        f();
+    }
+    t.elapsed().as_secs_f64() * 1e3
+}
+
+fn gemm_func(s: FuncShapes) -> FuncPerf {
+    let n = s.gemm_n;
+    let a = lcg_fill(0xA, n * n);
+    let b = lcg_fill(0xB, n * n);
+    let mut c_s = vec![0.0f32; n * n];
+    let mut c_b = vec![0.0f32; n * n];
+    let scalar_ms = time_ms(s.reps, || {
+        c_s.fill(0.0);
+        matmul::gemm_scalar(&mut c_s, &a, &b, n);
+    });
+    let blocked_ms = time_ms(s.reps, || {
+        c_b.fill(0.0);
+        matmul::gemm_rank_update(&mut c_b, n, &a, n, &b, n);
+    });
+    assert_eq!(c_s, c_b, "blocked GEMM diverged from the scalar reference");
+    FuncPerf {
+        app: "gemm",
+        shape: format!("{n}x{n}"),
+        out_elems: (n * n) as u64,
+        reps: s.reps,
+        scalar_ms,
+        blocked_ms,
+    }
+}
+
+/// A 7-point stencil plane body: `(out, below, mid, above, nx, ny, c0, c1)`.
+type StencilBody = fn(&mut [f32], &[f32], &[f32], &[f32], usize, usize, f32, f32);
+/// An 11-tap conv3d plane body: `(out, km, kmid, kp, ni, nj)`.
+type Conv3dBody = fn(&mut [f32], &[f32], &[f32], &[f32], usize, usize);
+
+fn stencil_func(s: FuncShapes) -> FuncPerf {
+    // A sweep is ~25 ms at the mid shape vs GEMM's ~200 ms; scale reps
+    // so the measurement window stays comparable.
+    let reps = s.reps * 4;
+    let (nx, ny, nz) = (s.grid, s.grid, s.planes);
+    let plane = nx * ny;
+    let a0 = lcg_fill(0x57, plane * nz);
+    let (c0, c1) = (1.0 / 6.0, 1.0 / 36.0);
+    let mut o_s = vec![0.0f32; plane * nz];
+    let mut o_b = vec![0.0f32; plane * nz];
+    let sweep = |out: &mut [f32], body: StencilBody| {
+        for k in 1..nz - 1 {
+            let (below, rest) = a0[(k - 1) * plane..].split_at(plane);
+            let (mid, rest) = rest.split_at(plane);
+            let above = &rest[..plane];
+            body(&mut out[k * plane..(k + 1) * plane], below, mid, above, nx, ny, c0, c1);
+        }
+    };
+    let scalar_ms = time_ms(reps, || sweep(&mut o_s, stencil::stencil_plane_scalar));
+    let blocked_ms = time_ms(reps, || sweep(&mut o_b, stencil::stencil_plane));
+    assert_eq!(o_s, o_b, "sliced stencil diverged from the scalar reference");
+    FuncPerf {
+        app: "stencil",
+        shape: format!("{nx}x{ny}x{nz}"),
+        out_elems: (plane * (nz - 2)) as u64,
+        reps,
+        scalar_ms,
+        blocked_ms,
+    }
+}
+
+fn conv3d_func(s: FuncShapes) -> FuncPerf {
+    let reps = s.reps * 4;
+    let (ni, nj, nk) = (s.grid, s.grid, s.planes);
+    let plane = ni * nj;
+    let a = lcg_fill(0xC0, plane * nk);
+    let mut o_s = vec![0.0f32; plane * nk];
+    let mut o_b = vec![0.0f32; plane * nk];
+    let sweep = |out: &mut [f32], body: Conv3dBody| {
+        for k in 1..nk - 1 {
+            let (km, rest) = a[(k - 1) * plane..].split_at(plane);
+            let (kmid, rest) = rest.split_at(plane);
+            let kp = &rest[..plane];
+            body(&mut out[k * plane..(k + 1) * plane], km, kmid, kp, ni, nj);
+        }
+    };
+    let scalar_ms = time_ms(reps, || sweep(&mut o_s, conv3d::conv3d_plane_scalar));
+    let blocked_ms = time_ms(reps, || sweep(&mut o_b, conv3d::conv3d_plane));
+    assert_eq!(o_s, o_b, "sliced conv3d diverged from the scalar reference");
+    FuncPerf {
+        app: "conv3d",
+        shape: format!("{ni}x{nj}x{nk}"),
+        out_elems: (plane * (nk - 2)) as u64,
+        reps,
+        scalar_ms,
+        blocked_ms,
+    }
+}
+
+fn qcd_func(s: FuncShapes) -> FuncPerf {
+    let reps = s.reps * 8;
+    let n = s.qcd_n;
+    let vol3 = n * n * n;
+    let (ps, us) = (vol3 * qcd::PSI_SITE, vol3 * qcd::U_SITE);
+    let psi = lcg_fill(0x9C1, 3 * ps);
+    let u = lcg_fill(0x9C2, 2 * us);
+    let f = lcg_fill(0x9C3, 2 * us);
+    let slices = qcd::HopSlices {
+        psi_m: &psi[..ps],
+        psi_0: &psi[ps..2 * ps],
+        psi_p: &psi[2 * ps..],
+        u_m: &u[..us],
+        u_0: &u[us..],
+        f_m: &f[..us],
+        f_0: &f[us..],
+    };
+    let mut o_s = vec![0.0f32; ps];
+    let mut o_b = vec![0.0f32; ps];
+    let scalar_ms = time_ms(reps, || qcd::hopping_sweep_scalar(n, &slices, &mut o_s));
+    let blocked_ms = time_ms(reps, || qcd::hopping_sweep(n, &slices, &mut o_b));
+    assert_eq!(o_s, o_b, "flattened QCD sweep diverged from the scalar reference");
+    FuncPerf {
+        app: "qcd",
+        shape: format!("{n}^3 slice, {} rhs", qcd::N_RHS),
+        out_elems: ps as u64,
+        reps,
+        scalar_ms,
+        blocked_ms,
+    }
+}
+
+/// Measure every app's functional body, scalar vs optimized, at the
+/// given shapes.
+pub fn run_functional_with(shapes: FuncShapes) -> Vec<FuncPerf> {
+    vec![
+        gemm_func(shapes),
+        stencil_func(shapes),
+        conv3d_func(shapes),
+        qcd_func(shapes),
+    ]
+}
+
+/// Measure the functional plane at the fixed mid-size shapes.
+pub fn run_functional() -> Vec<FuncPerf> {
+    run_functional_with(FuncShapes::mid())
+}
+
+/// Print the functional measurement as a table.
+pub fn print_functional(rows: &[FuncPerf]) {
+    println!(
+        "{:<10} {:>14} {:>12} {:>12} {:>9} {:>16} {:>16}",
+        "app", "shape", "scalar ms", "blocked ms", "speedup", "scalar elems/s", "blocked elems/s"
+    );
+    for r in rows {
+        println!(
+            "{:<10} {:>14} {:>12.2} {:>12.2} {:>8.2}x {:>16.3e} {:>16.3e}",
+            r.app,
+            r.shape,
+            r.scalar_ms,
+            r.blocked_ms,
+            r.speedup(),
+            r.scalar_elems_per_sec(),
+            r.elems_per_sec(),
+        );
+    }
+}
+
+/// The `BENCH_sim.json` payload covering both planes: the timing-mode
+/// sweep throughput and (when measured) the functional-mode kernel-body
+/// throughput per app.
+pub fn combined_json(sweep: &PerfReport, functional: &[FuncPerf]) -> String {
+    let mut s = String::from("{\n  \"sweep\": ");
+    let sweep_json = sweep.to_json();
+    s.push_str(&sweep_json.trim_end().replace('\n', "\n  "));
+    s.push_str(",\n  \"functional\": [");
+    for (i, f) in functional.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "\n    {{ \"app\": \"{}\", \"shape\": \"{}\", \"out_elems\": {}, \"reps\": {}, \"scalar_ms\": {:.3}, \"blocked_ms\": {:.3}, \"speedup\": {:.3}, \"scalar_elems_per_sec\": {:.1}, \"blocked_elems_per_sec\": {:.1} }}",
+            f.app,
+            f.shape,
+            f.out_elems,
+            f.reps,
+            f.scalar_ms,
+            f.blocked_ms,
+            f.speedup(),
+            f.scalar_elems_per_sec(),
+            f.elems_per_sec(),
+        ));
+    }
+    if !functional.is_empty() {
+        s.push_str("\n  ");
+    }
+    s.push_str("]\n}\n");
+    s
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn functional_perf_is_consistent() {
+        // Tiny shapes: smoke-tests the measurement plumbing and the
+        // bit-equality asserts inside each app measurement.
+        let rows = run_functional_with(FuncShapes::tiny());
+        assert_eq!(rows.len(), 4);
+        for r in &rows {
+            assert!(r.out_elems > 0);
+            assert!(r.scalar_ms >= 0.0 && r.blocked_ms >= 0.0);
+            assert!(r.elems_per_sec() > 0.0);
+        }
+        let rep = PerfReport {
+            n: 8,
+            trials: 1,
+            threads: 1,
+            commands: 1,
+            serial_ms: 1.0,
+            parallel_ms: 1.0,
+        };
+        let json = combined_json(&rep, &rows);
+        assert!(json.contains("\"sweep\""));
+        assert!(json.contains("\"functional\""));
+        assert!(json.contains("\"app\": \"gemm\""));
+        assert!(json.contains("\"blocked_elems_per_sec\""));
+    }
 
     #[test]
     fn perf_report_is_consistent() {

@@ -4,7 +4,7 @@ use std::cell::{Ref, RefMut};
 use std::fmt;
 
 use crate::error::SimResult;
-use crate::mem::{DevPtr, HostBufId, MemPool};
+use crate::mem::{AllocRead, AllocWrite, DevPtr, HostBufId, MemPool};
 use crate::time::SimTime;
 
 /// Identifier of a stream (FIFO command queue). Stream 0 is the default
@@ -61,6 +61,23 @@ impl<'a> KernelCtx<'a> {
     /// Borrow `len` device elements at `ptr` for writing.
     pub fn write(&self, ptr: DevPtr, len: usize) -> SimResult<RefMut<'a, [f32]>> {
         self.pool.dev_slice_mut(ptr, len)
+    }
+
+    /// Resolve the allocation behind `ptr` into a read view once.
+    ///
+    /// A kernel body that touches many slices of the same buffer should
+    /// take one view up front and slice through it — each
+    /// [`AllocRead::slice`] is a single bounds comparison, where
+    /// [`read`](KernelCtx::read) re-validates the allocation and
+    /// re-borrows its `RefCell` on every call.
+    pub fn read_view(&self, ptr: DevPtr) -> SimResult<AllocRead<'a>> {
+        self.pool.dev_read(ptr.alloc_id())
+    }
+
+    /// Resolve the allocation behind `ptr` into a write view once (the
+    /// mutable counterpart of [`read_view`](KernelCtx::read_view)).
+    pub fn write_view(&self, ptr: DevPtr) -> SimResult<AllocWrite<'a>> {
+        self.pool.dev_write(ptr.alloc_id())
     }
 
     /// Length in elements of the allocation behind `ptr`.

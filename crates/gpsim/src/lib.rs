@@ -69,7 +69,10 @@ pub use cmd::{
 };
 pub use counters::{Counters, TimelineEntry, TimelineKind};
 pub use error::{SimError, SimResult};
-pub use mem::{DevAllocId, DevPtr, ExecMode, HostBufId, HostPool, ELEM_BYTES, PITCH_ALIGN_ELEMS};
+pub use mem::{
+    AllocRead, AllocWrite, DevAllocId, DevPtr, ExecMode, HostBufId, HostPool, ELEM_BYTES,
+    PITCH_ALIGN_ELEMS,
+};
 pub use profile::DeviceProfile;
 pub use sim::Gpu;
 pub use trace::{render_gantt, to_chrome_trace, utilization, Utilization};

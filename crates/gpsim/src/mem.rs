@@ -33,6 +33,68 @@ pub const ELEM_BYTES: u64 = 4;
 /// `cudaMallocPitch` alignment).
 pub const PITCH_ALIGN_ELEMS: usize = 64;
 
+// Error constructors live out of line so accessor happy paths compile to
+// a bounds comparison plus a branch to a cold stub — no `format!` machinery
+// or closure captures inline (the per-row copy loop used to pay for both).
+
+#[cold]
+#[inline(never)]
+fn err_bad_dev(id: DevAllocId) -> SimError {
+    SimError::InvalidDevicePointer(format!("{id:?}"))
+}
+
+#[cold]
+#[inline(never)]
+fn err_freed_dev(id: DevAllocId) -> SimError {
+    SimError::InvalidDevicePointer(format!("{id:?} was freed"))
+}
+
+#[cold]
+#[inline(never)]
+fn err_dev_oob(kind: &str, ptr: DevPtr, end: usize, len: usize) -> SimError {
+    SimError::OutOfRange {
+        what: format!("device {kind} at {:?}+{}", ptr.alloc, ptr.offset),
+        end,
+        len,
+    }
+}
+
+#[cold]
+#[inline(never)]
+fn err_view_mismatch(view: DevAllocId, ptr: DevAllocId) -> SimError {
+    SimError::InvalidDevicePointer(format!(
+        "view of {view:?} used with a pointer into {ptr:?}"
+    ))
+}
+
+#[cold]
+#[inline(never)]
+fn err_bad_host(id: HostBufId) -> SimError {
+    SimError::InvalidHostBuffer(format!("{id:?}"))
+}
+
+#[cold]
+#[inline(never)]
+fn err_freed_host(id: HostBufId) -> SimError {
+    SimError::InvalidHostBuffer(format!("{id:?} was freed"))
+}
+
+#[cold]
+#[inline(never)]
+fn err_host_oob(kind: &str, id: HostBufId, off: usize, end: usize, len: usize) -> SimError {
+    SimError::OutOfRange {
+        what: format!("host {kind} at {id:?}+{off}"),
+        end,
+        len,
+    }
+}
+
+#[cold]
+#[inline(never)]
+fn err_timing(what: &'static str) -> SimError {
+    SimError::TimingOnly(what.into())
+}
+
 /// Whether the simulation executes data movement/kernels functionally or
 /// only models their timing.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -73,6 +135,115 @@ impl DevPtr {
     /// The allocation this pointer refers to.
     pub fn alloc_id(self) -> DevAllocId {
         self.alloc
+    }
+}
+
+/// Read view of one whole device allocation, resolved once.
+///
+/// Obtained from [`MemPool::dev_read`] (or
+/// [`KernelCtx::read_view`](crate::KernelCtx::read_view) inside a kernel
+/// body). The allocation table is consulted and the `RefCell` borrowed a
+/// single time when the view is created; every subsequent
+/// [`slice`](AllocRead::slice) is a bounds comparison on the already
+/// resolved storage. This is what lets a strided copy or a multi-slice
+/// kernel body touch thousands of rows without re-validating the
+/// allocation per row.
+pub struct AllocRead<'a> {
+    pub(crate) id: DevAllocId,
+    pub(crate) data: Ref<'a, Vec<f32>>,
+}
+
+impl AllocRead<'_> {
+    /// The allocation this view resolves.
+    pub fn id(&self) -> DevAllocId {
+        self.id
+    }
+
+    /// `len` elements starting at `ptr`. Single bounds comparison; the
+    /// pointer must point into this view's allocation.
+    #[inline]
+    pub fn slice(&self, ptr: DevPtr, len: usize) -> SimResult<&[f32]> {
+        if ptr.alloc != self.id {
+            return Err(err_view_mismatch(self.id, ptr.alloc));
+        }
+        match self.data.get(ptr.offset..ptr.offset + len) {
+            Some(s) => Ok(s),
+            None => Err(err_dev_oob("read", ptr, ptr.offset + len, self.data.len())),
+        }
+    }
+
+    /// The entire allocation.
+    pub fn all(&self) -> &[f32] {
+        &self.data
+    }
+}
+
+impl std::fmt::Debug for AllocRead<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AllocRead")
+            .field("id", &self.id)
+            .field("len", &self.data.len())
+            .finish()
+    }
+}
+
+/// Write view of one whole device allocation, resolved once.
+///
+/// The mutable counterpart of [`AllocRead`]; obtained from
+/// [`MemPool::dev_write`] or
+/// [`KernelCtx::write_view`](crate::KernelCtx::write_view). Holding it
+/// excludes every other view of the same allocation (a data race on a
+/// real device), exactly like `dev_slice_mut`.
+pub struct AllocWrite<'a> {
+    pub(crate) id: DevAllocId,
+    pub(crate) data: RefMut<'a, Vec<f32>>,
+}
+
+impl AllocWrite<'_> {
+    /// The allocation this view resolves.
+    pub fn id(&self) -> DevAllocId {
+        self.id
+    }
+
+    /// `len` elements starting at `ptr`, mutable. Single bounds
+    /// comparison; the pointer must point into this view's allocation.
+    #[inline]
+    pub fn slice_mut(&mut self, ptr: DevPtr, len: usize) -> SimResult<&mut [f32]> {
+        if ptr.alloc != self.id {
+            return Err(err_view_mismatch(self.id, ptr.alloc));
+        }
+        let avail = self.data.len();
+        match self.data.get_mut(ptr.offset..ptr.offset + len) {
+            Some(s) => Ok(s),
+            None => Err(err_dev_oob("write", ptr, ptr.offset + len, avail)),
+        }
+    }
+
+    /// `len` elements starting at `ptr`, read-only (peeking at data the
+    /// same kernel also writes, e.g. an accumulator).
+    #[inline]
+    pub fn slice(&self, ptr: DevPtr, len: usize) -> SimResult<&[f32]> {
+        if ptr.alloc != self.id {
+            return Err(err_view_mismatch(self.id, ptr.alloc));
+        }
+        match self.data.get(ptr.offset..ptr.offset + len) {
+            Some(s) => Ok(s),
+            None => Err(err_dev_oob("read", ptr, ptr.offset + len, self.data.len())),
+        }
+    }
+
+    /// The entire allocation, mutable.
+    pub fn all_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+}
+
+impl std::fmt::Debug for AllocWrite<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AllocWrite")
+            .field("id", &self.id)
+            .field("len", &self.data.len())
+            .finish()
     }
 }
 
@@ -146,10 +317,10 @@ impl HostPool {
 
     pub(crate) fn free(&self, id: HostBufId) -> SimResult<()> {
         let mut inner = self.inner.borrow_mut();
-        let h = inner
-            .bufs
-            .get_mut(id.0 as usize)
-            .ok_or_else(|| SimError::InvalidHostBuffer(format!("{id:?}")))?;
+        let h = match inner.bufs.get_mut(id.0 as usize) {
+            Some(h) => h,
+            None => return Err(err_bad_host(id)),
+        };
         if h.freed {
             return Err(SimError::InvalidHostBuffer(format!("double free of {id:?}")));
         }
@@ -160,12 +331,12 @@ impl HostPool {
 
     fn with_live<T>(&self, id: HostBufId, f: impl FnOnce(&HostBuf) -> SimResult<T>) -> SimResult<T> {
         let inner = self.inner.borrow();
-        let h = inner
-            .bufs
-            .get(id.0 as usize)
-            .ok_or_else(|| SimError::InvalidHostBuffer(format!("{id:?}")))?;
+        let h = match inner.bufs.get(id.0 as usize) {
+            Some(h) => h,
+            None => return Err(err_bad_host(id)),
+        };
         if h.freed {
-            return Err(SimError::InvalidHostBuffer(format!("{id:?} was freed")));
+            return Err(err_freed_host(id));
         }
         f(h)
     }
@@ -189,16 +360,12 @@ impl HostPool {
         self.with_live(id, |h| {
             let end = off + len;
             if end > h.len {
-                return Err(SimError::OutOfRange {
-                    what: format!("host read at {id:?}+{off}"),
-                    end,
-                    len: h.len,
-                });
+                return Err(err_host_oob("read", id, off, end, h.len));
             }
-            let data = h
-                .data
-                .as_ref()
-                .ok_or_else(|| SimError::TimingOnly("host data access in timing mode".into()))?;
+            let data = match h.data.as_ref() {
+                Some(d) => d,
+                None => return Err(err_timing("host data access in timing mode")),
+            };
             Ok(f(&data.borrow()[off..end]))
         })
     }
@@ -214,16 +381,12 @@ impl HostPool {
         self.with_live(id, |h| {
             let end = off + len;
             if end > h.len {
-                return Err(SimError::OutOfRange {
-                    what: format!("host write at {id:?}+{off}"),
-                    end,
-                    len: h.len,
-                });
+                return Err(err_host_oob("write", id, off, end, h.len));
             }
-            let data = h
-                .data
-                .as_ref()
-                .ok_or_else(|| SimError::TimingOnly("host data access in timing mode".into()))?;
+            let data = match h.data.as_ref() {
+                Some(d) => d,
+                None => return Err(err_timing("host data access in timing mode")),
+            };
             Ok(f(&mut data.borrow_mut()[off..end]))
         })
     }
@@ -321,10 +484,10 @@ impl MemPool {
     }
 
     pub fn free(&mut self, ptr: DevPtr) -> SimResult<()> {
-        let a = self
-            .allocs
-            .get_mut(ptr.alloc.0 as usize)
-            .ok_or_else(|| SimError::InvalidDevicePointer(format!("{ptr:?}")))?;
+        let a = match self.allocs.get_mut(ptr.alloc.0 as usize) {
+            Some(a) => a,
+            None => return Err(err_bad_dev(ptr.alloc)),
+        };
         if a.freed {
             return Err(SimError::InvalidDevicePointer(format!(
                 "double free of {:?}",
@@ -343,33 +506,52 @@ impl MemPool {
     }
 
     pub fn alloc_len(&self, id: DevAllocId) -> SimResult<usize> {
-        let a = self
-            .allocs
-            .get(id.0 as usize)
-            .ok_or_else(|| SimError::InvalidDevicePointer(format!("{id:?}")))?;
-        if a.freed {
-            return Err(SimError::InvalidDevicePointer(format!("{id:?} was freed")));
-        }
-        Ok(a.len)
+        Ok(self.live_alloc(id)?.len)
     }
 
     pub fn alloc_pitch(&self, id: DevAllocId) -> SimResult<Option<usize>> {
-        let a = self
-            .allocs
-            .get(id.0 as usize)
-            .ok_or_else(|| SimError::InvalidDevicePointer(format!("{id:?}")))?;
+        let a = match self.allocs.get(id.0 as usize) {
+            Some(a) => a,
+            None => return Err(err_bad_dev(id)),
+        };
         Ok(a.pitch)
     }
 
     fn live_alloc(&self, id: DevAllocId) -> SimResult<&DevAlloc> {
-        let a = self
-            .allocs
-            .get(id.0 as usize)
-            .ok_or_else(|| SimError::InvalidDevicePointer(format!("{id:?}")))?;
+        let a = match self.allocs.get(id.0 as usize) {
+            Some(a) => a,
+            None => return Err(err_bad_dev(id)),
+        };
         if a.freed {
-            return Err(SimError::InvalidDevicePointer(format!("{id:?} was freed")));
+            return Err(err_freed_dev(id));
         }
         Ok(a)
+    }
+
+    /// Resolve a live functional allocation to its backing storage.
+    fn live_data(&self, id: DevAllocId) -> SimResult<&RefCell<Vec<f32>>> {
+        match self.live_alloc(id)?.data.as_ref() {
+            Some(d) => Ok(d),
+            None => Err(err_timing("device data access in timing mode")),
+        }
+    }
+
+    /// Resolve `id` to a read view of its whole backing store, once.
+    /// Slicing through the view afterwards costs a single bounds
+    /// comparison — no allocation-table lookup, no liveness re-check.
+    pub fn dev_read(&self, id: DevAllocId) -> SimResult<AllocRead<'_>> {
+        Ok(AllocRead {
+            id,
+            data: self.live_data(id)?.borrow(),
+        })
+    }
+
+    /// Resolve `id` to a write view of its whole backing store, once.
+    pub fn dev_write(&self, id: DevAllocId) -> SimResult<AllocWrite<'_>> {
+        Ok(AllocWrite {
+            id,
+            data: self.live_data(id)?.borrow_mut(),
+        })
     }
 
     /// Borrow `len` device elements starting at `ptr` for reading.
@@ -377,15 +559,12 @@ impl MemPool {
         let a = self.live_alloc(ptr.alloc)?;
         let end = ptr.offset + len;
         if end > a.len {
-            return Err(SimError::OutOfRange {
-                what: format!("device read at {:?}+{}", ptr.alloc, ptr.offset),
-                end,
-                len: a.len,
-            });
+            return Err(err_dev_oob("read", ptr, end, a.len));
         }
-        let data = a.data.as_ref().ok_or_else(|| {
-            SimError::TimingOnly("device data access in timing mode".into())
-        })?;
+        let data = match a.data.as_ref() {
+            Some(d) => d,
+            None => return Err(err_timing("device data access in timing mode")),
+        };
         Ok(Ref::map(data.borrow(), |v| &v[ptr.offset..end]))
     }
 
@@ -394,15 +573,12 @@ impl MemPool {
         let a = self.live_alloc(ptr.alloc)?;
         let end = ptr.offset + len;
         if end > a.len {
-            return Err(SimError::OutOfRange {
-                what: format!("device write at {:?}+{}", ptr.alloc, ptr.offset),
-                end,
-                len: a.len,
-            });
+            return Err(err_dev_oob("write", ptr, end, a.len));
         }
-        let data = a.data.as_ref().ok_or_else(|| {
-            SimError::TimingOnly("device data access in timing mode".into())
-        })?;
+        let data = match a.data.as_ref() {
+            Some(d) => d,
+            None => return Err(err_timing("device data access in timing mode")),
+        };
         Ok(RefMut::map(data.borrow_mut(), |v| &mut v[ptr.offset..end]))
     }
 
@@ -579,6 +755,47 @@ mod tests {
         let mut wb = p.dev_slice_mut(b, 8).unwrap();
         wb[0] = ra[0] + 1.0;
         assert_eq!(wb[0], 1.0);
+    }
+
+    #[test]
+    fn borrow_once_views_match_per_slice_access() {
+        let mut p = pool();
+        let a = p.alloc(64).unwrap();
+        let b = p.alloc(64).unwrap();
+        {
+            let mut w = p.dev_write(a.alloc_id()).unwrap();
+            for (i, v) in w.all_mut().iter_mut().enumerate() {
+                *v = i as f32;
+            }
+            // Pointer into a different allocation is rejected, not read.
+            assert!(w.slice_mut(b, 4).is_err());
+        }
+        let r = p.dev_read(a.alloc_id()).unwrap();
+        assert_eq!(r.slice(a.add(8), 4).unwrap(), &[8.0, 9.0, 10.0, 11.0]);
+        assert_eq!(&*p.dev_slice(a.add(8), 4).unwrap(), r.slice(a.add(8), 4).unwrap());
+        // One past the end fails with the same error class as dev_slice.
+        assert!(matches!(
+            r.slice(a.add(62), 3).unwrap_err(),
+            SimError::OutOfRange { .. }
+        ));
+        assert!(r.slice(b, 4).is_err());
+    }
+
+    #[test]
+    fn views_deny_timing_mode_and_freed_allocs() {
+        let mut t = timing_pool(1 << 20);
+        let a = t.alloc(16).unwrap();
+        assert!(matches!(
+            t.dev_read(a.alloc_id()).unwrap_err(),
+            SimError::TimingOnly(_)
+        ));
+        let mut p = pool();
+        let b = p.alloc(16).unwrap();
+        p.free(b).unwrap();
+        assert!(matches!(
+            p.dev_write(b.alloc_id()).unwrap_err(),
+            SimError::InvalidDevicePointer(_)
+        ));
     }
 
     #[test]

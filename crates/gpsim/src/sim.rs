@@ -919,17 +919,25 @@ impl Gpu {
                 self.counters.h2d_bytes += c.elems() as u64 * ELEM_BYTES;
                 self.counters.h2d_count += 1;
                 if functional {
-                    for r in 0..c.rows {
-                        let mut d = self
-                            .pool
-                            .dev_slice_mut(c.dev.add(r * c.dev_stride), c.row_elems)?;
-                        self.pool.with_host(
-                            c.host,
-                            c.host_off + r * c.host_stride,
-                            c.row_elems,
-                            |src| d.copy_from_slice(src),
-                        )?;
-                    }
+                    // One device borrow + one host borrow for the whole
+                    // command (spans were validated at enqueue time);
+                    // contiguous layouts collapse to a single memcpy.
+                    let dev_span = (c.rows - 1) * c.dev_stride + c.row_elems;
+                    let host_span = (c.rows - 1) * c.host_stride + c.row_elems;
+                    let mut view = self.pool.dev_write(c.dev.alloc_id())?;
+                    let dst = view.slice_mut(c.dev, dev_span)?;
+                    self.pool.with_host(c.host, c.host_off, host_span, |src| {
+                        if c.host_stride == c.row_elems && c.dev_stride == c.row_elems {
+                            dst.copy_from_slice(src);
+                        } else {
+                            for r in 0..c.rows {
+                                dst[r * c.dev_stride..r * c.dev_stride + c.row_elems]
+                                    .copy_from_slice(
+                                        &src[r * c.host_stride..r * c.host_stride + c.row_elems],
+                                    );
+                            }
+                        }
+                    })?;
                 }
             }
             CmdKind::D2H2D(c) => {
@@ -937,15 +945,24 @@ impl Gpu {
                 self.counters.d2h_bytes += c.elems() as u64 * ELEM_BYTES;
                 self.counters.d2h_count += 1;
                 if functional {
-                    for r in 0..c.rows {
-                        let s = self.pool.dev_slice(c.dev.add(r * c.dev_stride), c.row_elems)?;
-                        self.pool.with_host_mut(
-                            c.host,
-                            c.host_off + r * c.host_stride,
-                            c.row_elems,
-                            |d| d.copy_from_slice(&s),
-                        )?;
-                    }
+                    // Mirror of the H2D2D path: borrow once per side,
+                    // memcpy per row (or once when contiguous).
+                    let dev_span = (c.rows - 1) * c.dev_stride + c.row_elems;
+                    let host_span = (c.rows - 1) * c.host_stride + c.row_elems;
+                    let view = self.pool.dev_read(c.dev.alloc_id())?;
+                    let src = view.slice(c.dev, dev_span)?;
+                    self.pool.with_host_mut(c.host, c.host_off, host_span, |dst| {
+                        if c.host_stride == c.row_elems && c.dev_stride == c.row_elems {
+                            dst.copy_from_slice(src);
+                        } else {
+                            for r in 0..c.rows {
+                                dst[r * c.host_stride..r * c.host_stride + c.row_elems]
+                                    .copy_from_slice(
+                                        &src[r * c.dev_stride..r * c.dev_stride + c.row_elems],
+                                    );
+                            }
+                        }
+                    })?;
                 }
             }
             CmdKind::Kernel(k) => {
@@ -969,8 +986,17 @@ impl Gpu {
                 self.counters.kernel_time += dur;
                 self.counters.kernel_count += 1;
                 if functional {
-                    let data: Vec<f32> = self.pool.dev_slice(*src, *elems)?.to_vec();
-                    self.pool.dev_slice_mut(*dst, *elems)?.copy_from_slice(&data);
+                    if src.alloc_id() == dst.alloc_id() {
+                        // Potentially overlapping ranges: stage through a
+                        // temporary, like cudaMemcpy would via the fabric.
+                        let data: Vec<f32> = self.pool.dev_slice(*src, *elems)?.to_vec();
+                        self.pool.dev_slice_mut(*dst, *elems)?.copy_from_slice(&data);
+                    } else {
+                        let rv = self.pool.dev_read(src.alloc_id())?;
+                        let mut wv = self.pool.dev_write(dst.alloc_id())?;
+                        wv.slice_mut(*dst, *elems)?
+                            .copy_from_slice(rv.slice(*src, *elems)?);
+                    }
                 }
             }
             CmdKind::EventRecord(_) | CmdKind::EventWait(_) => unreachable!("pseudo on engine"),
