@@ -10,7 +10,7 @@
 use std::fs;
 use std::path::PathBuf;
 
-use pipeline_bench::{ablate, fig3, fig4, fig56, fig7, fig8, fig910, header, perf};
+use pipeline_bench::{ablate, fig3, fig4, fig56, fig7, fig8, fig910, header, perf, trace};
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
@@ -33,6 +33,23 @@ fn main() {
         .position(|a| a == "--functional")
         .map(|i| args.remove(i))
         .is_some();
+    let smoke = args
+        .iter()
+        .position(|a| a == "--smoke")
+        .map(|i| args.remove(i))
+        .is_some();
+    let trace_dir: PathBuf = args
+        .iter()
+        .position(|a| a == "--trace-out")
+        .map(|i| {
+            let dir = args
+                .get(i + 1)
+                .map(PathBuf::from)
+                .unwrap_or_else(|| PathBuf::from("traces"));
+            args.drain(i..(i + 2).min(args.len()));
+            dir
+        })
+        .unwrap_or_else(|| PathBuf::from("traces"));
     let write_csv = |name: &str, content: String| {
         if let Some(dir) = &csv_dir {
             let path = dir.join(name);
@@ -42,7 +59,7 @@ fn main() {
     };
     const KNOWN: &[&str] = &[
         "all", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
-        "future", "ablations", "perf",
+        "future", "ablations", "perf", "trace",
     ];
     for a in &args {
         if !KNOWN.contains(&a.as_str()) {
@@ -225,5 +242,20 @@ fn main() {
                 .expect("write BENCH_sim.json");
         }
         eprintln!("wrote BENCH_sim.json");
+    }
+    if want("trace") {
+        header(if smoke {
+            "Correlated traces — smoke shapes (3dconv, K40m + HD 7970)"
+        } else {
+            "Correlated traces — paper shapes (all apps on K40m, 3dconv on HD 7970)"
+        });
+        let rows = if smoke { trace::run_smoke() } else { trace::run() };
+        trace::print(&rows);
+        fs::create_dir_all(&trace_dir).expect("create trace dir");
+        for r in &rows {
+            let path = trace_dir.join(r.file_name());
+            fs::write(&path, &r.trace_json).expect("write trace");
+            eprintln!("wrote {}", path.display());
+        }
     }
 }

@@ -19,7 +19,7 @@ use crate::gpu_k40m;
 #[derive(Debug, Clone)]
 pub enum VersionResult {
     /// The run completed.
-    Ok(RunReport),
+    Ok(Box<RunReport>),
     /// Device allocation failed (the paper's rightmost sizes).
     Oom,
 }
@@ -49,7 +49,7 @@ pub struct Fig910Row {
 
 fn to_result(r: Result<RunReport, RtError>) -> VersionResult {
     match r {
-        Ok(rep) => VersionResult::Ok(rep),
+        Ok(rep) => VersionResult::Ok(Box::new(rep)),
         Err(RtError::Sim(gpsim::SimError::OutOfMemory { .. })) => VersionResult::Oom,
         Err(e) => panic!("unexpected error: {e}"),
     }

@@ -40,6 +40,7 @@ pub mod fig8;
 pub mod fig910;
 pub mod future_hw;
 pub mod perf;
+pub mod trace;
 
 use gpsim::{DeviceProfile, ExecMode, Gpu};
 

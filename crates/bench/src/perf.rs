@@ -16,7 +16,10 @@
 use std::time::Instant;
 
 use pipeline_apps::{conv3d, matmul, qcd, stencil, QcdConfig};
-use pipeline_rt::{run_naive, run_pipelined, run_pipelined_buffer, sweep_map_threads, sweep_threads};
+use pipeline_rt::{
+    run_naive, run_pipelined, run_pipelined_buffer, sweep_map_threads, sweep_threads, Stage,
+    StageMetrics,
+};
 
 use crate::gpu_k40m;
 
@@ -43,6 +46,12 @@ pub struct PerfReport {
     pub serial_ms: f64,
     /// Wall-clock of the parallel pass, milliseconds.
     pub parallel_ms: f64,
+    /// Per-chunk latency histograms of the pipelined model, merged
+    /// across every grid cell of the sweep.
+    pub pipelined_latency: StageMetrics,
+    /// Per-chunk latency histograms of the pipelined-buffer model,
+    /// merged across every grid cell.
+    pub buffer_latency: StageMetrics,
 }
 
 impl PerfReport {
@@ -59,8 +68,28 @@ impl PerfReport {
 
     /// The `BENCH_sim.json` payload.
     pub fn to_json(&self) -> String {
+        let mut latency_rows = String::new();
+        for (model, m) in [
+            ("pipelined", &self.pipelined_latency),
+            ("pipelined_buffer", &self.buffer_latency),
+        ] {
+            for stage in Stage::ALL {
+                let h = m.stage(stage);
+                if !latency_rows.is_empty() {
+                    latency_rows.push(',');
+                }
+                latency_rows.push_str(&format!(
+                    "\n    {{ \"model\": \"{model}\", \"stage\": \"{}\", \"count\": {}, \"p50_ns\": {}, \"p95_ns\": {}, \"max_ns\": {} }}",
+                    stage.name(),
+                    h.count(),
+                    h.p50_ns(),
+                    h.p95_ns(),
+                    h.max_ns(),
+                ));
+            }
+        }
         format!(
-            "{{\n  \"workload\": \"qcd n={} naive+pipelined+buffer per cell, {} chunk x stream cells (fig5-style sweep)\",\n  \"trials\": {},\n  \"threads\": {},\n  \"commands\": {},\n  \"serial_ms\": {:.3},\n  \"parallel_ms\": {:.3},\n  \"speedup\": {:.3},\n  \"commands_per_sec\": {:.1}\n}}\n",
+            "{{\n  \"workload\": \"qcd n={} naive+pipelined+buffer per cell, {} chunk x stream cells (fig5-style sweep)\",\n  \"trials\": {},\n  \"threads\": {},\n  \"commands\": {},\n  \"serial_ms\": {:.3},\n  \"parallel_ms\": {:.3},\n  \"speedup\": {:.3},\n  \"commands_per_sec\": {:.1},\n  \"chunk_latency\": [{latency_rows}\n  ]\n}}\n",
             self.n,
             self.trials,
             self.trials,
@@ -75,8 +104,10 @@ impl PerfReport {
 }
 
 /// Run one grid cell on a fresh context — all three execution models, as
-/// a Figure-5 column does — and return the total device-command count.
-fn run_cell(n: usize, chunk: usize, streams: usize) -> u64 {
+/// a Figure-5 column does — and return the total device-command count
+/// plus the pipelined/buffered per-chunk stage metrics (deterministic,
+/// so the serial≡parallel assert covers them too).
+fn run_cell(n: usize, chunk: usize, streams: usize) -> (u64, StageMetrics, StageMetrics) {
     let mut gpu = gpu_k40m();
     let mut cfg = QcdConfig::paper_size(n);
     cfg.chunk = chunk;
@@ -86,7 +117,11 @@ fn run_cell(n: usize, chunk: usize, streams: usize) -> u64 {
     let naive = run_naive(&mut gpu, &inst.region, &builder).expect("naive run");
     let pipe = run_pipelined(&mut gpu, &inst.region, &builder).expect("pipelined run");
     let buf = run_pipelined_buffer(&mut gpu, &inst.region, &builder).expect("buffer run");
-    naive.commands + pipe.commands + buf.commands
+    (
+        naive.commands + pipe.commands + buf.commands,
+        pipe.stage_metrics,
+        buf.stage_metrics,
+    )
 }
 
 /// Grid repetitions in one measured pass: the optimized DES retires a
@@ -117,13 +152,22 @@ pub fn run_with_threads(n: usize, threads: usize) -> PerfReport {
         "parallel sweep diverged from the serial reference"
     );
 
+    let mut pipelined_latency = StageMetrics::default();
+    let mut buffer_latency = StageMetrics::default();
+    for (_, p, b) in &parallel {
+        pipelined_latency.merge(p);
+        buffer_latency.merge(b);
+    }
+
     PerfReport {
         n,
         trials,
         threads,
-        commands: parallel.iter().sum(),
+        commands: parallel.iter().map(|(c, _, _)| c).sum(),
         serial_ms,
         parallel_ms,
+        pipelined_latency,
+        buffer_latency,
     }
 }
 
@@ -470,6 +514,8 @@ mod tests {
             commands: 1,
             serial_ms: 1.0,
             parallel_ms: 1.0,
+            pipelined_latency: StageMetrics::default(),
+            buffer_latency: StageMetrics::default(),
         };
         let json = combined_json(&rep, &rows);
         assert!(json.contains("\"sweep\""));
@@ -487,8 +533,16 @@ mod tests {
         assert!(rep.commands > 0);
         assert!(rep.serial_ms > 0.0 && rep.parallel_ms > 0.0);
         assert!(rep.speedup() > 0.0);
+        // Every cell ran chunks through both pipelined models, so the
+        // merged per-chunk histograms must have samples.
+        assert!(rep.pipelined_latency.kernel.count() > 0);
+        assert!(rep.buffer_latency.h2d.count() > 0);
         let json = rep.to_json();
         assert!(json.contains("\"speedup\""));
         assert!(json.contains("\"commands_per_sec\""));
+        assert!(json.contains("\"chunk_latency\""));
+        assert!(json.contains("\"stage\": \"slot_wait\""));
+        // The whole payload must stay parseable.
+        gpsim::json::parse(&json).expect("BENCH_sim sweep JSON parses");
     }
 }

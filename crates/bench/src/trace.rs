@@ -1,0 +1,257 @@
+//! `figures trace` — correlated host/device trace export with stall
+//! attribution, one run per app × pipelined model × device profile.
+//!
+//! For every run this module emits a Perfetto-loadable `.trace.json`
+//! (host spans, device spans, flow links, counter tracks), prints an
+//! ASCII Gantt, and prints the stall-attribution table that explains
+//! where the makespan went — the simulator's stand-in for the paper's
+//! NVIDIA Visual Profiler sessions (§V-A). Every export is
+//! self-validated before it is written: the JSON must parse and every
+//! device slice must have a matching flow begin.
+
+use gpsim::json::Json;
+use gpsim::{render_attribution, render_gantt, to_perfetto_trace, Gpu, TimelineEntry};
+use pipeline_apps::{Conv3dConfig, QcdConfig, StencilConfig};
+use pipeline_rt::{
+    run_pipelined, run_pipelined_buffer, ExecModel, KernelBuilder, Region, RunReport,
+};
+
+use crate::{gpu_hd7970, gpu_k40m};
+
+/// One traced run: the report plus its renderings.
+#[derive(Debug, Clone)]
+pub struct TraceRow {
+    /// Application name (`3dconv`, `stencil`, `qcd`).
+    pub app: &'static str,
+    /// Device profile name (`k40m`, `hd7970`).
+    pub profile: &'static str,
+    /// Execution model of the run.
+    pub model: ExecModel,
+    /// The run's measurement report (stalls, stage metrics, counters).
+    pub report: RunReport,
+    /// Perfetto-loadable trace document (already validated).
+    pub trace_json: String,
+    /// ASCII Gantt of the device timeline.
+    pub gantt: String,
+    /// Stall-attribution table.
+    pub attribution: String,
+}
+
+impl TraceRow {
+    /// File name for the trace document.
+    pub fn file_name(&self) -> String {
+        let model = match self.model {
+            ExecModel::Naive => "naive",
+            ExecModel::Pipelined => "pipelined",
+            ExecModel::PipelinedBuffer => "buffer",
+        };
+        format!("{}_{}_{}.trace.json", self.app, model, self.profile)
+    }
+}
+
+/// Validate a trace document: it must parse, every device slice must
+/// have a matching flow begin (`ph:"s"` with the slice's seq id), and at
+/// least two counter tracks must be present. Returns an error message
+/// describing the first violation.
+pub fn validate_trace(doc: &str, timeline: &[TimelineEntry]) -> Result<(), String> {
+    let parsed = gpsim::json::parse(doc)?;
+    let events = parsed
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .ok_or("missing traceEvents array")?;
+    let ph = |e: &Json| e.get("ph").and_then(Json::as_str).unwrap_or("").to_string();
+    let flow_starts: Vec<u64> = events
+        .iter()
+        .filter(|e| ph(e) == "s")
+        .filter_map(|e| e.get("id").and_then(Json::as_f64))
+        .map(|id| id as u64)
+        .collect();
+    for t in timeline {
+        if !flow_starts.contains(&t.seq) {
+            return Err(format!(
+                "device slice '{}' (seq {}) has no flow begin",
+                t.label, t.seq
+            ));
+        }
+    }
+    let mut counter_names: Vec<&str> = events
+        .iter()
+        .filter(|e| ph(e) == "C")
+        .filter_map(|e| e.get("name").and_then(Json::as_str))
+        .collect();
+    counter_names.sort_unstable();
+    counter_names.dedup();
+    if counter_names.len() < 2 {
+        return Err(format!(
+            "expected at least 2 counter tracks, found {counter_names:?}"
+        ));
+    }
+    Ok(())
+}
+
+fn trace_one(
+    gpu: &mut Gpu,
+    app: &'static str,
+    profile: &'static str,
+    model: ExecModel,
+    region: &Region,
+    builder: &KernelBuilder<'_>,
+) -> TraceRow {
+    let report = match model {
+        ExecModel::Pipelined => run_pipelined(gpu, region, builder),
+        ExecModel::PipelinedBuffer => run_pipelined_buffer(gpu, region, builder),
+        ExecModel::Naive => unreachable!("trace harness covers the pipelined models"),
+    }
+    .expect("traced run");
+    let trace_json = to_perfetto_trace(gpu.timeline(), gpu.host_spans(), &report.counter_tracks);
+    if let Err(e) = validate_trace(&trace_json, gpu.timeline()) {
+        panic!("{app}/{model}/{profile}: invalid trace export: {e}");
+    }
+    TraceRow {
+        app,
+        profile,
+        model,
+        trace_json,
+        gantt: render_gantt(gpu.timeline(), 64),
+        attribution: render_attribution(&report.stalls),
+        report,
+    }
+}
+
+fn run_app(app: &'static str, profile: &'static str, small: bool) -> Vec<TraceRow> {
+    let mut gpu = match profile {
+        "k40m" => gpu_k40m(),
+        _ => gpu_hd7970(),
+    };
+    let models = [ExecModel::Pipelined, ExecModel::PipelinedBuffer];
+    match app {
+        "3dconv" => {
+            let cfg = if small {
+                Conv3dConfig::test_small()
+            } else if profile == "hd7970" {
+                // The PolyBench default volume does not fit the HD 7970's
+                // 3 GB under the Pipelined model's full-footprint arrays;
+                // use the same shortened volume as the Figure 8 AMD runs.
+                Conv3dConfig { ni: 768, nj: 768, nk: 256, chunk: 1, streams: 3 }
+            } else {
+                Conv3dConfig::polybench_default()
+            };
+            let inst = cfg.setup(&mut gpu).expect("conv3d setup");
+            let builder = cfg.builder();
+            models
+                .iter()
+                .map(|m| trace_one(&mut gpu, app, profile, *m, &inst.region, &builder))
+                .collect()
+        }
+        "stencil" => {
+            let cfg = if small {
+                StencilConfig::test_small()
+            } else {
+                StencilConfig::parboil_default()
+            };
+            let inst = cfg.setup(&mut gpu).expect("stencil setup");
+            let builder = cfg.builder();
+            models
+                .iter()
+                .map(|m| trace_one(&mut gpu, app, profile, *m, &inst.region, &builder))
+                .collect()
+        }
+        _ => {
+            let cfg = if small {
+                QcdConfig::test_small()
+            } else {
+                QcdConfig::paper_size(24)
+            };
+            let inst = cfg.setup(&mut gpu).expect("qcd setup");
+            let builder = cfg.builder();
+            models
+                .iter()
+                .map(|m| trace_one(&mut gpu, app, profile, *m, &inst.region, &builder))
+                .collect()
+        }
+    }
+}
+
+/// Full trace set: every app × {Pipelined, Pipelined-buffer} on the
+/// K40m profile, plus 3dconv on the HD 7970 profile (the paper's
+/// API-overhead comparison, Figure 8).
+pub fn run() -> Vec<TraceRow> {
+    let mut rows = Vec::new();
+    for app in ["3dconv", "stencil", "qcd"] {
+        rows.extend(run_app(app, "k40m", false));
+    }
+    rows.extend(run_app("3dconv", "hd7970", false));
+    rows
+}
+
+/// Small-shape trace set for CI smoke runs: 3dconv on both profiles.
+pub fn run_smoke() -> Vec<TraceRow> {
+    let mut rows = run_app("3dconv", "k40m", true);
+    rows.extend(run_app("3dconv", "hd7970", true));
+    rows
+}
+
+/// Print one row's Gantt and attribution table.
+pub fn print(rows: &[TraceRow]) {
+    for r in rows {
+        println!(
+            "\n-- {} / {} / {} (total {}, {} chunks, {} streams)",
+            r.app,
+            r.model,
+            r.profile,
+            r.report.total,
+            r.report.chunks,
+            r.report.streams
+        );
+        print!("{}", r.gantt);
+        print!("{}", r.attribution);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_traces_validate_and_attribute() {
+        let rows = run_smoke();
+        assert_eq!(rows.len(), 4);
+        for r in &rows {
+            // validate_trace already ran inside trace_one; re-check the
+            // document from the outside plus the attribution invariant.
+            let doc = gpsim::json::parse(&r.trace_json).expect("trace parses");
+            assert!(doc.get("traceEvents").is_some());
+            let span = r.report.stalls.makespan_ns();
+            assert!(span > 0);
+            for bd in &r.report.stalls.engines {
+                assert_eq!(bd.total_ns(), span, "{}/{}", r.app, r.model);
+            }
+            assert!(r.gantt.contains("busy"));
+            assert!(r.attribution.contains("host-api"));
+        }
+    }
+
+    #[test]
+    fn hd7970_pays_more_api_overhead_than_k40m() {
+        // Figure 8's explanation: the AMD runtime's per-call API overhead
+        // (30 µs vs 5 µs on the K40m) eats the pipelining benefit as the
+        // chunk count grows. With identical chunk counts the *absolute*
+        // host time spent inside API calls must be larger on the hd7970
+        // profile for each pipelined model.
+        let rows = run_smoke();
+        let api_ns = |r: &TraceRow| r.report.host_api.as_ns();
+        for model in [ExecModel::Pipelined, ExecModel::PipelinedBuffer] {
+            let pick = |profile: &str| {
+                rows.iter()
+                    .find(|r| r.profile == profile && r.model == model)
+                    .map(api_ns)
+                    .unwrap()
+            };
+            let (nv, amd) = (pick("k40m"), pick("hd7970"));
+            assert!(
+                amd > nv,
+                "{model}: expected hd7970 api-overhead ({amd} ns) > k40m ({nv} ns)"
+            );
+        }
+    }
+}

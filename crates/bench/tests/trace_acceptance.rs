@@ -1,0 +1,71 @@
+//! Acceptance test for the correlated tracing tentpole: every app ×
+//! pipelined model on the default profiles must produce (a) a stall
+//! attribution whose buckets plus busy time sum exactly to the engine
+//! makespan, and (b) a Perfetto trace with host spans, device spans, a
+//! flow link for every device command, and at least two counter tracks.
+
+use gpsim::json::{parse, Json};
+use pipeline_bench::trace;
+
+fn ph(e: &Json) -> &str {
+    e.get("ph").and_then(Json::as_str).unwrap_or("")
+}
+
+fn pid(e: &Json) -> i64 {
+    e.get("pid").and_then(Json::as_f64).unwrap_or(-1.0) as i64
+}
+
+#[test]
+fn traces_attribute_and_correlate_for_every_app_and_model() {
+    let rows = trace::run();
+    // 3 apps x 2 models on k40m, plus 3dconv x 2 models on hd7970.
+    assert_eq!(rows.len(), 8);
+    for app in ["3dconv", "stencil", "qcd"] {
+        assert!(rows.iter().any(|r| r.app == app), "missing app {app}");
+    }
+
+    for r in &rows {
+        let ctx = format!("{}/{}/{}", r.app, r.model, r.profile);
+
+        // (a) Exact stall accounting: busy + all buckets == makespan,
+        // for every engine, in integer nanoseconds.
+        let span = r.report.stalls.makespan_ns();
+        assert!(span > 0, "{ctx}: empty makespan");
+        for bd in &r.report.stalls.engines {
+            assert_eq!(bd.total_ns(), span, "{ctx}: breakdown does not sum");
+        }
+
+        // (b) Trace document structure.
+        let doc = parse(&r.trace_json).unwrap_or_else(|e| panic!("{ctx}: {e}"));
+        let events = doc.get("traceEvents").and_then(Json::as_arr).expect("traceEvents");
+
+        let host_spans = events
+            .iter()
+            .filter(|e| pid(e) == 0 && (ph(e) == "X" || ph(e) == "i"))
+            .count();
+        let device_spans = events.iter().filter(|e| pid(e) == 1 && ph(e) == "X").count();
+        let flow_begins = events.iter().filter(|e| ph(e) == "s").count();
+        let flow_ends = events.iter().filter(|e| ph(e) == "f").count();
+        let mut counters: Vec<&str> = events
+            .iter()
+            .filter(|e| ph(e) == "C")
+            .filter_map(|e| e.get("name").and_then(Json::as_str))
+            .collect();
+        counters.sort_unstable();
+        counters.dedup();
+
+        assert!(host_spans > 0, "{ctx}: no host spans");
+        assert_eq!(
+            device_spans as u64, r.report.commands,
+            "{ctx}: device spans != executed commands"
+        );
+        // Every device command is linked: one flow begin (on the host
+        // enqueue span) and one flow end (on the device slice) each.
+        assert_eq!(flow_begins as u64, r.report.commands, "{ctx}: flow begins");
+        assert_eq!(flow_ends as u64, r.report.commands, "{ctx}: flow ends");
+        assert!(
+            counters.len() >= 2,
+            "{ctx}: expected >= 2 counter tracks, got {counters:?}"
+        );
+    }
+}

@@ -23,7 +23,7 @@
 
 use std::collections::HashMap;
 
-use gpsim::{Copy2D, EventId, Gpu, StreamId};
+use gpsim::{Copy2D, CounterTrack, EventId, Gpu, HostSpanKind, StreamId, WaitCause};
 
 use crate::error::RtResult;
 use crate::exec::{declare_accesses, KernelBuilder, Region};
@@ -75,6 +75,14 @@ fn slot_runs(lo: i64, hi: i64, slots: usize) -> Vec<(i64, usize)> {
 fn push_unique(waits: &mut Vec<EventId>, e: EventId) {
     if !waits.contains(&e) {
         waits.push(e);
+    }
+}
+
+/// [`push_unique`] for cause-tagged waits: dedupe on the event id (the
+/// first cause recorded for an event wins).
+fn push_unique_cause(waits: &mut Vec<(EventId, WaitCause)>, e: EventId, cause: WaitCause) {
+    if !waits.iter().any(|(w, _)| *w == e) {
+        waits.push((e, cause));
     }
 }
 
@@ -312,6 +320,17 @@ fn run_buffer_inner(
 ) -> RtResult<RunReport> {
     gpu.reset_counters();
     let t0 = gpu.now();
+    gpu.push_host_span(
+        format!(
+            "plan(chunks={}, streams={}, slots={:?})",
+            plan.chunks.len(),
+            plan.num_streams,
+            plan.ring_slots
+        ),
+        HostSpanKind::Plan,
+        t0,
+        t0,
+    );
 
     // --- Resolve the chunk → stream assignment -------------------------
     // Done before ring allocation because non-round-robin assignments
@@ -401,6 +420,20 @@ fn run_buffer_inner(
     let mut kernel_ev: Vec<Option<EventId>> = vec![None; n_chunks];
     let mut d2h_ev: Vec<Option<EventId>> = vec![None; n_chunks];
 
+    // Ring-slot occupancy over host time (mapped slots across all rings),
+    // sampled once per chunk — a counter track in the trace export.
+    let mut occupancy: Vec<(u64, f64)> = Vec::new();
+    let mut sample_occupancy = |gpu: &Gpu, books: &[RingBook]| {
+        if gpu.timeline_enabled() {
+            let mapped: usize = books
+                .iter()
+                .map(|b| b.mapped.iter().filter(|m| m.is_some()).count())
+                .sum();
+            occupancy.push((gpu.now().as_ns(), mapped as f64));
+        }
+    };
+    sample_occupancy(gpu, &books);
+
     for (c, &(k0, k1)) in plan.chunks.iter().enumerate() {
         let s = streams[chunk_stream[c]];
         let same_stream = |other: usize| chunk_stream[other] == chunk_stream[c];
@@ -409,7 +442,7 @@ fn run_buffer_inner(
         // (map index, run start slice, run length)
         let mut copy_runs: Vec<(usize, i64, usize)> = Vec::new();
         let mut copy_waits: Vec<EventId> = Vec::new();
-        let mut kernel_waits: Vec<EventId> = Vec::new();
+        let mut kernel_waits: Vec<(EventId, WaitCause)> = Vec::new();
 
         for (i, m) in region.spec.maps.iter().enumerate() {
             if !m.dir.is_input() {
@@ -424,7 +457,7 @@ fn run_buffer_inner(
                         // RAW across streams: wait for the copier's group.
                         if owner != c && !same_stream(owner) {
                             if let Some(e) = h2d_ev[owner] {
-                                push_unique(&mut kernel_waits, e);
+                                push_unique_cause(&mut kernel_waits, e, WaitCause::Dependency);
                             }
                         }
                     }
@@ -501,7 +534,7 @@ fn run_buffer_inner(
                         if let Some(w) = book.written_by.remove(&old) {
                             if !same_stream(w) {
                                 if let Some(e) = d2h_ev[w] {
-                                    push_unique(&mut kernel_waits, e);
+                                    push_unique_cause(&mut kernel_waits, e, WaitCause::RingReuse);
                                 }
                             }
                         }
@@ -509,7 +542,11 @@ fn run_buffer_inner(
                             for r in rs {
                                 if !same_stream(r) {
                                     if let Some(e) = kernel_ev[r] {
-                                        push_unique(&mut kernel_waits, e);
+                                        push_unique_cause(
+                                            &mut kernel_waits,
+                                            e,
+                                            WaitCause::RingReuse,
+                                        );
                                     }
                                 }
                             }
@@ -524,8 +561,9 @@ fn run_buffer_inner(
         }
 
         // ---- Pass 2: enqueue ------------------------------------------
+        // Eviction hazards are, by definition, ring-slot reuse stalls.
         for e in copy_waits {
-            gpu.wait_event(s, e)?;
+            gpu.wait_event_with_cause(s, e, WaitCause::RingReuse)?;
         }
         let any_copies = !copy_runs.is_empty();
         for (i, start, len) in copy_runs {
@@ -537,8 +575,8 @@ fn run_buffer_inner(
             h2d_ev[c] = Some(e);
         }
 
-        for e in kernel_waits {
-            gpu.wait_event(s, e)?;
+        for (e, cause) in kernel_waits {
+            gpu.wait_event_with_cause(s, e, cause)?;
         }
         let ctx = ChunkCtx {
             k0,
@@ -579,19 +617,26 @@ fn run_buffer_inner(
             gpu.record_event(s, e)?;
             d2h_ev[c] = Some(e);
         }
+        sample_occupancy(gpu, &books);
     }
 
     gpu.synchronize()?;
     let total = gpu.now() - t0;
-    let report = RunReport::from_counters(
+    let mut report = RunReport::from_gpu(
         ExecModel::PipelinedBuffer,
         total,
-        &gpu.counters().clone(),
+        gpu,
         gpu_mem,
         plan.buffer_bytes,
         n_chunks,
         plan.num_streams,
     );
+    if gpu.timeline_enabled() {
+        report.counter_tracks.push(CounterTrack {
+            name: "ring_slot_occupancy".into(),
+            samples: occupancy,
+        });
+    }
     for s in streams {
         gpu.destroy_stream(s)?;
     }

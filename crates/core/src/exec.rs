@@ -238,10 +238,10 @@ pub fn run_naive(gpu: &mut Gpu, region: &Region, builder: &KernelBuilder<'_>) ->
     }
 
     let total = gpu.now() - t0;
-    let report = RunReport::from_counters(
+    let report = RunReport::from_gpu(
         ExecModel::Naive,
         total,
-        &gpu.counters().clone(),
+        gpu,
         gpu_mem,
         full_bytes(region),
         1,
@@ -320,6 +320,15 @@ pub fn run_pipelined_with(
     let (chunk_size, num_streams) = region.schedule_params(gpu)?;
     gpu.reset_counters();
     let t0 = gpu.now();
+    // Chunk planning happened just above; mark it as an instant so the
+    // trace shows where the runtime phase sits (planning itself charges
+    // no simulated time).
+    gpu.push_host_span(
+        format!("plan(chunk={chunk_size}, streams={num_streams})"),
+        gpsim::HostSpanKind::Plan,
+        t0,
+        t0,
+    );
 
     let views = alloc_full(gpu, region)?;
     let streams: Vec<_> = match (0..num_streams)
@@ -430,10 +439,10 @@ pub fn run_pipelined_with(
 
     gpu.synchronize()?;
     let total = gpu.now() - t0;
-    let report = RunReport::from_counters(
+    let report = RunReport::from_gpu(
         ExecModel::Pipelined,
         total,
-        &gpu.counters().clone(),
+        gpu,
         gpu_mem,
         full_bytes(region),
         chunks.len(),

@@ -92,6 +92,7 @@ mod autotune;
 mod buffer;
 mod error;
 mod exec;
+mod metrics;
 mod multi;
 mod plan;
 mod report;
@@ -106,6 +107,7 @@ pub use buffer::{
     StreamAssignment,
 };
 pub use error::{RtError, RtResult};
+pub use metrics::{Histogram, Stage, StageMetrics};
 pub use exec::{
     run_naive, run_pipelined, run_pipelined_with, KernelBuilder, PipelinedOptions, Region,
 };

@@ -1,0 +1,261 @@
+//! Per-chunk latency metrics: a dependency-free log2-bucket histogram,
+//! recorded per pipeline stage and mergeable across sweep trials.
+//!
+//! The paper reports only end-to-end times; per-chunk latency quantiles
+//! (p50/p95/max per stage) are what a production runtime would watch to
+//! catch a mis-sized ring buffer or a stage that stopped overlapping.
+//! Buckets are powers of two in nanoseconds, so merging histograms from
+//! parallel sweep trials is exact and order-independent.
+
+use gpsim::{TimelineEntry, TimelineKind, WaitCause, WaitRecord};
+
+/// A log2-bucket latency histogram over nanosecond durations.
+///
+/// Bucket `i` holds durations `d` with `floor(log2(d)) == i` (bucket 0
+/// also holds `d == 0`). Quantiles are reported as the upper bound of
+/// the bucket containing the quantile rank — at most 2× off, which is
+/// plenty for "did p95 explode" questions — except `max`, which is
+/// exact.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; 64],
+    count: u64,
+    max_ns: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram {
+            buckets: [0; 64],
+            count: 0,
+            max_ns: 0,
+        }
+    }
+}
+
+impl Histogram {
+    /// Record one duration.
+    pub fn record(&mut self, ns: u64) {
+        let b = 63 - ns.max(1).leading_zeros() as usize;
+        self.buckets[b] += 1;
+        self.count += 1;
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Largest recorded duration (exact).
+    pub fn max_ns(&self) -> u64 {
+        self.max_ns
+    }
+
+    /// Fold another histogram into this one (exact and commutative).
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+
+    /// Upper bound (ns) of the bucket containing quantile `q` in
+    /// `[0, 1]`; 0 for an empty histogram.
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        // Rank of the quantile sample, 1-based.
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0;
+        for (i, n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                // Upper bound of bucket i is 2^(i+1) - 1, capped by the
+                // exact max.
+                let hi = if i >= 63 { u64::MAX } else { (1u64 << (i + 1)) - 1 };
+                return hi.min(self.max_ns);
+            }
+        }
+        self.max_ns
+    }
+
+    /// Median latency (bucket upper bound).
+    pub fn p50_ns(&self) -> u64 {
+        self.quantile_ns(0.50)
+    }
+
+    /// 95th-percentile latency (bucket upper bound).
+    pub fn p95_ns(&self) -> u64 {
+        self.quantile_ns(0.95)
+    }
+}
+
+/// Pipeline stages with per-chunk latency distributions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    /// Host→device chunk copies.
+    H2d,
+    /// Chunk kernel executions.
+    Kernel,
+    /// Device→host chunk copies.
+    D2h,
+    /// Ring-slot reuse stalls (buffer too small to run ahead).
+    SlotWait,
+}
+
+impl Stage {
+    /// All stages, in reporting order.
+    pub const ALL: [Stage; 4] = [Stage::H2d, Stage::Kernel, Stage::D2h, Stage::SlotWait];
+
+    /// Stable lowercase name for JSON rows.
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::H2d => "h2d",
+            Stage::Kernel => "kernel",
+            Stage::D2h => "d2h",
+            Stage::SlotWait => "slot_wait",
+        }
+    }
+}
+
+/// Per-stage latency histograms for one run (or many merged runs).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StageMetrics {
+    /// Host→device per-chunk copy latency.
+    pub h2d: Histogram,
+    /// Per-chunk kernel latency.
+    pub kernel: Histogram,
+    /// Device→host per-chunk copy latency.
+    pub d2h: Histogram,
+    /// Ring-slot wait latency (only non-empty for the buffered model).
+    pub slot_wait: Histogram,
+}
+
+impl StageMetrics {
+    /// Build per-stage histograms from one run's device timeline and
+    /// wait records.
+    pub fn from_run(timeline: &[TimelineEntry], waits: &[WaitRecord]) -> StageMetrics {
+        let mut m = StageMetrics::default();
+        for t in timeline {
+            let d = t.end_ns - t.start_ns;
+            match t.kind {
+                TimelineKind::H2D => m.h2d.record(d),
+                TimelineKind::D2H => m.d2h.record(d),
+                TimelineKind::Kernel => m.kernel.record(d),
+            }
+        }
+        for w in waits {
+            if w.cause == WaitCause::RingReuse {
+                m.slot_wait.record(w.until_ns - w.from_ns);
+            }
+        }
+        m
+    }
+
+    /// Histogram for one stage.
+    pub fn stage(&self, s: Stage) -> &Histogram {
+        match s {
+            Stage::H2d => &self.h2d,
+            Stage::Kernel => &self.kernel,
+            Stage::D2h => &self.d2h,
+            Stage::SlotWait => &self.slot_wait,
+        }
+    }
+
+    /// Fold another run's metrics into this aggregate.
+    pub fn merge(&mut self, other: &StageMetrics) {
+        self.h2d.merge(&other.h2d);
+        self.kernel.merge(&other.kernel);
+        self.d2h.merge(&other.d2h);
+        self.slot_wait.merge(&other.slot_wait);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_quantiles() {
+        let mut h = Histogram::default();
+        for ns in [1, 2, 3, 100, 1000] {
+            h.record(ns);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.max_ns(), 1000);
+        // p50 rank 3 → value 3 lives in bucket 1 ([2,3]) → upper bound 3.
+        assert_eq!(h.p50_ns(), 3);
+        // p95 rank 5 → bucket of 1000 ([512,1023]), capped by max.
+        assert_eq!(h.p95_ns(), 1000);
+        assert_eq!(Histogram::default().p95_ns(), 0);
+    }
+
+    #[test]
+    fn zero_duration_is_representable() {
+        let mut h = Histogram::default();
+        h.record(0);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.max_ns(), 0);
+        assert_eq!(h.p50_ns(), 0);
+    }
+
+    #[test]
+    fn merge_is_exact_and_commutative() {
+        let mut a = Histogram::default();
+        let mut b = Histogram::default();
+        let mut all = Histogram::default();
+        for (i, ns) in [5u64, 17, 80, 3000, 9, 250].iter().enumerate() {
+            if i % 2 == 0 { a.record(*ns) } else { b.record(*ns) }
+            all.record(*ns);
+        }
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab, all);
+    }
+
+    #[test]
+    fn stage_metrics_classify_by_kind_and_cause() {
+        let entry = |kind, start: u64, end: u64| TimelineEntry {
+            label: "x".into(),
+            kind,
+            stream: 0,
+            start_ns: start,
+            end_ns: end,
+            seq: 0,
+            enqueue_ns: start,
+        };
+        let tl = vec![
+            entry(TimelineKind::H2D, 0, 10),
+            entry(TimelineKind::Kernel, 10, 40),
+            entry(TimelineKind::D2H, 40, 45),
+        ];
+        let waits = vec![
+            WaitRecord {
+                stream: 0,
+                cause: WaitCause::RingReuse,
+                from_ns: 5,
+                until_ns: 9,
+            },
+            WaitRecord {
+                stream: 1,
+                cause: WaitCause::Dependency,
+                from_ns: 0,
+                until_ns: 100,
+            },
+        ];
+        let m = StageMetrics::from_run(&tl, &waits);
+        assert_eq!(m.h2d.count(), 1);
+        assert_eq!(m.kernel.count(), 1);
+        assert_eq!(m.d2h.count(), 1);
+        // Only the ring-reuse wait is a slot wait.
+        assert_eq!(m.slot_wait.count(), 1);
+        assert_eq!(m.slot_wait.max_ns(), 4);
+        assert_eq!(m.stage(Stage::Kernel).max_ns(), 30);
+    }
+}

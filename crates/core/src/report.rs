@@ -2,7 +2,9 @@
 
 use std::fmt;
 
-use gpsim::{Counters, SimTime};
+use gpsim::{attribute_stalls, inflight_counter, CounterTrack, Gpu, SimTime, StallReport};
+
+use crate::metrics::StageMetrics;
 
 /// The three execution models compared throughout the paper's evaluation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -62,18 +64,47 @@ pub struct RunReport {
     /// Device commands the run executed (copies + kernels) — the DES
     /// workload size behind the timings, used by throughput reporting.
     pub commands: u64,
+    /// Where each engine's idle time within the makespan went (per
+    /// engine, busy + stall buckets sum to the makespan exactly).
+    pub stalls: StallReport,
+    /// Per-chunk latency histograms per pipeline stage.
+    pub stage_metrics: StageMetrics,
+    /// Counter series for trace export (device memory footprint,
+    /// in-flight chunks, ring-slot occupancy for the buffered model).
+    /// Empty when timeline recording is off.
+    pub counter_tracks: Vec<CounterTrack>,
 }
 
 impl RunReport {
-    pub(crate) fn from_counters(
+    /// Build a report from the context's counters and observability
+    /// records, as accumulated since the last `reset_counters`.
+    pub(crate) fn from_gpu(
         model: ExecModel,
         total: SimTime,
-        c: &Counters,
+        gpu: &Gpu,
         gpu_mem_bytes: u64,
         array_bytes: u64,
         chunks: usize,
         streams: usize,
     ) -> RunReport {
+        let c = gpu.counters();
+        let timeline = gpu.timeline();
+        let waits = gpu.wait_records();
+        let counter_tracks = if gpu.timeline_enabled() {
+            vec![
+                CounterTrack {
+                    name: "device_mem_bytes".into(),
+                    samples: gpu
+                        .mem_samples()
+                        .iter()
+                        .map(|&(t, b)| (t, b as f64))
+                        .collect(),
+                },
+                inflight_counter(timeline),
+            ]
+        } else {
+            Vec::new()
+        };
         RunReport {
             model,
             total,
@@ -88,6 +119,9 @@ impl RunReport {
             chunks,
             streams,
             commands: c.h2d_count + c.d2h_count + c.kernel_count,
+            stalls: attribute_stalls(timeline, waits),
+            stage_metrics: StageMetrics::from_run(timeline, waits),
+            counter_tracks,
         }
     }
 
@@ -156,6 +190,9 @@ mod tests {
             chunks: 1,
             streams: 1,
             commands: 10,
+            stalls: StallReport::default(),
+            stage_metrics: StageMetrics::default(),
+            counter_tracks: Vec::new(),
         }
     }
 

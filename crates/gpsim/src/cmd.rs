@@ -3,6 +3,7 @@
 use std::cell::{Ref, RefMut};
 use std::fmt;
 
+use crate::counters::WaitCause;
 use crate::error::SimResult;
 use crate::mem::{AllocRead, AllocWrite, DevPtr, HostBufId, MemPool};
 use crate::time::SimTime;
@@ -258,7 +259,7 @@ pub(crate) enum CmdKind {
         elems: usize,
     },
     EventRecord(EventId),
-    EventWait(EventId),
+    EventWait(EventId, WaitCause),
 }
 
 impl CmdKind {
@@ -272,7 +273,7 @@ impl CmdKind {
             CmdKind::Kernel(_) | CmdKind::Memset { .. } | CmdKind::D2D { .. } => {
                 Some(EngineKind::Compute)
             }
-            CmdKind::EventRecord(_) | CmdKind::EventWait(_) => None,
+            CmdKind::EventRecord(_) | CmdKind::EventWait(..) => None,
         }
     }
 
@@ -286,7 +287,7 @@ impl CmdKind {
             CmdKind::Memset { elems, .. } => format!("memset[{elems}]"),
             CmdKind::D2D { elems, .. } => format!("d2d[{elems}]"),
             CmdKind::EventRecord(e) => format!("record({})", e.0),
-            CmdKind::EventWait(e) => format!("wait({})", e.0),
+            CmdKind::EventWait(e, _) => format!("wait({})", e.0),
         }
     }
 }
@@ -336,7 +337,10 @@ mod tests {
         let k = CmdKind::Kernel(KernelLaunch::cost_only("k", KernelCost::default()));
         assert_eq!(k.engine(), Some(EngineKind::Compute));
         assert_eq!(CmdKind::EventRecord(EventId(0)).engine(), None);
-        assert_eq!(CmdKind::EventWait(EventId(0)).engine(), None);
+        assert_eq!(
+            CmdKind::EventWait(EventId(0), WaitCause::Dependency).engine(),
+            None
+        );
     }
 
     #[test]

@@ -96,6 +96,11 @@ pub struct TimelineEntry {
     pub start_ns: u64,
     /// End instant (ns since context creation).
     pub end_ns: u64,
+    /// Global enqueue sequence number — the flow id correlating this
+    /// device slice with the host-side enqueue span that issued it.
+    pub seq: u64,
+    /// Host-clock instant at which the command was enqueued.
+    pub enqueue_ns: u64,
 }
 
 impl TimelineEntry {
@@ -107,6 +112,82 @@ impl TimelineEntry {
     /// True if this entry overlaps `other` in time.
     pub fn overlaps(&self, other: &TimelineEntry) -> bool {
         self.start_ns < other.end_ns && other.start_ns < self.end_ns
+    }
+}
+
+/// Classification of a host-side runtime span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HostSpanKind {
+    /// Time inside a driver enqueue call (async copy, kernel launch,
+    /// event record/wait). Carries the flow id of the enqueued command.
+    Enqueue,
+    /// A blocking synchronize (`cudaDeviceSynchronize` /
+    /// `cudaStreamSynchronize` analogue).
+    Sync,
+    /// Runtime planning work (chunking, ring sizing, stream assignment).
+    Plan,
+    /// Other host-side runtime bookkeeping (queue polling, waits).
+    Wait,
+}
+
+impl HostSpanKind {
+    /// Stable lowercase name for trace export.
+    pub fn name(self) -> &'static str {
+        match self {
+            HostSpanKind::Enqueue => "enqueue",
+            HostSpanKind::Sync => "sync",
+            HostSpanKind::Plan => "plan",
+            HostSpanKind::Wait => "wait",
+        }
+    }
+}
+
+/// One host-side runtime span on the host-clock timeline.
+#[derive(Debug, Clone)]
+pub struct HostSpan {
+    /// Display label (command label, `"synchronize"`, ...).
+    pub label: String,
+    /// Span class.
+    pub kind: HostSpanKind,
+    /// Start instant on the host clock (ns since context creation).
+    pub start_ns: u64,
+    /// End instant on the host clock (ns).
+    pub end_ns: u64,
+    /// Flow id (the enqueued command's sequence number) linking this span
+    /// to its device-side slice, when there is one.
+    pub flow: Option<u64>,
+}
+
+/// Why a resolved event wait delayed its stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WaitCause {
+    /// Ordinary cross-stream data dependency (e.g. a halo slice copied by
+    /// another stream's H2D group).
+    Dependency,
+    /// Ring-slot reuse: the buffer is too small, so the stream stalls
+    /// until the slot's previous occupant is no longer in use.
+    RingReuse,
+}
+
+/// A resolved event wait that actually delayed its stream: the stream
+/// would have been ready at `from_ns` but could not proceed until
+/// `until_ns`.
+#[derive(Debug, Clone, Copy)]
+pub struct WaitRecord {
+    /// Stream index that stalled.
+    pub stream: usize,
+    /// Why the wait was inserted.
+    pub cause: WaitCause,
+    /// Instant the stream became otherwise ready (ns).
+    pub from_ns: u64,
+    /// Instant the awaited event completed (ns).
+    pub until_ns: u64,
+}
+
+impl WaitRecord {
+    /// How long the stream stalled.
+    pub fn duration(&self) -> SimTime {
+        SimTime::from_ns(self.until_ns - self.from_ns)
     }
 }
 
@@ -140,6 +221,8 @@ mod tests {
             stream: 0,
             start_ns: 0,
             end_ns: 10,
+            seq: 0,
+            enqueue_ns: 0,
         };
         let b = TimelineEntry {
             label: "b".into(),
@@ -147,6 +230,8 @@ mod tests {
             stream: 1,
             start_ns: 5,
             end_ns: 15,
+            seq: 1,
+            enqueue_ns: 0,
         };
         let c = TimelineEntry {
             label: "c".into(),
@@ -154,6 +239,8 @@ mod tests {
             stream: 2,
             start_ns: 10,
             end_ns: 20,
+            seq: 2,
+            enqueue_ns: 0,
         };
         assert!(a.overlaps(&b));
         assert!(!a.overlaps(&c), "touching intervals do not overlap");

@@ -56,10 +56,12 @@
 mod cmd;
 mod counters;
 mod error;
+pub mod json;
 mod mem;
 mod profile;
 pub mod race;
 mod sim;
+mod stall;
 mod time;
 mod trace;
 
@@ -67,7 +69,9 @@ pub use cmd::{
     AccessDecl, Copy2D, EngineKind, EventId, KernelBody, KernelCost, KernelCtx, KernelLaunch,
     StreamId,
 };
-pub use counters::{Counters, TimelineEntry, TimelineKind};
+pub use counters::{
+    Counters, HostSpan, HostSpanKind, TimelineEntry, TimelineKind, WaitCause, WaitRecord,
+};
 pub use error::{SimError, SimResult};
 pub use mem::{
     AllocRead, AllocWrite, DevAllocId, DevPtr, ExecMode, HostBufId, HostPool, ELEM_BYTES,
@@ -75,5 +79,9 @@ pub use mem::{
 };
 pub use profile::DeviceProfile;
 pub use sim::Gpu;
-pub use trace::{render_gantt, to_chrome_trace, utilization, Utilization};
+pub use stall::{attribute_stalls, render_attribution, EngineBreakdown, StallCause, StallReport};
 pub use time::SimTime;
+pub use trace::{
+    inflight_counter, render_gantt, to_chrome_trace, to_perfetto_trace, utilization, CounterTrack,
+    Utilization,
+};

@@ -40,7 +40,9 @@ use std::cmp::Reverse;
 use std::collections::{BTreeSet, BinaryHeap, HashMap, VecDeque};
 
 use crate::cmd::{Cmd, CmdKind, Copy2D, EngineKind, EventId, KernelCtx, KernelLaunch, StreamId};
-use crate::counters::{Counters, TimelineEntry, TimelineKind};
+use crate::counters::{
+    Counters, HostSpan, HostSpanKind, TimelineEntry, TimelineKind, WaitCause, WaitRecord,
+};
 use crate::error::{SimError, SimResult};
 use crate::mem::{DevAllocId, DevPtr, ExecMode, HostBufId, HostPool, MemPool, ELEM_BYTES};
 use crate::profile::DeviceProfile;
@@ -93,6 +95,8 @@ struct Running {
     stream: StreamId,
     end: SimTime,
     start: SimTime,
+    seq: u64,
+    enqueue_time: SimTime,
     kind: CmdKind,
 }
 
@@ -122,6 +126,14 @@ pub struct Gpu {
     counters: Counters,
     timeline: Vec<TimelineEntry>,
     timeline_enabled: bool,
+    /// Host-side runtime spans (enqueue calls, syncs, runtime phases),
+    /// recorded when the timeline is enabled.
+    host_spans: Vec<HostSpan>,
+    /// Event waits that actually delayed a stream, with their cause.
+    wait_records: Vec<WaitRecord>,
+    /// `(host-clock ns, device bytes)` samples taken whenever the device
+    /// footprint changes — the memory counter track of the trace export.
+    mem_samples: Vec<(u64, u64)>,
     race_check: bool,
     access_log: RaceLog,
 }
@@ -157,12 +169,16 @@ impl Gpu {
             counters: Counters::default(),
             timeline: Vec::new(),
             timeline_enabled: true,
+            host_spans: Vec::new(),
+            wait_records: Vec::new(),
+            mem_samples: Vec::new(),
             race_check: false,
             access_log: RaceLog::new(),
         };
         // Stream 0: the default stream, free of the per-stream memory tax
         // (it is part of the base runtime footprint).
         gpu.streams.push(StreamState::new());
+        gpu.sample_mem();
         Ok(gpu)
     }
 
@@ -193,15 +209,77 @@ impl Gpu {
         &self.counters
     }
 
-    /// Reset counters and the timeline (memory accounting is unaffected).
+    /// Reset counters, the timeline, and the observability records
+    /// (memory accounting is unaffected).
     pub fn reset_counters(&mut self) {
         self.counters = Counters::default();
         self.timeline.clear();
+        self.host_spans.clear();
+        self.wait_records.clear();
+        self.mem_samples.clear();
+        self.sample_mem();
     }
 
     /// Completed engine commands, in completion order.
     pub fn timeline(&self) -> &[TimelineEntry] {
         &self.timeline
+    }
+
+    /// Host-side runtime spans recorded so far (enqueue calls, syncs,
+    /// and spans pushed by runtime layers via [`Gpu::push_host_span`]).
+    pub fn host_spans(&self) -> &[HostSpan] {
+        &self.host_spans
+    }
+
+    /// Event waits that actually delayed a stream.
+    pub fn wait_records(&self) -> &[WaitRecord] {
+        &self.wait_records
+    }
+
+    /// `(host-clock ns, device bytes)` samples of the device-memory
+    /// footprint, one per change.
+    pub fn mem_samples(&self) -> &[(u64, u64)] {
+        &self.mem_samples
+    }
+
+    /// Whether timeline/span recording is currently on.
+    pub fn timeline_enabled(&self) -> bool {
+        self.timeline_enabled
+    }
+
+    /// Record a host-side runtime span from an upper layer (e.g. chunk
+    /// planning in the pipelined executors). Purely observational: it
+    /// does not advance the host clock or charge any counter.
+    pub fn push_host_span(
+        &mut self,
+        label: impl Into<String>,
+        kind: HostSpanKind,
+        start: SimTime,
+        end: SimTime,
+    ) {
+        if self.timeline_enabled {
+            self.host_spans.push(HostSpan {
+                label: label.into(),
+                kind,
+                start_ns: start.as_ns(),
+                end_ns: end.as_ns(),
+                flow: None,
+            });
+        }
+    }
+
+    fn sample_mem(&mut self) {
+        if self.timeline_enabled {
+            let t = self.now_host.as_ns();
+            let bytes = self.pool.current_bytes();
+            if let Some(last) = self.mem_samples.last_mut() {
+                if last.0 == t {
+                    last.1 = bytes;
+                    return;
+                }
+            }
+            self.mem_samples.push((t, bytes));
+        }
     }
 
     /// Enable/disable timeline recording (on by default).
@@ -238,20 +316,26 @@ impl Gpu {
     /// Allocate `elems` device elements (like `cudaMalloc`).
     pub fn alloc(&mut self, elems: usize) -> SimResult<DevPtr> {
         self.api_call();
-        self.pool.alloc(elems)
+        let r = self.pool.alloc(elems);
+        self.sample_mem();
+        r
     }
 
     /// Pitched 2-D device allocation (like `cudaMallocPitch`); returns the
     /// base pointer and pitch in elements.
     pub fn alloc_pitched(&mut self, rows: usize, row_elems: usize) -> SimResult<(DevPtr, usize)> {
         self.api_call();
-        self.pool.alloc_pitched(rows, row_elems)
+        let r = self.pool.alloc_pitched(rows, row_elems);
+        self.sample_mem();
+        r
     }
 
     /// Free a device allocation.
     pub fn free(&mut self, ptr: DevPtr) -> SimResult<()> {
         self.api_call();
-        self.pool.free(ptr)
+        let r = self.pool.free(ptr);
+        self.sample_mem();
+        r
     }
 
     /// Allocate a simulator-owned host buffer. `pinned` buffers transfer at
@@ -342,6 +426,7 @@ impl Gpu {
     pub fn create_stream(&mut self) -> SimResult<StreamId> {
         self.api_call();
         self.pool.reserve_overhead(self.profile.mem_per_stream)?;
+        self.sample_mem();
         let id = StreamId(self.streams.len() as u32);
         self.streams.push(StreamState::new());
         Ok(id)
@@ -366,6 +451,7 @@ impl Gpu {
         self.api_call();
         self.streams[stream.0 as usize].alive = false;
         self.pool.release_overhead(self.profile.mem_per_stream);
+        self.sample_mem();
         Ok(())
     }
 
@@ -414,11 +500,23 @@ impl Gpu {
         self.enqueue(stream, CmdKind::EventRecord(event))
     }
 
-    /// Make `stream` wait for `event` (like `cudaStreamWaitEvent`).
+    /// Make `stream` wait for `event` (like `cudaStreamWaitEvent`). The
+    /// wait is attributed to an ordinary cross-stream dependency; use
+    /// [`Gpu::wait_event_with_cause`] when the wait guards ring-slot reuse.
     pub fn wait_event(&mut self, stream: StreamId, event: EventId) -> SimResult<()> {
+        self.wait_event_with_cause(stream, event, WaitCause::Dependency)
+    }
+
+    /// [`Gpu::wait_event`] with an explicit stall-attribution cause.
+    pub fn wait_event_with_cause(
+        &mut self,
+        stream: StreamId,
+        event: EventId,
+        cause: WaitCause,
+    ) -> SimResult<()> {
         self.check_stream(stream)?;
         self.check_event(event)?;
-        self.enqueue(stream, CmdKind::EventWait(event))
+        self.enqueue(stream, CmdKind::EventWait(event, cause))
     }
 
     // ------------------------------------------------------------------
@@ -649,6 +747,7 @@ impl Gpu {
 
     /// Block until all streams drain (like `cudaDeviceSynchronize`).
     pub fn synchronize(&mut self) -> SimResult<()> {
+        let t0 = self.now_host;
         self.api_call();
         self.run_until(|g| g.streams.iter().all(StreamState::drained))?;
         let done = self
@@ -657,16 +756,35 @@ impl Gpu {
             .map(|s| s.last_done)
             .fold(SimTime::ZERO, SimTime::max);
         self.now_host = self.now_host.max(done);
+        if self.timeline_enabled {
+            self.host_spans.push(HostSpan {
+                label: "synchronize".into(),
+                kind: HostSpanKind::Sync,
+                start_ns: t0.as_ns(),
+                end_ns: self.now_host.as_ns(),
+                flow: None,
+            });
+        }
         Ok(())
     }
 
     /// Block until `stream` drains (like `cudaStreamSynchronize`).
     pub fn stream_synchronize(&mut self, stream: StreamId) -> SimResult<()> {
         self.check_stream(stream)?;
+        let t0 = self.now_host;
         self.api_call();
         let idx = stream.0 as usize;
         self.run_until(|g| g.streams[idx].drained())?;
         self.now_host = self.now_host.max(self.streams[idx].last_done);
+        if self.timeline_enabled {
+            self.host_spans.push(HostSpan {
+                label: format!("sync(stream {})", stream.0),
+                kind: HostSpanKind::Sync,
+                start_ns: t0.as_ns(),
+                end_ns: self.now_host.as_ns(),
+                flow: None,
+            });
+        }
         Ok(())
     }
 
@@ -684,7 +802,17 @@ impl Gpu {
     }
 
     fn enqueue(&mut self, stream: StreamId, kind: CmdKind) -> SimResult<()> {
+        let t0 = self.now_host;
         self.api_call();
+        if self.timeline_enabled {
+            self.host_spans.push(HostSpan {
+                label: kind.label(),
+                kind: HostSpanKind::Enqueue,
+                start_ns: t0.as_ns(),
+                end_ns: self.now_host.as_ns(),
+                flow: Some(self.seq),
+            });
+        }
         let cmd = Cmd {
             seq: self.seq,
             enqueue_time: self.now_host,
@@ -735,12 +863,21 @@ impl Gpu {
                             self.streams[s].last_done = self.streams[s].last_done.max(t);
                             round = true;
                         }
-                        CmdKind::EventWait(e) => {
+                        CmdKind::EventWait(e, cause) => {
                             let enq = head.enqueue_time;
                             match self.events[e.0 as usize].complete_at {
                                 Some(t) => {
                                     self.streams[s].queue.pop_front();
-                                    let r = self.streams[s].ready_at.max(t).max(enq);
+                                    let base = self.streams[s].ready_at.max(enq);
+                                    let r = base.max(t);
+                                    if self.timeline_enabled && r > base {
+                                        self.wait_records.push(WaitRecord {
+                                            stream: s,
+                                            cause,
+                                            from_ns: base.as_ns(),
+                                            until_ns: r.as_ns(),
+                                        });
+                                    }
                                     self.streams[s].ready_at = r;
                                     // The wait itself completes at `r`: a
                                     // stream_synchronize on this stream
@@ -814,6 +951,8 @@ impl Gpu {
                         stream: StreamId(si as u32),
                         start,
                         end,
+                        seq: cmd.seq,
+                        enqueue_time: cmd.enqueue_time,
                         kind: cmd.kind,
                     },
                 );
@@ -851,7 +990,7 @@ impl Gpu {
             CmdKind::D2D { elems, .. } => self
                 .profile
                 .kernel_time(0, 2 * *elems as u64 * ELEM_BYTES),
-            CmdKind::EventRecord(_) | CmdKind::EventWait(_) => SimTime::ZERO,
+            CmdKind::EventRecord(_) | CmdKind::EventWait(..) => SimTime::ZERO,
         }
     }
 
@@ -877,13 +1016,51 @@ impl Gpu {
             stream,
             start,
             end,
+            seq,
+            enqueue_time,
             mut kind,
         } = running;
         let engine = kind.engine().expect("running command has an engine");
         self.engine_load[engine.index()] -= 1;
         let dur = end - start;
         let functional = self.pool.mode == ExecMode::Functional;
-        match &mut kind {
+        // A functionally failing command still occupied its engine for
+        // the full duration: retire it (counters + timeline entry) before
+        // surfacing the error, so the observability surface of a
+        // truncated run stays internally consistent.
+        let exec = self.execute_payload(&mut kind, dur, functional);
+        if self.timeline_enabled {
+            self.timeline.push(TimelineEntry {
+                label: kind.label(),
+                kind: TimelineKind::from_engine(engine),
+                stream: stream.0 as usize,
+                start_ns: start.as_ns(),
+                end_ns: end.as_ns(),
+                seq,
+                enqueue_ns: enqueue_time.as_ns(),
+            });
+        }
+        let race = if self.race_check {
+            self.record_accesses(&kind, start, end)
+        } else {
+            Ok(())
+        };
+        let st = &mut self.streams[stream.0 as usize];
+        st.running -= 1;
+        st.last_done = st.last_done.max(end);
+        exec?;
+        race
+    }
+
+    /// Update counters and run the functional payload of one completing
+    /// command.
+    fn execute_payload(
+        &mut self,
+        kind: &mut CmdKind,
+        dur: SimTime,
+        functional: bool,
+    ) -> SimResult<()> {
+        match kind {
             CmdKind::H2D {
                 host,
                 host_off,
@@ -999,23 +1176,8 @@ impl Gpu {
                     }
                 }
             }
-            CmdKind::EventRecord(_) | CmdKind::EventWait(_) => unreachable!("pseudo on engine"),
+            CmdKind::EventRecord(_) | CmdKind::EventWait(..) => unreachable!("pseudo on engine"),
         }
-        if self.timeline_enabled {
-            self.timeline.push(TimelineEntry {
-                label: kind.label(),
-                kind: TimelineKind::from_engine(engine),
-                stream: stream.0 as usize,
-                start_ns: start.as_ns(),
-                end_ns: end.as_ns(),
-            });
-        }
-        if self.race_check {
-            self.record_accesses(&kind, start, end)?;
-        }
-        let st = &mut self.streams[stream.0 as usize];
-        st.running -= 1;
-        st.last_done = st.last_done.max(end);
         Ok(())
     }
 
@@ -1180,7 +1342,7 @@ impl Gpu {
                         let head = s.queue.front();
                         let label = head.map(|c| c.kind.label()).unwrap_or_default();
                         let detail = match head.map(|c| &c.kind) {
-                            Some(CmdKind::EventWait(e))
+                            Some(CmdKind::EventWait(e, _))
                                 if !self.events[e.0 as usize].enqueued =>
                             {
                                 " (event was never recorded)"

@@ -1,0 +1,424 @@
+//! Stall attribution: partition each engine's idle time within the
+//! makespan into named causes.
+//!
+//! The paper explains its speedup plateau (1.4–1.7× instead of the
+//! theoretical 2×) by pointing at duplex DMA arbitration, driver API
+//! overhead, and scheduling contention (§V-A). This module makes that
+//! argument quantitative for every simulated run: for each engine the
+//! makespan is split, nanosecond-exactly, into busy time plus five stall
+//! buckets, so `busy + Σ stalls == makespan` always holds per engine.
+
+use std::fmt::Write as _;
+
+use crate::cmd::EngineKind;
+use crate::counters::{TimelineEntry, TimelineKind, WaitCause, WaitRecord};
+
+/// Why an engine was idle during part of the makespan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StallCause {
+    /// Idle while the H2D copy engine was busy (upstream data not in yet).
+    WaitingOnH2D,
+    /// Idle while the D2H copy engine was busy.
+    WaitingOnD2H,
+    /// Idle while the compute engine was busy.
+    WaitingOnCompute,
+    /// Idle behind a ring-slot reuse wait (the staging buffer is too
+    /// small, so a stream stalled until a slot's previous occupant
+    /// drained).
+    RingSlot,
+    /// Idle because the host had not issued the next command yet (driver
+    /// API overhead, host-side bookkeeping) — or nothing else explains
+    /// the gap.
+    HostApi,
+}
+
+impl StallCause {
+    /// All causes, in bucket order.
+    pub const ALL: [StallCause; 5] = [
+        StallCause::WaitingOnH2D,
+        StallCause::WaitingOnD2H,
+        StallCause::WaitingOnCompute,
+        StallCause::RingSlot,
+        StallCause::HostApi,
+    ];
+
+    /// Bucket index of this cause.
+    pub fn index(self) -> usize {
+        match self {
+            StallCause::WaitingOnH2D => 0,
+            StallCause::WaitingOnD2H => 1,
+            StallCause::WaitingOnCompute => 2,
+            StallCause::RingSlot => 3,
+            StallCause::HostApi => 4,
+        }
+    }
+
+    /// Stable short name for tables and JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            StallCause::WaitingOnH2D => "wait-h2d",
+            StallCause::WaitingOnD2H => "wait-d2h",
+            StallCause::WaitingOnCompute => "wait-compute",
+            StallCause::RingSlot => "ring-slot",
+            StallCause::HostApi => "host-api",
+        }
+    }
+}
+
+/// One engine's share of the makespan: busy time plus stall buckets.
+/// Invariant (asserted by construction): `busy_ns + stall buckets`
+/// equals the report's makespan exactly.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineBreakdown {
+    /// Union busy time of the engine within the window, in ns
+    /// (concurrent kernels on a Hyper-Q device are not double-counted).
+    pub busy_ns: u64,
+    /// Idle time per [`StallCause`], indexed by [`StallCause::index`].
+    pub stalls: [u64; 5],
+}
+
+impl EngineBreakdown {
+    /// Idle time attributed to `cause`.
+    pub fn stall(&self, cause: StallCause) -> u64 {
+        self.stalls[cause.index()]
+    }
+
+    /// `busy + Σ stalls` — equals the makespan by construction.
+    pub fn total_ns(&self) -> u64 {
+        self.busy_ns + self.stalls.iter().sum::<u64>()
+    }
+}
+
+/// Per-engine stall attribution over one run's timeline.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StallReport {
+    /// Window start (ns): first command start in the timeline.
+    pub start_ns: u64,
+    /// Window end (ns): last command end in the timeline.
+    pub end_ns: u64,
+    /// Breakdown per engine, indexed by [`EngineKind::index`]
+    /// (H2D, D2H, Compute).
+    pub engines: [EngineBreakdown; 3],
+}
+
+impl StallReport {
+    /// Window length in ns.
+    pub fn makespan_ns(&self) -> u64 {
+        self.end_ns - self.start_ns
+    }
+
+    /// Breakdown for one engine.
+    pub fn engine(&self, kind: EngineKind) -> &EngineBreakdown {
+        &self.engines[kind.index()]
+    }
+}
+
+/// Sorted, disjoint interval list in ns. All helpers keep that shape.
+type Intervals = Vec<(u64, u64)>;
+
+fn merge(mut v: Intervals) -> Intervals {
+    v.sort_unstable();
+    let mut out: Intervals = Vec::with_capacity(v.len());
+    for (a, b) in v {
+        if a >= b {
+            continue;
+        }
+        match out.last_mut() {
+            Some(last) if a <= last.1 => last.1 = last.1.max(b),
+            _ => out.push((a, b)),
+        }
+    }
+    out
+}
+
+fn intersect(a: &[(u64, u64)], b: &[(u64, u64)]) -> Intervals {
+    let mut out = Vec::new();
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        let lo = a[i].0.max(b[j].0);
+        let hi = a[i].1.min(b[j].1);
+        if lo < hi {
+            out.push((lo, hi));
+        }
+        if a[i].1 <= b[j].1 {
+            i += 1;
+        } else {
+            j += 1;
+        }
+    }
+    out
+}
+
+fn subtract(a: &[(u64, u64)], b: &[(u64, u64)]) -> Intervals {
+    let mut out = Vec::new();
+    let mut j = 0;
+    for &(mut lo, hi) in a {
+        while lo < hi {
+            while j < b.len() && b[j].1 <= lo {
+                j += 1;
+            }
+            match b.get(j) {
+                Some(&(blo, bhi)) if blo < hi => {
+                    if blo > lo {
+                        out.push((lo, blo));
+                    }
+                    lo = bhi.max(lo);
+                }
+                _ => {
+                    out.push((lo, hi));
+                    lo = hi;
+                }
+            }
+        }
+    }
+    merge(out)
+}
+
+fn total(v: &[(u64, u64)]) -> u64 {
+    v.iter().map(|(a, b)| b - a).sum()
+}
+
+/// Partition each engine's idle time within `[first start, last end]`
+/// into stall buckets. The attribution per gap proceeds in priority
+/// order: time before the engine's next command even existed on the host
+/// → [`StallCause::HostApi`]; overlap with a ring-reuse wait →
+/// [`StallCause::RingSlot`]; overlap with another engine's busy time →
+/// waiting-on-that-engine (compute before H2D before D2H); remainder →
+/// [`StallCause::HostApi`].
+pub fn attribute_stalls(timeline: &[TimelineEntry], waits: &[WaitRecord]) -> StallReport {
+    let Some(w0) = timeline.iter().map(|t| t.start_ns).min() else {
+        return StallReport::default();
+    };
+    let w1 = timeline.iter().map(|t| t.end_ns).max().unwrap_or(w0);
+    let window = [(w0, w1)];
+
+    // Merged busy union per engine, clipped to the window.
+    let busy: Vec<Intervals> = EngineKind::ALL
+        .iter()
+        .map(|e| {
+            let k = TimelineKind::from_engine(*e);
+            merge(
+                timeline
+                    .iter()
+                    .filter(|t| t.kind == k)
+                    .map(|t| (t.start_ns, t.end_ns))
+                    .collect(),
+            )
+        })
+        .collect();
+
+    let ring: Intervals = merge(
+        waits
+            .iter()
+            .filter(|w| w.cause == WaitCause::RingReuse)
+            .map(|w| (w.from_ns, w.until_ns))
+            .collect(),
+    );
+
+    let mut report = StallReport {
+        start_ns: w0,
+        end_ns: w1,
+        engines: [EngineBreakdown::default(); 3],
+    };
+
+    for engine in EngineKind::ALL {
+        let ei = engine.index();
+        let kind = TimelineKind::from_engine(engine);
+        let bd = &mut report.engines[ei];
+        bd.busy_ns = total(&busy[ei]);
+        let mut idle = subtract(&window, &busy[ei]);
+
+        // Entries of this engine sorted by start, for the "not yet
+        // enqueued" test: before the earliest enqueue among commands
+        // that start at or after a gap's end, the engine had no work.
+        let mut entries: Vec<(u64, u64)> = timeline
+            .iter()
+            .filter(|t| t.kind == kind)
+            .map(|t| (t.start_ns, t.enqueue_ns))
+            .collect();
+        entries.sort_unstable();
+        // Suffix-min of enqueue_ns over entries sorted by start.
+        let mut suffix_min = vec![u64::MAX; entries.len() + 1];
+        for i in (0..entries.len()).rev() {
+            suffix_min[i] = suffix_min[i + 1].min(entries[i].1);
+        }
+
+        // 1) Pre-enqueue portions of each gap → HostApi.
+        let mut pre: Intervals = Vec::new();
+        for &(a, b) in &idle {
+            // First entry starting at or after the gap end closes the
+            // gap; any future entry's enqueue bounds "work existed".
+            let i = entries.partition_point(|&(s, _)| s < b);
+            let next_enq = suffix_min[i];
+            if next_enq == u64::MAX {
+                continue; // trailing gap: no more work for this engine
+            }
+            let cut = next_enq.clamp(a, b);
+            if cut > a {
+                pre.push((a, cut));
+            }
+        }
+        let pre = merge(pre);
+        bd.stalls[StallCause::HostApi.index()] += total(&pre);
+        idle = subtract(&idle, &pre);
+
+        // 2) Ring-slot reuse waits.
+        let hit = intersect(&idle, &ring);
+        bd.stalls[StallCause::RingSlot.index()] += total(&hit);
+        idle = subtract(&idle, &hit);
+
+        // 3) Coverage by the other engines, compute first.
+        for (other, cause) in [
+            (EngineKind::Compute, StallCause::WaitingOnCompute),
+            (EngineKind::H2D, StallCause::WaitingOnH2D),
+            (EngineKind::D2H, StallCause::WaitingOnD2H),
+        ] {
+            if other == engine {
+                continue;
+            }
+            let hit = intersect(&idle, &busy[other.index()]);
+            bd.stalls[cause.index()] += total(&hit);
+            idle = subtract(&idle, &hit);
+        }
+
+        // 4) Remainder: host-side overhead (or simply nothing to do).
+        bd.stalls[StallCause::HostApi.index()] += total(&idle);
+
+        debug_assert_eq!(bd.total_ns(), w1 - w0, "attribution must be exact");
+    }
+    report
+}
+
+/// Render the attribution as an ASCII table, one row per engine, with
+/// percentages of the makespan.
+pub fn render_attribution(report: &StallReport) -> String {
+    let mut out = String::new();
+    let span = report.makespan_ns().max(1) as f64;
+    let pct = |ns: u64| 100.0 * ns as f64 / span;
+    let _ = writeln!(
+        out,
+        "{:<8} {:>7} {:>9} {:>9} {:>12} {:>10} {:>9}",
+        "engine", "busy%", "wait-h2d", "wait-d2h", "wait-compute", "ring-slot", "host-api"
+    );
+    for engine in EngineKind::ALL {
+        let bd = report.engine(engine);
+        let name = match engine {
+            EngineKind::H2D => "H2D",
+            EngineKind::D2H => "D2H",
+            EngineKind::Compute => "Compute",
+        };
+        let _ = writeln!(
+            out,
+            "{:<8} {:>6.1}% {:>8.1}% {:>8.1}% {:>11.1}% {:>9.1}% {:>8.1}%",
+            name,
+            pct(bd.busy_ns),
+            pct(bd.stall(StallCause::WaitingOnH2D)),
+            pct(bd.stall(StallCause::WaitingOnD2H)),
+            pct(bd.stall(StallCause::WaitingOnCompute)),
+            pct(bd.stall(StallCause::RingSlot)),
+            pct(bd.stall(StallCause::HostApi)),
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(
+        kind: TimelineKind,
+        start: u64,
+        end: u64,
+        enqueue: u64,
+    ) -> TimelineEntry {
+        TimelineEntry {
+            label: format!("{kind:?}@{start}"),
+            kind,
+            stream: 0,
+            start_ns: start,
+            end_ns: end,
+            seq: start,
+            enqueue_ns: enqueue,
+        }
+    }
+
+    #[test]
+    fn empty_timeline_gives_default() {
+        let r = attribute_stalls(&[], &[]);
+        assert_eq!(r, StallReport::default());
+        assert_eq!(r.makespan_ns(), 0);
+    }
+
+    #[test]
+    fn interval_helpers() {
+        let m = merge(vec![(5, 10), (0, 3), (2, 6), (10, 10)]);
+        assert_eq!(m, vec![(0, 10)]);
+        assert_eq!(intersect(&[(0, 10)], &[(5, 15)]), vec![(5, 10)]);
+        assert_eq!(subtract(&[(0, 10)], &[(2, 4), (6, 8)]), vec![(0, 2), (4, 6), (8, 10)]);
+        assert_eq!(total(&[(0, 2), (4, 6)]), 4);
+    }
+
+    #[test]
+    fn buckets_plus_busy_sum_to_makespan() {
+        // H2D: [0,40); Kernel: [40,80) enqueued at 10; D2H: [80,100)
+        // enqueued at 90 (host was late by 10ns).
+        let tl = vec![
+            entry(TimelineKind::H2D, 0, 40, 0),
+            entry(TimelineKind::Kernel, 40, 80, 10),
+            entry(TimelineKind::D2H, 90, 100, 90),
+        ];
+        let r = attribute_stalls(&tl, &[]);
+        assert_eq!(r.makespan_ns(), 100);
+        for bd in &r.engines {
+            assert_eq!(bd.total_ns(), 100);
+        }
+        // Kernel engine: busy 40; [0,10) pre-enqueue → host-api;
+        // [10,40) → waiting on H2D; [80,90) → host-api; [90,100) →
+        // waiting on D2H.
+        let k = r.engine(EngineKind::Compute);
+        assert_eq!(k.busy_ns, 40);
+        assert_eq!(k.stall(StallCause::WaitingOnH2D), 30);
+        assert_eq!(k.stall(StallCause::WaitingOnD2H), 10);
+        assert_eq!(k.stall(StallCause::HostApi), 20);
+        // D2H engine: its only command was enqueued at 90, so everything
+        // up to 90 is pre-enqueue HostApi; [90,100) is busy.
+        let d = r.engine(EngineKind::D2H);
+        assert_eq!(d.busy_ns, 10);
+        assert_eq!(d.stall(StallCause::HostApi), 90);
+    }
+
+    #[test]
+    fn ring_reuse_waits_take_priority_over_coverage() {
+        let tl = vec![
+            entry(TimelineKind::H2D, 0, 40, 0),
+            // Kernel enqueued at 0 but started at 60: gap [40,60) is a
+            // ring wait even though H2D is idle too.
+            entry(TimelineKind::Kernel, 60, 100, 0),
+        ];
+        let waits = vec![WaitRecord {
+            stream: 0,
+            cause: WaitCause::RingReuse,
+            from_ns: 40,
+            until_ns: 60,
+        }];
+        let r = attribute_stalls(&tl, &waits);
+        let k = r.engine(EngineKind::Compute);
+        assert_eq!(k.stall(StallCause::RingSlot), 20);
+        assert_eq!(k.stall(StallCause::WaitingOnH2D), 40);
+        assert_eq!(k.total_ns(), 100);
+    }
+
+    #[test]
+    fn attribution_table_renders() {
+        let tl = vec![
+            entry(TimelineKind::H2D, 0, 50, 0),
+            entry(TimelineKind::Kernel, 50, 100, 0),
+        ];
+        let r = attribute_stalls(&tl, &[]);
+        let table = render_attribution(&r);
+        assert!(table.contains("Compute"));
+        assert!(table.contains("host-api"));
+        assert_eq!(table.lines().count(), 4);
+    }
+}

@@ -13,7 +13,7 @@
 
 use std::fmt::Write as _;
 
-use crate::counters::{TimelineEntry, TimelineKind};
+use crate::counters::{HostSpan, TimelineEntry, TimelineKind};
 use crate::time::SimTime;
 
 /// Per-engine busy statistics over a timeline.
@@ -27,13 +27,16 @@ pub struct Utilization {
     pub kernel: f64,
     /// End of the last command (ns) minus start of the first.
     pub makespan: SimTime,
+    /// Number of engines with at least one command in the timeline.
+    pub engines_active: usize,
 }
 
 impl Utilization {
     /// Aggregate busy fraction: total busy time across engines divided
-    /// by `3 × makespan`.
+    /// by `engines_active × makespan`. Engines with no work at all
+    /// (e.g. a region with no D2H) do not dilute the figure.
     pub fn aggregate(&self) -> f64 {
-        (self.h2d + self.d2h + self.kernel) / 3.0
+        (self.h2d + self.d2h + self.kernel) / self.engines_active.max(1) as f64
     }
 }
 
@@ -52,6 +55,7 @@ pub fn utilization(timeline: &[TimelineEntry]) -> Utilization {
             d2h: 0.0,
             kernel: 0.0,
             makespan: SimTime::ZERO,
+            engines_active: 0,
         };
     };
     let makespan = (end - start).max(1);
@@ -63,11 +67,16 @@ pub fn utilization(timeline: &[TimelineEntry]) -> Utilization {
             .sum();
         ns as f64 / makespan as f64
     };
+    let engines_active = [TimelineKind::H2D, TimelineKind::D2H, TimelineKind::Kernel]
+        .iter()
+        .filter(|k| timeline.iter().any(|t| t.kind == **k))
+        .count();
     Utilization {
         h2d: busy(TimelineKind::H2D),
         d2h: busy(TimelineKind::D2H),
         kernel: busy(TimelineKind::Kernel),
         makespan: SimTime::from_ns(makespan),
+        engines_active,
     }
 }
 
@@ -116,20 +125,27 @@ pub fn render_gantt(timeline: &[TimelineEntry], width: usize) -> String {
     out
 }
 
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn device_tid(kind: TimelineKind) -> u32 {
+    match kind {
+        TimelineKind::H2D => 1,
+        TimelineKind::D2H => 2,
+        TimelineKind::Kernel => 3,
+    }
+}
+
 /// Export the timeline in Chrome trace-event format (load via
 /// `chrome://tracing` or <https://ui.perfetto.dev>). Engines appear as
-/// "threads"; streams are recorded as arguments.
+/// "threads"; streams are recorded as arguments. The document uses the
+/// object form (`{"displayTimeUnit": ..., "traceEvents": [...]}`) so
+/// viewers pick nanosecond display and the export stays extensible;
+/// Chrome-compatible loaders still accept the inner array.
 pub fn to_chrome_trace(timeline: &[TimelineEntry]) -> String {
-    fn escape(s: &str) -> String {
-        s.replace('\\', "\\\\").replace('"', "\\\"")
-    }
-    let mut out = String::from("[\n");
+    let mut out = String::from("{\"displayTimeUnit\": \"ns\", \"traceEvents\": [\n");
     for (i, t) in timeline.iter().enumerate() {
-        let tid = match t.kind {
-            TimelineKind::H2D => 1,
-            TimelineKind::D2H => 2,
-            TimelineKind::Kernel => 3,
-        };
         let _ = write!(
             out,
             "  {{\"name\": \"{}\", \"cat\": \"{:?}\", \"ph\": \"X\", \
@@ -139,12 +155,160 @@ pub fn to_chrome_trace(timeline: &[TimelineEntry]) -> String {
             t.kind,
             t.start_ns as f64 / 1e3, // Chrome wants microseconds
             (t.end_ns - t.start_ns) as f64 / 1e3,
-            tid,
+            device_tid(t.kind),
             t.stream
         );
         out.push_str(if i + 1 == timeline.len() { "\n" } else { ",\n" });
     }
-    out.push_str("]\n");
+    out.push_str("]}\n");
+    out
+}
+
+/// A named counter series for trace export (`ph:"C"` events): ring-slot
+/// occupancy, in-flight chunks, device-memory footprint, ...
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CounterTrack {
+    /// Track name as shown by the viewer.
+    pub name: String,
+    /// `(host-clock ns, value)` samples, in time order.
+    pub samples: Vec<(u64, f64)>,
+}
+
+/// Derive an "in-flight chunks" counter from the timeline: how many
+/// kernel commands were enqueued but not yet complete at each instant —
+/// the depth of the software pipeline.
+pub fn inflight_counter(timeline: &[TimelineEntry]) -> CounterTrack {
+    let mut deltas: Vec<(u64, i64)> = Vec::new();
+    for t in timeline {
+        if t.kind == TimelineKind::Kernel {
+            deltas.push((t.enqueue_ns, 1));
+            deltas.push((t.end_ns, -1));
+        }
+    }
+    deltas.sort_unstable();
+    let mut samples = Vec::new();
+    let mut level: i64 = 0;
+    for (t, d) in deltas {
+        level += d;
+        match samples.last_mut() {
+            Some((lt, lv)) if *lt == t => *lv = level as f64,
+            _ => samples.push((t, level as f64)),
+        }
+    }
+    CounterTrack {
+        name: "in_flight_chunks".into(),
+        samples,
+    }
+}
+
+/// Full Perfetto-loadable export correlating the host and device
+/// timelines:
+///
+/// * `ph:"M"` metadata names the two processes (host pid 0 with a
+///   `runtime` thread; device pid 1 with one thread per engine);
+/// * `ph:"X"` spans for device commands and host runtime spans
+///   (zero-duration host spans become `ph:"i"` instants);
+/// * `ph:"s"`/`ph:"f"` flow events link each host enqueue span to the
+///   device slice it issued, keyed by the command's sequence number;
+/// * `ph:"C"` counter events render each [`CounterTrack`].
+pub fn to_perfetto_trace(
+    timeline: &[TimelineEntry],
+    host_spans: &[HostSpan],
+    counters: &[CounterTrack],
+) -> String {
+    let mut out = String::from("{\"displayTimeUnit\": \"ns\", \"traceEvents\": [\n");
+    let mut events: Vec<String> = Vec::new();
+
+    // Process / thread metadata.
+    for (pid, name) in [(0, "host"), (1, "device")] {
+        events.push(format!(
+            "  {{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": {pid}, \
+             \"args\": {{\"name\": \"{name}\"}}}}"
+        ));
+    }
+    for (pid, tid, name) in [
+        (0, 0, "runtime"),
+        (1, 1, "H2D"),
+        (1, 2, "D2H"),
+        (1, 3, "Compute"),
+    ] {
+        events.push(format!(
+            "  {{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": {pid}, \"tid\": {tid}, \
+             \"args\": {{\"name\": \"{name}\"}}}}"
+        ));
+    }
+
+    // Host spans (and flow starts at enqueue spans that produced a
+    // device-visible command).
+    let device_seqs: std::collections::HashSet<u64> =
+        timeline.iter().map(|t| t.seq).collect();
+    for s in host_spans {
+        let ts = s.start_ns as f64 / 1e3;
+        let dur = (s.end_ns - s.start_ns) as f64 / 1e3;
+        if s.end_ns > s.start_ns {
+            events.push(format!(
+                "  {{\"name\": \"{}\", \"cat\": \"{}\", \"ph\": \"X\", \"ts\": {ts:.3}, \
+                 \"dur\": {dur:.3}, \"pid\": 0, \"tid\": 0}}",
+                escape(&s.label),
+                s.kind.name(),
+            ));
+        } else {
+            events.push(format!(
+                "  {{\"name\": \"{}\", \"cat\": \"{}\", \"ph\": \"i\", \"ts\": {ts:.3}, \
+                 \"pid\": 0, \"tid\": 0, \"s\": \"t\"}}",
+                escape(&s.label),
+                s.kind.name(),
+            ));
+        }
+        if let Some(flow) = s.flow {
+            // Only emit the flow start if the device side exists (the
+            // command may be a pseudo command or still in flight).
+            if device_seqs.contains(&flow) {
+                events.push(format!(
+                    "  {{\"name\": \"cmd\", \"cat\": \"flow\", \"ph\": \"s\", \"id\": {flow}, \
+                     \"ts\": {:.3}, \"pid\": 0, \"tid\": 0}}",
+                    s.end_ns as f64 / 1e3,
+                ));
+            }
+        }
+    }
+
+    // Device spans + flow ends.
+    for t in timeline {
+        let ts = t.start_ns as f64 / 1e3;
+        events.push(format!(
+            "  {{\"name\": \"{}\", \"cat\": \"{:?}\", \"ph\": \"X\", \"ts\": {ts:.3}, \
+             \"dur\": {:.3}, \"pid\": 1, \"tid\": {}, \
+             \"args\": {{\"stream\": {}, \"seq\": {}}}}}",
+            escape(&t.label),
+            t.kind,
+            (t.end_ns - t.start_ns) as f64 / 1e3,
+            device_tid(t.kind),
+            t.stream,
+            t.seq,
+        ));
+        events.push(format!(
+            "  {{\"name\": \"cmd\", \"cat\": \"flow\", \"ph\": \"f\", \"bp\": \"e\", \
+             \"id\": {}, \"ts\": {ts:.3}, \"pid\": 1, \"tid\": {}}}",
+            t.seq,
+            device_tid(t.kind),
+        ));
+    }
+
+    // Counter tracks.
+    for c in counters {
+        for (t, v) in &c.samples {
+            events.push(format!(
+                "  {{\"name\": \"{}\", \"ph\": \"C\", \"ts\": {:.3}, \"pid\": 0, \
+                 \"args\": {{\"value\": {v}}}}}",
+                escape(&c.name),
+                *t as f64 / 1e3,
+            ));
+        }
+    }
+
+    out.push_str(&events.join(",\n"));
+    out.push_str("\n]}\n");
     out
 }
 
@@ -159,6 +323,8 @@ mod tests {
             stream,
             start_ns: start,
             end_ns: end,
+            seq: start,
+            enqueue_ns: start.saturating_sub(1),
         }
     }
 
@@ -185,8 +351,24 @@ mod tests {
     fn empty_timeline_is_handled() {
         let u = utilization(&[]);
         assert_eq!(u.makespan, SimTime::ZERO);
+        assert_eq!(u.engines_active, 0);
+        assert_eq!(u.aggregate(), 0.0);
         assert_eq!(render_gantt(&[], 40), "(empty timeline)\n");
-        assert_eq!(to_chrome_trace(&[]), "[\n]\n");
+        let doc = crate::json::parse(&to_chrome_trace(&[])).unwrap();
+        assert_eq!(doc.get("traceEvents").unwrap().as_arr().unwrap().len(), 0);
+    }
+
+    #[test]
+    fn aggregate_ignores_absent_engines() {
+        // Regression: a run with no D2H at all (e.g. a write-free
+        // region) used to divide by 3 and understate utilization.
+        let tl = vec![
+            entry(TimelineKind::H2D, 0, 0, 100),
+            entry(TimelineKind::Kernel, 0, 0, 100),
+        ];
+        let u = utilization(&tl);
+        assert_eq!(u.engines_active, 2);
+        assert!((u.aggregate() - 1.0).abs() < 1e-9, "{u:?}");
     }
 
     #[test]
@@ -207,9 +389,19 @@ mod tests {
     #[test]
     fn chrome_trace_is_loadable_shape() {
         let json = to_chrome_trace(&sample());
-        assert!(json.starts_with("[\n"));
-        assert!(json.trim_end().ends_with(']'));
-        assert_eq!(json.matches("\"ph\": \"X\"").count(), 4);
+        // Object form with nanosecond display, per the Perfetto docs.
+        let doc = crate::json::parse(&json).unwrap();
+        assert_eq!(doc.get("displayTimeUnit").unwrap().as_str(), Some("ns"));
+        // Backward compatibility: the traceEvents payload is still the
+        // plain array form older loaders consume.
+        let start = json.find('[').unwrap();
+        let end = json.rfind(']').unwrap();
+        let arr = crate::json::parse(&json[start..=end]).unwrap();
+        let events = arr.as_arr().unwrap();
+        assert_eq!(events.len(), 4);
+        assert!(events
+            .iter()
+            .all(|e| e.get("ph").unwrap().as_str() == Some("X")));
         assert!(json.contains("\"tid\": 3")); // kernel row
         assert!(json.contains("\"stream\": 2"));
         // Quotes in labels must be escaped.
@@ -219,9 +411,88 @@ mod tests {
             stream: 0,
             start_ns: 0,
             end_ns: 1,
+            seq: 0,
+            enqueue_ns: 0,
         }];
         let json = to_chrome_trace(&tricky);
         assert!(json.contains("a\\\"b\\\\c"));
+        let doc = crate::json::parse(&json).unwrap();
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        assert_eq!(events[0].get("name").unwrap().as_str(), Some("a\"b\\c"));
+    }
+
+    #[test]
+    fn perfetto_trace_has_spans_flows_and_counters() {
+        use crate::counters::{HostSpan, HostSpanKind};
+        let tl = sample();
+        let host: Vec<HostSpan> = tl
+            .iter()
+            .map(|t| HostSpan {
+                label: t.label.clone(),
+                kind: HostSpanKind::Enqueue,
+                start_ns: t.enqueue_ns,
+                end_ns: t.enqueue_ns + 1,
+                flow: Some(t.seq),
+            })
+            .collect();
+        let counters = vec![
+            CounterTrack {
+                name: "device_mem".into(),
+                samples: vec![(0, 1024.0), (50, 2048.0)],
+            },
+            inflight_counter(&tl),
+        ];
+        let json = to_perfetto_trace(&tl, &host, &counters);
+        let doc = crate::json::parse(&json).unwrap();
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        let count_ph = |ph: &str| {
+            events
+                .iter()
+                .filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some(ph))
+                .count()
+        };
+        assert_eq!(count_ph("M"), 6, "2 process + 4 thread names");
+        // One flow start per enqueue span, one flow end per device slice.
+        assert_eq!(count_ph("s"), tl.len());
+        assert_eq!(count_ph("f"), tl.len());
+        assert!(count_ph("C") >= 2);
+        // Host and device spans both present.
+        let span_pids: Vec<f64> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("X"))
+            .filter_map(|e| e.get("pid").and_then(|p| p.as_f64()))
+            .collect();
+        assert!(span_pids.contains(&0.0) && span_pids.contains(&1.0));
+    }
+
+    #[test]
+    fn inflight_counter_tracks_pipeline_depth() {
+        // Two kernels enqueued at 0 and 10, completing at 50 and 90.
+        let tl = vec![
+            TimelineEntry {
+                label: "k0".into(),
+                kind: TimelineKind::Kernel,
+                stream: 0,
+                start_ns: 20,
+                end_ns: 50,
+                seq: 0,
+                enqueue_ns: 0,
+            },
+            TimelineEntry {
+                label: "k1".into(),
+                kind: TimelineKind::Kernel,
+                stream: 1,
+                start_ns: 50,
+                end_ns: 90,
+                seq: 1,
+                enqueue_ns: 10,
+            },
+        ];
+        let c = inflight_counter(&tl);
+        assert_eq!(
+            c.samples,
+            vec![(0, 1.0), (10, 2.0), (50, 1.0), (90, 0.0)]
+        );
     }
 
     #[test]

@@ -54,6 +54,93 @@ fn kernel_error_mid_pipeline_reports_but_later_use_is_possible() {
 }
 
 #[test]
+fn mid_pipeline_error_leaves_consistent_timeline_and_valid_trace() {
+    // Inject a failure into the middle of a three-chunk H2D→kernel→D2H
+    // pipeline. The run must stop with the injected error, and the
+    // observability surface must stay coherent: the timeline is
+    // truncated but internally consistent (no engine overlap, counters
+    // match), and the trace export still parses with a flow begin for
+    // every completed device slice.
+    let mut g = gpu();
+    let d = g.alloc(256).unwrap();
+    let h = g.alloc_host(256, true).unwrap();
+    g.host_fill(h, |i| i as f32).unwrap();
+    let streams: Vec<_> = (0..2).map(|_| g.create_stream().unwrap()).collect();
+    let mut enqueued = 0u64;
+    for chunk in 0..3 {
+        let s = streams[chunk % 2];
+        let off = chunk * 64;
+        g.memcpy_h2d_async(s, h, off, d.add(off), 64).unwrap();
+        let fail = chunk == 1;
+        g.launch(
+            s,
+            KernelLaunch::new("work", KernelCost::default(), move |kc| {
+                if fail {
+                    return Err(SimError::InvalidArgument("injected".into()));
+                }
+                kc.write(d.add(off), 64)?.fill(chunk as f32);
+                Ok(())
+            }),
+        )
+        .unwrap();
+        g.memcpy_d2h_async(s, d.add(off), 64, h, off).unwrap();
+        enqueued += 3;
+    }
+    let err = g.synchronize().unwrap_err();
+    assert!(err.to_string().contains("injected"), "{err}");
+
+    // Truncated: the failing chunk's kernel (and work ordered after it)
+    // never retired onto the timeline.
+    let tl = g.timeline();
+    assert!(!tl.is_empty());
+    assert!((tl.len() as u64) < enqueued, "timeline was not truncated");
+    // Consistent: per-engine entries do not overlap and counters agree
+    // with the retired entries.
+    for kind in [
+        gpsim::TimelineKind::H2D,
+        gpsim::TimelineKind::D2H,
+        gpsim::TimelineKind::Kernel,
+    ] {
+        let mut on_engine: Vec<_> = tl.iter().filter(|t| t.kind == kind).collect();
+        on_engine.sort_by_key(|t| t.start_ns);
+        for w in on_engine.windows(2) {
+            assert!(w[0].end_ns <= w[1].start_ns, "{kind:?} overlap: {w:?}");
+        }
+    }
+    let counted = g.counters().h2d_count + g.counters().d2h_count + g.counters().kernel_count;
+    assert_eq!(counted as usize, tl.len());
+
+    // The trace export of the truncated run is still a valid document.
+    let doc = gpsim::to_perfetto_trace(tl, g.host_spans(), &[]);
+    let parsed = gpsim::json::parse(&doc).expect("truncated trace parses");
+    let events = parsed
+        .get("traceEvents")
+        .and_then(gpsim::json::Json::as_arr)
+        .expect("traceEvents");
+    let ph = |e: &gpsim::json::Json, want: &str| {
+        e.get("ph").and_then(gpsim::json::Json::as_str) == Some(want)
+    };
+    let flow_begins: Vec<u64> = events
+        .iter()
+        .filter(|e| ph(e, "s"))
+        .filter_map(|e| e.get("id").and_then(gpsim::json::Json::as_f64))
+        .map(|v| v as u64)
+        .collect();
+    for t in tl {
+        assert!(
+            flow_begins.contains(&t.seq),
+            "completed slice '{}' lost its flow link",
+            t.label
+        );
+    }
+    // Stall attribution still partitions the truncated makespan.
+    let stalls = gpsim::attribute_stalls(tl, g.wait_records());
+    for bd in &stalls.engines {
+        assert_eq!(bd.total_ns(), stalls.makespan_ns());
+    }
+}
+
+#[test]
 fn copies_to_freed_device_memory_are_rejected_at_enqueue() {
     let mut g = gpu();
     let d = g.alloc(64).unwrap();

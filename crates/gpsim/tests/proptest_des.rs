@@ -105,14 +105,28 @@ fn run_program(steps: &[Step]) -> Result<(), TestCaseError> {
             );
         }
     }
-    // Invariant 3: accounting matches the timeline.
+    // Invariant 3: accounting matches the timeline, engine by engine —
+    // each engine's counter busy time equals the sum of that engine's
+    // timeline entry durations.
     let counted = gpu.counters().h2d_count + gpu.counters().d2h_count + gpu.counters().kernel_count;
     prop_assert_eq!(counted as usize, tl.len());
-    let busy_ns: u64 = tl.iter().map(|t| t.end_ns - t.start_ns).sum();
-    prop_assert_eq!(
-        busy_ns,
-        (gpu.counters().h2d_time + gpu.counters().d2h_time + gpu.counters().kernel_time).as_ns()
-    );
+    for (kind, counter_busy) in [
+        (TimelineKind::H2D, gpu.counters().h2d_time),
+        (TimelineKind::D2H, gpu.counters().d2h_time),
+        (TimelineKind::Kernel, gpu.counters().kernel_time),
+    ] {
+        let entry_busy: u64 = tl
+            .iter()
+            .filter(|t| t.kind == kind)
+            .map(|t| t.end_ns - t.start_ns)
+            .sum();
+        prop_assert_eq!(
+            entry_busy,
+            counter_busy.as_ns(),
+            "engine {:?} counter/timeline mismatch",
+            kind
+        );
+    }
     // Invariant 4: makespan bounds every entry, and per-engine busy time
     // never exceeds the makespan.
     let makespan = tl.iter().map(|t| t.end_ns).max().unwrap_or(0);
@@ -123,6 +137,13 @@ fn run_program(steps: &[Step]) -> Result<(), TestCaseError> {
             .map(|t| t.end_ns - t.start_ns)
             .sum();
         prop_assert!(busy <= makespan);
+    }
+    // Invariant 5: stall attribution is an exact partition — for every
+    // engine, busy time plus all stall buckets equals the makespan.
+    let stalls = gpsim::attribute_stalls(tl, gpu.wait_records());
+    let span = stalls.makespan_ns();
+    for bd in &stalls.engines {
+        prop_assert_eq!(bd.total_ns(), span, "stall buckets do not partition the makespan");
     }
     Ok(())
 }
