@@ -236,11 +236,7 @@ mod tests {
     use super::*;
     use crate::util::{assert_exact, read_host};
     use gpsim::{DeviceProfile, ExecMode};
-    use pipeline_rt::{
-        run_naive, run_pipelined, run_pipelined_buffer, KernelBuilder, RtResult, RunReport,
-    };
-
-    type Driver = fn(&mut Gpu, &Region, &KernelBuilder<'_>) -> RtResult<RunReport>;
+    use pipeline_rt::{run_model, ExecModel, RunOptions};
 
     #[test]
     fn all_models_match_cpu_reference() {
@@ -252,13 +248,13 @@ mod tests {
         let expect = cfg.cpu_reference(&a);
         let builder = cfg.builder();
 
-        for (name, f) in [
-            ("naive", run_naive as Driver),
-            ("pipelined", run_pipelined as Driver),
-            ("buffer", run_pipelined_buffer as Driver),
+        for (name, model) in [
+            ("naive", ExecModel::Naive),
+            ("pipelined", ExecModel::Pipelined),
+            ("buffer", ExecModel::PipelinedBuffer),
         ] {
             gpu.host_fill(inst.b, |_| 0.0).unwrap();
-            f(&mut gpu, &inst.region, &builder).unwrap();
+            run_model(&mut gpu, &inst.region, &builder, model, &RunOptions::default()).unwrap();
             assert_exact(&read_host(&gpu, inst.b).unwrap(), &expect, name);
         }
     }

@@ -19,9 +19,10 @@
 
 use gpsim::{DevPtr, Gpu, HostBufId, KernelCost, KernelLaunch};
 use pipeline_rt::{
-    run_pipelined_buffer, Affine, ChunkCtx, MapDir, MapSpec, Region, RegionSpec, RtResult,
-    RunReport, Schedule, SplitSpec,
+    run_model, Affine, ChunkCtx, ExecModel, MapDir, MapSpec, Region, RegionSpec, RtResult,
+    RunOptions, Schedule, SplitSpec,
 };
+use pipeline_rt::RunReport;
 
 use crate::util::fill_random;
 
@@ -243,10 +244,12 @@ impl MatmulConfig {
         c: HostBufId,
     ) -> RtResult<RunReport> {
         let region = self.naive_region(a, b, c);
-        pipeline_rt::run_naive(
+        run_model(
             gpu,
             &region,
             &self.gemm_kernel("gemm_baseline", BASELINE_BYTES_PER_FLOP_INV),
+            ExecModel::Naive,
+            &RunOptions::default(),
         )
     }
 
@@ -260,10 +263,12 @@ impl MatmulConfig {
         c: HostBufId,
     ) -> RtResult<RunReport> {
         let region = self.naive_region(a, b, c);
-        pipeline_rt::run_naive(
+        run_model(
             gpu,
             &region,
             &self.gemm_kernel("gemm_block_shared", TILED_BYTES_PER_FLOP_INV),
+            ExecModel::Naive,
+            &RunOptions::default(),
         )
     }
 
@@ -354,7 +359,13 @@ impl MatmulConfig {
             .writing(c_dev, n * n)
         };
 
-        let mut report = match run_pipelined_buffer(gpu, &region, &builder) {
+        let mut report = match run_model(
+            gpu,
+            &region,
+            &builder,
+            ExecModel::PipelinedBuffer,
+            &RunOptions::default(),
+        ) {
             Ok(r) => r,
             Err(e) => {
                 let _ = gpu.free(c_dev);

@@ -493,7 +493,7 @@ mod tests {
     use super::*;
     use crate::util::{assert_exact, read_host};
     use gpsim::{DeviceProfile, ExecMode};
-    use pipeline_rt::{run_naive, run_pipelined, run_pipelined_buffer};
+    use pipeline_rt::{run_model, ExecModel, RunOptions};
 
     #[test]
     fn all_models_match_cpu_reference() {
@@ -507,15 +507,15 @@ mod tests {
         let expect = cfg.cpu_reference(&psi, &u, &f);
         let builder = cfg.builder();
 
-        run_naive(&mut gpu, &inst.region, &builder).unwrap();
+        run_model(&mut gpu, &inst.region, &builder, ExecModel::Naive, &RunOptions::default()).unwrap();
         assert_exact(&read_host(&gpu, inst.out).unwrap(), &expect, "naive");
 
         gpu.host_fill(inst.out, |_| 0.0).unwrap();
-        run_pipelined(&mut gpu, &inst.region, &builder).unwrap();
+        run_model(&mut gpu, &inst.region, &builder, ExecModel::Pipelined, &RunOptions::default()).unwrap();
         assert_exact(&read_host(&gpu, inst.out).unwrap(), &expect, "pipelined");
 
         gpu.host_fill(inst.out, |_| 0.0).unwrap();
-        run_pipelined_buffer(&mut gpu, &inst.region, &builder).unwrap();
+        run_model(&mut gpu, &inst.region, &builder, ExecModel::PipelinedBuffer, &RunOptions::default()).unwrap();
         assert_exact(&read_host(&gpu, inst.out).unwrap(), &expect, "buffer");
     }
 
@@ -559,7 +559,7 @@ mod tests {
         let cfg = QcdConfig::paper_size(24);
         let mut gpu = Gpu::new(DeviceProfile::k40m(), ExecMode::Timing).unwrap();
         let inst = cfg.setup(&mut gpu).unwrap();
-        let rep = run_naive(&mut gpu, &inst.region, &cfg.builder()).unwrap();
+        let rep = run_model(&mut gpu, &inst.region, &cfg.builder(), ExecModel::Naive, &RunOptions::default()).unwrap();
         let share = rep.transfer_fraction();
         assert!(
             (0.35..0.65).contains(&share),
@@ -574,8 +574,8 @@ mod tests {
         let mut gpu = Gpu::new(DeviceProfile::k40m(), ExecMode::Timing).unwrap();
         let inst = cfg.setup(&mut gpu).unwrap();
         let builder = cfg.builder();
-        let naive = run_naive(&mut gpu, &inst.region, &builder).unwrap();
-        let buf = run_pipelined_buffer(&mut gpu, &inst.region, &builder).unwrap();
+        let naive = run_model(&mut gpu, &inst.region, &builder, ExecModel::Naive, &RunOptions::default()).unwrap();
+        let buf = run_model(&mut gpu, &inst.region, &builder, ExecModel::PipelinedBuffer, &RunOptions::default()).unwrap();
         // Ring ≈ C slices vs nt slices.
         let per_slice = (2 * cfg.psi_slice() + 2 * cfg.u_slice()) as u64 * 4;
         assert_eq!(naive.array_bytes, per_slice * cfg.nt as u64);

@@ -242,7 +242,7 @@ mod tests {
     use super::*;
     use crate::util::{assert_exact, read_host};
     use gpsim::{DeviceProfile, ExecMode};
-    use pipeline_rt::{run_naive, run_pipelined, run_pipelined_buffer};
+    use pipeline_rt::{run_model, ExecModel, RunOptions};
 
     #[test]
     fn all_models_match_cpu_reference() {
@@ -254,15 +254,15 @@ mod tests {
         let expect = cfg.cpu_reference(&a0);
         let builder = cfg.builder();
 
-        run_naive(&mut gpu, &inst.region, &builder).unwrap();
+        run_model(&mut gpu, &inst.region, &builder, ExecModel::Naive, &RunOptions::default()).unwrap();
         assert_exact(&read_host(&gpu, inst.anext).unwrap(), &expect, "naive");
 
         gpu.host_fill(inst.anext, |_| 0.0).unwrap();
-        run_pipelined(&mut gpu, &inst.region, &builder).unwrap();
+        run_model(&mut gpu, &inst.region, &builder, ExecModel::Pipelined, &RunOptions::default()).unwrap();
         assert_exact(&read_host(&gpu, inst.anext).unwrap(), &expect, "pipelined");
 
         gpu.host_fill(inst.anext, |_| 0.0).unwrap();
-        run_pipelined_buffer(&mut gpu, &inst.region, &builder).unwrap();
+        run_model(&mut gpu, &inst.region, &builder, ExecModel::PipelinedBuffer, &RunOptions::default()).unwrap();
         assert_exact(&read_host(&gpu, inst.anext).unwrap(), &expect, "buffer");
     }
 
@@ -281,8 +281,8 @@ mod tests {
         let mut gpu = Gpu::new(DeviceProfile::k40m(), ExecMode::Functional).unwrap();
         let inst = cfg.setup(&mut gpu).unwrap();
         let builder = cfg.builder();
-        let naive = run_naive(&mut gpu, &inst.region, &builder).unwrap();
-        let buf = run_pipelined_buffer(&mut gpu, &inst.region, &builder).unwrap();
+        let naive = run_model(&mut gpu, &inst.region, &builder, ExecModel::Naive, &RunOptions::default()).unwrap();
+        let buf = run_model(&mut gpu, &inst.region, &builder, ExecModel::PipelinedBuffer, &RunOptions::default()).unwrap();
         assert!(buf.array_bytes < naive.array_bytes / 2);
     }
 }

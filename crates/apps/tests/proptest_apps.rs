@@ -5,7 +5,7 @@
 use gpsim::{DeviceProfile, ExecMode, Gpu};
 use pipeline_apps::util::{assert_exact, max_rel_error, read_host};
 use pipeline_apps::{Conv3dConfig, MatmulConfig, StencilConfig};
-use pipeline_rt::{run_naive, run_pipelined, run_pipelined_buffer};
+use pipeline_rt::{run_model, ExecModel, RunOptions};
 use proptest::prelude::*;
 
 fn gpu() -> Gpu {
@@ -37,13 +37,13 @@ proptest! {
         let expect = cfg.cpu_reference(&a0);
         let builder = cfg.builder();
 
-        run_naive(&mut gpu, &inst.region, &builder).unwrap();
+        run_model(&mut gpu, &inst.region, &builder, ExecModel::Naive, &RunOptions::default()).unwrap();
         let naive_out = read_host(&gpu, inst.anext).unwrap();
         gpu.host_fill(inst.anext, |_| 0.0).unwrap();
-        run_pipelined(&mut gpu, &inst.region, &builder).unwrap();
+        run_model(&mut gpu, &inst.region, &builder, ExecModel::Pipelined, &RunOptions::default()).unwrap();
         let pipe_out = read_host(&gpu, inst.anext).unwrap();
         gpu.host_fill(inst.anext, |_| 0.0).unwrap();
-        run_pipelined_buffer(&mut gpu, &inst.region, &builder).unwrap();
+        run_model(&mut gpu, &inst.region, &builder, ExecModel::PipelinedBuffer, &RunOptions::default()).unwrap();
         let buf_out = read_host(&gpu, inst.anext).unwrap();
 
         // Interior planes only — the boundary planes are never written.
@@ -68,7 +68,7 @@ proptest! {
         let a = read_host(&gpu, inst.a).unwrap();
         let expect = cfg.cpu_reference(&a);
         let builder = cfg.builder();
-        run_pipelined_buffer(&mut gpu, &inst.region, &builder).unwrap();
+        run_model(&mut gpu, &inst.region, &builder, ExecModel::PipelinedBuffer, &RunOptions::default()).unwrap();
         let got = read_host(&gpu, inst.b).unwrap();
         let plane = cfg.plane();
         assert_exact(

@@ -4,7 +4,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use pipeline_apps::StencilConfig;
 use pipeline_bench::gpu_k40m;
-use pipeline_rt::{run_pipelined_buffer_with, BufferOptions};
+use pipeline_rt::{run_model, BufferOptions, ExecModel, RunOptions};
 use std::hint::black_box;
 
 fn small() -> StencilConfig {
@@ -20,9 +20,15 @@ fn run(opts: BufferOptions) -> gpsim::SimTime {
     let mut gpu = gpu_k40m();
     let cfg = small();
     let inst = cfg.setup(&mut gpu).unwrap();
-    run_pipelined_buffer_with(&mut gpu, &inst.region, &cfg.builder(), &opts)
-        .unwrap()
-        .total
+    run_model(
+        &mut gpu,
+        &inst.region,
+        &cfg.builder(),
+        ExecModel::PipelinedBuffer,
+        &RunOptions::default().with_buffer(opts),
+    )
+    .unwrap()
+    .total
 }
 
 fn bench(c: &mut Criterion) {

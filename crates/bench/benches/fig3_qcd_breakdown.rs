@@ -6,7 +6,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use pipeline_apps::QcdConfig;
 use pipeline_bench::gpu_k40m;
-use pipeline_rt::{run_naive, run_pipelined};
+use pipeline_rt::{run_model, ExecModel, RunOptions};
 use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
@@ -17,7 +17,7 @@ fn bench(c: &mut Criterion) {
             let mut gpu = gpu_k40m();
             let cfg = QcdConfig::paper_size(12);
             let inst = cfg.setup(&mut gpu).unwrap();
-            let rep = run_naive(&mut gpu, &inst.region, &cfg.builder()).unwrap();
+            let rep = run_model(&mut gpu, &inst.region, &cfg.builder(), ExecModel::Naive, &RunOptions::default()).unwrap();
             black_box(rep.total)
         })
     });
@@ -26,7 +26,7 @@ fn bench(c: &mut Criterion) {
             let mut gpu = gpu_k40m();
             let cfg = QcdConfig::paper_size(12);
             let inst = cfg.setup(&mut gpu).unwrap();
-            let rep = run_pipelined(&mut gpu, &inst.region, &cfg.builder()).unwrap();
+            let rep = run_model(&mut gpu, &inst.region, &cfg.builder(), ExecModel::Pipelined, &RunOptions::default()).unwrap();
             black_box(rep.total)
         })
     });

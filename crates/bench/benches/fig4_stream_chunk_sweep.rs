@@ -4,7 +4,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pipeline_apps::QcdConfig;
 use pipeline_bench::gpu_k40m;
-use pipeline_rt::run_pipelined_buffer;
+use pipeline_rt::{run_model, ExecModel, RunOptions};
 use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
@@ -22,7 +22,7 @@ fn bench(c: &mut Criterion) {
                     cfg.streams = streams;
                     let inst = cfg.setup(&mut gpu).unwrap();
                     let rep =
-                        run_pipelined_buffer(&mut gpu, &inst.region, &cfg.builder()).unwrap();
+                        run_model(&mut gpu, &inst.region, &cfg.builder(), ExecModel::PipelinedBuffer, &RunOptions::default()).unwrap();
                     black_box(rep.total)
                 })
             },

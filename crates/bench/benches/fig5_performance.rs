@@ -4,7 +4,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use pipeline_apps::StencilConfig;
 use pipeline_bench::gpu_k40m;
-use pipeline_rt::{run_naive, run_pipelined, run_pipelined_buffer};
+use pipeline_rt::{run_model, ExecModel, RunOptions};
 use std::hint::black_box;
 
 fn small() -> StencilConfig {
@@ -24,7 +24,7 @@ fn bench(c: &mut Criterion) {
             let mut gpu = gpu_k40m();
             let cfg = small();
             let inst = cfg.setup(&mut gpu).unwrap();
-            black_box(run_naive(&mut gpu, &inst.region, &cfg.builder()).unwrap().total)
+            black_box(run_model(&mut gpu, &inst.region, &cfg.builder(), ExecModel::Naive, &RunOptions::default()).unwrap().total)
         })
     });
     g.bench_function("pipelined", |b| {
@@ -33,7 +33,7 @@ fn bench(c: &mut Criterion) {
             let cfg = small();
             let inst = cfg.setup(&mut gpu).unwrap();
             black_box(
-                run_pipelined(&mut gpu, &inst.region, &cfg.builder())
+                run_model(&mut gpu, &inst.region, &cfg.builder(), ExecModel::Pipelined, &RunOptions::default())
                     .unwrap()
                     .total,
             )
@@ -45,7 +45,7 @@ fn bench(c: &mut Criterion) {
             let cfg = small();
             let inst = cfg.setup(&mut gpu).unwrap();
             black_box(
-                run_pipelined_buffer(&mut gpu, &inst.region, &cfg.builder())
+                run_model(&mut gpu, &inst.region, &cfg.builder(), ExecModel::PipelinedBuffer, &RunOptions::default())
                     .unwrap()
                     .total,
             )

@@ -4,7 +4,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use pipeline_apps::Conv3dConfig;
 use pipeline_bench::gpu_k40m;
-use pipeline_rt::{resolve_plan, run_pipelined_buffer};
+use pipeline_rt::{resolve_plan, run_model, ExecModel, RunOptions};
 use std::hint::black_box;
 
 fn small() -> Conv3dConfig {
@@ -37,7 +37,7 @@ fn bench(c: &mut Criterion) {
             let mut gpu = gpu_k40m();
             let cfg = small();
             let inst = cfg.setup(&mut gpu).unwrap();
-            let rep = run_pipelined_buffer(&mut gpu, &inst.region, &cfg.builder()).unwrap();
+            let rep = run_model(&mut gpu, &inst.region, &cfg.builder(), ExecModel::PipelinedBuffer, &RunOptions::default()).unwrap();
             black_box((rep.gpu_mem_bytes, rep.array_bytes))
         })
     });

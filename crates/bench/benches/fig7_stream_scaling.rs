@@ -4,7 +4,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pipeline_apps::StencilConfig;
 use pipeline_bench::gpu_k40m;
-use pipeline_rt::{run_pipelined, run_pipelined_buffer};
+use pipeline_rt::{run_model, ExecModel, RunOptions};
 use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
@@ -26,7 +26,7 @@ fn bench(c: &mut Criterion) {
                     cfg.streams = streams;
                     let inst = cfg.setup(&mut gpu).unwrap();
                     black_box(
-                        run_pipelined(&mut gpu, &inst.region, &cfg.builder())
+                        run_model(&mut gpu, &inst.region, &cfg.builder(), ExecModel::Pipelined, &RunOptions::default())
                             .unwrap()
                             .total,
                     )
@@ -48,7 +48,7 @@ fn bench(c: &mut Criterion) {
                     cfg.streams = streams;
                     let inst = cfg.setup(&mut gpu).unwrap();
                     black_box(
-                        run_pipelined_buffer(&mut gpu, &inst.region, &cfg.builder())
+                        run_model(&mut gpu, &inst.region, &cfg.builder(), ExecModel::PipelinedBuffer, &RunOptions::default())
                             .unwrap()
                             .total,
                     )

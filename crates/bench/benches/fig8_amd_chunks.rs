@@ -4,7 +4,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pipeline_apps::Conv3dConfig;
 use pipeline_bench::gpu_hd7970;
-use pipeline_rt::{run_naive, run_pipelined};
+use pipeline_rt::{run_model, ExecModel, RunOptions};
 use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
@@ -23,7 +23,7 @@ fn bench(c: &mut Criterion) {
                 };
                 let inst = cfg.setup(&mut gpu).unwrap();
                 black_box(
-                    run_pipelined(&mut gpu, &inst.region, &cfg.builder())
+                    run_model(&mut gpu, &inst.region, &cfg.builder(), ExecModel::Pipelined, &RunOptions::default())
                         .unwrap()
                         .total,
                 )
@@ -41,7 +41,7 @@ fn bench(c: &mut Criterion) {
                 streams: 3,
             };
             let inst = cfg.setup(&mut gpu).unwrap();
-            black_box(run_naive(&mut gpu, &inst.region, &cfg.builder()).unwrap().total)
+            black_box(run_model(&mut gpu, &inst.region, &cfg.builder(), ExecModel::Naive, &RunOptions::default()).unwrap().total)
         })
     });
     g.finish();

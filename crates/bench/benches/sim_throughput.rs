@@ -8,7 +8,7 @@
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use gpsim::{DeviceProfile, ExecMode, Gpu, KernelCost, KernelLaunch};
 use pipeline_apps::QcdConfig;
-use pipeline_rt::{run_pipelined_buffer, sweep_map_threads};
+use pipeline_rt::{run_model, sweep_map_threads, ExecModel, RunOptions};
 
 /// Raw DES hot loop: a deep multi-stream command mix (copies + kernels
 /// racing on three engines) with no runtime layer above it. Exercises
@@ -46,7 +46,7 @@ fn qcd_buffer_run(n: usize) -> u64 {
     let mut gpu = Gpu::new(DeviceProfile::k40m(), ExecMode::Timing).expect("context");
     let cfg = QcdConfig::paper_size(n);
     let inst = cfg.setup(&mut gpu).expect("qcd setup");
-    let rep = run_pipelined_buffer(&mut gpu, &inst.region, &cfg.builder()).expect("buffer run");
+    let rep = run_model(&mut gpu, &inst.region, &cfg.builder(), ExecModel::PipelinedBuffer, &RunOptions::default()).expect("buffer run");
     rep.commands
 }
 

@@ -16,9 +16,7 @@
 
 use gpsim::SimTime;
 use pipeline_apps::{Conv3dConfig, QcdConfig, StencilConfig};
-use pipeline_rt::{
-    run_naive, run_pipelined_buffer, run_pipelined_buffer_with, BufferOptions, Region, Schedule,
-};
+use pipeline_rt::{run_model, BufferOptions, ExecModel, Region, RunOptions, Schedule};
 
 use crate::{gpu_hd7970, gpu_k40m};
 
@@ -49,15 +47,17 @@ pub fn residency() -> Vec<AblationRow> {
     let cfg = StencilConfig::parboil_default();
     let inst = cfg.setup(&mut gpu).expect("stencil setup");
     let builder = cfg.builder();
-    let on = run_pipelined_buffer(&mut gpu, &inst.region, &builder).expect("on");
-    let off = run_pipelined_buffer_with(
+    let on = run_model(&mut gpu, &inst.region, &builder, ExecModel::PipelinedBuffer, &RunOptions::default())
+        .expect("on");
+    let off = run_model(
         &mut gpu,
         &inst.region,
         &builder,
-        &BufferOptions {
+        ExecModel::PipelinedBuffer,
+        &RunOptions::default().with_buffer(BufferOptions {
             track_residency: false,
             ..Default::default()
-        },
+        }),
     )
     .expect("off");
     vec![
@@ -82,15 +82,17 @@ pub fn ring_slack() -> Vec<AblationRow> {
     let cfg = QcdConfig::paper_size(24);
     let inst = cfg.setup(&mut gpu).expect("qcd setup");
     let builder = cfg.builder();
-    let dflt = run_pipelined_buffer(&mut gpu, &inst.region, &builder).expect("default");
-    let minimal = run_pipelined_buffer_with(
+    let dflt = run_model(&mut gpu, &inst.region, &builder, ExecModel::PipelinedBuffer, &RunOptions::default())
+        .expect("default");
+    let minimal = run_model(
         &mut gpu,
         &inst.region,
         &builder,
-        &BufferOptions {
+        ExecModel::PipelinedBuffer,
+        &RunOptions::default().with_buffer(BufferOptions {
             minimal_slots: true,
             ..Default::default()
-        },
+        }),
     )
     .expect("minimal");
     vec![
@@ -130,8 +132,10 @@ pub fn adaptive_schedule() -> Vec<AblationRow> {
         };
         region.spec.schedule = schedule;
         let builder = cfg.builder();
-        let naive = run_naive(&mut gpu, &region, &builder).expect("naive");
-        let buf = run_pipelined_buffer(&mut gpu, &region, &builder).expect("buffer");
+        let naive =
+            run_model(&mut gpu, &region, &builder, ExecModel::Naive, &RunOptions::default()).expect("naive");
+        let buf = run_model(&mut gpu, &region, &builder, ExecModel::PipelinedBuffer, &RunOptions::default())
+            .expect("buffer");
         (naive.total, buf.total)
     };
     let (_, static_time) = run_with(Schedule::static_(1, 3));
@@ -166,7 +170,8 @@ pub fn autotuned_schedule() -> Vec<AblationRow> {
     };
     let inst = cfg.setup(&mut gpu).expect("conv3d setup");
     let builder = cfg.builder();
-    let dflt = run_pipelined_buffer(&mut gpu, &inst.region, &builder).expect("default");
+    let dflt = run_model(&mut gpu, &inst.region, &builder, ExecModel::PipelinedBuffer, &RunOptions::default())
+        .expect("default");
     let (_tuned, best) = pipeline_rt::run_autotuned(
         &mut gpu,
         &inst.region,
@@ -186,8 +191,7 @@ pub fn autotuned_schedule() -> Vec<AblationRow> {
 /// quadratically skewed chunk costs.
 pub fn stream_assignment() -> Vec<AblationRow> {
     use pipeline_rt::{
-        run_pipelined_buffer_with, Affine, BufferOptions, MapDir, MapSpec, RegionSpec, SplitSpec,
-        StreamAssignment,
+        Affine, MapDir, MapSpec, RegionSpec, SplitSpec, StreamAssignment,
     };
     const NZ: usize = 48;
     const SLICE: usize = 1 << 16;
@@ -229,14 +233,15 @@ pub fn stream_assignment() -> Vec<AblationRow> {
         gpsim::KernelLaunch::cost_only("skewed", gpsim::KernelCost { flops, bytes: 0 })
     };
     let mut run = |assignment| {
-        run_pipelined_buffer_with(
+        run_model(
             &mut gpu,
             &region,
             &builder,
-            &BufferOptions {
+            ExecModel::PipelinedBuffer,
+            &RunOptions::default().with_buffer(BufferOptions {
                 assignment,
                 ..Default::default()
-            },
+            }),
         )
         .expect("run")
         .total
@@ -263,7 +268,7 @@ pub fn pinned_host() -> Vec<AblationRow> {
         let f = gpu.alloc_host(cfg.u_slice() * cfg.nt, pinned).unwrap();
         let out = gpu.alloc_host(cfg.psi_slice() * cfg.nt, pinned).unwrap();
         let region = Region::new(cfg.spec(), 1, (cfg.nt - 1) as i64, vec![psi, u, f, out]);
-        run_naive(&mut gpu, &region, &cfg.builder())
+        run_model(&mut gpu, &region, &cfg.builder(), ExecModel::Naive, &RunOptions::default())
             .expect("naive")
             .total
     };

@@ -10,7 +10,7 @@
 use std::fs;
 use std::path::PathBuf;
 
-use pipeline_bench::{ablate, fig3, fig4, fig56, fig7, fig8, fig910, header, perf, trace};
+use pipeline_bench::{ablate, faults, fig3, fig4, fig56, fig7, fig8, fig910, header, perf, trace};
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
@@ -59,7 +59,7 @@ fn main() {
     };
     const KNOWN: &[&str] = &[
         "all", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
-        "future", "ablations", "perf", "trace",
+        "future", "ablations", "perf", "trace", "faults",
     ];
     for a in &args {
         if !KNOWN.contains(&a.as_str()) {
@@ -242,6 +242,35 @@ fn main() {
                 .expect("write BENCH_sim.json");
         }
         eprintln!("wrote BENCH_sim.json");
+    }
+    if want("faults") {
+        header(if smoke {
+            "Overhead of resilience — fault-rate sweep, smoke shape (3dconv, K40m)"
+        } else {
+            "Overhead of resilience — fault-rate sweep (3dconv, K40m)"
+        });
+        let sweep = faults::run(smoke);
+        faults::print(&sweep);
+        fs::write("FAULTS_sim.json", faults::json(&sweep)).expect("write FAULTS_sim.json");
+        eprintln!("wrote FAULTS_sim.json");
+        fs::create_dir_all(&trace_dir).expect("create trace dir");
+        let path = trace_dir.join("3dconv_buffer_faults.trace.json");
+        fs::write(&path, &sweep.trace_json).expect("write faults trace");
+        eprintln!("wrote {}", path.display());
+        let mut csv = String::from("rate,injected,retries,reissued,backoff_us,total_ms,overhead\n");
+        for r in &sweep.rows {
+            csv.push_str(&format!(
+                "{:.4},{},{},{},{:.3},{:.6},{:.6}\n",
+                r.rate,
+                r.injected,
+                r.report.recovery.total_retries(),
+                r.report.recovery.reissued_commands,
+                r.report.recovery.backoff_time.as_secs_f64() * 1e6,
+                r.report.total.as_ms_f64(),
+                r.overhead()
+            ));
+        }
+        write_csv("faults.csv", csv);
     }
     if want("trace") {
         header(if smoke {

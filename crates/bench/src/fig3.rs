@@ -6,7 +6,7 @@
 //! problem size toward the 2× perfect-overlap bound.
 
 use pipeline_apps::QcdConfig;
-use pipeline_rt::{run_naive, run_pipelined, sweep_map};
+use pipeline_rt::{run_model, sweep_map, ExecModel, RunOptions};
 
 use crate::gpu_k40m;
 
@@ -38,8 +38,10 @@ pub fn run(sizes: &[(&'static str, usize)]) -> Vec<Fig3Row> {
         let cfg = QcdConfig::paper_size(n);
         let inst = cfg.setup(&mut gpu).expect("qcd setup");
         let builder = cfg.builder();
-        let naive = run_naive(&mut gpu, &inst.region, &builder).expect("naive run");
-        let pipe = run_pipelined(&mut gpu, &inst.region, &builder).expect("pipelined run");
+        let naive = run_model(&mut gpu, &inst.region, &builder, ExecModel::Naive, &RunOptions::default())
+            .expect("naive run");
+        let pipe = run_model(&mut gpu, &inst.region, &builder, ExecModel::Pipelined, &RunOptions::default())
+            .expect("pipelined run");
         let busy = (naive.h2d + naive.d2h + naive.kernel).as_secs_f64();
         Fig3Row {
             dataset,

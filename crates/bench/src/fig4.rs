@@ -7,7 +7,7 @@
 
 use gpsim::SimTime;
 use pipeline_apps::QcdConfig;
-use pipeline_rt::{run_pipelined_buffer, sweep_map};
+use pipeline_rt::{run_model, sweep_map, ExecModel, RunOptions};
 
 use crate::gpu_k40m;
 
@@ -38,7 +38,14 @@ pub fn run(n: usize, chunks: &[usize], streams: &[usize]) -> Vec<Fig4Row> {
         cfg.streams = ns;
         let inst = cfg.setup(&mut gpu).expect("qcd setup");
         let rep =
-            run_pipelined_buffer(&mut gpu, &inst.region, &cfg.builder()).expect("buffer run");
+            run_model(
+                &mut gpu,
+                &inst.region,
+                &cfg.builder(),
+                ExecModel::PipelinedBuffer,
+                &RunOptions::default(),
+            )
+            .expect("buffer run");
         Fig4Row {
             chunk,
             streams: ns,

@@ -10,8 +10,7 @@
 use gpsim::Gpu;
 use pipeline_apps::{Conv3dConfig, QcdConfig, StencilConfig};
 use pipeline_rt::{
-    run_naive, run_pipelined, run_pipelined_buffer, sweep_map, KernelBuilder, Region, RtResult,
-    RunReport,
+    run_model, sweep_map, ExecModel, KernelBuilder, Region, RtResult, RunOptions, RunReport,
 };
 
 use crate::gpu_k40m;
@@ -53,9 +52,9 @@ fn run_three(
 ) -> RtResult<BenchRow> {
     Ok(BenchRow {
         name,
-        naive: run_naive(gpu, region, builder)?,
-        pipelined: run_pipelined(gpu, region, builder)?,
-        buffer: run_pipelined_buffer(gpu, region, builder)?,
+        naive: run_model(gpu, region, builder, ExecModel::Naive, &RunOptions::default())?,
+        pipelined: run_model(gpu, region, builder, ExecModel::Pipelined, &RunOptions::default())?,
+        buffer: run_model(gpu, region, builder, ExecModel::PipelinedBuffer, &RunOptions::default())?,
     })
 }
 

@@ -8,7 +8,7 @@
 
 use gpsim::SimTime;
 use pipeline_apps::{Conv3dConfig, StencilConfig};
-use pipeline_rt::{run_pipelined, run_pipelined_buffer, sweep_map};
+use pipeline_rt::{run_model, sweep_map, ExecModel, RunOptions};
 
 use crate::gpu_k40m;
 
@@ -59,8 +59,11 @@ pub fn run(streams: &[usize]) -> Vec<Fig7Row> {
                 cfg.streams = ns;
                 let inst = cfg.setup(&mut gpu).expect("conv3d setup");
                 let builder = cfg.builder();
-                let p = run_pipelined(&mut gpu, &inst.region, &builder).expect("pipelined");
-                let b = run_pipelined_buffer(&mut gpu, &inst.region, &builder).expect("buffer");
+                let p = run_model(&mut gpu, &inst.region, &builder, ExecModel::Pipelined, &RunOptions::default())
+                    .expect("pipelined");
+                let b =
+                    run_model(&mut gpu, &inst.region, &builder, ExecModel::PipelinedBuffer, &RunOptions::default())
+                        .expect("buffer");
                 (p, b)
             }
             Fig7Bench::Stencil => {
@@ -68,8 +71,11 @@ pub fn run(streams: &[usize]) -> Vec<Fig7Row> {
                 cfg.streams = ns;
                 let inst = cfg.setup(&mut gpu).expect("stencil setup");
                 let builder = cfg.builder();
-                let p = run_pipelined(&mut gpu, &inst.region, &builder).expect("pipelined");
-                let b = run_pipelined_buffer(&mut gpu, &inst.region, &builder).expect("buffer");
+                let p = run_model(&mut gpu, &inst.region, &builder, ExecModel::Pipelined, &RunOptions::default())
+                    .expect("pipelined");
+                let b =
+                    run_model(&mut gpu, &inst.region, &builder, ExecModel::PipelinedBuffer, &RunOptions::default())
+                        .expect("buffer");
                 (p, b)
             }
         };

@@ -11,7 +11,7 @@
 //! ~20–50 chunks onward.
 
 use pipeline_apps::{Conv3dConfig, StencilConfig};
-use pipeline_rt::{run_naive, run_pipelined, sweep_map, RunReport};
+use pipeline_rt::{run_model, sweep_map, ExecModel, RunOptions, RunReport};
 
 use crate::gpu_hd7970;
 
@@ -78,8 +78,10 @@ impl Fig8Bench {
                 cfg.streams = 3;
                 let inst = cfg.setup(&mut gpu).expect("conv3d setup");
                 let builder = cfg.builder();
-                let naive = run_naive(&mut gpu, &inst.region, &builder).expect("naive");
-                let pipe = run_pipelined(&mut gpu, &inst.region, &builder).expect("pipelined");
+                let naive = run_model(&mut gpu, &inst.region, &builder, ExecModel::Naive, &RunOptions::default())
+                    .expect("naive");
+                let pipe = run_model(&mut gpu, &inst.region, &builder, ExecModel::Pipelined, &RunOptions::default())
+                    .expect("pipelined");
                 (naive, pipe)
             }
             Fig8Bench::Stencil => {
@@ -89,8 +91,10 @@ impl Fig8Bench {
                 cfg.streams = 3;
                 let inst = cfg.setup(&mut gpu).expect("stencil setup");
                 let builder = cfg.builder();
-                let naive = run_naive(&mut gpu, &inst.region, &builder).expect("naive");
-                let pipe = run_pipelined(&mut gpu, &inst.region, &builder).expect("pipelined");
+                let naive = run_model(&mut gpu, &inst.region, &builder, ExecModel::Naive, &RunOptions::default())
+                    .expect("naive");
+                let pipe = run_model(&mut gpu, &inst.region, &builder, ExecModel::Pipelined, &RunOptions::default())
+                    .expect("pipelined");
                 (naive, pipe)
             }
         }

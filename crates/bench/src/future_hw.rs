@@ -10,7 +10,7 @@
 
 use gpsim::{DeviceProfile, ExecMode, Gpu};
 use pipeline_apps::{Conv3dConfig, QcdConfig, StencilConfig};
-use pipeline_rt::{run_naive, run_pipelined_buffer};
+use pipeline_rt::{run_model, ExecModel, RunOptions};
 
 /// One benchmark's K40m-vs-P100 comparison.
 #[derive(Debug, Clone)]
@@ -35,8 +35,10 @@ fn run_on(profile: DeviceProfile, name: &'static str) -> (f64, f64) {
             let inst = cfg.setup(&mut gpu).expect("setup");
             let b = cfg.builder();
             (
-                run_naive(&mut gpu, &inst.region, &b).expect("naive"),
-                run_pipelined_buffer(&mut gpu, &inst.region, &b).expect("buffer"),
+                run_model(&mut gpu, &inst.region, &b, ExecModel::Naive, &RunOptions::default())
+                    .expect("naive"),
+                run_model(&mut gpu, &inst.region, &b, ExecModel::PipelinedBuffer, &RunOptions::default())
+                    .expect("buffer"),
             )
         }
         "stencil" => {
@@ -44,8 +46,10 @@ fn run_on(profile: DeviceProfile, name: &'static str) -> (f64, f64) {
             let inst = cfg.setup(&mut gpu).expect("setup");
             let b = cfg.builder();
             (
-                run_naive(&mut gpu, &inst.region, &b).expect("naive"),
-                run_pipelined_buffer(&mut gpu, &inst.region, &b).expect("buffer"),
+                run_model(&mut gpu, &inst.region, &b, ExecModel::Naive, &RunOptions::default())
+                    .expect("naive"),
+                run_model(&mut gpu, &inst.region, &b, ExecModel::PipelinedBuffer, &RunOptions::default())
+                    .expect("buffer"),
             )
         }
         _ => {
@@ -53,8 +57,10 @@ fn run_on(profile: DeviceProfile, name: &'static str) -> (f64, f64) {
             let inst = cfg.setup(&mut gpu).expect("setup");
             let b = cfg.builder();
             (
-                run_naive(&mut gpu, &inst.region, &b).expect("naive"),
-                run_pipelined_buffer(&mut gpu, &inst.region, &b).expect("buffer"),
+                run_model(&mut gpu, &inst.region, &b, ExecModel::Naive, &RunOptions::default())
+                    .expect("naive"),
+                run_model(&mut gpu, &inst.region, &b, ExecModel::PipelinedBuffer, &RunOptions::default())
+                    .expect("buffer"),
             )
         }
     };

@@ -18,6 +18,7 @@
 //! | [`ablate`]| Ablations of the runtime's design choices (DESIGN.md §7) |
 //! | [`future_hw`] | Forward-looking study on a Pascal-class profile |
 //! | [`perf`]  | Sweep-engine throughput (serial vs parallel wall-clock) |
+//! | [`faults`]| Overhead of resilience: recovery cost vs fault rate |
 //!
 //! Harness `run()` functions fan their independent trials over the
 //! [`pipeline_rt::sweep_map`] worker pool; set `DBPP_SWEEP_THREADS=1`
@@ -32,6 +33,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod ablate;
+pub mod faults;
 pub mod fig3;
 pub mod fig4;
 pub mod fig56;

@@ -17,8 +17,7 @@ use std::time::Instant;
 
 use pipeline_apps::{conv3d, matmul, qcd, stencil, QcdConfig};
 use pipeline_rt::{
-    run_naive, run_pipelined, run_pipelined_buffer, sweep_map_threads, sweep_threads, Stage,
-    StageMetrics,
+    run_model, sweep_map_threads, sweep_threads, ExecModel, RunOptions, Stage, StageMetrics,
 };
 
 use crate::gpu_k40m;
@@ -114,9 +113,12 @@ fn run_cell(n: usize, chunk: usize, streams: usize) -> (u64, StageMetrics, Stage
     cfg.streams = streams;
     let inst = cfg.setup(&mut gpu).expect("qcd setup");
     let builder = cfg.builder();
-    let naive = run_naive(&mut gpu, &inst.region, &builder).expect("naive run");
-    let pipe = run_pipelined(&mut gpu, &inst.region, &builder).expect("pipelined run");
-    let buf = run_pipelined_buffer(&mut gpu, &inst.region, &builder).expect("buffer run");
+    let naive = run_model(&mut gpu, &inst.region, &builder, ExecModel::Naive, &RunOptions::default())
+        .expect("naive run");
+    let pipe = run_model(&mut gpu, &inst.region, &builder, ExecModel::Pipelined, &RunOptions::default())
+        .expect("pipelined run");
+    let buf = run_model(&mut gpu, &inst.region, &builder, ExecModel::PipelinedBuffer, &RunOptions::default())
+        .expect("buffer run");
     (
         naive.commands + pipe.commands + buf.commands,
         pipe.stage_metrics,

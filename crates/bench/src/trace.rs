@@ -12,9 +12,7 @@
 use gpsim::json::Json;
 use gpsim::{render_attribution, render_gantt, to_perfetto_trace, Gpu, TimelineEntry};
 use pipeline_apps::{Conv3dConfig, QcdConfig, StencilConfig};
-use pipeline_rt::{
-    run_pipelined, run_pipelined_buffer, ExecModel, KernelBuilder, Region, RunReport,
-};
+use pipeline_rt::{run_model, ExecModel, KernelBuilder, Region, RunOptions, RunReport};
 
 use crate::{gpu_hd7970, gpu_k40m};
 
@@ -43,7 +41,7 @@ impl TraceRow {
         let model = match self.model {
             ExecModel::Naive => "naive",
             ExecModel::Pipelined => "pipelined",
-            ExecModel::PipelinedBuffer => "buffer",
+            _ => "buffer",
         };
         format!("{}_{}_{}.trace.json", self.app, model, self.profile)
     }
@@ -97,12 +95,7 @@ fn trace_one(
     region: &Region,
     builder: &KernelBuilder<'_>,
 ) -> TraceRow {
-    let report = match model {
-        ExecModel::Pipelined => run_pipelined(gpu, region, builder),
-        ExecModel::PipelinedBuffer => run_pipelined_buffer(gpu, region, builder),
-        ExecModel::Naive => unreachable!("trace harness covers the pipelined models"),
-    }
-    .expect("traced run");
+    let report = run_model(gpu, region, builder, model, &RunOptions::default()).expect("traced run");
     let trace_json = to_perfetto_trace(gpu.timeline(), gpu.host_spans(), &report.counter_tracks);
     if let Err(e) = validate_trace(&trace_json, gpu.timeline()) {
         panic!("{app}/{model}/{profile}: invalid trace export: {e}");

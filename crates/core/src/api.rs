@@ -37,14 +37,27 @@ use std::collections::HashMap;
 
 use gpsim::{Gpu, HostBufId, KernelLaunch};
 
-use crate::buffer::run_pipelined_buffer;
 use crate::error::{RtError, RtResult};
-use crate::exec::{run_naive, run_pipelined, Region};
+use crate::exec::Region;
+use crate::recovery::RetryPolicy;
 use crate::report::{ExecModel, RunReport};
+use crate::run::{run_model, RunOptions};
 use crate::spec::{Affine, MapDir, MapSpec, RegionSpec, Schedule, SplitSpec};
 use crate::view::ChunkCtx;
 
 type BoxedBuilder<'a> = Box<dyn Fn(&ChunkCtx) -> KernelLaunch + Sync + 'a>;
+
+/// Reports of all three execution models from one [`Pipeline::run_all`]
+/// call — the paper's comparison matrix.
+#[derive(Debug, Clone)]
+pub struct ModelReports {
+    /// Synchronous whole-array offload.
+    pub naive: RunReport,
+    /// Chunked overlap with full-size device arrays.
+    pub pipelined: RunReport,
+    /// Chunked overlap into the mod-indexed ring buffer.
+    pub pipelined_buffer: RunReport,
+}
 
 /// Fluent builder over [`RegionSpec`] + bindings + kernel.
 #[derive(Default)]
@@ -56,6 +69,7 @@ pub struct Pipeline<'a> {
     bindings: HashMap<String, HostBufId>,
     range: Option<(i64, i64)>,
     kernel: Option<BoxedBuilder<'a>>,
+    options: RunOptions,
 }
 
 impl<'a> Pipeline<'a> {
@@ -174,6 +188,30 @@ impl<'a> Pipeline<'a> {
         self
     }
 
+    /// Replace the whole [`RunOptions`] bundle (retry policy, degradation
+    /// switch, driver tuning, autotune grid).
+    #[must_use]
+    pub fn options(mut self, opts: RunOptions) -> Self {
+        self.options = opts;
+        self
+    }
+
+    /// Enable chunk-granular fault recovery with the given policy.
+    #[must_use]
+    pub fn retry(mut self, policy: RetryPolicy) -> Self {
+        self.options.retry = policy;
+        self
+    }
+
+    /// Allow the runtime to fall down the model ladder
+    /// (`PipelinedBuffer → Pipelined → Naive`) instead of failing when
+    /// retries are exhausted or a memory limit is infeasible.
+    #[must_use]
+    pub fn degrade(mut self, yes: bool) -> Self {
+        self.options.degrade = yes;
+        self
+    }
+
     /// Assemble the bound [`Region`] (exposed for advanced callers that
     /// want the §VII drivers, e.g. multi-device or custom windows).
     pub fn build_region(&self) -> RtResult<Region> {
@@ -219,28 +257,26 @@ impl<'a> Pipeline<'a> {
         Ok(Region::new(spec, lo, hi, arrays))
     }
 
-    /// Run under the given execution model.
+    /// Run under the given execution model ([`ExecModel::Auto`] lets the
+    /// runtime autotune a schedule first), honouring the configured
+    /// [`RunOptions`].
     pub fn run(&self, gpu: &mut Gpu, model: ExecModel) -> RtResult<RunReport> {
         let region = self.build_region()?;
         let kernel = self
             .kernel
             .as_ref()
             .ok_or_else(|| RtError::Spec("missing kernel() call".into()))?;
-        match model {
-            ExecModel::Naive => run_naive(gpu, &region, kernel),
-            ExecModel::Pipelined => run_pipelined(gpu, &region, kernel),
-            ExecModel::PipelinedBuffer => run_pipelined_buffer(gpu, &region, kernel),
-        }
+        run_model(gpu, &region, kernel, model, &self.options)
     }
 
-    /// Run all three models and return `(naive, pipelined, buffer)` —
-    /// the paper's comparison matrix in one call.
-    pub fn run_all(&self, gpu: &mut Gpu) -> RtResult<(RunReport, RunReport, RunReport)> {
-        Ok((
-            self.run(gpu, ExecModel::Naive)?,
-            self.run(gpu, ExecModel::Pipelined)?,
-            self.run(gpu, ExecModel::PipelinedBuffer)?,
-        ))
+    /// Run all three concrete models — the paper's comparison matrix in
+    /// one call.
+    pub fn run_all(&self, gpu: &mut Gpu) -> RtResult<ModelReports> {
+        Ok(ModelReports {
+            naive: self.run(gpu, ExecModel::Naive)?,
+            pipelined: self.run(gpu, ExecModel::Pipelined)?,
+            pipelined_buffer: self.run(gpu, ExecModel::PipelinedBuffer)?,
+        })
     }
 }
 
@@ -280,10 +316,10 @@ mod tests {
             .bind("data", data)
             .for_range(0, 8)
             .kernel(doubler());
-        let (naive, pipe, buf) = p.run_all(&mut g).unwrap();
-        assert_eq!(naive.model, ExecModel::Naive);
-        assert_eq!(pipe.model, ExecModel::Pipelined);
-        assert_eq!(buf.model, ExecModel::PipelinedBuffer);
+        let all = p.run_all(&mut g).unwrap();
+        assert_eq!(all.naive.model, ExecModel::Naive);
+        assert_eq!(all.pipelined.model, ExecModel::Pipelined);
+        assert_eq!(all.pipelined_buffer.model, ExecModel::PipelinedBuffer);
         // Three runs of ×2 → ×8.
         let mut out = vec![0.0; 4];
         g.host_read(data, 0, &mut out).unwrap();

@@ -9,9 +9,9 @@
 
 use gpsim::{Gpu, HostPool, SimTime};
 
-use crate::buffer::run_pipelined_buffer;
+use crate::buffer::{buffer_impl, BufferOptions};
 use crate::error::{RtError, RtResult};
-use crate::exec::{KernelBuilder, Region};
+use crate::exec::{expect_done, KernelBuilder, Region};
 use crate::report::RunReport;
 use crate::spec::Schedule;
 
@@ -102,7 +102,8 @@ pub fn autotune(
             let mut candidate =
                 Region::new(region.spec.clone(), region.lo, region.hi, twin_arrays);
             candidate.spec.schedule = Schedule::static_(chunk, streams);
-            run_pipelined_buffer(&mut twin, &candidate, builder)
+            buffer_impl(&mut twin, &candidate, builder, &BufferOptions::default(), None)
+                .map(expect_done)
         };
         run().map(|rep| rep.total)
     });
@@ -149,7 +150,8 @@ pub fn run_autotuned(
     let tuned = autotune(gpu, region, builder, space)?;
     let mut best_region = region.clone();
     best_region.spec.schedule = tuned.best;
-    let report = run_pipelined_buffer(gpu, &best_region, builder)?;
+    let report = buffer_impl(gpu, &best_region, builder, &BufferOptions::default(), None)
+        .map(expect_done)?;
     Ok((tuned, report))
 }
 
@@ -218,7 +220,9 @@ mod tests {
         // And the tuned run must beat the paper's default static[1,3].
         let mut dflt = region.clone();
         dflt.spec.schedule = Schedule::static_(1, 3);
-        let worst = run_pipelined_buffer(&mut gpu, &dflt, &builder).unwrap();
+        let worst = buffer_impl(&mut gpu, &dflt, &builder, &BufferOptions::default(), None)
+            .map(expect_done)
+            .unwrap();
         let (_, best) = run_autotuned(&mut gpu, &region, &builder, &TuneSpace::default()).unwrap();
         assert!(
             best.total.as_secs_f64() < 0.7 * worst.total.as_secs_f64(),

@@ -26,8 +26,9 @@ use std::collections::HashMap;
 use gpsim::{Copy2D, CounterTrack, EventId, Gpu, HostSpanKind, StreamId, WaitCause};
 
 use crate::error::RtResult;
-use crate::exec::{declare_accesses, KernelBuilder, Region};
+use crate::exec::{declare_accesses, expect_done, KernelBuilder, Region};
 use crate::plan::{build_window_table, resolve_plan, resolve_plan_fn, Plan, WindowFn, WindowTable};
+use crate::recovery::{drain_with_recovery, DrainResult, DriverOutcome, RecoveryCtx, RecoveryStats};
 use crate::report::{ExecModel, RunReport};
 use crate::spec::SplitSpec;
 use crate::view::{ArrayView, ChunkCtx};
@@ -243,21 +244,42 @@ fn widen_rings_for_assignment(
 /// runtime's mod-index translation inside kernels (paper §V-D).
 ///
 /// Resets the context's activity counters.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `run_model(gpu, region, builder, ExecModel::PipelinedBuffer, &RunOptions::default())` \
+            or `Pipeline::run`"
+)]
 pub fn run_pipelined_buffer(
     gpu: &mut Gpu,
     region: &Region,
     builder: &KernelBuilder<'_>,
 ) -> RtResult<RunReport> {
-    run_pipelined_buffer_with(gpu, region, builder, &BufferOptions::default())
+    buffer_impl(gpu, region, builder, &BufferOptions::default(), None).map(expect_done)
 }
 
 /// [`run_pipelined_buffer`] with explicit ablation options.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `run_model` with `RunOptions { buffer, .. }` or `Pipeline::options`"
+)]
 pub fn run_pipelined_buffer_with(
     gpu: &mut Gpu,
     region: &Region,
     builder: &KernelBuilder<'_>,
     opts: &BufferOptions,
 ) -> RtResult<RunReport> {
+    buffer_impl(gpu, region, builder, opts, None).map(expect_done)
+}
+
+/// The Pipelined-buffer driver proper (affine windows), optionally with
+/// chunk-granular recovery.
+pub(crate) fn buffer_impl(
+    gpu: &mut Gpu,
+    region: &Region,
+    builder: &KernelBuilder<'_>,
+    opts: &BufferOptions,
+    recovery: Option<&RecoveryCtx<'_>>,
+) -> RtResult<DriverOutcome> {
     region.validate(gpu)?;
     let mut plan = resolve_plan(&region.spec, gpu.profile(), region.lo, region.hi)?;
     if opts.minimal_slots {
@@ -276,7 +298,7 @@ pub fn run_pipelined_buffer_with(
             .sum();
     }
     let table = build_window_table(&region.spec, &plan.chunks, &[])?;
-    run_buffer_inner(gpu, region, builder, opts, plan, &table)
+    run_buffer_inner(gpu, region, builder, opts, plan, &table, recovery)
 }
 
 /// Run a region with **explicit dependency functions** — the paper's
@@ -286,12 +308,24 @@ pub fn run_pipelined_buffer_with(
 /// window: given a chunk `[k0, k1)` it returns the slice range `[a, b)`
 /// that must be resident. Ring capacities are derived from the actual
 /// per-chunk table.
+#[deprecated(since = "0.2.0", note = "use `run_window_fn` or `Pipeline::run` with window functions")]
 pub fn run_pipelined_buffer_fn(
     gpu: &mut Gpu,
     region: &Region,
     builder: &KernelBuilder<'_>,
     windows: &[Option<&WindowFn<'_>>],
 ) -> RtResult<RunReport> {
+    buffer_fn_impl(gpu, region, builder, windows, None).map(expect_done)
+}
+
+/// [`run_pipelined_buffer_fn`] body, optionally with recovery.
+pub(crate) fn buffer_fn_impl(
+    gpu: &mut Gpu,
+    region: &Region,
+    builder: &KernelBuilder<'_>,
+    windows: &[Option<&WindowFn<'_>>],
+    recovery: Option<&RecoveryCtx<'_>>,
+) -> RtResult<DriverOutcome> {
     region.validate_binding(gpu)?;
     let (plan, table) = resolve_plan_fn(
         &region.spec,
@@ -307,9 +341,11 @@ pub fn run_pipelined_buffer_fn(
         &BufferOptions::default(),
         plan,
         &table,
+        recovery,
     )
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_buffer_inner(
     gpu: &mut Gpu,
     region: &Region,
@@ -317,7 +353,8 @@ fn run_buffer_inner(
     opts: &BufferOptions,
     mut plan: Plan,
     table: &WindowTable,
-) -> RtResult<RunReport> {
+    recovery: Option<&RecoveryCtx<'_>>,
+) -> RtResult<DriverOutcome> {
     gpu.reset_counters();
     let t0 = gpu.now();
     gpu.push_host_span(
@@ -434,9 +471,22 @@ fn run_buffer_inner(
     };
     sample_occupancy(gpu, &books);
 
+    let recovering = recovery.is_some_and(|r| r.policy.enabled());
+    // Per-chunk enqueue-sequence ranges (failure → chunk lookup) and the
+    // halo-consumer graph: with residency tracking, chunk `d` may read a
+    // slice copied by chunk `c`; if `c`'s H2D fails, `d`'s kernel read
+    // stale ring data and retired cleanly, so `d` must be retried too.
+    let mut chunk_seqs: Vec<(u64, u64)> = Vec::with_capacity(n_chunks);
+    let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); n_chunks];
+
+    let mut recovery_stats = RecoveryStats::default();
+    let mut retry_samples: Vec<(u64, f64)> = Vec::new();
+    let mut exhausted = None;
+    let body = (|| -> RtResult<()> {
     for (c, &(k0, k1)) in plan.chunks.iter().enumerate() {
         let s = streams[chunk_stream[c]];
         let same_stream = |other: usize| chunk_stream[other] == chunk_stream[c];
+        let seq0 = gpu.next_seq();
 
         // ---- Pass 1: classify slices, collect hazards ------------------
         // (map index, run start slice, run length)
@@ -459,6 +509,9 @@ fn run_buffer_inner(
                             if let Some(e) = h2d_ev[owner] {
                                 push_unique_cause(&mut kernel_waits, e, WaitCause::Dependency);
                             }
+                        }
+                        if recovering && owner != c && !dependents[owner].contains(&c) {
+                            dependents[owner].push(c);
                         }
                     }
                     None => missing.push(sl),
@@ -617,10 +670,107 @@ fn run_buffer_inner(
             gpu.record_event(s, e)?;
             d2h_ev[c] = Some(e);
         }
+        chunk_seqs.push((seq0, gpu.next_seq()));
         sample_occupancy(gpu, &books);
     }
 
-    gpu.synchronize()?;
+    match recovery.filter(|r| r.policy.enabled()) {
+        None => gpu.synchronize()?,
+        Some(rctx) => {
+            let drained = drain_with_recovery(
+                gpu,
+                ExecModel::PipelinedBuffer,
+                region,
+                rctx,
+                &plan.chunks,
+                &chunk_seqs,
+                &dependents,
+                |gpu, c| {
+                    // Re-enqueue the chunk's full triplet into the *same*
+                    // ring slots (the slice → slot map is static). The
+                    // device is drained before each reissue, so
+                    // overwriting slots that later chunks used is safe —
+                    // their results are already on the host.
+                    let (k0, k1) = plan.chunks[c];
+                    let s = streams[chunk_stream[c]];
+                    let mut n = 0u64;
+                    for (i, m) in region.spec.maps.iter().enumerate() {
+                        if !m.dir.is_input() {
+                            continue;
+                        }
+                        let (a, b) = table.ranges[i][c];
+                        for (start, len) in slot_runs(a, b, plan.ring_slots[i]) {
+                            enqueue_h2d_ring(gpu, region, &views[i], i, start, len, s)?;
+                            n += 1;
+                        }
+                    }
+                    let ctx = ChunkCtx {
+                        k0,
+                        k1,
+                        views: views.clone(),
+                    };
+                    let mut kernel = builder(&ctx);
+                    let infl = 1.0 + region.spec.index_overhead;
+                    kernel.cost.flops = (kernel.cost.flops as f64 * infl) as u64;
+                    kernel.cost.bytes = (kernel.cost.bytes as f64 * infl) as u64;
+                    let chunk_ranges: Vec<(i64, i64)> =
+                        (0..n_maps).map(|i| table.ranges[i][c]).collect();
+                    let kernel = declare_accesses(gpu, kernel, region, &views, &chunk_ranges);
+                    gpu.launch(s, kernel)?;
+                    n += 1;
+                    for (i, m) in region.spec.maps.iter().enumerate() {
+                        if !m.dir.is_output() {
+                            continue;
+                        }
+                        let (a, b) = table.ranges[i][c];
+                        for (start, len) in slot_runs(a, b, plan.ring_slots[i]) {
+                            enqueue_d2h_ring(gpu, region, &views[i], i, start, len, s)?;
+                            n += 1;
+                        }
+                    }
+                    Ok(n)
+                },
+            )?;
+            match drained {
+                DrainResult::Clean {
+                    stats,
+                    retry_samples: rs,
+                } => {
+                    recovery_stats = stats;
+                    retry_samples = rs;
+                }
+                DrainResult::Exhausted {
+                    chunk,
+                    stage,
+                    attempts,
+                    source,
+                    open,
+                    stats,
+                } => {
+                    recovery_stats = stats;
+                    exhausted = Some((chunk, stage, attempts, source, open));
+                }
+            }
+        }
+    }
+    Ok(())
+    })();
+    if let Err(e) = body {
+        // A failed run must not bleed into whatever runs next on this
+        // device: drain the in-flight work, drop its failure records, and
+        // release the rings so a whole-run retry (or the caller's next
+        // run) starts from a clean device.
+        while gpu.synchronize().is_err() {}
+        let _ = gpu.take_failures();
+        for &s in &streams {
+            let _ = gpu.destroy_stream(s);
+        }
+        for v in &views {
+            let _ = gpu.free(v.base());
+        }
+        return Err(e);
+    }
+
     let total = gpu.now() - t0;
     let mut report = RunReport::from_gpu(
         ExecModel::PipelinedBuffer,
@@ -631,11 +781,21 @@ fn run_buffer_inner(
         n_chunks,
         plan.num_streams,
     );
+    // Report the logical workload: reissues are recovery overhead, not
+    // extra work, so a recovered run matches a fault-free one.
+    report.commands = report.commands.saturating_sub(recovery_stats.reissued_commands);
+    report.recovery = recovery_stats;
     if gpu.timeline_enabled() {
         report.counter_tracks.push(CounterTrack {
             name: "ring_slot_occupancy".into(),
             samples: occupancy,
         });
+        if !retry_samples.is_empty() {
+            report.counter_tracks.push(CounterTrack {
+                name: "retries_in_flight".into(),
+                samples: retry_samples,
+            });
+        }
     }
     for s in streams {
         gpu.destroy_stream(s)?;
@@ -643,7 +803,17 @@ fn run_buffer_inner(
     for v in &views {
         gpu.free(v.base())?;
     }
-    Ok(report)
+    match exhausted {
+        None => Ok(DriverOutcome::Done(report)),
+        Some((chunk, stage, attempts, source, open)) => Ok(DriverOutcome::Exhausted {
+            unfinished: open.into_iter().map(|c| plan.chunks[c]).collect(),
+            report,
+            chunk,
+            stage,
+            attempts,
+            source,
+        }),
+    }
 }
 
 /// Copy slices `[start, start+len)` of map `i` from the host array into

@@ -10,13 +10,26 @@
 //! paper passes device base pointers and offsets into unmodified OpenACC
 //! kernel bodies.
 
-use gpsim::{Gpu, HostBufId, KernelLaunch, SimTime};
+use gpsim::{CounterTrack, Gpu, HostBufId, KernelLaunch, SimTime};
 
 use crate::error::{RtError, RtResult};
 use crate::plan::{chunk_ranges, map_full_bytes, resolve_plan};
+use crate::recovery::{drain_with_recovery, DrainResult, DriverOutcome, RecoveryCtx};
 use crate::report::{ExecModel, RunReport};
 use crate::spec::{RegionSpec, Schedule, SplitSpec};
 use crate::view::{ArrayView, ChunkCtx};
+
+/// Unwrap a [`DriverOutcome`] from a driver run without recovery (the
+/// deprecated free-function entry points): `Exhausted` is unreachable
+/// because only an enabled retry policy can produce it.
+pub(crate) fn expect_done(outcome: DriverOutcome) -> RunReport {
+    match outcome {
+        DriverOutcome::Done(r) => r,
+        DriverOutcome::Exhausted { .. } => {
+            unreachable!("retry exhaustion without a retry policy")
+        }
+    }
+}
 
 /// A kernel factory: called once per chunk (or once for the whole loop in
 /// the Naive model) to produce the kernel launch for that sub-range.
@@ -198,7 +211,24 @@ pub(crate) fn declare_accesses(
 /// all outputs back (paper §II: "the naive offload model").
 ///
 /// Resets the context's activity counters.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `run_model(gpu, region, builder, ExecModel::Naive, &RunOptions::default())` \
+            or `Pipeline::run`"
+)]
 pub fn run_naive(gpu: &mut Gpu, region: &Region, builder: &KernelBuilder<'_>) -> RtResult<RunReport> {
+    naive_impl(gpu, region, builder)
+}
+
+/// [`run_naive`] body, shared with the unified front door. The Naive
+/// model has no chunk-granular recovery — a failure fails the whole
+/// region, and [`crate::run::run_model`] retries or degrades at run
+/// granularity instead.
+pub(crate) fn naive_impl(
+    gpu: &mut Gpu,
+    region: &Region,
+    builder: &KernelBuilder<'_>,
+) -> RtResult<RunReport> {
     region.validate(gpu)?;
     gpu.reset_counters();
     let t0 = gpu.now();
@@ -206,35 +236,14 @@ pub fn run_naive(gpu: &mut Gpu, region: &Region, builder: &KernelBuilder<'_>) ->
     let views = alloc_full(gpu, region)?;
     let gpu_mem = gpu.current_mem();
 
-    // Copy every input array in full.
-    for (i, m) in region.spec.maps.iter().enumerate() {
-        if m.dir.is_input() {
-            gpu.memcpy_h2d(region.arrays[i], 0, views[i].base(), m.split.total_elems())?;
-        }
-    }
-
-    // One kernel for the entire iteration space.
-    let ctx = ChunkCtx {
-        k0: region.lo,
-        k1: region.hi,
-        views: views.clone(),
-    };
-    let full_ranges: Vec<(i64, i64)> = region
-        .spec
-        .maps
-        .iter()
-        .map(|m| m.split.needed_slices(region.lo, region.hi))
-        .collect();
-    let kernel = declare_accesses(gpu, builder(&ctx), region, &views, &full_ranges);
-    let s0 = gpu.default_stream();
-    gpu.launch(s0, kernel)?;
-    gpu.stream_synchronize(s0)?;
-
-    // Copy every output array back in full.
-    for (i, m) in region.spec.maps.iter().enumerate() {
-        if m.dir.is_output() {
-            gpu.memcpy_d2h(views[i].base(), m.split.total_elems(), region.arrays[i], 0)?;
-        }
+    if let Err(e) = naive_body(gpu, region, builder, &views) {
+        // Leave the device clean so a whole-run retry (see `run_model`)
+        // can start over: drain whatever is still in flight and release
+        // the full-size arrays.
+        while gpu.synchronize().is_err() {}
+        let _ = gpu.take_failures();
+        let _ = free_views(gpu, &views);
+        return Err(e);
     }
 
     let total = gpu.now() - t0;
@@ -249,6 +258,47 @@ pub fn run_naive(gpu: &mut Gpu, region: &Region, builder: &KernelBuilder<'_>) ->
     );
     free_views(gpu, &views)?;
     Ok(report)
+}
+
+/// The enqueue sequence of the naive model: full copy-in → one kernel →
+/// full copy-out, all on the default stream.
+fn naive_body(
+    gpu: &mut Gpu,
+    region: &Region,
+    builder: &KernelBuilder<'_>,
+    views: &[ArrayView],
+) -> RtResult<()> {
+    // Copy every input array in full.
+    for (i, m) in region.spec.maps.iter().enumerate() {
+        if m.dir.is_input() {
+            gpu.memcpy_h2d(region.arrays[i], 0, views[i].base(), m.split.total_elems())?;
+        }
+    }
+
+    // One kernel for the entire iteration space.
+    let ctx = ChunkCtx {
+        k0: region.lo,
+        k1: region.hi,
+        views: views.to_vec(),
+    };
+    let full_ranges: Vec<(i64, i64)> = region
+        .spec
+        .maps
+        .iter()
+        .map(|m| m.split.needed_slices(region.lo, region.hi))
+        .collect();
+    let kernel = declare_accesses(gpu, builder(&ctx), region, views, &full_ranges);
+    let s0 = gpu.default_stream();
+    gpu.launch(s0, kernel)?;
+    gpu.stream_synchronize(s0)?;
+
+    // Copy every output array back in full.
+    for (i, m) in region.spec.maps.iter().enumerate() {
+        if m.dir.is_output() {
+            gpu.memcpy_d2h(views[i].base(), m.split.total_elems(), region.arrays[i], 0)?;
+        }
+    }
+    Ok(())
 }
 
 /// Tuning knobs of the Pipelined (hand-coded OpenACC-style) driver.
@@ -285,21 +335,45 @@ impl Default for PipelinedOptions {
 /// device arrays keep their *full* footprint and indices are unchanged —
 /// the paper's hand-coded comparator ("manually divides the iterations
 /// but does not alter array indices", §IV).
+#[deprecated(
+    since = "0.2.0",
+    note = "use `run_model(gpu, region, builder, ExecModel::Pipelined, &RunOptions::default())` \
+            or `Pipeline::run`"
+)]
 pub fn run_pipelined(
     gpu: &mut Gpu,
     region: &Region,
     builder: &KernelBuilder<'_>,
 ) -> RtResult<RunReport> {
-    run_pipelined_with(gpu, region, builder, &PipelinedOptions::default())
+    pipelined_impl(gpu, region, builder, &PipelinedOptions::default(), None).map(expect_done)
 }
 
 /// [`run_pipelined`] with explicit tuning options.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `run_model` with `RunOptions { pipelined, .. }` or `Pipeline::options`"
+)]
 pub fn run_pipelined_with(
     gpu: &mut Gpu,
     region: &Region,
     builder: &KernelBuilder<'_>,
     opts: &PipelinedOptions,
 ) -> RtResult<RunReport> {
+    pipelined_impl(gpu, region, builder, opts, None).map(expect_done)
+}
+
+/// The Pipelined driver proper. With `recovery` present and enabled, the
+/// driver tracks which enqueue-sequence range belongs to which chunk and
+/// replaces the final synchronize with a retrying drain: a failed chunk's
+/// H2D → kernel → D2H triplet is re-enqueued on its stream (after a
+/// simulated backoff) while the other chunks' completions stand.
+pub(crate) fn pipelined_impl(
+    gpu: &mut Gpu,
+    region: &Region,
+    builder: &KernelBuilder<'_>,
+    opts: &PipelinedOptions,
+    recovery: Option<&RecoveryCtx<'_>>,
+) -> RtResult<DriverOutcome> {
     region.validate(gpu)?;
     // Output windows that overlap between chunks would be drained to the
     // host by different streams in nondeterministic order (the buffer
@@ -362,8 +436,21 @@ pub fn run_pipelined_with(
 
     let mut h2d_event: Vec<Option<gpsim::EventId>> = vec![None; chunks.len()];
 
+    let recovering = recovery.is_some_and(|r| r.policy.enabled());
+    // Per-chunk enqueue-sequence ranges (failure → chunk lookup) and the
+    // halo-consumer graph: chunks whose kernels read slices chunk `c`
+    // copied. An H2D failure of `c` silently fed those kernels stale
+    // data, so they must be retried alongside `c`.
+    let mut chunk_seqs: Vec<(u64, u64)> = Vec::with_capacity(chunks.len());
+    let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); chunks.len()];
+
+    let mut recovery_stats = crate::recovery::RecoveryStats::default();
+    let mut retry_samples: Vec<(u64, f64)> = Vec::new();
+    let mut exhausted = None;
+    let body = (|| -> RtResult<()> {
     for (c, &(k0, k1)) in chunks.iter().enumerate() {
         let s = streams[c % num_streams];
+        let seq0 = gpu.next_seq();
 
         // --- H2D: this chunk's not-yet-copied input slices -------------
         let mut copied_any = false;
@@ -403,6 +490,9 @@ pub fn run_pipelined_with(
                 if o != c && o % num_streams != c % num_streams && !wait_chunks.contains(&o) {
                     wait_chunks.push(o);
                 }
+                if recovering && o != c && !dependents[o].contains(&c) {
+                    dependents[o].push(c);
+                }
             }
         }
         for o in wait_chunks {
@@ -435,11 +525,101 @@ pub fn run_pipelined_with(
             let (a, b) = m.split.needed_slices(k0, k1);
             enqueue_d2h_direct(gpu, region, &views[i], i, a, b, s, poll)?;
         }
+        chunk_seqs.push((seq0, gpu.next_seq()));
     }
 
-    gpu.synchronize()?;
+    match recovery.filter(|r| r.policy.enabled()) {
+        None => gpu.synchronize()?,
+        Some(rctx) => {
+            let drained = drain_with_recovery(
+                gpu,
+                ExecModel::Pipelined,
+                region,
+                rctx,
+                &chunks,
+                &chunk_seqs,
+                &dependents,
+                |gpu, c| {
+                    // Re-enqueue the chunk's full triplet. The whole input
+                    // window is recopied (not just the slices this chunk
+                    // originally owned) so the reissue is self-sufficient.
+                    let (k0, k1) = chunks[c];
+                    let s = streams[c % num_streams];
+                    let mut n = 0u64;
+                    for (i, m) in region.spec.maps.iter().enumerate() {
+                        if !m.dir.is_input() {
+                            continue;
+                        }
+                        let (a, b) = m.split.needed_slices(k0, k1);
+                        enqueue_h2d_direct(gpu, region, &views[i], i, a, b, s, poll)?;
+                        n += 1;
+                    }
+                    let ctx = ChunkCtx {
+                        k0,
+                        k1,
+                        views: views.clone(),
+                    };
+                    let ranges: Vec<(i64, i64)> = region
+                        .spec
+                        .maps
+                        .iter()
+                        .map(|m| m.split.needed_slices(k0, k1))
+                        .collect();
+                    let kernel = declare_accesses(gpu, builder(&ctx), region, &views, &ranges);
+                    gpu.launch(s, kernel)?;
+                    gpu.host_busy(poll);
+                    n += 1;
+                    for (i, m) in region.spec.maps.iter().enumerate() {
+                        if !m.dir.is_output() {
+                            continue;
+                        }
+                        let (a, b) = m.split.needed_slices(k0, k1);
+                        enqueue_d2h_direct(gpu, region, &views[i], i, a, b, s, poll)?;
+                        n += 1;
+                    }
+                    Ok(n)
+                },
+            )?;
+            match drained {
+                DrainResult::Clean {
+                    stats,
+                    retry_samples: rs,
+                } => {
+                    recovery_stats = stats;
+                    retry_samples = rs;
+                }
+                DrainResult::Exhausted {
+                    chunk,
+                    stage,
+                    attempts,
+                    source,
+                    open,
+                    stats,
+                } => {
+                    recovery_stats = stats;
+                    exhausted = Some((chunk, stage, attempts, source, open));
+                }
+            }
+        }
+    }
+    Ok(())
+    })();
+    if let Err(e) = body {
+        // A failed run must not bleed into whatever runs next on this
+        // device: drain the in-flight work, drop its failure records, and
+        // release device state so a whole-run retry (or the caller's next
+        // run) starts from a clean device.
+        while gpu.synchronize().is_err() {}
+        let _ = gpu.take_failures();
+        for &s in &streams {
+            let _ = gpu.destroy_stream(s);
+        }
+        let _ = free_views(gpu, &views);
+        return Err(e);
+    }
+
     let total = gpu.now() - t0;
-    let report = RunReport::from_gpu(
+    let mut report = RunReport::from_gpu(
         ExecModel::Pipelined,
         total,
         gpu,
@@ -448,11 +628,31 @@ pub fn run_pipelined_with(
         chunks.len(),
         num_streams,
     );
+    // Report the logical workload: reissues are recovery overhead, not
+    // extra work, so a recovered run matches a fault-free one.
+    report.commands = report.commands.saturating_sub(recovery_stats.reissued_commands);
+    report.recovery = recovery_stats;
+    if gpu.timeline_enabled() && !retry_samples.is_empty() {
+        report.counter_tracks.push(CounterTrack {
+            name: "retries_in_flight".into(),
+            samples: retry_samples,
+        });
+    }
     for s in streams {
         gpu.destroy_stream(s)?;
     }
     free_views(gpu, &views)?;
-    Ok(report)
+    match exhausted {
+        None => Ok(DriverOutcome::Done(report)),
+        Some((chunk, stage, attempts, source, open)) => Ok(DriverOutcome::Exhausted {
+            report,
+            chunk,
+            stage,
+            attempts,
+            source,
+            unfinished: open.into_iter().map(|c| chunks[c]).collect(),
+        }),
+    }
 }
 
 /// Enqueue an H2D copy of slices `[lo_s, hi_s)` of map `i` into a direct

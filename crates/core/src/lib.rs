@@ -20,12 +20,16 @@
 //!   the clauses (the `pipeline-directive` crate parses the textual
 //!   syntax into these types).
 //! * [`Region`] binds a spec to host arrays and a loop range.
-//! * Three drivers execute a bound region, mirroring the paper's
-//!   evaluation matrix:
-//!   [`run_naive`] (synchronous offload), [`run_pipelined`] (hand-style
-//!   chunked overlap with full-size device arrays) and
-//!   [`run_pipelined_buffer`] (the contribution: overlap **plus** a small
-//!   mod-indexed device ring buffer).
+//! * One front door, [`run_model`] (or the [`Pipeline`] builder),
+//!   executes a bound region under any [`ExecModel`], mirroring the
+//!   paper's evaluation matrix:
+//!   [`ExecModel::Naive`] (synchronous offload),
+//!   [`ExecModel::Pipelined`] (hand-style chunked overlap with full-size
+//!   device arrays) and [`ExecModel::PipelinedBuffer`] (the
+//!   contribution: overlap **plus** a small mod-indexed device ring
+//!   buffer); [`ExecModel::Auto`] autotunes the schedule first.
+//!   [`RunOptions`] carries the [`RetryPolicy`] and degradation-ladder
+//!   switches for fault-tolerant runs.
 //! * [`RunReport`] captures time, phase breakdown, and device memory —
 //!   the quantities plotted in the paper's Figures 3–10.
 //!
@@ -34,8 +38,8 @@
 //! ```
 //! use gpsim::{DeviceProfile, ExecMode, Gpu, KernelCost, KernelLaunch};
 //! use pipeline_rt::{
-//!     Affine, MapDir, MapSpec, Region, RegionSpec, Schedule, SplitSpec,
-//!     run_naive, run_pipelined_buffer,
+//!     Affine, ExecModel, MapDir, MapSpec, Region, RegionSpec, RunOptions,
+//!     Schedule, SplitSpec, run_model,
 //! };
 //!
 //! let mut gpu = Gpu::new(DeviceProfile::k40m(), ExecMode::Functional).unwrap();
@@ -61,7 +65,7 @@
 //!     });
 //! let region = Region::new(spec, 1, (nz - 1) as i64, vec![input, output]);
 //!
-//! let report = run_pipelined_buffer(&mut gpu, &region, &|ctx| {
+//! let report = run_model(&mut gpu, &region, &|ctx| {
 //!     let (k0, k1) = (ctx.k0, ctx.k1);
 //!     let (vin, vout) = (ctx.view(0), ctx.view(1));
 //!     KernelLaunch::new(
@@ -80,7 +84,7 @@
 //!             Ok(())
 //!         },
 //!     )
-//! }).unwrap();
+//! }, ExecModel::PipelinedBuffer, &RunOptions::default()).unwrap();
 //! assert!(report.gpu_mem_bytes > 0);
 //! ```
 
@@ -95,19 +99,23 @@ mod exec;
 mod metrics;
 mod multi;
 mod plan;
+mod recovery;
 mod report;
+mod run;
 mod spec;
 pub mod sweep;
 mod view;
 
-pub use api::Pipeline;
+pub use api::{ModelReports, Pipeline};
 pub use autotune::{autotune, run_autotuned, Trial, TuneResult, TuneSpace};
+#[allow(deprecated)]
 pub use buffer::{
     run_pipelined_buffer, run_pipelined_buffer_fn, run_pipelined_buffer_with, BufferOptions,
     StreamAssignment,
 };
 pub use error::{RtError, RtResult};
 pub use metrics::{Histogram, Stage, StageMetrics};
+#[allow(deprecated)]
 pub use exec::{
     run_naive, run_pipelined, run_pipelined_with, KernelBuilder, PipelinedOptions, Region,
 };
@@ -116,7 +124,9 @@ pub use plan::{
     build_window_table, chunk_ranges, footprint, map_buffer_bytes, map_full_bytes, min_footprint,
     resolve_plan, resolve_plan_fn, ring_slots_default, ring_slots_min, Plan, WindowFn, WindowTable,
 };
+pub use recovery::{Degradation, RecoveryStats, RetryPolicy};
 pub use report::{ExecModel, RunReport};
+pub use run::{run_model, run_window_fn, RunOptions};
 pub use spec::{Affine, MapDir, MapSpec, RegionSpec, Schedule, SplitSpec};
 pub use sweep::{sweep_map, sweep_map_threads, sweep_threads};
 pub use view::{ArrayView, ChunkCtx};

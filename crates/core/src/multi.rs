@@ -13,9 +13,9 @@
 
 use gpsim::{DeviceProfile, Gpu, SimTime, ELEM_BYTES};
 
-use crate::buffer::run_pipelined_buffer;
+use crate::buffer::{buffer_impl, BufferOptions};
 use crate::error::{RtError, RtResult};
-use crate::exec::{KernelBuilder, Region};
+use crate::exec::{expect_done, KernelBuilder, Region};
 use crate::report::RunReport;
 use crate::spec::MapDir;
 
@@ -142,7 +142,8 @@ pub fn run_pipelined_buffer_multi(
         }
         let sub = Region::new(region.spec.clone(), lo, hi, region.arrays.clone());
         let t0 = gpu.now();
-        let report = run_pipelined_buffer(gpu, &sub, builder)?;
+        let report = buffer_impl(gpu, &sub, builder, &BufferOptions::default(), None)
+            .map(expect_done)?;
         let elapsed = gpu.now() - t0;
         makespan = makespan.max(elapsed);
         per_device.push(Some(report));

@@ -5,8 +5,10 @@ use std::fmt;
 use gpsim::{attribute_stalls, inflight_counter, CounterTrack, Gpu, SimTime, StallReport};
 
 use crate::metrics::StageMetrics;
+use crate::recovery::RecoveryStats;
 
-/// The three execution models compared throughout the paper's evaluation.
+/// The three execution models compared throughout the paper's evaluation,
+/// plus [`Auto`](ExecModel::Auto), which lets the runtime pick.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ExecModel {
     /// Synchronous copy-in → kernel → copy-out; whole arrays resident.
@@ -17,6 +19,10 @@ pub enum ExecModel {
     /// The paper's contribution: pipelining into a small pre-allocated
     /// ring buffer with mod-indexing.
     PipelinedBuffer,
+    /// Let the runtime autotune a schedule and run the buffered model
+    /// with it (reports never carry `Auto`: they name the model that
+    /// actually ran).
+    Auto,
 }
 
 impl fmt::Display for ExecModel {
@@ -25,6 +31,7 @@ impl fmt::Display for ExecModel {
             ExecModel::Naive => "Naive",
             ExecModel::Pipelined => "Pipelined",
             ExecModel::PipelinedBuffer => "Pipelined-buffer",
+            ExecModel::Auto => "Auto",
         };
         f.write_str(s)
     }
@@ -73,6 +80,9 @@ pub struct RunReport {
     /// in-flight chunks, ring-slot occupancy for the buffered model).
     /// Empty when timeline recording is off.
     pub counter_tracks: Vec<CounterTrack>,
+    /// What recovery cost this run: retries, reissued commands, backoff
+    /// time, degradations. All-zero for clean runs.
+    pub recovery: RecoveryStats,
 }
 
 impl RunReport {
@@ -122,6 +132,7 @@ impl RunReport {
             stalls: attribute_stalls(timeline, waits),
             stage_metrics: StageMetrics::from_run(timeline, waits),
             counter_tracks,
+            recovery: RecoveryStats::default(),
         }
     }
 
@@ -193,6 +204,7 @@ mod tests {
             stalls: StallReport::default(),
             stage_metrics: StageMetrics::default(),
             counter_tracks: Vec::new(),
+            recovery: RecoveryStats::default(),
         }
     }
 

@@ -1,0 +1,414 @@
+//! The unified run front door: one entry point over every execution
+//! model, with retry and graceful degradation.
+//!
+//! [`run_model`] subsumes the historical per-model free functions
+//! (`run_naive`, `run_pipelined*`, `run_pipelined_buffer*`,
+//! `run_autotuned`): pick a model (or [`ExecModel::Auto`]), hand over a
+//! [`RunOptions`], and the runtime handles scheduling, fault recovery
+//! and fallback:
+//!
+//! * **Chunk-granular retry** — with a [`RetryPolicy`] enabled, a failed
+//!   chunk's H2D → kernel → D2H triplet is re-enqueued (exponential
+//!   backoff in simulated time) while independent in-flight chunks keep
+//!   streaming.
+//! * **Degradation ladder** — when retries run dry, or a memory limit
+//!   turns out infeasible, the runtime falls back
+//!   `PipelinedBuffer → Pipelined → Naive`, re-executing only the
+//!   unfinished iteration ranges and recording the decision in
+//!   [`RunReport::recovery`](crate::RunReport).
+//!
+//! The default [`RunOptions`] disables recovery entirely; the drivers
+//! then take exactly the code path the per-model functions always took.
+
+use gpsim::{Gpu, SimError};
+
+use crate::autotune::{autotune, TuneSpace};
+use crate::buffer::{buffer_fn_impl, buffer_impl, BufferOptions};
+use crate::error::{RtError, RtResult};
+use crate::exec::{naive_impl, pipelined_impl, KernelBuilder, PipelinedOptions, Region};
+use crate::plan::WindowFn;
+use crate::recovery::{
+    Degradation, DriverOutcome, RecoveryCtx, RecoveryStats, RetryPolicy, ToFromSnapshot,
+};
+use crate::report::{ExecModel, RunReport};
+use crate::spec::Schedule;
+
+/// Everything the unified front door can be told about a run.
+///
+/// `RunOptions::default()` reproduces the historical behavior exactly:
+/// no retry, no degradation, default driver tuning.
+#[derive(Debug, Clone, Default)]
+pub struct RunOptions {
+    /// Fault-recovery policy (disabled by default).
+    pub retry: RetryPolicy,
+    /// Fall down the model ladder (`PipelinedBuffer → Pipelined →
+    /// Naive`) when retries are exhausted or a memory limit is
+    /// infeasible, instead of failing the run.
+    pub degrade: bool,
+    /// Tuning knobs of the Pipelined driver.
+    pub pipelined: PipelinedOptions,
+    /// Ablation switches of the Pipelined-buffer driver.
+    pub buffer: BufferOptions,
+    /// Candidate grid for [`ExecModel::Auto`].
+    pub tune: TuneSpace,
+}
+
+impl RunOptions {
+    /// The default options (recovery off).
+    pub fn new() -> RunOptions {
+        RunOptions::default()
+    }
+
+    /// Set the retry policy.
+    #[must_use]
+    pub fn with_retry(mut self, retry: RetryPolicy) -> RunOptions {
+        self.retry = retry;
+        self
+    }
+
+    /// Enable or disable the degradation ladder.
+    #[must_use]
+    pub fn with_degrade(mut self, degrade: bool) -> RunOptions {
+        self.degrade = degrade;
+        self
+    }
+
+    /// Set the Pipelined driver options.
+    #[must_use]
+    pub fn with_pipelined(mut self, opts: PipelinedOptions) -> RunOptions {
+        self.pipelined = opts;
+        self
+    }
+
+    /// Set the Pipelined-buffer driver options.
+    #[must_use]
+    pub fn with_buffer(mut self, opts: BufferOptions) -> RunOptions {
+        self.buffer = opts;
+        self
+    }
+
+    /// Set the autotuning grid used by [`ExecModel::Auto`].
+    #[must_use]
+    pub fn with_tune(mut self, tune: TuneSpace) -> RunOptions {
+        self.tune = tune;
+        self
+    }
+}
+
+/// Run a region under the given execution model — the single entry point
+/// behind [`Pipeline::run`](crate::Pipeline::run).
+///
+/// [`ExecModel::Auto`] tunes a schedule on a timing-mode twin first (see
+/// [`crate::autotune`]) and then runs the buffered model with the winner.
+pub fn run_model(
+    gpu: &mut Gpu,
+    region: &Region,
+    builder: &KernelBuilder<'_>,
+    model: ExecModel,
+    opts: &RunOptions,
+) -> RtResult<RunReport> {
+    match model {
+        ExecModel::Auto => {
+            let tuned = autotune(gpu, region, builder, &opts.tune)?;
+            let mut best = region.clone();
+            best.spec.schedule = tuned.best;
+            run_ladder(gpu, &best, builder, ExecModel::PipelinedBuffer, opts, false)
+        }
+        m => run_ladder(gpu, region, builder, m, opts, false),
+    }
+}
+
+/// Run a region whose dependency windows come from explicit functions
+/// (the paper's §VII function-based extension) through the unified front
+/// door. Supports retry (chunk-granular and whole-run) but not the
+/// degradation ladder: the simpler models cannot honour custom windows.
+pub fn run_window_fn(
+    gpu: &mut Gpu,
+    region: &Region,
+    builder: &KernelBuilder<'_>,
+    windows: &[Option<&WindowFn<'_>>],
+    opts: &RunOptions,
+) -> RtResult<RunReport> {
+    let snapshot = if opts.retry.enabled() {
+        ToFromSnapshot::take(gpu, region)?
+    } else {
+        ToFromSnapshot::empty(region)
+    };
+    let mut extra = RecoveryStats::default();
+    let mut whole_attempts = 0u32;
+    loop {
+        let rctx = RecoveryCtx {
+            policy: &opts.retry,
+            snapshot: &snapshot,
+        };
+        let recovery = opts.retry.enabled().then_some(&rctx);
+        match buffer_fn_impl(gpu, region, builder, windows, recovery) {
+            Ok(DriverOutcome::Done(mut report)) => {
+                report.recovery.merge(&extra);
+                return Ok(report);
+            }
+            Ok(DriverOutcome::Exhausted {
+                report,
+                chunk,
+                stage,
+                attempts,
+                source,
+                ..
+            }) => {
+                return Err(RtError::RetriesExhausted {
+                    model: report.model,
+                    chunk,
+                    stage,
+                    attempts,
+                    source,
+                });
+            }
+            Err(e) => {
+                whole_run_retry(gpu, region, &snapshot, opts, &mut extra, &mut whole_attempts, e)?;
+            }
+        }
+    }
+}
+
+/// Handle a driver-level error by whole-run retry when it is a retryable
+/// injected fault (setup-phase alloc faults, Naive-model faults) and the
+/// budget allows; otherwise propagate it. On `Ok(())` the caller loops.
+fn whole_run_retry(
+    gpu: &mut Gpu,
+    region: &Region,
+    snapshot: &ToFromSnapshot,
+    opts: &RunOptions,
+    extra: &mut RecoveryStats,
+    whole_attempts: &mut u32,
+    e: RtError,
+) -> RtResult<()> {
+    let (stage, retryable) = match &e {
+        RtError::Sim(s @ SimError::Injected { stage, .. }) => {
+            (*stage, opts.retry.retryable(*stage, s))
+        }
+        _ => return Err(e),
+    };
+    if !retryable || *whole_attempts >= opts.retry.max_attempts {
+        return Err(e);
+    }
+    *whole_attempts += 1;
+    extra.retries[stage.index()] += 1;
+    let t0 = gpu.now();
+    gpu.host_busy(opts.retry.backoff_for(*whole_attempts));
+    extra.backoff_time += gpu.now() - t0;
+    snapshot.restore_all(gpu, region)?;
+    Ok(())
+}
+
+/// Run one concrete model with recovery, descending the degradation
+/// ladder as needed. `as_fallback` marks recursive invocations over
+/// unfinished sub-ranges (it changes how the Naive rung executes — see
+/// below).
+fn run_ladder(
+    gpu: &mut Gpu,
+    region: &Region,
+    builder: &KernelBuilder<'_>,
+    mut model: ExecModel,
+    opts: &RunOptions,
+    as_fallback: bool,
+) -> RtResult<RunReport> {
+    let snapshot = if opts.retry.enabled() {
+        ToFromSnapshot::take(gpu, region)?
+    } else {
+        ToFromSnapshot::empty(region)
+    };
+    let mut extra = RecoveryStats::default();
+    let mut whole_attempts = 0u32;
+    loop {
+        let rctx = RecoveryCtx {
+            policy: &opts.retry,
+            snapshot: &snapshot,
+        };
+        match run_driver(gpu, region, builder, model, opts, &rctx, as_fallback) {
+            Ok(DriverOutcome::Done(mut report)) => {
+                report.recovery.merge(&extra);
+                return Ok(report);
+            }
+            Ok(DriverOutcome::Exhausted {
+                mut report,
+                chunk,
+                stage,
+                attempts,
+                source,
+                unfinished,
+            }) => {
+                let from = report.model;
+                let to = match from {
+                    ExecModel::PipelinedBuffer => ExecModel::Pipelined,
+                    ExecModel::Pipelined => ExecModel::Naive,
+                    // The Naive rung retries at whole-run granularity, so
+                    // chunk exhaustion cannot reach here; treat it as the
+                    // bottom of the ladder.
+                    _ => {
+                        return Err(RtError::RetriesExhausted {
+                            model: from,
+                            chunk,
+                            stage,
+                            attempts,
+                            source,
+                        })
+                    }
+                };
+                if !opts.degrade {
+                    return Err(RtError::RetriesExhausted {
+                        model: from,
+                        chunk,
+                        stage,
+                        attempts,
+                        source,
+                    });
+                }
+                report.recovery.merge(&extra);
+                let reason = format!(
+                    "retries exhausted on chunk {chunk} ({stage} stage) after {attempts} attempts: {source}"
+                );
+                // The unfinished windows' ToFrom host data may hold stale
+                // drains from failed attempts; reset them before the
+                // fallback re-reads them.
+                for &(k0, k1) in &unfinished {
+                    snapshot.restore_window(gpu, region, k0, k1)?;
+                }
+                for (k0, k1) in coalesce(&unfinished) {
+                    report.recovery.degradations.push(Degradation {
+                        from,
+                        to,
+                        iterations: (k0, k1),
+                        reason: reason.clone(),
+                    });
+                    let mut sub = region.clone();
+                    sub.lo = k0;
+                    sub.hi = k1;
+                    let fb = run_ladder(gpu, &sub, builder, to, opts, true).map_err(|e| {
+                        RtError::Degraded {
+                            from,
+                            to,
+                            reason: format!("{reason}; fallback failed: {e}"),
+                        }
+                    })?;
+                    absorb(&mut report, &fb);
+                }
+                return Ok(report);
+            }
+            Err(RtError::MemLimitInfeasible { limit, needed })
+                if opts.degrade && model == ExecModel::PipelinedBuffer =>
+            {
+                // The buffered model cannot fit even its smallest
+                // schedule under the memory limit: take the ladder down
+                // one rung over the whole range and note why.
+                extra.degradations.push(Degradation {
+                    from: ExecModel::PipelinedBuffer,
+                    to: ExecModel::Pipelined,
+                    iterations: (region.lo, region.hi),
+                    reason: format!(
+                        "pipeline_mem_limit({limit} B) infeasible: minimum footprint {needed} B"
+                    ),
+                });
+                model = ExecModel::Pipelined;
+            }
+            Err(e) => {
+                whole_run_retry(gpu, region, &snapshot, opts, &mut extra, &mut whole_attempts, e)?;
+            }
+        }
+    }
+}
+
+/// Dispatch one driver invocation.
+fn run_driver(
+    gpu: &mut Gpu,
+    region: &Region,
+    builder: &KernelBuilder<'_>,
+    model: ExecModel,
+    opts: &RunOptions,
+    rctx: &RecoveryCtx<'_>,
+    as_fallback: bool,
+) -> RtResult<DriverOutcome> {
+    let recovery = opts.retry.enabled().then_some(rctx);
+    match model {
+        ExecModel::Naive if as_fallback => {
+            // Naive-rung fallback over a sub-range: a true naive run
+            // drains *full* arrays device→host, which would overwrite
+            // host output ranges that completed chunks already produced.
+            // Run the sub-range as one chunk on one stream instead —
+            // naive semantics (zero overlap), window-granular transfers —
+            // and label it Naive.
+            let mut sub = region.clone();
+            let iters = (region.hi - region.lo).max(1) as usize;
+            sub.spec.schedule = Schedule::static_(iters, 1);
+            match pipelined_impl(gpu, &sub, builder, &opts.pipelined, recovery)? {
+                DriverOutcome::Done(mut r) => {
+                    r.model = ExecModel::Naive;
+                    Ok(DriverOutcome::Done(r))
+                }
+                DriverOutcome::Exhausted {
+                    mut report,
+                    chunk,
+                    stage,
+                    attempts,
+                    source,
+                    unfinished,
+                } => {
+                    report.model = ExecModel::Naive;
+                    Ok(DriverOutcome::Exhausted {
+                        report,
+                        chunk,
+                        stage,
+                        attempts,
+                        source,
+                        unfinished,
+                    })
+                }
+            }
+        }
+        ExecModel::Naive => naive_impl(gpu, region, builder).map(DriverOutcome::Done),
+        ExecModel::Pipelined => pipelined_impl(gpu, region, builder, &opts.pipelined, recovery),
+        ExecModel::PipelinedBuffer => buffer_impl(gpu, region, builder, &opts.buffer, recovery),
+        ExecModel::Auto => unreachable!("Auto is resolved by run_model"),
+    }
+}
+
+/// Merge adjacent unfinished chunk ranges so the fallback runs once per
+/// contiguous stretch.
+fn coalesce(ranges: &[(i64, i64)]) -> Vec<(i64, i64)> {
+    let mut out: Vec<(i64, i64)> = Vec::new();
+    for &(a, b) in ranges {
+        match out.last_mut() {
+            Some(last) if last.1 == a => last.1 = b,
+            _ => out.push((a, b)),
+        }
+    }
+    out
+}
+
+/// Fold a fallback run's accounting into the primary (degraded) report:
+/// the fallback ran sequentially after the primary, so times and byte
+/// counts add.
+fn absorb(primary: &mut RunReport, fb: &RunReport) {
+    primary.total += fb.total;
+    primary.h2d += fb.h2d;
+    primary.d2h += fb.d2h;
+    primary.kernel += fb.kernel;
+    primary.host_api += fb.host_api;
+    primary.h2d_bytes += fb.h2d_bytes;
+    primary.d2h_bytes += fb.d2h_bytes;
+    primary.gpu_mem_bytes = primary.gpu_mem_bytes.max(fb.gpu_mem_bytes);
+    primary.array_bytes = primary.array_bytes.max(fb.array_bytes);
+    primary.commands += fb.commands;
+    primary.recovery.merge(&fb.recovery);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coalesce_merges_adjacent() {
+        assert_eq!(coalesce(&[(0, 4), (4, 8), (12, 16)]), vec![(0, 8), (12, 16)]);
+        assert_eq!(coalesce(&[]), Vec::<(i64, i64)>::new());
+        assert_eq!(coalesce(&[(3, 5)]), vec![(3, 5)]);
+    }
+}

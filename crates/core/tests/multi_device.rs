@@ -1,6 +1,9 @@
 //! Multi-device co-scheduling tests: regions split across several
 //! simulated GPUs sharing one host pool (the §VII extension).
 
+// This suite intentionally exercises the deprecated free-function entry
+// points to keep the legacy API surface covered until it is removed.
+#![allow(deprecated)]
 use gpsim::{DeviceProfile, ExecMode, Gpu, HostPool, KernelCost, KernelLaunch};
 use pipeline_rt::{
     run_pipelined_buffer, run_pipelined_buffer_multi, Affine, ChunkCtx, MapDir, MapSpec, Region,

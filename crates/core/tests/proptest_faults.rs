@@ -1,0 +1,223 @@
+//! Property tests of the fault-tolerant execution layer: for *random*
+//! region shapes and *random* all-retryable seeded fault plans, a run
+//! with chunk-granular retry must be observationally identical to the
+//! fault-free run — bit-identical output and the same net command
+//! count — and stall attribution must stay an exact partition even
+//! when the wait-retry bucket is populated.
+
+use gpsim::{DeviceProfile, ExecMode, FaultPlan, Gpu, KernelCost, KernelLaunch, SimTime};
+use proptest::prelude::*;
+use pipeline_rt::{
+    run_model, Affine, ChunkCtx, ExecModel, MapDir, MapSpec, Region, RegionSpec, RetryPolicy,
+    RunOptions, Schedule, SplitSpec,
+};
+
+/// A randomly shaped pipeline problem: `out[k] = Σ in[off(k) .. off(k)+w)`.
+#[derive(Debug, Clone)]
+struct Shape {
+    extent: usize,
+    slice: usize,
+    window: usize,
+    bias: i64,
+    chunk: usize,
+    streams: usize,
+}
+
+/// A seeded, all-retryable fault plan: faults only in stages the retry
+/// policy covers (H2D, D2H, kernel), capped so the per-chunk retry
+/// budget cannot be exhausted by sheer volume.
+#[derive(Debug, Clone)]
+struct Faults {
+    seed: u64,
+    h2d: f64,
+    d2h: f64,
+    kernel: f64,
+    max: u64,
+}
+
+fn shapes() -> impl Strategy<Value = Shape> {
+    (
+        6usize..32,  // extent
+        1usize..64,  // slice elems
+        1usize..4,   // window
+        -2i64..2,    // bias
+        1usize..6,   // chunk
+        1usize..5,   // streams
+    )
+        .prop_map(|(extent, slice, window, bias, chunk, streams)| Shape {
+            extent,
+            slice,
+            window,
+            bias,
+            chunk,
+            streams,
+        })
+}
+
+fn fault_plans() -> impl Strategy<Value = Faults> {
+    // Rates drawn as percentages: the shim has no f64 range strategy.
+    (any::<u64>(), 0u32..40, 0u32..40, 0u32..40, 1u64..6)
+        .prop_map(|(seed, h2d, d2h, kernel, max)| Faults {
+            seed,
+            h2d: h2d as f64 / 100.0,
+            d2h: d2h as f64 / 100.0,
+            kernel: kernel as f64 / 100.0,
+            max,
+        })
+}
+
+impl Shape {
+    /// Loop bounds keeping `[off(k), off(k)+window)` inside the array.
+    fn bounds(&self) -> Option<(i64, i64)> {
+        let lo = (-self.bias).max(0);
+        let hi = (self.extent as i64 - self.window as i64 - self.bias + 1).min(self.extent as i64);
+        if hi <= lo {
+            None
+        } else {
+            Some((lo, hi))
+        }
+    }
+}
+
+impl Faults {
+    fn plan(&self) -> FaultPlan {
+        FaultPlan::seeded(self.seed)
+            .h2d_rate(self.h2d)
+            .d2h_rate(self.d2h)
+            .kernel_rate(self.kernel)
+            .max_faults(self.max)
+    }
+}
+
+fn build_region(gpu: &mut Gpu, s: &Shape, lo: i64, hi: i64) -> Region {
+    let n = s.extent * s.slice;
+    let input = gpu.alloc_host(n, true).unwrap();
+    let output = gpu.alloc_host(n, true).unwrap();
+    gpu.host_fill(input, |i| ((i * 7 + 3) % 101) as f32).unwrap();
+    let spec = RegionSpec::new(Schedule::static_(s.chunk, s.streams))
+        .with_map(MapSpec {
+            name: "in".into(),
+            dir: MapDir::To,
+            split: SplitSpec::OneD {
+                offset: Affine { scale: 1, bias: s.bias },
+                window: s.window,
+                extent: s.extent,
+                slice_elems: s.slice,
+            },
+        })
+        .with_map(MapSpec {
+            name: "out".into(),
+            dir: MapDir::From,
+            split: SplitSpec::OneD {
+                offset: Affine::IDENTITY,
+                window: 1,
+                extent: s.extent,
+                slice_elems: s.slice,
+            },
+        });
+    Region::new(spec, lo, hi, vec![input, output])
+}
+
+fn window_sum_builder(s: &Shape) -> impl Fn(&ChunkCtx) -> KernelLaunch + 'static {
+    let shape = s.clone();
+    move |ctx: &ChunkCtx| {
+        let (k0, k1) = (ctx.k0, ctx.k1);
+        let (vin, vout) = (ctx.view(0), ctx.view(1));
+        let (slice, window, bias) = (shape.slice, shape.window, shape.bias);
+        KernelLaunch::new(
+            "window_sum",
+            KernelCost {
+                flops: (k1 - k0) as u64 * slice as u64 * window as u64,
+                bytes: 0,
+            },
+            move |kc| {
+                for k in k0..k1 {
+                    let mut out = kc.write(vout.slice_ptr(k), slice)?;
+                    out.fill(0.0);
+                    for w in 0..window as i64 {
+                        let src = kc.read(vin.slice_ptr(k + bias + w), slice)?;
+                        for i in 0..slice {
+                            out[i] += src[i];
+                        }
+                    }
+                }
+                Ok(())
+            },
+        )
+    }
+}
+
+/// Interior slices the loop writes — boundary slices keep host values.
+fn read_interior(gpu: &Gpu, region: &Region, s: &Shape, lo: i64, hi: i64) -> Vec<f32> {
+    let mut v = vec![0.0f32; s.extent * s.slice];
+    gpu.host_read(region.arrays[1], 0, &mut v).unwrap();
+    v[lo as usize * s.slice..hi as usize * s.slice].to_vec()
+}
+
+fn retrying() -> RunOptions {
+    // A deep budget so random plans never exhaust it: plans are capped at
+    // 5 faults, far below 16 retries per chunk.
+    RunOptions::default().with_retry(RetryPolicy::retries(16).backoff(SimTime::from_us(20), 2.0))
+}
+
+fn check_model(model: ExecModel, s: &Shape, f: &Faults) -> Result<(), TestCaseError> {
+    let Some((lo, hi)) = s.bounds() else {
+        return Ok(()); // degenerate shape: nothing to test
+    };
+    let mut gpu = Gpu::new(DeviceProfile::k40m(), ExecMode::Functional).unwrap();
+    let region = build_region(&mut gpu, s, lo, hi);
+    let builder = window_sum_builder(s);
+
+    let clean = run_model(&mut gpu, &region, &builder, model, &retrying())
+        .map_err(|e| TestCaseError::fail(format!("clean run failed: {e}")))?;
+    let expect = read_interior(&gpu, &region, s, lo, hi);
+    prop_assert!(clean.recovery.is_clean(), "fault-free run recorded retries");
+
+    gpu.host_fill(region.arrays[1], |_| -1.0).unwrap();
+    gpu.set_fault_plan(Some(f.plan()));
+    let mem_before = gpu.current_mem();
+    let faulted = run_model(&mut gpu, &region, &builder, model, &retrying())
+        .map_err(|e| TestCaseError::fail(format!("faulted run failed: {e}")))?;
+    let injected = gpu.faults_injected();
+    g_clear(&mut gpu);
+    prop_assert_eq!(gpu.current_mem(), mem_before, "device memory leak");
+
+    // Bit-identical output and identical net work, however many faults
+    // actually fired under this seed.
+    let got = read_interior(&gpu, &region, s, lo, hi);
+    prop_assert_eq!(&got, &expect, "output diverged ({}, {} faults)", model, injected);
+    prop_assert_eq!(clean.commands, faulted.commands, "net command count diverged");
+    prop_assert_eq!(
+        faulted.recovery.total_retries() > 0 || faulted.recovery.reissued_commands > 0,
+        injected > 0,
+        "recovery accounting disagrees with injection count"
+    );
+
+    // Stall attribution stays an exact partition — busy plus every
+    // bucket (including wait-retry) equals the makespan on each engine.
+    for report in [&clean, &faulted] {
+        let span = report.stalls.makespan_ns();
+        for bd in &report.stalls.engines {
+            prop_assert_eq!(bd.total_ns(), span, "stall partition broken");
+        }
+    }
+    Ok(())
+}
+
+fn g_clear(gpu: &mut Gpu) {
+    gpu.set_fault_plan(None);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn pipelined_faulted_run_is_observationally_clean(s in shapes(), f in fault_plans()) {
+        check_model(ExecModel::Pipelined, &s, &f)?;
+    }
+
+    #[test]
+    fn buffer_faulted_run_is_observationally_clean(s in shapes(), f in fault_plans()) {
+        check_model(ExecModel::PipelinedBuffer, &s, &f)?;
+    }
+}

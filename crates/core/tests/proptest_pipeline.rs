@@ -3,6 +3,9 @@
 //! CPU reference, each input byte must cross the bus exactly once, and
 //! no device memory may leak.
 
+// This suite intentionally exercises the deprecated free-function entry
+// points to keep the legacy API surface covered until it is removed.
+#![allow(deprecated)]
 use gpsim::{DeviceProfile, ExecMode, Gpu, KernelCost, KernelLaunch};
 use proptest::prelude::*;
 use pipeline_rt::{

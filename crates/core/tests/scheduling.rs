@@ -1,5 +1,8 @@
 //! Stream-assignment policy tests: least-loaded vs round-robin.
 
+// This suite intentionally exercises the deprecated free-function entry
+// points to keep the legacy API surface covered until it is removed.
+#![allow(deprecated)]
 use gpsim::{DeviceProfile, ExecMode, Gpu, KernelCost, KernelLaunch};
 use pipeline_rt::{
     run_pipelined_buffer_with, Affine, BufferOptions, ChunkCtx, MapDir, MapSpec, Region,

@@ -2,6 +2,9 @@
 //! worker pool must give results bit-identical to the serial loop —
 //! simulated times, peak device bytes, and functional outputs alike.
 
+// This suite intentionally exercises the deprecated free-function entry
+// points to keep the legacy API surface covered until it is removed.
+#![allow(deprecated)]
 use gpsim::{DeviceProfile, ExecMode, Gpu, KernelCost, KernelLaunch};
 use pipeline_rt::{
     run_pipelined_buffer, sweep_map_threads, Affine, MapDir, MapSpec, Region, RegionSpec,

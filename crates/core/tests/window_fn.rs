@@ -2,6 +2,9 @@
 //! ([`run_pipelined_buffer_fn`]): custom per-chunk window functions in
 //! place of the affine clause windows (paper §VII).
 
+// This suite intentionally exercises the deprecated free-function entry
+// points to keep the legacy API surface covered until it is removed.
+#![allow(deprecated)]
 use gpsim::{DeviceProfile, ExecMode, Gpu, KernelCost, KernelLaunch};
 use pipeline_rt::{
     run_pipelined_buffer, run_pipelined_buffer_fn, Affine, ChunkCtx, MapDir, MapSpec, Region,

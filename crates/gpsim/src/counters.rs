@@ -167,6 +167,9 @@ pub enum WaitCause {
     /// Ring-slot reuse: the buffer is too small, so the stream stalls
     /// until the slot's previous occupant is no longer in use.
     RingReuse,
+    /// Retry backoff: a runtime recovery layer paused the stream before
+    /// re-enqueueing a failed chunk's commands.
+    Retry,
 }
 
 /// A resolved event wait that actually delayed its stream: the stream

@@ -2,6 +2,8 @@
 
 use std::fmt;
 
+use crate::fault::FaultStage;
+
 /// Errors surfaced by the GPU simulator.
 ///
 /// These mirror the failure modes of a real driver API: allocation
@@ -41,6 +43,16 @@ pub enum SimError {
     /// Two concurrent commands accessed overlapping device memory with at
     /// least one writer (only reported when race checking is enabled).
     DataRace(String),
+    /// A failure injected by the installed [`FaultPlan`](crate::FaultPlan)
+    /// — transient by construction, so retry layers classify it as
+    /// recoverable (unlike every other variant).
+    Injected {
+        /// The stage the fault hit.
+        stage: FaultStage,
+        /// Which occurrence of that stage failed (counting from 0 since
+        /// the plan was installed).
+        occurrence: u64,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -63,6 +75,9 @@ impl fmt::Display for SimError {
             SimError::TimingOnly(s) => write!(f, "operation requires functional mode: {s}"),
             SimError::InvalidArgument(s) => write!(f, "invalid argument: {s}"),
             SimError::DataRace(s) => write!(f, "data race: {s}"),
+            SimError::Injected { stage, occurrence } => {
+                write!(f, "injected {stage} fault (occurrence {occurrence})")
+            }
         }
     }
 }

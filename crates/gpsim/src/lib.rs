@@ -56,6 +56,7 @@
 mod cmd;
 mod counters;
 mod error;
+mod fault;
 pub mod json;
 mod mem;
 mod profile;
@@ -73,6 +74,7 @@ pub use counters::{
     Counters, HostSpan, HostSpanKind, TimelineEntry, TimelineKind, WaitCause, WaitRecord,
 };
 pub use error::{SimError, SimResult};
+pub use fault::{FailureRecord, FaultPlan, FaultStage};
 pub use mem::{
     AllocRead, AllocWrite, DevAllocId, DevPtr, ExecMode, HostBufId, HostPool, ELEM_BYTES,
     PITCH_ALIGN_ELEMS,

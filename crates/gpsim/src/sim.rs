@@ -44,6 +44,7 @@ use crate::counters::{
     Counters, HostSpan, HostSpanKind, TimelineEntry, TimelineKind, WaitCause, WaitRecord,
 };
 use crate::error::{SimError, SimResult};
+use crate::fault::{FailureRecord, FaultPlan, FaultStage, FaultState};
 use crate::mem::{DevAllocId, DevPtr, ExecMode, HostBufId, HostPool, MemPool, ELEM_BYTES};
 use crate::profile::DeviceProfile;
 use crate::race::{AccessRange, ConflictKind, RaceLog};
@@ -136,6 +137,12 @@ pub struct Gpu {
     mem_samples: Vec<(u64, u64)>,
     race_check: bool,
     access_log: RaceLog,
+    /// Installed fault-injection plan plus its occurrence counters
+    /// (`None` — the default — costs one branch per hook).
+    fault: Option<FaultState>,
+    /// Failed commands retired so far (injected or genuine), so recovery
+    /// layers can map a failure back to the work that produced it.
+    failures: Vec<FailureRecord>,
 }
 
 impl Gpu {
@@ -174,6 +181,8 @@ impl Gpu {
             mem_samples: Vec::new(),
             race_check: false,
             access_log: RaceLog::new(),
+            fault: None,
+            failures: Vec::new(),
         };
         // Stream 0: the default stream, free of the per-stream memory tax
         // (it is part of the base runtime footprint).
@@ -217,6 +226,7 @@ impl Gpu {
         self.host_spans.clear();
         self.wait_records.clear();
         self.mem_samples.clear();
+        self.failures.clear();
         self.sample_mem();
     }
 
@@ -304,6 +314,64 @@ impl Gpu {
     }
 
     // ------------------------------------------------------------------
+    // Fault injection
+    // ------------------------------------------------------------------
+
+    /// Install a [`FaultPlan`] (replacing any previous one and resetting
+    /// its occurrence counters), or remove it with `None`. A no-op plan
+    /// (see [`FaultPlan::is_noop`]) is dropped outright so the happy
+    /// path stays branch-free beyond the `Option` check.
+    pub fn set_fault_plan(&mut self, plan: Option<FaultPlan>) {
+        self.fault = plan
+            .filter(|p| !p.is_noop())
+            .map(FaultState::new);
+    }
+
+    /// The currently installed fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault.as_ref().map(|f| &f.plan)
+    }
+
+    /// Number of failures injected so far by the installed plan.
+    pub fn faults_injected(&self) -> u64 {
+        self.fault.as_ref().map_or(0, |f| f.injected)
+    }
+
+    /// Drain the failure records retired since the last call (or since
+    /// context creation). Recovery layers call this after a failed
+    /// synchronize to map failing sequence numbers back to chunks.
+    pub fn take_failures(&mut self) -> Vec<FailureRecord> {
+        std::mem::take(&mut self.failures)
+    }
+
+    /// The sequence number the *next* enqueued command will get. Runtime
+    /// layers snapshot this around a chunk's enqueues to learn which seq
+    /// range belongs to which chunk.
+    pub fn next_seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// Record a retry-backoff stall on `stream`: the stream was
+    /// deliberately held from `from` to `until` by a recovery layer
+    /// before re-enqueueing failed work. Purely observational — feeds
+    /// the `wait-retry` stall bucket.
+    pub fn record_retry_wait(&mut self, stream: usize, from: SimTime, until: SimTime) {
+        if self.timeline_enabled && until > from {
+            self.wait_records.push(WaitRecord {
+                stream,
+                cause: WaitCause::Retry,
+                from_ns: from.as_ns(),
+                until_ns: until.as_ns(),
+            });
+        }
+    }
+
+    /// Roll the installed plan for one occurrence of `stage`.
+    fn roll_fault(&mut self, stage: FaultStage) -> Option<SimError> {
+        self.fault.as_mut().and_then(|f| f.roll(stage))
+    }
+
+    // ------------------------------------------------------------------
     // Memory API
     // ------------------------------------------------------------------
 
@@ -316,6 +384,9 @@ impl Gpu {
     /// Allocate `elems` device elements (like `cudaMalloc`).
     pub fn alloc(&mut self, elems: usize) -> SimResult<DevPtr> {
         self.api_call();
+        if let Some(e) = self.roll_fault(FaultStage::Alloc) {
+            return Err(e);
+        }
         let r = self.pool.alloc(elems);
         self.sample_mem();
         r
@@ -325,6 +396,9 @@ impl Gpu {
     /// base pointer and pitch in elements.
     pub fn alloc_pitched(&mut self, rows: usize, row_elems: usize) -> SimResult<(DevPtr, usize)> {
         self.api_call();
+        if let Some(e) = self.roll_fault(FaultStage::Alloc) {
+            return Err(e);
+        }
         let r = self.pool.alloc_pitched(rows, row_elems);
         self.sample_mem();
         r
@@ -939,6 +1013,12 @@ impl Gpu {
                         duration.as_secs_f64() / self.profile.duplex_factor,
                     );
                 }
+                if let Some(f) = self.fault.as_mut() {
+                    let factor = f.roll_spike();
+                    if factor > 1.0 {
+                        duration = SimTime::from_secs_f64(duration.as_secs_f64() * factor);
+                    }
+                }
                 let start = self.now;
                 let end = start + dispatch + duration;
                 self.streams[si].ready_at = end;
@@ -1048,6 +1128,16 @@ impl Gpu {
         let st = &mut self.streams[stream.0 as usize];
         st.running -= 1;
         st.last_done = st.last_done.max(end);
+        if let Err(e) = &exec {
+            self.failures.push(FailureRecord {
+                seq,
+                stream: stream.0 as usize,
+                engine,
+                label: kind.label(),
+                end,
+                error: e.clone(),
+            });
+        }
         exec?;
         race
     }
@@ -1070,6 +1160,9 @@ impl Gpu {
                 self.counters.h2d_time += dur;
                 self.counters.h2d_bytes += *elems as u64 * ELEM_BYTES;
                 self.counters.h2d_count += 1;
+                if let Some(e) = self.roll_fault(FaultStage::H2d) {
+                    return Err(e);
+                }
                 if functional {
                     let mut d = self.pool.dev_slice_mut(*dst, *elems)?;
                     self.pool
@@ -1085,6 +1178,9 @@ impl Gpu {
                 self.counters.d2h_time += dur;
                 self.counters.d2h_bytes += *elems as u64 * ELEM_BYTES;
                 self.counters.d2h_count += 1;
+                if let Some(e) = self.roll_fault(FaultStage::D2h) {
+                    return Err(e);
+                }
                 if functional {
                     let s = self.pool.dev_slice(*src, *elems)?;
                     self.pool
@@ -1095,6 +1191,9 @@ impl Gpu {
                 self.counters.h2d_time += dur;
                 self.counters.h2d_bytes += c.elems() as u64 * ELEM_BYTES;
                 self.counters.h2d_count += 1;
+                if let Some(e) = self.roll_fault(FaultStage::H2d) {
+                    return Err(e);
+                }
                 if functional {
                     // One device borrow + one host borrow for the whole
                     // command (spans were validated at enqueue time);
@@ -1121,6 +1220,9 @@ impl Gpu {
                 self.counters.d2h_time += dur;
                 self.counters.d2h_bytes += c.elems() as u64 * ELEM_BYTES;
                 self.counters.d2h_count += 1;
+                if let Some(e) = self.roll_fault(FaultStage::D2h) {
+                    return Err(e);
+                }
                 if functional {
                     // Mirror of the H2D2D path: borrow once per side,
                     // memcpy per row (or once when contiguous).
@@ -1145,6 +1247,11 @@ impl Gpu {
             CmdKind::Kernel(k) => {
                 self.counters.kernel_time += dur;
                 self.counters.kernel_count += 1;
+                // Roll *before* taking the body: an injected kernel fault
+                // models a launch that never produced its writes.
+                if let Some(e) = self.roll_fault(FaultStage::Kernel) {
+                    return Err(e);
+                }
                 if functional {
                     if let Some(body) = k.body.take() {
                         let ctx = KernelCtx { pool: &self.pool };

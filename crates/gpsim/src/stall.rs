@@ -26,6 +26,9 @@ pub enum StallCause {
     /// small, so a stream stalled until a slot's previous occupant
     /// drained).
     RingSlot,
+    /// Idle during a recovery backoff: the runtime paused before
+    /// re-enqueueing a failed chunk's commands.
+    RetryBackoff,
     /// Idle because the host had not issued the next command yet (driver
     /// API overhead, host-side bookkeeping) — or nothing else explains
     /// the gap.
@@ -34,11 +37,12 @@ pub enum StallCause {
 
 impl StallCause {
     /// All causes, in bucket order.
-    pub const ALL: [StallCause; 5] = [
+    pub const ALL: [StallCause; 6] = [
         StallCause::WaitingOnH2D,
         StallCause::WaitingOnD2H,
         StallCause::WaitingOnCompute,
         StallCause::RingSlot,
+        StallCause::RetryBackoff,
         StallCause::HostApi,
     ];
 
@@ -49,7 +53,8 @@ impl StallCause {
             StallCause::WaitingOnD2H => 1,
             StallCause::WaitingOnCompute => 2,
             StallCause::RingSlot => 3,
-            StallCause::HostApi => 4,
+            StallCause::RetryBackoff => 4,
+            StallCause::HostApi => 5,
         }
     }
 
@@ -60,6 +65,7 @@ impl StallCause {
             StallCause::WaitingOnD2H => "wait-d2h",
             StallCause::WaitingOnCompute => "wait-compute",
             StallCause::RingSlot => "ring-slot",
+            StallCause::RetryBackoff => "wait-retry",
             StallCause::HostApi => "host-api",
         }
     }
@@ -74,7 +80,7 @@ pub struct EngineBreakdown {
     /// (concurrent kernels on a Hyper-Q device are not double-counted).
     pub busy_ns: u64,
     /// Idle time per [`StallCause`], indexed by [`StallCause::index`].
-    pub stalls: [u64; 5],
+    pub stalls: [u64; 6],
 }
 
 impl EngineBreakdown {
@@ -180,11 +186,13 @@ fn total(v: &[(u64, u64)]) -> u64 {
 
 /// Partition each engine's idle time within `[first start, last end]`
 /// into stall buckets. The attribution per gap proceeds in priority
-/// order: time before the engine's next command even existed on the host
-/// → [`StallCause::HostApi`]; overlap with a ring-reuse wait →
-/// [`StallCause::RingSlot`]; overlap with another engine's busy time →
-/// waiting-on-that-engine (compute before H2D before D2H); remainder →
-/// [`StallCause::HostApi`].
+/// order: overlap with a recovery backoff → [`StallCause::RetryBackoff`]
+/// (checked first: backoff precedes the re-enqueue, so the pre-enqueue
+/// test would otherwise swallow it); time before the engine's next
+/// command even existed on the host → [`StallCause::HostApi`]; overlap
+/// with a ring-reuse wait → [`StallCause::RingSlot`]; overlap with
+/// another engine's busy time → waiting-on-that-engine (compute before
+/// H2D before D2H); remainder → [`StallCause::HostApi`].
 pub fn attribute_stalls(timeline: &[TimelineEntry], waits: &[WaitRecord]) -> StallReport {
     let Some(w0) = timeline.iter().map(|t| t.start_ns).min() else {
         return StallReport::default();
@@ -211,6 +219,13 @@ pub fn attribute_stalls(timeline: &[TimelineEntry], waits: &[WaitRecord]) -> Sta
         waits
             .iter()
             .filter(|w| w.cause == WaitCause::RingReuse)
+            .map(|w| (w.from_ns, w.until_ns))
+            .collect(),
+    );
+    let retry: Intervals = merge(
+        waits
+            .iter()
+            .filter(|w| w.cause == WaitCause::Retry)
             .map(|w| (w.from_ns, w.until_ns))
             .collect(),
     );
@@ -242,6 +257,13 @@ pub fn attribute_stalls(timeline: &[TimelineEntry], waits: &[WaitRecord]) -> Sta
         for i in (0..entries.len()).rev() {
             suffix_min[i] = suffix_min[i + 1].min(entries[i].1);
         }
+
+        // 0) Recovery backoffs → RetryBackoff. Before the pre-enqueue
+        // test: the retried commands are enqueued after the backoff, so
+        // the gap would otherwise read as "host had not issued work yet".
+        let hit = intersect(&idle, &retry);
+        bd.stalls[StallCause::RetryBackoff.index()] += total(&hit);
+        idle = subtract(&idle, &hit);
 
         // 1) Pre-enqueue portions of each gap → HostApi.
         let mut pre: Intervals = Vec::new();
@@ -297,8 +319,9 @@ pub fn render_attribution(report: &StallReport) -> String {
     let pct = |ns: u64| 100.0 * ns as f64 / span;
     let _ = writeln!(
         out,
-        "{:<8} {:>7} {:>9} {:>9} {:>12} {:>10} {:>9}",
-        "engine", "busy%", "wait-h2d", "wait-d2h", "wait-compute", "ring-slot", "host-api"
+        "{:<8} {:>7} {:>9} {:>9} {:>12} {:>10} {:>11} {:>9}",
+        "engine", "busy%", "wait-h2d", "wait-d2h", "wait-compute", "ring-slot", "wait-retry",
+        "host-api"
     );
     for engine in EngineKind::ALL {
         let bd = report.engine(engine);
@@ -309,13 +332,14 @@ pub fn render_attribution(report: &StallReport) -> String {
         };
         let _ = writeln!(
             out,
-            "{:<8} {:>6.1}% {:>8.1}% {:>8.1}% {:>11.1}% {:>9.1}% {:>8.1}%",
+            "{:<8} {:>6.1}% {:>8.1}% {:>8.1}% {:>11.1}% {:>9.1}% {:>10.1}% {:>8.1}%",
             name,
             pct(bd.busy_ns),
             pct(bd.stall(StallCause::WaitingOnH2D)),
             pct(bd.stall(StallCause::WaitingOnD2H)),
             pct(bd.stall(StallCause::WaitingOnCompute)),
             pct(bd.stall(StallCause::RingSlot)),
+            pct(bd.stall(StallCause::RetryBackoff)),
             pct(bd.stall(StallCause::HostApi)),
         );
     }
@@ -407,6 +431,30 @@ mod tests {
         assert_eq!(k.stall(StallCause::RingSlot), 20);
         assert_eq!(k.stall(StallCause::WaitingOnH2D), 40);
         assert_eq!(k.total_ns(), 100);
+    }
+
+    #[test]
+    fn retry_backoff_beats_pre_enqueue() {
+        // H2D [0,40); recovery backoff [40,60); the retried copy runs
+        // [60,80) and was enqueued at 60 — without the retry record the
+        // gap would read as pre-enqueue HostApi.
+        let tl = vec![
+            entry(TimelineKind::H2D, 0, 40, 0),
+            entry(TimelineKind::H2D, 60, 80, 60),
+        ];
+        let waits = vec![WaitRecord {
+            stream: 0,
+            cause: WaitCause::Retry,
+            from_ns: 40,
+            until_ns: 60,
+        }];
+        let r = attribute_stalls(&tl, &waits);
+        let h = r.engine(EngineKind::H2D);
+        assert_eq!(h.stall(StallCause::RetryBackoff), 20);
+        assert_eq!(h.stall(StallCause::HostApi), 0);
+        assert_eq!(h.total_ns(), 80);
+        let without = attribute_stalls(&tl, &[]);
+        assert_eq!(without.engine(EngineKind::H2D).stall(StallCause::HostApi), 20);
     }
 
     #[test]

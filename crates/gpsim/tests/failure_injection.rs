@@ -424,3 +424,137 @@ fn memset_time_is_memory_bandwidth_bound_on_compute_engine() {
     assert_eq!(g.now(), gpsim::SimTime::from_secs_f64(1.0));
     assert_eq!(g.counters().kernel_time, gpsim::SimTime::from_ms(1));
 }
+
+// ---------------------------------------------------------------------
+// Seeded fault plans (gpsim::FaultPlan)
+// ---------------------------------------------------------------------
+
+#[test]
+fn installed_plan_injects_deterministically() {
+    // Two identically-seeded runs of the same command sequence fail on
+    // the same occurrence with the same error.
+    let run = || {
+        let mut g = gpu();
+        g.set_fault_plan(Some(gpsim::FaultPlan::seeded(11).h2d_rate(0.3)));
+        let d = g.alloc(1024).unwrap();
+        let h = g.alloc_host(1024, true).unwrap();
+        g.host_fill(h, |i| i as f32).unwrap();
+        let s = g.default_stream();
+        let mut first_err = None;
+        for c in 0..16 {
+            g.memcpy_h2d_async(s, h, c * 64, d.add(c * 64), 64).unwrap();
+            if let Err(e) = g.synchronize() {
+                first_err = Some((c, e));
+                break;
+            }
+        }
+        (first_err, g.take_failures().len())
+    };
+    let (a, na) = run();
+    let (b, nb) = run();
+    assert_eq!(a, b, "seeded plan is not deterministic");
+    assert_eq!(na, nb);
+    let (idx, err) = a.expect("a 30% rate over 16 copies should fire");
+    assert!(matches!(err, SimError::Injected { stage: gpsim::FaultStage::H2d, .. }), "{err:?}");
+    assert!(idx < 16);
+}
+
+#[test]
+fn targeted_fault_surfaces_with_failure_record() {
+    let mut g = gpu();
+    g.set_fault_plan(Some(
+        gpsim::FaultPlan::seeded(0).target(gpsim::FaultStage::Kernel, 1),
+    ));
+    let d = g.alloc(64).unwrap();
+    let s = g.default_stream();
+    for i in 0..3 {
+        g.launch(
+            s,
+            KernelLaunch::new(
+                ["k0", "k1", "k2"][i],
+                KernelCost::default(),
+                move |kc| {
+                    kc.write(d, 64)?.fill(i as f32);
+                    Ok(())
+                },
+            ),
+        )
+        .unwrap();
+    }
+    let err = g.synchronize().unwrap_err();
+    assert!(
+        matches!(err, SimError::Injected { stage: gpsim::FaultStage::Kernel, occurrence: 1 }),
+        "{err:?}"
+    );
+    let failures = g.take_failures();
+    assert_eq!(failures.len(), 1);
+    let f = &failures[0];
+    assert_eq!(f.engine, gpsim::EngineKind::Compute);
+    assert_eq!(f.label, "k1");
+    assert_eq!(f.error, err);
+    // Drained: a second take returns nothing.
+    assert!(g.take_failures().is_empty());
+    // The remaining kernel still completes on resync, and the failed one
+    // is on the timeline (it occupied the engine for its full duration).
+    g.synchronize().unwrap();
+    assert_eq!(g.counters().kernel_count, 3);
+}
+
+#[test]
+fn alloc_fault_is_transient_oom() {
+    let mut g = gpu();
+    g.set_fault_plan(Some(
+        gpsim::FaultPlan::seeded(0).target(gpsim::FaultStage::Alloc, 0),
+    ));
+    let err = g.alloc(64).unwrap_err();
+    assert!(matches!(err, SimError::Injected { stage: gpsim::FaultStage::Alloc, .. }), "{err:?}");
+    // Transient: the retry succeeds and memory accounting is unharmed.
+    let before = g.current_mem();
+    let d = g.alloc(64).unwrap();
+    g.free(d).unwrap();
+    assert_eq!(g.current_mem(), before);
+}
+
+#[test]
+fn latency_spikes_stretch_durations_without_failing() {
+    let copy_time = |plan: Option<gpsim::FaultPlan>| {
+        let mut g = Gpu::new(DeviceProfile::uniform_test(), ExecMode::Timing).unwrap();
+        g.set_fault_plan(plan);
+        let d = g.alloc(1_000_000).unwrap();
+        let h = g.alloc_host(1_000_000, true).unwrap();
+        g.memcpy_h2d_async(g.default_stream(), h, 0, d, 1_000_000).unwrap();
+        g.synchronize().unwrap();
+        g.counters().h2d_time
+    };
+    let base = copy_time(None);
+    let spiked = copy_time(Some(gpsim::FaultPlan::seeded(3).spikes(1.0, 4.0)));
+    assert!(
+        spiked >= base + base + base,
+        "spike did not stretch the copy: base={base}, spiked={spiked}"
+    );
+}
+
+#[test]
+fn noop_plan_and_removal_leave_behavior_unchanged() {
+    let makespan = |plan: Option<gpsim::FaultPlan>| {
+        let mut g = gpu();
+        g.set_fault_plan(plan);
+        let d = g.alloc(256).unwrap();
+        let h = g.alloc_host(256, true).unwrap();
+        g.host_fill(h, |i| i as f32).unwrap();
+        let s = g.default_stream();
+        g.memcpy_h2d_async(s, h, 0, d, 256).unwrap();
+        g.memcpy_d2h_async(s, d, 256, h, 0).unwrap();
+        g.synchronize().unwrap();
+        g.now()
+    };
+    let base = makespan(None);
+    // A plan with nothing configured is dropped outright.
+    assert_eq!(makespan(Some(gpsim::FaultPlan::seeded(1))), base);
+    // Installing then removing a real plan also restores baseline.
+    let mut g = gpu();
+    g.set_fault_plan(Some(gpsim::FaultPlan::seeded(1).h2d_rate(1.0)));
+    assert!(g.fault_plan().is_some());
+    g.set_fault_plan(None);
+    assert!(g.fault_plan().is_none());
+}

@@ -7,10 +7,7 @@
 //! ```
 
 use gpsim::{DeviceProfile, ExecMode, Gpu, HostPool, KernelCost, KernelLaunch};
-use pipeline_rt::{
-    autotune, run_pipelined_buffer, run_pipelined_buffer_fn, run_pipelined_buffer_multi, Affine,
-    ChunkCtx, MapDir, MapSpec, Region, RegionSpec, Schedule, SplitSpec, TuneSpace, WindowFn,
-};
+use pipeline_rt::{autotune, run_model, run_pipelined_buffer_multi, run_window_fn, Affine, ChunkCtx, ExecModel, MapDir, MapSpec, Region, RegionSpec, RunOptions, Schedule, SplitSpec, TuneSpace, WindowFn};
 
 const NZ: usize = 96;
 const SLICE: usize = 1 << 18; // 1 MB slices
@@ -64,7 +61,7 @@ fn main() {
     let output = gpus[0].alloc_host(NZ * SLICE, true).unwrap();
     let region = Region::new(spec(2, 3), 1, (NZ - 1) as i64, vec![input, output]);
 
-    let single = run_pipelined_buffer(&mut gpus[0], &region, &builder).unwrap();
+    let single = run_model(&mut gpus[0], &region, &builder, ExecModel::PipelinedBuffer, &RunOptions::default()).unwrap();
     let probe = (6 * SLICE as u64, 16 * SLICE as u64);
     let multi = run_pipelined_buffer_multi(&mut gpus, &region, &builder, probe).unwrap();
     for (i, (p, r)) in multi.partitions.iter().zip(&multi.per_device).enumerate() {
@@ -92,7 +89,7 @@ fn main() {
     let input = amd.alloc_host(NZ * SLICE, true).unwrap();
     let output = amd.alloc_host(NZ * SLICE, true).unwrap();
     let region = Region::new(spec(1, 3), 1, (NZ - 1) as i64, vec![input, output]);
-    let dflt = run_pipelined_buffer(&mut amd, &region, &builder).unwrap();
+    let dflt = run_model(&mut amd, &region, &builder, ExecModel::PipelinedBuffer, &RunOptions::default()).unwrap();
     let tuned = autotune(&amd, &region, &builder, &TuneSpace::default()).unwrap();
     println!(
         "  paper default static[1,3]: {}   tuned {:?}: {}  ({:.2}x better)",
@@ -115,7 +112,7 @@ fn main() {
     let region = Region::new(spec(2, 3), 0, (NZ - 1) as i64, vec![input, output]);
     let window = |k0: i64, k1: i64| (k0 & !1, ((k1 - 1) & !1) + 2);
     let windows: Vec<Option<&WindowFn<'_>>> = vec![Some(&window), None];
-    let rep = run_pipelined_buffer_fn(&mut gpu, &region, &builder, &windows).unwrap();
+    let rep = run_window_fn(&mut gpu, &region, &builder, &windows, &RunOptions::default()).unwrap();
     println!(
         "  step-window pipeline: {} over {} chunks, {:.1} MB of rings, \
          {:.1} MB moved once each",

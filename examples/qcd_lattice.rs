@@ -10,7 +10,7 @@
 use gpsim::{DeviceProfile, ExecMode, Gpu};
 use pipeline_apps::util::{assert_exact, read_host};
 use pipeline_apps::QcdConfig;
-use pipeline_rt::{run_naive, run_pipelined, run_pipelined_buffer};
+use pipeline_rt::{run_model, ExecModel, RunOptions};
 
 fn main() {
     println!("{:<8} {:>10} {:>10} {:>10} {:>9} {:>10} {:>10}",
@@ -20,9 +20,9 @@ fn main() {
         let mut gpu = Gpu::new(DeviceProfile::k40m(), ExecMode::Timing).unwrap();
         let inst = cfg.setup(&mut gpu).unwrap();
         let builder = cfg.builder();
-        let naive = run_naive(&mut gpu, &inst.region, &builder).unwrap();
-        let pipe = run_pipelined(&mut gpu, &inst.region, &builder).unwrap();
-        let buf = run_pipelined_buffer(&mut gpu, &inst.region, &builder).unwrap();
+        let naive = run_model(&mut gpu, &inst.region, &builder, ExecModel::Naive, &RunOptions::default()).unwrap();
+        let pipe = run_model(&mut gpu, &inst.region, &builder, ExecModel::Pipelined, &RunOptions::default()).unwrap();
+        let buf = run_model(&mut gpu, &inst.region, &builder, ExecModel::PipelinedBuffer, &RunOptions::default()).unwrap();
         println!(
             "{:<8} {:>10} {:>10} {:>10} {:>8.2}x {:>8.1}MB {:>8.1}MB",
             format!("{n}^4"),
@@ -56,7 +56,7 @@ fn main() {
     let u = read_host(&gpu, inst.u).unwrap();
     let f = read_host(&gpu, inst.f).unwrap();
     let expect = cfg.cpu_reference(&psi, &u, &f);
-    run_pipelined_buffer(&mut gpu, &inst.region, &cfg.builder()).unwrap();
+    run_model(&mut gpu, &inst.region, &cfg.builder(), ExecModel::PipelinedBuffer, &RunOptions::default()).unwrap();
     assert_exact(&read_host(&gpu, inst.out).unwrap(), &expect, "qcd hopping");
     println!(
         "\nfunctional check: {}³x{} lattice hopping operator matches the CPU reference exactly",

@@ -8,7 +8,7 @@
 
 use gpsim::{DeviceProfile, ExecMode, Gpu, KernelCost, KernelLaunch};
 use pipeline_directive::parse_directive;
-use pipeline_rt::{run_naive, run_pipelined, run_pipelined_buffer, ChunkCtx, Region};
+use pipeline_rt::{run_model, ChunkCtx, ExecModel, Region, RunOptions};
 
 fn main() {
     // A simulated Tesla K40m in functional mode: kernels really execute
@@ -63,9 +63,9 @@ fn main() {
     };
 
     println!("directive: {directive}\n");
-    let naive = run_naive(&mut gpu, &region, &builder).unwrap();
-    let pipelined = run_pipelined(&mut gpu, &region, &builder).unwrap();
-    let buffered = run_pipelined_buffer(&mut gpu, &region, &builder).unwrap();
+    let naive = run_model(&mut gpu, &region, &builder, ExecModel::Naive, &RunOptions::default()).unwrap();
+    let pipelined = run_model(&mut gpu, &region, &builder, ExecModel::Pipelined, &RunOptions::default()).unwrap();
+    let buffered = run_model(&mut gpu, &region, &builder, ExecModel::PipelinedBuffer, &RunOptions::default()).unwrap();
     println!("{naive}");
     println!("{pipelined}");
     println!("{buffered}");

@@ -12,7 +12,7 @@
 use gpsim::{DeviceProfile, ExecMode, Gpu, SimTime};
 use pipeline_apps::util::{max_rel_error, read_host};
 use pipeline_apps::StencilConfig;
-use pipeline_rt::{run_naive, run_pipelined_buffer, Region};
+use pipeline_rt::{run_model, ExecModel, Region, RunOptions};
 
 const SWEEPS: usize = 4;
 
@@ -55,8 +55,8 @@ fn main() {
         let full = read_host(&gpu, src).unwrap();
         gpu.host_write(dst, 0, &full).unwrap();
 
-        let naive = run_naive(&mut gpu, &region, &builder).unwrap();
-        let buffered = run_pipelined_buffer(&mut gpu, &region, &builder).unwrap();
+        let naive = run_model(&mut gpu, &region, &builder, ExecModel::Naive, &RunOptions::default()).unwrap();
+        let buffered = run_model(&mut gpu, &region, &builder, ExecModel::PipelinedBuffer, &RunOptions::default()).unwrap();
         naive_time += naive.total;
         buffer_time += buffered.total;
         mem = (naive.gpu_mem_bytes, buffered.gpu_mem_bytes);

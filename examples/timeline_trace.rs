@@ -10,7 +10,7 @@
 
 use gpsim::{render_gantt, to_chrome_trace, utilization, DeviceProfile, ExecMode, Gpu};
 use pipeline_apps::StencilConfig;
-use pipeline_rt::{run_naive, run_pipelined_buffer};
+use pipeline_rt::{run_model, ExecModel, RunOptions};
 
 fn main() {
     let cfg = StencilConfig {
@@ -24,10 +24,10 @@ fn main() {
     let inst = cfg.setup(&mut gpu).unwrap();
     let builder = cfg.builder();
 
-    let naive = run_naive(&mut gpu, &inst.region, &builder).unwrap();
+    let naive = run_model(&mut gpu, &inst.region, &builder, ExecModel::Naive, &RunOptions::default()).unwrap();
     let naive_tl = gpu.timeline().to_vec();
 
-    let buffered = run_pipelined_buffer(&mut gpu, &inst.region, &builder).unwrap();
+    let buffered = run_model(&mut gpu, &inst.region, &builder, ExecModel::PipelinedBuffer, &RunOptions::default()).unwrap();
     let buffered_tl = gpu.timeline().to_vec();
 
     println!("== Naive offload ({}; no overlap by construction) ==", naive.total);

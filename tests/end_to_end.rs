@@ -6,8 +6,7 @@
 use dbpp::apps::util::{assert_exact, read_host};
 use dbpp::directive::parse_directive;
 use dbpp::rt::{
-    autotune, run_naive, run_pipelined, run_pipelined_buffer, run_pipelined_buffer_multi, Region,
-    TuneSpace,
+    autotune, run_model, run_pipelined_buffer_multi, ExecModel, Region, RunOptions, TuneSpace,
 };
 use dbpp::sim::{DeviceProfile, ExecMode, Gpu, HostPool, KernelCost, KernelLaunch};
 
@@ -79,9 +78,9 @@ fn directive_to_device_round_trip() {
     for name in ["naive", "pipelined", "buffer"] {
         gpu.host_fill(region.arrays[1], |_| -7.0).unwrap();
         match name {
-            "naive" => run_naive(&mut gpu, &region, &blur_builder).unwrap(),
-            "pipelined" => run_pipelined(&mut gpu, &region, &blur_builder).unwrap(),
-            _ => run_pipelined_buffer(&mut gpu, &region, &blur_builder).unwrap(),
+            "naive" => run_model(&mut gpu, &region, &blur_builder, ExecModel::Naive, &RunOptions::default()).unwrap(),
+            "pipelined" => run_model(&mut gpu, &region, &blur_builder, ExecModel::Pipelined, &RunOptions::default()).unwrap(),
+            _ => run_model(&mut gpu, &region, &blur_builder, ExecModel::PipelinedBuffer, &RunOptions::default()).unwrap(),
         };
         let got = read_host(&gpu, region.arrays[1]).unwrap();
         assert_exact(
@@ -143,7 +142,7 @@ fn autotuned_schedule_is_no_worse_than_the_directive_default() {
             },
         )
     };
-    let default = run_pipelined_buffer(&mut gpu, &region, &builder).unwrap();
+    let default = run_model(&mut gpu, &region, &builder, ExecModel::PipelinedBuffer, &RunOptions::default()).unwrap();
     let tuned = autotune(&gpu, &region, &builder, &TuneSpace::default()).unwrap();
     assert!(
         tuned.best_time <= default.total,
@@ -161,17 +160,17 @@ fn all_four_apps_run_through_the_facade() {
 
     let stencil = dbpp::apps::StencilConfig::test_small();
     let inst = stencil.setup(&mut gpu).unwrap();
-    let rep = run_pipelined_buffer(&mut gpu, &inst.region, &stencil.builder()).unwrap();
+    let rep = run_model(&mut gpu, &inst.region, &stencil.builder(), ExecModel::PipelinedBuffer, &RunOptions::default()).unwrap();
     assert!(rep.total > dbpp::sim::SimTime::ZERO);
 
     let conv = dbpp::apps::Conv3dConfig::test_small();
     let inst = conv.setup(&mut gpu).unwrap();
-    let rep = run_pipelined_buffer(&mut gpu, &inst.region, &conv.builder()).unwrap();
+    let rep = run_model(&mut gpu, &inst.region, &conv.builder(), ExecModel::PipelinedBuffer, &RunOptions::default()).unwrap();
     assert!(rep.h2d_bytes > 0);
 
     let qcd = dbpp::apps::QcdConfig::test_small();
     let inst = qcd.setup(&mut gpu).unwrap();
-    let rep = run_pipelined_buffer(&mut gpu, &inst.region, &qcd.builder()).unwrap();
+    let rep = run_model(&mut gpu, &inst.region, &qcd.builder(), ExecModel::PipelinedBuffer, &RunOptions::default()).unwrap();
     assert!(rep.chunks > 1);
 
     let mm = dbpp::apps::MatmulConfig::test_small();

@@ -6,7 +6,7 @@
 //! suite checks the global story end-to-end through the facade.
 
 use dbpp::apps::{Conv3dConfig, QcdConfig, StencilConfig};
-use dbpp::rt::{run_naive, run_pipelined_buffer, RunReport};
+use dbpp::rt::{run_model, ExecModel, RunOptions, RunReport};
 use dbpp::sim::{DeviceProfile, ExecMode, Gpu};
 
 fn k40m() -> Gpu {
@@ -29,8 +29,8 @@ fn run_all() -> Vec<Outcome> {
         let cfg = Conv3dConfig::polybench_default();
         let inst = cfg.setup(&mut gpu).unwrap();
         let b = cfg.builder();
-        let naive = run_naive(&mut gpu, &inst.region, &b).unwrap();
-        let buffer = run_pipelined_buffer(&mut gpu, &inst.region, &b).unwrap();
+        let naive = run_model(&mut gpu, &inst.region, &b, ExecModel::Naive, &RunOptions::default()).unwrap();
+        let buffer = run_model(&mut gpu, &inst.region, &b, ExecModel::PipelinedBuffer, &RunOptions::default()).unwrap();
         out.push(Outcome {
             name: "3dconv",
             speedup: buffer.speedup_over(&naive),
@@ -44,8 +44,8 @@ fn run_all() -> Vec<Outcome> {
         let cfg = StencilConfig::parboil_default();
         let inst = cfg.setup(&mut gpu).unwrap();
         let b = cfg.builder();
-        let naive = run_naive(&mut gpu, &inst.region, &b).unwrap();
-        let buffer = run_pipelined_buffer(&mut gpu, &inst.region, &b).unwrap();
+        let naive = run_model(&mut gpu, &inst.region, &b, ExecModel::Naive, &RunOptions::default()).unwrap();
+        let buffer = run_model(&mut gpu, &inst.region, &b, ExecModel::PipelinedBuffer, &RunOptions::default()).unwrap();
         out.push(Outcome {
             name: "stencil",
             speedup: buffer.speedup_over(&naive),
@@ -59,8 +59,8 @@ fn run_all() -> Vec<Outcome> {
         let cfg = QcdConfig::paper_size(n);
         let inst = cfg.setup(&mut gpu).unwrap();
         let b = cfg.builder();
-        let naive = run_naive(&mut gpu, &inst.region, &b).unwrap();
-        let buffer = run_pipelined_buffer(&mut gpu, &inst.region, &b).unwrap();
+        let naive = run_model(&mut gpu, &inst.region, &b, ExecModel::Naive, &RunOptions::default()).unwrap();
+        let buffer = run_model(&mut gpu, &inst.region, &b, ExecModel::PipelinedBuffer, &RunOptions::default()).unwrap();
         out.push(Outcome {
             name,
             speedup: buffer.speedup_over(&naive),
@@ -141,7 +141,7 @@ fn buffered_version_enables_oversized_datasets() {
     }; // 3.3 GB footprint
     let inst = cfg.setup(&mut gpu).unwrap();
     let b = cfg.builder();
-    assert!(run_naive(&mut gpu, &inst.region, &b).is_err(), "should OOM");
-    let rep = run_pipelined_buffer(&mut gpu, &inst.region, &b).unwrap();
+    assert!(run_model(&mut gpu, &inst.region, &b, ExecModel::Naive, &RunOptions::default()).is_err(), "should OOM");
+    let rep = run_model(&mut gpu, &inst.region, &b, ExecModel::PipelinedBuffer, &RunOptions::default()).unwrap();
     assert!(rep.gpu_mem_bytes < 600_000_000);
 }
