@@ -10,7 +10,9 @@
 use std::fs;
 use std::path::PathBuf;
 
-use pipeline_bench::{ablate, faults, fig3, fig4, fig56, fig7, fig8, fig910, header, perf, trace};
+use pipeline_bench::{
+    ablate, failover, faults, fig3, fig4, fig56, fig7, fig8, fig910, header, perf, trace,
+};
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
@@ -59,7 +61,7 @@ fn main() {
     };
     const KNOWN: &[&str] = &[
         "all", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
-        "future", "ablations", "perf", "trace", "faults",
+        "future", "ablations", "perf", "trace", "faults", "failover",
     ];
     for a in &args {
         if !KNOWN.contains(&a.as_str()) {
@@ -271,6 +273,44 @@ fn main() {
             ));
         }
         write_csv("faults.csv", csv);
+    }
+    if want("failover") {
+        header(if smoke {
+            "Cost of losing a device — failover sweep, smoke shape (3dconv, 2 x K40m)"
+        } else {
+            "Cost of losing a device — failover sweep (3dconv, 2 x K40m)"
+        });
+        let sweep = failover::run(smoke);
+        failover::print(&sweep);
+        fs::write("FAILOVER_sim.json", failover::json(&sweep))
+            .expect("write FAILOVER_sim.json");
+        eprintln!("wrote FAILOVER_sim.json");
+        fs::create_dir_all(&trace_dir).expect("create trace dir");
+        let path = trace_dir.join("3dconv_failover_survivor.trace.json");
+        fs::write(&path, &sweep.trace_json).expect("write failover trace");
+        eprintln!("wrote {}", path.display());
+        let mut csv = String::from("kind,x,migrated,makespan_ms,baseline_ms,metric\n");
+        for r in &sweep.loss_rows {
+            csv.push_str(&format!(
+                "loss,{:.2},{},{:.6},{:.6},{:.6}\n",
+                r.frac,
+                r.migrated,
+                r.makespan.as_ms_f64(),
+                r.clean_makespan.as_ms_f64(),
+                r.overhead()
+            ));
+        }
+        for r in &sweep.straggler_rows {
+            csv.push_str(&format!(
+                "straggler,{:.1},{},{:.6},{:.6},{:.6}\n",
+                r.factor,
+                r.migrated,
+                r.rebalanced.as_ms_f64(),
+                r.pinned.as_ms_f64(),
+                r.gain()
+            ));
+        }
+        write_csv("failover.csv", csv);
     }
     if want("trace") {
         header(if smoke {

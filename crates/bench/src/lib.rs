@@ -19,6 +19,7 @@
 //! | [`future_hw`] | Forward-looking study on a Pascal-class profile |
 //! | [`perf`]  | Sweep-engine throughput (serial vs parallel wall-clock) |
 //! | [`faults`]| Overhead of resilience: recovery cost vs fault rate |
+//! | [`failover`]| Multi-GPU device-loss failover + straggler rebalancing |
 //!
 //! Harness `run()` functions fan their independent trials over the
 //! [`pipeline_rt::sweep_map`] worker pool; set `DBPP_SWEEP_THREADS=1`
@@ -33,6 +34,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod ablate;
+pub mod failover;
 pub mod faults;
 pub mod fig3;
 pub mod fig4;

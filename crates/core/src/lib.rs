@@ -119,7 +119,11 @@ pub use metrics::{Histogram, Stage, StageMetrics};
 pub use exec::{
     run_naive, run_pipelined, run_pipelined_with, KernelBuilder, PipelinedOptions, Region,
 };
-pub use multi::{partition_iterations, run_pipelined_buffer_multi, MultiReport};
+#[allow(deprecated)]
+pub use multi::{
+    partition_iterations, run_model_multi, run_pipelined_buffer_multi, DeviceTrace, Migration,
+    MigrationCause, MultiOptions, MultiRecovery, MultiReport,
+};
 pub use plan::{
     build_window_table, chunk_ranges, footprint, map_buffer_bytes, map_full_bytes, min_footprint,
     resolve_plan, resolve_plan_fn, ring_slots_default, ring_slots_min, Plan, WindowFn, WindowTable,

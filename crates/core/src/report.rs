@@ -83,6 +83,10 @@ pub struct RunReport {
     /// What recovery cost this run: retries, reissued commands, backoff
     /// time, degradations. All-zero for clean runs.
     pub recovery: RecoveryStats,
+    /// Commands whose duration was stretched by an injected latency
+    /// spike ([`FaultPlan::spikes`](gpsim::FaultPlan::spikes)) — lets
+    /// straggler tests assert injection actually happened.
+    pub spikes: u64,
 }
 
 impl RunReport {
@@ -133,6 +137,7 @@ impl RunReport {
             stage_metrics: StageMetrics::from_run(timeline, waits),
             counter_tracks,
             recovery: RecoveryStats::default(),
+            spikes: c.spikes,
         }
     }
 
@@ -205,6 +210,7 @@ mod tests {
             stage_metrics: StageMetrics::default(),
             counter_tracks: Vec::new(),
             recovery: RecoveryStats::default(),
+            spikes: 0,
         }
     }
 

@@ -26,6 +26,7 @@ use crate::autotune::{autotune, TuneSpace};
 use crate::buffer::{buffer_fn_impl, buffer_impl, BufferOptions};
 use crate::error::{RtError, RtResult};
 use crate::exec::{naive_impl, pipelined_impl, KernelBuilder, PipelinedOptions, Region};
+use crate::multi::MultiOptions;
 use crate::plan::WindowFn;
 use crate::recovery::{
     Degradation, DriverOutcome, RecoveryCtx, RecoveryStats, RetryPolicy, ToFromSnapshot,
@@ -51,6 +52,10 @@ pub struct RunOptions {
     pub buffer: BufferOptions,
     /// Candidate grid for [`ExecModel::Auto`].
     pub tune: TuneSpace,
+    /// Supervision knobs of the multi-device co-scheduler
+    /// ([`run_model_multi`](crate::run_model_multi)); ignored by the
+    /// single-device entry points.
+    pub multi: MultiOptions,
 }
 
 impl RunOptions {
@@ -91,6 +96,13 @@ impl RunOptions {
     #[must_use]
     pub fn with_tune(mut self, tune: TuneSpace) -> RunOptions {
         self.tune = tune;
+        self
+    }
+
+    /// Set the multi-device co-scheduling options.
+    #[must_use]
+    pub fn with_multi(mut self, multi: MultiOptions) -> RunOptions {
+        self.multi = multi;
         self
     }
 }
@@ -204,7 +216,7 @@ fn whole_run_retry(
 /// ladder as needed. `as_fallback` marks recursive invocations over
 /// unfinished sub-ranges (it changes how the Naive rung executes — see
 /// below).
-fn run_ladder(
+pub(crate) fn run_ladder(
     gpu: &mut Gpu,
     region: &Region,
     builder: &KernelBuilder<'_>,
@@ -398,6 +410,7 @@ fn absorb(primary: &mut RunReport, fb: &RunReport) {
     primary.gpu_mem_bytes = primary.gpu_mem_bytes.max(fb.gpu_mem_bytes);
     primary.array_bytes = primary.array_bytes.max(fb.array_bytes);
     primary.commands += fb.commands;
+    primary.spikes += fb.spikes;
     primary.recovery.merge(&fb.recovery);
 }
 

@@ -34,6 +34,9 @@ pub struct Counters {
     pub kernel_count: u64,
     /// Number of driver API calls made (enqueues, records, syncs...).
     pub api_calls: u64,
+    /// Commands whose duration was stretched by an injected latency
+    /// spike (see [`FaultPlan::spikes`](crate::FaultPlan::spikes)).
+    pub spikes: u64,
 }
 
 impl Counters {

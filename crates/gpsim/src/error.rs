@@ -53,6 +53,12 @@ pub enum SimError {
         /// the plan was installed).
         occurrence: u64,
     },
+    /// The whole context is gone (injected whole-device loss, or a hang
+    /// escalated by a watchdog). Terminal for the context: every
+    /// subsequent enqueue and allocation fails with this error, so no
+    /// retry on the same device can succeed — recovery has to migrate
+    /// the work to a surviving context.
+    DeviceLost,
 }
 
 impl fmt::Display for SimError {
@@ -78,6 +84,7 @@ impl fmt::Display for SimError {
             SimError::Injected { stage, occurrence } => {
                 write!(f, "injected {stage} fault (occurrence {occurrence})")
             }
+            SimError::DeviceLost => write!(f, "device lost"),
         }
     }
 }

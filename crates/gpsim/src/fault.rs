@@ -68,6 +68,27 @@ impl fmt::Display for FaultStage {
     }
 }
 
+/// When a whole-context loss fires, relative to the plan's installation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LossTrigger {
+    /// The device dies after retiring this many engine commands.
+    Commands(u64),
+    /// The device dies once its clock reaches this simulated instant.
+    Time(SimTime),
+}
+
+impl From<u64> for LossTrigger {
+    fn from(cmds: u64) -> LossTrigger {
+        LossTrigger::Commands(cmds)
+    }
+}
+
+impl From<SimTime> for LossTrigger {
+    fn from(t: SimTime) -> LossTrigger {
+        LossTrigger::Time(t)
+    }
+}
+
 /// A deterministic fault-injection schedule for one device context.
 ///
 /// Probabilistic rates are evaluated per command *occurrence* (the n-th
@@ -103,6 +124,14 @@ pub struct FaultPlan {
     /// Stop injecting after this many failures (spikes excluded);
     /// `None` = unbounded.
     pub max_faults: Option<u64>,
+    /// Whole-context loss: the device dies (terminally) once this
+    /// trigger is reached. Unlike per-command faults, a loss is not
+    /// retryable on the same context.
+    pub lost_after: Option<LossTrigger>,
+    /// Per-occurrence probability that an engine command *hangs*: it is
+    /// dispatched but its completion never fires, wedging its stream and
+    /// engine slot until a watchdog escalates the context to lost.
+    pub hang_rate: f64,
 }
 
 impl FaultPlan {
@@ -115,6 +144,8 @@ impl FaultPlan {
             spike_rate: 0.0,
             spike_factor: 4.0,
             max_faults: None,
+            lost_after: None,
+            hang_rate: 0.0,
         }
     }
 
@@ -172,12 +203,32 @@ impl FaultPlan {
         self
     }
 
+    /// Lose the whole context after retiring `n` engine commands
+    /// (`u64`) or at a simulated instant ([`SimTime`]). Terminal: every
+    /// later enqueue or allocation fails with
+    /// [`SimError::DeviceLost`](crate::SimError::DeviceLost).
+    #[must_use]
+    pub fn device_lost_after(mut self, when: impl Into<LossTrigger>) -> FaultPlan {
+        self.lost_after = Some(when.into());
+        self
+    }
+
+    /// Per-occurrence probability that an engine command hangs (its
+    /// completion never fires).
+    #[must_use]
+    pub fn hang_rate(mut self, p: f64) -> FaultPlan {
+        self.hang_rate = p;
+        self
+    }
+
     /// True if the plan can never inject anything (all rates zero, no
     /// targets) — such a plan is free at runtime.
     pub fn is_noop(&self) -> bool {
         self.rates.iter().all(|&r| r <= 0.0)
             && self.targeted.is_empty()
             && self.spike_rate <= 0.0
+            && self.lost_after.is_none()
+            && self.hang_rate <= 0.0
     }
 }
 
@@ -224,6 +275,11 @@ pub(crate) struct FaultState {
     occurrences: [u64; 4],
     /// Engine commands seen by the spike roll.
     spike_occurrences: u64,
+    /// Engine commands seen by the hang roll.
+    hang_occurrences: u64,
+    /// Engine commands retired since the plan was installed — drives
+    /// [`LossTrigger::Commands`].
+    pub(crate) retired_cmds: u64,
     /// Failures injected so far.
     pub(crate) injected: u64,
 }
@@ -234,6 +290,8 @@ impl FaultState {
             plan,
             occurrences: [0; 4],
             spike_occurrences: 0,
+            hang_occurrences: 0,
+            retired_cmds: 0,
             injected: 0,
         }
     }
@@ -275,6 +333,32 @@ impl FaultState {
             self.plan.spike_factor
         } else {
             1.0
+        }
+    }
+
+    /// Consume one hang roll; true if this dispatched command's
+    /// completion never fires.
+    pub(crate) fn roll_hang(&mut self) -> bool {
+        let occ = self.hang_occurrences;
+        self.hang_occurrences += 1;
+        self.plan.hang_rate > 0.0
+            && unit_draw(self.plan.seed, 0x5eed_0000_0000_0006, occ) < self.plan.hang_rate
+    }
+
+    /// True once the plan's loss trigger (if any) has been reached.
+    pub(crate) fn loss_due(&self, now: SimTime) -> bool {
+        match self.plan.lost_after {
+            Some(LossTrigger::Commands(n)) => self.retired_cmds >= n,
+            Some(LossTrigger::Time(t)) => now >= t,
+            None => false,
+        }
+    }
+
+    /// The pending [`LossTrigger::Time`] instant, if one is configured.
+    pub(crate) fn loss_at(&self) -> Option<SimTime> {
+        match self.plan.lost_after {
+            Some(LossTrigger::Time(t)) => Some(t),
+            _ => None,
         }
     }
 }
@@ -329,6 +413,38 @@ mod tests {
         assert!(!FaultPlan::seeded(9).h2d_rate(0.1).is_noop());
         assert!(!FaultPlan::seeded(9).target(FaultStage::Alloc, 0).is_noop());
         assert!(!FaultPlan::seeded(9).spikes(0.1, 2.0).is_noop());
+    }
+
+    #[test]
+    fn loss_trigger_forms_and_noop() {
+        let plan = FaultPlan::seeded(3).device_lost_after(10u64);
+        assert_eq!(plan.lost_after, Some(LossTrigger::Commands(10)));
+        assert!(!plan.is_noop());
+        let plan = FaultPlan::seeded(3).device_lost_after(SimTime::from_us(7));
+        assert_eq!(plan.lost_after, Some(LossTrigger::Time(SimTime::from_us(7))));
+        assert!(!FaultPlan::seeded(3).hang_rate(0.5).is_noop());
+
+        let mut st = FaultState::new(FaultPlan::seeded(3).device_lost_after(2u64));
+        assert!(!st.loss_due(SimTime::ZERO));
+        st.retired_cmds = 2;
+        assert!(st.loss_due(SimTime::ZERO));
+        let st = FaultState::new(FaultPlan::seeded(3).device_lost_after(SimTime::from_us(7)));
+        assert!(!st.loss_due(SimTime::from_us(6)));
+        assert!(st.loss_due(SimTime::from_us(7)));
+        assert_eq!(st.loss_at(), Some(SimTime::from_us(7)));
+    }
+
+    #[test]
+    fn hang_roll_is_deterministic() {
+        let mut a = FaultState::new(FaultPlan::seeded(11).hang_rate(0.3));
+        let mut b = FaultState::new(FaultPlan::seeded(11).hang_rate(0.3));
+        let sa: Vec<bool> = (0..100).map(|_| a.roll_hang()).collect();
+        let sb: Vec<bool> = (0..100).map(|_| b.roll_hang()).collect();
+        assert_eq!(sa, sb);
+        let hits = sa.iter().filter(|&&h| h).count();
+        assert!((10..60).contains(&hits), "hits = {hits}");
+        let mut never = FaultState::new(FaultPlan::seeded(11));
+        assert!((0..100).all(|_| !never.roll_hang()));
     }
 
     #[test]

@@ -74,13 +74,13 @@ pub use counters::{
     Counters, HostSpan, HostSpanKind, TimelineEntry, TimelineKind, WaitCause, WaitRecord,
 };
 pub use error::{SimError, SimResult};
-pub use fault::{FailureRecord, FaultPlan, FaultStage};
+pub use fault::{FailureRecord, FaultPlan, FaultStage, LossTrigger};
 pub use mem::{
     AllocRead, AllocWrite, DevAllocId, DevPtr, ExecMode, HostBufId, HostPool, ELEM_BYTES,
     PITCH_ALIGN_ELEMS,
 };
 pub use profile::DeviceProfile;
-pub use sim::Gpu;
+pub use sim::{Gpu, HealthProbe, LossCause};
 pub use stall::{attribute_stalls, render_attribution, EngineBreakdown, StallCause, StallReport};
 pub use time::SimTime;
 pub use trace::{

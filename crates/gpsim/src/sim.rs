@@ -62,6 +62,10 @@ struct StreamState {
     /// False once destroyed; destroyed streams reject new work and stop
     /// contributing to scheduling overhead and memory.
     alive: bool,
+    /// An injected hang wedged this stream: its in-flight command never
+    /// completes, so the FIFO may not dispatch successors. Cleared only
+    /// when the context is declared lost.
+    hung: bool,
     /// Mirror of this stream's entry in the per-engine head index:
     /// `(engine index, head seq)` while the queue head is an engine
     /// command, `None` otherwise.
@@ -76,6 +80,7 @@ impl StreamState {
             last_done: SimTime::ZERO,
             running: 0,
             alive: true,
+            hung: false,
             indexed_head: None,
         }
     }
@@ -99,6 +104,41 @@ struct Running {
     seq: u64,
     enqueue_time: SimTime,
     kind: CmdKind,
+}
+
+/// Why a context was declared lost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LossCause {
+    /// The installed plan's [`device_lost_after`](crate::FaultPlan::device_lost_after)
+    /// trigger fired.
+    Injected,
+    /// A hang starved all progress and the watchdog grace expired — the
+    /// simulated analogue of a driver timeout reset.
+    HangEscalated,
+    /// An upper layer gave up on the context via
+    /// [`Gpu::declare_device_lost`].
+    Declared,
+}
+
+/// Cheap health/progress probe of a context ([`Gpu::health`]): enough
+/// for a supervisor to notice a stalled watermark without touching the
+/// simulation state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HealthProbe {
+    /// Engine commands retired over the context's lifetime (survives
+    /// [`Gpu::reset_counters`]).
+    pub retired: u64,
+    /// Sequence number of the last retired engine command.
+    pub last_retired_seq: Option<u64>,
+    /// Sim-time watermark: completion instant of the latest retired
+    /// work across all streams.
+    pub watermark: SimTime,
+    /// Commands currently occupying engine slots (hung ones included).
+    pub in_flight: usize,
+    /// Commands still queued on streams.
+    pub queued: usize,
+    /// Loss instant and cause, once the context has been lost.
+    pub lost: Option<(SimTime, LossCause)>,
 }
 
 /// A simulated GPU device context.
@@ -143,6 +183,19 @@ pub struct Gpu {
     /// Failed commands retired so far (injected or genuine), so recovery
     /// layers can map a failure back to the work that produced it.
     failures: Vec<FailureRecord>,
+    /// Terminal loss state: the instant and cause, once declared.
+    lost: Option<(SimTime, LossCause)>,
+    /// Commands wedged by an injected hang: they hold their stream and
+    /// engine slot but never complete. `(stream index, command)`.
+    hung: Vec<(u32, Cmd)>,
+    /// Grace a wedged pipeline is granted before a hang escalates to
+    /// device loss (`None` = escalate immediately on starvation).
+    watchdog: Option<SimTime>,
+    /// Engine commands retired over the context's lifetime (never
+    /// reset — drives the health probe).
+    retired: u64,
+    /// Seq of the last retired engine command.
+    last_retired_seq: Option<u64>,
 }
 
 impl Gpu {
@@ -183,6 +236,11 @@ impl Gpu {
             access_log: RaceLog::new(),
             fault: None,
             failures: Vec::new(),
+            lost: None,
+            hung: Vec::new(),
+            watchdog: None,
+            retired: 0,
+            last_retired_seq: None,
         };
         // Stream 0: the default stream, free of the per-stream memory tax
         // (it is part of the base runtime footprint).
@@ -371,6 +429,138 @@ impl Gpu {
         self.fault.as_mut().and_then(|f| f.roll(stage))
     }
 
+    /// Number of commands whose duration was stretched by an injected
+    /// latency spike since the last [`Gpu::reset_counters`].
+    pub fn spikes_injected(&self) -> u64 {
+        self.counters.spikes
+    }
+
+    /// Loss instant and cause, once the context has been declared lost.
+    pub fn device_lost(&self) -> Option<(SimTime, LossCause)> {
+        self.lost
+    }
+
+    /// Grace a wedged pipeline is granted before a hang escalates to
+    /// [`SimError::DeviceLost`]; `None` escalates as soon as starvation
+    /// is detected.
+    pub fn set_hang_watchdog(&mut self, grace: Option<SimTime>) {
+        self.watchdog = grace;
+    }
+
+    /// Commands currently wedged by an injected hang.
+    pub fn hung_commands(&self) -> usize {
+        self.hung.len()
+    }
+
+    /// Declare the context lost right now — the supervisor-side
+    /// escalation for a device whose progress watermark stalled. A no-op
+    /// if the context is already lost.
+    pub fn declare_device_lost(&mut self) {
+        if self.lost.is_none() {
+            let at = self.now.max(self.now_host);
+            self.declare_lost(at, LossCause::Declared);
+        }
+    }
+
+    /// Cheap health/progress probe: retired-command watermark, in-flight
+    /// and queued work, and the loss state.
+    pub fn health(&self) -> HealthProbe {
+        let watermark = self
+            .streams
+            .iter()
+            .map(|s| s.last_done)
+            .fold(SimTime::ZERO, SimTime::max);
+        HealthProbe {
+            retired: self.retired,
+            last_retired_seq: self.last_retired_seq,
+            watermark,
+            in_flight: self.running.len() + self.hung.len(),
+            queued: self.streams.iter().map(|s| s.queue.len()).sum(),
+            lost: self.lost,
+        }
+    }
+
+    /// Kill the context at `at`: every in-flight, hung, and queued engine
+    /// command fails with [`SimError::DeviceLost`] (pseudo commands are
+    /// dropped), engines are vacated, and the terminal state is set.
+    /// Afterwards the context *is drained* — `synchronize` succeeds
+    /// trivially, so error-path quiescing terminates — but every later
+    /// enqueue or allocation fails.
+    fn declare_lost(&mut self, at: SimTime, cause: LossCause) {
+        if self.lost.is_some() {
+            return;
+        }
+        self.lost = Some((at, cause));
+        self.now = self.now.max(at);
+        self.now_host = self.now_host.max(at);
+        let mut killed: Vec<Running> = self.running.drain().map(|(_, r)| r).collect();
+        killed.sort_by_key(|r| r.seq);
+        self.calendar.clear();
+        for r in killed {
+            let engine = r.kind.engine().expect("running command has an engine");
+            self.failures.push(FailureRecord {
+                seq: r.seq,
+                stream: r.stream.0 as usize,
+                engine,
+                label: r.kind.label(),
+                end: at,
+                error: SimError::DeviceLost,
+            });
+        }
+        for (si, cmd) in std::mem::take(&mut self.hung) {
+            let engine = cmd.kind.engine().expect("hung command has an engine");
+            self.failures.push(FailureRecord {
+                seq: cmd.seq,
+                stream: si as usize,
+                engine,
+                label: cmd.kind.label(),
+                end: at,
+                error: SimError::DeviceLost,
+            });
+        }
+        self.engine_load = [0; 3];
+        for si in 0..self.streams.len() {
+            let dropped: Vec<Cmd> = self.streams[si].queue.drain(..).collect();
+            for cmd in dropped {
+                if let Some(engine) = cmd.kind.engine() {
+                    self.failures.push(FailureRecord {
+                        seq: cmd.seq,
+                        stream: si,
+                        engine,
+                        label: cmd.kind.label(),
+                        end: at,
+                        error: SimError::DeviceLost,
+                    });
+                }
+            }
+            let st = &mut self.streams[si];
+            st.running = 0;
+            st.hung = false;
+            st.ready_at = st.ready_at.max(at);
+            st.last_done = st.last_done.max(at);
+            self.refresh_head(si);
+        }
+    }
+
+    /// Fire the plan's whole-context loss trigger if it is due. Returns
+    /// `Err(DeviceLost)` exactly once, at the moment of the loss.
+    fn poll_loss(&mut self) -> SimResult<()> {
+        if self.lost.is_some() {
+            return Ok(());
+        }
+        let t_cur = self.now.max(self.now_host);
+        let (due, loss_at) = match self.fault.as_ref() {
+            Some(f) => (f.loss_due(t_cur), f.loss_at()),
+            None => return Ok(()),
+        };
+        if !due {
+            return Ok(());
+        }
+        let at = loss_at.unwrap_or(t_cur).max(self.now);
+        self.declare_lost(at, LossCause::Injected);
+        Err(SimError::DeviceLost)
+    }
+
     // ------------------------------------------------------------------
     // Memory API
     // ------------------------------------------------------------------
@@ -384,6 +574,9 @@ impl Gpu {
     /// Allocate `elems` device elements (like `cudaMalloc`).
     pub fn alloc(&mut self, elems: usize) -> SimResult<DevPtr> {
         self.api_call();
+        if self.lost.is_some() {
+            return Err(SimError::DeviceLost);
+        }
         if let Some(e) = self.roll_fault(FaultStage::Alloc) {
             return Err(e);
         }
@@ -396,6 +589,9 @@ impl Gpu {
     /// base pointer and pitch in elements.
     pub fn alloc_pitched(&mut self, rows: usize, row_elems: usize) -> SimResult<(DevPtr, usize)> {
         self.api_call();
+        if self.lost.is_some() {
+            return Err(SimError::DeviceLost);
+        }
         if let Some(e) = self.roll_fault(FaultStage::Alloc) {
             return Err(e);
         }
@@ -499,6 +695,9 @@ impl Gpu {
     /// Create a new stream (charges the profile's per-stream memory).
     pub fn create_stream(&mut self) -> SimResult<StreamId> {
         self.api_call();
+        if self.lost.is_some() {
+            return Err(SimError::DeviceLost);
+        }
         self.pool.reserve_overhead(self.profile.mem_per_stream)?;
         self.sample_mem();
         let id = StreamId(self.streams.len() as u32);
@@ -876,6 +1075,9 @@ impl Gpu {
     }
 
     fn enqueue(&mut self, stream: StreamId, kind: CmdKind) -> SimResult<()> {
+        if self.lost.is_some() {
+            return Err(SimError::DeviceLost);
+        }
         let t0 = self.now_host;
         self.api_call();
         if self.timeline_enabled {
@@ -925,6 +1127,10 @@ impl Gpu {
         loop {
             let mut round = false;
             for s in 0..self.streams.len() {
+                if self.streams[s].hung {
+                    // Pseudo commands behind a hang never resolve either.
+                    continue;
+                }
                 // A pseudo head may not run ahead of a still-running
                 // predecessor: ready_at is set at dispatch, so it is safe.
                 while let Some(head) = self.streams[s].queue.front() {
@@ -989,6 +1195,10 @@ impl Gpu {
                 let mut chosen: Option<usize> = None;
                 for &(seq, si) in &self.heads[engine.index()] {
                     let st = &self.streams[si as usize];
+                    if st.hung {
+                        // A wedged FIFO may not dispatch successors.
+                        continue;
+                    }
                     let head = st.queue.front().expect("indexed head exists");
                     debug_assert_eq!(head.seq, seq, "head index out of sync");
                     if st.ready_at.max(head.enqueue_time) <= self.now {
@@ -998,6 +1208,18 @@ impl Gpu {
                 }
                 let Some(si) = chosen else { break };
                 let cmd = self.streams[si].queue.pop_front().expect("head exists");
+                // An injected hang: the command takes its stream slot and
+                // engine slot but its completion never fires. Only loss
+                // escalation (the watchdog) releases them.
+                if self.fault.as_mut().is_some_and(FaultState::roll_hang) {
+                    self.streams[si].hung = true;
+                    self.streams[si].running += 1;
+                    self.engine_load[engine.index()] += 1;
+                    self.hung.push((si as u32, cmd));
+                    self.refresh_head(si);
+                    dispatched = true;
+                    continue;
+                }
                 let dispatch = self.profile.dispatch_overhead(live_streams);
                 let mut duration = self.command_duration(&cmd.kind);
                 // Full-duplex contention: a copy dispatched while the
@@ -1017,6 +1239,7 @@ impl Gpu {
                     let factor = f.roll_spike();
                     if factor > 1.0 {
                         duration = SimTime::from_secs_f64(duration.as_secs_f64() * factor);
+                        self.counters.spikes += 1;
                     }
                 }
                 let start = self.now;
@@ -1102,6 +1325,11 @@ impl Gpu {
         } = running;
         let engine = kind.engine().expect("running command has an engine");
         self.engine_load[engine.index()] -= 1;
+        self.retired += 1;
+        self.last_retired_seq = Some(seq);
+        if let Some(f) = self.fault.as_mut() {
+            f.retired_cmds += 1;
+        }
         let dur = end - start;
         let functional = self.pool.mode == ExecMode::Functional;
         // A functionally failing command still occupied its engine for
@@ -1405,6 +1633,7 @@ impl Gpu {
 
     fn run_until(&mut self, pred: impl Fn(&Gpu) -> bool) -> SimResult<()> {
         loop {
+            self.poll_loss()?;
             self.resolve_pseudo();
             if pred(self) {
                 // Finish engines whose work is part of the predicate's
@@ -1430,6 +1659,9 @@ impl Gpu {
             for set in &self.heads {
                 for &(_, si) in set {
                     let st = &self.streams[si as usize];
+                    if st.hung {
+                        continue;
+                    }
                     let head = st.queue.front().expect("indexed head exists");
                     let ready = st.ready_at.max(head.enqueue_time);
                     if ready > self.now {
@@ -1437,7 +1669,25 @@ impl Gpu {
                     }
                 }
             }
+            // A pending time-triggered loss bounds how far the clock may
+            // advance: the context dies exactly at its trigger instant.
+            if let (Some(cur), None) = (t_next, self.lost) {
+                if let Some(lt) = self.fault.as_ref().and_then(FaultState::loss_at) {
+                    if lt > self.now && lt < cur {
+                        t_next = Some(lt);
+                    }
+                }
+            }
             let Some(t) = t_next else {
+                if !self.hung.is_empty() {
+                    // A hang starved the pipeline: no completion will ever
+                    // fire. After the watchdog grace (zero when unset) the
+                    // context is lost — a driver-timeout reset.
+                    let grace = self.watchdog.unwrap_or(SimTime::ZERO);
+                    let at = self.now.max(self.now_host) + grace;
+                    self.declare_lost(at, LossCause::HangEscalated);
+                    return Err(SimError::DeviceLost);
+                }
                 // Nothing running, nothing dispatchable, nothing to wait
                 // for: if work remains, it is deadlocked on events.
                 let blocked: Vec<String> = self
@@ -1479,6 +1729,9 @@ impl Gpu {
                     .remove(&seq)
                     .expect("calendar entry has a running command");
                 self.complete(running)?;
+                // A command-count loss trigger fires on the retirement
+                // that reaches its threshold.
+                self.poll_loss()?;
             }
         }
     }
@@ -1862,5 +2115,134 @@ mod tests {
         g.host_read(h2, 0, &mut out).unwrap();
         let expect: Vec<f32> = (43..53).map(|x| x as f32).collect();
         assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn device_loss_after_commands_is_terminal() {
+        let mut g = gpu();
+        let h = g.alloc_host(4 * N, true).unwrap();
+        let d = g.alloc(4 * N).unwrap();
+        g.host_fill(h, |i| i as f32).unwrap();
+        g.set_fault_plan(Some(FaultPlan::seeded(1).device_lost_after(2u64)));
+        for i in 0..4 {
+            g.memcpy_h2d_async(g.default_stream(), h, i * N, d.add(i * N), N)
+                .unwrap();
+        }
+        assert_eq!(g.synchronize(), Err(SimError::DeviceLost));
+        let probe = g.health();
+        assert_eq!(probe.retired, 2);
+        assert!(matches!(probe.lost, Some((_, LossCause::Injected))));
+        assert_eq!(probe.in_flight, 0, "loss vacates the engines");
+        assert_eq!(probe.queued, 0, "loss drains the queues");
+        let failures = g.take_failures();
+        assert_eq!(failures.len(), 2, "the two unfinished copies failed");
+        assert!(failures.iter().all(|f| f.error == SimError::DeviceLost));
+        // Terminal: the context is drained but rejects all new work.
+        g.synchronize().unwrap();
+        assert_eq!(
+            g.memcpy_h2d_async(g.default_stream(), h, 0, d, N),
+            Err(SimError::DeviceLost)
+        );
+        assert_eq!(g.alloc(N).unwrap_err(), SimError::DeviceLost);
+        assert!(g.create_stream().is_err());
+    }
+
+    #[test]
+    fn device_loss_at_time_fires_exactly_then() {
+        let mut g = gpu();
+        let h = g.alloc_host(3 * N, true).unwrap();
+        let d = g.alloc(3 * N).unwrap();
+        // Three 4 ms copies; the device dies mid-second-copy at 6 ms.
+        g.set_fault_plan(Some(
+            FaultPlan::seeded(1).device_lost_after(SimTime::from_ms(6)),
+        ));
+        for i in 0..3 {
+            g.memcpy_h2d_async(g.default_stream(), h, i * N, d.add(i * N), N)
+                .unwrap();
+        }
+        assert_eq!(g.synchronize(), Err(SimError::DeviceLost));
+        let (at, cause) = g.device_lost().unwrap();
+        assert_eq!(at, SimTime::from_ms(6), "loss lands exactly on the trigger");
+        assert_eq!(cause, LossCause::Injected);
+        assert!(g.now() >= SimTime::from_ms(6));
+        // One copy retired before the trigger.
+        assert_eq!(g.health().retired, 1);
+    }
+
+    #[test]
+    fn hang_escalates_to_device_loss_after_watchdog_grace() {
+        let mut g = gpu();
+        let h = g.alloc_host(N, true).unwrap();
+        let d = g.alloc(N).unwrap();
+        g.set_fault_plan(Some(FaultPlan::seeded(1).hang_rate(1.0)));
+        g.set_hang_watchdog(Some(SimTime::from_ms(2)));
+        let t0 = g.now();
+        g.memcpy_h2d_async(g.default_stream(), h, 0, d, N).unwrap();
+        assert_eq!(g.synchronize(), Err(SimError::DeviceLost));
+        let (at, cause) = g.device_lost().unwrap();
+        assert_eq!(cause, LossCause::HangEscalated);
+        assert!(at >= t0 + SimTime::from_ms(2), "grace period elapsed");
+        assert_eq!(g.hung_commands(), 0, "escalation releases hung slots");
+        let failures = g.take_failures();
+        assert_eq!(failures.len(), 1);
+        assert_eq!(failures[0].error, SimError::DeviceLost);
+        g.synchronize().unwrap();
+    }
+
+    #[test]
+    fn hang_blocks_stream_successors_until_escalation() {
+        let mut g = gpu();
+        let h = g.alloc_host(2 * N, true).unwrap();
+        let d = g.alloc(2 * N).unwrap();
+        g.host_fill(h, |i| i as f32).unwrap();
+        g.set_fault_plan(Some(FaultPlan::seeded(1).hang_rate(1.0)));
+        // Two commands on one FIFO: the first hangs, so the second must
+        // never dispatch (it would complete out of order otherwise).
+        g.memcpy_h2d_async(g.default_stream(), h, 0, d, N).unwrap();
+        g.memcpy_h2d_async(g.default_stream(), h, N, d.add(N), N)
+            .unwrap();
+        assert_eq!(g.synchronize(), Err(SimError::DeviceLost));
+        assert_eq!(g.counters().h2d_count, 0, "nothing retired");
+        assert_eq!(g.take_failures().len(), 2);
+    }
+
+    #[test]
+    fn declare_device_lost_kills_in_flight_work() {
+        let mut g = gpu();
+        let h = g.alloc_host(N, true).unwrap();
+        let d = g.alloc(N).unwrap();
+        g.memcpy_h2d_async(g.default_stream(), h, 0, d, N).unwrap();
+        g.declare_device_lost();
+        assert!(matches!(
+            g.device_lost(),
+            Some((_, LossCause::Declared))
+        ));
+        g.synchronize().unwrap();
+        assert_eq!(g.take_failures().len(), 1);
+        assert_eq!(
+            g.memcpy_h2d_async(g.default_stream(), h, 0, d, N),
+            Err(SimError::DeviceLost)
+        );
+        // Idempotent.
+        g.declare_device_lost();
+    }
+
+    #[test]
+    fn spikes_are_counted() {
+        let mut g = gpu();
+        let h = g.alloc_host(3 * N, true).unwrap();
+        let d = g.alloc(3 * N).unwrap();
+        g.set_fault_plan(Some(FaultPlan::seeded(1).spikes(1.0, 2.0)));
+        for i in 0..3 {
+            g.memcpy_h2d_async(g.default_stream(), h, i * N, d.add(i * N), N)
+                .unwrap();
+        }
+        g.synchronize().unwrap();
+        assert_eq!(g.spikes_injected(), 3);
+        assert_eq!(g.counters().spikes, 3);
+        // Spiked copies really took twice as long.
+        assert!(g.counters().h2d_time >= SimTime::from_ms(3 * 2 * COPY_MS));
+        g.reset_counters();
+        assert_eq!(g.spikes_injected(), 0);
     }
 }

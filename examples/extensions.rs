@@ -7,7 +7,7 @@
 //! ```
 
 use gpsim::{DeviceProfile, ExecMode, Gpu, HostPool, KernelCost, KernelLaunch};
-use pipeline_rt::{autotune, run_model, run_pipelined_buffer_multi, run_window_fn, Affine, ChunkCtx, ExecModel, MapDir, MapSpec, Region, RegionSpec, RunOptions, Schedule, SplitSpec, TuneSpace, WindowFn};
+use pipeline_rt::{autotune, run_model, run_model_multi, run_window_fn, Affine, ChunkCtx, ExecModel, MapDir, MapSpec, MultiOptions, Region, RegionSpec, RunOptions, Schedule, SplitSpec, TuneSpace, WindowFn};
 
 const NZ: usize = 96;
 const SLICE: usize = 1 << 18; // 1 MB slices
@@ -62,8 +62,9 @@ fn main() {
     let region = Region::new(spec(2, 3), 1, (NZ - 1) as i64, vec![input, output]);
 
     let single = run_model(&mut gpus[0], &region, &builder, ExecModel::PipelinedBuffer, &RunOptions::default()).unwrap();
-    let probe = (6 * SLICE as u64, 16 * SLICE as u64);
-    let multi = run_pipelined_buffer_multi(&mut gpus, &region, &builder, probe).unwrap();
+    let opts = RunOptions::default()
+        .with_multi(MultiOptions::default().with_probe_cost(6 * SLICE as u64, 16 * SLICE as u64));
+    let multi = run_model_multi(&mut gpus, &region, &builder, &opts).unwrap();
     for (i, (p, r)) in multi.partitions.iter().zip(&multi.per_device).enumerate() {
         let name = if i == 0 { "k40m   " } else { "hd7970 " };
         match r {

@@ -6,7 +6,7 @@
 use dbpp::apps::util::{assert_exact, read_host};
 use dbpp::directive::parse_directive;
 use dbpp::rt::{
-    autotune, run_model, run_pipelined_buffer_multi, ExecModel, Region, RunOptions, TuneSpace,
+    autotune, run_model, run_model_multi, ExecModel, MultiOptions, Region, RunOptions, TuneSpace,
 };
 use dbpp::sim::{DeviceProfile, ExecMode, Gpu, HostPool, KernelCost, KernelLaunch};
 
@@ -102,8 +102,9 @@ fn directive_region_co_schedules_across_two_devices() {
     let src = read_host(&gpus[0], region.arrays[0]).unwrap();
     let expect = blur_reference(&src);
 
-    let probe = (2 * PLANE as u64, 8 * PLANE as u64);
-    let multi = run_pipelined_buffer_multi(&mut gpus, &region, &blur_builder, probe).unwrap();
+    let opts = RunOptions::default()
+        .with_multi(MultiOptions::default().with_probe_cost(2 * PLANE as u64, 8 * PLANE as u64));
+    let multi = run_model_multi(&mut gpus, &region, &blur_builder, &opts).unwrap();
     assert_eq!(multi.partitions.len(), 2);
 
     let got = read_host(&gpus[0], region.arrays[1]).unwrap();
