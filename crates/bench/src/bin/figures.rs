@@ -11,7 +11,7 @@ use std::fs;
 use std::path::PathBuf;
 
 use pipeline_bench::{
-    ablate, failover, faults, fig3, fig4, fig56, fig7, fig8, fig910, header, perf, trace,
+    ablate, failover, faults, fig3, fig4, fig56, fig7, fig8, fig910, fleet, header, perf, trace,
 };
 
 fn main() {
@@ -61,7 +61,7 @@ fn main() {
     };
     const KNOWN: &[&str] = &[
         "all", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
-        "future", "ablations", "perf", "trace", "faults", "failover",
+        "future", "ablations", "perf", "trace", "faults", "failover", "fleet",
     ];
     for a in &args {
         if !KNOWN.contains(&a.as_str()) {
@@ -311,6 +311,48 @@ fn main() {
             ));
         }
         write_csv("failover.csv", csv);
+    }
+    if want("fleet") {
+        header(if smoke {
+            "Fleet sweep — simulator throughput, smoke tier (3dconv, 64 heterogeneous devices)"
+        } else {
+            "Fleet sweep — simulator throughput at 64/256/1000 heterogeneous devices (3dconv)"
+        });
+        let tiers = fleet::run(smoke);
+        fleet::print(&tiers);
+        fs::write("FLEET_sim.json", fleet::json(&tiers)).expect("write FLEET_sim.json");
+        eprintln!("wrote FLEET_sim.json");
+        fs::create_dir_all(&trace_dir).expect("create trace dir");
+        for t in &tiers {
+            let path = trace_dir.join(format!(
+                "3dconv_fleet_{}dev_sampled.trace.json",
+                t.devices
+            ));
+            fs::write(&path, &t.trace_json).expect("write fleet trace");
+            eprintln!("wrote {}", path.display());
+        }
+        let mut csv = String::from(
+            "devices,nk,commands,makespan_ms,wall_ms,cmds_per_sec_core,util_min,util_p50,util_max\n",
+        );
+        for t in &tiers {
+            csv.push_str(&format!(
+                "{},{},{},{:.6},{:.3},{:.1},{:.6},{:.6},{:.6}\n",
+                t.devices,
+                t.nk,
+                t.commands,
+                t.makespan.as_ms_f64(),
+                t.wall_ms,
+                t.cmds_per_sec_core,
+                t.util_min,
+                t.util_p50,
+                t.util_max
+            ));
+        }
+        write_csv("fleet.csv", csv);
+        if let Err(e) = fleet::check_floor(&tiers) {
+            eprintln!("fleet throughput regression: {e}");
+            std::process::exit(1);
+        }
     }
     if want("trace") {
         header(if smoke {

@@ -42,6 +42,7 @@ pub mod fig56;
 pub mod fig7;
 pub mod fig8;
 pub mod fig910;
+pub mod fleet;
 pub mod future_hw;
 pub mod perf;
 pub mod trace;

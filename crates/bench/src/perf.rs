@@ -88,7 +88,7 @@ impl PerfReport {
             }
         }
         format!(
-            "{{\n  \"workload\": \"qcd n={} naive+pipelined+buffer per cell, {} chunk x stream cells (fig5-style sweep)\",\n  \"trials\": {},\n  \"threads\": {},\n  \"commands\": {},\n  \"serial_ms\": {:.3},\n  \"parallel_ms\": {:.3},\n  \"speedup\": {:.3},\n  \"commands_per_sec\": {:.1},\n  \"chunk_latency\": [{latency_rows}\n  ]\n}}\n",
+            "{{\n  \"workload\": \"qcd n={} naive+pipelined+buffer per cell, {} chunk x stream cells (fig5-style sweep)\",\n  \"trials\": {},\n  \"threads\": {},\n  \"timeline_in_timed_passes\": false,\n  \"commands\": {},\n  \"serial_ms\": {:.3},\n  \"parallel_ms\": {:.3},\n  \"speedup\": {:.3},\n  \"commands_per_sec\": {:.1},\n  \"chunk_latency\": [{latency_rows}\n  ]\n}}\n",
             self.n,
             self.trials,
             self.trials,
@@ -106,8 +106,15 @@ impl PerfReport {
 /// a Figure-5 column does — and return the total device-command count
 /// plus the pipelined/buffered per-chunk stage metrics (deterministic,
 /// so the serial≡parallel assert covers them too).
-fn run_cell(n: usize, chunk: usize, streams: usize) -> (u64, StageMetrics, StageMetrics) {
+///
+/// Timed passes run with the timeline disabled (`timeline = false`): the
+/// DES produces bit-identical counters and reports either way, and the
+/// measurement should reflect simulation speed, not trace building. The
+/// per-chunk stage histograms come from one separate untimed
+/// instrumented pass with the timeline on.
+fn run_cell(n: usize, chunk: usize, streams: usize, timeline: bool) -> (u64, StageMetrics, StageMetrics) {
     let mut gpu = gpu_k40m();
+    gpu.set_timeline_enabled(timeline);
     let mut cfg = QcdConfig::paper_size(n);
     cfg.chunk = chunk;
     cfg.streams = streams;
@@ -138,7 +145,7 @@ pub fn run_with_threads(n: usize, threads: usize) -> PerfReport {
     let trials = grid.len() * REPS;
     let cell = |i: usize| {
         let (chunk, streams) = grid[i % grid.len()];
-        run_cell(n, chunk, streams)
+        run_cell(n, chunk, streams, false)
     };
 
     let t0 = Instant::now();
@@ -154,11 +161,19 @@ pub fn run_with_threads(n: usize, threads: usize) -> PerfReport {
         "parallel sweep diverged from the serial reference"
     );
 
+    // Untimed instrumented pass: one grid repetition with the timeline on
+    // supplies the per-chunk latency histograms. Command counts must match
+    // the timed cells — the timeline toggle is observability-only.
     let mut pipelined_latency = StageMetrics::default();
     let mut buffer_latency = StageMetrics::default();
-    for (_, p, b) in &parallel {
-        pipelined_latency.merge(p);
-        buffer_latency.merge(b);
+    for (i, &(chunk, streams)) in grid.iter().enumerate() {
+        let (commands, p, b) = run_cell(n, chunk, streams, true);
+        assert_eq!(
+            commands, parallel[i].0,
+            "instrumented cell diverged from the timed run"
+        );
+        pipelined_latency.merge(&p);
+        buffer_latency.merge(&b);
     }
 
     PerfReport {

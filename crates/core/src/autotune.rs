@@ -95,6 +95,9 @@ pub fn autotune(
         let run = || -> RtResult<RunReport> {
             let pool = HostPool::new(gpsim::ExecMode::Timing);
             let mut twin = Gpu::with_host_pool(profile.clone(), pool)?;
+            // Probe twins only need the scalar report (total time); skip
+            // timeline construction so probing stays cheap.
+            twin.set_timeline_enabled(false);
             let mut twin_arrays = Vec::with_capacity(array_shapes.len());
             for &(len, pinned) in &array_shapes {
                 twin_arrays.push(twin.alloc_host(len, pinned)?);

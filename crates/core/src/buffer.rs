@@ -21,7 +21,6 @@
 //! like the paper's dependency calculation that "removes the data that
 //! only previous chunks require".
 
-use std::collections::HashMap;
 
 use gpsim::{Copy2D, CounterTrack, EventId, Gpu, HostSpanKind, StreamId, WaitCause};
 
@@ -34,16 +33,22 @@ use crate::spec::SplitSpec;
 use crate::view::{ArrayView, ChunkCtx};
 
 /// Ring bookkeeping for one mapped array.
+///
+/// All metadata is keyed by ring slot, not by slice: an entry is only
+/// meaningful while its slice is mapped (`mapped[slot] == Some(sl)`),
+/// and eviction clears the slot's entries — so per-slot arrays give the
+/// same semantics as slice-keyed maps without hashing on the classify
+/// hot path (the reader vectors keep their capacity across reuse).
 struct RingBook {
     slots: usize,
     /// slot → currently mapped slice.
     mapped: Vec<Option<i64>>,
-    /// slice → chunk that copied it in (inputs).
-    copied_by: HashMap<i64, usize>,
-    /// slice → chunks whose kernels read it (inputs).
-    readers: HashMap<i64, Vec<usize>>,
-    /// slice → chunk that produced and drained it (outputs).
-    written_by: HashMap<i64, usize>,
+    /// slot → chunk that copied the mapped slice in (inputs).
+    copied_by: Vec<Option<usize>>,
+    /// slot → chunks whose kernels read the mapped slice (inputs).
+    readers: Vec<Vec<usize>>,
+    /// slot → chunk that produced and drained the mapped slice (outputs).
+    written_by: Vec<Option<usize>>,
 }
 
 impl RingBook {
@@ -51,9 +56,24 @@ impl RingBook {
         RingBook {
             slots,
             mapped: vec![None; slots],
-            copied_by: HashMap::new(),
-            readers: HashMap::new(),
-            written_by: HashMap::new(),
+            copied_by: vec![None; slots],
+            readers: vec![Vec::new(); slots],
+            written_by: vec![None; slots],
+        }
+    }
+
+    /// Ring slot of a slice.
+    fn slot(&self, sl: i64) -> usize {
+        sl.rem_euclid(self.slots as i64) as usize
+    }
+
+    /// The chunk that copied slice `sl` in, if `sl` is still resident.
+    fn resident_copier(&self, sl: i64) -> Option<usize> {
+        let slot = self.slot(sl);
+        if self.mapped[slot] == Some(sl) {
+            self.copied_by[slot]
+        } else {
+            None
         }
     }
 }
@@ -61,8 +81,7 @@ impl RingBook {
 /// Split the slice range `[lo, hi)` into ring-contiguous runs: a run ends
 /// when the ring wraps (slot returns to 0), so each run is one contiguous
 /// device range.
-fn slot_runs(lo: i64, hi: i64, slots: usize) -> Vec<(i64, usize)> {
-    let mut out = Vec::new();
+fn slot_runs_into(lo: i64, hi: i64, slots: usize, out: &mut Vec<(i64, usize)>) {
     let mut s = lo;
     while s < hi {
         let to_wrap = slots as i64 - s.rem_euclid(slots as i64);
@@ -70,6 +89,12 @@ fn slot_runs(lo: i64, hi: i64, slots: usize) -> Vec<(i64, usize)> {
         out.push((s, (end - s) as usize));
         s = end;
     }
+}
+
+/// [`slot_runs_into`] returning a fresh vector (tests and cold paths).
+fn slot_runs(lo: i64, hi: i64, slots: usize) -> Vec<(i64, usize)> {
+    let mut out = Vec::new();
+    slot_runs_into(lo, hi, slots, &mut out);
     out
 }
 
@@ -482,6 +507,14 @@ fn run_buffer_inner(
     let mut recovery_stats = RecoveryStats::default();
     let mut retry_samples: Vec<(u64, f64)> = Vec::new();
     let mut exhausted = None;
+    // Per-chunk scratch, hoisted so steady-state chunks reuse capacity
+    // instead of re-allocating on every iteration of the hot loop.
+    let mut copy_runs: Vec<(usize, i64, usize)> = Vec::new();
+    let mut copy_waits: Vec<EventId> = Vec::new();
+    let mut kernel_waits: Vec<(EventId, WaitCause)> = Vec::new();
+    let mut missing: Vec<i64> = Vec::new();
+    let mut runs_scratch: Vec<(i64, usize)> = Vec::new();
+    let mut chunk_ranges: Vec<(i64, i64)> = Vec::new();
     let body = (|| -> RtResult<()> {
     for (c, &(k0, k1)) in plan.chunks.iter().enumerate() {
         let s = streams[chunk_stream[c]];
@@ -490,9 +523,9 @@ fn run_buffer_inner(
 
         // ---- Pass 1: classify slices, collect hazards ------------------
         // (map index, run start slice, run length)
-        let mut copy_runs: Vec<(usize, i64, usize)> = Vec::new();
-        let mut copy_waits: Vec<EventId> = Vec::new();
-        let mut kernel_waits: Vec<(EventId, WaitCause)> = Vec::new();
+        copy_runs.clear();
+        copy_waits.clear();
+        kernel_waits.clear();
 
         for (i, m) in region.spec.maps.iter().enumerate() {
             if !m.dir.is_input() {
@@ -500,10 +533,10 @@ fn run_buffer_inner(
             }
             let (a, b) = table.ranges[i][c];
             let book = &mut books[i];
-            let mut missing: Vec<i64> = Vec::new();
+            missing.clear();
             for sl in a..b {
-                match book.copied_by.get(&sl).filter(|_| opts.track_residency) {
-                    Some(&owner) => {
+                match book.resident_copier(sl).filter(|_| opts.track_residency) {
+                    Some(owner) => {
                         // RAW across streams: wait for the copier's group.
                         if owner != c && !same_stream(owner) {
                             if let Some(e) = h2d_ev[owner] {
@@ -520,28 +553,27 @@ fn run_buffer_inner(
             // Evictions: overwriting a slot whose old slice may still be
             // in use by another stream's kernel (WAR) or pending D2H.
             for &sl in &missing {
-                let slot = sl.rem_euclid(book.slots as i64) as usize;
-                if let Some(old) = book.mapped[slot] {
-                    if let Some(rs) = book.readers.remove(&old) {
-                        for r in rs {
-                            if !same_stream(r) {
-                                if let Some(e) = kernel_ev[r] {
-                                    push_unique(&mut copy_waits, e);
-                                }
+                let slot = book.slot(sl);
+                if book.mapped[slot].is_some() {
+                    let rs = &mut book.readers[slot];
+                    for &r in rs.iter() {
+                        if !same_stream(r) {
+                            if let Some(e) = kernel_ev[r] {
+                                push_unique(&mut copy_waits, e);
                             }
                         }
                     }
-                    if let Some(w) = book.written_by.remove(&old) {
+                    rs.clear();
+                    if let Some(w) = book.written_by[slot].take() {
                         if !same_stream(w) {
                             if let Some(e) = d2h_ev[w] {
                                 push_unique(&mut copy_waits, e);
                             }
                         }
                     }
-                    book.copied_by.remove(&old);
                 }
                 book.mapped[slot] = Some(sl);
-                book.copied_by.insert(sl, c);
+                book.copied_by[slot] = Some(c);
             }
             // Group missing slices into consecutive runs (affine windows
             // produce one run; custom window functions may leave gaps),
@@ -552,9 +584,9 @@ fn run_buffer_inner(
                 match run_start {
                     Some(_) if sl == prev + 1 => {}
                     Some(st) => {
-                        for (start, len) in slot_runs(st, prev + 1, book.slots) {
-                            copy_runs.push((i, start, len));
-                        }
+                        runs_scratch.clear();
+                        slot_runs_into(st, prev + 1, book.slots, &mut runs_scratch);
+                        copy_runs.extend(runs_scratch.iter().map(|&(start, len)| (i, start, len)));
                         run_start = Some(sl);
                     }
                     None => run_start = Some(sl),
@@ -562,13 +594,15 @@ fn run_buffer_inner(
                 prev = sl;
             }
             if let Some(st) = run_start {
-                for (start, len) in slot_runs(st, prev + 1, book.slots) {
-                    copy_runs.push((i, start, len));
-                }
+                runs_scratch.clear();
+                slot_runs_into(st, prev + 1, book.slots, &mut runs_scratch);
+                copy_runs.extend(runs_scratch.iter().map(|&(start, len)| (i, start, len)));
             }
             // This chunk reads all its needed slices.
             for sl in a..b {
-                book.readers.entry(sl).or_default().push(c);
+                let slot = book.slot(sl);
+                debug_assert_eq!(book.mapped[slot], Some(sl));
+                book.readers[slot].push(c);
             }
         }
 
@@ -581,30 +615,30 @@ fn run_buffer_inner(
             let (a, b) = table.ranges[i][c];
             let book = &mut books[i];
             for sl in a..b {
-                let slot = sl.rem_euclid(book.slots as i64) as usize;
+                let slot = book.slot(sl);
                 match book.mapped[slot] {
                     Some(old) if old != sl => {
-                        if let Some(w) = book.written_by.remove(&old) {
+                        if let Some(w) = book.written_by[slot].take() {
                             if !same_stream(w) {
                                 if let Some(e) = d2h_ev[w] {
                                     push_unique_cause(&mut kernel_waits, e, WaitCause::RingReuse);
                                 }
                             }
                         }
-                        if let Some(rs) = book.readers.remove(&old) {
-                            for r in rs {
-                                if !same_stream(r) {
-                                    if let Some(e) = kernel_ev[r] {
-                                        push_unique_cause(
-                                            &mut kernel_waits,
-                                            e,
-                                            WaitCause::RingReuse,
-                                        );
-                                    }
+                        let rs = &mut book.readers[slot];
+                        for &r in rs.iter() {
+                            if !same_stream(r) {
+                                if let Some(e) = kernel_ev[r] {
+                                    push_unique_cause(
+                                        &mut kernel_waits,
+                                        e,
+                                        WaitCause::RingReuse,
+                                    );
                                 }
                             }
                         }
-                        book.copied_by.remove(&old);
+                        rs.clear();
+                        book.copied_by[slot] = None;
                         book.mapped[slot] = Some(sl);
                     }
                     None => book.mapped[slot] = Some(sl),
@@ -615,11 +649,11 @@ fn run_buffer_inner(
 
         // ---- Pass 2: enqueue ------------------------------------------
         // Eviction hazards are, by definition, ring-slot reuse stalls.
-        for e in copy_waits {
+        for &e in &copy_waits {
             gpu.wait_event_with_cause(s, e, WaitCause::RingReuse)?;
         }
         let any_copies = !copy_runs.is_empty();
-        for (i, start, len) in copy_runs {
+        for &(i, start, len) in &copy_runs {
             enqueue_h2d_ring(gpu, region, &views[i], i, start, len, s)?;
         }
         if any_copies {
@@ -628,7 +662,7 @@ fn run_buffer_inner(
             h2d_ev[c] = Some(e);
         }
 
-        for (e, cause) in kernel_waits {
+        for &(e, cause) in &kernel_waits {
             gpu.wait_event_with_cause(s, e, cause)?;
         }
         let ctx = ChunkCtx {
@@ -642,8 +676,8 @@ fn run_buffer_inner(
         let infl = 1.0 + region.spec.index_overhead;
         kernel.cost.flops = (kernel.cost.flops as f64 * infl) as u64;
         kernel.cost.bytes = (kernel.cost.bytes as f64 * infl) as u64;
-        let chunk_ranges: Vec<(i64, i64)> =
-            (0..n_maps).map(|i| table.ranges[i][c]).collect();
+        chunk_ranges.clear();
+        chunk_ranges.extend((0..n_maps).map(|i| table.ranges[i][c]));
         let kernel = declare_accesses(gpu, kernel, region, &views, &chunk_ranges);
         gpu.launch(s, kernel)?;
         let ke = gpu.create_event();
@@ -657,12 +691,16 @@ fn run_buffer_inner(
             }
             let (a, b) = table.ranges[i][c];
             let book = &mut books[i];
-            for (start, len) in slot_runs(a, b, book.slots) {
+            runs_scratch.clear();
+            slot_runs_into(a, b, book.slots, &mut runs_scratch);
+            for &(start, len) in &runs_scratch {
                 enqueue_d2h_ring(gpu, region, &views[i], i, start, len, s)?;
                 any_out = true;
             }
             for sl in a..b {
-                book.written_by.insert(sl, c);
+                let slot = book.slot(sl);
+                debug_assert_eq!(book.mapped[slot], Some(sl));
+                book.written_by[slot] = Some(c);
             }
         }
         if any_out {

@@ -447,6 +447,9 @@ pub(crate) fn pipelined_impl(
     let mut recovery_stats = crate::recovery::RecoveryStats::default();
     let mut retry_samples: Vec<(u64, f64)> = Vec::new();
     let mut exhausted = None;
+    // Per-chunk scratch, hoisted so steady-state chunks reuse capacity.
+    let mut wait_chunks: Vec<usize> = Vec::new();
+    let mut ranges: Vec<(i64, i64)> = Vec::new();
     let body = (|| -> RtResult<()> {
     for (c, &(k0, k1)) in chunks.iter().enumerate() {
         let s = streams[c % num_streams];
@@ -478,7 +481,7 @@ pub(crate) fn pipelined_impl(
         }
 
         // --- Kernel: wait for other-stream chunks that copied our slices.
-        let mut wait_chunks: Vec<usize> = Vec::new();
+        wait_chunks.clear();
         for (i, m) in region.spec.maps.iter().enumerate() {
             if !m.dir.is_input() {
                 continue;
@@ -495,7 +498,7 @@ pub(crate) fn pipelined_impl(
                 }
             }
         }
-        for o in wait_chunks {
+        for &o in &wait_chunks {
             if let Some(e) = h2d_event[o] {
                 gpu.wait_event(s, e)?;
                 gpu.host_busy(poll);
@@ -507,12 +510,14 @@ pub(crate) fn pipelined_impl(
             k1,
             views: views.clone(),
         };
-        let ranges: Vec<(i64, i64)> = region
-            .spec
-            .maps
-            .iter()
-            .map(|m| m.split.needed_slices(k0, k1))
-            .collect();
+        ranges.clear();
+        ranges.extend(
+            region
+                .spec
+                .maps
+                .iter()
+                .map(|m| m.split.needed_slices(k0, k1)),
+        );
         let kernel = declare_accesses(gpu, builder(&ctx), region, &views, &ranges);
         gpu.launch(s, kernel)?;
         gpu.host_busy(poll);

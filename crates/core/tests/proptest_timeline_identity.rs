@@ -1,0 +1,177 @@
+//! Property test: disabling timeline recording must not change the
+//! simulation — only the observability records. For random region
+//! shapes and schedules, a run with `set_timeline_enabled(false)` must
+//! be *bit-identical* to the same run with recording on: equal device
+//! counters, equal scalar report fields, identical final host memory.
+//! And the off run must keep exactly zero records — the "costs exactly
+//! zero" half of the arena/calendar rework's contract.
+
+use gpsim::{DeviceProfile, ExecMode, Gpu, KernelCost, KernelLaunch};
+use proptest::prelude::*;
+use pipeline_rt::{
+    run_model, Affine, ChunkCtx, ExecModel, MapDir, MapSpec, Region, RegionSpec, RunOptions,
+    Schedule, SplitSpec,
+};
+
+/// A randomly shaped pipeline problem: `out[k] = Σ in[k+bias .. +w)`.
+#[derive(Debug, Clone)]
+struct Shape {
+    extent: usize,
+    slice: usize,
+    window: usize,
+    bias: i64,
+    chunk: usize,
+    streams: usize,
+    model: ExecModel,
+}
+
+fn shapes() -> impl Strategy<Value = Shape> {
+    (
+        6usize..32,  // extent
+        1usize..64,  // slice elems
+        1usize..4,   // window
+        -2i64..2,    // bias
+        1usize..6,   // chunk
+        1usize..5,   // streams
+        prop_oneof![
+            Just(ExecModel::Naive),
+            Just(ExecModel::Pipelined),
+            Just(ExecModel::PipelinedBuffer),
+        ],
+    )
+        .prop_map(|(extent, slice, window, bias, chunk, streams, model)| Shape {
+            extent,
+            slice,
+            window,
+            bias,
+            chunk,
+            streams,
+            model,
+        })
+}
+
+impl Shape {
+    fn bounds(&self) -> Option<(i64, i64)> {
+        let lo = (-self.bias).max(0);
+        let hi = (self.extent as i64 - self.window as i64 - self.bias + 1).min(self.extent as i64);
+        if hi <= lo {
+            None
+        } else {
+            Some((lo, hi))
+        }
+    }
+
+    fn region(&self, gpu: &mut Gpu) -> (Region, gpsim::HostBufId, gpsim::HostBufId) {
+        let n = self.extent * self.slice;
+        let input = gpu.alloc_host(n, true).unwrap();
+        let output = gpu.alloc_host(n, true).unwrap();
+        gpu.host_fill(input, |i| ((i * 7 + 3) % 101) as f32).unwrap();
+        let (lo, hi) = self.bounds().unwrap();
+        let spec = RegionSpec::new(Schedule::static_(self.chunk, self.streams))
+            .with_map(MapSpec {
+                name: "in".into(),
+                dir: MapDir::To,
+                split: SplitSpec::OneD {
+                    offset: Affine { scale: 1, bias: self.bias },
+                    window: self.window,
+                    extent: self.extent,
+                    slice_elems: self.slice,
+                },
+            })
+            .with_map(MapSpec {
+                name: "out".into(),
+                dir: MapDir::From,
+                split: SplitSpec::OneD {
+                    offset: Affine::IDENTITY,
+                    window: 1,
+                    extent: self.extent,
+                    slice_elems: self.slice,
+                },
+            });
+        (Region::new(spec, lo, hi, vec![input, output]), input, output)
+    }
+}
+
+/// Run the shape once and return everything observable that must not
+/// depend on timeline recording.
+fn observe(s: &Shape, timeline: bool) -> (Vec<f32>, gpsim::Counters, Vec<u64>, bool) {
+    let mut gpu = Gpu::new(DeviceProfile::k40m(), ExecMode::Functional).unwrap();
+    gpu.set_timeline_enabled(timeline);
+    let (region, _input, output) = s.region(&mut gpu);
+    let shape = s.clone();
+    let builder = move |ctx: &ChunkCtx| {
+        let (k0, k1) = (ctx.k0, ctx.k1);
+        let (vin, vout) = (ctx.view(0), ctx.view(1));
+        let (slice, window, bias) = (shape.slice, shape.window, shape.bias);
+        KernelLaunch::new(
+            "window_sum",
+            KernelCost {
+                flops: (k1 - k0) as u64 * slice as u64 * window as u64,
+                bytes: 0,
+            },
+            move |kc| {
+                for k in k0..k1 {
+                    let mut out = kc.write(vout.slice_ptr(k), slice)?;
+                    out.fill(0.0);
+                    for w in 0..window as i64 {
+                        let src = kc.read(vin.slice_ptr(k + bias + w), slice)?;
+                        for i in 0..slice {
+                            out[i] += src[i];
+                        }
+                    }
+                }
+                Ok(())
+            },
+        )
+    };
+
+    let report = run_model(&mut gpu, &region, &builder, s.model, &RunOptions::default())
+        .expect("model run failed");
+    // Scalar report fields (everything that is not an observability
+    // record), flattened for direct comparison.
+    let scalars = vec![
+        report.total.as_ns(),
+        report.h2d.as_ns(),
+        report.d2h.as_ns(),
+        report.kernel.as_ns(),
+        report.host_api.as_ns(),
+        report.h2d_bytes,
+        report.d2h_bytes,
+        report.gpu_mem_bytes,
+        report.array_bytes,
+        report.chunks as u64,
+        report.streams as u64,
+        report.commands,
+        report.spikes,
+    ];
+    let mut got = vec![0.0f32; s.extent * s.slice];
+    gpu.host_read(output, 0, &mut got).unwrap();
+    let no_records = gpu.timeline().is_empty()
+        && gpu.host_spans().is_empty()
+        && gpu.wait_records().is_empty();
+    (got, gpu.counters().clone(), scalars, no_records)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn timeline_off_is_bit_identical_to_on(s in shapes()) {
+        if s.bounds().is_none() {
+            return Ok(()); // degenerate shape: nothing to run
+        }
+        let (mem_on, counters_on, scalars_on, _) = observe(&s, true);
+        let (mem_off, counters_off, scalars_off, off_has_no_records) = observe(&s, false);
+
+        // The simulation itself must be unchanged...
+        prop_assert_eq!(&counters_on, &counters_off, "device counters diverged");
+        prop_assert_eq!(&scalars_on, &scalars_off, "scalar report fields diverged");
+        prop_assert_eq!(
+            mem_on.iter().map(|f| f.to_bits()).collect::<Vec<_>>(),
+            mem_off.iter().map(|f| f.to_bits()).collect::<Vec<_>>(),
+            "final host memory diverged"
+        );
+        // ...while the off run keeps exactly zero observability records.
+        prop_assert!(off_has_no_records, "timeline-off run left records behind");
+    }
+}

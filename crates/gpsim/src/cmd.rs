@@ -6,7 +6,6 @@ use std::fmt;
 use crate::counters::WaitCause;
 use crate::error::SimResult;
 use crate::mem::{AllocRead, AllocWrite, DevPtr, HostBufId, MemPool};
-use crate::time::SimTime;
 
 /// Identifier of a stream (FIFO command queue). Stream 0 is the default
 /// stream that exists from context creation.
@@ -277,17 +276,21 @@ impl CmdKind {
         }
     }
 
-    pub fn label(&self) -> String {
+    /// Interned display label. Kernel names pass through verbatim; every
+    /// other variant resolves through the global symbol table, so repeat
+    /// occurrences cost a hash lookup instead of a `format!`.
+    pub fn label(&self) -> &'static str {
+        use crate::symbol::{intern, LabelKey};
         match self {
-            CmdKind::H2D { elems, .. } => format!("h2d[{elems}]"),
-            CmdKind::D2H { elems, .. } => format!("d2h[{elems}]"),
-            CmdKind::H2D2D(c) => format!("h2d2d[{}x{}]", c.rows, c.row_elems),
-            CmdKind::D2H2D(c) => format!("d2h2d[{}x{}]", c.rows, c.row_elems),
-            CmdKind::Kernel(k) => k.name.to_string(),
-            CmdKind::Memset { elems, .. } => format!("memset[{elems}]"),
-            CmdKind::D2D { elems, .. } => format!("d2d[{elems}]"),
-            CmdKind::EventRecord(e) => format!("record({})", e.0),
-            CmdKind::EventWait(e, _) => format!("wait({})", e.0),
+            CmdKind::H2D { elems, .. } => intern(LabelKey::H2d(*elems)),
+            CmdKind::D2H { elems, .. } => intern(LabelKey::D2h(*elems)),
+            CmdKind::H2D2D(c) => intern(LabelKey::H2d2d(c.rows, c.row_elems)),
+            CmdKind::D2H2D(c) => intern(LabelKey::D2h2d(c.rows, c.row_elems)),
+            CmdKind::Kernel(k) => k.name,
+            CmdKind::Memset { elems, .. } => intern(LabelKey::Memset(*elems)),
+            CmdKind::D2D { elems, .. } => intern(LabelKey::D2d(*elems)),
+            CmdKind::EventRecord(e) => intern(LabelKey::Record(e.0)),
+            CmdKind::EventWait(e, _) => intern(LabelKey::Wait(e.0)),
         }
     }
 }
@@ -316,16 +319,6 @@ impl EngineKind {
             EngineKind::Compute => 2,
         }
     }
-}
-
-/// A command queued on a stream.
-pub(crate) struct Cmd {
-    /// Global enqueue sequence number (dispatch priority among ready work).
-    pub seq: u64,
-    /// Host-clock instant at which the command was enqueued; it cannot
-    /// start earlier.
-    pub enqueue_time: SimTime,
-    pub kind: CmdKind,
 }
 
 #[cfg(test)]

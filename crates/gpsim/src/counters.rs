@@ -7,6 +7,8 @@
 //! the makespan is only possible with concurrency).
 
 
+use std::borrow::Cow;
+
 use crate::cmd::EngineKind;
 use crate::time::SimTime;
 
@@ -89,8 +91,10 @@ impl TimelineKind {
 /// One completed engine command on the device timeline.
 #[derive(Debug, Clone)]
 pub struct TimelineEntry {
-    /// Display label (`h2d[4096]`, kernel name, ...).
-    pub label: String,
+    /// Display label (`h2d[4096]`, kernel name, ...). Simulator-produced
+    /// labels are interned `&'static str`s borrowed at zero cost; owned
+    /// strings remain possible for synthetic entries.
+    pub label: Cow<'static, str>,
     /// Entry class.
     pub kind: TimelineKind,
     /// Stream index the command ran on.
@@ -148,8 +152,10 @@ impl HostSpanKind {
 /// One host-side runtime span on the host-clock timeline.
 #[derive(Debug, Clone)]
 pub struct HostSpan {
-    /// Display label (command label, `"synchronize"`, ...).
-    pub label: String,
+    /// Display label (command label, `"synchronize"`, ...). Usually an
+    /// interned or literal `&'static str`; owned only for bespoke
+    /// runtime spans built with `format!`.
+    pub label: Cow<'static, str>,
     /// Span class.
     pub kind: HostSpanKind,
     /// Start instant on the host clock (ns since context creation).

@@ -243,8 +243,8 @@ pub struct FailureRecord {
     pub stream: usize,
     /// Engine that executed it.
     pub engine: EngineKind,
-    /// Command label (e.g. `h2d[65536]`).
-    pub label: String,
+    /// Command label (e.g. `h2d[65536]`), interned by the simulator.
+    pub label: std::borrow::Cow<'static, str>,
     /// Completion time of the failing command.
     pub end: SimTime,
     /// The error the command surfaced.

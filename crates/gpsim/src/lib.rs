@@ -63,6 +63,7 @@ mod profile;
 pub mod race;
 mod sim;
 mod stall;
+mod symbol;
 mod time;
 mod trace;
 

@@ -11,15 +11,18 @@
 //! * [`RaceLog`] — the production detector. Ranges are kept in **strided**
 //!   form (a pitched 2-D copy is one record, not one per row), records
 //!   are indexed **per allocation** and sorted by completion time so an
-//!   overlap query only walks records that can still overlap in time,
-//!   and records whose interval lies entirely before every command that
-//!   can still complete are **retired** in amortized O(1).
+//!   overlap query only walks records that can still overlap in time.
+//!   Retirement is **fully incremental**: each per-allocation list is
+//!   end-sorted, so records behind the retirement frontier are dropped
+//!   from the list head — on [`RaceLog::retire`] and again on the query
+//!   path — and each record is popped exactly once per list it sits in.
+//!   There is no periodic slab rescan or index rebuild.
 //! * [`NaiveRaceLog`] — an O(n²·rows²) reference that expands every
 //!   strided range to per-row contiguous ranges and compares all pairs.
 //!   It exists so property tests can assert the optimized detector gives
 //!   exactly the same race/no-race verdicts.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 
 use crate::time::SimTime;
 
@@ -174,6 +177,9 @@ struct Record {
     end: SimTime,
     reads: Vec<AccessRange>,
     writes: Vec<AccessRange>,
+    /// Number of per-allocation lists holding this record; the slab slot
+    /// is freed when the last list drops it. Unused by [`NaiveRaceLog`].
+    refs: u32,
 }
 
 impl Record {
@@ -219,16 +225,47 @@ impl Record {
 }
 
 /// The production race detector: per-allocation index, end-sorted record
-/// lists for early query cut-off, and amortized time-based retirement.
+/// lists for early query cut-off, and fully incremental retirement —
+/// dead records are popped off the head of each end-sorted list (on
+/// [`RaceLog::retire`] and on the query path), each exactly once per
+/// list membership, with slab slots recycled through a free list.
 #[derive(Debug, Default)]
 pub struct RaceLog {
     records: Vec<Option<Record>>,
-    /// Per allocation: indices into `records`, sorted by record end time.
-    by_alloc: HashMap<u32, Vec<usize>>,
-    /// Live-record count at the last purge; the next purge triggers once
-    /// the slab doubles past it (classic amortized-rebuild schedule).
-    purge_baseline: usize,
+    /// Recycled slab slots available for the next insert.
+    free: Vec<usize>,
+    /// Per allocation: indices into `records`, sorted by record end time
+    /// (front = oldest to finish, the first to retire).
+    by_alloc: HashMap<u32, VecDeque<usize>>,
+    /// Retirement frontier: every command still running or yet to be
+    /// dispatched starts at or after this instant.
+    frontier: SimTime,
     live: usize,
+}
+
+/// Pop dead records (`end <= frontier`) off the head of one allocation
+/// list, freeing slab slots whose last list membership dropped. Free
+/// function so callers can split borrows across `RaceLog` fields.
+fn prune_front(
+    records: &mut [Option<Record>],
+    free: &mut Vec<usize>,
+    live: &mut usize,
+    list: &mut VecDeque<usize>,
+    frontier: SimTime,
+) {
+    while let Some(&idx) = list.front() {
+        let rec = records[idx].as_mut().expect("indexed record is live");
+        if rec.end > frontier {
+            break;
+        }
+        list.pop_front();
+        rec.refs -= 1;
+        if rec.refs == 0 {
+            records[idx] = None;
+            free.push(idx);
+            *live -= 1;
+        }
+    }
 }
 
 impl RaceLog {
@@ -250,8 +287,9 @@ impl RaceLog {
     /// Drop everything.
     pub fn clear(&mut self) {
         self.records.clear();
+        self.free.clear();
         self.by_alloc.clear();
-        self.purge_baseline = 0;
+        self.frontier = SimTime::ZERO;
         self.live = 0;
     }
 
@@ -275,19 +313,30 @@ impl RaceLog {
             end,
             reads,
             writes,
+            refs: 0,
         };
         // Walk each touched allocation's record list newest-first; lists
         // are sorted by end time, so the first record that finished at or
         // before `start` bounds the walk — nothing older can overlap.
+        // First drop the list's dead prefix (retirement on the query
+        // path): each popped record is work already paid for by its
+        // insert, so the walk below only ever sees live candidates.
         let mut checked_allocs: Vec<u32> = Vec::new();
         for alloc in rec.allocs() {
             if checked_allocs.contains(&alloc) {
                 continue;
             }
             checked_allocs.push(alloc);
-            let Some(list) = self.by_alloc.get(&alloc) else {
+            let Some(list) = self.by_alloc.get_mut(&alloc) else {
                 continue;
             };
+            prune_front(
+                &mut self.records,
+                &mut self.free,
+                &mut self.live,
+                list,
+                self.frontier,
+            );
             for &idx in list.iter().rev() {
                 let prev = self.records[idx].as_ref().expect("indexed record is live");
                 if prev.end <= rec.start {
@@ -298,7 +347,18 @@ impl RaceLog {
                 }
             }
         }
-        let idx = self.records.len();
+        if checked_allocs.is_empty() {
+            // No declared accesses: the record can never conflict with
+            // anything, so there is nothing to index or retire.
+            return Ok(());
+        }
+        let idx = match self.free.pop() {
+            Some(slot) => slot,
+            None => {
+                self.records.push(None);
+                self.records.len() - 1
+            }
+        };
         for &alloc in &checked_allocs {
             let list = self.by_alloc.entry(alloc).or_default();
             // Records normally arrive in completion (end) order, making
@@ -309,7 +369,9 @@ impl RaceLog {
             });
             list.insert(pos, idx);
         }
-        self.records.push(Some(rec));
+        let mut rec = rec;
+        rec.refs = checked_allocs.len() as u32;
+        self.records[idx] = Some(rec);
         self.live += 1;
         Ok(())
     }
@@ -317,40 +379,23 @@ impl RaceLog {
     /// Retire records that can no longer overlap anything: every command
     /// still running or yet to be dispatched starts at or after
     /// `frontier`, so records whose interval ends at or before it are
-    /// dead. The actual purge is amortized (runs when the slab has
-    /// doubled since the last one), keeping retirement O(1) per call.
+    /// dead. Retirement is incremental — each end-sorted per-allocation
+    /// list drops its dead prefix, so a record is popped exactly once per
+    /// list it sits in (amortized O(1) per record, no slab rebuild).
     pub fn retire(&mut self, frontier: SimTime) {
-        if self.records.len() < 64 || self.records.len() < 2 * self.purge_baseline {
+        if frontier <= self.frontier {
             return;
         }
-        for slot in &mut self.records {
-            if slot.as_ref().is_some_and(|r| r.end <= frontier) {
-                *slot = None;
-            }
+        self.frontier = frontier;
+        for list in self.by_alloc.values_mut() {
+            prune_front(
+                &mut self.records,
+                &mut self.free,
+                &mut self.live,
+                list,
+                frontier,
+            );
         }
-        // Compact the slab and rebuild the per-alloc index.
-        let old = std::mem::take(&mut self.records);
-        self.by_alloc.clear();
-        self.live = 0;
-        for rec in old.into_iter().flatten() {
-            let idx = self.records.len();
-            let mut allocs: Vec<u32> = Vec::new();
-            for a in rec.allocs() {
-                if !allocs.contains(&a) {
-                    allocs.push(a);
-                }
-            }
-            for a in allocs {
-                let list = self.by_alloc.entry(a).or_default();
-                let pos = list.partition_point(|&i| {
-                    self.records[i].as_ref().expect("live").end <= rec.end
-                });
-                list.insert(pos, idx);
-            }
-            self.records.push(Some(rec));
-            self.live += 1;
-        }
-        self.purge_baseline = self.live;
     }
 }
 
@@ -394,6 +439,7 @@ impl NaiveRaceLog {
             end,
             reads: expand(&reads),
             writes: expand(&writes),
+            refs: 0,
         };
         for prev in &self.records {
             if let Some(conflict) = rec.conflict_with(prev) {

@@ -23,23 +23,28 @@
 //! fully eager and the main loop only advances time to engine completions
 //! or command ready instants.
 //!
-//! # Event calendar
+//! # Schedule vs. dynamic state
 //!
-//! In-flight commands live in a **completion calendar**: a binary min-heap
-//! keyed on `(end, seq)` over a slab of running commands. Advancing time
-//! is a heap peek and completing due work pops the heap in deterministic
-//! `(end, seq)` order — no per-step rescan of engine slots. Dispatch uses
-//! a **per-engine head index** (ordered by enqueue sequence) over the
-//! streams whose head command needs that engine, so finding the
-//! lowest-sequence ready command does not walk every stream either. Both
-//! structures make simulated throughput O(log n) per command instead of
-//! O(engines·streams) per time step, which is what paper-scale figure
-//! sweeps spend their time on.
+//! The static schedule (FIFO order per stream, engine class per command)
+//! is separated from the dynamic event state. Per-command dynamic state —
+//! enqueue/start/end instants, owning stream, engine class, and the
+//! payload — lives in a dense **SoA arena** indexed by sequence number
+//! ([`CmdArena`]); stream queues and engine structures carry bare `seq`
+//! values, so the drain loop walks flat arrays instead of chasing enum
+//! payloads. The completion calendar exploits the engine model directly:
+//! copy engines hold at most one in-flight command and the compute engine
+//! at most `max_concurrent_kernels`, so each engine keeps a tiny
+//! **in-flight list** sorted by `(end, seq)` descending. Retiring the
+//! next completion is a 3-way compare of list tails — O(1) — and still
+//! yields the deterministic global `(end, seq)` order. Dispatch uses a
+//! **per-engine head index** (ordered by enqueue sequence) over the
+//! streams whose head command needs that engine, and pseudo-command
+//! resolution walks a worklist of streams whose head is an event
+//! record/wait instead of rescanning every stream.
 
-use std::cmp::Reverse;
-use std::collections::{BTreeSet, BinaryHeap, HashMap, VecDeque};
+use std::collections::VecDeque;
 
-use crate::cmd::{Cmd, CmdKind, Copy2D, EngineKind, EventId, KernelCtx, KernelLaunch, StreamId};
+use crate::cmd::{CmdKind, Copy2D, EngineKind, EventId, KernelCtx, KernelLaunch, StreamId};
 use crate::counters::{
     Counters, HostSpan, HostSpanKind, TimelineEntry, TimelineKind, WaitCause, WaitRecord,
 };
@@ -51,7 +56,9 @@ use crate::race::{AccessRange, ConflictKind, RaceLog};
 use crate::time::SimTime;
 
 struct StreamState {
-    queue: VecDeque<Cmd>,
+    /// FIFO of enqueued commands, by sequence number. Dynamic state and
+    /// payloads live in the context's [`CmdArena`].
+    queue: VecDeque<u64>,
     /// Earliest instant the current head may start (completion of the
     /// previous command on this stream, adjusted by resolved event waits).
     ready_at: SimTime,
@@ -70,6 +77,9 @@ struct StreamState {
     /// `(engine index, head seq)` while the queue head is an engine
     /// command, `None` otherwise.
     indexed_head: Option<(usize, u64)>,
+    /// True while this stream has an entry in the pseudo-head worklist
+    /// (the queue head is — or recently was — an event record/wait).
+    pseudo_listed: bool,
 }
 
 impl StreamState {
@@ -82,6 +92,7 @@ impl StreamState {
             alive: true,
             hung: false,
             indexed_head: None,
+            pseudo_listed: false,
         }
     }
 
@@ -97,13 +108,74 @@ struct EventState {
     complete_at: Option<SimTime>,
 }
 
-struct Running {
-    stream: StreamId,
-    end: SimTime,
-    start: SimTime,
-    seq: u64,
-    enqueue_time: SimTime,
-    kind: CmdKind,
+/// Engine slot of a pseudo command (event record/wait) in
+/// [`CmdArena::engine`].
+const ENGINE_PSEUDO: u8 = u8::MAX;
+
+/// Dense per-command dynamic state, indexed by `seq - base` — the
+/// structure-of-arrays side of the schedule/state split. Enqueue appends
+/// one slot per command; completion takes the payload but keeps the slot
+/// so sequence numbers stay directly addressable. When the device fully
+/// drains, the arena resets its base and reuses the buffers, so steady-
+/// state pipelines run allocation-free.
+struct CmdArena {
+    /// Sequence number of slot 0.
+    base: u64,
+    /// Host-clock enqueue instant (a command never starts earlier).
+    enq: Vec<SimTime>,
+    /// Dispatch instant; `SimTime::ZERO` until dispatched.
+    start: Vec<SimTime>,
+    /// Completion instant; `SimTime::ZERO` until dispatched.
+    end: Vec<SimTime>,
+    /// Owning stream index.
+    stream: Vec<u32>,
+    /// Engine index ([`EngineKind::index`]), or [`ENGINE_PSEUDO`].
+    engine: Vec<u8>,
+    /// Command payload; present from enqueue until retirement.
+    payload: Vec<Option<CmdKind>>,
+}
+
+impl CmdArena {
+    fn new() -> Self {
+        CmdArena {
+            base: 0,
+            enq: Vec::new(),
+            start: Vec::new(),
+            end: Vec::new(),
+            stream: Vec::new(),
+            engine: Vec::new(),
+            payload: Vec::new(),
+        }
+    }
+
+    #[inline]
+    fn idx(&self, seq: u64) -> usize {
+        debug_assert!(seq >= self.base, "seq below arena base");
+        (seq - self.base) as usize
+    }
+
+    fn push(&mut self, seq: u64, enq: SimTime, stream: u32, kind: CmdKind) {
+        debug_assert_eq!(seq, self.base + self.enq.len() as u64, "non-contiguous seq");
+        self.enq.push(enq);
+        self.start.push(SimTime::ZERO);
+        self.end.push(SimTime::ZERO);
+        self.stream.push(stream);
+        self.engine
+            .push(kind.engine().map_or(ENGINE_PSEUDO, |e| e.index() as u8));
+        self.payload.push(Some(kind));
+    }
+
+    /// Drop all slots and rebase at `next_seq`, keeping capacity. Only
+    /// valid while no queue, engine, or hang list references a slot.
+    fn reset(&mut self, next_seq: u64) {
+        self.base = next_seq;
+        self.enq.clear();
+        self.start.clear();
+        self.end.clear();
+        self.stream.clear();
+        self.engine.clear();
+        self.payload.clear();
+    }
 }
 
 /// Why a context was declared lost.
@@ -150,15 +222,22 @@ pub struct Gpu {
     pool: MemPool,
     streams: Vec<StreamState>,
     events: Vec<EventState>,
-    /// In-flight commands, keyed by enqueue sequence number.
-    running: HashMap<u64, Running>,
-    /// Completion calendar over `running`: min-heap on `(end, seq)`.
-    calendar: BinaryHeap<Reverse<(SimTime, u64)>>,
-    /// Occupied slots per engine (indexed by [`EngineKind::index`]).
+    /// Dynamic state of every live command, indexed by sequence number.
+    arena: CmdArena,
+    /// Per-engine in-flight lists sorted by `(end, seq)` *descending*:
+    /// the earliest completion sits at the tail, so retire-next is a
+    /// 3-way tail compare and a pop. Copy engines hold at most one
+    /// entry; compute at most `max_concurrent_kernels`.
+    inflight: [Vec<(SimTime, u64)>; 3],
+    /// Occupied slots per engine (indexed by [`EngineKind::index`]);
+    /// counts hung commands, which never appear in `inflight`.
     engine_load: [usize; 3],
     /// Per-engine dispatch index: `(head seq, stream)` for every stream
-    /// whose queue head is a command of that engine.
-    heads: [BTreeSet<(u64, u32)>; 3],
+    /// whose queue head is a command of that engine, sorted ascending.
+    heads: [Vec<(u64, u32)>; 3],
+    /// Worklist of streams whose queue head is (or recently was) a
+    /// pseudo command; stale entries are compacted by `resolve_pseudo`.
+    pseudo_heads: Vec<u32>,
     /// Device-timeline clock (monotone; advanced during synchronization).
     now: SimTime,
     /// Host clock (advanced by API overhead and blocking waits).
@@ -186,8 +265,9 @@ pub struct Gpu {
     /// Terminal loss state: the instant and cause, once declared.
     lost: Option<(SimTime, LossCause)>,
     /// Commands wedged by an injected hang: they hold their stream and
-    /// engine slot but never complete. `(stream index, command)`.
-    hung: Vec<(u32, Cmd)>,
+    /// engine slot but never complete. `(stream index, seq)`; the
+    /// payload stays in the arena until the context is declared lost.
+    hung: Vec<(u32, u64)>,
     /// Grace a wedged pipeline is granted before a hang escalates to
     /// device loss (`None` = escalate immediately on starvation).
     watchdog: Option<SimTime>,
@@ -219,10 +299,11 @@ impl Gpu {
             pool,
             streams: Vec::new(),
             events: Vec::new(),
-            running: HashMap::new(),
-            calendar: BinaryHeap::new(),
+            arena: CmdArena::new(),
+            inflight: [Vec::new(), Vec::new(), Vec::new()],
             engine_load: [0; 3],
-            heads: [BTreeSet::new(), BTreeSet::new(), BTreeSet::new()],
+            heads: [Vec::new(), Vec::new(), Vec::new()],
+            pseudo_heads: Vec::new(),
             now: SimTime::ZERO,
             now_host: SimTime::ZERO,
             seq: 0,
@@ -320,7 +401,7 @@ impl Gpu {
     /// does not advance the host clock or charge any counter.
     pub fn push_host_span(
         &mut self,
-        label: impl Into<String>,
+        label: impl Into<std::borrow::Cow<'static, str>>,
         kind: HostSpanKind,
         start: SimTime,
         end: SimTime,
@@ -474,7 +555,7 @@ impl Gpu {
             retired: self.retired,
             last_retired_seq: self.last_retired_seq,
             watermark,
-            in_flight: self.running.len() + self.hung.len(),
+            in_flight: self.inflight.iter().map(Vec::len).sum::<usize>() + self.hung.len(),
             queued: self.streams.iter().map(|s| s.queue.len()).sum(),
             lost: self.lost,
         }
@@ -493,41 +574,59 @@ impl Gpu {
         self.lost = Some((at, cause));
         self.now = self.now.max(at);
         self.now_host = self.now_host.max(at);
-        let mut killed: Vec<Running> = self.running.drain().map(|(_, r)| r).collect();
-        killed.sort_by_key(|r| r.seq);
-        self.calendar.clear();
-        for r in killed {
-            let engine = r.kind.engine().expect("running command has an engine");
+        let mut killed: Vec<u64> = self
+            .inflight
+            .iter()
+            .flat_map(|v| v.iter().map(|&(_, seq)| seq))
+            .collect();
+        killed.sort_unstable();
+        for v in &mut self.inflight {
+            v.clear();
+        }
+        for seq in killed {
+            let idx = self.arena.idx(seq);
+            let kind = self.arena.payload[idx]
+                .take()
+                .expect("in-flight command has a payload");
+            let engine = kind.engine().expect("running command has an engine");
             self.failures.push(FailureRecord {
-                seq: r.seq,
-                stream: r.stream.0 as usize,
+                seq,
+                stream: self.arena.stream[idx] as usize,
                 engine,
-                label: r.kind.label(),
+                label: kind.label().into(),
                 end: at,
                 error: SimError::DeviceLost,
             });
         }
-        for (si, cmd) in std::mem::take(&mut self.hung) {
-            let engine = cmd.kind.engine().expect("hung command has an engine");
+        for (si, seq) in std::mem::take(&mut self.hung) {
+            let idx = self.arena.idx(seq);
+            let kind = self.arena.payload[idx]
+                .take()
+                .expect("hung command has a payload");
+            let engine = kind.engine().expect("hung command has an engine");
             self.failures.push(FailureRecord {
-                seq: cmd.seq,
+                seq,
                 stream: si as usize,
                 engine,
-                label: cmd.kind.label(),
+                label: kind.label().into(),
                 end: at,
                 error: SimError::DeviceLost,
             });
         }
         self.engine_load = [0; 3];
         for si in 0..self.streams.len() {
-            let dropped: Vec<Cmd> = self.streams[si].queue.drain(..).collect();
-            for cmd in dropped {
-                if let Some(engine) = cmd.kind.engine() {
+            let dropped: Vec<u64> = self.streams[si].queue.drain(..).collect();
+            for seq in dropped {
+                let idx = self.arena.idx(seq);
+                let kind = self.arena.payload[idx]
+                    .take()
+                    .expect("queued command has a payload");
+                if let Some(engine) = kind.engine() {
                     self.failures.push(FailureRecord {
-                        seq: cmd.seq,
+                        seq,
                         stream: si,
                         engine,
-                        label: cmd.kind.label(),
+                        label: kind.label().into(),
                         end: at,
                         error: SimError::DeviceLost,
                     });
@@ -540,6 +639,9 @@ impl Gpu {
             st.last_done = st.last_done.max(at);
             self.refresh_head(si);
         }
+        // Everything referencing the arena is drained: rebase it so the
+        // buffers are reused instead of growing for the context lifetime.
+        self.arena.reset(self.seq);
     }
 
     /// Fire the plan's whole-context loss trigger if it is due. Returns
@@ -749,11 +851,8 @@ impl Gpu {
     fn check_stream(&self, s: StreamId) -> SimResult<()> {
         match self.streams.get(s.0 as usize) {
             Some(st) if st.alive => Ok(()),
-            Some(_) => Err(SimError::InvalidHandle(format!(
-                "stream {} was destroyed",
-                s.0
-            ))),
-            None => Err(SimError::InvalidHandle(format!("stream {}", s.0))),
+            Some(_) => Err(err_stream_destroyed(s)),
+            None => Err(err_bad_stream(s)),
         }
     }
 
@@ -761,7 +860,7 @@ impl Gpu {
         if (e.0 as usize) < self.events.len() {
             Ok(())
         } else {
-            Err(SimError::InvalidHandle(format!("event {}", e.0)))
+            Err(err_bad_event(e))
         }
     }
 
@@ -804,54 +903,35 @@ impl Gpu {
         elems: usize,
     ) -> SimResult<()> {
         if elems == 0 {
-            return Err(SimError::InvalidArgument("zero-length copy".into()));
+            return Err(err_zero_copy());
         }
         let hlen = self.pool.host_len(host)?;
         if host_off + elems > hlen {
-            return Err(SimError::OutOfRange {
-                what: format!("host range of copy ({host:?})"),
-                end: host_off + elems,
-                len: hlen,
-            });
+            return Err(err_copy_host_oob(host, host_off + elems, hlen));
         }
         let dlen = self.pool.alloc_len(dev.alloc_id())?;
         if dev.offset + elems > dlen {
-            return Err(SimError::OutOfRange {
-                what: format!("device range of copy ({:?})", dev.alloc_id()),
-                end: dev.offset + elems,
-                len: dlen,
-            });
+            return Err(err_copy_dev_oob(dev.alloc_id(), dev.offset + elems, dlen));
         }
         Ok(())
     }
 
     fn validate_2d(&self, c: &Copy2D) -> SimResult<()> {
         if c.rows == 0 || c.row_elems == 0 {
-            return Err(SimError::InvalidArgument("zero-size 2D copy".into()));
+            return Err(err_zero_copy_2d());
         }
         if c.host_stride < c.row_elems || c.dev_stride < c.row_elems {
-            return Err(SimError::InvalidArgument(format!(
-                "2D copy stride smaller than row: row={}, host_stride={}, dev_stride={}",
-                c.row_elems, c.host_stride, c.dev_stride
-            )));
+            return Err(err_copy_stride_2d(c.row_elems, c.host_stride, c.dev_stride));
         }
         let hlen = self.pool.host_len(c.host)?;
         let host_end = c.host_off + (c.rows - 1) * c.host_stride + c.row_elems;
         if host_end > hlen {
-            return Err(SimError::OutOfRange {
-                what: format!("host range of 2D copy ({:?})", c.host),
-                end: host_end,
-                len: hlen,
-            });
+            return Err(err_copy_host_oob_2d(c.host, host_end, hlen));
         }
         let dlen = self.pool.alloc_len(c.dev.alloc_id())?;
         let dev_end = c.dev.offset + (c.rows - 1) * c.dev_stride + c.row_elems;
         if dev_end > dlen {
-            return Err(SimError::OutOfRange {
-                what: format!("device range of 2D copy ({:?})", c.dev.alloc_id()),
-                end: dev_end,
-                len: dlen,
-            });
+            return Err(err_copy_dev_oob_2d(c.dev.alloc_id(), dev_end, dlen));
         }
         Ok(())
     }
@@ -947,10 +1027,7 @@ impl Gpu {
     pub fn launch(&mut self, stream: StreamId, kernel: KernelLaunch) -> SimResult<()> {
         self.check_stream(stream)?;
         if self.pool.mode == ExecMode::Functional && kernel.body.is_none() {
-            return Err(SimError::InvalidArgument(format!(
-                "kernel '{}' has no functional body but the context is in functional mode",
-                kernel.name
-            )));
+            return Err(err_no_body(kernel.name));
         }
         self.enqueue(stream, CmdKind::Kernel(kernel))
     }
@@ -967,15 +1044,11 @@ impl Gpu {
     ) -> SimResult<()> {
         self.check_stream(stream)?;
         if elems == 0 {
-            return Err(SimError::InvalidArgument("zero-length memset".into()));
+            return Err(err_zero_memset());
         }
         let len = self.pool.alloc_len(dst.alloc_id())?;
         if dst.offset + elems > len {
-            return Err(SimError::OutOfRange {
-                what: format!("memset at {:?}+{}", dst.alloc_id(), dst.offset),
-                end: dst.offset + elems,
-                len,
-            });
+            return Err(err_memset_oob(dst, dst.offset + elems, len));
         }
         self.enqueue(stream, CmdKind::Memset { dst, elems, value })
     }
@@ -991,25 +1064,19 @@ impl Gpu {
     ) -> SimResult<()> {
         self.check_stream(stream)?;
         if elems == 0 {
-            return Err(SimError::InvalidArgument("zero-length D2D copy".into()));
+            return Err(err_zero_d2d());
         }
         for (what, p) in [("source", src), ("destination", dst)] {
             let len = self.pool.alloc_len(p.alloc_id())?;
             if p.offset + elems > len {
-                return Err(SimError::OutOfRange {
-                    what: format!("D2D {what} at {:?}+{}", p.alloc_id(), p.offset),
-                    end: p.offset + elems,
-                    len,
-                });
+                return Err(err_d2d_oob(what, p, p.offset + elems, len));
             }
         }
         if src.alloc_id() == dst.alloc_id()
             && src.offset < dst.offset + elems
             && dst.offset < src.offset + elems
         {
-            return Err(SimError::InvalidArgument(
-                "overlapping same-allocation D2D copy".into(),
-            ));
+            return Err(err_d2d_overlap());
         }
         self.enqueue(stream, CmdKind::D2D { src, dst, elems })
     }
@@ -1029,6 +1096,7 @@ impl Gpu {
             .map(|s| s.last_done)
             .fold(SimTime::ZERO, SimTime::max);
         self.now_host = self.now_host.max(done);
+        self.maybe_reset_arena();
         if self.timeline_enabled {
             self.host_spans.push(HostSpan {
                 label: "synchronize".into(),
@@ -1049,9 +1117,10 @@ impl Gpu {
         let idx = stream.0 as usize;
         self.run_until(|g| g.streams[idx].drained())?;
         self.now_host = self.now_host.max(self.streams[idx].last_done);
+        self.maybe_reset_arena();
         if self.timeline_enabled {
             self.host_spans.push(HostSpan {
-                label: format!("sync(stream {})", stream.0),
+                label: crate::symbol::intern(crate::symbol::LabelKey::SyncStream(stream.0)).into(),
                 kind: HostSpanKind::Sync,
                 start_ns: t0.as_ns(),
                 end_ns: self.now_host.as_ns(),
@@ -1059,6 +1128,19 @@ impl Gpu {
             });
         }
         Ok(())
+    }
+
+    /// Rebase the command arena once nothing references its slots: no
+    /// queued, in-flight, or hung command anywhere. Called after
+    /// successful synchronization so steady-state pipelines reuse the
+    /// same buffers run after run.
+    fn maybe_reset_arena(&mut self) {
+        if self.hung.is_empty()
+            && self.inflight.iter().all(Vec::is_empty)
+            && self.streams.iter().all(|s| s.queue.is_empty())
+        {
+            self.arena.reset(self.seq);
+        }
     }
 
     // ------------------------------------------------------------------
@@ -1080,73 +1162,105 @@ impl Gpu {
         }
         let t0 = self.now_host;
         self.api_call();
+        let seq = self.seq;
         if self.timeline_enabled {
             self.host_spans.push(HostSpan {
-                label: kind.label(),
+                label: kind.label().into(),
                 kind: HostSpanKind::Enqueue,
                 start_ns: t0.as_ns(),
                 end_ns: self.now_host.as_ns(),
-                flow: Some(self.seq),
+                flow: Some(seq),
             });
         }
-        let cmd = Cmd {
-            seq: self.seq,
-            enqueue_time: self.now_host,
-            kind,
-        };
-        self.seq += 1;
-        self.streams[stream.0 as usize].queue.push_back(cmd);
+        self.seq = seq + 1;
+        self.arena.push(seq, self.now_host, stream.0, kind);
+        self.streams[stream.0 as usize].queue.push_back(seq);
         self.refresh_head(stream.0 as usize);
         Ok(())
     }
 
-    /// Re-sync a stream's entry in the per-engine head index after its
-    /// queue head changed.
+    /// Re-sync a stream's entry in the per-engine head index (and the
+    /// pseudo-head worklist) after its queue head changed.
     fn refresh_head(&mut self, si: usize) {
-        let desired = self.streams[si]
-            .queue
-            .front()
-            .and_then(|c| c.kind.engine().map(|e| (e.index(), c.seq)));
+        let mut pseudo = false;
+        let desired = match self.streams[si].queue.front() {
+            Some(&seq) => {
+                let e = self.arena.engine[self.arena.idx(seq)];
+                if e == ENGINE_PSEUDO {
+                    pseudo = true;
+                    None
+                } else {
+                    Some((e as usize, seq))
+                }
+            }
+            None => None,
+        };
         let current = self.streams[si].indexed_head;
-        if desired == current {
-            return;
+        if desired != current {
+            if let Some((e, seq)) = current {
+                let v = &mut self.heads[e];
+                let pos = v.partition_point(|&x| x < (seq, si as u32));
+                debug_assert_eq!(v.get(pos), Some(&(seq, si as u32)), "head index out of sync");
+                v.remove(pos);
+            }
+            if let Some((e, seq)) = desired {
+                let v = &mut self.heads[e];
+                let pos = v.partition_point(|&x| x < (seq, si as u32));
+                v.insert(pos, (seq, si as u32));
+            }
+            self.streams[si].indexed_head = desired;
         }
-        if let Some((e, seq)) = current {
-            self.heads[e].remove(&(seq, si as u32));
+        // Worklist membership only ever grows here; `resolve_pseudo`
+        // compacts entries whose head is no longer pseudo.
+        if pseudo && !self.streams[si].pseudo_listed {
+            self.streams[si].pseudo_listed = true;
+            self.pseudo_heads.push(si as u32);
         }
-        if let Some((e, seq)) = desired {
-            self.heads[e].insert((seq, si as u32));
-        }
-        self.streams[si].indexed_head = desired;
     }
 
     /// Resolve event records/waits at stream heads; returns true if any
-    /// progress was made.
+    /// progress was made. Walks only the pseudo-head worklist — streams
+    /// whose head is not an event command are never visited.
     fn resolve_pseudo(&mut self) -> bool {
+        if self.pseudo_heads.is_empty() {
+            return false;
+        }
+        // Stream-index order keeps cross-stream record/wait resolution
+        // (and therefore wait-record order) identical to a full scan.
+        self.pseudo_heads.sort_unstable();
         let mut progress = false;
         loop {
             let mut round = false;
-            for s in 0..self.streams.len() {
+            let mut i = 0;
+            while i < self.pseudo_heads.len() {
+                let s = self.pseudo_heads[i] as usize;
                 if self.streams[s].hung {
                     // Pseudo commands behind a hang never resolve either.
+                    i += 1;
                     continue;
                 }
                 // A pseudo head may not run ahead of a still-running
                 // predecessor: ready_at is set at dispatch, so it is safe.
-                while let Some(head) = self.streams[s].queue.front() {
-                    match head.kind {
-                        CmdKind::EventRecord(e) => {
-                            let t = self.streams[s].ready_at.max(head.enqueue_time);
-                            self.events[e.0 as usize].complete_at = Some(t);
+                let mut blocked = false;
+                while let Some(&head_seq) = self.streams[s].queue.front() {
+                    let idx = self.arena.idx(head_seq);
+                    match self.arena.payload[idx].as_ref() {
+                        Some(CmdKind::EventRecord(e)) => {
+                            let e = e.0 as usize;
+                            let t = self.streams[s].ready_at.max(self.arena.enq[idx]);
+                            self.arena.payload[idx] = None;
+                            self.events[e].complete_at = Some(t);
                             self.streams[s].queue.pop_front();
                             self.streams[s].ready_at = t;
                             self.streams[s].last_done = self.streams[s].last_done.max(t);
                             round = true;
                         }
-                        CmdKind::EventWait(e, cause) => {
-                            let enq = head.enqueue_time;
-                            match self.events[e.0 as usize].complete_at {
+                        Some(CmdKind::EventWait(e, cause)) => {
+                            let (e, cause) = (e.0 as usize, *cause);
+                            match self.events[e].complete_at {
                                 Some(t) => {
+                                    let enq = self.arena.enq[idx];
+                                    self.arena.payload[idx] = None;
                                     self.streams[s].queue.pop_front();
                                     let base = self.streams[s].ready_at.max(enq);
                                     let r = base.max(t);
@@ -1166,13 +1280,24 @@ impl Gpu {
                                         self.streams[s].last_done.max(r);
                                     round = true;
                                 }
-                                None => break,
+                                None => {
+                                    blocked = true;
+                                    break;
+                                }
                             }
                         }
                         _ => break,
                     }
                 }
                 self.refresh_head(s);
+                if blocked {
+                    i += 1;
+                } else {
+                    // Head is no longer pseudo (or the queue is empty):
+                    // drop the worklist entry, preserving order.
+                    self.streams[s].pseudo_listed = false;
+                    self.pseudo_heads.remove(i);
+                }
             }
             if !round {
                 break;
@@ -1188,40 +1313,46 @@ impl Gpu {
         let live_streams = self.stream_count();
         let mut dispatched = false;
         for engine in EngineKind::ALL {
-            while self.engine_load[engine.index()] < self.engine_capacity(engine) {
+            let e = engine.index();
+            while self.engine_load[e] < self.engine_capacity(engine) {
                 // Lowest-sequence ready head needing this engine; the
                 // index iterates in sequence order, so take the first
                 // ready candidate.
-                let mut chosen: Option<usize> = None;
-                for &(seq, si) in &self.heads[engine.index()] {
+                let mut chosen: Option<(usize, u64)> = None;
+                for &(seq, si) in &self.heads[e] {
                     let st = &self.streams[si as usize];
                     if st.hung {
                         // A wedged FIFO may not dispatch successors.
                         continue;
                     }
-                    let head = st.queue.front().expect("indexed head exists");
-                    debug_assert_eq!(head.seq, seq, "head index out of sync");
-                    if st.ready_at.max(head.enqueue_time) <= self.now {
-                        chosen = Some(si as usize);
+                    debug_assert_eq!(st.queue.front(), Some(&seq), "head index out of sync");
+                    if st.ready_at.max(self.arena.enq[self.arena.idx(seq)]) <= self.now {
+                        chosen = Some((si as usize, seq));
                         break;
                     }
                 }
-                let Some(si) = chosen else { break };
-                let cmd = self.streams[si].queue.pop_front().expect("head exists");
+                let Some((si, seq)) = chosen else { break };
+                self.streams[si].queue.pop_front();
                 // An injected hang: the command takes its stream slot and
                 // engine slot but its completion never fires. Only loss
                 // escalation (the watchdog) releases them.
                 if self.fault.as_mut().is_some_and(FaultState::roll_hang) {
                     self.streams[si].hung = true;
                     self.streams[si].running += 1;
-                    self.engine_load[engine.index()] += 1;
-                    self.hung.push((si as u32, cmd));
+                    self.engine_load[e] += 1;
+                    self.hung.push((si as u32, seq));
                     self.refresh_head(si);
                     dispatched = true;
                     continue;
                 }
+                let idx = self.arena.idx(seq);
                 let dispatch = self.profile.dispatch_overhead(live_streams);
-                let mut duration = self.command_duration(&cmd.kind);
+                let mut duration = {
+                    let kind = self.arena.payload[idx]
+                        .as_ref()
+                        .expect("queued command has a payload");
+                    self.command_duration(kind)
+                };
                 // Full-duplex contention: a copy dispatched while the
                 // opposite copy engine is busy runs at duplex_factor of
                 // its bandwidth.
@@ -1246,19 +1377,15 @@ impl Gpu {
                 let end = start + dispatch + duration;
                 self.streams[si].ready_at = end;
                 self.streams[si].running += 1;
-                self.engine_load[engine.index()] += 1;
-                self.calendar.push(Reverse((end, cmd.seq)));
-                self.running.insert(
-                    cmd.seq,
-                    Running {
-                        stream: StreamId(si as u32),
-                        start,
-                        end,
-                        seq: cmd.seq,
-                        enqueue_time: cmd.enqueue_time,
-                        kind: cmd.kind,
-                    },
-                );
+                self.engine_load[e] += 1;
+                self.arena.start[idx] = start;
+                self.arena.end[idx] = end;
+                // Keep the in-flight list sorted descending on
+                // `(end, seq)`: the earliest completion stays at the
+                // tail. The list is at most a few entries long.
+                let fl = &mut self.inflight[e];
+                let pos = fl.partition_point(|&entry| entry > (end, seq));
+                fl.insert(pos, (end, seq));
                 self.refresh_head(si);
                 dispatched = true;
             }
@@ -1313,16 +1440,16 @@ impl Gpu {
     }
 
     /// Execute the functional payload of a completing command and update
-    /// counters.
-    fn complete(&mut self, running: Running) -> SimResult<()> {
-        let Running {
-            stream,
-            start,
-            end,
-            seq,
-            enqueue_time,
-            mut kind,
-        } = running;
+    /// counters. The caller already popped `seq` from its engine's
+    /// in-flight list.
+    fn complete(&mut self, seq: u64, end: SimTime) -> SimResult<()> {
+        let idx = self.arena.idx(seq);
+        let start = self.arena.start[idx];
+        let enqueue_time = self.arena.enq[idx];
+        let stream = StreamId(self.arena.stream[idx]);
+        let mut kind = self.arena.payload[idx]
+            .take()
+            .expect("completing command has a payload");
         let engine = kind.engine().expect("running command has an engine");
         self.engine_load[engine.index()] -= 1;
         self.retired += 1;
@@ -1339,7 +1466,7 @@ impl Gpu {
         let exec = self.execute_payload(&mut kind, dur, functional);
         if self.timeline_enabled {
             self.timeline.push(TimelineEntry {
-                label: kind.label(),
+                label: kind.label().into(),
                 kind: TimelineKind::from_engine(engine),
                 stream: stream.0 as usize,
                 start_ns: start.as_ns(),
@@ -1361,7 +1488,7 @@ impl Gpu {
                 seq,
                 stream: stream.0 as usize,
                 engine,
-                label: kind.label(),
+                label: kind.label().into(),
                 end,
                 error: e.clone(),
             });
@@ -1596,7 +1723,7 @@ impl Gpu {
             _ => {}
         }
         self.access_log
-            .check_insert(kind.label(), start, end, reads, writes)
+            .check_insert(kind.label().to_string(), start, end, reads, writes)
             .map_err(|c| {
                 SimError::DataRace(match c.kind {
                     ConflictKind::WriteWrite => format!(
@@ -1621,12 +1748,14 @@ impl Gpu {
             })?;
         // Records that end before every still-running command started can
         // never overlap future work (dispatch time is monotone), so let
-        // the log retire them.
-        let frontier = self
-            .running
-            .values()
-            .map(|r| r.start)
-            .fold(self.now, SimTime::min);
+        // the log retire them. The in-flight lists hold a handful of
+        // entries at most, so the frontier scan is cheap.
+        let mut frontier = self.now;
+        for v in &self.inflight {
+            for &(_, seq) in v {
+                frontier = frontier.min(self.arena.start[self.arena.idx(seq)]);
+            }
+        }
         self.access_log.retire(frontier);
         Ok(())
     }
@@ -1645,7 +1774,7 @@ impl Gpu {
                 continue;
             }
             // Advance time to the next interesting instant: the earliest
-            // calendar completion or the earliest not-yet-ready head.
+            // in-flight completion or the earliest not-yet-ready head.
             let mut t_next: Option<SimTime> = None;
             let mut consider = |t: SimTime| {
                 t_next = Some(match t_next {
@@ -1653,17 +1782,18 @@ impl Gpu {
                     None => t,
                 });
             };
-            if let Some(&Reverse((end, _))) = self.calendar.peek() {
-                consider(end);
+            for v in &self.inflight {
+                if let Some(&(end, _)) = v.last() {
+                    consider(end);
+                }
             }
             for set in &self.heads {
-                for &(_, si) in set {
+                for &(seq, si) in set {
                     let st = &self.streams[si as usize];
                     if st.hung {
                         continue;
                     }
-                    let head = st.queue.front().expect("indexed head exists");
-                    let ready = st.ready_at.max(head.enqueue_time);
+                    let ready = st.ready_at.max(self.arena.enq[self.arena.idx(seq)]);
                     if ready > self.now {
                         consider(ready);
                     }
@@ -1696,9 +1826,13 @@ impl Gpu {
                     .enumerate()
                     .filter(|(_, s)| !s.queue.is_empty())
                     .map(|(i, s)| {
-                        let head = s.queue.front();
-                        let label = head.map(|c| c.kind.label()).unwrap_or_default();
-                        let detail = match head.map(|c| &c.kind) {
+                        let head = s.queue.front().map(|&seq| {
+                            self.arena.payload[self.arena.idx(seq)]
+                                .as_ref()
+                                .expect("queued command has a payload")
+                        });
+                        let label = head.map(|k| k.label()).unwrap_or_default();
+                        let detail = match head {
                             Some(CmdKind::EventWait(e, _))
                                 if !self.events[e.0 as usize].enqueued =>
                             {
@@ -1716,25 +1850,161 @@ impl Gpu {
             };
             debug_assert!(t >= self.now, "time must be monotone");
             self.now = self.now.max(t);
-            // Complete work due at the new time by popping the calendar,
-            // which yields `(end, seq)` order — deterministic functional
-            // execution without rescanning engine slots.
-            while let Some(&Reverse((end, seq))) = self.calendar.peek() {
+            // Complete work due at the new time by draining the
+            // per-engine in-flight tails in global `(end, seq)` order —
+            // deterministic functional execution with an O(1) three-way
+            // compare per retirement.
+            loop {
+                let mut best: Option<(SimTime, u64, usize)> = None;
+                for e in 0..3 {
+                    if let Some(&(end, seq)) = self.inflight[e].last() {
+                        if best.is_none_or(|(be, bs, _)| (end, seq) < (be, bs)) {
+                            best = Some((end, seq, e));
+                        }
+                    }
+                }
+                let Some((end, seq, e)) = best else { break };
                 if end > self.now {
                     break;
                 }
-                self.calendar.pop();
-                let running = self
-                    .running
-                    .remove(&seq)
-                    .expect("calendar entry has a running command");
-                self.complete(running)?;
+                self.inflight[e].pop();
+                self.complete(seq, end)?;
                 // A command-count loss trigger fires on the retirement
                 // that reaches its threshold.
                 self.poll_loss()?;
             }
         }
     }
+}
+
+// ----------------------------------------------------------------------
+// Cold error constructors. Out of line so validation happy paths compile
+// to bounds comparisons plus a branch to a cold stub — no `format!`
+// machinery inline (same convention as `mem.rs`).
+// ----------------------------------------------------------------------
+
+#[cold]
+#[inline(never)]
+fn err_stream_destroyed(s: StreamId) -> SimError {
+    SimError::InvalidHandle(format!("stream {} was destroyed", s.0))
+}
+
+#[cold]
+#[inline(never)]
+fn err_bad_stream(s: StreamId) -> SimError {
+    SimError::InvalidHandle(format!("stream {}", s.0))
+}
+
+#[cold]
+#[inline(never)]
+fn err_bad_event(e: EventId) -> SimError {
+    SimError::InvalidHandle(format!("event {}", e.0))
+}
+
+#[cold]
+#[inline(never)]
+fn err_zero_copy() -> SimError {
+    SimError::InvalidArgument("zero-length copy".into())
+}
+
+#[cold]
+#[inline(never)]
+fn err_copy_host_oob(host: HostBufId, end: usize, len: usize) -> SimError {
+    SimError::OutOfRange {
+        what: format!("host range of copy ({host:?})"),
+        end,
+        len,
+    }
+}
+
+#[cold]
+#[inline(never)]
+fn err_copy_dev_oob(alloc: DevAllocId, end: usize, len: usize) -> SimError {
+    SimError::OutOfRange {
+        what: format!("device range of copy ({alloc:?})"),
+        end,
+        len,
+    }
+}
+
+#[cold]
+#[inline(never)]
+fn err_zero_copy_2d() -> SimError {
+    SimError::InvalidArgument("zero-size 2D copy".into())
+}
+
+#[cold]
+#[inline(never)]
+fn err_copy_stride_2d(row_elems: usize, host_stride: usize, dev_stride: usize) -> SimError {
+    SimError::InvalidArgument(format!(
+        "2D copy stride smaller than row: row={row_elems}, host_stride={host_stride}, dev_stride={dev_stride}"
+    ))
+}
+
+#[cold]
+#[inline(never)]
+fn err_copy_host_oob_2d(host: HostBufId, end: usize, len: usize) -> SimError {
+    SimError::OutOfRange {
+        what: format!("host range of 2D copy ({host:?})"),
+        end,
+        len,
+    }
+}
+
+#[cold]
+#[inline(never)]
+fn err_copy_dev_oob_2d(alloc: DevAllocId, end: usize, len: usize) -> SimError {
+    SimError::OutOfRange {
+        what: format!("device range of 2D copy ({alloc:?})"),
+        end,
+        len,
+    }
+}
+
+#[cold]
+#[inline(never)]
+fn err_no_body(name: &str) -> SimError {
+    SimError::InvalidArgument(format!(
+        "kernel '{name}' has no functional body but the context is in functional mode"
+    ))
+}
+
+#[cold]
+#[inline(never)]
+fn err_zero_memset() -> SimError {
+    SimError::InvalidArgument("zero-length memset".into())
+}
+
+#[cold]
+#[inline(never)]
+fn err_memset_oob(dst: DevPtr, end: usize, len: usize) -> SimError {
+    SimError::OutOfRange {
+        what: format!("memset at {:?}+{}", dst.alloc_id(), dst.offset),
+        end,
+        len,
+    }
+}
+
+#[cold]
+#[inline(never)]
+fn err_zero_d2d() -> SimError {
+    SimError::InvalidArgument("zero-length D2D copy".into())
+}
+
+#[cold]
+#[inline(never)]
+fn err_d2d_oob(what: &str, p: DevPtr, end: usize, len: usize) -> SimError {
+    SimError::OutOfRange {
+        what: format!("D2D {what} at {:?}+{}", p.alloc_id(), p.offset),
+        end,
+        len,
+    }
+}
+
+#[cold]
+#[inline(never)]
+fn err_d2d_overlap() -> SimError {
+    SimError::InvalidArgument("overlapping same-allocation D2D copy".into())
 }
 
 #[cfg(test)]

@@ -357,7 +357,7 @@ mod tests {
         enqueue: u64,
     ) -> TimelineEntry {
         TimelineEntry {
-            label: format!("{kind:?}@{start}"),
+            label: format!("{kind:?}@{start}").into(),
             kind,
             stream: 0,
             start_ns: start,

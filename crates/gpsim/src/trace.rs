@@ -318,7 +318,7 @@ mod tests {
 
     fn entry(kind: TimelineKind, stream: usize, start: u64, end: u64) -> TimelineEntry {
         TimelineEntry {
-            label: format!("{kind:?}@{start}"),
+            label: format!("{kind:?}@{start}").into(),
             kind,
             stream,
             start_ns: start,

@@ -1,0 +1,200 @@
+//! Deterministic tests of the per-engine calendar: ties on the clock
+//! must always break by global enqueue sequence number (stream-FIFO
+//! preserving), and the per-engine head index must survive the two
+//! drain paths — supervisor-declared loss and hang escalation — without
+//! desyncing from the stream queues (the `debug_assert`s inside
+//! `refresh_head`/`try_dispatch` fire in these builds if it does).
+
+use gpsim::{
+    DeviceProfile, ExecMode, Gpu, KernelCost, KernelLaunch, LossCause, SimError, SimTime,
+    StreamId, TimelineKind,
+};
+
+fn uniform(max_kernels: usize) -> Gpu {
+    let mut p = DeviceProfile::uniform_test();
+    p.max_concurrent_kernels = max_kernels;
+    Gpu::new(p, ExecMode::Timing).unwrap()
+}
+
+/// Four equal copies on four streams, enqueued in the stream order
+/// [2, 0, 3, 1], all ready at t = 0 (the uniform profile has zero API
+/// overhead). The cap-1 H2D engine must serialize them in *global
+/// enqueue order* — not stream-id order, not arrival jitter.
+#[test]
+fn equal_ready_copies_dispatch_in_enqueue_seq_order() {
+    let mut g = uniform(1);
+    let streams: Vec<StreamId> = (0..4).map(|_| g.create_stream().unwrap()).collect();
+    let dev = g.alloc(1024).unwrap();
+    let host = g.alloc_host(1024, true).unwrap();
+
+    let order = [2usize, 0, 3, 1];
+    for &s in &order {
+        g.memcpy_h2d_async(streams[s], host, 0, dev, 256).unwrap();
+    }
+    g.synchronize().unwrap();
+
+    let tl: Vec<_> = g
+        .timeline()
+        .iter()
+        .filter(|t| t.kind == TimelineKind::H2D)
+        .collect();
+    assert_eq!(tl.len(), 4);
+    // Retirement (= timeline push) order is ascending seq, and because
+    // every copy was ready at t = 0, so is the execution order on the
+    // engine: each copy starts exactly when its predecessor ends.
+    for w in tl.windows(2) {
+        assert!(w[0].seq < w[1].seq, "retired out of seq order: {w:?}");
+        assert_eq!(
+            w[0].end_ns, w[1].start_ns,
+            "cap-1 engine left a gap between equal-ready copies"
+        );
+    }
+    // Enqueue order == seq order, so the engine served streams 2,0,3,1.
+    let served: Vec<usize> = tl.iter().map(|t| t.stream - 1).collect();
+    assert_eq!(served, order.to_vec());
+}
+
+/// Four identical kernels on four Hyper-Q slots start together and end
+/// on the *same* timestamp; the in-flight calendar must still retire
+/// them in ascending sequence order — `(end, seq)` ties break by seq.
+#[test]
+fn same_timestamp_completions_retire_in_seq_order() {
+    let mut g = uniform(4);
+    let streams: Vec<StreamId> = (0..4).map(|_| g.create_stream().unwrap()).collect();
+    for &s in &streams {
+        g.launch(
+            s,
+            KernelLaunch::cost_only(
+                "tie",
+                KernelCost {
+                    flops: 1_000_000,
+                    bytes: 0,
+                },
+            ),
+        )
+        .unwrap();
+    }
+    g.synchronize().unwrap();
+
+    let tl = g.timeline();
+    assert_eq!(tl.len(), 4);
+    assert!(
+        tl.iter().all(|t| t.start_ns == tl[0].start_ns && t.end_ns == tl[0].end_ns),
+        "kernels did not run fully concurrent: {tl:?}"
+    );
+    for w in tl.windows(2) {
+        assert!(
+            w[0].seq < w[1].seq,
+            "same-timestamp completions retired out of seq order: {w:?}"
+        );
+    }
+}
+
+/// Declared device loss mid-pipeline drains every queue (including
+/// pseudo event commands) through `refresh_head`; afterwards the head
+/// index is empty and consistent: synchronize succeeds trivially, every
+/// unretired engine command surfaced as a DeviceLost failure, and new
+/// enqueues are rejected without corrupting the drained state.
+#[test]
+fn declared_loss_drains_queues_and_keeps_head_index_consistent() {
+    let mut g = Gpu::new(DeviceProfile::k40m(), ExecMode::Timing).unwrap();
+    let streams: Vec<StreamId> = (0..3).map(|_| g.create_stream().unwrap()).collect();
+    let dev = g.alloc(4096).unwrap();
+    let host = g.alloc_host(4096, true).unwrap();
+    let ev = g.create_event();
+
+    // Deep mixed queues with a cross-stream event edge, so the drain
+    // walks engine heads *and* the pseudo-head worklist.
+    let mut engine_cmds = 0u64;
+    for chunk in 0..4 {
+        for &s in &streams {
+            g.memcpy_h2d_async(s, host, 0, dev, 512).unwrap();
+            g.launch(
+                s,
+                KernelLaunch::cost_only(
+                    "work",
+                    KernelCost {
+                        flops: 50_000_000,
+                        bytes: 0,
+                    },
+                ),
+            )
+            .unwrap();
+            engine_cmds += 2;
+        }
+        if chunk == 0 {
+            g.record_event(streams[0], ev).unwrap();
+            g.wait_event(streams[2], ev).unwrap();
+        }
+    }
+    // Retire the first stream's work so the loss hits a half-run
+    // pipeline: some commands retired, some in flight, some queued.
+    g.stream_synchronize(streams[0]).unwrap();
+    let retired_before = g.health().retired;
+    assert!(retired_before > 0, "nothing retired before the loss");
+
+    g.declare_device_lost();
+
+    let (at, cause) = g.device_lost().expect("loss state set");
+    assert_eq!(cause, LossCause::Declared);
+    let h = g.health();
+    assert_eq!(h.in_flight, 0, "drain left in-flight work");
+    assert_eq!(h.queued, 0, "drain left queued work");
+    assert_eq!(h.retired, retired_before, "drain must not retire work");
+
+    // Every unretired *engine* command failed with DeviceLost at the
+    // loss instant; pseudo event commands are dropped silently.
+    let failures = g.take_failures();
+    assert_eq!(failures.len() as u64, engine_cmds - retired_before);
+    for f in &failures {
+        assert!(matches!(f.error, SimError::DeviceLost), "{f:?}");
+        assert_eq!(f.end, at);
+    }
+
+    // The context is drained: synchronize succeeds trivially...
+    g.synchronize().unwrap();
+    // ...and later enqueues are rejected cleanly, leaving it drained.
+    let err = g.memcpy_h2d_async(streams[1], host, 0, dev, 16).unwrap_err();
+    assert!(matches!(err, SimError::DeviceLost), "{err:?}");
+    assert_eq!(g.health().queued, 0);
+    g.synchronize().unwrap();
+}
+
+/// Hang escalation is the other drain path: injected hangs wedge their
+/// engine slots, the (zero-grace) watchdog escalates to loss, and the
+/// drain must release every slot and hung record while the head index
+/// stays in sync.
+#[test]
+fn hang_escalation_drains_hung_slots() {
+    let mut g = uniform(1);
+    g.set_fault_plan(Some(gpsim::FaultPlan::seeded(7).hang_rate(1.0)));
+    g.set_hang_watchdog(None);
+    let streams: Vec<StreamId> = (0..2).map(|_| g.create_stream().unwrap()).collect();
+    for &s in &streams {
+        g.launch(
+            s,
+            KernelLaunch::cost_only(
+                "wedge",
+                KernelCost {
+                    flops: 1_000,
+                    bytes: 0,
+                },
+            ),
+        )
+        .unwrap();
+    }
+    let err = g.synchronize().unwrap_err();
+    assert!(matches!(err, SimError::DeviceLost), "{err:?}");
+    let (_, cause) = g.device_lost().expect("loss state set");
+    assert_eq!(cause, LossCause::HangEscalated);
+    assert_eq!(g.hung_commands(), 0, "drain left hung records");
+    let h = g.health();
+    assert_eq!((h.in_flight, h.queued), (0, 0));
+    // Both wedged kernels surfaced as DeviceLost failures.
+    let failures = g.take_failures();
+    assert_eq!(failures.len(), 2);
+    assert!(failures.iter().all(|f| matches!(f.error, SimError::DeviceLost)));
+    // Post-drain the context stays quiescent.
+    g.synchronize().unwrap();
+    assert_eq!(g.now(), g.now().max(SimTime::ZERO));
+}
