@@ -11,7 +11,8 @@ use std::fs;
 use std::path::PathBuf;
 
 use pipeline_bench::{
-    ablate, failover, faults, fig3, fig4, fig56, fig7, fig8, fig910, fleet, header, perf, trace,
+    ablate, failover, faults, fig3, fig4, fig56, fig7, fig8, fig910, fleet, header, model, perf,
+    trace,
 };
 
 fn main() {
@@ -61,7 +62,7 @@ fn main() {
     };
     const KNOWN: &[&str] = &[
         "all", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
-        "future", "ablations", "perf", "trace", "faults", "failover", "fleet",
+        "future", "ablations", "perf", "model", "trace", "faults", "failover", "fleet",
     ];
     for a in &args {
         if !KNOWN.contains(&a.as_str()) {
@@ -244,6 +245,31 @@ fn main() {
                 .expect("write BENCH_sim.json");
         }
         eprintln!("wrote BENCH_sim.json");
+    }
+    if want("model") {
+        header(if smoke {
+            "Cost-model accuracy — predicted vs simulated makespan, smoke grid"
+        } else {
+            "Cost-model accuracy — predicted vs simulated makespan (fig4 + fig8 grids)"
+        });
+        let rep = model::run(smoke);
+        model::print(&rep);
+        write_csv("model.csv", model::csv(&rep));
+        // Merge into BENCH_sim.json rather than overwrite: `figures perf`
+        // writes the sweep/functional sections of the same file.
+        let existing = fs::read_to_string("BENCH_sim.json").unwrap_or_default();
+        let merged = model::upsert_key(&existing, "model", &model::json(&rep));
+        fs::write("BENCH_sim.json", merged).expect("write BENCH_sim.json");
+        eprintln!("wrote BENCH_sim.json (model section)");
+        let med = rep.median_err();
+        if med > model::MAX_MEDIAN_ERR {
+            eprintln!(
+                "cost-model accuracy regression: median error {:.1}% exceeds the {:.0}% gate",
+                med * 100.0,
+                model::MAX_MEDIAN_ERR * 100.0
+            );
+            std::process::exit(1);
+        }
     }
     if want("faults") {
         header(if smoke {

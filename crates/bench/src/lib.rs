@@ -20,6 +20,7 @@
 //! | [`perf`]  | Sweep-engine throughput (serial vs parallel wall-clock) |
 //! | [`faults`]| Overhead of resilience: recovery cost vs fault rate |
 //! | [`failover`]| Multi-GPU device-loss failover + straggler rebalancing |
+//! | [`model`] | Analytic cost-model accuracy vs the DES (fig4 + fig8 grids) |
 //!
 //! Harness `run()` functions fan their independent trials over the
 //! [`pipeline_rt::sweep_map`] worker pool; set `DBPP_SWEEP_THREADS=1`
@@ -44,6 +45,7 @@ pub mod fig8;
 pub mod fig910;
 pub mod fleet;
 pub mod future_hw;
+pub mod model;
 pub mod perf;
 pub mod trace;
 

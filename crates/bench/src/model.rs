@@ -1,0 +1,556 @@
+//! Model validation — analytic cost-model predictions vs the DES, over
+//! the Figure 4 (K40m QCD chunk×stream grid) and Figure 8 (HD 7970
+//! chunk-count sweep) cells.
+//!
+//! Every row pairs one [`CostModel::predict`] estimate with the measured
+//! makespan of the same configuration simulated end-to-end, and reports
+//! the relative error. The `figures model [--smoke]` subcommand prints
+//! the table, merges a `"model"` section into `BENCH_sim.json`, and
+//! exits non-zero when the median error exceeds [`MAX_MEDIAN_ERR`] — the
+//! committed accuracy floor that makes the O(1) model-based autotuner
+//! trustworthy as the default strategy.
+
+use pipeline_apps::{Conv3dConfig, QcdConfig, StencilConfig};
+use pipeline_rt::{
+    run_model, run_model_online, sweep_map, CostModel, ExecModel, RunOptions, TuneSpace,
+};
+
+use crate::{gpu_hd7970, gpu_k40m};
+
+/// Committed accuracy floor: the median relative makespan error across
+/// the fig4 + fig8 grids must stay at or below this. CI gates on it.
+pub const MAX_MEDIAN_ERR: f64 = 0.15;
+
+/// One predicted-vs-measured cell.
+#[derive(Debug, Clone)]
+pub struct ModelRow {
+    /// Benchmark the cell came from.
+    pub bench: &'static str,
+    /// Simulated device profile.
+    pub device: &'static str,
+    /// Execution model label.
+    pub exec: &'static str,
+    /// Chunk size of the schedule.
+    pub chunk: usize,
+    /// Stream count of the schedule.
+    pub streams: usize,
+    /// The analytic model's makespan estimate, milliseconds.
+    pub predicted_ms: f64,
+    /// The DES-measured makespan, milliseconds.
+    pub measured_ms: f64,
+}
+
+impl ModelRow {
+    /// Relative makespan error, `|pred - meas| / meas`.
+    pub fn rel_err(&self) -> f64 {
+        (self.predicted_ms - self.measured_ms).abs() / self.measured_ms.max(1e-12)
+    }
+}
+
+/// Summary of one online-adaptation demo run (`run_model_online`): the
+/// model picks a schedule, runs, feeds the stall attributor's verdict
+/// back, and re-picks when the verdict contradicts the plan.
+#[derive(Debug, Clone)]
+pub struct OnlineSummary {
+    /// Iterations executed.
+    pub iters: usize,
+    /// Iterations that triggered a schedule re-pick.
+    pub replans: usize,
+    /// Iterations that replayed a cached compiled plan.
+    pub plan_reuses: usize,
+    /// Total measured time across the iterations, milliseconds.
+    pub total_ms: f64,
+    /// Human-readable final schedule.
+    pub final_schedule: String,
+}
+
+/// Everything the `figures model` subcommand reports.
+#[derive(Debug, Clone)]
+pub struct ModelReport {
+    /// Whether the smoke shapes were used.
+    pub smoke: bool,
+    /// Prediction-error rows over the fig4 + fig8 cells.
+    pub rows: Vec<ModelRow>,
+    /// The online-adaptation demo.
+    pub online: OnlineSummary,
+}
+
+impl ModelReport {
+    /// Median relative error across all rows.
+    pub fn median_err(&self) -> f64 {
+        median(&mut self.rows.iter().map(ModelRow::rel_err).collect::<Vec<_>>())
+    }
+}
+
+fn median(errs: &mut [f64]) -> f64 {
+    if errs.is_empty() {
+        return 0.0;
+    }
+    errs.sort_by(f64::total_cmp);
+    let n = errs.len();
+    if n % 2 == 1 {
+        errs[n / 2]
+    } else {
+        0.5 * (errs[n / 2 - 1] + errs[n / 2])
+    }
+}
+
+/// The AMD benchmarks of Figure 8, with the same shapes `fig8` uses
+/// (smoke: same plane sizes, shorter split dimensions).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AmdBench {
+    Conv3d,
+    Stencil,
+}
+
+impl AmdBench {
+    fn name(self) -> &'static str {
+        match self {
+            AmdBench::Conv3d => "3dconv",
+            AmdBench::Stencil => "stencil",
+        }
+    }
+
+    fn conv_cfg(smoke: bool) -> Conv3dConfig {
+        Conv3dConfig {
+            ni: 768,
+            nj: 768,
+            nk: if smoke { 34 } else { 256 },
+            chunk: 1,
+            streams: 3,
+        }
+    }
+
+    fn stencil_cfg(smoke: bool) -> StencilConfig {
+        StencilConfig {
+            nz: if smoke { 34 } else { 512 },
+            ..StencilConfig::parboil_default()
+        }
+    }
+
+    fn iters(self, smoke: bool) -> usize {
+        match self {
+            AmdBench::Conv3d => Self::conv_cfg(smoke).nk - 2,
+            AmdBench::Stencil => Self::stencil_cfg(smoke).nz - 2,
+        }
+    }
+}
+
+/// One cell of the validation grid.
+#[derive(Debug, Clone, Copy)]
+enum Cell {
+    /// Figure 4: QCD pipelined-buffer on the K40m.
+    Qcd { n: usize, chunk: usize, streams: usize },
+    /// Figure 8: conv3d/stencil on the HD 7970. `n_chunks == 0` marks
+    /// the default chunking (one iteration per chunk).
+    Amd { bench: AmdBench, exec: ExecModel, n_chunks: usize },
+}
+
+fn exec_label(exec: ExecModel) -> &'static str {
+    match exec {
+        ExecModel::Naive => "naive",
+        ExecModel::Pipelined => "pipelined",
+        _ => "pipelined_buffer",
+    }
+}
+
+fn run_cell(cell: Cell, smoke: bool) -> ModelRow {
+    match cell {
+        Cell::Qcd { n, chunk, streams } => {
+            let mut gpu = gpu_k40m();
+            let mut cfg = QcdConfig::paper_size(n);
+            cfg.chunk = chunk;
+            cfg.streams = streams;
+            let inst = cfg.setup(&mut gpu).expect("qcd setup");
+            let builder = cfg.builder();
+            let model = CostModel::new(&gpu, &inst.region, &builder).expect("cost model");
+            let pred = model
+                .predict(ExecModel::PipelinedBuffer, chunk, streams)
+                .expect("predict");
+            let rep = run_model(
+                &mut gpu,
+                &inst.region,
+                &builder,
+                ExecModel::PipelinedBuffer,
+                &RunOptions::default(),
+            )
+            .expect("qcd run");
+            ModelRow {
+                bench: "qcd",
+                device: "k40m",
+                exec: exec_label(ExecModel::PipelinedBuffer),
+                chunk,
+                streams,
+                predicted_ms: pred.total.as_ms_f64(),
+                measured_ms: rep.total.as_ms_f64(),
+            }
+        }
+        Cell::Amd { bench, exec, n_chunks } => {
+            let iters = bench.iters(smoke);
+            let requested = if n_chunks == 0 { iters } else { n_chunks };
+            let chunk = iters.div_ceil(requested);
+            let streams = 3;
+            let mut gpu = gpu_hd7970();
+            let (pred, rep) = match bench {
+                AmdBench::Conv3d => {
+                    let mut cfg = AmdBench::conv_cfg(smoke);
+                    cfg.chunk = chunk;
+                    cfg.streams = streams;
+                    let inst = cfg.setup(&mut gpu).expect("conv3d setup");
+                    let builder = cfg.builder();
+                    let model =
+                        CostModel::new(&gpu, &inst.region, &builder).expect("cost model");
+                    let pred = model.predict(exec, chunk, streams).expect("predict");
+                    let rep = run_model(&mut gpu, &inst.region, &builder, exec, &RunOptions::default())
+                        .expect("conv3d run");
+                    (pred, rep)
+                }
+                AmdBench::Stencil => {
+                    let mut cfg = AmdBench::stencil_cfg(smoke);
+                    cfg.chunk = chunk;
+                    cfg.streams = streams;
+                    let inst = cfg.setup(&mut gpu).expect("stencil setup");
+                    let builder = cfg.builder();
+                    let model =
+                        CostModel::new(&gpu, &inst.region, &builder).expect("cost model");
+                    let pred = model.predict(exec, chunk, streams).expect("predict");
+                    let rep = run_model(&mut gpu, &inst.region, &builder, exec, &RunOptions::default())
+                        .expect("stencil run");
+                    (pred, rep)
+                }
+            };
+            ModelRow {
+                bench: bench.name(),
+                device: "hd7970",
+                exec: exec_label(exec),
+                chunk,
+                streams,
+                predicted_ms: pred.total.as_ms_f64(),
+                measured_ms: rep.total.as_ms_f64(),
+            }
+        }
+    }
+}
+
+fn grid(smoke: bool) -> Vec<Cell> {
+    let mut cells = Vec::new();
+    // Figure 4 grid: chunk sizes × stream counts, QCD pipelined-buffer.
+    let (n, chunks, streams): (usize, &[usize], &[usize]) = if smoke {
+        (12, &[1, 4], &[1, 3])
+    } else {
+        (36, &[1, 2, 4, 8], &[1, 2, 3, 4, 5])
+    };
+    for &c in chunks {
+        for &s in streams {
+            cells.push(Cell::Qcd { n, chunk: c, streams: s });
+        }
+    }
+    // Figure 8 sweep: per benchmark, one Naive reference plus a
+    // Pipelined row per chunk count (0 = default, one iter per chunk).
+    let counts: &[usize] = if smoke {
+        &[2, 8, 0]
+    } else {
+        &[2, 3, 4, 5, 6, 7, 8, 9, 10, 20, 50, 0]
+    };
+    for bench in [AmdBench::Conv3d, AmdBench::Stencil] {
+        cells.push(Cell::Amd { bench, exec: ExecModel::Naive, n_chunks: 2 });
+        for &nc in counts {
+            cells.push(Cell::Amd { bench, exec: ExecModel::Pipelined, n_chunks: nc });
+        }
+    }
+    cells
+}
+
+fn run_online_demo(smoke: bool) -> OnlineSummary {
+    let mut gpu = gpu_k40m();
+    let cfg = QcdConfig::paper_size(if smoke { 8 } else { 24 });
+    let inst = cfg.setup(&mut gpu).expect("qcd setup");
+    let builder = cfg.builder();
+    let space = TuneSpace::default();
+    let iters = 4;
+    let rep = run_model_online(&mut gpu, &inst.region, &builder, &space, iters)
+        .expect("online loop");
+    OnlineSummary {
+        iters: rep.steps.len(),
+        replans: rep.replans(),
+        plan_reuses: rep.steps.iter().filter(|s| s.plan_reused).count(),
+        total_ms: rep.total().as_ms_f64(),
+        final_schedule: format!("{:?}", rep.final_schedule),
+    }
+}
+
+/// Run the full validation grid (or the smoke subset) plus the online
+/// demo. Cells fan out over the sweep pool.
+pub fn run(smoke: bool) -> ModelReport {
+    let cells = grid(smoke);
+    let rows = sweep_map(cells.len(), |i| run_cell(cells[i], smoke));
+    let online = run_online_demo(smoke);
+    ModelReport { smoke, rows, online }
+}
+
+/// Print the validation table and the online-demo summary.
+pub fn print(rep: &ModelReport) {
+    println!(
+        "{:<8} {:<8} {:<17} {:>6} {:>8} {:>13} {:>12} {:>8}",
+        "bench", "device", "model", "chunk", "streams", "predicted ms", "measured ms", "err"
+    );
+    for r in &rep.rows {
+        println!(
+            "{:<8} {:<8} {:<17} {:>6} {:>8} {:>13.3} {:>12.3} {:>7.1}%",
+            r.bench,
+            r.device,
+            r.exec,
+            r.chunk,
+            r.streams,
+            r.predicted_ms,
+            r.measured_ms,
+            r.rel_err() * 100.0
+        );
+    }
+    println!(
+        "\nmedian error {:.1}% over {} cells (gate: {:.0}%)",
+        rep.median_err() * 100.0,
+        rep.rows.len(),
+        MAX_MEDIAN_ERR * 100.0
+    );
+    let o = &rep.online;
+    println!(
+        "online demo: {} iters, {} replans, {} plan reuses, {:.3} ms total, final {}",
+        o.iters, o.replans, o.plan_reuses, o.total_ms, o.final_schedule
+    );
+}
+
+/// CSV of the validation rows.
+pub fn csv(rep: &ModelReport) -> String {
+    let mut s = String::from("bench,device,model,chunk,streams,predicted_ms,measured_ms,rel_err\n");
+    for r in &rep.rows {
+        s.push_str(&format!(
+            "{},{},{},{},{},{:.6},{:.6},{:.6}\n",
+            r.bench, r.device, r.exec, r.chunk, r.streams, r.predicted_ms, r.measured_ms,
+            r.rel_err()
+        ));
+    }
+    s
+}
+
+/// The `"model"` section value merged into `BENCH_sim.json`.
+pub fn json(rep: &ModelReport) -> String {
+    let mut rows = String::new();
+    for (i, r) in rep.rows.iter().enumerate() {
+        if i > 0 {
+            rows.push(',');
+        }
+        rows.push_str(&format!(
+            "\n    {{ \"bench\": \"{}\", \"device\": \"{}\", \"model\": \"{}\", \"chunk\": {}, \"streams\": {}, \"predicted_ms\": {:.6}, \"measured_ms\": {:.6}, \"rel_err\": {:.6} }}",
+            r.bench, r.device, r.exec, r.chunk, r.streams, r.predicted_ms, r.measured_ms,
+            r.rel_err()
+        ));
+    }
+    let o = &rep.online;
+    format!(
+        "{{\n  \"smoke\": {},\n  \"cells\": {},\n  \"median_rel_err\": {:.6},\n  \"max_median_err\": {MAX_MEDIAN_ERR},\n  \"online\": {{ \"iters\": {}, \"replans\": {}, \"plan_reuses\": {}, \"total_ms\": {:.6}, \"final_schedule\": \"{}\" }},\n  \"rows\": [{rows}\n  ]\n}}",
+        rep.smoke,
+        rep.rows.len(),
+        rep.median_err(),
+        o.iters,
+        o.replans,
+        o.plan_reuses,
+        o.total_ms,
+        o.final_schedule
+    )
+}
+
+/// Insert or replace top-level key `key` of JSON object `doc` with
+/// `value` (itself a serialized JSON value), preserving every other key
+/// byte-for-byte. `figures model` uses this to merge its section into a
+/// `BENCH_sim.json` that `figures perf` wrote wholesale. A `doc` that is
+/// not a JSON object is replaced by a fresh object holding only `key`.
+pub fn upsert_key(doc: &str, key: &str, value: &str) -> String {
+    if gpsim::json::parse(doc).is_err() || !doc.trim_start().starts_with('{') {
+        return format!("{{\n  \"{key}\": {value}\n}}\n");
+    }
+    if let Some((start, end)) = find_top_level_value(doc, key) {
+        let mut out = String::with_capacity(doc.len() + value.len());
+        out.push_str(&doc[..start]);
+        out.push_str(value);
+        out.push_str(&doc[end..]);
+        return out;
+    }
+    // Key absent: splice it in before the closing brace of the object.
+    let close = doc.rfind('}').expect("object close");
+    let body = &doc[doc.find('{').map(|i| i + 1).unwrap_or(0)..close];
+    let sep = if body.trim().is_empty() { "" } else { "," };
+    format!(
+        "{}{sep}\n  \"{key}\": {value}\n{}",
+        doc[..close].trim_end(),
+        &doc[close..]
+    )
+}
+
+/// Byte span of the value of top-level `key` in a valid JSON object, or
+/// `None` when absent. String-aware and depth-aware: keys nested inside
+/// other objects or arrays never match.
+fn find_top_level_value(doc: &str, key: &str) -> Option<(usize, usize)> {
+    let b = doc.as_bytes();
+    let mut depth = 0usize;
+    let mut i = 0usize;
+    while i < b.len() {
+        match b[i] {
+            b'"' => {
+                let (s, e) = scan_string(b, i);
+                if depth == 1 && &doc[s + 1..e - 1] == key {
+                    // Is this string a key (followed by ':')?
+                    let mut j = e;
+                    while j < b.len() && b[j].is_ascii_whitespace() {
+                        j += 1;
+                    }
+                    if j < b.len() && b[j] == b':' {
+                        j += 1;
+                        while j < b.len() && b[j].is_ascii_whitespace() {
+                            j += 1;
+                        }
+                        return Some((j, scan_value(b, j)));
+                    }
+                }
+                i = e;
+            }
+            b'{' | b'[' => {
+                depth += 1;
+                i += 1;
+            }
+            b'}' | b']' => {
+                depth = depth.saturating_sub(1);
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    None
+}
+
+/// End index (exclusive) of the string literal starting at `b[at] == '"'`,
+/// honouring backslash escapes. Returns `(start, end)`.
+fn scan_string(b: &[u8], at: usize) -> (usize, usize) {
+    let mut i = at + 1;
+    while i < b.len() {
+        match b[i] {
+            b'\\' => i += 2,
+            b'"' => return (at, i + 1),
+            _ => i += 1,
+        }
+    }
+    (at, b.len())
+}
+
+/// End index (exclusive) of the JSON value starting at `b[at]`.
+fn scan_value(b: &[u8], at: usize) -> usize {
+    match b[at] {
+        b'"' => scan_string(b, at).1,
+        b'{' | b'[' => {
+            let mut depth = 0usize;
+            let mut i = at;
+            while i < b.len() {
+                match b[i] {
+                    b'"' => i = scan_string(b, i).1,
+                    b'{' | b'[' => {
+                        depth += 1;
+                        i += 1;
+                    }
+                    b'}' | b']' => {
+                        depth -= 1;
+                        i += 1;
+                        if depth == 0 {
+                            return i;
+                        }
+                    }
+                    _ => i += 1,
+                }
+            }
+            b.len()
+        }
+        _ => {
+            // Scalar: runs to the next comma or close at this level.
+            let mut i = at;
+            while i < b.len() && !matches!(b[i], b',' | b'}' | b']') {
+                i += 1;
+            }
+            while i > at && b[i - 1].is_ascii_whitespace() {
+                i -= 1;
+            }
+            i
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_grid_meets_the_error_gate() {
+        let rep = run(true);
+        assert!(rep.rows.len() >= 10, "rows: {}", rep.rows.len());
+        for r in &rep.rows {
+            assert!(r.measured_ms > 0.0, "{r:?}");
+            assert!(r.predicted_ms > 0.0, "{r:?}");
+        }
+        let med = rep.median_err();
+        assert!(
+            med <= MAX_MEDIAN_ERR,
+            "median model error {:.1}% exceeds the {:.0}% gate",
+            med * 100.0,
+            MAX_MEDIAN_ERR * 100.0
+        );
+        assert_eq!(rep.online.iters, 4);
+        assert!(rep.online.plan_reuses > 0, "{:?}", rep.online);
+        let json = json(&rep);
+        let parsed = gpsim::json::parse(&json).expect("model JSON parses");
+        assert!(parsed.get("median_rel_err").is_some());
+        assert!(parsed.get("rows").and_then(|r| r.as_arr()).is_some());
+        let csv = csv(&rep);
+        assert_eq!(csv.lines().count(), rep.rows.len() + 1);
+    }
+
+    #[test]
+    fn upsert_preserves_other_keys() {
+        let doc = "{\n  \"sweep\": { \"a\": [1, 2, \"x}y\"] },\n  \"functional\": []\n}\n";
+        // Insert a new key.
+        let merged = upsert_key(doc, "model", "{ \"median_rel_err\": 0.1 }");
+        let parsed = gpsim::json::parse(&merged).expect("merged parses");
+        assert!(parsed.get("sweep").is_some());
+        assert!(parsed.get("functional").is_some());
+        assert_eq!(
+            parsed
+                .get("model")
+                .and_then(|m| m.get("median_rel_err"))
+                .and_then(|v| v.as_f64()),
+            Some(0.1)
+        );
+        // Replace it.
+        let merged2 = upsert_key(&merged, "model", "{ \"median_rel_err\": 0.2 }");
+        let parsed2 = gpsim::json::parse(&merged2).expect("re-merged parses");
+        assert_eq!(
+            parsed2
+                .get("model")
+                .and_then(|m| m.get("median_rel_err"))
+                .and_then(|v| v.as_f64()),
+            Some(0.2)
+        );
+        assert!(parsed2.get("sweep").is_some());
+        // Nested keys with the same name never match.
+        let doc3 = "{ \"outer\": { \"model\": 1 } }";
+        let merged3 = upsert_key(doc3, "model", "2");
+        let parsed3 = gpsim::json::parse(&merged3).expect("parses");
+        assert_eq!(
+            parsed3.get("outer").and_then(|o| o.get("model")).and_then(|v| v.as_f64()),
+            Some(1.0)
+        );
+        assert_eq!(parsed3.get("model").and_then(|v| v.as_f64()), Some(2.0));
+        // Garbage input is replaced wholesale.
+        let fresh = upsert_key("not json", "model", "3");
+        assert_eq!(
+            gpsim::json::parse(&fresh).unwrap().get("model").and_then(|v| v.as_f64()),
+            Some(3.0)
+        );
+    }
+}

@@ -13,11 +13,13 @@
 //! produce identical simulations — the harness asserts the per-cell
 //! command counts match before reporting.
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use pipeline_apps::{conv3d, matmul, qcd, stencil, QcdConfig};
 use pipeline_rt::{
-    run_model, sweep_map_threads, sweep_threads, ExecModel, RunOptions, Stage, StageMetrics,
+    compile_plan, run_model, sweep_map_threads, sweep_threads, BufferOptions, CompiledPlan,
+    ExecModel, RunOptions, Stage, StageMetrics,
 };
 
 use crate::gpu_k40m;
@@ -41,10 +43,19 @@ pub struct PerfReport {
     pub threads: usize,
     /// Total device commands simulated in one pass over the grid.
     pub commands: u64,
+    /// Physical cores of the measuring host (`available_parallelism`).
+    /// In a 1-core CI container the parallel pass degenerates to serial
+    /// and `speedup` reads ≈1; compare `commands_per_sec` per core
+    /// across hosts instead.
+    pub host_cores: usize,
     /// Wall-clock of the serial pass, milliseconds.
     pub serial_ms: f64,
-    /// Wall-clock of the parallel pass, milliseconds.
+    /// Wall-clock of the parallel pass with compiled-plan caching (the
+    /// headline number), milliseconds.
     pub parallel_ms: f64,
+    /// Wall-clock of the same parallel pass planning every
+    /// pipelined-buffer run from scratch, milliseconds.
+    pub uncached_parallel_ms: f64,
     /// Per-chunk latency histograms of the pipelined model, merged
     /// across every grid cell of the sweep.
     pub pipelined_latency: StageMetrics,
@@ -63,6 +74,12 @@ impl PerfReport {
     /// parallel pass.
     pub fn commands_per_sec(&self) -> f64 {
         self.commands as f64 / (self.parallel_ms.max(1e-9) / 1e3)
+    }
+
+    /// Throughput gain of replaying cached compiled plans over
+    /// re-planning every pipelined-buffer run (same thread count).
+    pub fn plan_cache_speedup(&self) -> f64 {
+        self.uncached_parallel_ms / self.parallel_ms.max(1e-9)
     }
 
     /// The `BENCH_sim.json` payload.
@@ -88,14 +105,18 @@ impl PerfReport {
             }
         }
         format!(
-            "{{\n  \"workload\": \"qcd n={} naive+pipelined+buffer per cell, {} chunk x stream cells (fig5-style sweep)\",\n  \"trials\": {},\n  \"threads\": {},\n  \"timeline_in_timed_passes\": false,\n  \"commands\": {},\n  \"serial_ms\": {:.3},\n  \"parallel_ms\": {:.3},\n  \"speedup\": {:.3},\n  \"commands_per_sec\": {:.1},\n  \"chunk_latency\": [{latency_rows}\n  ]\n}}\n",
+            "{{\n  \"workload\": \"qcd n={} naive+pipelined+buffer per cell, {} chunk x stream cells (fig5-style sweep)\",\n  \"trials\": {},\n  \"threads\": {},\n  \"host_cores\": {},\n  \"host_note\": \"wall-clock from a {}-core host; on a 1-core CI container the parallel pass degenerates to serial and speedup reads ~1 — compare commands_per_sec per core across hosts\",\n  \"timeline_in_timed_passes\": false,\n  \"commands\": {},\n  \"serial_ms\": {:.3},\n  \"parallel_ms\": {:.3},\n  \"uncached_parallel_ms\": {:.3},\n  \"plan_cache_speedup\": {:.3},\n  \"speedup\": {:.3},\n  \"commands_per_sec\": {:.1},\n  \"chunk_latency\": [{latency_rows}\n  ]\n}}\n",
             self.n,
             self.trials,
             self.trials,
             self.threads,
+            self.host_cores,
+            self.host_cores,
             self.commands,
             self.serial_ms,
             self.parallel_ms,
+            self.uncached_parallel_ms,
+            self.plan_cache_speedup(),
             self.speedup(),
             self.commands_per_sec(),
         )
@@ -112,7 +133,13 @@ impl PerfReport {
 /// measurement should reflect simulation speed, not trace building. The
 /// per-chunk stage histograms come from one separate untimed
 /// instrumented pass with the timeline on.
-fn run_cell(n: usize, chunk: usize, streams: usize, timeline: bool) -> (u64, StageMetrics, StageMetrics) {
+fn run_cell(
+    n: usize,
+    chunk: usize,
+    streams: usize,
+    timeline: bool,
+    compiled: Option<&Arc<CompiledPlan>>,
+) -> (u64, StageMetrics, StageMetrics) {
     let mut gpu = gpu_k40m();
     gpu.set_timeline_enabled(timeline);
     let mut cfg = QcdConfig::paper_size(n);
@@ -124,12 +151,36 @@ fn run_cell(n: usize, chunk: usize, streams: usize, timeline: bool) -> (u64, Sta
         .expect("naive run");
     let pipe = run_model(&mut gpu, &inst.region, &builder, ExecModel::Pipelined, &RunOptions::default())
         .expect("pipelined run");
-    let buf = run_model(&mut gpu, &inst.region, &builder, ExecModel::PipelinedBuffer, &RunOptions::default())
+    let buf_opts = match compiled {
+        Some(cp) => RunOptions::default().with_compiled(cp.clone()),
+        None => RunOptions::default(),
+    };
+    let buf = run_model(&mut gpu, &inst.region, &builder, ExecModel::PipelinedBuffer, &buf_opts)
         .expect("buffer run");
+    if compiled.is_some() {
+        assert!(buf.plan_reused, "cached plan was recompiled");
+    }
     (
         naive.commands + pipe.commands + buf.commands,
         pipe.stage_metrics,
         buf.stage_metrics,
+    )
+}
+
+/// Compile the pipelined-buffer plan of one grid cell once, on a
+/// throwaway context. The plan is keyed on the region spec and device
+/// profile — not on the context — so every repetition of the cell can
+/// replay it.
+fn compile_cell_plan(n: usize, chunk: usize, streams: usize) -> Arc<CompiledPlan> {
+    let mut gpu = gpu_k40m();
+    let mut cfg = QcdConfig::paper_size(n);
+    cfg.chunk = chunk;
+    cfg.streams = streams;
+    let inst = cfg.setup(&mut gpu).expect("qcd setup");
+    let builder = cfg.builder();
+    Arc::new(
+        compile_plan(&mut gpu, &inst.region, &builder, &BufferOptions::default())
+            .expect("compile cell plan"),
     )
 }
 
@@ -145,7 +196,7 @@ pub fn run_with_threads(n: usize, threads: usize) -> PerfReport {
     let trials = grid.len() * REPS;
     let cell = |i: usize| {
         let (chunk, streams) = grid[i % grid.len()];
-        run_cell(n, chunk, streams, false)
+        run_cell(n, chunk, streams, false, None)
     };
 
     let t0 = Instant::now();
@@ -153,12 +204,32 @@ pub fn run_with_threads(n: usize, threads: usize) -> PerfReport {
     let serial_ms = t0.elapsed().as_secs_f64() * 1e3;
 
     let t1 = Instant::now();
-    let parallel = sweep_map_threads(threads, trials, cell);
-    let parallel_ms = t1.elapsed().as_secs_f64() * 1e3;
+    let uncached = sweep_map_threads(threads, trials, cell);
+    let uncached_parallel_ms = t1.elapsed().as_secs_f64() * 1e3;
 
     assert_eq!(
-        serial, parallel,
+        serial, uncached,
         "parallel sweep diverged from the serial reference"
+    );
+
+    // Cached pass: each grid cell's pipelined-buffer plan is compiled
+    // once up front (untimed, as a sweep over the region would do) and
+    // every repetition replays it — planning drops out of the loop.
+    let plans: Vec<Arc<CompiledPlan>> = grid
+        .iter()
+        .map(|&(chunk, streams)| compile_cell_plan(n, chunk, streams))
+        .collect();
+    let cached_cell = |i: usize| {
+        let (chunk, streams) = grid[i % grid.len()];
+        run_cell(n, chunk, streams, false, Some(&plans[i % grid.len()]))
+    };
+    let t2 = Instant::now();
+    let parallel = sweep_map_threads(threads, trials, cached_cell);
+    let parallel_ms = t2.elapsed().as_secs_f64() * 1e3;
+
+    assert_eq!(
+        uncached, parallel,
+        "plan-cached sweep diverged from the planning-from-scratch reference"
     );
 
     // Untimed instrumented pass: one grid repetition with the timeline on
@@ -167,7 +238,7 @@ pub fn run_with_threads(n: usize, threads: usize) -> PerfReport {
     let mut pipelined_latency = StageMetrics::default();
     let mut buffer_latency = StageMetrics::default();
     for (i, &(chunk, streams)) in grid.iter().enumerate() {
-        let (commands, p, b) = run_cell(n, chunk, streams, true);
+        let (commands, p, b) = run_cell(n, chunk, streams, true, None);
         assert_eq!(
             commands, parallel[i].0,
             "instrumented cell diverged from the timed run"
@@ -181,8 +252,10 @@ pub fn run_with_threads(n: usize, threads: usize) -> PerfReport {
         trials,
         threads,
         commands: parallel.iter().map(|(c, _, _)| c).sum(),
+        host_cores: std::thread::available_parallelism().map_or(1, |c| c.get()),
         serial_ms,
         parallel_ms,
+        uncached_parallel_ms,
         pipelined_latency,
         buffer_latency,
     }
@@ -196,18 +269,21 @@ pub fn run(n: usize) -> PerfReport {
 /// Print the measurement as a table row.
 pub fn print(rep: &PerfReport) {
     println!(
-        "{:<10} {:>7} {:>8} {:>10} {:>12} {:>12} {:>8} {:>14}",
-        "workload", "trials", "threads", "commands", "serial ms", "parallel ms", "speedup", "commands/sec"
+        "{:<10} {:>7} {:>8} {:>10} {:>12} {:>12} {:>12} {:>8} {:>10} {:>14}",
+        "workload", "trials", "threads", "commands", "serial ms", "uncached ms", "parallel ms",
+        "speedup", "plan-cache", "commands/sec"
     );
     println!(
-        "{:<10} {:>7} {:>8} {:>10} {:>12.1} {:>12.1} {:>7.2}x {:>14.0}",
+        "{:<10} {:>7} {:>8} {:>10} {:>12.1} {:>12.1} {:>12.1} {:>7.2}x {:>9.2}x {:>14.0}",
         format!("qcd-{}", rep.n),
         rep.trials,
         rep.threads,
         rep.commands,
         rep.serial_ms,
+        rep.uncached_parallel_ms,
         rep.parallel_ms,
         rep.speedup(),
+        rep.plan_cache_speedup(),
         rep.commands_per_sec(),
     );
 }
@@ -529,8 +605,10 @@ mod tests {
             trials: 1,
             threads: 1,
             commands: 1,
+            host_cores: 1,
             serial_ms: 1.0,
             parallel_ms: 1.0,
+            uncached_parallel_ms: 1.0,
             pipelined_latency: StageMetrics::default(),
             buffer_latency: StageMetrics::default(),
         };
@@ -554,8 +632,13 @@ mod tests {
         // merged per-chunk histograms must have samples.
         assert!(rep.pipelined_latency.kernel.count() > 0);
         assert!(rep.buffer_latency.h2d.count() > 0);
+        assert!(rep.host_cores >= 1);
+        assert!(rep.uncached_parallel_ms > 0.0);
+        assert!(rep.plan_cache_speedup() > 0.0);
         let json = rep.to_json();
         assert!(json.contains("\"speedup\""));
+        assert!(json.contains("\"host_cores\""));
+        assert!(json.contains("\"plan_cache_speedup\""));
         assert!(json.contains("\"commands_per_sec\""));
         assert!(json.contains("\"chunk_latency\""));
         assert!(json.contains("\"stage\": \"slot_wait\""));

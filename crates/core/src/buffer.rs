@@ -20,16 +20,28 @@
 //! Residency tracking means shared halo slices are copied exactly once,
 //! like the paper's dependency calculation that "removes the data that
 //! only previous chunks require".
-
+//!
+//! Execution is split into **compile** and **replay**: [`compile_plan`]
+//! resolves the schedule, classifies every residency/hazard decision into
+//! per-chunk [`ChunkStep`]s and interns the trace label — all without
+//! touching the device — and the driver replays the resulting
+//! [`CompiledPlan`], issuing only device commands. Iterative callers
+//! (sweeps, autotune probes, multi-iteration apps) compile once and pass
+//! the plan back in via
+//! [`RunOptions::with_compiled`](crate::RunOptions::with_compiled),
+//! taking per-run planning out of the host hot path.
 
 use gpsim::{Copy2D, CounterTrack, EventId, Gpu, HostSpanKind, StreamId, WaitCause};
 
 use crate::error::RtResult;
 use crate::exec::{declare_accesses, expect_done, KernelBuilder, Region};
-use crate::plan::{build_window_table, resolve_plan, resolve_plan_fn, Plan, WindowFn, WindowTable};
+use crate::plan::{
+    build_window_table, resolve_plan, resolve_plan_fn, ChunkStep, CompiledPlan, EvKind, Plan,
+    PlanKey, WindowFn, WindowTable,
+};
 use crate::recovery::{drain_with_recovery, DrainResult, DriverOutcome, RecoveryCtx, RecoveryStats};
 use crate::report::{ExecModel, RunReport};
-use crate::spec::SplitSpec;
+use crate::spec::{RegionSpec, SplitSpec};
 use crate::view::{ArrayView, ChunkCtx};
 
 /// Ring bookkeeping for one mapped array.
@@ -98,17 +110,25 @@ fn slot_runs(lo: i64, hi: i64, slots: usize) -> Vec<(i64, usize)> {
     out
 }
 
-fn push_unique(waits: &mut Vec<EventId>, e: EventId) {
-    if !waits.contains(&e) {
-        waits.push(e);
+/// Push a compiled wait, deduplicating on the `(chunk, stage)` pair —
+/// exactly one event exists per chunk per stage, so this matches the
+/// historical event-id dedupe.
+fn push_wait(waits: &mut Vec<(usize, EvKind)>, ch: usize, kind: EvKind) {
+    if !waits.contains(&(ch, kind)) {
+        waits.push((ch, kind));
     }
 }
 
-/// [`push_unique`] for cause-tagged waits: dedupe on the event id (the
-/// first cause recorded for an event wins).
-fn push_unique_cause(waits: &mut Vec<(EventId, WaitCause)>, e: EventId, cause: WaitCause) {
-    if !waits.iter().any(|(w, _)| *w == e) {
-        waits.push((e, cause));
+/// [`push_wait`] for cause-tagged waits: dedupe on the `(chunk, stage)`
+/// pair (the first cause recorded wins).
+fn push_wait_cause(
+    waits: &mut Vec<(usize, EvKind, WaitCause)>,
+    ch: usize,
+    kind: EvKind,
+    cause: WaitCause,
+) {
+    if !waits.iter().any(|&(w, k, _)| w == ch && k == kind) {
+        waits.push((ch, kind, cause));
     }
 }
 
@@ -261,273 +281,37 @@ fn widen_rings_for_assignment(
         .sum();
 }
 
-/// Run a region under the **Pipelined-buffer** model (see module docs).
+/// Classify every chunk of a resolved plan into its enqueue recipe: the
+/// residency/hazard logic of the Pipelined-buffer driver, run once, with
+/// the device untouched. Returns the per-chunk [`ChunkStep`]s and the
+/// halo-consumer graph (`dependents[c]` = chunks whose kernels read
+/// slices chunk `c` copied).
 ///
-/// Respects `pipeline_mem_limit` by shrinking the schedule (see
-/// [`resolve_plan`]); honours static and adaptive schedules; inflates the
-/// kernel cost by the region's `index_overhead` to account for the
-/// runtime's mod-index translation inside kernels (paper §V-D).
-///
-/// Resets the context's activity counters.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `run_model(gpu, region, builder, ExecModel::PipelinedBuffer, &RunOptions::default())` \
-            or `Pipeline::run`"
-)]
-pub fn run_pipelined_buffer(
-    gpu: &mut Gpu,
-    region: &Region,
-    builder: &KernelBuilder<'_>,
-) -> RtResult<RunReport> {
-    buffer_impl(gpu, region, builder, &BufferOptions::default(), None).map(expect_done)
-}
-
-/// [`run_pipelined_buffer`] with explicit ablation options.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `run_model` with `RunOptions { buffer, .. }` or `Pipeline::options`"
-)]
-pub fn run_pipelined_buffer_with(
-    gpu: &mut Gpu,
-    region: &Region,
-    builder: &KernelBuilder<'_>,
-    opts: &BufferOptions,
-) -> RtResult<RunReport> {
-    buffer_impl(gpu, region, builder, opts, None).map(expect_done)
-}
-
-/// The Pipelined-buffer driver proper (affine windows), optionally with
-/// chunk-granular recovery.
-pub(crate) fn buffer_impl(
-    gpu: &mut Gpu,
-    region: &Region,
-    builder: &KernelBuilder<'_>,
-    opts: &BufferOptions,
-    recovery: Option<&RecoveryCtx<'_>>,
-) -> RtResult<DriverOutcome> {
-    region.validate(gpu)?;
-    let mut plan = resolve_plan(&region.spec, gpu.profile(), region.lo, region.hi)?;
-    if opts.minimal_slots {
-        plan.ring_slots = region
-            .spec
-            .maps
-            .iter()
-            .map(|m| crate::plan::ring_slots_min(&m.split, plan.chunk_size))
-            .collect();
-        plan.buffer_bytes = region
-            .spec
-            .maps
-            .iter()
-            .zip(&plan.ring_slots)
-            .map(|(m, &s)| crate::plan::map_buffer_bytes(&m.split, s))
-            .sum();
-    }
-    let table = build_window_table(&region.spec, &plan.chunks, &[])?;
-    run_buffer_inner(gpu, region, builder, opts, plan, &table, recovery)
-}
-
-/// Run a region with **explicit dependency functions** — the paper's
-/// §VII "function-based extension that allows the developer to pass in a
-/// function pointer" for dependencies the affine clause syntax cannot
-/// express. `windows[i]`, when present, overrides map `i`'s affine
-/// window: given a chunk `[k0, k1)` it returns the slice range `[a, b)`
-/// that must be resident. Ring capacities are derived from the actual
-/// per-chunk table.
-#[deprecated(since = "0.2.0", note = "use `run_window_fn` or `Pipeline::run` with window functions")]
-pub fn run_pipelined_buffer_fn(
-    gpu: &mut Gpu,
-    region: &Region,
-    builder: &KernelBuilder<'_>,
-    windows: &[Option<&WindowFn<'_>>],
-) -> RtResult<RunReport> {
-    buffer_fn_impl(gpu, region, builder, windows, None).map(expect_done)
-}
-
-/// [`run_pipelined_buffer_fn`] body, optionally with recovery.
-pub(crate) fn buffer_fn_impl(
-    gpu: &mut Gpu,
-    region: &Region,
-    builder: &KernelBuilder<'_>,
-    windows: &[Option<&WindowFn<'_>>],
-    recovery: Option<&RecoveryCtx<'_>>,
-) -> RtResult<DriverOutcome> {
-    region.validate_binding(gpu)?;
-    let (plan, table) = resolve_plan_fn(
-        &region.spec,
-        gpu.profile(),
-        region.lo,
-        region.hi,
-        windows,
-    )?;
-    run_buffer_inner(
-        gpu,
-        region,
-        builder,
-        &BufferOptions::default(),
-        plan,
-        &table,
-        recovery,
-    )
-}
-
-#[allow(clippy::too_many_arguments)]
-fn run_buffer_inner(
-    gpu: &mut Gpu,
-    region: &Region,
-    builder: &KernelBuilder<'_>,
-    opts: &BufferOptions,
-    mut plan: Plan,
+/// A compiled wait names `(producing chunk, stage)`; it is only recorded
+/// when that stage will actually record an event (a chunk records an H2D
+/// event iff it has copy runs, a D2H event iff it has drain runs, and
+/// always records a kernel event), so replay can resolve every wait.
+pub(crate) fn classify_chunks(
+    spec: &RegionSpec,
+    plan: &Plan,
     table: &WindowTable,
-    recovery: Option<&RecoveryCtx<'_>>,
-) -> RtResult<DriverOutcome> {
-    gpu.reset_counters();
-    let t0 = gpu.now();
-    gpu.push_host_span(
-        format!(
-            "plan(chunks={}, streams={}, slots={:?})",
-            plan.chunks.len(),
-            plan.num_streams,
-            plan.ring_slots
-        ),
-        HostSpanKind::Plan,
-        t0,
-        t0,
-    );
-
-    // --- Resolve the chunk → stream assignment -------------------------
-    // Done before ring allocation because non-round-robin assignments
-    // widen the set of simultaneously in-flight chunks, and the rings
-    // must cover it or write-after-read stalls serialize the pipeline.
-    let chunk_stream = if opts.assignment == StreamAssignment::RoundRobin {
-        (0..plan.chunks.len())
-            .map(|c| c % plan.num_streams)
-            .collect::<Vec<_>>()
-    } else {
-        // Probe views over a placeholder allocation: builders may consult
-        // views to compute costs, but probe kernels are never executed.
-        let probe = gpu.alloc(1)?;
-        let probe_views: Vec<ArrayView> = region
-            .spec
-            .maps
-            .iter()
-            .map(|m| match &m.split {
-                SplitSpec::OneD { slice_elems, .. } => {
-                    ArrayView::ring_1d(probe, *slice_elems, 1)
-                }
-                SplitSpec::ColBlocks {
-                    rows, block_cols, ..
-                } => ArrayView::ring_2d(probe, *block_cols, *block_cols, *rows, 1),
-            })
-            .collect();
-        let assignment = assign_streams(
-            gpu,
-            region,
-            &plan,
-            table,
-            &probe_views,
-            builder,
-            opts.assignment,
-        );
-        gpu.free(probe)?;
-        assignment
-    };
-    if opts.assignment != StreamAssignment::RoundRobin {
-        widen_rings_for_assignment(region, &mut plan, table, &chunk_stream);
-    }
-
-    // --- Allocate ring buffers and build ring views --------------------
-    let n_maps = region.spec.maps.len();
-    let mut views: Vec<ArrayView> = Vec::with_capacity(n_maps);
-    let mut books = Vec::with_capacity(n_maps);
-    for (m, &slots) in region.spec.maps.iter().zip(&plan.ring_slots) {
-        let alloc = match &m.split {
-            SplitSpec::OneD { slice_elems, .. } => gpu
-                .alloc(slots * slice_elems)
-                .map(|ptr| ArrayView::ring_1d(ptr, *slice_elems, slots)),
-            SplitSpec::ColBlocks {
-                rows, block_cols, ..
-            } => gpu
-                .alloc_pitched(*rows, slots * block_cols)
-                .map(|(ptr, pitch)| ArrayView::ring_2d(ptr, pitch, *block_cols, *rows, slots)),
-        };
-        match alloc {
-            Ok(v) => views.push(v),
-            Err(e) => {
-                // Roll back partial ring allocations on failure.
-                for v in &views {
-                    let _ = gpu.free(v.base());
-                }
-                return Err(e.into());
-            }
-        }
-        books.push(RingBook::new(slots));
-    }
-
-    let streams: Vec<StreamId> = match (0..plan.num_streams)
-        .map(|_| gpu.create_stream())
-        .collect::<Result<Vec<_>, _>>()
-    {
-        Ok(s) => s,
-        Err(e) => {
-            for v in &views {
-                let _ = gpu.free(v.base());
-            }
-            return Err(e.into());
-        }
-    };
-    let gpu_mem = gpu.current_mem();
-
+    chunk_stream: &[usize],
+    track_residency: bool,
+) -> (Vec<ChunkStep>, Vec<Vec<usize>>) {
     let n_chunks = plan.chunks.len();
-    let mut h2d_ev: Vec<Option<EventId>> = vec![None; n_chunks];
-    let mut kernel_ev: Vec<Option<EventId>> = vec![None; n_chunks];
-    let mut d2h_ev: Vec<Option<EventId>> = vec![None; n_chunks];
-
-    // Ring-slot occupancy over host time (mapped slots across all rings),
-    // sampled once per chunk — a counter track in the trace export.
-    let mut occupancy: Vec<(u64, f64)> = Vec::new();
-    let mut sample_occupancy = |gpu: &Gpu, books: &[RingBook]| {
-        if gpu.timeline_enabled() {
-            let mapped: usize = books
-                .iter()
-                .map(|b| b.mapped.iter().filter(|m| m.is_some()).count())
-                .sum();
-            occupancy.push((gpu.now().as_ns(), mapped as f64));
-        }
-    };
-    sample_occupancy(gpu, &books);
-
-    let recovering = recovery.is_some_and(|r| r.policy.enabled());
-    // Per-chunk enqueue-sequence ranges (failure → chunk lookup) and the
-    // halo-consumer graph: with residency tracking, chunk `d` may read a
-    // slice copied by chunk `c`; if `c`'s H2D fails, `d`'s kernel read
-    // stale ring data and retired cleanly, so `d` must be retried too.
-    let mut chunk_seqs: Vec<(u64, u64)> = Vec::with_capacity(n_chunks);
+    let mut books: Vec<RingBook> = plan.ring_slots.iter().map(|&s| RingBook::new(s)).collect();
+    let mut steps: Vec<ChunkStep> = Vec::with_capacity(n_chunks);
     let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); n_chunks];
-
-    let mut recovery_stats = RecoveryStats::default();
-    let mut retry_samples: Vec<(u64, f64)> = Vec::new();
-    let mut exhausted = None;
-    // Per-chunk scratch, hoisted so steady-state chunks reuse capacity
-    // instead of re-allocating on every iteration of the hot loop.
-    let mut copy_runs: Vec<(usize, i64, usize)> = Vec::new();
-    let mut copy_waits: Vec<EventId> = Vec::new();
-    let mut kernel_waits: Vec<(EventId, WaitCause)> = Vec::new();
     let mut missing: Vec<i64> = Vec::new();
     let mut runs_scratch: Vec<(i64, usize)> = Vec::new();
-    let mut chunk_ranges: Vec<(i64, i64)> = Vec::new();
-    let body = (|| -> RtResult<()> {
-    for (c, &(k0, k1)) in plan.chunks.iter().enumerate() {
-        let s = streams[chunk_stream[c]];
+    for c in 0..n_chunks {
         let same_stream = |other: usize| chunk_stream[other] == chunk_stream[c];
-        let seq0 = gpu.next_seq();
+        let mut copy_waits: Vec<(usize, EvKind)> = Vec::new();
+        let mut copy_runs: Vec<(usize, i64, usize)> = Vec::new();
+        let mut kernel_waits: Vec<(usize, EvKind, WaitCause)> = Vec::new();
+        let mut out_runs: Vec<(usize, i64, usize)> = Vec::new();
 
-        // ---- Pass 1: classify slices, collect hazards ------------------
-        // (map index, run start slice, run length)
-        copy_runs.clear();
-        copy_waits.clear();
-        kernel_waits.clear();
-
-        for (i, m) in region.spec.maps.iter().enumerate() {
+        for (i, m) in spec.maps.iter().enumerate() {
             if !m.dir.is_input() {
                 continue;
             }
@@ -535,15 +319,21 @@ fn run_buffer_inner(
             let book = &mut books[i];
             missing.clear();
             for sl in a..b {
-                match book.resident_copier(sl).filter(|_| opts.track_residency) {
+                match book.resident_copier(sl).filter(|_| track_residency) {
                     Some(owner) => {
                         // RAW across streams: wait for the copier's group.
-                        if owner != c && !same_stream(owner) {
-                            if let Some(e) = h2d_ev[owner] {
-                                push_unique_cause(&mut kernel_waits, e, WaitCause::Dependency);
-                            }
+                        if owner != c
+                            && !same_stream(owner)
+                            && !steps[owner].copy_runs.is_empty()
+                        {
+                            push_wait_cause(
+                                &mut kernel_waits,
+                                owner,
+                                EvKind::H2d,
+                                WaitCause::Dependency,
+                            );
                         }
-                        if recovering && owner != c && !dependents[owner].contains(&c) {
+                        if owner != c && !dependents[owner].contains(&c) {
                             dependents[owner].push(c);
                         }
                     }
@@ -558,17 +348,13 @@ fn run_buffer_inner(
                     let rs = &mut book.readers[slot];
                     for &r in rs.iter() {
                         if !same_stream(r) {
-                            if let Some(e) = kernel_ev[r] {
-                                push_unique(&mut copy_waits, e);
-                            }
+                            push_wait(&mut copy_waits, r, EvKind::Kernel);
                         }
                     }
                     rs.clear();
                     if let Some(w) = book.written_by[slot].take() {
-                        if !same_stream(w) {
-                            if let Some(e) = d2h_ev[w] {
-                                push_unique(&mut copy_waits, e);
-                            }
+                        if !same_stream(w) && !steps[w].out_runs.is_empty() {
+                            push_wait(&mut copy_waits, w, EvKind::D2h);
                         }
                     }
                 }
@@ -608,7 +394,7 @@ fn run_buffer_inner(
 
         // Output slots: kernel writes them, so the previous occupant's
         // D2H (and, for ToFrom, any readers) must be complete first.
-        for (i, m) in region.spec.maps.iter().enumerate() {
+        for (i, m) in spec.maps.iter().enumerate() {
             if !m.dir.is_output() {
                 continue;
             }
@@ -619,22 +405,24 @@ fn run_buffer_inner(
                 match book.mapped[slot] {
                     Some(old) if old != sl => {
                         if let Some(w) = book.written_by[slot].take() {
-                            if !same_stream(w) {
-                                if let Some(e) = d2h_ev[w] {
-                                    push_unique_cause(&mut kernel_waits, e, WaitCause::RingReuse);
-                                }
+                            if !same_stream(w) && !steps[w].out_runs.is_empty() {
+                                push_wait_cause(
+                                    &mut kernel_waits,
+                                    w,
+                                    EvKind::D2h,
+                                    WaitCause::RingReuse,
+                                );
                             }
                         }
                         let rs = &mut book.readers[slot];
                         for &r in rs.iter() {
                             if !same_stream(r) {
-                                if let Some(e) = kernel_ev[r] {
-                                    push_unique_cause(
-                                        &mut kernel_waits,
-                                        e,
-                                        WaitCause::RingReuse,
-                                    );
-                                }
+                                push_wait_cause(
+                                    &mut kernel_waits,
+                                    r,
+                                    EvKind::Kernel,
+                                    WaitCause::RingReuse,
+                                );
                             }
                         }
                         rs.clear();
@@ -645,24 +433,420 @@ fn run_buffer_inner(
                     _ => {}
                 }
             }
+            // The chunk's drain runs, and ownership of the drained slots.
+            runs_scratch.clear();
+            slot_runs_into(a, b, book.slots, &mut runs_scratch);
+            out_runs.extend(runs_scratch.iter().map(|&(start, len)| (i, start, len)));
+            for sl in a..b {
+                let slot = book.slot(sl);
+                debug_assert_eq!(book.mapped[slot], Some(sl));
+                book.written_by[slot] = Some(c);
+            }
         }
 
-        // ---- Pass 2: enqueue ------------------------------------------
+        let mapped_slots = books
+            .iter()
+            .map(|b| b.mapped.iter().filter(|m| m.is_some()).count())
+            .sum();
+        steps.push(ChunkStep {
+            stream: chunk_stream[c],
+            copy_waits,
+            copy_runs,
+            kernel_waits,
+            out_runs,
+            mapped_slots,
+        });
+    }
+    (steps, dependents)
+}
+
+/// Compile a region into a reusable [`CompiledPlan`] for the
+/// Pipelined-buffer model: resolve the schedule (honouring
+/// `pipeline_mem_limit`), build the window table, assign chunks to
+/// streams, and classify every residency/hazard decision into per-chunk
+/// enqueue recipes.
+///
+/// The result can be executed any number of times via
+/// [`RunOptions::with_compiled`](crate::RunOptions::with_compiled) —
+/// replaying it issues only device commands, no planning. The driver
+/// validates the plan against the region/device/options it is asked to
+/// run and silently recompiles on mismatch, so a stale plan can cost
+/// time but never correctness.
+///
+/// `gpu` is only mutated for the [`StreamAssignment::LeastLoaded`]
+/// cost probe; with the default round-robin policy the device is
+/// untouched.
+pub fn compile_plan(
+    gpu: &mut Gpu,
+    region: &Region,
+    builder: &KernelBuilder<'_>,
+    opts: &BufferOptions,
+) -> RtResult<CompiledPlan> {
+    region.validate(gpu)?;
+    compile_impl(gpu, region, builder, opts)
+}
+
+/// [`compile_plan`] body (validation already done by the caller).
+fn compile_impl(
+    gpu: &mut Gpu,
+    region: &Region,
+    builder: &KernelBuilder<'_>,
+    opts: &BufferOptions,
+) -> RtResult<CompiledPlan> {
+    let mut plan = resolve_plan(&region.spec, gpu.profile(), region.lo, region.hi)?;
+    if opts.minimal_slots {
+        plan.ring_slots = region
+            .spec
+            .maps
+            .iter()
+            .map(|m| crate::plan::ring_slots_min(&m.split, plan.chunk_size))
+            .collect();
+        plan.buffer_bytes = region
+            .spec
+            .maps
+            .iter()
+            .zip(&plan.ring_slots)
+            .map(|(m, &s)| crate::plan::map_buffer_bytes(&m.split, s))
+            .sum();
+    }
+    let table = build_window_table(&region.spec, &plan.chunks, &[])?;
+    compile_from_plan(gpu, region, builder, opts, plan, table, false)
+}
+
+/// Compile from an already-resolved plan + window table (shared by the
+/// affine and window-function paths).
+fn compile_from_plan(
+    gpu: &mut Gpu,
+    region: &Region,
+    builder: &KernelBuilder<'_>,
+    opts: &BufferOptions,
+    mut plan: Plan,
+    table: WindowTable,
+    custom_windows: bool,
+) -> RtResult<CompiledPlan> {
+    // Resolve the chunk → stream assignment before sizing rings: a
+    // non-round-robin assignment widens the set of simultaneously
+    // in-flight chunks, and the rings must cover it or write-after-read
+    // stalls serialize the pipeline.
+    let chunk_stream = if opts.assignment == StreamAssignment::RoundRobin {
+        (0..plan.chunks.len())
+            .map(|c| c % plan.num_streams)
+            .collect::<Vec<_>>()
+    } else {
+        // Probe views over a placeholder allocation: builders may consult
+        // views to compute costs, but probe kernels are never executed.
+        let probe = gpu.alloc(1)?;
+        let probe_views: Vec<ArrayView> = region
+            .spec
+            .maps
+            .iter()
+            .map(|m| match &m.split {
+                SplitSpec::OneD { slice_elems, .. } => {
+                    ArrayView::ring_1d(probe, *slice_elems, 1)
+                }
+                SplitSpec::ColBlocks {
+                    rows, block_cols, ..
+                } => ArrayView::ring_2d(probe, *block_cols, *block_cols, *rows, 1),
+            })
+            .collect();
+        let assignment = assign_streams(
+            gpu,
+            region,
+            &plan,
+            &table,
+            &probe_views,
+            builder,
+            opts.assignment,
+        );
+        gpu.free(probe)?;
+        assignment
+    };
+    if opts.assignment != StreamAssignment::RoundRobin {
+        widen_rings_for_assignment(region, &mut plan, &table, &chunk_stream);
+    }
+
+    let (steps, dependents) = classify_chunks(
+        &region.spec,
+        &plan,
+        &table,
+        &chunk_stream,
+        opts.track_residency,
+    );
+    let plan_label = format!(
+        "plan(chunks={}, streams={}, slots={:?})",
+        plan.chunks.len(),
+        plan.num_streams,
+        plan.ring_slots
+    );
+    let key = PlanKey {
+        spec: region.spec.clone(),
+        lo: region.lo,
+        hi: region.hi,
+        profile: gpu.profile().clone(),
+        track_residency: opts.track_residency,
+        minimal_slots: opts.minimal_slots,
+        assignment: opts.assignment,
+        custom_windows,
+    };
+    Ok(CompiledPlan {
+        plan,
+        table,
+        chunk_stream,
+        steps,
+        dependents,
+        plan_label,
+        key,
+    })
+}
+
+/// Is a previously compiled plan valid for this run? Custom-window plans
+/// never match: their table is not derivable from the spec alone.
+fn key_matches(key: &PlanKey, gpu: &Gpu, region: &Region, opts: &BufferOptions) -> bool {
+    !key.custom_windows
+        && key.lo == region.lo
+        && key.hi == region.hi
+        && key.track_residency == opts.track_residency
+        && key.minimal_slots == opts.minimal_slots
+        && key.assignment == opts.assignment
+        && key.spec == region.spec
+        && key.profile == *gpu.profile()
+}
+
+/// Run a region under the **Pipelined-buffer** model (see module docs).
+///
+/// Respects `pipeline_mem_limit` by shrinking the schedule (see
+/// [`resolve_plan`]); honours static and adaptive schedules; inflates the
+/// kernel cost by the region's `index_overhead` to account for the
+/// runtime's mod-index translation inside kernels (paper §V-D).
+///
+/// Resets the context's activity counters.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `run_model(gpu, region, builder, ExecModel::PipelinedBuffer, &RunOptions::default())` \
+            or `Pipeline::run`"
+)]
+pub fn run_pipelined_buffer(
+    gpu: &mut Gpu,
+    region: &Region,
+    builder: &KernelBuilder<'_>,
+) -> RtResult<RunReport> {
+    buffer_impl(gpu, region, builder, &BufferOptions::default(), None).map(expect_done)
+}
+
+/// [`run_pipelined_buffer`] with explicit ablation options.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `run_model` with `RunOptions { buffer, .. }` or `Pipeline::options`"
+)]
+pub fn run_pipelined_buffer_with(
+    gpu: &mut Gpu,
+    region: &Region,
+    builder: &KernelBuilder<'_>,
+    opts: &BufferOptions,
+) -> RtResult<RunReport> {
+    buffer_impl(gpu, region, builder, opts, None).map(expect_done)
+}
+
+/// The Pipelined-buffer driver proper (affine windows), optionally with
+/// chunk-granular recovery. Compiles a fresh plan every run; see
+/// [`buffer_impl_with`] for the cached-plan fast path.
+pub(crate) fn buffer_impl(
+    gpu: &mut Gpu,
+    region: &Region,
+    builder: &KernelBuilder<'_>,
+    opts: &BufferOptions,
+    recovery: Option<&RecoveryCtx<'_>>,
+) -> RtResult<DriverOutcome> {
+    buffer_impl_with(gpu, region, builder, opts, recovery, None)
+}
+
+/// [`buffer_impl`] with an optional pre-compiled plan: when the plan's
+/// key matches this run, replay it directly (zero planning work);
+/// otherwise compile fresh — a stale plan can cost time, never
+/// correctness.
+pub(crate) fn buffer_impl_with(
+    gpu: &mut Gpu,
+    region: &Region,
+    builder: &KernelBuilder<'_>,
+    opts: &BufferOptions,
+    recovery: Option<&RecoveryCtx<'_>>,
+    compiled: Option<&CompiledPlan>,
+) -> RtResult<DriverOutcome> {
+    region.validate(gpu)?;
+    if let Some(cp) = compiled {
+        if key_matches(&cp.key, gpu, region, opts) {
+            return execute_compiled(gpu, region, builder, cp, recovery, true);
+        }
+    }
+    let cp = compile_impl(gpu, region, builder, opts)?;
+    execute_compiled(gpu, region, builder, &cp, recovery, false)
+}
+
+/// Run a region with **explicit dependency functions** — the paper's
+/// §VII "function-based extension that allows the developer to pass in a
+/// function pointer" for dependencies the affine clause syntax cannot
+/// express. `windows[i]`, when present, overrides map `i`'s affine
+/// window: given a chunk `[k0, k1)` it returns the slice range `[a, b)`
+/// that must be resident. Ring capacities are derived from the actual
+/// per-chunk table.
+#[deprecated(since = "0.2.0", note = "use `run_window_fn` or `Pipeline::run` with window functions")]
+pub fn run_pipelined_buffer_fn(
+    gpu: &mut Gpu,
+    region: &Region,
+    builder: &KernelBuilder<'_>,
+    windows: &[Option<&WindowFn<'_>>],
+) -> RtResult<RunReport> {
+    buffer_fn_impl(gpu, region, builder, windows, None).map(expect_done)
+}
+
+/// [`run_pipelined_buffer_fn`] body, optionally with recovery.
+pub(crate) fn buffer_fn_impl(
+    gpu: &mut Gpu,
+    region: &Region,
+    builder: &KernelBuilder<'_>,
+    windows: &[Option<&WindowFn<'_>>],
+    recovery: Option<&RecoveryCtx<'_>>,
+) -> RtResult<DriverOutcome> {
+    region.validate_binding(gpu)?;
+    let (plan, table) = resolve_plan_fn(
+        &region.spec,
+        gpu.profile(),
+        region.lo,
+        region.hi,
+        windows,
+    )?;
+    let cp = compile_from_plan(
+        gpu,
+        region,
+        builder,
+        &BufferOptions::default(),
+        plan,
+        table,
+        true,
+    )?;
+    execute_compiled(gpu, region, builder, &cp, recovery, false)
+}
+
+/// Resolve a compiled `(chunk, stage)` wait to the live event recorded
+/// during this replay.
+fn compiled_event(
+    h2d_ev: &[Option<EventId>],
+    kernel_ev: &[Option<EventId>],
+    d2h_ev: &[Option<EventId>],
+    ch: usize,
+    kind: EvKind,
+) -> EventId {
+    match kind {
+        EvKind::H2d => h2d_ev[ch],
+        EvKind::Kernel => kernel_ev[ch],
+        EvKind::D2h => d2h_ev[ch],
+    }
+    .expect("compiled wait references a stage that records an event")
+}
+
+/// Replay a [`CompiledPlan`]: allocate rings and streams, then issue the
+/// pre-classified per-chunk enqueue sequences. The only host work per
+/// chunk is the kernel builder call and the raw enqueues — every
+/// residency, hazard and run-grouping decision was made at compile time.
+fn execute_compiled(
+    gpu: &mut Gpu,
+    region: &Region,
+    builder: &KernelBuilder<'_>,
+    cp: &CompiledPlan,
+    recovery: Option<&RecoveryCtx<'_>>,
+    plan_reused: bool,
+) -> RtResult<DriverOutcome> {
+    let plan = &cp.plan;
+    let table = &cp.table;
+    gpu.reset_counters();
+    let t0 = gpu.now();
+    if gpu.timeline_enabled() {
+        gpu.push_host_span(cp.plan_label.clone(), HostSpanKind::Plan, t0, t0);
+    }
+
+    // --- Allocate ring buffers and build ring views --------------------
+    let n_maps = region.spec.maps.len();
+    let mut views: Vec<ArrayView> = Vec::with_capacity(n_maps);
+    for (m, &slots) in region.spec.maps.iter().zip(&plan.ring_slots) {
+        let alloc = match &m.split {
+            SplitSpec::OneD { slice_elems, .. } => gpu
+                .alloc(slots * slice_elems)
+                .map(|ptr| ArrayView::ring_1d(ptr, *slice_elems, slots)),
+            SplitSpec::ColBlocks {
+                rows, block_cols, ..
+            } => gpu
+                .alloc_pitched(*rows, slots * block_cols)
+                .map(|(ptr, pitch)| ArrayView::ring_2d(ptr, pitch, *block_cols, *rows, slots)),
+        };
+        match alloc {
+            Ok(v) => views.push(v),
+            Err(e) => {
+                // Roll back partial ring allocations on failure.
+                for v in &views {
+                    let _ = gpu.free(v.base());
+                }
+                return Err(e.into());
+            }
+        }
+    }
+
+    let streams: Vec<StreamId> = match (0..plan.num_streams)
+        .map(|_| gpu.create_stream())
+        .collect::<Result<Vec<_>, _>>()
+    {
+        Ok(s) => s,
+        Err(e) => {
+            for v in &views {
+                let _ = gpu.free(v.base());
+            }
+            return Err(e.into());
+        }
+    };
+    let gpu_mem = gpu.current_mem();
+
+    let n_chunks = plan.chunks.len();
+    let mut h2d_ev: Vec<Option<EventId>> = vec![None; n_chunks];
+    let mut kernel_ev: Vec<Option<EventId>> = vec![None; n_chunks];
+    let mut d2h_ev: Vec<Option<EventId>> = vec![None; n_chunks];
+
+    // Ring-slot occupancy over host time (mapped slots across all rings,
+    // precomputed per chunk at compile time) — a counter track in the
+    // trace export.
+    let mut occupancy: Vec<(u64, f64)> = Vec::new();
+    if gpu.timeline_enabled() {
+        occupancy.push((gpu.now().as_ns(), 0.0));
+    }
+
+    // Per-chunk enqueue-sequence ranges (failure → chunk lookup).
+    let mut chunk_seqs: Vec<(u64, u64)> = Vec::with_capacity(n_chunks);
+
+    let mut recovery_stats = RecoveryStats::default();
+    let mut retry_samples: Vec<(u64, f64)> = Vec::new();
+    let mut exhausted = None;
+    // Per-chunk scratch, hoisted so steady-state chunks reuse capacity.
+    let mut chunk_ranges: Vec<(i64, i64)> = Vec::new();
+    let body = (|| -> RtResult<()> {
+    for (c, step) in cp.steps.iter().enumerate() {
+        let (k0, k1) = plan.chunks[c];
+        let s = streams[step.stream];
+        let seq0 = gpu.next_seq();
+
         // Eviction hazards are, by definition, ring-slot reuse stalls.
-        for &e in &copy_waits {
+        for &(ch, kind) in &step.copy_waits {
+            let e = compiled_event(&h2d_ev, &kernel_ev, &d2h_ev, ch, kind);
             gpu.wait_event_with_cause(s, e, WaitCause::RingReuse)?;
         }
-        let any_copies = !copy_runs.is_empty();
-        for &(i, start, len) in &copy_runs {
+        for &(i, start, len) in &step.copy_runs {
             enqueue_h2d_ring(gpu, region, &views[i], i, start, len, s)?;
         }
-        if any_copies {
+        if !step.copy_runs.is_empty() {
             let e = gpu.create_event();
             gpu.record_event(s, e)?;
             h2d_ev[c] = Some(e);
         }
 
-        for &(e, cause) in &kernel_waits {
+        for &(ch, kind, cause) in &step.kernel_waits {
+            let e = compiled_event(&h2d_ev, &kernel_ev, &d2h_ev, ch, kind);
             gpu.wait_event_with_cause(s, e, cause)?;
         }
         let ctx = ChunkCtx {
@@ -684,32 +868,18 @@ fn run_buffer_inner(
         gpu.record_event(s, ke)?;
         kernel_ev[c] = Some(ke);
 
-        let mut any_out = false;
-        for (i, m) in region.spec.maps.iter().enumerate() {
-            if !m.dir.is_output() {
-                continue;
-            }
-            let (a, b) = table.ranges[i][c];
-            let book = &mut books[i];
-            runs_scratch.clear();
-            slot_runs_into(a, b, book.slots, &mut runs_scratch);
-            for &(start, len) in &runs_scratch {
-                enqueue_d2h_ring(gpu, region, &views[i], i, start, len, s)?;
-                any_out = true;
-            }
-            for sl in a..b {
-                let slot = book.slot(sl);
-                debug_assert_eq!(book.mapped[slot], Some(sl));
-                book.written_by[slot] = Some(c);
-            }
+        for &(i, start, len) in &step.out_runs {
+            enqueue_d2h_ring(gpu, region, &views[i], i, start, len, s)?;
         }
-        if any_out {
+        if !step.out_runs.is_empty() {
             let e = gpu.create_event();
             gpu.record_event(s, e)?;
             d2h_ev[c] = Some(e);
         }
         chunk_seqs.push((seq0, gpu.next_seq()));
-        sample_occupancy(gpu, &books);
+        if gpu.timeline_enabled() {
+            occupancy.push((gpu.now().as_ns(), step.mapped_slots as f64));
+        }
     }
 
     match recovery.filter(|r| r.policy.enabled()) {
@@ -722,7 +892,7 @@ fn run_buffer_inner(
                 rctx,
                 &plan.chunks,
                 &chunk_seqs,
-                &dependents,
+                &cp.dependents,
                 |gpu, c| {
                     // Re-enqueue the chunk's full triplet into the *same*
                     // ring slots (the slice → slot map is static). The
@@ -730,7 +900,7 @@ fn run_buffer_inner(
                     // overwriting slots that later chunks used is safe —
                     // their results are already on the host.
                     let (k0, k1) = plan.chunks[c];
-                    let s = streams[chunk_stream[c]];
+                    let s = streams[cp.chunk_stream[c]];
                     let mut n = 0u64;
                     for (i, m) in region.spec.maps.iter().enumerate() {
                         if !m.dir.is_input() {
@@ -823,6 +993,7 @@ fn run_buffer_inner(
     // extra work, so a recovered run matches a fault-free one.
     report.commands = report.commands.saturating_sub(recovery_stats.reissued_commands);
     report.recovery = recovery_stats;
+    report.plan_reused = plan_reused;
     if gpu.timeline_enabled() {
         report.counter_tracks.push(CounterTrack {
             name: "ring_slot_occupancy".into(),
@@ -965,23 +1136,15 @@ mod tests {
     }
 
     #[test]
-    fn push_unique_dedupes() {
+    fn push_wait_dedupes_on_chunk_and_stage() {
         let mut v = Vec::new();
-        let e = EventId_for_test(3);
-        push_unique(&mut v, e);
-        push_unique(&mut v, e);
-        assert_eq!(v.len(), 1);
-    }
-
-    // EventId's field is crate-private to gpsim; create through a Gpu.
-    #[allow(non_snake_case)]
-    fn EventId_for_test(n: usize) -> EventId {
-        let mut g = Gpu::new(gpsim::DeviceProfile::uniform_test(), gpsim::ExecMode::Timing)
-            .unwrap();
-        let mut last = g.create_event();
-        for _ in 0..n {
-            last = g.create_event();
-        }
-        last
+        push_wait(&mut v, 3, EvKind::Kernel);
+        push_wait(&mut v, 3, EvKind::Kernel);
+        push_wait(&mut v, 3, EvKind::D2h);
+        assert_eq!(v, vec![(3, EvKind::Kernel), (3, EvKind::D2h)]);
+        let mut w = Vec::new();
+        push_wait_cause(&mut w, 1, EvKind::H2d, WaitCause::Dependency);
+        push_wait_cause(&mut w, 1, EvKind::H2d, WaitCause::RingReuse);
+        assert_eq!(w, vec![(1, EvKind::H2d, WaitCause::Dependency)]);
     }
 }

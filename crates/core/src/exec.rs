@@ -396,13 +396,15 @@ pub(crate) fn pipelined_impl(
     let t0 = gpu.now();
     // Chunk planning happened just above; mark it as an instant so the
     // trace shows where the runtime phase sits (planning itself charges
-    // no simulated time).
-    gpu.push_host_span(
-        format!("plan(chunk={chunk_size}, streams={num_streams})"),
-        gpsim::HostSpanKind::Plan,
-        t0,
-        t0,
-    );
+    // no simulated time). Gated so untraced runs skip the label format.
+    if gpu.timeline_enabled() {
+        gpu.push_host_span(
+            format!("plan(chunk={chunk_size}, streams={num_streams})"),
+            gpsim::HostSpanKind::Plan,
+            t0,
+            t0,
+        );
+    }
 
     let views = alloc_full(gpu, region)?;
     let streams: Vec<_> = match (0..num_streams)

@@ -94,6 +94,7 @@
 mod api;
 mod autotune;
 mod buffer;
+mod costmodel;
 mod error;
 mod exec;
 mod metrics;
@@ -107,11 +108,15 @@ pub mod sweep;
 mod view;
 
 pub use api::{ModelReports, Pipeline};
-pub use autotune::{autotune, run_autotuned, Trial, TuneResult, TuneSpace};
+pub use autotune::{autotune, autotune_with, run_autotuned, Trial, TuneResult, TuneSpace, TuneStrategy};
 #[allow(deprecated)]
 pub use buffer::{
-    run_pipelined_buffer, run_pipelined_buffer_fn, run_pipelined_buffer_with, BufferOptions,
-    StreamAssignment,
+    compile_plan, run_pipelined_buffer, run_pipelined_buffer_fn, run_pipelined_buffer_with,
+    BufferOptions, StreamAssignment,
+};
+pub use costmodel::{
+    run_model_online, Bottleneck, Calibration, CostModel, ModelTuner, OnlineReport, OnlineStep,
+    Prediction,
 };
 pub use error::{RtError, RtResult};
 pub use metrics::{Histogram, Stage, StageMetrics};
@@ -126,11 +131,12 @@ pub use multi::{
 };
 pub use plan::{
     build_window_table, chunk_ranges, footprint, map_buffer_bytes, map_full_bytes, min_footprint,
-    resolve_plan, resolve_plan_fn, ring_slots_default, ring_slots_min, Plan, WindowFn, WindowTable,
+    resolve_plan, resolve_plan_fn, ring_slots_default, ring_slots_min, ChunkStep, CompiledPlan,
+    EvKind, Plan, WindowFn, WindowTable,
 };
 pub use recovery::{Degradation, RecoveryStats, RetryPolicy};
 pub use report::{ExecModel, RunReport};
 pub use run::{run_model, run_window_fn, RunOptions};
 pub use spec::{Affine, MapDir, MapSpec, RegionSpec, Schedule, SplitSpec};
-pub use sweep::{sweep_map, sweep_map_threads, sweep_threads};
+pub use sweep::{sweep_map, sweep_map_threads, sweep_map_with, sweep_threads};
 pub use view::{ArrayView, ChunkCtx};

@@ -14,8 +14,9 @@
 //! bandwidth on the target device, and defaults to three streams (input
 //! copy / compute / output copy can then fully overlap).
 
-use gpsim::{DeviceProfile, ELEM_BYTES, PITCH_ALIGN_ELEMS};
+use gpsim::{DeviceProfile, WaitCause, ELEM_BYTES, PITCH_ALIGN_ELEMS};
 
+use crate::buffer::StreamAssignment;
 use crate::error::{RtError, RtResult};
 use crate::spec::{RegionSpec, Schedule, SplitSpec};
 
@@ -334,6 +335,92 @@ pub fn resolve_plan_fn(
         },
         table,
     ))
+}
+
+/// Which of a chunk's completion events a compiled wait refers to.
+///
+/// The Pipelined-buffer driver records at most one event per chunk per
+/// stage (H2D group, kernel, D2H group); a compiled wait names the
+/// producing chunk and the stage instead of a live [`gpsim::EventId`],
+/// so the same compiled plan can be replayed on fresh events every run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvKind {
+    /// The chunk's H2D-group completion event.
+    H2d,
+    /// The chunk's kernel completion event.
+    Kernel,
+    /// The chunk's D2H-group completion event.
+    D2h,
+}
+
+/// The fully classified enqueue recipe for one chunk of a compiled
+/// Pipelined-buffer run: every hazard wait, copy run and drain run the
+/// driver will issue, in issue order. Produced once by [`compile_plan`]
+/// (or on the first run) and replayed on every execution.
+///
+/// [`compile_plan`]: crate::compile_plan
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChunkStep {
+    /// Stream index (into the run's stream list) this chunk executes on.
+    pub stream: usize,
+    /// Events to wait on before the chunk's H2D copies (ring-reuse
+    /// evictions), as `(producing chunk, stage)`.
+    pub copy_waits: Vec<(usize, EvKind)>,
+    /// H2D copy runs `(map, first slice, slice count)`, each one
+    /// contiguous in the ring.
+    pub copy_runs: Vec<(usize, i64, usize)>,
+    /// Events to wait on before the kernel launch, with the recorded
+    /// stall cause (cross-stream halo dependency or ring-slot reuse).
+    pub kernel_waits: Vec<(usize, EvKind, WaitCause)>,
+    /// D2H drain runs `(map, first slice, slice count)`.
+    pub out_runs: Vec<(usize, i64, usize)>,
+    /// Ring slots mapped across all arrays once this chunk is classified
+    /// (the occupancy counter sample for the trace export).
+    pub mapped_slots: usize,
+}
+
+/// Everything the run spent deciding, with the device untouched: the
+/// compiled form of one Pipelined-buffer execution.
+///
+/// Compiling resolves the plan (including memory-limit shrinking), builds
+/// the window table, assigns chunks to streams, classifies every
+/// residency/hazard decision into [`ChunkStep`]s and interns the plan
+/// label — so replaying the plan only issues device commands. Reusable
+/// across iterations, sweep trials and autotune probes as long as the
+/// region shape, device profile and buffer options are unchanged (the
+/// driver checks, and silently recompiles on mismatch).
+#[derive(Debug, Clone)]
+pub struct CompiledPlan {
+    /// The resolved schedule (chunks, streams, ring capacities).
+    pub plan: Plan,
+    /// Per-map per-chunk dependency ranges.
+    pub table: WindowTable,
+    /// Chunk → stream index.
+    pub chunk_stream: Vec<usize>,
+    /// Per-chunk enqueue recipes, in chunk order.
+    pub steps: Vec<ChunkStep>,
+    /// Halo-consumer graph: `dependents[c]` are chunks whose kernels read
+    /// slices chunk `c` copied (used by chunk-granular recovery).
+    pub dependents: Vec<Vec<usize>>,
+    /// Interned `plan(...)` trace label.
+    pub plan_label: String,
+    pub(crate) key: PlanKey,
+}
+
+/// What a [`CompiledPlan`] was compiled against; replay is valid only for
+/// an identical key.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct PlanKey {
+    pub spec: RegionSpec,
+    pub lo: i64,
+    pub hi: i64,
+    pub profile: DeviceProfile,
+    pub track_residency: bool,
+    pub minimal_slots: bool,
+    pub assignment: StreamAssignment,
+    /// Plans built against caller-supplied window functions carry window
+    /// ranges the key cannot describe, so they never match for reuse.
+    pub custom_windows: bool,
 }
 
 /// Heuristic schedule: three streams, and a chunk size such that the

@@ -87,6 +87,9 @@ pub struct RunReport {
     /// spike ([`FaultPlan::spikes`](gpsim::FaultPlan::spikes)) — lets
     /// straggler tests assert injection actually happened.
     pub spikes: u64,
+    /// Whether this run replayed a cached [`CompiledPlan`](crate::CompiledPlan)
+    /// instead of planning from scratch (the host-runtime fast path).
+    pub plan_reused: bool,
 }
 
 impl RunReport {
@@ -138,6 +141,7 @@ impl RunReport {
             counter_tracks,
             recovery: RecoveryStats::default(),
             spikes: c.spikes,
+            plan_reused: false,
         }
     }
 
@@ -211,6 +215,7 @@ mod tests {
             counter_tracks: Vec::new(),
             recovery: RecoveryStats::default(),
             spikes: 0,
+            plan_reused: false,
         }
     }
 

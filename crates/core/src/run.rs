@@ -23,7 +23,7 @@
 use gpsim::{Gpu, SimError};
 
 use crate::autotune::{autotune, TuneSpace};
-use crate::buffer::{buffer_fn_impl, buffer_impl, BufferOptions};
+use crate::buffer::{buffer_fn_impl, buffer_impl_with, BufferOptions};
 use crate::error::{RtError, RtResult};
 use crate::exec::{naive_impl, pipelined_impl, KernelBuilder, PipelinedOptions, Region};
 use crate::multi::MultiOptions;
@@ -52,6 +52,12 @@ pub struct RunOptions {
     pub buffer: BufferOptions,
     /// Candidate grid for [`ExecModel::Auto`].
     pub tune: TuneSpace,
+    /// A pre-compiled plan to replay instead of planning from scratch
+    /// (the host-runtime fast path). The driver verifies the plan still
+    /// matches the region/device before reusing it — a stale plan falls
+    /// back to a fresh compile, never to wrong execution. `Arc` so one
+    /// compile can be shared across sweep trials and iterations.
+    pub compiled: Option<std::sync::Arc<crate::plan::CompiledPlan>>,
     /// Supervision knobs of the multi-device co-scheduler
     /// ([`run_model_multi`](crate::run_model_multi)); ignored by the
     /// single-device entry points.
@@ -96,6 +102,14 @@ impl RunOptions {
     #[must_use]
     pub fn with_tune(mut self, tune: TuneSpace) -> RunOptions {
         self.tune = tune;
+        self
+    }
+
+    /// Replay a pre-compiled plan (see
+    /// [`compile_plan`](crate::compile_plan)) instead of planning anew.
+    #[must_use]
+    pub fn with_compiled(mut self, plan: std::sync::Arc<crate::plan::CompiledPlan>) -> RunOptions {
+        self.compiled = Some(plan);
         self
     }
 
@@ -378,7 +392,14 @@ fn run_driver(
         }
         ExecModel::Naive => naive_impl(gpu, region, builder).map(DriverOutcome::Done),
         ExecModel::Pipelined => pipelined_impl(gpu, region, builder, &opts.pipelined, recovery),
-        ExecModel::PipelinedBuffer => buffer_impl(gpu, region, builder, &opts.buffer, recovery),
+        ExecModel::PipelinedBuffer => buffer_impl_with(
+            gpu,
+            region,
+            builder,
+            &opts.buffer,
+            recovery,
+            opts.compiled.as_deref(),
+        ),
         ExecModel::Auto => unreachable!("Auto is resolved by run_model"),
     }
 }

@@ -92,6 +92,58 @@ where
         .collect()
 }
 
+/// [`sweep_map`] with **per-worker reusable state**: each worker thread
+/// lazily builds one `S` via `init` on its first trial and passes it by
+/// mutable reference to every trial it runs.
+///
+/// This is how a sweep amortizes expensive non-`Send` setup — a
+/// simulated [`Gpu`](gpsim::Gpu) context plus its pinned host arrays —
+/// across trials instead of rebuilding it per trial: the state never
+/// crosses threads (it is created and dropped inside the worker), so
+/// `S` needs neither `Send` nor `Sync`. Trials must leave the state
+/// *quiesced* (device synchronized, everything freed) so results stay
+/// independent of which worker ran them; determinism then follows from
+/// the same argument as [`sweep_map`].
+pub fn sweep_map_with<S, T, I, F>(n: usize, init: I, f: F) -> Vec<T>
+where
+    T: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> T + Sync,
+{
+    let threads = sweep_threads().clamp(1, n.max(1));
+    if threads <= 1 {
+        let mut state = None;
+        return (0..n)
+            .map(|i| f(state.get_or_insert_with(&init), i))
+            .collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Mutex<Vec<Option<T>>> = Mutex::new((0..n).map(|_| None).collect());
+    thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| {
+                // Built on first trial: a worker that never wins a trial
+                // (more workers than trials) never pays for the state.
+                let mut state: Option<S> = None;
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let value = f(state.get_or_insert_with(&init), i);
+                    slots.lock().expect("sweep result lock")[i] = Some(value);
+                }
+            });
+        }
+    });
+    slots
+        .into_inner()
+        .expect("sweep result lock")
+        .into_iter()
+        .map(|slot| slot.expect("every trial index visited"))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -147,5 +199,32 @@ mod tests {
     #[test]
     fn sweep_threads_is_positive() {
         assert!(sweep_threads() >= 1);
+    }
+
+    #[test]
+    fn sweep_map_with_builds_at_most_one_state_per_worker() {
+        let inits = AtomicUsize::new(0);
+        let out = sweep_map_with(
+            16,
+            || {
+                inits.fetch_add(1, Ordering::Relaxed);
+                0u32
+            },
+            |st, i| {
+                *st += 1;
+                i
+            },
+        );
+        assert_eq!(out, (0..16).collect::<Vec<_>>());
+        let built = inits.load(Ordering::Relaxed);
+        assert!(built >= 1);
+        assert!(built <= sweep_threads().clamp(1, 16), "built {built} states");
+    }
+
+    #[test]
+    fn sweep_map_with_matches_plain_map() {
+        let f = |i: usize| (i as u64).wrapping_mul(0x9E37_79B9).rotate_left(7);
+        let out = sweep_map_with(33, || (), |(), i| f(i));
+        assert_eq!(out, (0..33).map(f).collect::<Vec<_>>());
     }
 }

@@ -1,0 +1,169 @@
+//! Property tests of the analytic cost model: for random region shapes,
+//! the predicted makespan must respond sanely to the schedule (more
+//! streams never predicted slower on an overhead-free device, larger
+//! regions never predicted faster), and the model-based tuner's O(1)
+//! pick must land within a bounded factor of the exhaustive DES oracle's
+//! true optimum.
+
+use gpsim::{DeviceProfile, ExecMode, Gpu, KernelCost, KernelLaunch};
+use pipeline_rt::{
+    autotune_with, Affine, ChunkCtx, CostModel, ExecModel, MapDir, MapSpec, Region, RegionSpec,
+    Schedule, SplitSpec, TuneSpace, TuneStrategy,
+};
+use proptest::prelude::*;
+
+/// A randomly shaped stencil problem for the model to predict.
+#[derive(Debug, Clone)]
+struct Shape {
+    extent: usize,
+    slice: usize,
+    window: usize,
+    chunk: usize,
+    streams: usize,
+}
+
+fn shapes() -> impl Strategy<Value = Shape> {
+    (
+        8usize..48,    // extent
+        64usize..2048, // slice elems
+        1usize..4,     // window
+        1usize..8,     // chunk
+        1usize..6,     // streams
+    )
+        .prop_map(|(extent, slice, window, chunk, streams)| Shape {
+            extent,
+            slice,
+            window,
+            chunk,
+            streams,
+        })
+}
+
+fn build_region(gpu: &mut Gpu, s: &Shape) -> Region {
+    let input = gpu.alloc_host(s.extent * s.slice, true).unwrap();
+    let output = gpu.alloc_host(s.extent * s.slice, true).unwrap();
+    let spec = RegionSpec::new(Schedule::static_(s.chunk, s.streams))
+        .with_map(MapSpec {
+            name: "in".into(),
+            dir: MapDir::To,
+            split: SplitSpec::OneD {
+                offset: Affine::IDENTITY,
+                window: s.window,
+                extent: s.extent,
+                slice_elems: s.slice,
+            },
+        })
+        .with_map(MapSpec {
+            name: "out".into(),
+            dir: MapDir::From,
+            split: SplitSpec::OneD {
+                offset: Affine::IDENTITY,
+                window: 1,
+                extent: s.extent,
+                slice_elems: s.slice,
+            },
+        });
+    let hi = (s.extent - s.window + 1) as i64;
+    Region::new(spec, 0, hi.max(1), vec![input, output])
+}
+
+fn builder_for(slice: usize) -> impl Fn(&ChunkCtx) -> KernelLaunch + Sync {
+    move |ctx: &ChunkCtx| {
+        let n = (ctx.k1 - ctx.k0) as u64;
+        KernelLaunch::cost_only(
+            "probe",
+            KernelCost {
+                flops: n * slice as u64 * 16,
+                bytes: n * slice as u64 * 8,
+            },
+        )
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// On a device with zero API/dispatch overhead and full-duplex DMA
+    /// (`uniform_test`), adding a stream can only expose more overlap:
+    /// the predicted buffered makespan is monotone non-increasing in the
+    /// stream count up to the engine count.
+    #[test]
+    fn predicted_makespan_is_monotone_in_streams(s in shapes()) {
+        let mut gpu = Gpu::new(DeviceProfile::uniform_test(), ExecMode::Timing).unwrap();
+        let region = build_region(&mut gpu, &s);
+        let builder = builder_for(s.slice);
+        let model = CostModel::new(&gpu, &region, &builder).unwrap();
+        let mut prev: Option<f64> = None;
+        for streams in 1..=3usize {
+            let p = model
+                .predict(ExecModel::PipelinedBuffer, s.chunk, streams)
+                .unwrap();
+            let t = p.total.as_secs_f64();
+            if let Some(pv) = prev {
+                prop_assert!(
+                    t <= pv * (1.0 + 1e-9),
+                    "streams {} predicted {} > {} at {}",
+                    streams, t, pv, streams - 1
+                );
+            }
+            prev = Some(t);
+        }
+    }
+
+    /// A strictly larger region (more iterations of the same work) can
+    /// never be predicted faster, under any execution model.
+    #[test]
+    fn predicted_makespan_is_monotone_in_region_size(s in shapes(), grow in 1usize..16) {
+        let mut gpu = Gpu::new(DeviceProfile::k40m(), ExecMode::Timing).unwrap();
+        let small = build_region(&mut gpu, &s);
+        let mut big_shape = s.clone();
+        big_shape.extent = s.extent + grow;
+        let big = build_region(&mut gpu, &big_shape);
+        let builder = builder_for(s.slice);
+        let m_small = CostModel::new(&gpu, &small, &builder).unwrap();
+        let m_big = CostModel::new(&gpu, &big, &builder).unwrap();
+        for model in [ExecModel::Naive, ExecModel::Pipelined, ExecModel::PipelinedBuffer] {
+            let a = m_small.predict(model, s.chunk, s.streams).unwrap().total;
+            let b = m_big.predict(model, s.chunk, s.streams).unwrap().total;
+            prop_assert!(
+                b >= a,
+                "{model:?}: extent {} predicted {} < extent {} predicted {}",
+                big_shape.extent, b, s.extent, a
+            );
+        }
+    }
+
+    /// The model tuner's O(1) pick, measured by the exhaustive DES
+    /// oracle, must be within 1.5× of the oracle's true optimum. Few
+    /// cases: each runs a full simulated sweep.
+    #[test]
+    fn model_pick_is_near_the_exhaustive_optimum(s in shapes()) {
+        let mut gpu = Gpu::new(DeviceProfile::k40m(), ExecMode::Timing).unwrap();
+        let region = build_region(&mut gpu, &s);
+        let builder = builder_for(s.slice);
+        let space = TuneSpace {
+            chunks: vec![1, 2, 4, 8],
+            streams: vec![1, 2, 3],
+        };
+        let model =
+            autotune_with(&gpu, &region, &builder, &space, TuneStrategy::Model).unwrap();
+        let oracle =
+            autotune_with(&gpu, &region, &builder, &space, TuneStrategy::Exhaustive).unwrap();
+        prop_assert_eq!(model.des_trials, 0);
+        let (mc, ms) = match model.best {
+            Schedule::Static { chunk_size, num_streams } => (chunk_size, num_streams),
+            other => panic!("{other:?}"),
+        };
+        let picked = oracle
+            .trials
+            .iter()
+            .find(|t| t.chunk == mc && t.streams == ms)
+            .and_then(|t| t.time)
+            .expect("model picked an infeasible cell");
+        prop_assert!(
+            picked.as_secs_f64() <= 1.5 * oracle.best_time.as_secs_f64(),
+            "model pick {}x{} measures {} vs oracle best {}",
+            mc, ms, picked, oracle.best_time
+        );
+    }
+}

@@ -207,6 +207,27 @@ impl DeviceProfile {
         self.dma_time(self.d2h_peak_bw, bytes, pinned)
     }
 
+    /// Duration of a strided host→device 2-D copy of `rows` rows of
+    /// `row_bytes` each (excluding API overhead). Each row is a separate
+    /// DMA descriptor paying the per-row ramp — the exact formula the
+    /// simulator charges, exposed so analytic cost models predict the
+    /// same number.
+    pub fn h2d_time_2d(&self, rows: usize, row_bytes: u64, pinned: bool) -> SimTime {
+        self.strided_dma_time(self.h2d_peak_bw, rows, row_bytes, pinned)
+    }
+
+    /// Duration of a strided device→host 2-D copy (see [`Self::h2d_time_2d`]).
+    pub fn d2h_time_2d(&self, rows: usize, row_bytes: u64, pinned: bool) -> SimTime {
+        self.strided_dma_time(self.d2h_peak_bw, rows, row_bytes, pinned)
+    }
+
+    fn strided_dma_time(&self, peak: f64, rows: usize, row_bytes: u64, pinned: bool) -> SimTime {
+        let factor = if pinned { 1.0 } else { self.pageable_bw_factor };
+        let bw = self.effective_bw_2d(peak, row_bytes) * factor;
+        let per_row = row_bytes as f64 / bw;
+        self.copy_latency + SimTime::from_secs_f64(per_row * rows as f64)
+    }
+
     fn dma_time(&self, peak: f64, bytes: u64, pinned: bool) -> SimTime {
         let factor = if pinned { 1.0 } else { self.pageable_bw_factor };
         let bw = self.effective_bw(peak, bytes) * factor;

@@ -1403,13 +1403,19 @@ impl Gpu {
                 let pinned = self.pool.host_pinned(*host).unwrap_or(true);
                 self.profile.d2h_time(*elems as u64 * ELEM_BYTES, pinned)
             }
+            // Strided copies pay the bandwidth ramp per row: each row is
+            // a separate DMA descriptor, which is why the paper's
+            // non-contiguous transfers "take much longer" yet still
+            // overlap with compute.
             CmdKind::H2D2D(c) => {
                 let pinned = self.pool.host_pinned(c.host).unwrap_or(true);
-                self.strided_copy_time(self.profile.h2d_peak_bw, c, pinned)
+                self.profile
+                    .h2d_time_2d(c.rows, c.row_elems as u64 * ELEM_BYTES, pinned)
             }
             CmdKind::D2H2D(c) => {
                 let pinned = self.pool.host_pinned(c.host).unwrap_or(true);
-                self.strided_copy_time(self.profile.d2h_peak_bw, c, pinned)
+                self.profile
+                    .d2h_time_2d(c.rows, c.row_elems as u64 * ELEM_BYTES, pinned)
             }
             CmdKind::Kernel(k) => self.profile.kernel_time(k.cost.flops, k.cost.bytes),
             // Memset streams one write per element; D2D a read plus a
@@ -1422,21 +1428,6 @@ impl Gpu {
                 .kernel_time(0, 2 * *elems as u64 * ELEM_BYTES),
             CmdKind::EventRecord(_) | CmdKind::EventWait(..) => SimTime::ZERO,
         }
-    }
-
-    /// Strided copies pay the bandwidth ramp per row: each row is a
-    /// separate DMA descriptor, which is why the paper's non-contiguous
-    /// transfers "take much longer" yet still overlap with compute.
-    fn strided_copy_time(&self, peak: f64, c: &Copy2D, pinned: bool) -> SimTime {
-        let row_bytes = c.row_elems as u64 * ELEM_BYTES;
-        let factor = if pinned {
-            1.0
-        } else {
-            self.profile.pageable_bw_factor
-        };
-        let bw = self.profile.effective_bw_2d(peak, row_bytes) * factor;
-        let per_row = row_bytes as f64 / bw;
-        self.profile.copy_latency + SimTime::from_secs_f64(per_row * c.rows as f64)
     }
 
     /// Execute the functional payload of a completing command and update
