@@ -11,8 +11,8 @@ use std::fs;
 use std::path::PathBuf;
 
 use pipeline_bench::{
-    ablate, failover, faults, fig3, fig4, fig56, fig7, fig8, fig910, fleet, header, model, perf,
-    trace,
+    ablate, calibrate, failover, faults, fig3, fig4, fig56, fig7, fig8, fig910, fleet, header,
+    model, perf, trace,
 };
 
 fn main() {
@@ -60,9 +60,23 @@ fn main() {
             eprintln!("wrote {}", path.display());
         }
     };
+    let diff_pair: Option<(PathBuf, PathBuf)> = args
+        .iter()
+        .position(|a| a == "--diff")
+        .map(|i| {
+            let a = args.get(i + 1).map(PathBuf::from);
+            let b = args.get(i + 2).map(PathBuf::from);
+            let (Some(a), Some(b)) = (a, b) else {
+                eprintln!("--diff needs two trace files: --diff A.trace.json B.trace.json");
+                std::process::exit(2);
+            };
+            args.drain(i..(i + 3).min(args.len()));
+            (a, b)
+        });
     const KNOWN: &[&str] = &[
         "all", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
         "future", "ablations", "perf", "model", "trace", "faults", "failover", "fleet",
+        "calibrate",
     ];
     for a in &args {
         if !KNOWN.contains(&a.as_str()) {
@@ -378,6 +392,39 @@ fn main() {
         if let Err(e) = fleet::check_floor(&tiers) {
             eprintln!("fleet throughput regression: {e}");
             std::process::exit(1);
+        }
+    }
+    if want("calibrate") {
+        if let Some((pa, pb)) = &diff_pair {
+            header("Trace diff — attribution delta (B − A)");
+            let read = |p: &PathBuf| {
+                fs::read_to_string(p).unwrap_or_else(|e| {
+                    eprintln!("cannot read {}: {e}", p.display());
+                    std::process::exit(2);
+                })
+            };
+            match calibrate::diff_docs(&read(pa), &read(pb)) {
+                Ok(table) => print!("{table}"),
+                Err(e) => {
+                    eprintln!("trace diff failed: {e}");
+                    std::process::exit(2);
+                }
+            }
+        } else {
+            header(if smoke {
+                "Profile auto-calibration — import -> fit -> closure, smoke cells"
+            } else {
+                "Profile auto-calibration — import -> fit -> closure (all apps, K40m + HD 7970)"
+            });
+            let rep = calibrate::run(smoke);
+            calibrate::print(&rep);
+            write_csv("calibrate.csv", calibrate::csv(&rep));
+            fs::write("CALIB_sim.json", calibrate::json(&rep)).expect("write CALIB_sim.json");
+            eprintln!("wrote CALIB_sim.json");
+            if let Err(e) = calibrate::check(&rep) {
+                eprintln!("calibration gate: {e}");
+                std::process::exit(1);
+            }
         }
     }
     if want("trace") {

@@ -154,8 +154,12 @@ pub fn run(smoke: bool) -> FaultSweep {
             "rate {rate}: net command count diverged"
         );
         if (rate - 0.05).abs() < 1e-9 {
-            trace_json =
-                to_perfetto_trace(gpu.timeline(), gpu.host_spans(), &report.counter_tracks);
+            trace_json = to_perfetto_trace(
+                gpu.timeline(),
+                gpu.host_spans(),
+                gpu.wait_records(),
+                &report.counter_tracks,
+            );
             assert!(
                 trace_json.contains("wait-retry"),
                 "5% trace lacks wait-retry spans"

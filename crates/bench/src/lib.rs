@@ -21,6 +21,8 @@
 //! | [`faults`]| Overhead of resilience: recovery cost vs fault rate |
 //! | [`failover`]| Multi-GPU device-loss failover + straggler rebalancing |
 //! | [`model`] | Analytic cost-model accuracy vs the DES (fig4 + fig8 grids) |
+//! | [`trace`] | Correlated Perfetto traces + stall attribution per app |
+//! | [`calibrate`] | Trace-driven profile auto-calibration, diffing, fleet share shift |
 //!
 //! Harness `run()` functions fan their independent trials over the
 //! [`pipeline_rt::sweep_map`] worker pool; set `DBPP_SWEEP_THREADS=1`
@@ -35,6 +37,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod ablate;
+pub mod calibrate;
 pub mod failover;
 pub mod faults;
 pub mod fig3;

@@ -361,125 +361,28 @@ pub fn json(rep: &ModelReport) -> String {
 }
 
 /// Insert or replace top-level key `key` of JSON object `doc` with
-/// `value` (itself a serialized JSON value), preserving every other key
-/// byte-for-byte. `figures model` uses this to merge its section into a
-/// `BENCH_sim.json` that `figures perf` wrote wholesale. A `doc` that is
-/// not a JSON object is replaced by a fresh object holding only `key`.
+/// `value` (itself a serialized JSON value), preserving every other
+/// key's content and position. `figures model` uses this to merge its
+/// section into a `BENCH_sim.json` that `figures perf` wrote wholesale.
+///
+/// Parse–modify–serialize through the in-tree [`gpsim::json`] module:
+/// the document is parsed into an order-preserving object, the key
+/// replaced or appended, and the whole document re-serialized with
+/// [`Json::dump`](gpsim::json::Json::dump). A `doc` that is not a JSON
+/// object (or `value` that is not valid JSON) is replaced by a fresh
+/// object holding only `key`.
 pub fn upsert_key(doc: &str, key: &str, value: &str) -> String {
-    if gpsim::json::parse(doc).is_err() || !doc.trim_start().starts_with('{') {
-        return format!("{{\n  \"{key}\": {value}\n}}\n");
+    use gpsim::json::{parse, Json};
+    let val = parse(value).unwrap_or(Json::Null);
+    let mut fields = match parse(doc) {
+        Ok(Json::Obj(fields)) => fields,
+        _ => Vec::new(),
+    };
+    match fields.iter_mut().find(|(k, _)| k == key) {
+        Some((_, v)) => *v = val,
+        None => fields.push((key.to_string(), val)),
     }
-    if let Some((start, end)) = find_top_level_value(doc, key) {
-        let mut out = String::with_capacity(doc.len() + value.len());
-        out.push_str(&doc[..start]);
-        out.push_str(value);
-        out.push_str(&doc[end..]);
-        return out;
-    }
-    // Key absent: splice it in before the closing brace of the object.
-    let close = doc.rfind('}').expect("object close");
-    let body = &doc[doc.find('{').map(|i| i + 1).unwrap_or(0)..close];
-    let sep = if body.trim().is_empty() { "" } else { "," };
-    format!(
-        "{}{sep}\n  \"{key}\": {value}\n{}",
-        doc[..close].trim_end(),
-        &doc[close..]
-    )
-}
-
-/// Byte span of the value of top-level `key` in a valid JSON object, or
-/// `None` when absent. String-aware and depth-aware: keys nested inside
-/// other objects or arrays never match.
-fn find_top_level_value(doc: &str, key: &str) -> Option<(usize, usize)> {
-    let b = doc.as_bytes();
-    let mut depth = 0usize;
-    let mut i = 0usize;
-    while i < b.len() {
-        match b[i] {
-            b'"' => {
-                let (s, e) = scan_string(b, i);
-                if depth == 1 && &doc[s + 1..e - 1] == key {
-                    // Is this string a key (followed by ':')?
-                    let mut j = e;
-                    while j < b.len() && b[j].is_ascii_whitespace() {
-                        j += 1;
-                    }
-                    if j < b.len() && b[j] == b':' {
-                        j += 1;
-                        while j < b.len() && b[j].is_ascii_whitespace() {
-                            j += 1;
-                        }
-                        return Some((j, scan_value(b, j)));
-                    }
-                }
-                i = e;
-            }
-            b'{' | b'[' => {
-                depth += 1;
-                i += 1;
-            }
-            b'}' | b']' => {
-                depth = depth.saturating_sub(1);
-                i += 1;
-            }
-            _ => i += 1,
-        }
-    }
-    None
-}
-
-/// End index (exclusive) of the string literal starting at `b[at] == '"'`,
-/// honouring backslash escapes. Returns `(start, end)`.
-fn scan_string(b: &[u8], at: usize) -> (usize, usize) {
-    let mut i = at + 1;
-    while i < b.len() {
-        match b[i] {
-            b'\\' => i += 2,
-            b'"' => return (at, i + 1),
-            _ => i += 1,
-        }
-    }
-    (at, b.len())
-}
-
-/// End index (exclusive) of the JSON value starting at `b[at]`.
-fn scan_value(b: &[u8], at: usize) -> usize {
-    match b[at] {
-        b'"' => scan_string(b, at).1,
-        b'{' | b'[' => {
-            let mut depth = 0usize;
-            let mut i = at;
-            while i < b.len() {
-                match b[i] {
-                    b'"' => i = scan_string(b, i).1,
-                    b'{' | b'[' => {
-                        depth += 1;
-                        i += 1;
-                    }
-                    b'}' | b']' => {
-                        depth -= 1;
-                        i += 1;
-                        if depth == 0 {
-                            return i;
-                        }
-                    }
-                    _ => i += 1,
-                }
-            }
-            b.len()
-        }
-        _ => {
-            // Scalar: runs to the next comma or close at this level.
-            let mut i = at;
-            while i < b.len() && !matches!(b[i], b',' | b'}' | b']') {
-                i += 1;
-            }
-            while i > at && b[i - 1].is_ascii_whitespace() {
-                i -= 1;
-            }
-            i
-        }
-    }
+    Json::Obj(fields).dump()
 }
 
 #[cfg(test)]
@@ -551,6 +454,30 @@ mod tests {
         assert_eq!(
             gpsim::json::parse(&fresh).unwrap().get("model").and_then(|v| v.as_f64()),
             Some(3.0)
+        );
+    }
+
+    #[test]
+    fn upsert_is_idempotent_and_keeps_key_order() {
+        let doc = "{ \"zeta\": 1, \"alpha\": [true, null], \"mid\": \"x\" }";
+        let once = upsert_key(doc, "model", "{ \"e\": 0.5 }");
+        // Re-upserting the same value must not change a single byte.
+        let twice = upsert_key(&once, "model", "{ \"e\": 0.5 }");
+        assert_eq!(once, twice, "upsert is not idempotent");
+        // Existing keys keep their document order; the new key appends.
+        let order = |s: &str| -> Vec<String> {
+            match gpsim::json::parse(s).unwrap() {
+                gpsim::json::Json::Obj(fields) => fields.into_iter().map(|(k, _)| k).collect(),
+                _ => panic!("not an object"),
+            }
+        };
+        assert_eq!(order(&once), ["zeta", "alpha", "mid", "model"]);
+        // Replacing an interior key keeps it in place.
+        let replaced = upsert_key(&once, "alpha", "7");
+        assert_eq!(order(&replaced), ["zeta", "alpha", "mid", "model"]);
+        assert_eq!(
+            gpsim::json::parse(&replaced).unwrap().get("alpha").and_then(|v| v.as_f64()),
+            Some(7.0)
         );
     }
 }

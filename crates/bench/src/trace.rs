@@ -9,10 +9,11 @@
 //! self-validated before it is written: the JSON must parse and every
 //! device slice must have a matching flow begin.
 
-use gpsim::json::Json;
 use gpsim::{render_attribution, render_gantt, to_perfetto_trace, Gpu, TimelineEntry};
 use pipeline_apps::{Conv3dConfig, QcdConfig, StencilConfig};
-use pipeline_rt::{run_model, ExecModel, KernelBuilder, Region, RunOptions, RunReport};
+use pipeline_rt::{
+    run_model, ExecModel, ImportedTrace, KernelBuilder, Region, RunOptions, RunReport,
+};
 
 use crate::{gpu_hd7970, gpu_k40m};
 
@@ -47,44 +48,22 @@ impl TraceRow {
     }
 }
 
-/// Validate a trace document: it must parse, every device slice must
-/// have a matching flow begin (`ph:"s"` with the slice's seq id), and at
-/// least two counter tracks must be present. Returns an error message
-/// describing the first violation.
+/// Validate a trace document by round-tripping it through the one
+/// Perfetto-reading code path, [`ImportedTrace`]: the document must
+/// parse back into exactly as many device command spans as the live
+/// timeline holds, every device slice must have a matching flow begin,
+/// and at least two counter tracks must be present. Returns an error
+/// message describing the first violation.
 pub fn validate_trace(doc: &str, timeline: &[TimelineEntry]) -> Result<(), String> {
-    let parsed = gpsim::json::parse(doc)?;
-    let events = parsed
-        .get("traceEvents")
-        .and_then(Json::as_arr)
-        .ok_or("missing traceEvents array")?;
-    let ph = |e: &Json| e.get("ph").and_then(Json::as_str).unwrap_or("").to_string();
-    let flow_starts: Vec<u64> = events
-        .iter()
-        .filter(|e| ph(e) == "s")
-        .filter_map(|e| e.get("id").and_then(Json::as_f64))
-        .map(|id| id as u64)
-        .collect();
-    for t in timeline {
-        if !flow_starts.contains(&t.seq) {
-            return Err(format!(
-                "device slice '{}' (seq {}) has no flow begin",
-                t.label, t.seq
-            ));
-        }
-    }
-    let mut counter_names: Vec<&str> = events
-        .iter()
-        .filter(|e| ph(e) == "C")
-        .filter_map(|e| e.get("name").and_then(Json::as_str))
-        .collect();
-    counter_names.sort_unstable();
-    counter_names.dedup();
-    if counter_names.len() < 2 {
+    let imported = ImportedTrace::parse(doc)?;
+    if imported.timeline.len() != timeline.len() {
         return Err(format!(
-            "expected at least 2 counter tracks, found {counter_names:?}"
+            "imported {} device spans, live timeline has {}",
+            imported.timeline.len(),
+            timeline.len()
         ));
     }
-    Ok(())
+    imported.validate()
 }
 
 fn trace_one(
@@ -96,7 +75,12 @@ fn trace_one(
     builder: &KernelBuilder<'_>,
 ) -> TraceRow {
     let report = run_model(gpu, region, builder, model, &RunOptions::default()).expect("traced run");
-    let trace_json = to_perfetto_trace(gpu.timeline(), gpu.host_spans(), &report.counter_tracks);
+    let trace_json = to_perfetto_trace(
+        gpu.timeline(),
+        gpu.host_spans(),
+        gpu.wait_records(),
+        &report.counter_tracks,
+    );
     if let Err(e) = validate_trace(&trace_json, gpu.timeline()) {
         panic!("{app}/{model}/{profile}: invalid trace export: {e}");
     }

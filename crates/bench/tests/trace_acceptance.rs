@@ -43,7 +43,13 @@ fn traces_attribute_and_correlate_for_every_app_and_model() {
             .iter()
             .filter(|e| pid(e) == 0 && (ph(e) == "X" || ph(e) == "i"))
             .count();
-        let device_spans = events.iter().filter(|e| pid(e) == 1 && ph(e) == "X").count();
+        // Device *command* spans live on the engine threads (tid 1-3);
+        // tid 4 is the Waits thread for resolved stall records.
+        let tid = |e: &&Json| e.get("tid").and_then(Json::as_f64).unwrap_or(-1.0) as i64;
+        let device_spans = events
+            .iter()
+            .filter(|e| pid(e) == 1 && ph(e) == "X" && tid(e) != 4)
+            .count();
         let flow_begins = events.iter().filter(|e| ph(e) == "s").count();
         let flow_ends = events.iter().filter(|e| ph(e) == "f").count();
         let mut counters: Vec<&str> = events

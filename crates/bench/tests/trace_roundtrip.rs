@@ -1,0 +1,78 @@
+//! Export↔import round-trip: for every app × execution model, a trace
+//! exported to Perfetto JSON and parsed back through [`ImportedTrace`]
+//! must let the offline analyzer recompute the live run's attribution
+//! *identically* — same stall partition per engine, same busy times,
+//! same per-stage latency histograms. The export is exact-ns (µs with
+//! three decimals), so equality is integer equality, not tolerance.
+
+use gpsim::to_perfetto_trace;
+use pipeline_apps::{Conv3dConfig, QcdConfig, StencilConfig};
+use pipeline_bench::gpu_k40m;
+use pipeline_rt::{run_model, ExecModel, ImportedTrace, Region, RunOptions};
+
+type Builder = Box<dyn Fn(&pipeline_rt::ChunkCtx) -> gpsim::KernelLaunch + Sync>;
+
+#[test]
+fn offline_attribution_matches_live_for_every_app_and_model() {
+    let models = [ExecModel::Naive, ExecModel::Pipelined, ExecModel::PipelinedBuffer];
+    for app in ["3dconv", "stencil", "qcd"] {
+        let mut gpu = gpu_k40m();
+        let (region, builder): (Region, Builder) = match app {
+                "3dconv" => {
+                    let cfg = Conv3dConfig::test_small();
+                    let inst = cfg.setup(&mut gpu).expect("conv3d setup");
+                    (inst.region, Box::new(cfg.builder()))
+                }
+                "stencil" => {
+                    let cfg = StencilConfig::test_small();
+                    let inst = cfg.setup(&mut gpu).expect("stencil setup");
+                    (inst.region, Box::new(cfg.builder()))
+                }
+                _ => {
+                    let cfg = QcdConfig::test_small();
+                    let inst = cfg.setup(&mut gpu).expect("qcd setup");
+                    (inst.region, Box::new(cfg.builder()))
+                }
+            };
+        for model in models {
+            let report = run_model(&mut gpu, &region, &*builder, model, &RunOptions::default())
+                .unwrap_or_else(|e| panic!("{app}/{model}: {e}"));
+            let doc = to_perfetto_trace(
+                gpu.timeline(),
+                gpu.host_spans(),
+                gpu.wait_records(),
+                &report.counter_tracks,
+            );
+            let imported = ImportedTrace::parse(&doc)
+                .unwrap_or_else(|e| panic!("{app}/{model}: import failed: {e}"));
+            imported
+                .validate()
+                .unwrap_or_else(|e| panic!("{app}/{model}: imported trace invalid: {e}"));
+
+            // Structural round-trip: every device command and wait
+            // record survives, exact to the nanosecond.
+            assert_eq!(
+                imported.timeline.len(),
+                gpu.timeline().len(),
+                "{app}/{model}: device span count"
+            );
+            assert_eq!(
+                imported.waits.len(),
+                gpu.wait_records().len(),
+                "{app}/{model}: wait record count"
+            );
+
+            // Semantic round-trip: the offline analyzer recomputes the
+            // live attribution identically.
+            let analysis = imported.analyze();
+            assert_eq!(analysis.stalls, report.stalls, "{app}/{model}: stall partition");
+            assert_eq!(
+                analysis.stage_metrics, report.stage_metrics,
+                "{app}/{model}: stage histograms"
+            );
+            assert_eq!(analysis.busy_h2d, report.h2d, "{app}/{model}: h2d busy");
+            assert_eq!(analysis.busy_d2h, report.d2h, "{app}/{model}: d2h busy");
+            assert_eq!(analysis.busy_kernel, report.kernel, "{app}/{model}: kernel busy");
+        }
+    }
+}

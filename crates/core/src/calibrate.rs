@@ -1,0 +1,541 @@
+//! Profile auto-calibration from imported traces: recover the
+//! per-component times a [`DeviceProfile`] encodes (DMA bandwidth and
+//! latency, duplex penalty, API overhead) from one or more
+//! [`ImportedTrace`]s, fold the residual per-engine error through
+//! [`Calibration`], and prove closure — the fitted profile's
+//! [`CostModel`] prediction must land near the imported trace's actual
+//! makespan.
+//!
+//! The simulator's copy-time law (see [`DeviceProfile`]) is, for a
+//! pinned 1-D copy of `b` bytes: `dur = OH + lat + (b + half)/peak`,
+//! i.e. **linear in `b`** with slope `1/peak`; a copy dispatched while
+//! the opposite copy engine is busy has everything but `OH` divided by
+//! the duplex factor. A robust (Theil–Sen) line through the trace's
+//! uncontended copy samples therefore recovers the peak bandwidth
+//! exactly, the contended line's slope recovers `duplex · peak`, and
+//! their ratio recovers the duplex factor. The intercept terms (`OH`,
+//! `lat`, `half/peak`) are not separately identifiable from transfer
+//! times, so the fit carries the whole observed intercept in
+//! `copy_latency` and zeroes `bw_half_size` and the per-stream
+//! scheduling overhead — an equivalent parameterization for copies;
+//! the kernel-side dispatch residual it leaves behind is exactly what
+//! the [`Calibration`] multipliers absorb. API overhead falls out even
+//! more directly: on the simulator, every host enqueue span covers
+//! exactly one driver call.
+//!
+//! A single trace usually carries only one copy size per direction in
+//! its *clean* samples (pipeline interiors run full-duplex), which
+//! under-determines the line. Calibration harnesses should therefore
+//! run a small probe sweep — the same region at two chunk sizes — and
+//! hand both traces to [`fit_profile`].
+
+use gpsim::{DeviceProfile, SimTime, TimelineKind};
+
+use crate::costmodel::{Calibration, CostModel, Prediction};
+use crate::error::RtResult;
+use crate::exec::{KernelBuilder, Region};
+use crate::report::ExecModel;
+use crate::trace::ImportedTrace;
+
+use gpsim::Gpu;
+
+/// Fit quality for one copy direction.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DirFit {
+    /// 1-D samples (clean + contended) the fit used.
+    pub samples: usize,
+    /// Fitted peak bandwidth, bytes/s (0.0 when no samples: base kept).
+    pub peak_bw: f64,
+    /// Median relative error of the fitted copy-time law over the
+    /// samples it was fitted on.
+    pub median_err: f64,
+}
+
+/// A [`DeviceProfile`] fitted from imported traces, with per-component
+/// fit diagnostics.
+#[derive(Debug, Clone)]
+pub struct ProfileFit {
+    /// The fitted profile (base profile with bandwidth, copy latency,
+    /// duplex factor, and API overhead replaced where the traces had
+    /// evidence).
+    pub profile: DeviceProfile,
+    /// H2D bandwidth fit quality.
+    pub h2d: DirFit,
+    /// D2H bandwidth fit quality.
+    pub d2h: DirFit,
+    /// Duplex factor recovered from the clean/contended slope ratio
+    /// (`None` when the traces could not determine it — base kept).
+    pub duplex: Option<f64>,
+    /// API overhead recovered from host enqueue spans (zero when the
+    /// traces had none — base kept).
+    pub api_overhead: SimTime,
+}
+
+fn median_f64(mut v: Vec<f64>) -> f64 {
+    if v.is_empty() {
+        return 0.0;
+    }
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    v[v.len() / 2]
+}
+
+/// Theil–Sen slope over `(bytes, dur_ns)` points: median of pairwise
+/// slopes between distinct sizes. Robust to a minority of contaminated
+/// samples (spikes, residual contention). `None` when every point has
+/// the same size — the line is under-determined.
+fn robust_slope(pts: &[(f64, f64)]) -> Option<f64> {
+    if pts.is_empty() {
+        return None;
+    }
+    let mut slopes = Vec::new();
+    // Cap the O(n²) pair set; 256 points give ~32k pairs, plenty.
+    let stride = pts.len().div_ceil(256);
+    let sub: Vec<&(f64, f64)> = pts.iter().step_by(stride).collect();
+    for (i, a) in sub.iter().enumerate() {
+        for b in sub.iter().skip(i + 1) {
+            if (a.0 - b.0).abs() > 0.5 {
+                slopes.push((a.1 - b.1) / (a.0 - b.0));
+            }
+        }
+    }
+    if slopes.is_empty() {
+        None
+    } else {
+        Some(median_f64(slopes))
+    }
+}
+
+/// One direction's 1-D copy observations, merged across traces and
+/// split by the simulator's dispatch-instant duplex rule.
+#[derive(Default)]
+struct DirPoints {
+    clean: Vec<(f64, f64)>,
+    contended: Vec<(f64, f64)>,
+}
+
+fn gather(traces: &[&ImportedTrace], kind: TimelineKind) -> DirPoints {
+    let mut out = DirPoints::default();
+    for tr in traces {
+        let (clean, contended) = tr.copy_samples_split(kind);
+        for (samples, bucket) in [(clean, &mut out.clean), (contended, &mut out.contended)] {
+            bucket.extend(
+                samples
+                    .iter()
+                    .filter(|s| s.rows == 1 && s.dur_ns > 0)
+                    .map(|s| (s.bytes() as f64, s.dur_ns as f64)),
+            );
+        }
+    }
+    out
+}
+
+/// Per-direction fit: peak bandwidth plus diagnostics, given the shared
+/// folded intercept `c` (ns) and duplex factor.
+fn fit_direction(pts: &DirPoints, c: f64, dup: f64, base_peak: f64) -> (Option<f64>, DirFit) {
+    let slope = robust_slope(&pts.clean)
+        .filter(|s| *s > 0.0)
+        .or_else(|| robust_slope(&pts.contended).filter(|s| *s > 0.0).map(|s| s * dup));
+    let peak = slope.map(|s| 1.0e9 / s).or_else(|| {
+        // Single-size direction: solve the law at the observed points
+        // against the shared intercept (exact at that size).
+        let solved: Vec<f64> = pts
+            .clean
+            .iter()
+            .filter(|&&(_, d)| d > c)
+            .map(|&(b, d)| b * 1.0e9 / (d - c))
+            .chain(
+                pts.contended
+                    .iter()
+                    .filter(|&&(_, d)| d * dup > c)
+                    .map(|&(b, d)| b * 1.0e9 / (d * dup - c)),
+            )
+            .collect();
+        (!solved.is_empty()).then(|| median_f64(solved))
+    });
+    let samples = pts.clean.len() + pts.contended.len();
+    let Some(peak) = peak else {
+        return (
+            None,
+            DirFit {
+                samples,
+                peak_bw: base_peak,
+                median_err: 0.0,
+            },
+        );
+    };
+    let errs: Vec<f64> = pts
+        .clean
+        .iter()
+        .map(|&(b, d)| (c + b * 1.0e9 / peak, d))
+        .chain(
+            pts.contended
+                .iter()
+                .map(|&(b, d)| ((c + b * 1.0e9 / peak) / dup, d)),
+        )
+        .map(|(pred, d)| (pred - d).abs() / d)
+        .collect();
+    (
+        Some(peak),
+        DirFit {
+            samples,
+            peak_bw: peak,
+            median_err: median_f64(errs),
+        },
+    )
+}
+
+/// Fit a [`DeviceProfile`] from imported traces, starting from `base`
+/// (typically the profile the run is believed to have executed on — or
+/// a deliberately wrong guess, which is the interesting case).
+///
+/// With two or more distinct copy sizes among a direction's samples
+/// (run the same region at two chunk sizes, or pick a chunk size that
+/// does not divide the extent), the copy-time line is determined: the
+/// fitted profile gets the slope's peak bandwidth and carries the whole
+/// observed intercept in `copy_latency`, zeroing `bw_half_size` and
+/// `sched_overhead_per_stream` — see the module docs for why this
+/// folded parameterization is the identifiable one. When both the
+/// clean and contended lines are determined, their slope ratio fits
+/// `duplex_factor` as well. With a single size everywhere only the
+/// point is identifiable, so the base's intercept components are kept
+/// and the peak is solved at that size (exact there, extrapolated
+/// elsewhere).
+///
+/// API overhead comes from host enqueue spans; components the traces
+/// carry no evidence for (2-D ramp constants, compute throughput,
+/// capacities) are kept from `base` — compute-side residuals are the
+/// [`Calibration`] layer's job (see [`calibrate_from_trace`]).
+pub fn fit_profile(base: &DeviceProfile, traces: &[&ImportedTrace]) -> ProfileFit {
+    let mut profile = base.clone();
+
+    let h2d_pts = gather(traces, TimelineKind::H2D);
+    let d2h_pts = gather(traces, TimelineKind::D2H);
+    let clean_slope = |pts: &DirPoints| robust_slope(&pts.clean).filter(|s| *s > 0.0);
+    let cont_slope = |pts: &DirPoints| robust_slope(&pts.contended).filter(|s| *s > 0.0);
+
+    // Duplex factor: clean vs contended slope ratio, per direction.
+    let dups: Vec<f64> = [&h2d_pts, &d2h_pts]
+        .into_iter()
+        .filter_map(|pts| {
+            let ratio = clean_slope(pts)? / cont_slope(pts)?;
+            (ratio > 0.0 && ratio <= 1.0).then_some(ratio)
+        })
+        .collect();
+    let duplex = (!dups.is_empty()).then(|| dups.iter().sum::<f64>() / dups.len() as f64);
+    if let Some(d) = duplex {
+        profile.duplex_factor = d;
+    }
+    let dup = profile.duplex_factor;
+
+    // Shared folded intercept, when any line is determined. A clean
+    // line's intercept reads off directly; a contended line's is
+    // de-stretched by the duplex factor.
+    let intercepts: Vec<f64> = [&h2d_pts, &d2h_pts]
+        .into_iter()
+        .filter_map(|pts| {
+            if let Some(s) = clean_slope(pts) {
+                Some(median_f64(pts.clean.iter().map(|&(b, d)| d - b * s).collect()).max(0.0))
+            } else {
+                let s = cont_slope(pts)?;
+                Some(
+                    (median_f64(pts.contended.iter().map(|&(b, d)| d - b * s).collect()) * dup)
+                        .max(0.0),
+                )
+            }
+        })
+        .collect();
+
+    let c_ns;
+    if intercepts.is_empty() {
+        // No line anywhere: keep the base's decomposition. The solve-
+        // at-a-point path below then works against the base intercept,
+        // including the base's dispatch overhead at the observed stream
+        // population.
+        let streams = observed_streams(traces);
+        c_ns = base.dispatch_overhead(streams + 1).as_ns() as f64
+            + base.copy_latency.as_ns() as f64
+            + base.bw_half_size * 1.0e9 / base.h2d_peak_bw;
+    } else {
+        c_ns = intercepts.iter().sum::<f64>() / intercepts.len() as f64;
+        profile.bw_half_size = 0.0;
+        profile.sched_overhead_per_stream = SimTime::ZERO;
+        profile.copy_latency = SimTime::from_ns(c_ns.round() as u64);
+    }
+
+    let (h2d_peak, h2d) = fit_direction(&h2d_pts, c_ns, dup, base.h2d_peak_bw);
+    let (d2h_peak, d2h) = fit_direction(&d2h_pts, c_ns, dup, base.d2h_peak_bw);
+    if let Some(p) = h2d_peak {
+        profile.h2d_peak_bw = p;
+    }
+    if let Some(p) = d2h_peak {
+        profile.d2h_peak_bw = p;
+    }
+
+    // API overhead: every enqueue span is exactly one driver call.
+    let apis: Vec<f64> = traces
+        .iter()
+        .map(|t| t.analyze().api_overhead.as_ns() as f64)
+        .filter(|&a| a > 0.0)
+        .collect();
+    let api_overhead = if apis.is_empty() {
+        SimTime::ZERO
+    } else {
+        SimTime::from_ns(median_f64(apis) as u64)
+    };
+    if !api_overhead.is_zero() {
+        profile.api_overhead = api_overhead;
+    }
+    ProfileFit {
+        profile,
+        h2d,
+        d2h,
+        duplex,
+        api_overhead,
+    }
+}
+
+/// Number of distinct device streams observed across the traces.
+fn observed_streams(traces: &[&ImportedTrace]) -> usize {
+    let mut streams: Vec<usize> = traces
+        .iter()
+        .flat_map(|t| t.timeline.iter().map(|e| e.stream))
+        .collect();
+    streams.sort_unstable();
+    streams.dedup();
+    streams.len()
+}
+
+/// Result of calibrating against one imported trace: the fitted
+/// profile, the residual per-engine multipliers, and the closure check
+/// (prediction with the fitted profile vs. the trace's actual window).
+#[derive(Debug, Clone)]
+pub struct CalibrationReport {
+    /// The profile fit and its diagnostics.
+    pub fit: ProfileFit,
+    /// Residual per-engine multipliers learned from the trace.
+    pub calibration: Calibration,
+    /// Prediction using the fitted profile + calibration, for the same
+    /// schedule the trace ran.
+    pub predicted: Prediction,
+    /// The imported trace's actual end-to-end window.
+    pub measured_total: SimTime,
+}
+
+impl CalibrationReport {
+    /// Relative closure error `|predicted − measured| / measured`.
+    pub fn closure_err(&self) -> f64 {
+        let m = self.measured_total.as_secs_f64();
+        if m <= 0.0 {
+            return 0.0;
+        }
+        (self.predicted.total.as_secs_f64() - m).abs() / m
+    }
+}
+
+/// Like [`calibrate_from_trace`], but with a precomputed [`ProfileFit`]
+/// — used when the fit pooled several probe traces.
+#[allow(clippy::too_many_arguments)]
+pub fn calibrate_with_fit(
+    gpu: &Gpu,
+    fit: ProfileFit,
+    region: &Region,
+    builder: &KernelBuilder<'_>,
+    model: ExecModel,
+    chunk: usize,
+    streams: usize,
+    imported: &ImportedTrace,
+) -> RtResult<CalibrationReport> {
+    let analysis = imported.analyze();
+    let mut cm = CostModel::new(gpu, region, builder)?;
+    cm.set_profile(fit.profile.clone());
+    let first = cm.predict(model, chunk, streams)?;
+    let mut calibration = Calibration::default();
+    calibration.update_engines(
+        &first,
+        analysis.busy_h2d,
+        analysis.busy_d2h,
+        analysis.busy_kernel,
+    );
+    cm.calibration = calibration;
+    let predicted = cm.predict(model, chunk, streams)?;
+    Ok(CalibrationReport {
+        fit,
+        calibration,
+        predicted,
+        measured_total: analysis.total,
+    })
+}
+
+/// The full import→fit→predict loop against one trace: fit a profile
+/// from `imported` starting from the `base` belief (often `gpu`'s own
+/// profile, but deliberately decoupled — calibration is most useful
+/// when the belief is wrong), build a [`CostModel`] for the region on
+/// the fitted profile, fold the residual per-engine error through
+/// [`Calibration`], and predict the makespan of the schedule the trace
+/// ran (`model`, `chunk`, `streams`). The returned report's
+/// [`closure_err`](CalibrationReport::closure_err) is the
+/// measure→model closure the calibration gate checks.
+///
+/// `gpu` only provides the region binding (array pinnedness, probe
+/// views); its profile is not consulted.
+#[allow(clippy::too_many_arguments)]
+pub fn calibrate_from_trace(
+    gpu: &Gpu,
+    base: &DeviceProfile,
+    region: &Region,
+    builder: &KernelBuilder<'_>,
+    model: ExecModel,
+    chunk: usize,
+    streams: usize,
+    imported: &ImportedTrace,
+) -> RtResult<CalibrationReport> {
+    let fit = fit_profile(base, &[imported]);
+    calibrate_with_fit(gpu, fit, region, builder, model, chunk, streams, imported)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run::{run_model, RunOptions};
+    use crate::spec::{Affine, MapDir, MapSpec, RegionSpec, Schedule, SplitSpec};
+    use crate::view::ChunkCtx;
+    use gpsim::{to_perfetto_trace, ExecMode, KernelCost, KernelLaunch};
+
+    const NZ: usize = 64;
+    const SLICE: usize = 1 << 14;
+
+    fn setup(profile: DeviceProfile, chunk: usize) -> (Gpu, Region) {
+        let mut gpu = Gpu::new(profile, ExecMode::Timing).unwrap();
+        let input = gpu.alloc_host(NZ * SLICE, true).unwrap();
+        let output = gpu.alloc_host(NZ * SLICE, true).unwrap();
+        let spec = RegionSpec::new(Schedule::static_(chunk, 3))
+            .with_map(MapSpec {
+                name: "in".into(),
+                dir: MapDir::To,
+                split: SplitSpec::OneD {
+                    offset: Affine::IDENTITY,
+                    window: 1,
+                    extent: NZ,
+                    slice_elems: SLICE,
+                },
+            })
+            .with_map(MapSpec {
+                name: "out".into(),
+                dir: MapDir::From,
+                split: SplitSpec::OneD {
+                    offset: Affine::IDENTITY,
+                    window: 1,
+                    extent: NZ,
+                    slice_elems: SLICE,
+                },
+            });
+        let region = Region::new(spec, 0, NZ as i64, vec![input, output]);
+        (gpu, region)
+    }
+
+    fn builder(ctx: &ChunkCtx) -> KernelLaunch {
+        let n = (ctx.k1 - ctx.k0) as u64;
+        KernelLaunch::cost_only(
+            "probe",
+            KernelCost {
+                flops: n * SLICE as u64 * 8,
+                bytes: n * SLICE as u64 * 8,
+            },
+        )
+    }
+
+    fn run_and_import(gpu: &mut Gpu, region: &Region, model: ExecModel) -> ImportedTrace {
+        let report = run_model(gpu, region, &builder, model, &RunOptions::default()).unwrap();
+        let doc = to_perfetto_trace(
+            gpu.timeline(),
+            gpu.host_spans(),
+            gpu.wait_records(),
+            &report.counter_tracks,
+        );
+        ImportedTrace::parse(&doc).unwrap()
+    }
+
+    #[test]
+    fn fit_recovers_bandwidth_duplex_and_api_overhead() {
+        // A two-chunk-size probe sweep: chunk 5 and chunk 7 leave
+        // different-size clean copies at the pipeline edges, which is
+        // what determines the copy-time line (and, via the contended
+        // line's slope, the duplex factor).
+        let truth = DeviceProfile::k40m();
+        let (mut g5, r5) = setup(truth.clone(), 5);
+        let t5 = run_and_import(&mut g5, &r5, ExecModel::PipelinedBuffer);
+        let (mut g7, r7) = setup(truth.clone(), 7);
+        let t7 = run_and_import(&mut g7, &r7, ExecModel::PipelinedBuffer);
+
+        // Start the fit from a deliberately wrong profile: the fit must
+        // recover the true components from the traces, not the base.
+        let wrong = DeviceProfile::hd7970();
+        let fit = fit_profile(&wrong, &[&t5, &t7]);
+
+        assert!(fit.h2d.samples > 0 && fit.d2h.samples > 0);
+        let bw_err = (fit.profile.h2d_peak_bw - truth.h2d_peak_bw).abs() / truth.h2d_peak_bw;
+        assert!(bw_err < 0.02, "h2d peak off by {bw_err:.3}");
+        let bw_err = (fit.profile.d2h_peak_bw - truth.d2h_peak_bw).abs() / truth.d2h_peak_bw;
+        assert!(bw_err < 0.02, "d2h peak off by {bw_err:.3}");
+        let dup = fit.duplex.expect("duplex determined by probe sweep");
+        assert!(
+            (dup - truth.duplex_factor).abs() < 0.02,
+            "duplex off: {dup:.3} vs {}",
+            truth.duplex_factor
+        );
+        // API overhead is recovered exactly: an enqueue span covers
+        // exactly one driver call.
+        assert_eq!(fit.profile.api_overhead, truth.api_overhead);
+        assert!(fit.h2d.median_err < 0.05, "{:?}", fit.h2d);
+        assert!(fit.d2h.median_err < 0.05, "{:?}", fit.d2h);
+    }
+
+    #[test]
+    fn closure_holds_for_both_pipelined_models() {
+        for model in [ExecModel::Pipelined, ExecModel::PipelinedBuffer] {
+            let (mut gpu, region) = setup(DeviceProfile::k40m(), 5);
+            let imported = run_and_import(&mut gpu, &region, model);
+            let base = gpu.profile().clone();
+            let rep = calibrate_from_trace(&gpu, &base, &region, &builder, model, 5, 3, &imported)
+                .unwrap();
+            assert!(
+                rep.closure_err() < 0.10,
+                "{model}: closure {:.3} (pred {} vs measured {})",
+                rep.closure_err(),
+                rep.predicted.total,
+                rep.measured_total
+            );
+        }
+    }
+
+    #[test]
+    fn calibration_absorbs_a_kernel_cost_error() {
+        // Run on a device whose compute is 2× slower than the profile
+        // the model believes in: the bandwidth fit cannot see this, but
+        // the per-engine calibration must absorb it.
+        let mut slow = DeviceProfile::k40m();
+        slow.compute_tput /= 2.0;
+        slow.mem_bw /= 2.0;
+        let (mut gpu, region) = setup(slow, 5);
+        let imported = run_and_import(&mut gpu, &region, ExecModel::PipelinedBuffer);
+        // The belief is the stock (fast) k40m; only the trace knows the
+        // compute engine is slower.
+        let rep = calibrate_from_trace(
+            &gpu,
+            &DeviceProfile::k40m(),
+            &region,
+            &builder,
+            ExecModel::PipelinedBuffer,
+            5,
+            3,
+            &imported,
+        )
+        .unwrap();
+        assert!(
+            rep.calibration.kernel > 1.2,
+            "kernel multiplier should grow: {:?}",
+            rep.calibration
+        );
+        assert!(rep.closure_err() < 0.10, "closure {:.3}", rep.closure_err());
+    }
+}

@@ -111,6 +111,23 @@ impl Calibration {
         self.kernel = blend(self.kernel, predicted.kernel, measured.kernel);
         self.host = blend(self.host, predicted.host_api, measured.host_api);
     }
+
+    /// Fold measured per-engine busy times into the multipliers, leaving
+    /// `host` untouched. This is the trace-calibration path: engine busy
+    /// times are exactly recoverable from an imported trace, but host
+    /// API time is not (polling time leaves no spans), so the host
+    /// component stays with whatever the profile fit determined.
+    pub fn update_engines(
+        &mut self,
+        predicted: &Prediction,
+        h2d: SimTime,
+        d2h: SimTime,
+        kernel: SimTime,
+    ) {
+        self.h2d = blend(self.h2d, predicted.h2d, h2d);
+        self.d2h = blend(self.d2h, predicted.d2h, d2h);
+        self.kernel = blend(self.kernel, predicted.kernel, kernel);
+    }
 }
 
 /// One analytic makespan estimate.
@@ -381,6 +398,18 @@ impl<'a> CostModel<'a> {
             probe_views,
             _twin: twin,
         })
+    }
+
+    /// The device profile predictions currently use.
+    pub fn profile(&self) -> &DeviceProfile {
+        &self.profile
+    }
+
+    /// Replace the device profile predictions use — e.g. with one fitted
+    /// from an imported trace ([`fit_profile`](crate::fit_profile)) —
+    /// without rebinding the region.
+    pub fn set_profile(&mut self, profile: DeviceProfile) {
+        self.profile = profile;
     }
 
     /// The builder's declared cost for chunk `[k0, k1)` (probe only — the

@@ -94,6 +94,7 @@
 mod api;
 mod autotune;
 mod buffer;
+mod calibrate;
 mod costmodel;
 mod error;
 mod exec;
@@ -105,9 +106,13 @@ mod report;
 mod run;
 mod spec;
 pub mod sweep;
+mod trace;
 mod view;
 
 pub use api::{ModelReports, Pipeline};
+pub use calibrate::{
+    calibrate_from_trace, calibrate_with_fit, fit_profile, CalibrationReport, DirFit, ProfileFit,
+};
 pub use autotune::{autotune, autotune_with, run_autotuned, Trial, TuneResult, TuneSpace, TuneStrategy};
 #[allow(deprecated)]
 pub use buffer::{
@@ -138,5 +143,8 @@ pub use recovery::{Degradation, RecoveryStats, RetryPolicy};
 pub use report::{ExecModel, RunReport};
 pub use run::{run_model, run_window_fn, RunOptions};
 pub use spec::{Affine, MapDir, MapSpec, RegionSpec, Schedule, SplitSpec};
+pub use trace::{
+    diff_traces, render_diff, CopySample, ImportedTrace, SpanDelta, TraceAnalysis, TraceDiff,
+};
 pub use sweep::{sweep_map, sweep_map_threads, sweep_map_with, sweep_threads};
 pub use view::{ArrayView, ChunkCtx};

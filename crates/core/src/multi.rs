@@ -32,6 +32,7 @@ use gpsim::{
     LossCause, SimError, SimTime, TimelineEntry, WaitRecord, ELEM_BYTES,
 };
 
+use crate::costmodel::{Calibration, CostModel};
 use crate::error::{RtError, RtResult};
 use crate::exec::{KernelBuilder, Region};
 use crate::recovery::ToFromSnapshot;
@@ -60,6 +61,17 @@ pub struct MultiOptions {
     /// Bounded shed: at most this fraction of a straggler's remaining
     /// iterations migrates off it (at most once per device).
     pub straggler_max_frac: f64,
+    /// Cost-model-driven partitioning: when `Some`, per-device weights
+    /// come from a full [`CostModel`] pipeline prediction of the region
+    /// (overlap, API overhead, duplex and all) instead of the
+    /// bottleneck-engine heuristic. Entry `i`, when present, overrides
+    /// device `i`'s profile and residual multipliers with a calibrated
+    /// pair — typically [`ProfileFit::profile`](crate::ProfileFit) and
+    /// the [`Calibration`] from
+    /// [`calibrate_from_trace`](crate::calibrate_from_trace); a `None`
+    /// entry (or a vector shorter than the fleet) predicts on the
+    /// device's own profile.
+    pub model_partition: Option<Vec<Option<(DeviceProfile, Calibration)>>>,
 }
 
 impl Default for MultiOptions {
@@ -70,6 +82,7 @@ impl Default for MultiOptions {
             slice_chunks: 4,
             straggler_factor: 4.0,
             straggler_max_frac: 0.5,
+            model_partition: None,
         }
     }
 }
@@ -101,6 +114,19 @@ impl MultiOptions {
     pub fn with_straggler(mut self, factor: f64, max_frac: f64) -> MultiOptions {
         self.straggler_factor = factor;
         self.straggler_max_frac = max_frac;
+        self
+    }
+
+    /// Partition by cost-model pipeline predictions, with optional
+    /// per-device calibrated `(profile, multipliers)` overrides (see
+    /// [`MultiOptions::model_partition`]). Pass an empty vector to
+    /// predict on every device's own profile.
+    #[must_use]
+    pub fn with_model_partition(
+        mut self,
+        overrides: Vec<Option<(DeviceProfile, Calibration)>>,
+    ) -> MultiOptions {
+        self.model_partition = Some(overrides);
         self
     }
 }
@@ -232,7 +258,7 @@ impl MultiReport {
                 .map(|&(t, v)| (t + t0, v))
                 .collect(),
         });
-        to_perfetto_trace(&tr.timeline, &tr.host_spans, &tracks)
+        to_perfetto_trace(&tr.timeline, &tr.host_spans, &tr.waits, &tracks)
     }
 }
 
@@ -256,6 +282,38 @@ fn per_iter_cost(p: &DeviceProfile, region: &Region, kernel_flops: u64, kernel_b
     let t_out = p.d2h_time(out_bytes, true).as_secs_f64();
     let t_kernel = p.kernel_time(kernel_flops, kernel_bytes).as_secs_f64();
     t_in.max(t_out).max(t_kernel)
+}
+
+/// Per-iteration cost of the whole region on each device, from a full
+/// [`CostModel`] pipeline prediction (the [`MultiOptions::model_partition`]
+/// strategy). Contexts are `!Send`, so predictions run serially — they
+/// are analytic walks, not simulations, and cost microseconds each.
+fn model_costs(
+    gpus: &[Gpu],
+    region: &Region,
+    builder: &KernelBuilder<'_>,
+    overrides: &[Option<(DeviceProfile, Calibration)>],
+) -> RtResult<Vec<f64>> {
+    let iters = (region.hi - region.lo).max(1) as f64;
+    let (chunk, streams) = match region.spec.schedule {
+        Schedule::Static {
+            chunk_size,
+            num_streams,
+        } => (chunk_size.max(1), num_streams.max(1)),
+        Schedule::Adaptive => (8, 2),
+    };
+    gpus.iter()
+        .enumerate()
+        .map(|(i, g)| {
+            let mut cm = CostModel::new(g, region, builder)?;
+            if let Some((profile, calib)) = overrides.get(i).and_then(|o| o.as_ref()) {
+                cm.set_profile(profile.clone());
+                cm.calibration = *calib;
+            }
+            let p = cm.predict(ExecModel::PipelinedBuffer, chunk, streams)?;
+            Ok(p.total.as_secs_f64().max(1e-12) / iters)
+        })
+        .collect()
 }
 
 /// Partition `[lo, hi)` into contiguous sub-ranges with lengths inversely
@@ -451,13 +509,17 @@ pub fn run_model_multi(
     }
     let supervised: Vec<bool> = gpus.iter().map(|g| g.fault_plan().is_some()).collect();
 
-    // Cost probes are independent per device profile; estimate them on
-    // the sweep pool (the contexts themselves are !Send — only their
-    // profiles cross threads).
-    let profiles: Vec<DeviceProfile> = gpus.iter().map(|g| g.profile().clone()).collect();
-    let costs: Vec<f64> = crate::sweep::sweep_map(profiles.len(), |i| {
-        per_iter_cost(&profiles[i], region, mo.probe_cost.0, mo.probe_cost.1)
-    });
+    // Per-device cost weights: either full cost-model predictions
+    // (serial; contexts are !Send) or the engine-bound heuristic probed
+    // on the sweep pool (profiles are Send).
+    let costs: Vec<f64> = if let Some(overrides) = &mo.model_partition {
+        model_costs(gpus, region, builder, overrides)?
+    } else {
+        let profiles: Vec<DeviceProfile> = gpus.iter().map(|g| g.profile().clone()).collect();
+        crate::sweep::sweep_map(profiles.len(), |i| {
+            per_iter_cost(&profiles[i], region, mo.probe_cost.0, mo.probe_cost.1)
+        })
+    };
 
     // Initial partition over the devices alive at entry.
     let live_costs: Vec<f64> = live_idx.iter().map(|&i| costs[i]).collect();

@@ -6,8 +6,8 @@
 #![allow(deprecated)]
 use gpsim::{DeviceProfile, ExecMode, Gpu, HostPool, KernelCost, KernelLaunch};
 use pipeline_rt::{
-    run_pipelined_buffer, run_pipelined_buffer_multi, Affine, ChunkCtx, MapDir, MapSpec, Region,
-    RegionSpec, RtError, Schedule, SplitSpec,
+    run_model_multi, run_pipelined_buffer, run_pipelined_buffer_multi, Affine, ChunkCtx, MapDir,
+    MapSpec, MultiOptions, Region, RegionSpec, RtError, RunOptions, Schedule, SplitSpec,
 };
 
 const NZ: usize = 64;
@@ -167,4 +167,46 @@ fn host_pool_is_really_shared() {
     let mut out = vec![0.0f32; 8];
     b.host_read(h, 0, &mut out).unwrap();
     assert_eq!(out[7], 8.0);
+}
+
+#[test]
+fn model_partition_shifts_heterogeneous_shares_and_stays_correct() {
+    // Engine-bound heuristic vs full cost-model prediction: the second
+    // device differs only in host-API overhead, which the bottleneck-
+    // engine heuristic cannot see (it weighs DMA and kernel time only)
+    // but the pipeline prediction charges per enqueue. The partition
+    // boundary must move — and the numerical result must not.
+    let mut laggy = DeviceProfile::k40m();
+    laggy.api_overhead = laggy.api_overhead * 12;
+    laggy.kernel_launch_latency = laggy.kernel_launch_latency * 12;
+    let (mut gpus, region) = shared_setup(&[DeviceProfile::k40m(), laggy]);
+    let expect = expected(&gpus[0], region.arrays[0]);
+
+    let heuristic = {
+        let opts = RunOptions::default()
+            .with_multi(MultiOptions::default().with_probe_cost(PROBE.0, PROBE.1));
+        run_model_multi(&mut gpus, &region, &builder, &opts).unwrap()
+    };
+    let modeled = {
+        let opts =
+            RunOptions::default().with_multi(MultiOptions::default().with_model_partition(vec![]));
+        run_model_multi(&mut gpus, &region, &builder, &opts).unwrap()
+    };
+
+    let share = |m: &pipeline_rt::MultiReport| -> Vec<i64> {
+        m.partitions.iter().map(|(a, b)| b - a).collect()
+    };
+    let (h, m) = (share(&heuristic), share(&modeled));
+    assert!(
+        m[0] > m[1],
+        "cost model must still favour the faster K40m: {m:?}"
+    );
+    assert_ne!(h, m, "model-driven partition should move the boundary");
+
+    let mut got = vec![0.0f32; NZ * SLICE];
+    gpus[0].host_read(region.arrays[1], 0, &mut got).unwrap();
+    assert_eq!(
+        &got[SLICE..(NZ - 1) * SLICE],
+        &expect[SLICE..(NZ - 1) * SLICE]
+    );
 }

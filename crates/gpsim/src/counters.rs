@@ -147,6 +147,17 @@ impl HostSpanKind {
             HostSpanKind::Wait => "wait",
         }
     }
+
+    /// Inverse of [`name`](HostSpanKind::name), used by trace importers.
+    pub fn from_name(name: &str) -> Option<HostSpanKind> {
+        match name {
+            "enqueue" => Some(HostSpanKind::Enqueue),
+            "sync" => Some(HostSpanKind::Sync),
+            "plan" => Some(HostSpanKind::Plan),
+            "wait" => Some(HostSpanKind::Wait),
+            _ => None,
+        }
+    }
 }
 
 /// One host-side runtime span on the host-clock timeline.
@@ -179,6 +190,27 @@ pub enum WaitCause {
     /// Retry backoff: a runtime recovery layer paused the stream before
     /// re-enqueueing a failed chunk's commands.
     Retry,
+}
+
+impl WaitCause {
+    /// Stable lowercase name for trace export (and re-import).
+    pub fn name(self) -> &'static str {
+        match self {
+            WaitCause::Dependency => "dependency",
+            WaitCause::RingReuse => "ring-reuse",
+            WaitCause::Retry => "retry",
+        }
+    }
+
+    /// Inverse of [`name`](WaitCause::name), used by trace importers.
+    pub fn from_name(name: &str) -> Option<WaitCause> {
+        match name {
+            "dependency" => Some(WaitCause::Dependency),
+            "ring-reuse" => Some(WaitCause::RingReuse),
+            "retry" => Some(WaitCause::Retry),
+            _ => None,
+        }
+    }
 }
 
 /// A resolved event wait that actually delayed its stream: the stream

@@ -1,9 +1,12 @@
-//! Minimal dependency-free JSON parser, used to self-validate trace
-//! exports and by the test suite to inspect emitted documents.
+//! Minimal dependency-free JSON parser and serializer, used to
+//! self-validate trace exports, re-import them for offline analysis,
+//! and round-trip the benchmark artifact files.
 //!
 //! Supports the full JSON grammar (objects, arrays, strings with escape
 //! sequences, numbers, booleans, null). Not performance-critical: trace
 //! files are a few MB at most.
+
+use std::fmt::Write as _;
 
 /// A parsed JSON value.
 #[derive(Debug, Clone, PartialEq)]
@@ -54,6 +57,89 @@ impl Json {
             _ => None,
         }
     }
+
+    /// Serialize with 2-space indentation, preserving key order, with a
+    /// trailing newline. `parse(v.dump()) == v` for every finite value
+    /// (non-finite numbers serialize as `null`, which JSON requires).
+    pub fn dump(&self) -> String {
+        let mut out = String::new();
+        self.write_into(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write_into(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(n) => write_num(out, *n),
+            Json::Str(s) => write_str(out, s),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    push_indent(out, indent + 1);
+                    item.write_into(out, indent + 1);
+                    out.push_str(if i + 1 == items.len() { "\n" } else { ",\n" });
+                }
+                push_indent(out, indent);
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push_str("{\n");
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    push_indent(out, indent + 1);
+                    write_str(out, k);
+                    out.push_str(": ");
+                    v.write_into(out, indent + 1);
+                    out.push_str(if i + 1 == fields.len() { "\n" } else { ",\n" });
+                }
+                push_indent(out, indent);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn push_indent(out: &mut String, indent: usize) {
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+fn write_num(out: &mut String, n: f64) {
+    if !n.is_finite() {
+        out.push_str("null");
+    } else if n.fract() == 0.0 && n.abs() < 9.0e15 {
+        let _ = write!(out, "{}", n as i64);
+    } else {
+        let _ = write!(out, "{n}");
+    }
+}
+
+fn write_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
 }
 
 /// Parse a JSON document. Returns an error message with a byte offset on
@@ -294,6 +380,35 @@ mod tests {
     #[test]
     fn unicode_escapes() {
         assert_eq!(parse("\"\\u0041\\u00e9\"").unwrap(), Json::Str("Aé".into()));
+    }
+
+    #[test]
+    fn dump_roundtrips_and_is_stable() {
+        let src = r#"{"b": [1, 2.5, {"x": "a\"b\\c\n"}], "a": true, "n": null, "big": 12345678901}"#;
+        let v = parse(src).unwrap();
+        let dumped = v.dump();
+        // Round-trip: the dump parses back to the same value.
+        assert_eq!(parse(&dumped).unwrap(), v);
+        // Stability: dumping the reparse is byte-identical.
+        assert_eq!(parse(&dumped).unwrap().dump(), dumped);
+        // Key order preserved ("b" written before "a").
+        assert!(dumped.find("\"b\"").unwrap() < dumped.find("\"a\"").unwrap());
+        // Integers print without a fractional part.
+        assert!(dumped.contains("12345678901"));
+        assert!(!dumped.contains("12345678901.0"));
+        assert!(dumped.contains("2.5"));
+        assert!(dumped.ends_with('\n'));
+        assert_eq!(parse("{}").unwrap().dump(), "{}\n");
+        assert_eq!(parse("[]").unwrap().dump(), "[]\n");
+        // Control characters escape on the way out and parse back.
+        let s = Json::Str("tab\there".into());
+        assert_eq!(parse(&s.dump()).unwrap(), s);
+    }
+
+    #[test]
+    fn non_finite_numbers_dump_as_null() {
+        assert_eq!(Json::Num(f64::NAN).dump(), "null\n");
+        assert_eq!(Json::Num(f64::INFINITY).dump(), "null\n");
     }
 
     #[test]

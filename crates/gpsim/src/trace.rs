@@ -13,7 +13,7 @@
 
 use std::fmt::Write as _;
 
-use crate::counters::{HostSpan, TimelineEntry, TimelineKind};
+use crate::counters::{HostSpan, TimelineEntry, TimelineKind, WaitRecord};
 use crate::time::SimTime;
 
 /// Per-engine busy statistics over a timeline.
@@ -211,9 +211,17 @@ pub fn inflight_counter(timeline: &[TimelineEntry]) -> CounterTrack {
 /// * `ph:"s"`/`ph:"f"` flow events link each host enqueue span to the
 ///   device slice it issued, keyed by the command's sequence number;
 /// * `ph:"C"` counter events render each [`CounterTrack`].
+///
+/// The export is complete enough to reconstruct the run offline: device
+/// spans carry their enqueue instant (`args.enq`), host spans carry
+/// their flow id (`args.flow`), and each [`WaitRecord`] becomes a span
+/// on a dedicated `Waits` device thread (tid 4) named after its cause —
+/// everything the stall attributor needs to be re-run from the document
+/// alone, bit-identical to the live run.
 pub fn to_perfetto_trace(
     timeline: &[TimelineEntry],
     host_spans: &[HostSpan],
+    waits: &[WaitRecord],
     counters: &[CounterTrack],
 ) -> String {
     let mut out = String::from("{\"displayTimeUnit\": \"ns\", \"traceEvents\": [\n");
@@ -231,6 +239,7 @@ pub fn to_perfetto_trace(
         (1, 1, "H2D"),
         (1, 2, "D2H"),
         (1, 3, "Compute"),
+        (1, 4, "Waits"),
     ] {
         events.push(format!(
             "  {{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": {pid}, \"tid\": {tid}, \
@@ -245,17 +254,24 @@ pub fn to_perfetto_trace(
     for s in host_spans {
         let ts = s.start_ns as f64 / 1e3;
         let dur = (s.end_ns - s.start_ns) as f64 / 1e3;
+        // The flow id rides along as an argument so importers can
+        // reassociate host spans with device slices without replaying
+        // the separate flow events.
+        let args = match s.flow {
+            Some(f) => format!(", \"args\": {{\"flow\": {f}}}"),
+            None => String::new(),
+        };
         if s.end_ns > s.start_ns {
             events.push(format!(
                 "  {{\"name\": \"{}\", \"cat\": \"{}\", \"ph\": \"X\", \"ts\": {ts:.3}, \
-                 \"dur\": {dur:.3}, \"pid\": 0, \"tid\": 0}}",
+                 \"dur\": {dur:.3}, \"pid\": 0, \"tid\": 0{args}}}",
                 escape(&s.label),
                 s.kind.name(),
             ));
         } else {
             events.push(format!(
                 "  {{\"name\": \"{}\", \"cat\": \"{}\", \"ph\": \"i\", \"ts\": {ts:.3}, \
-                 \"pid\": 0, \"tid\": 0, \"s\": \"t\"}}",
+                 \"pid\": 0, \"tid\": 0, \"s\": \"t\"{args}}}",
                 escape(&s.label),
                 s.kind.name(),
             ));
@@ -273,25 +289,42 @@ pub fn to_perfetto_trace(
         }
     }
 
-    // Device spans + flow ends.
+    // Device spans + flow ends. `enq` is the host-clock enqueue instant
+    // (µs, like `ts`) — the pre-enqueue gap input to stall attribution.
     for t in timeline {
         let ts = t.start_ns as f64 / 1e3;
         events.push(format!(
             "  {{\"name\": \"{}\", \"cat\": \"{:?}\", \"ph\": \"X\", \"ts\": {ts:.3}, \
              \"dur\": {:.3}, \"pid\": 1, \"tid\": {}, \
-             \"args\": {{\"stream\": {}, \"seq\": {}}}}}",
+             \"args\": {{\"stream\": {}, \"seq\": {}, \"enq\": {:.3}}}}}",
             escape(&t.label),
             t.kind,
             (t.end_ns - t.start_ns) as f64 / 1e3,
             device_tid(t.kind),
             t.stream,
             t.seq,
+            t.enqueue_ns as f64 / 1e3,
         ));
         events.push(format!(
             "  {{\"name\": \"cmd\", \"cat\": \"flow\", \"ph\": \"f\", \"bp\": \"e\", \
              \"id\": {}, \"ts\": {ts:.3}, \"pid\": 1, \"tid\": {}}}",
             t.seq,
             device_tid(t.kind),
+        ));
+    }
+
+    // Wait records, one span each on the dedicated Waits thread. The
+    // span name is the machine-stable cause name so importers can map
+    // it back to a [`WaitCause`].
+    for w in waits {
+        events.push(format!(
+            "  {{\"name\": \"{}\", \"cat\": \"wait\", \"ph\": \"X\", \"ts\": {:.3}, \
+             \"dur\": {:.3}, \"pid\": 1, \"tid\": 4, \
+             \"args\": {{\"stream\": {}}}}}",
+            w.cause.name(),
+            w.from_ns as f64 / 1e3,
+            (w.until_ns - w.from_ns) as f64 / 1e3,
+            w.stream,
         ));
     }
 
@@ -423,7 +456,7 @@ mod tests {
 
     #[test]
     fn perfetto_trace_has_spans_flows_and_counters() {
-        use crate::counters::{HostSpan, HostSpanKind};
+        use crate::counters::{HostSpan, HostSpanKind, WaitCause, WaitRecord};
         let tl = sample();
         let host: Vec<HostSpan> = tl
             .iter()
@@ -435,6 +468,12 @@ mod tests {
                 flow: Some(t.seq),
             })
             .collect();
+        let waits = vec![WaitRecord {
+            stream: 1,
+            cause: WaitCause::RingReuse,
+            from_ns: 40,
+            until_ns: 50,
+        }];
         let counters = vec![
             CounterTrack {
                 name: "device_mem".into(),
@@ -442,7 +481,7 @@ mod tests {
             },
             inflight_counter(&tl),
         ];
-        let json = to_perfetto_trace(&tl, &host, &counters);
+        let json = to_perfetto_trace(&tl, &host, &waits, &counters);
         let doc = crate::json::parse(&json).unwrap();
         let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
         let count_ph = |ph: &str| {
@@ -451,7 +490,7 @@ mod tests {
                 .filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some(ph))
                 .count()
         };
-        assert_eq!(count_ph("M"), 6, "2 process + 4 thread names");
+        assert_eq!(count_ph("M"), 7, "2 process + 5 thread names");
         // One flow start per enqueue span, one flow end per device slice.
         assert_eq!(count_ph("s"), tl.len());
         assert_eq!(count_ph("f"), tl.len());
@@ -463,6 +502,30 @@ mod tests {
             .filter_map(|e| e.get("pid").and_then(|p| p.as_f64()))
             .collect();
         assert!(span_pids.contains(&0.0) && span_pids.contains(&1.0));
+        // Export completeness for offline re-attribution: host spans
+        // carry their flow id, device spans their enqueue instant, and
+        // the wait record shows up on the Waits thread by cause name.
+        let host_flow = events
+            .iter()
+            .filter(|e| pid_of(e) == 0)
+            .find_map(|e| e.get("args").and_then(|a| a.get("flow")))
+            .and_then(|f| f.as_f64());
+        assert!(host_flow.is_some());
+        let dev = events
+            .iter()
+            .find(|e| pid_of(e) == 1 && e.get("args").and_then(|a| a.get("enq")).is_some())
+            .expect("device span with enq");
+        assert!(dev.get("args").unwrap().get("enq").unwrap().as_f64().is_some());
+        let wait = events
+            .iter()
+            .find(|e| e.get("tid").and_then(|t| t.as_f64()) == Some(4.0)
+                && e.get("ph").and_then(|p| p.as_str()) == Some("X"))
+            .expect("wait span on tid 4");
+        assert_eq!(wait.get("name").unwrap().as_str(), Some("ring-reuse"));
+    }
+
+    fn pid_of(e: &crate::json::Json) -> i64 {
+        e.get("pid").and_then(|p| p.as_f64()).unwrap_or(-1.0) as i64
     }
 
     #[test]

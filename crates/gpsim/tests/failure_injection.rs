@@ -111,7 +111,7 @@ fn mid_pipeline_error_leaves_consistent_timeline_and_valid_trace() {
     assert_eq!(counted as usize, tl.len());
 
     // The trace export of the truncated run is still a valid document.
-    let doc = gpsim::to_perfetto_trace(tl, g.host_spans(), &[]);
+    let doc = gpsim::to_perfetto_trace(tl, g.host_spans(), g.wait_records(), &[]);
     let parsed = gpsim::json::parse(&doc).expect("truncated trace parses");
     let events = parsed
         .get("traceEvents")
