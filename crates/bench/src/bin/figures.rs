@@ -12,7 +12,7 @@ use std::path::PathBuf;
 
 use pipeline_bench::{
     ablate, calibrate, failover, faults, fig3, fig4, fig56, fig7, fig8, fig910, fleet, header,
-    model, perf, trace,
+    model, perf, serve, trace,
 };
 
 fn main() {
@@ -76,7 +76,7 @@ fn main() {
     const KNOWN: &[&str] = &[
         "all", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
         "future", "ablations", "perf", "model", "trace", "faults", "failover", "fleet",
-        "calibrate",
+        "calibrate", "serve",
     ];
     for a in &args {
         if !KNOWN.contains(&a.as_str()) {
@@ -425,6 +425,42 @@ fn main() {
                 eprintln!("calibration gate: {e}");
                 std::process::exit(1);
             }
+        }
+    }
+    if want("serve") {
+        header(if smoke {
+            "Multi-tenant serving — 1000 jobs, 3 tenants, 4-device fleet (smoke)"
+        } else {
+            "Multi-tenant serving — fairness, queue waits and preemption bit-identity"
+        });
+        let results = serve::run(smoke);
+        serve::print(&results);
+        fs::write("SERVE_sim.json", serve::json(&results)).expect("write SERVE_sim.json");
+        eprintln!("wrote SERVE_sim.json");
+        let mut csv = String::from(
+            "cell,tenant,weight,done,preempted,deadline_misses,wait_p50_ms,wait_p95_ms,makespan_p50_ms,makespan_p95_ms\n",
+        );
+        for r in &results {
+            for t in &r.report.tenants {
+                csv.push_str(&format!(
+                    "{},{},{:.1},{},{},{},{:.6},{:.6},{:.6},{:.6}\n",
+                    r.cell.name,
+                    t.name,
+                    t.weight,
+                    t.done,
+                    t.preempted,
+                    t.deadline_misses,
+                    t.queue_wait.p50_ns() as f64 / 1e6,
+                    t.queue_wait.p95_ns() as f64 / 1e6,
+                    t.makespan.p50_ns() as f64 / 1e6,
+                    t.makespan.p95_ns() as f64 / 1e6,
+                ));
+            }
+        }
+        write_csv("serve.csv", csv);
+        if let Err(e) = serve::check(&results) {
+            eprintln!("serving gate: {e}");
+            std::process::exit(1);
         }
     }
     if want("trace") {

@@ -85,7 +85,7 @@ fn config(smoke: bool) -> Conv3dConfig {
 
 fn retrying() -> RunOptions {
     RunOptions::default()
-        .with_retry(RetryPolicy::retries(8).backoff(SimTime::from_us(50), 2.0))
+        .with_retry(RetryPolicy::retries(8).with_backoff(SimTime::from_us(50), 2.0))
 }
 
 /// Run the sweep. `smoke` shrinks the volume for CI.

@@ -23,6 +23,7 @@
 //! | [`model`] | Analytic cost-model accuracy vs the DES (fig4 + fig8 grids) |
 //! | [`trace`] | Correlated Perfetto traces + stall attribution per app |
 //! | [`calibrate`] | Trace-driven profile auto-calibration, diffing, fleet share shift |
+//! | [`serve`] | Multi-tenant serving: fairness, queue waits, preemption bit-identity |
 //!
 //! Harness `run()` functions fan their independent trials over the
 //! [`pipeline_rt::sweep_map`] worker pool; set `DBPP_SWEEP_THREADS=1`
@@ -31,7 +32,9 @@
 //! All harness runs use timing mode: data is phantom, the DES cost model
 //! produces the timings, and device memory accounting produces the
 //! memory numbers. Functional correctness is covered by the
-//! unit/integration suites of the other crates.
+//! unit/integration suites of the other crates. The one exception is
+//! [`serve`], which runs functional mode on purpose: its preemption
+//! cells re-execute every preempted job and compare output bits.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -50,6 +53,7 @@ pub mod fleet;
 pub mod future_hw;
 pub mod model;
 pub mod perf;
+pub mod serve;
 pub mod trace;
 
 use gpsim::{DeviceProfile, ExecMode, Gpu};

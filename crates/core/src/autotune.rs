@@ -35,6 +35,27 @@ pub struct TuneSpace {
     pub streams: Vec<usize>,
 }
 
+impl TuneSpace {
+    /// Defaults, identical to [`Default`].
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the candidate chunk sizes (consuming builder).
+    #[must_use]
+    pub fn with_chunks(mut self, chunks: Vec<usize>) -> Self {
+        self.chunks = chunks;
+        self
+    }
+
+    /// Set the candidate stream counts (consuming builder).
+    #[must_use]
+    pub fn with_streams(mut self, streams: Vec<usize>) -> Self {
+        self.streams = streams;
+        self
+    }
+}
+
 impl Default for TuneSpace {
     /// Powers of two up to 64 iterations per chunk × 1–5 streams — a
     /// superset of every configuration the paper explores in Figures 4,

@@ -34,7 +34,7 @@
 use gpsim::{Copy2D, CounterTrack, EventId, Gpu, HostSpanKind, StreamId, WaitCause};
 
 use crate::error::RtResult;
-use crate::exec::{declare_accesses, expect_done, KernelBuilder, Region};
+use crate::exec::{declare_accesses, KernelBuilder, Region};
 use crate::plan::{
     build_window_table, resolve_plan, resolve_plan_fn, ChunkStep, CompiledPlan, EvKind, Plan,
     PlanKey, WindowFn, WindowTable,
@@ -159,6 +159,31 @@ pub struct BufferOptions {
     pub minimal_slots: bool,
     /// Chunk-to-stream policy.
     pub assignment: StreamAssignment,
+}
+
+impl BufferOptions {
+    /// Defaults, identical to [`Default`].
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Enable or disable residency tracking (consuming builder).
+    pub fn with_track_residency(mut self, on: bool) -> Self {
+        self.track_residency = on;
+        self
+    }
+
+    /// Enable or disable minimal ring slots (consuming builder).
+    pub fn with_minimal_slots(mut self, on: bool) -> Self {
+        self.minimal_slots = on;
+        self
+    }
+
+    /// Set the chunk-to-stream policy (consuming builder).
+    pub fn with_assignment(mut self, assignment: StreamAssignment) -> Self {
+        self.assignment = assignment;
+        self
+    }
 }
 
 impl Default for BufferOptions {
@@ -612,44 +637,16 @@ fn key_matches(key: &PlanKey, gpu: &Gpu, region: &Region, opts: &BufferOptions) 
         && key.profile == *gpu.profile()
 }
 
-/// Run a region under the **Pipelined-buffer** model (see module docs).
+/// The **Pipelined-buffer** model driver proper (affine windows),
+/// optionally with chunk-granular recovery (see module docs).
 ///
 /// Respects `pipeline_mem_limit` by shrinking the schedule (see
 /// [`resolve_plan`]); honours static and adaptive schedules; inflates the
 /// kernel cost by the region's `index_overhead` to account for the
 /// runtime's mod-index translation inside kernels (paper §V-D).
 ///
-/// Resets the context's activity counters.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `run_model(gpu, region, builder, ExecModel::PipelinedBuffer, &RunOptions::default())` \
-            or `Pipeline::run`"
-)]
-pub fn run_pipelined_buffer(
-    gpu: &mut Gpu,
-    region: &Region,
-    builder: &KernelBuilder<'_>,
-) -> RtResult<RunReport> {
-    buffer_impl(gpu, region, builder, &BufferOptions::default(), None).map(expect_done)
-}
-
-/// [`run_pipelined_buffer`] with explicit ablation options.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `run_model` with `RunOptions { buffer, .. }` or `Pipeline::options`"
-)]
-pub fn run_pipelined_buffer_with(
-    gpu: &mut Gpu,
-    region: &Region,
-    builder: &KernelBuilder<'_>,
-    opts: &BufferOptions,
-) -> RtResult<RunReport> {
-    buffer_impl(gpu, region, builder, opts, None).map(expect_done)
-}
-
-/// The Pipelined-buffer driver proper (affine windows), optionally with
-/// chunk-granular recovery. Compiles a fresh plan every run; see
-/// [`buffer_impl_with`] for the cached-plan fast path.
+/// Resets the context's activity counters. Compiles a fresh plan every
+/// run; see [`buffer_impl_with`] for the cached-plan fast path.
 pub(crate) fn buffer_impl(
     gpu: &mut Gpu,
     region: &Region,
@@ -682,24 +679,14 @@ pub(crate) fn buffer_impl_with(
     execute_compiled(gpu, region, builder, &cp, recovery, false)
 }
 
-/// Run a region with **explicit dependency functions** — the paper's
-/// §VII "function-based extension that allows the developer to pass in a
-/// function pointer" for dependencies the affine clause syntax cannot
-/// express. `windows[i]`, when present, overrides map `i`'s affine
-/// window: given a chunk `[k0, k1)` it returns the slice range `[a, b)`
-/// that must be resident. Ring capacities are derived from the actual
-/// per-chunk table.
-#[deprecated(since = "0.2.0", note = "use `run_window_fn` or `Pipeline::run` with window functions")]
-pub fn run_pipelined_buffer_fn(
-    gpu: &mut Gpu,
-    region: &Region,
-    builder: &KernelBuilder<'_>,
-    windows: &[Option<&WindowFn<'_>>],
-) -> RtResult<RunReport> {
-    buffer_fn_impl(gpu, region, builder, windows, None).map(expect_done)
-}
-
-/// [`run_pipelined_buffer_fn`] body, optionally with recovery.
+/// Driver for regions with **explicit dependency functions** — the
+/// paper's §VII "function-based extension that allows the developer to
+/// pass in a function pointer" for dependencies the affine clause syntax
+/// cannot express. `windows[i]`, when present, overrides map `i`'s
+/// affine window: given a chunk `[k0, k1)` it returns the slice range
+/// `[a, b)` that must be resident. Ring capacities are derived from the
+/// actual per-chunk table. Optionally runs with recovery; the public
+/// entry point is [`crate::run::run_window_fn`].
 pub(crate) fn buffer_fn_impl(
     gpu: &mut Gpu,
     region: &Region,

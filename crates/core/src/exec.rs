@@ -206,24 +206,14 @@ pub(crate) fn declare_accesses(
     kernel
 }
 
-/// Run a region under the **Naive** offload model: synchronously copy all
-/// inputs, launch one kernel covering the whole loop, synchronously copy
-/// all outputs back (paper §II: "the naive offload model").
+/// The **Naive** offload model: synchronously copy all inputs, launch
+/// one kernel covering the whole loop, synchronously copy all outputs
+/// back (paper §II: "the naive offload model"). The Naive model has no
+/// chunk-granular recovery — a failure fails the whole region, and
+/// [`crate::run::run_model`] retries or degrades at run granularity
+/// instead.
 ///
 /// Resets the context's activity counters.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `run_model(gpu, region, builder, ExecModel::Naive, &RunOptions::default())` \
-            or `Pipeline::run`"
-)]
-pub fn run_naive(gpu: &mut Gpu, region: &Region, builder: &KernelBuilder<'_>) -> RtResult<RunReport> {
-    naive_impl(gpu, region, builder)
-}
-
-/// [`run_naive`] body, shared with the unified front door. The Naive
-/// model has no chunk-granular recovery — a failure fails the whole
-/// region, and [`crate::run::run_model`] retries or degrades at run
-/// granularity instead.
 pub(crate) fn naive_impl(
     gpu: &mut Gpu,
     region: &Region,
@@ -314,6 +304,17 @@ pub struct PipelinedOptions {
 }
 
 impl PipelinedOptions {
+    /// Defaults, identical to [`Default`].
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the per-enqueue host polling charge (consuming builder).
+    pub fn with_poll_factor(mut self, factor: f64) -> Self {
+        self.poll_factor = factor;
+        self
+    }
+
     /// Per-enqueue polling charge for `num_streams` live queues.
     pub(crate) fn poll_time(&self, api_overhead: SimTime, num_streams: usize) -> SimTime {
         let extra = num_streams.saturating_sub(2) as f64;
@@ -330,39 +331,13 @@ impl Default for PipelinedOptions {
     }
 }
 
-/// Run a region under the **Pipelined** model: the loop is divided into
-/// chunks launched with their transfers on round-robin streams, but
-/// device arrays keep their *full* footprint and indices are unchanged —
-/// the paper's hand-coded comparator ("manually divides the iterations
-/// but does not alter array indices", §IV).
-#[deprecated(
-    since = "0.2.0",
-    note = "use `run_model(gpu, region, builder, ExecModel::Pipelined, &RunOptions::default())` \
-            or `Pipeline::run`"
-)]
-pub fn run_pipelined(
-    gpu: &mut Gpu,
-    region: &Region,
-    builder: &KernelBuilder<'_>,
-) -> RtResult<RunReport> {
-    pipelined_impl(gpu, region, builder, &PipelinedOptions::default(), None).map(expect_done)
-}
-
-/// [`run_pipelined`] with explicit tuning options.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `run_model` with `RunOptions { pipelined, .. }` or `Pipeline::options`"
-)]
-pub fn run_pipelined_with(
-    gpu: &mut Gpu,
-    region: &Region,
-    builder: &KernelBuilder<'_>,
-    opts: &PipelinedOptions,
-) -> RtResult<RunReport> {
-    pipelined_impl(gpu, region, builder, opts, None).map(expect_done)
-}
-
-/// The Pipelined driver proper. With `recovery` present and enabled, the
+/// The **Pipelined** model driver: the loop is divided into chunks
+/// launched with their transfers on round-robin streams, but device
+/// arrays keep their *full* footprint and indices are unchanged — the
+/// paper's hand-coded comparator ("manually divides the iterations but
+/// does not alter array indices", §IV).
+///
+/// With `recovery` present and enabled, the
 /// driver tracks which enqueue-sequence range belongs to which chunk and
 /// replaces the final synchronize with a retrying drain: a failed chunk's
 /// H2D → kernel → D2H triplet is re-enqueued on its stream (after a

@@ -103,6 +103,7 @@ mod multi;
 mod plan;
 mod recovery;
 mod report;
+mod resume;
 mod run;
 mod spec;
 pub mod sweep;
@@ -114,25 +115,17 @@ pub use calibrate::{
     calibrate_from_trace, calibrate_with_fit, fit_profile, CalibrationReport, DirFit, ProfileFit,
 };
 pub use autotune::{autotune, autotune_with, run_autotuned, Trial, TuneResult, TuneSpace, TuneStrategy};
-#[allow(deprecated)]
-pub use buffer::{
-    compile_plan, run_pipelined_buffer, run_pipelined_buffer_fn, run_pipelined_buffer_with,
-    BufferOptions, StreamAssignment,
-};
+pub use buffer::{compile_plan, BufferOptions, StreamAssignment};
 pub use costmodel::{
     run_model_online, Bottleneck, Calibration, CostModel, ModelTuner, OnlineReport, OnlineStep,
     Prediction,
 };
 pub use error::{RtError, RtResult};
 pub use metrics::{Histogram, Stage, StageMetrics};
-#[allow(deprecated)]
-pub use exec::{
-    run_naive, run_pipelined, run_pipelined_with, KernelBuilder, PipelinedOptions, Region,
-};
-#[allow(deprecated)]
+pub use exec::{KernelBuilder, PipelinedOptions, Region};
 pub use multi::{
-    partition_iterations, run_model_multi, run_pipelined_buffer_multi, DeviceTrace, Migration,
-    MigrationCause, MultiOptions, MultiRecovery, MultiReport,
+    partition_iterations, run_model_multi, DeviceTrace, Migration, MigrationCause, MultiOptions,
+    MultiRecovery, MultiReport,
 };
 pub use plan::{
     build_window_table, chunk_ranges, footprint, map_buffer_bytes, map_full_bytes, min_footprint,
@@ -141,6 +134,7 @@ pub use plan::{
 };
 pub use recovery::{Degradation, RecoveryStats, RetryPolicy};
 pub use report::{ExecModel, RunReport};
+pub use resume::{JobReport, ResumableRun};
 pub use run::{run_model, run_window_fn, RunOptions};
 pub use spec::{Affine, MapDir, MapSpec, RegionSpec, Schedule, SplitSpec};
 pub use trace::{

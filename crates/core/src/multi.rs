@@ -88,6 +88,12 @@ impl Default for MultiOptions {
 }
 
 impl MultiOptions {
+    /// Defaults, identical to [`Default`] — the symmetric starting point
+    /// for the consuming `with_*` builders below.
+    pub fn new() -> MultiOptions {
+        MultiOptions::default()
+    }
+
     /// Set the representative kernel cost (flops, bytes) per iteration.
     #[must_use]
     pub fn with_probe_cost(mut self, flops: u64, bytes: u64) -> MultiOptions {
@@ -345,6 +351,15 @@ fn validate_multi(gpus: &[Gpu], region: &Region) -> RtResult<()> {
     if gpus.is_empty() {
         return Err(RtError::Spec("no devices given".into()));
     }
+    validate_sliceable(region)
+}
+
+/// Reject regions whose output maps write overlapping host slices across
+/// iteration sub-ranges. Splitting such a region — across devices
+/// ([`run_model_multi`]) or across time slices
+/// ([`crate::ResumableRun`]) — would make the result depend on the
+/// execution order of the pieces.
+pub(crate) fn validate_sliceable(region: &Region) -> RtResult<()> {
     for m in &region.spec.maps {
         if m.dir == MapDir::From || m.dir == MapDir::ToFrom {
             let scale = m.split.offset().scale.max(0) as usize;
@@ -386,31 +401,9 @@ struct DevState {
 /// Merge one slice's report into a device's accumulated report: times
 /// and byte counts add, memory footprints max, histograms merge.
 fn merge_slice_report(agg: &mut Option<RunReport>, r: RunReport) {
-    let Some(a) = agg else {
-        *agg = Some(r);
-        return;
-    };
-    a.total += r.total;
-    a.h2d += r.h2d;
-    a.d2h += r.d2h;
-    a.kernel += r.kernel;
-    a.host_api += r.host_api;
-    a.h2d_bytes += r.h2d_bytes;
-    a.d2h_bytes += r.d2h_bytes;
-    a.gpu_mem_bytes = a.gpu_mem_bytes.max(r.gpu_mem_bytes);
-    a.array_bytes = a.array_bytes.max(r.array_bytes);
-    a.chunks += r.chunks;
-    a.streams = a.streams.max(r.streams);
-    a.commands += r.commands;
-    a.spikes += r.spikes;
-    a.stage_metrics.merge(&r.stage_metrics);
-    a.recovery.merge(&r.recovery);
-    for t in &r.counter_tracks {
-        if let Some(existing) = a.counter_tracks.iter_mut().find(|e| e.name == t.name) {
-            existing.samples.extend_from_slice(&t.samples);
-        } else {
-            a.counter_tracks.push(t.clone());
-        }
+    match agg {
+        Some(a) => a.merge_slice(&r),
+        None => *agg = Some(r),
     }
 }
 
@@ -806,27 +799,6 @@ pub fn run_model_multi(
         },
         traces,
     })
-}
-
-/// Run a region co-scheduled across several devices with the
-/// Pipelined-buffer model.
-///
-/// `probe_cost` supplies the kernel cost of one representative iteration
-/// for the load balancer (flops, bytes).
-#[deprecated(
-    since = "0.2.0",
-    note = "use run_model_multi with RunOptions::with_multi(MultiOptions::with_probe_cost(..)) \
-            — it adds failover supervision and straggler rebalancing"
-)]
-pub fn run_pipelined_buffer_multi(
-    gpus: &mut [Gpu],
-    region: &Region,
-    builder: &KernelBuilder<'_>,
-    probe_cost: (u64, u64),
-) -> RtResult<MultiReport> {
-    let opts = RunOptions::default()
-        .with_multi(MultiOptions::default().with_probe_cost(probe_cost.0, probe_cost.1));
-    run_model_multi(gpus, region, builder, &opts)
 }
 
 #[cfg(test)]

@@ -30,7 +30,7 @@ use crate::spec::MapDir;
 /// ```
 /// use pipeline_rt::RetryPolicy;
 /// use gpsim::SimTime;
-/// let p = RetryPolicy::retries(3).backoff(SimTime::from_us(50), 2.0);
+/// let p = RetryPolicy::retries(3).with_backoff(SimTime::from_us(50), 2.0);
 /// assert!(p.enabled());
 /// assert_eq!(p.backoff_for(2), SimTime::from_us(100));
 /// ```
@@ -68,17 +68,18 @@ impl RetryPolicy {
         }
     }
 
-    /// Set the backoff schedule: `base · factor^(attempt−1)`.
+    /// Set the backoff schedule: `base · factor^(attempt−1)` (consuming
+    /// builder).
     #[must_use]
-    pub fn backoff(mut self, base: SimTime, factor: f64) -> RetryPolicy {
+    pub fn with_backoff(mut self, base: SimTime, factor: f64) -> RetryPolicy {
         self.backoff_base = base;
         self.backoff_factor = factor.max(1.0);
         self
     }
 
-    /// Mark one stage retryable or fatal.
+    /// Mark one stage retryable or fatal (consuming builder).
     #[must_use]
-    pub fn stage(mut self, stage: FaultStage, retryable: bool) -> RetryPolicy {
+    pub fn with_stage(mut self, stage: FaultStage, retryable: bool) -> RetryPolicy {
         self.stages[stage.index()] = retryable;
         self
     }
@@ -479,7 +480,7 @@ mod tests {
 
     #[test]
     fn policy_classification() {
-        let p = RetryPolicy::retries(2).stage(FaultStage::Kernel, false);
+        let p = RetryPolicy::retries(2).with_stage(FaultStage::Kernel, false);
         let inj = SimError::Injected {
             stage: FaultStage::H2d,
             occurrence: 0,
@@ -495,7 +496,7 @@ mod tests {
 
     #[test]
     fn backoff_is_exponential() {
-        let p = RetryPolicy::retries(5).backoff(SimTime::from_us(10), 2.0);
+        let p = RetryPolicy::retries(5).with_backoff(SimTime::from_us(10), 2.0);
         assert_eq!(p.backoff_for(1), SimTime::from_us(10));
         assert_eq!(p.backoff_for(2), SimTime::from_us(20));
         assert_eq!(p.backoff_for(3), SimTime::from_us(40));

@@ -163,6 +163,37 @@ impl RunReport {
         1.0 - self.gpu_mem_bytes as f64 / baseline.gpu_mem_bytes as f64
     }
 
+    /// Merge a later slice of the same logical run into this report:
+    /// times and byte counts add, memory footprints max, histograms and
+    /// recovery accounting merge, counter tracks append by name. Used by
+    /// the multi-device supervisor to stitch per-slice reports into a
+    /// per-device one, and by [`crate::ResumableRun`] to accumulate a
+    /// job-level report across preemptions.
+    pub fn merge_slice(&mut self, r: &RunReport) {
+        self.total += r.total;
+        self.h2d += r.h2d;
+        self.d2h += r.d2h;
+        self.kernel += r.kernel;
+        self.host_api += r.host_api;
+        self.h2d_bytes += r.h2d_bytes;
+        self.d2h_bytes += r.d2h_bytes;
+        self.gpu_mem_bytes = self.gpu_mem_bytes.max(r.gpu_mem_bytes);
+        self.array_bytes = self.array_bytes.max(r.array_bytes);
+        self.chunks += r.chunks;
+        self.streams = self.streams.max(r.streams);
+        self.commands += r.commands;
+        self.spikes += r.spikes;
+        self.stage_metrics.merge(&r.stage_metrics);
+        self.recovery.merge(&r.recovery);
+        for t in &r.counter_tracks {
+            if let Some(existing) = self.counter_tracks.iter_mut().find(|e| e.name == t.name) {
+                existing.samples.extend_from_slice(&t.samples);
+            } else {
+                self.counter_tracks.push(t.clone());
+            }
+        }
+    }
+
     /// Fraction of busy time spent in transfers (Figure 3's motivation:
     /// ~50 % for naive Lattice QCD).
     pub fn transfer_fraction(&self) -> f64 {

@@ -1,11 +1,9 @@
 //! The unified run front door: one entry point over every execution
 //! model, with retry and graceful degradation.
 //!
-//! [`run_model`] subsumes the historical per-model free functions
-//! (`run_naive`, `run_pipelined*`, `run_pipelined_buffer*`,
-//! `run_autotuned`): pick a model (or [`ExecModel::Auto`]), hand over a
-//! [`RunOptions`], and the runtime handles scheduling, fault recovery
-//! and fallback:
+//! [`run_model`] is the single entry point over the per-model drivers:
+//! pick a model (or [`ExecModel::Auto`]), hand over a [`RunOptions`],
+//! and the runtime handles scheduling, fault recovery and fallback:
 //!
 //! * **Chunk-granular retry** — with a [`RetryPolicy`] enabled, a failed
 //!   chunk's H2D → kernel → D2H triplet is re-enqueued (exponential

@@ -2,17 +2,35 @@
 //! produce bit-identical results to a CPU reference, and their timing and
 //! memory relations must match the paper's qualitative claims.
 
-// This suite intentionally exercises the deprecated free-function entry
-// points to keep the legacy API surface covered until it is removed.
-#![allow(deprecated)]
 use gpsim::{DeviceProfile, ExecMode, Gpu, HostBufId, KernelCost, KernelLaunch};
 use pipeline_rt::{
-    run_naive, run_pipelined, run_pipelined_buffer, Affine, ChunkCtx, KernelBuilder, MapDir,
-    MapSpec, Region, RegionSpec, RtError, RtResult, RunReport, Schedule, SplitSpec,
+    run_model, Affine, ChunkCtx, ExecModel, KernelBuilder, MapDir, MapSpec, Region, RegionSpec,
+    RtError, RtResult, RunOptions, RunReport, Schedule, SplitSpec,
 };
 
-/// One of the three driver entry points, as a function pointer.
+/// One concrete execution model through the unified front door, as a
+/// function pointer (lets the cross-driver tests iterate a table).
 type Driver = fn(&mut Gpu, &Region, &KernelBuilder<'_>) -> RtResult<RunReport>;
+
+fn run_naive(gpu: &mut Gpu, region: &Region, builder: &KernelBuilder<'_>) -> RtResult<RunReport> {
+    run_model(gpu, region, builder, ExecModel::Naive, &RunOptions::default())
+}
+
+fn run_pipelined(
+    gpu: &mut Gpu,
+    region: &Region,
+    builder: &KernelBuilder<'_>,
+) -> RtResult<RunReport> {
+    run_model(gpu, region, builder, ExecModel::Pipelined, &RunOptions::default())
+}
+
+fn run_pipelined_buffer(
+    gpu: &mut Gpu,
+    region: &Region,
+    builder: &KernelBuilder<'_>,
+) -> RtResult<RunReport> {
+    run_model(gpu, region, builder, ExecModel::PipelinedBuffer, &RunOptions::default())
+}
 
 const NZ: usize = 32;
 const SLICE: usize = 128;

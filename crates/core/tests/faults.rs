@@ -80,7 +80,7 @@ fn read(gpu: &Gpu, region: &Region, map: usize) -> Vec<f32> {
 }
 
 fn retrying() -> RunOptions {
-    RunOptions::default().with_retry(RetryPolicy::retries(8).backoff(SimTime::from_us(50), 2.0))
+    RunOptions::default().with_retry(RetryPolicy::retries(8).with_backoff(SimTime::from_us(50), 2.0))
 }
 
 /// Run fault-free, then re-run with faults + retry; outputs and command
@@ -140,7 +140,7 @@ fn retries_exhausted_without_degrade_is_an_error() {
     // Every H2D fails forever; one retry cannot save it.
     g.set_fault_plan(Some(FaultPlan::seeded(5).h2d_rate(1.0)));
     let opts =
-        RunOptions::default().with_retry(RetryPolicy::retries(1).backoff(SimTime::from_us(10), 2.0));
+        RunOptions::default().with_retry(RetryPolicy::retries(1).with_backoff(SimTime::from_us(10), 2.0));
     let err = run_model(
         &mut g,
         &region,
@@ -183,7 +183,7 @@ fn ladder_degrades_to_pipelined_and_finishes() {
     // Pipelined fallback completes cleanly.
     g.set_fault_plan(Some(FaultPlan::seeded(17).kernel_rate(1.0).max_faults(8)));
     let opts = RunOptions::default()
-        .with_retry(RetryPolicy::retries(1).backoff(SimTime::from_us(10), 2.0))
+        .with_retry(RetryPolicy::retries(1).with_backoff(SimTime::from_us(10), 2.0))
         .with_degrade(true);
     let report = run_model(
         &mut g,

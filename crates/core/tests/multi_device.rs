@@ -1,17 +1,26 @@
 //! Multi-device co-scheduling tests: regions split across several
 //! simulated GPUs sharing one host pool (the §VII extension).
 
-// This suite intentionally exercises the deprecated free-function entry
-// points to keep the legacy API surface covered until it is removed.
-#![allow(deprecated)]
 use gpsim::{DeviceProfile, ExecMode, Gpu, HostPool, KernelCost, KernelLaunch};
 use pipeline_rt::{
-    run_model_multi, run_pipelined_buffer, run_pipelined_buffer_multi, Affine, ChunkCtx, MapDir,
-    MapSpec, MultiOptions, Region, RegionSpec, RtError, RunOptions, Schedule, SplitSpec,
+    run_model, run_model_multi, Affine, ChunkCtx, ExecModel, KernelBuilder, MapDir, MapSpec,
+    MultiOptions, MultiReport, Region, RegionSpec, RtError, RtResult, RunOptions, Schedule,
+    SplitSpec,
 };
 
 const NZ: usize = 64;
 const SLICE: usize = 4096;
+
+fn run_pipelined_buffer_multi(
+    gpus: &mut [Gpu],
+    region: &Region,
+    builder: &KernelBuilder<'_>,
+    probe_cost: (u64, u64),
+) -> RtResult<MultiReport> {
+    let opts = RunOptions::default()
+        .with_multi(MultiOptions::new().with_probe_cost(probe_cost.0, probe_cost.1));
+    run_model_multi(gpus, region, builder, &opts)
+}
 
 fn shared_setup(profiles: &[DeviceProfile]) -> (Vec<Gpu>, Region) {
     let pool = HostPool::new(ExecMode::Functional);
@@ -107,7 +116,14 @@ fn two_homogeneous_devices_split_evenly_and_compute_correctly() {
 #[test]
 fn co_scheduling_beats_a_single_device() {
     let (mut gpus, region) = shared_setup(&[DeviceProfile::k40m(), DeviceProfile::k40m()]);
-    let single = run_pipelined_buffer(&mut gpus[0], &region, &builder).unwrap();
+    let single = run_model(
+        &mut gpus[0],
+        &region,
+        &builder,
+        ExecModel::PipelinedBuffer,
+        &RunOptions::default(),
+    )
+    .unwrap();
     let multi = run_pipelined_buffer_multi(&mut gpus, &region, &builder, PROBE).unwrap();
     let speedup = multi.speedup_over(&single);
     assert!(

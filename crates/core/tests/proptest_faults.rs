@@ -157,7 +157,7 @@ fn read_interior(gpu: &Gpu, region: &Region, s: &Shape, lo: i64, hi: i64) -> Vec
 fn retrying() -> RunOptions {
     // A deep budget so random plans never exhaust it: plans are capped at
     // 5 faults, far below 16 retries per chunk.
-    RunOptions::default().with_retry(RetryPolicy::retries(16).backoff(SimTime::from_us(20), 2.0))
+    RunOptions::default().with_retry(RetryPolicy::retries(16).with_backoff(SimTime::from_us(20), 2.0))
 }
 
 fn check_model(model: ExecModel, s: &Shape, f: &Faults) -> Result<(), TestCaseError> {

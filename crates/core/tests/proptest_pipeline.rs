@@ -3,15 +3,28 @@
 //! CPU reference, each input byte must cross the bus exactly once, and
 //! no device memory may leak.
 
-// This suite intentionally exercises the deprecated free-function entry
-// points to keep the legacy API surface covered until it is removed.
-#![allow(deprecated)]
 use gpsim::{DeviceProfile, ExecMode, Gpu, KernelCost, KernelLaunch};
 use proptest::prelude::*;
 use pipeline_rt::{
-    run_pipelined, run_pipelined_buffer, Affine, ChunkCtx, MapDir, MapSpec, Region, RegionSpec,
-    Schedule, SplitSpec,
+    run_model, Affine, ChunkCtx, ExecModel, KernelBuilder, MapDir, MapSpec, Region, RegionSpec,
+    RtResult, RunOptions, RunReport, Schedule, SplitSpec,
 };
+
+fn run_pipelined(
+    gpu: &mut Gpu,
+    region: &Region,
+    builder: &KernelBuilder<'_>,
+) -> RtResult<RunReport> {
+    run_model(gpu, region, builder, ExecModel::Pipelined, &RunOptions::default())
+}
+
+fn run_pipelined_buffer(
+    gpu: &mut Gpu,
+    region: &Region,
+    builder: &KernelBuilder<'_>,
+) -> RtResult<RunReport> {
+    run_model(gpu, region, builder, ExecModel::PipelinedBuffer, &RunOptions::default())
+}
 
 /// A randomly shaped pipeline problem: `out[k] = Σ in[off(k) .. off(k)+w)`.
 #[derive(Debug, Clone)]

@@ -1,0 +1,229 @@
+//! Property tests of the preemptible-run primitive: for *random* region
+//! shapes and *random* preempt/resume schedules — including slices
+//! bouncing between two heterogeneous devices on one host pool — the
+//! sliced run must produce output bit-identical to an uninterrupted run,
+//! and the completed slice ranges must tile the region exactly (mirror
+//! of `proptest_failover.rs` for time-sliced instead of device-sliced
+//! execution).
+
+use gpsim::{DeviceProfile, ExecMode, Gpu, HostPool, KernelCost, KernelLaunch};
+use proptest::prelude::*;
+use pipeline_rt::{
+    run_model, Affine, ChunkCtx, ExecModel, MapDir, MapSpec, Region, RegionSpec, ResumableRun,
+    RunOptions, Schedule, SplitSpec,
+};
+
+/// A randomly shaped pipeline problem: `out[k] (+)= Σ in[k+bias ..]`.
+#[derive(Debug, Clone)]
+struct Shape {
+    extent: usize,
+    slice: usize,
+    window: usize,
+    bias: i64,
+    chunk: usize,
+    streams: usize,
+    /// Output map direction: `From` (overwrite) or `ToFrom` (in-place
+    /// accumulate — exercises the checkpoint/restore interaction).
+    tofrom: bool,
+    /// Which chunked driver executes the slices (the naive driver is
+    /// excluded by construction: it stages whole arrays and is
+    /// rejected for partial slices).
+    model: ExecModel,
+}
+
+/// A random preempt/resume schedule: slice lengths cycled until the
+/// region is done, plus which of the two devices runs each slice.
+#[derive(Debug, Clone)]
+struct Preemption {
+    lens: Vec<i64>,
+    devices: Vec<u8>,
+}
+
+fn shapes() -> impl Strategy<Value = Shape> {
+    (
+        8usize..28,  // extent
+        1usize..48,  // slice elems
+        1usize..4,   // window
+        -2i64..2,    // bias
+        1usize..5,   // chunk
+        1usize..4,   // streams
+        0u32..2,     // output dir
+        0u32..2,     // model
+    )
+        .prop_map(|(extent, slice, window, bias, chunk, streams, tf, m)| Shape {
+            extent,
+            slice,
+            window,
+            bias,
+            chunk,
+            streams,
+            tofrom: tf == 1,
+            model: if m == 0 {
+                ExecModel::PipelinedBuffer
+            } else {
+                ExecModel::Pipelined
+            },
+        })
+}
+
+fn preemptions() -> impl Strategy<Value = Preemption> {
+    (
+        proptest::collection::vec(1i64..7, 1..8),
+        proptest::collection::vec(0u8..2, 1..8),
+    )
+        .prop_map(|(lens, devices)| Preemption { lens, devices })
+}
+
+impl Shape {
+    /// Loop bounds keeping `[k+bias, k+bias+window)` inside the array.
+    fn bounds(&self) -> Option<(i64, i64)> {
+        let lo = (-self.bias).max(0);
+        let hi = (self.extent as i64 - self.window as i64 - self.bias + 1).min(self.extent as i64);
+        if hi <= lo {
+            None
+        } else {
+            Some((lo, hi))
+        }
+    }
+}
+
+/// Two contexts on one host pool plus a freshly filled region.
+fn build(s: &Shape, lo: i64, hi: i64) -> (Vec<Gpu>, Region) {
+    let pool = HostPool::new(ExecMode::Functional);
+    let mut gpus = vec![
+        Gpu::with_host_pool(DeviceProfile::k40m(), pool.clone()).unwrap(),
+        Gpu::with_host_pool(DeviceProfile::hd7970(), pool).unwrap(),
+    ];
+    let n = s.extent * s.slice;
+    let input = gpus[0].alloc_host(n, true).unwrap();
+    let output = gpus[0].alloc_host(n, true).unwrap();
+    gpus[0]
+        .host_fill(input, |i| ((i * 7 + 3) % 101) as f32)
+        .unwrap();
+    gpus[0].host_fill(output, |i| (i % 17) as f32).unwrap();
+    let spec = RegionSpec::new(Schedule::static_(s.chunk, s.streams))
+        .with_map(MapSpec {
+            name: "in".into(),
+            dir: MapDir::To,
+            split: SplitSpec::OneD {
+                offset: Affine {
+                    scale: 1,
+                    bias: s.bias,
+                },
+                window: s.window,
+                extent: s.extent,
+                slice_elems: s.slice,
+            },
+        })
+        .with_map(MapSpec {
+            name: "out".into(),
+            dir: if s.tofrom { MapDir::ToFrom } else { MapDir::From },
+            split: SplitSpec::OneD {
+                offset: Affine::IDENTITY,
+                window: 1,
+                extent: s.extent,
+                slice_elems: s.slice,
+            },
+        });
+    let region = Region::new(spec, lo, hi, vec![input, output]);
+    (gpus, region)
+}
+
+fn window_sum_builder(s: &Shape) -> impl Fn(&ChunkCtx) -> KernelLaunch + 'static {
+    let shape = s.clone();
+    move |ctx: &ChunkCtx| {
+        let (k0, k1) = (ctx.k0, ctx.k1);
+        let (vin, vout) = (ctx.view(0), ctx.view(1));
+        let (slice, window, bias, tofrom) =
+            (shape.slice, shape.window, shape.bias, shape.tofrom);
+        KernelLaunch::new(
+            "window_sum",
+            KernelCost {
+                flops: (k1 - k0) as u64 * slice as u64 * window as u64,
+                bytes: 0,
+            },
+            move |kc| {
+                for k in k0..k1 {
+                    let mut out = kc.write(vout.slice_ptr(k), slice)?;
+                    if !tofrom {
+                        out.fill(0.0);
+                    }
+                    for w in 0..window as i64 {
+                        let src = kc.read(vin.slice_ptr(k + bias + w), slice)?;
+                        for i in 0..slice {
+                            out[i] += src[i];
+                        }
+                    }
+                }
+                Ok(())
+            },
+        )
+    }
+}
+
+fn read_interior(gpu: &Gpu, region: &Region, s: &Shape, lo: i64, hi: i64) -> Vec<f32> {
+    let mut v = vec![0.0f32; s.extent * s.slice];
+    gpu.host_read(region.arrays[1], 0, &mut v).unwrap();
+    v[lo as usize * s.slice..hi as usize * s.slice].to_vec()
+}
+
+fn check(s: &Shape, p: &Preemption) -> Result<(), TestCaseError> {
+    let Some((lo, hi)) = s.bounds() else {
+        return Ok(()); // degenerate shape: nothing to test
+    };
+    let opts = RunOptions::default();
+
+    // Uninterrupted reference on a fresh, identically filled setup.
+    let (mut gpus, region) = build(s, lo, hi);
+    let builder = window_sum_builder(s);
+    run_model(&mut gpus[0], &region, &builder, s.model, &opts)
+    .map_err(|e| TestCaseError::fail(format!("reference run failed: {e}")))?;
+    let expect = read_interior(&gpus[0], &region, s, lo, hi);
+
+    // Sliced run: the schedule dictates slice lengths and which device
+    // executes each slice.
+    let (mut gpus, region) = build(s, lo, hi);
+    let mut run = ResumableRun::new(&gpus[0], &region)
+        .map_err(|e| TestCaseError::fail(format!("resumable setup failed: {e}")))?;
+    let mut step = 0usize;
+    while !run.is_done() {
+        let len = p.lens[step % p.lens.len()];
+        let dev = p.devices[step % p.devices.len()] as usize;
+        let r = run
+            .run_slice(&mut gpus[dev], &builder, s.model, &opts, len)
+            .map_err(|e| TestCaseError::fail(format!("slice {step} failed: {e}")))?;
+        prop_assert!(r.is_some(), "run_slice returned None before completion");
+        step += 1;
+        prop_assert!(step < 10_000, "runaway schedule");
+    }
+
+    // Observational cleanliness: bit-identical output.
+    let got = read_interior(&gpus[0], &region, s, lo, hi);
+    prop_assert_eq!(&got, &expect, "output diverged under schedule {:?}", p);
+
+    // The job-level report: slice ranges tile [lo, hi) exactly, in
+    // order, and the accounting is internally consistent.
+    let job = run
+        .finish()
+        .map_err(|e| TestCaseError::fail(format!("finish failed: {e}")))?;
+    prop_assert_eq!(job.slices, step, "slice count mismatch");
+    prop_assert_eq!(job.preemptions(), step - 1);
+    prop_assert_eq!(job.completed.first().copied(), Some((lo, job.completed[0].1)));
+    prop_assert_eq!(job.completed.last().map(|r| r.1), Some(hi));
+    for w in job.completed.windows(2) {
+        prop_assert!(w[0].1 == w[1].0, "gap or overlap in {:?}", job.completed);
+    }
+    let covered: i64 = job.completed.iter().map(|(a, b)| b - a).sum();
+    prop_assert_eq!(covered, hi - lo, "completed {:?} != [{}, {})", &job.completed, lo, hi);
+    prop_assert!(job.report.chunks >= job.slices, "chunks < slices");
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn preempted_run_is_bit_identical_to_uninterrupted(s in shapes(), p in preemptions()) {
+        check(&s, &p)?;
+    }
+}

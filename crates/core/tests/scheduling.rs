@@ -1,16 +1,28 @@
 //! Stream-assignment policy tests: least-loaded vs round-robin.
 
-// This suite intentionally exercises the deprecated free-function entry
-// points to keep the legacy API surface covered until it is removed.
-#![allow(deprecated)]
 use gpsim::{DeviceProfile, ExecMode, Gpu, KernelCost, KernelLaunch};
 use pipeline_rt::{
-    run_pipelined_buffer_with, Affine, BufferOptions, ChunkCtx, MapDir, MapSpec, Region,
-    RegionSpec, Schedule, SplitSpec, StreamAssignment,
+    run_model, Affine, BufferOptions, ChunkCtx, ExecModel, KernelBuilder, MapDir, MapSpec, Region,
+    RegionSpec, RtResult, RunOptions, RunReport, Schedule, SplitSpec, StreamAssignment,
 };
 
 const NZ: usize = 24;
 const SLICE: usize = 256;
+
+fn run_pipelined_buffer_with(
+    gpu: &mut Gpu,
+    region: &Region,
+    builder: &KernelBuilder<'_>,
+    opts: &BufferOptions,
+) -> RtResult<RunReport> {
+    run_model(
+        gpu,
+        region,
+        builder,
+        ExecModel::PipelinedBuffer,
+        &RunOptions::default().with_buffer(*opts),
+    )
+}
 
 /// A region whose chunk costs vary wildly: the kernel of iteration k
 /// costs ~k² (prefix-sum-like work), so round-robin streams end up

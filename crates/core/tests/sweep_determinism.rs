@@ -2,13 +2,10 @@
 //! worker pool must give results bit-identical to the serial loop —
 //! simulated times, peak device bytes, and functional outputs alike.
 
-// This suite intentionally exercises the deprecated free-function entry
-// points to keep the legacy API surface covered until it is removed.
-#![allow(deprecated)]
 use gpsim::{DeviceProfile, ExecMode, Gpu, KernelCost, KernelLaunch};
 use pipeline_rt::{
-    run_pipelined_buffer, sweep_map_threads, Affine, MapDir, MapSpec, Region, RegionSpec,
-    Schedule, SplitSpec,
+    run_model, sweep_map_threads, Affine, ExecModel, MapDir, MapSpec, Region, RegionSpec,
+    RunOptions, Schedule, SplitSpec,
 };
 
 const NZ: usize = 32;
@@ -48,7 +45,7 @@ fn trial(i: usize) -> (u64, u64, u64, Vec<u32>) {
         });
     let region = Region::new(spec, 1, (NZ - 1) as i64, vec![input, output]);
 
-    let report = run_pipelined_buffer(&mut gpu, &region, &|ctx| {
+    let builder = |ctx: &pipeline_rt::ChunkCtx| {
         let (k0, k1) = (ctx.k0, ctx.k1);
         let (vin, vout) = (ctx.view(0), ctx.view(1));
         KernelLaunch::new(
@@ -70,7 +67,14 @@ fn trial(i: usize) -> (u64, u64, u64, Vec<u32>) {
                 Ok(())
             },
         )
-    })
+    };
+    let report = run_model(
+        &mut gpu,
+        &region,
+        &builder,
+        ExecModel::PipelinedBuffer,
+        &RunOptions::default(),
+    )
     .unwrap();
 
     let mut result = vec![0.0f32; NZ * SLICE];

@@ -1,18 +1,32 @@
-//! Tests of the function-based dependency extension
-//! ([`run_pipelined_buffer_fn`]): custom per-chunk window functions in
-//! place of the affine clause windows (paper §VII).
+//! Tests of the function-based dependency extension ([`run_window_fn`]):
+//! custom per-chunk window functions in place of the affine clause
+//! windows (paper §VII).
 
-// This suite intentionally exercises the deprecated free-function entry
-// points to keep the legacy API surface covered until it is removed.
-#![allow(deprecated)]
 use gpsim::{DeviceProfile, ExecMode, Gpu, KernelCost, KernelLaunch};
 use pipeline_rt::{
-    run_pipelined_buffer, run_pipelined_buffer_fn, Affine, ChunkCtx, MapDir, MapSpec, Region,
-    RegionSpec, RtError, Schedule, SplitSpec, WindowFn,
+    run_model, run_window_fn, Affine, ChunkCtx, ExecModel, KernelBuilder, MapDir, MapSpec, Region,
+    RegionSpec, RtError, RtResult, RunOptions, RunReport, Schedule, SplitSpec, WindowFn,
 };
 
 const NZ: usize = 32;
 const SLICE: usize = 64;
+
+fn run_pipelined_buffer(
+    gpu: &mut Gpu,
+    region: &Region,
+    builder: &KernelBuilder<'_>,
+) -> RtResult<RunReport> {
+    run_model(gpu, region, builder, ExecModel::PipelinedBuffer, &RunOptions::default())
+}
+
+fn run_pipelined_buffer_fn(
+    gpu: &mut Gpu,
+    region: &Region,
+    builder: &KernelBuilder<'_>,
+    windows: &[Option<&WindowFn<'_>>],
+) -> RtResult<RunReport> {
+    run_window_fn(gpu, region, builder, windows, &RunOptions::default())
+}
 
 fn gpu() -> Gpu {
     Gpu::new(DeviceProfile::k40m(), ExecMode::Functional).unwrap()

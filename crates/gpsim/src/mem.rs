@@ -296,6 +296,26 @@ impl HostPool {
         self.mode
     }
 
+    /// Number of buffers currently allocated (not yet freed).
+    ///
+    /// A long-running service that allocates per-job arrays from a
+    /// shared pool can watch this to prove its working set is bounded:
+    /// under steady job churn the live count must plateau, not grow.
+    pub fn live_bufs(&self) -> usize {
+        self.inner.borrow().bufs.iter().filter(|h| !h.freed).count()
+    }
+
+    /// Total bytes of the currently live buffers.
+    pub fn live_bytes(&self) -> u64 {
+        self.inner
+            .borrow()
+            .bufs
+            .iter()
+            .filter(|h| !h.freed)
+            .map(|h| h.len as u64 * ELEM_BYTES)
+            .sum()
+    }
+
     pub(crate) fn alloc(&self, elems: usize, pinned: bool) -> SimResult<HostBufId> {
         if elems == 0 {
             return Err(SimError::InvalidArgument("zero-size host allocation".into()));

@@ -1,0 +1,36 @@
+//! # pipeline-serve — multi-tenant serving over the simulated fleet
+//!
+//! The lower layers answer "how fast does *one* region run on *one or
+//! a few* devices?". This crate answers the operator's question: given
+//! a shared heterogeneous fleet and an open-loop stream of jobs from
+//! competing tenants, what queueing delay, fairness and throughput does
+//! the directive runtime deliver — with long jobs preempted at chunk
+//! granularity via the checkpoint/restore path and resumed
+//! bit-identically, possibly on a different device?
+//!
+//! | Module | Contents |
+//! |---|---|
+//! | [`job`] | [`JobSpec`], [`JobShape`], [`TenantSpec`], the serving GEMM |
+//! | [`workload`] | [`WorkloadConfig`]: seeded bursty open-loop traffic |
+//! | [`fleet`] | [`Fleet`]: shared-pool devices + per-device calibration |
+//! | [`sched`] | [`FairScheduler`]: weighted stride fair sharing |
+//! | [`server`] | [`serve`]: the event loop (placement, quantum, verify) |
+//! | [`metrics`] | [`ServeReport`], [`TenantStats`], [`jain_index`] |
+//!
+//! The whole stack runs in functional simulation mode: outputs are real
+//! bits (so preemption correctness is *checked*, not assumed) while the
+//! DES clocks still advance, giving meaningful queueing behavior.
+
+pub mod fleet;
+pub mod job;
+pub mod metrics;
+pub mod sched;
+pub mod server;
+pub mod workload;
+
+pub use fleet::{DeviceModel, Fleet};
+pub use job::{GemmConfig, JobInstance, JobShape, JobSpec, TenantSpec};
+pub use metrics::{jain_index, ServeReport, TenantStats};
+pub use sched::{FairScheduler, QueueEntry};
+pub use server::{serve, ServeOptions};
+pub use workload::WorkloadConfig;

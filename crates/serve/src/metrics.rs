@@ -1,0 +1,135 @@
+//! Per-tenant SLO accounting and the final serving report.
+
+use gpsim::SimTime;
+use pipeline_rt::{Histogram, StageMetrics};
+
+/// Jain's fairness index over per-tenant normalized service:
+/// `(Σx)² / (n·Σx²)`, 1.0 when every tenant's `service/weight` is
+/// equal, approaching `1/n` under total capture by one tenant.
+pub fn jain_index(normalized: &[f64]) -> f64 {
+    let n = normalized.len();
+    if n == 0 {
+        return 1.0;
+    }
+    let sum: f64 = normalized.iter().sum();
+    let sq: f64 = normalized.iter().map(|x| x * x).sum();
+    if sq == 0.0 {
+        return 1.0;
+    }
+    (sum * sum) / (n as f64 * sq)
+}
+
+/// One tenant's accumulated statistics.
+#[derive(Debug, Clone)]
+pub struct TenantStats {
+    /// Tenant display name.
+    pub name: String,
+    /// Fair-share weight.
+    pub weight: f64,
+    /// Jobs submitted by this tenant.
+    pub submitted: u64,
+    /// Jobs completed.
+    pub done: u64,
+    /// Completed jobs that were preempted at least once.
+    pub preempted: u64,
+    /// Total slices across this tenant's completed jobs.
+    pub slices: u64,
+    /// Jobs that finished after their deadline.
+    pub deadline_misses: u64,
+    /// Total device time consumed (what fair sharing divides).
+    pub service: SimTime,
+    /// Queue wait: arrival → first dispatch.
+    pub queue_wait: Histogram,
+    /// Makespan: arrival → completion.
+    pub makespan: Histogram,
+    /// Merged per-stage chunk latency distributions.
+    pub stages: StageMetrics,
+}
+
+impl TenantStats {
+    /// Fresh stats for a named tenant.
+    pub fn new(name: String, weight: f64) -> TenantStats {
+        TenantStats {
+            name,
+            weight,
+            submitted: 0,
+            done: 0,
+            preempted: 0,
+            slices: 0,
+            deadline_misses: 0,
+            service: SimTime::ZERO,
+            queue_wait: Histogram::default(),
+            makespan: Histogram::default(),
+            stages: StageMetrics::default(),
+        }
+    }
+
+    /// Service normalized by weight — the fairness coordinate.
+    pub fn normalized_service(&self) -> f64 {
+        self.service.as_secs_f64() / self.weight
+    }
+}
+
+/// The complete outcome of one serving run.
+#[derive(Debug, Clone)]
+pub struct ServeReport {
+    /// Devices in the fleet.
+    pub devices: usize,
+    /// Jobs submitted across all tenants.
+    pub submitted: u64,
+    /// Jobs completed (always equals `submitted`: the simulated stream
+    /// is finite and the server drains it).
+    pub done: u64,
+    /// Completed jobs that were preempted at least once.
+    pub preempted: u64,
+    /// Total slices across all completed jobs.
+    pub total_slices: u64,
+    /// Preempted jobs re-executed uninterrupted for verification.
+    pub verified: u64,
+    /// How many of those verified bit-identical.
+    pub verified_ok: u64,
+    /// Jain fairness index over per-tenant `service/weight`.
+    pub fairness: f64,
+    /// End-to-end simulated makespan of the whole stream.
+    pub makespan: SimTime,
+    /// Peak live host buffers during the run.
+    pub peak_live_bufs: usize,
+    /// Peak live host bytes during the run.
+    pub peak_live_bytes: u64,
+    /// Per-tenant breakdown.
+    pub tenants: Vec<TenantStats>,
+}
+
+impl ServeReport {
+    /// Recompute the fairness index from tenant stats (tenants that
+    /// never received service are excluded — they submitted nothing).
+    pub fn compute_fairness(tenants: &[TenantStats]) -> f64 {
+        let xs: Vec<f64> = tenants
+            .iter()
+            .filter(|t| t.submitted > 0)
+            .map(|t| t.normalized_service())
+            .collect();
+        jain_index(&xs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jain_is_one_for_equal_shares() {
+        assert!((jain_index(&[2.0, 2.0, 2.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jain_penalizes_capture() {
+        let j = jain_index(&[10.0, 0.0, 0.0, 0.0]);
+        assert!((j - 0.25).abs() < 1e-12, "got {j}");
+    }
+
+    #[test]
+    fn jain_of_empty_is_one() {
+        assert_eq!(jain_index(&[]), 1.0);
+    }
+}

@@ -1,0 +1,321 @@
+//! The job server: admission, fair-share dispatch, cost-model
+//! placement, quantum preemption, and completion verification.
+//!
+//! The server is a serial discrete-event loop over per-device relative
+//! clocks. Each device's context advances only when work runs on it, so
+//! the fleet executes "in parallel" in simulated time even though the
+//! loop dispatches one slice at a time: global *now* is the minimum
+//! device clock, arrivals admit against it, and a slice dispatched to
+//! device `d` occupies exactly `[rel(d), rel(d) + slice_time)`.
+
+use gpsim::{DeviceProfile, ExecMode, Gpu, SimTime};
+use pipeline_apps::util::read_host;
+use pipeline_rt::{
+    run_model, CostModel, ExecModel, ResumableRun, RtError, RtResult, RunOptions,
+};
+
+use crate::fleet::Fleet;
+use crate::job::{JobInstance, JobSpec, TenantSpec};
+use crate::metrics::{ServeReport, TenantStats};
+use crate::sched::{FairScheduler, QueueEntry};
+
+/// Serving policy knobs.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Target device time per slice; jobs predicted to run longer are
+    /// preempted at the nearest iteration boundary and requeued.
+    pub quantum: SimTime,
+    /// Re-execute every preempted job uninterrupted on a fresh context
+    /// and require bit-identical output (the server's self-check).
+    pub verify_preempted: bool,
+    /// Options forwarded to every slice execution.
+    pub run: RunOptions,
+}
+
+impl ServeOptions {
+    /// Defaults: 150 µs quantum, verification on, default run options.
+    pub fn new() -> ServeOptions {
+        ServeOptions {
+            quantum: SimTime::from_us(150),
+            verify_preempted: true,
+            run: RunOptions::default(),
+        }
+    }
+
+    /// Set the preemption quantum.
+    pub fn with_quantum(mut self, quantum: SimTime) -> ServeOptions {
+        self.quantum = quantum;
+        self
+    }
+
+    /// Enable or disable preempted-job verification.
+    pub fn with_verify_preempted(mut self, verify: bool) -> ServeOptions {
+        self.verify_preempted = verify;
+        self
+    }
+
+    /// Replace the per-slice run options.
+    pub fn with_run(mut self, run: RunOptions) -> ServeOptions {
+        self.run = run;
+        self
+    }
+}
+
+impl Default for ServeOptions {
+    fn default() -> ServeOptions {
+        ServeOptions::new()
+    }
+}
+
+/// A job that has been dispatched at least once.
+struct Active {
+    inst: JobInstance,
+    run: ResumableRun,
+}
+
+fn effective(model: ExecModel) -> ExecModel {
+    match model {
+        ExecModel::Auto => ExecModel::PipelinedBuffer,
+        m => m,
+    }
+}
+
+/// Serve `jobs` (any order; sorted internally by arrival) for `tenants`
+/// on `fleet` and drain the stream to completion.
+pub fn serve(
+    fleet: &mut Fleet,
+    tenants: &[TenantSpec],
+    jobs: &[JobSpec],
+    opts: &ServeOptions,
+) -> RtResult<ServeReport> {
+    if fleet.is_empty() {
+        return Err(RtError::Spec("serve: empty fleet".into()));
+    }
+    if tenants.is_empty() {
+        return Err(RtError::Spec("serve: no tenants".into()));
+    }
+    for j in jobs {
+        if j.tenant >= tenants.len() {
+            return Err(RtError::Spec(format!(
+                "job {} names tenant {} of {}",
+                j.id,
+                j.tenant,
+                tenants.len()
+            )));
+        }
+    }
+    let ndev = fleet.len();
+    let t0: Vec<SimTime> = fleet.gpus.iter().map(|g| g.now()).collect();
+    let rel = |gpus: &[Gpu], d: usize| gpus[d].now().saturating_sub(t0[d]);
+
+    let weights: Vec<f64> = tenants.iter().map(|t| t.weight).collect();
+    let mut sched = FairScheduler::new(&weights);
+    let mut stats: Vec<TenantStats> = tenants
+        .iter()
+        .map(|t| TenantStats::new(t.name.clone(), t.weight))
+        .collect();
+
+    let mut order: Vec<usize> = (0..jobs.len()).collect();
+    order.sort_by_key(|&i| (jobs[i].arrival, jobs[i].id));
+
+    let mut active: Vec<Option<Active>> = (0..jobs.len()).map(|_| None).collect();
+    let mut next = 0usize;
+    let mut done = 0usize;
+    let mut preempted = 0u64;
+    let mut total_slices = 0u64;
+    let mut verified = 0u64;
+    let mut verified_ok = 0u64;
+    let mut peak_live_bufs = fleet.pool.live_bufs();
+    let mut peak_live_bytes = fleet.pool.live_bytes();
+
+    while done < jobs.len() {
+        let now = (0..ndev)
+            .map(|d| rel(&fleet.gpus, d))
+            .min()
+            .expect("non-empty fleet");
+
+        // Admission: everything that has arrived by global now.
+        while next < order.len() && jobs[order[next]].arrival <= now {
+            let idx = order[next];
+            let spec = &jobs[idx];
+            stats[spec.tenant].submitted += 1;
+            sched.push(
+                spec.tenant,
+                QueueEntry {
+                    job: idx,
+                    priority: spec.priority,
+                    arrival: spec.arrival,
+                    id: spec.id,
+                },
+            );
+            next += 1;
+        }
+
+        if sched.is_empty() {
+            // All admitted work is finished; fast-forward the frontier
+            // device to the next arrival.
+            if next >= order.len() {
+                return Err(RtError::Spec(
+                    "serve: internal inconsistency (no queue, no arrivals, jobs unfinished)"
+                        .into(),
+                ));
+            }
+            let target = jobs[order[next]].arrival;
+            let d = (0..ndev)
+                .min_by_key(|&d| rel(&fleet.gpus, d))
+                .expect("non-empty fleet");
+            let gap = target.saturating_sub(rel(&fleet.gpus, d));
+            fleet.gpus[d].host_busy(gap.max(SimTime::from_ns(1)));
+            continue;
+        }
+
+        let (tenant, entry) = sched.pop().expect("non-empty scheduler");
+        let spec = &jobs[entry.job];
+        let model = effective(spec.model);
+        let (chunk, streams) = spec.shape.schedule();
+
+        // Materialize on first dispatch, on the least-loaded device so
+        // the setup's host-API time lands on the frontier clock.
+        let first_dispatch = active[entry.job].is_none();
+        if first_dispatch {
+            let d = (0..ndev)
+                .min_by_key(|&d| rel(&fleet.gpus, d))
+                .expect("non-empty fleet");
+            let inst = spec.shape.setup(&mut fleet.gpus[d], spec.id)?;
+            let run = ResumableRun::new(&fleet.gpus[d], &inst.region)?;
+            active[entry.job] = Some(Active { inst, run });
+        }
+
+        // Placement: one cost model, swept over per-device calibrated
+        // profiles; pick the earliest predicted completion of the
+        // *remaining* iterations.
+        let a = active[entry.job].as_mut().expect("just materialized");
+        let remaining = a.run.remaining().max(1) as u64;
+        let iters_total = spec.shape.iterations().max(1) as u64;
+        let (best_d, per_iter_ns) = {
+            let mut cm = CostModel::new(&fleet.gpus[0], &a.inst.region, &*a.inst.builder)?;
+            let mut best = (0usize, u64::MAX, u64::MAX);
+            for d in 0..ndev {
+                cm.set_profile(fleet.models[d].profile.clone());
+                cm.calibration = fleet.models[d].calibration;
+                let pred = cm.predict(model, chunk, streams)?;
+                let per_iter = (pred.total.as_ns() / iters_total).max(1);
+                let finish = rel(&fleet.gpus, d).as_ns() + per_iter * remaining;
+                if finish < best.1 {
+                    best = (d, finish, per_iter);
+                }
+            }
+            (best.0, best.2)
+        };
+
+        // Slice length: one quantum of predicted work, at least one
+        // chunk, never past the end of the region. Naive jobs are a
+        // single monolithic launch with no chunk boundary to preempt
+        // at, so they always run to completion.
+        let iters = if model == ExecModel::Naive {
+            remaining as i64
+        } else {
+            ((opts.quantum.as_ns() / per_iter_ns) as i64)
+                .max(chunk as i64)
+                .min(remaining as i64)
+                .max(1)
+        };
+
+        let started = fleet.gpus[best_d].now();
+        if first_dispatch {
+            let wait = rel(&fleet.gpus, best_d).saturating_sub(spec.arrival);
+            stats[tenant].queue_wait.record(wait.as_ns());
+        }
+        let slice = a
+            .run
+            .run_slice(&mut fleet.gpus[best_d], &*a.inst.builder, model, &opts.run, iters)?;
+        debug_assert!(slice.is_some(), "run_slice on an unfinished job");
+        let service = fleet.gpus[best_d].now().saturating_sub(started);
+        sched.charge(tenant, service);
+        stats[tenant].service += service;
+        peak_live_bufs = peak_live_bufs.max(fleet.pool.live_bufs());
+        peak_live_bytes = peak_live_bytes.max(fleet.pool.live_bytes());
+
+        if a.run.is_done() {
+            let act = active[entry.job].take().expect("active job");
+            let job = act.run.finish()?;
+            let finish_rel = rel(&fleet.gpus, best_d);
+            let st = &mut stats[tenant];
+            st.done += 1;
+            st.slices += job.slices as u64;
+            total_slices += job.slices as u64;
+            st.makespan
+                .record(finish_rel.saturating_sub(spec.arrival).as_ns());
+            st.stages.merge(&job.report.stage_metrics);
+            if let Some(deadline) = spec.deadline {
+                if finish_rel > deadline {
+                    st.deadline_misses += 1;
+                }
+            }
+            if job.slices > 1 {
+                st.preempted += 1;
+                preempted += 1;
+                if opts.verify_preempted {
+                    verified += 1;
+                    if verify_preempted(spec, &fleet.gpus[best_d], &act.inst, &opts.run)? {
+                        verified_ok += 1;
+                    }
+                }
+            }
+            for &b in &act.inst.buffers {
+                fleet.gpus[best_d].free_host(b)?;
+            }
+            done += 1;
+        } else {
+            sched.push(tenant, entry);
+        }
+    }
+
+    let makespan = (0..ndev)
+        .map(|d| rel(&fleet.gpus, d))
+        .max()
+        .expect("non-empty fleet");
+    let submitted = jobs.len() as u64;
+    let fairness = ServeReport::compute_fairness(&stats);
+    Ok(ServeReport {
+        devices: ndev,
+        submitted,
+        done: done as u64,
+        preempted,
+        total_slices,
+        verified,
+        verified_ok,
+        fairness,
+        makespan,
+        peak_live_bufs,
+        peak_live_bytes,
+        tenants: stats,
+    })
+}
+
+/// Re-run a finished (preempted) job uninterrupted on a fresh context
+/// with the same deterministic setup and compare output bits.
+fn verify_preempted(
+    spec: &JobSpec,
+    served_on: &Gpu,
+    inst: &JobInstance,
+    run_opts: &RunOptions,
+) -> RtResult<bool> {
+    let got = read_host(served_on, inst.output)?;
+    let mut fresh = Gpu::new(DeviceProfile::k40m(), ExecMode::Functional)?;
+    let vinst = spec.shape.setup(&mut fresh, spec.id)?;
+    run_model(
+        &mut fresh,
+        &vinst.region,
+        &*vinst.builder,
+        effective(spec.model),
+        run_opts,
+    )?;
+    let want = read_host(&fresh, vinst.output)?;
+    let identical = got.len() == want.len()
+        && got
+            .iter()
+            .zip(want.iter())
+            .all(|(g, w)| g.to_bits() == w.to_bits());
+    Ok(identical)
+}

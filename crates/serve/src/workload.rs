@@ -1,0 +1,126 @@
+//! Synthetic open-loop traffic: a seeded, bursty stream of mixed jobs.
+//!
+//! The generator is *open loop* — arrival times are fixed up front and
+//! do not react to server backlog — which is the regime where fair-share
+//! scheduling actually matters: bursts pile up a queue and the scheduler
+//! decides whose jobs drain first.
+
+use gpsim::SimTime;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::job::{GemmConfig, JobShape, JobSpec};
+use pipeline_apps::{Conv3dConfig, QcdConfig, StencilConfig};
+use pipeline_rt::ExecModel;
+
+/// Parameters of the synthetic stream.
+#[derive(Debug, Clone)]
+pub struct WorkloadConfig {
+    /// RNG seed; same seed ⇒ identical stream.
+    pub seed: u64,
+    /// Total jobs to emit.
+    pub jobs: usize,
+    /// Tenants to spread jobs over (round-robin by hash of id).
+    pub tenants: usize,
+    /// Mean inter-arrival gap in the normal phase.
+    pub mean_gap: SimTime,
+    /// Arrival-rate multiplier during bursts (gap divides by this).
+    pub burst_factor: u64,
+    /// Jobs per phase before toggling normal ↔ burst.
+    pub phase_len: usize,
+    /// Fraction of jobs carrying a deadline, in `[0, 1]`.
+    pub deadline_frac: f64,
+}
+
+impl WorkloadConfig {
+    /// A stream of `jobs` jobs over `tenants` tenants with defaults
+    /// tuned for the smoke fleet (bursty, ~25% deadlines).
+    pub fn new(seed: u64, jobs: usize, tenants: usize) -> WorkloadConfig {
+        WorkloadConfig {
+            seed,
+            jobs,
+            tenants,
+            mean_gap: SimTime::from_us(40),
+            burst_factor: 8,
+            phase_len: 48,
+            deadline_frac: 0.25,
+        }
+    }
+
+    /// Generate the stream, sorted by arrival time.
+    pub fn generate(&self) -> Vec<JobSpec> {
+        assert!(self.tenants > 0, "workload needs at least one tenant");
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let mut out = Vec::with_capacity(self.jobs);
+        let mut clock = 0u64;
+        let mean = self.mean_gap.as_ns().max(1);
+        for id in 0..self.jobs as u64 {
+            let burst = (id as usize / self.phase_len.max(1)) % 2 == 1;
+            // Uniform gap with the requested mean; bursts compress it.
+            let mut gap = rng.gen_range(0..2 * mean);
+            if burst {
+                gap /= self.burst_factor.max(1);
+            }
+            clock += gap;
+            let arrival = SimTime::from_ns(clock);
+            let shape = sample_shape(&mut rng);
+            let model = match rng.gen_range(0u32..10) {
+                0..=6 => ExecModel::PipelinedBuffer,
+                7..=8 => ExecModel::Pipelined,
+                _ => ExecModel::Naive,
+            };
+            let deadline = if rng.gen_range(0.0f64..1.0) < self.deadline_frac {
+                // Generous budget: misses indicate sustained overload,
+                // not scheduling noise.
+                Some(arrival + SimTime::from_ms(rng.gen_range(30u64..120)))
+            } else {
+                None
+            };
+            out.push(JobSpec {
+                id,
+                tenant: rng.gen_range(0..self.tenants),
+                shape,
+                model,
+                priority: rng.gen_range(0u8..3),
+                arrival,
+                deadline,
+            });
+        }
+        out.sort_by_key(|j| (j.arrival, j.id));
+        out
+    }
+}
+
+fn sample_shape(rng: &mut SmallRng) -> JobShape {
+    match rng.gen_range(0u32..100) {
+        0..=29 => {
+            let mut c = Conv3dConfig::test_small();
+            c.nk = [10, 14, 18][rng.gen_range(0usize..3)];
+            c.chunk = rng.gen_range(2usize..4);
+            c.streams = rng.gen_range(2usize..4);
+            JobShape::Conv3d(c)
+        }
+        30..=59 => {
+            let mut c = StencilConfig::test_small();
+            c.nz = [12, 16, 20][rng.gen_range(0usize..3)];
+            c.chunk = rng.gen_range(2usize..4);
+            c.streams = rng.gen_range(2usize..4);
+            JobShape::Stencil(c)
+        }
+        60..=84 => {
+            let n = [16, 24, 32][rng.gen_range(0usize..3)];
+            JobShape::Gemm(GemmConfig {
+                n,
+                bs: [4, 8][rng.gen_range(0usize..2)],
+                chunk: rng.gen_range(1usize..3),
+                streams: rng.gen_range(2usize..4),
+            })
+        }
+        _ => {
+            let mut c = QcdConfig::test_small();
+            c.nt = [6, 8, 10][rng.gen_range(0usize..3)];
+            c.streams = rng.gen_range(2usize..4);
+            JobShape::Qcd(c)
+        }
+    }
+}

@@ -7,7 +7,8 @@
 //! ```
 
 use gpsim::{DeviceProfile, ExecMode, Gpu, HostPool, KernelCost, KernelLaunch};
-use pipeline_rt::{autotune, run_model, run_model_multi, run_window_fn, Affine, ChunkCtx, ExecModel, MapDir, MapSpec, MultiOptions, Region, RegionSpec, RunOptions, Schedule, SplitSpec, TuneSpace, WindowFn};
+use dbpp_core::prelude::*;
+use dbpp_core::{autotune, WindowFn};
 
 const NZ: usize = 96;
 const SLICE: usize = 1 << 18; // 1 MB slices

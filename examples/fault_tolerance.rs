@@ -12,7 +12,7 @@ use gpsim::{
     DeviceProfile, ExecMode, FaultPlan, FaultStage, Gpu, KernelCost, KernelLaunch, SimTime,
 };
 use pipeline_directive::parse_directive;
-use pipeline_rt::{run_model, ChunkCtx, ExecModel, Region, RetryPolicy, RunOptions};
+use dbpp_core::prelude::*;
 
 const NZ: usize = 256;
 const SLICE: usize = 16 * 1024;
@@ -91,7 +91,7 @@ fn main() {
     gpu.host_fill(region.arrays[1], |_| -1.0).unwrap();
     gpu.set_fault_plan(Some(FaultPlan::seeded(42).h2d_rate(0.05)));
     let retry = RunOptions::default()
-        .with_retry(RetryPolicy::retries(8).backoff(SimTime::from_us(50), 2.0));
+        .with_retry(RetryPolicy::retries(8).with_backoff(SimTime::from_us(50), 2.0));
     let healed = run_model(
         &mut gpu,
         &region,
@@ -130,7 +130,7 @@ fn main() {
     gpu.host_fill(region.arrays[1], |_| -1.0).unwrap();
     gpu.set_fault_plan(Some(FaultPlan::seeded(7).kernel_rate(0.9).max_faults(80)));
     let ladder = RunOptions::default()
-        .with_retry(RetryPolicy::retries(1).backoff(SimTime::from_us(10), 2.0))
+        .with_retry(RetryPolicy::retries(1).with_backoff(SimTime::from_us(10), 2.0))
         .with_degrade(true);
     let degraded = run_model(
         &mut gpu,

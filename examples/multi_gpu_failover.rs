@@ -10,7 +10,7 @@
 
 use gpsim::{DeviceProfile, ExecMode, FaultPlan, Gpu, HostPool, KernelCost, KernelLaunch};
 use pipeline_directive::parse_directive;
-use pipeline_rt::{run_model_multi, ChunkCtx, MultiOptions, Region, RunOptions};
+use dbpp_core::prelude::*;
 
 const NZ: usize = 256;
 const SLICE: usize = 16 * 1024;

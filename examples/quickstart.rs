@@ -8,7 +8,7 @@
 
 use gpsim::{DeviceProfile, ExecMode, Gpu, KernelCost, KernelLaunch};
 use pipeline_directive::parse_directive;
-use pipeline_rt::{run_model, ChunkCtx, ExecModel, Region, RunOptions};
+use dbpp_core::prelude::*;
 
 fn main() {
     // A simulated Tesla K40m in functional mode: kernels really execute

@@ -10,7 +10,7 @@
 
 use gpsim::{render_gantt, to_chrome_trace, utilization, DeviceProfile, ExecMode, Gpu};
 use pipeline_apps::StencilConfig;
-use pipeline_rt::{run_model, ExecModel, RunOptions};
+use dbpp_core::prelude::*;
 
 fn main() {
     let cfg = StencilConfig {

@@ -20,6 +20,12 @@
 //! * [`apps`] ([`pipeline_apps`]) — the four evaluation applications:
 //!   3-D convolution, Parboil-style stencil, matrix multiplication, and
 //!   a Lattice QCD proxy.
+//! * [`serve`] ([`pipeline_serve`]) — the multi-tenant job server:
+//!   fair-share scheduling, cost-model placement and chunk-granular
+//!   preemption over a shared heterogeneous fleet.
+//!
+//! Applications normally import through [`dbpp_core::prelude`] — the
+//! curated stable surface — rather than navigating these modules.
 //!
 //! See `examples/quickstart.rs` for a five-minute tour and
 //! `crates/bench` for the harness that regenerates every figure of the
@@ -27,10 +33,12 @@
 
 #![warn(missing_docs)]
 
+pub use dbpp_core as core;
 pub use gpsim as sim;
 pub use pipeline_apps as apps;
 pub use pipeline_directive as directive;
 pub use pipeline_rt as rt;
+pub use pipeline_serve as serve;
 
 /// Crate version (workspace-wide).
 pub const VERSION: &str = env!("CARGO_PKG_VERSION");
@@ -48,6 +56,8 @@ mod tests {
         let cfg = crate::apps::StencilConfig::test_small();
         assert!(cfg.total() > 0);
         assert_eq!(crate::rt::chunk_ranges(0, 4, 2).len(), 2);
+        let jobs = crate::serve::WorkloadConfig::new(1, 2, 1).generate();
+        assert_eq!(jobs.len(), 2);
         assert!(!crate::VERSION.is_empty());
     }
 }

@@ -5,10 +5,9 @@
 
 use dbpp::apps::util::{assert_exact, read_host};
 use dbpp::directive::parse_directive;
-use dbpp::rt::{
-    autotune, run_model, run_model_multi, ExecModel, MultiOptions, Region, RunOptions, TuneSpace,
-};
 use dbpp::sim::{DeviceProfile, ExecMode, Gpu, HostPool, KernelCost, KernelLaunch};
+use dbpp_core::autotune;
+use dbpp_core::prelude::*;
 
 const NZ: usize = 24;
 const NY: usize = 10;
@@ -32,7 +31,7 @@ fn directive_region(gpu: &mut Gpu) -> Region {
     Region::new(spec, 1, (NZ - 1) as i64, vec![src, dst])
 }
 
-fn blur_builder(ctx: &dbpp::rt::ChunkCtx) -> KernelLaunch {
+fn blur_builder(ctx: &ChunkCtx) -> KernelLaunch {
     let (k0, k1) = (ctx.k0, ctx.k1);
     let (vin, vout) = (ctx.view(0), ctx.view(1));
     KernelLaunch::new(
@@ -133,7 +132,7 @@ fn autotuned_schedule_is_no_worse_than_the_directive_default() {
         .unwrap();
     let region = Region::new(spec, 1, (NZ - 1) as i64, vec![src, dst]);
 
-    let builder = |ctx: &dbpp::rt::ChunkCtx| {
+    let builder = |ctx: &ChunkCtx| {
         let n = (ctx.k1 - ctx.k0) as u64;
         KernelLaunch::cost_only(
             "blur_cost",

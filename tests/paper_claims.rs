@@ -6,8 +6,8 @@
 //! suite checks the global story end-to-end through the facade.
 
 use dbpp::apps::{Conv3dConfig, QcdConfig, StencilConfig};
-use dbpp::rt::{run_model, ExecModel, RunOptions, RunReport};
 use dbpp::sim::{DeviceProfile, ExecMode, Gpu};
+use dbpp_core::prelude::*;
 
 fn k40m() -> Gpu {
     Gpu::new(DeviceProfile::k40m(), ExecMode::Timing).unwrap()
