@@ -11,8 +11,8 @@ use std::fs;
 use std::path::PathBuf;
 
 use pipeline_bench::{
-    ablate, calibrate, failover, faults, fig3, fig4, fig56, fig7, fig8, fig910, fleet, header,
-    model, perf, serve, trace,
+    ablate, calibrate, chaos, failover, faults, fig3, fig4, fig56, fig7, fig8, fig910, fleet,
+    header, model, perf, serve, trace,
 };
 
 fn main() {
@@ -76,7 +76,7 @@ fn main() {
     const KNOWN: &[&str] = &[
         "all", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
         "future", "ablations", "perf", "model", "trace", "faults", "failover", "fleet",
-        "calibrate", "serve",
+        "calibrate", "serve", "chaos",
     ];
     for a in &args {
         if !KNOWN.contains(&a.as_str()) {
@@ -460,6 +460,47 @@ fn main() {
         write_csv("serve.csv", csv);
         if let Err(e) = serve::check(&results) {
             eprintln!("serving gate: {e}");
+            std::process::exit(1);
+        }
+    }
+    if want("chaos") {
+        header(if smoke {
+            "Chaos matrix — failover, admission and EDF shedding (smoke streams)"
+        } else {
+            "Chaos matrix — failover, admission and EDF shedding under injected faults"
+        });
+        let results = chaos::run(smoke);
+        chaos::print(&results);
+        fs::write("CHAOS_sim.json", chaos::json(&results)).expect("write CHAOS_sim.json");
+        eprintln!("wrote CHAOS_sim.json");
+        let mut csv = String::from(
+            "cell,policy,submitted,done,rejected,miss_rate,fairness,devices_lost,failed_slices,recovered,degraded_slices,breaker_trips,verified,verified_ok\n",
+        );
+        for r in &results {
+            for p in [&r.fifo, &r.hardened] {
+                let rep = &p.report;
+                csv.push_str(&format!(
+                    "{},{},{},{},{},{:.6},{:.6},{},{},{},{},{},{},{}\n",
+                    r.cell.chaos.name(),
+                    p.policy,
+                    rep.submitted,
+                    rep.done,
+                    rep.rejected.total(),
+                    rep.miss_rate().unwrap_or(0.0),
+                    rep.fairness,
+                    rep.devices_lost,
+                    rep.failed_slices,
+                    rep.recovered,
+                    rep.degraded_slices,
+                    rep.breaker_trips,
+                    rep.verified,
+                    rep.verified_ok,
+                ));
+            }
+        }
+        write_csv("chaos.csv", csv);
+        if let Err(e) = chaos::check(&results) {
+            eprintln!("chaos gate: {e}");
             std::process::exit(1);
         }
     }

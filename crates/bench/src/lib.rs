@@ -24,6 +24,7 @@
 //! | [`trace`] | Correlated Perfetto traces + stall attribution per app |
 //! | [`calibrate`] | Trace-driven profile auto-calibration, diffing, fleet share shift |
 //! | [`serve`] | Multi-tenant serving: fairness, queue waits, preemption bit-identity |
+//! | [`chaos`] | Chaos matrix: failover, admission and EDF shedding under injected faults |
 //!
 //! Harness `run()` functions fan their independent trials over the
 //! [`pipeline_rt::sweep_map`] worker pool; set `DBPP_SWEEP_THREADS=1`
@@ -41,6 +42,7 @@
 
 pub mod ablate;
 pub mod calibrate;
+pub mod chaos;
 pub mod failover;
 pub mod faults;
 pub mod fig3;

@@ -244,6 +244,8 @@ pub fn json(results: &[CellResult]) -> String {
         let rep = &r.report;
         s.push_str(&format!(
             "    {{\"name\": \"{}\", \"devices\": {}, \"jobs\": {}, \"done\": {}, \
+             \"rejected_over_quota\": {}, \"rejected_infeasible\": {}, \
+             \"rejected_overload\": {}, \"recovered\": {}, \"devices_lost\": {}, \
              \"preempted\": {}, \"total_slices\": {}, \"verified\": {}, \"verified_ok\": {}, \
              \"fairness\": {:.6}, \"makespan_ms\": {:.6}, \"wall_ms\": {:.3}, \
              \"peak_live_bufs\": {}, \"peak_live_bytes\": {},\n",
@@ -251,6 +253,11 @@ pub fn json(results: &[CellResult]) -> String {
             rep.devices,
             rep.submitted,
             rep.done,
+            rep.rejected.get(pipeline_serve::Rejection::OverQuota),
+            rep.rejected.get(pipeline_serve::Rejection::Infeasible),
+            rep.rejected.get(pipeline_serve::Rejection::Overload),
+            rep.recovered,
+            rep.devices_lost,
             rep.preempted,
             rep.total_slices,
             rep.verified,
@@ -265,7 +272,7 @@ pub fn json(results: &[CellResult]) -> String {
         for (j, t) in rep.tenants.iter().enumerate() {
             s.push_str(&format!(
                 "       {{\"name\": \"{}\", \"weight\": {}, \"submitted\": {}, \"done\": {}, \
-                 \"preempted\": {}, \"slices\": {}, \"deadline_misses\": {}, \
+                 \"rejected\": {}, \"preempted\": {}, \"slices\": {}, \"deadline_misses\": {}, \
                  \"service_ms\": {:.6}, \"wait_p50_ms\": {:.6}, \"wait_p95_ms\": {:.6}, \
                  \"wait_p99_ms\": {:.6}, \"makespan_p50_ms\": {:.6}, \
                  \"makespan_p95_ms\": {:.6}, \"makespan_p99_ms\": {:.6}}}{}\n",
@@ -273,6 +280,7 @@ pub fn json(results: &[CellResult]) -> String {
                 t.weight,
                 t.submitted,
                 t.done,
+                t.rejected.total(),
                 t.preempted,
                 t.slices,
                 t.deadline_misses,
@@ -311,7 +319,16 @@ mod tests {
         let r = run_cell(&cell);
         check(std::slice::from_ref(&r)).expect("mini cell gates");
         let payload = json(&[r]);
-        gpsim::json::parse(&payload).expect("payload parses");
+        let doc = gpsim::json::parse(&payload).expect("payload parses");
+        // Rejection counters round-trip (zero here: no admission gates).
+        let cell0 = &doc.get("cells").and_then(|c| c.as_arr()).expect("cells")[0];
+        for key in [
+            "rejected_over_quota",
+            "rejected_infeasible",
+            "rejected_overload",
+        ] {
+            assert_eq!(cell0.get(key).and_then(|v| v.as_f64()), Some(0.0), "{key}");
+        }
     }
 
     #[test]

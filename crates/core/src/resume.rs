@@ -41,6 +41,7 @@ pub struct ResumableRun {
     snapshot: ToFromSnapshot,
     report: Option<RunReport>,
     slices: usize,
+    failed_slices: usize,
 }
 
 impl ResumableRun {
@@ -60,6 +61,7 @@ impl ResumableRun {
             snapshot,
             report: None,
             slices: 0,
+            failed_slices: 0,
         })
     }
 
@@ -76,12 +78,13 @@ impl ResumableRun {
     /// the slice schedule influence chunking and defeat bit-identity
     /// with the uninterrupted run.
     ///
-    /// [`ExecModel::Naive`] is accepted only for a slice covering every
-    /// remaining iteration: the naive driver stages *whole* arrays and
-    /// copies every output back in full, so a partial slice would
-    /// overwrite host slices computed by earlier slices with untouched
-    /// device memory. Naive jobs are effectively non-preemptible — they
-    /// have no chunk boundary to stop at.
+    /// [`ExecModel::Naive`] is accepted only for a slice covering the
+    /// *entire* region — no partial slice, and no resuming a job that
+    /// already made progress under another model: the naive driver
+    /// stages *whole* arrays and copies every output back in full, so
+    /// either case would overwrite host slices computed by earlier
+    /// slices with untouched device memory. Naive jobs are effectively
+    /// non-preemptible — they have no chunk boundary to stop at.
     pub fn run_slice(
         &mut self,
         gpu: &mut Gpu,
@@ -102,10 +105,11 @@ impl ResumableRun {
         };
         let k0 = self.cursor;
         let k1 = k0.saturating_add(max_iters).min(self.region.hi);
-        if model == ExecModel::Naive && k1 < self.region.hi {
+        if model == ExecModel::Naive && (k0 > self.region.lo || k1 < self.region.hi) {
             return Err(RtError::Spec(
                 "the naive model stages and writes back whole arrays, so it cannot run \
-                 a partial slice; give it the full remaining range"
+                 a partial slice or resume past a checkpoint; it must cover the entire \
+                 region in one slice"
                     .into(),
             ));
         }
@@ -122,6 +126,7 @@ impl ResumableRun {
                 Ok(Some(report))
             }
             Err(e) => {
+                self.failed_slices += 1;
                 self.snapshot.restore_window(gpu, &self.region, k0, k1)?;
                 Err(e)
             }
@@ -146,6 +151,14 @@ impl ResumableRun {
     /// Slices executed so far.
     pub fn slices(&self) -> usize {
         self.slices
+    }
+
+    /// Slices that errored out and were rolled back (device faults,
+    /// losses, hang escalations). The cursor never advances past a
+    /// failed slice, so these are re-dispatchable — the job server uses
+    /// this count for its failover accounting.
+    pub fn failed_slices(&self) -> usize {
+        self.failed_slices
     }
 
     /// Iteration ranges completed so far, in execution order. They are

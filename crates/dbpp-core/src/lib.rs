@@ -37,9 +37,11 @@ pub mod prelude {
     pub use pipeline_rt::{MultiReport, RtError, RtResult, RunReport};
     // Preemptible execution.
     pub use pipeline_rt::{JobReport, ResumableRun};
-    // Serving.
+    // Serving: the server, its policies (admission, queue order,
+    // breaker) and the report types.
     pub use pipeline_serve::{
-        serve, Fleet, JobShape, JobSpec, ServeOptions, ServeReport, TenantSpec, WorkloadConfig,
+        serve, BreakerConfig, Fleet, JobShape, JobSpec, QueueOrder, RateLimit, Rejection,
+        ServeOptions, ServeReport, TenantSpec, WorkloadConfig,
     };
 }
 

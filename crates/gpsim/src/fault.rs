@@ -221,6 +221,21 @@ impl FaultPlan {
         self
     }
 
+    /// Shift a pending [`LossTrigger::Time`] forward by `base`, turning
+    /// a loss instant authored as "this long after arming" into an
+    /// absolute device-clock instant. Fleet contexts need this: their
+    /// clocks have already advanced (calibration probes, earlier jobs)
+    /// by the time a plan is installed, so an unrebased small `Time`
+    /// trigger would fire immediately. Command-count triggers and rates
+    /// are unaffected — occurrence counters reset at install time.
+    #[must_use]
+    pub fn rebased(mut self, base: SimTime) -> FaultPlan {
+        if let Some(LossTrigger::Time(t)) = self.lost_after {
+            self.lost_after = Some(LossTrigger::Time(base + t));
+        }
+        self
+    }
+
     /// True if the plan can never inject anything (all rates zero, no
     /// targets) — such a plan is free at runtime.
     pub fn is_noop(&self) -> bool {
@@ -432,6 +447,19 @@ mod tests {
         assert!(!st.loss_due(SimTime::from_us(6)));
         assert!(st.loss_due(SimTime::from_us(7)));
         assert_eq!(st.loss_at(), Some(SimTime::from_us(7)));
+    }
+
+    #[test]
+    fn rebase_shifts_only_time_triggers() {
+        let base = SimTime::from_us(100);
+        let t = FaultPlan::seeded(1)
+            .device_lost_after(SimTime::from_us(7))
+            .rebased(base);
+        assert_eq!(t.lost_after, Some(LossTrigger::Time(SimTime::from_us(107))));
+        let c = FaultPlan::seeded(1).device_lost_after(5u64).rebased(base);
+        assert_eq!(c.lost_after, Some(LossTrigger::Commands(5)));
+        let none = FaultPlan::seeded(1).h2d_rate(0.5).rebased(base);
+        assert_eq!(none.lost_after, None);
     }
 
     #[test]

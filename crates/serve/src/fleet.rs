@@ -1,7 +1,8 @@
 //! The shared device fleet: heterogeneous contexts over one host pool,
-//! with per-device calibrated cost-model state for placement.
+//! with per-device calibrated cost-model state for placement and
+//! optional per-device fault plans for chaos runs.
 
-use gpsim::{DeviceProfile, ExecMode, Gpu, HostPool};
+use gpsim::{DeviceProfile, ExecMode, FaultPlan, Gpu, HostPool, SimTime};
 use pipeline_apps::StencilConfig;
 use pipeline_rt::{run_model, Calibration, CostModel, ExecModel, RtResult, RunOptions};
 
@@ -56,6 +57,22 @@ impl Fleet {
     /// Whether the fleet is empty.
     pub fn is_empty(&self) -> bool {
         self.gpus.is_empty()
+    }
+
+    /// Arm a fault plan on device `d`. [`LossTrigger::Time`] instants
+    /// in the plan are interpreted as *relative to arming* and rebased
+    /// onto the device's current clock — fleet contexts have already
+    /// burned simulated time on calibration probes, so an absolute
+    /// small instant would be in the device's past and fire on the
+    /// first command. Also arms the device's hang watchdog with
+    /// `watchdog` grace so injected hangs escalate to a detectable loss
+    /// instead of wedging the serve loop.
+    ///
+    /// [`LossTrigger::Time`]: gpsim::LossTrigger::Time
+    pub fn arm_fault_plan(&mut self, d: usize, plan: FaultPlan, watchdog: SimTime) {
+        let base = self.gpus[d].now();
+        self.gpus[d].set_fault_plan(Some(plan.rebased(base)));
+        self.gpus[d].set_hang_watchdog(Some(watchdog));
     }
 
     /// Run a small stencil probe on every device and fold the measured

@@ -99,6 +99,26 @@ impl JobShape {
         }
     }
 
+    /// The shape's cost signature: two jobs with equal signatures have
+    /// identical per-iteration cost-model predictions (same kernel
+    /// shape, same transfer footprint, same schedule), regardless of
+    /// their data salts. Keys the server's admission-time cost cache.
+    pub fn sig(&self) -> ShapeSig {
+        let (kind, dims) = match self {
+            JobShape::Conv3d(c) => (0u8, [c.ni as u64, c.nj as u64, c.nk as u64, 0]),
+            JobShape::Stencil(c) => (1, [c.nx as u64, c.ny as u64, c.nz as u64, 0]),
+            JobShape::Gemm(c) => (2, [c.n as u64, c.bs as u64, 0, 0]),
+            JobShape::Qcd(c) => (3, [c.n as u64, c.nt as u64, 0, 0]),
+        };
+        let (chunk, streams) = self.schedule();
+        ShapeSig {
+            kind,
+            dims,
+            chunk: chunk as u64,
+            streams: streams as u64,
+        }
+    }
+
     /// Allocate and fill this shape's host arrays on `gpu` and bind the
     /// region. `salt` perturbs the GEMM fill seeds so distinct jobs get
     /// distinct data; the conv3d/stencil/qcd apps use their fixed
@@ -135,6 +155,15 @@ impl JobShape {
             JobShape::Gemm(c) => gemm_setup(c, gpu, salt),
         }
     }
+}
+
+/// A shape's cost-model identity — see [`JobShape::sig`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ShapeSig {
+    kind: u8,
+    dims: [u64; 4],
+    chunk: u64,
+    streams: u64,
 }
 
 /// A materialized job: bound region, kernel builder, and the host
@@ -246,8 +275,17 @@ pub struct JobSpec {
     pub priority: u8,
     /// Simulated arrival time (open loop: fixed before the run).
     pub arrival: SimTime,
-    /// Optional completion deadline (absolute simulated time).
+    /// Optional latency budget, *relative to release*: the job's
+    /// absolute deadline is `release + deadline`, where release is
+    /// `arrival` for open-loop jobs and the predecessor's completion
+    /// plus think time for closed-loop chains. A job misses iff it
+    /// finishes after that instant on the serving clock.
     pub deadline: Option<SimTime>,
+    /// Closed-loop chaining: `(predecessor id, think time)`. The job is
+    /// released `think` after the predecessor completes (or is
+    /// rejected), rather than at `arrival`. `arrival` then only breaks
+    /// ties in generation order.
+    pub after: Option<(u64, SimTime)>,
 }
 
 /// A tenant sharing the fleet.
@@ -257,14 +295,26 @@ pub struct TenantSpec {
     pub name: String,
     /// Fair-share weight (relative service rate; must be positive).
     pub weight: f64,
+    /// Best-effort tenants absorb overload first: their jobs are
+    /// degraded down the exec-model ladder and, past the shed horizon,
+    /// rejected outright. Guaranteed tenants (the default) are never
+    /// degraded or overload-shed.
+    pub best_effort: bool,
 }
 
 impl TenantSpec {
-    /// A tenant with the given name and weight.
+    /// A guaranteed tenant with the given name and weight.
     pub fn new(name: impl Into<String>, weight: f64) -> TenantSpec {
         TenantSpec {
             name: name.into(),
             weight,
+            best_effort: false,
         }
+    }
+
+    /// Mark the tenant best-effort (see [`TenantSpec::best_effort`]).
+    pub fn best_effort(mut self) -> TenantSpec {
+        self.best_effort = true;
+        self
     }
 }

@@ -1,5 +1,6 @@
 //! Per-tenant SLO accounting and the final serving report.
 
+use crate::admission::RejectionCounts;
 use gpsim::SimTime;
 use pipeline_rt::{Histogram, StageMetrics};
 
@@ -36,6 +37,18 @@ pub struct TenantStats {
     pub slices: u64,
     /// Jobs that finished after their deadline.
     pub deadline_misses: u64,
+    /// Jobs that carried a deadline (denominator for the miss rate).
+    pub deadline_total: u64,
+    /// Deadline-carrying jobs that were rejected at admission. These
+    /// count as misses in [`TenantStats::miss_rate`], so shedding can
+    /// never game the deadline gate.
+    pub deadline_rejected: u64,
+    /// Jobs rejected at admission, by reason.
+    pub rejected: RejectionCounts,
+    /// Completed jobs that survived a device loss or hang escalation.
+    pub recovered: u64,
+    /// Slices run under a downgraded exec model (overload degradation).
+    pub degraded_slices: u64,
     /// Total device time consumed (what fair sharing divides).
     pub service: SimTime,
     /// Queue wait: arrival → first dispatch.
@@ -57,6 +70,11 @@ impl TenantStats {
             preempted: 0,
             slices: 0,
             deadline_misses: 0,
+            deadline_total: 0,
+            deadline_rejected: 0,
+            rejected: RejectionCounts::default(),
+            recovered: 0,
+            degraded_slices: 0,
             service: SimTime::ZERO,
             queue_wait: Histogram::default(),
             makespan: Histogram::default(),
@@ -68,6 +86,15 @@ impl TenantStats {
     pub fn normalized_service(&self) -> f64 {
         self.service.as_secs_f64() / self.weight
     }
+
+    /// Deadline miss rate: `(late finishes + rejected deadline jobs) /
+    /// deadline jobs submitted`. `None` when no job carried a deadline.
+    pub fn miss_rate(&self) -> Option<f64> {
+        if self.deadline_total == 0 {
+            return None;
+        }
+        Some((self.deadline_misses + self.deadline_rejected) as f64 / self.deadline_total as f64)
+    }
 }
 
 /// The complete outcome of one serving run.
@@ -77,14 +104,30 @@ pub struct ServeReport {
     pub devices: usize,
     /// Jobs submitted across all tenants.
     pub submitted: u64,
-    /// Jobs completed (always equals `submitted`: the simulated stream
-    /// is finite and the server drains it).
+    /// Jobs completed. Every admitted job completes — the simulated
+    /// stream is finite and the server drains it — so
+    /// `done + rejected.total() == submitted` always holds; anything
+    /// else is an accepted job lost, which the chaos gates forbid.
     pub done: u64,
+    /// Jobs rejected at admission, by reason (fleet-wide roll-up).
+    pub rejected: RejectionCounts,
     /// Completed jobs that were preempted at least once.
     pub preempted: u64,
+    /// Completed jobs that survived a device loss or hang escalation
+    /// (re-placed on survivors from their checkpoint cursor).
+    pub recovered: u64,
     /// Total slices across all completed jobs.
     pub total_slices: u64,
-    /// Preempted jobs re-executed uninterrupted for verification.
+    /// Slices that died on a failing device and were re-placed.
+    pub failed_slices: u64,
+    /// Slices run under a downgraded exec model.
+    pub degraded_slices: u64,
+    /// Devices lost (permanently out of rotation) during the run.
+    pub devices_lost: usize,
+    /// Circuit-breaker openings summed across devices.
+    pub breaker_trips: u64,
+    /// Preempted or recovered jobs re-executed uninterrupted for
+    /// verification.
     pub verified: u64,
     /// How many of those verified bit-identical.
     pub verified_ok: u64,
@@ -111,6 +154,20 @@ impl ServeReport {
             .collect();
         jain_index(&xs)
     }
+
+    /// Fleet-wide deadline miss rate (see [`TenantStats::miss_rate`]).
+    pub fn miss_rate(&self) -> Option<f64> {
+        let total: u64 = self.tenants.iter().map(|t| t.deadline_total).sum();
+        if total == 0 {
+            return None;
+        }
+        let missed: u64 = self
+            .tenants
+            .iter()
+            .map(|t| t.deadline_misses + t.deadline_rejected)
+            .sum();
+        Some(missed as f64 / total as f64)
+    }
 }
 
 #[cfg(test)]
@@ -131,5 +188,43 @@ mod tests {
     #[test]
     fn jain_of_empty_is_one() {
         assert_eq!(jain_index(&[]), 1.0);
+    }
+
+    /// A tenant that submitted jobs but received zero service (all of
+    /// them rejected, say) must drag the index down, not divide by
+    /// zero or NaN it.
+    #[test]
+    fn jain_with_zero_service_tenant_is_finite_and_low() {
+        let j = jain_index(&[5.0, 5.0, 0.0]);
+        assert!(j.is_finite());
+        assert!((j - 2.0 / 3.0).abs() < 1e-12, "got {j}");
+        // All-zero service (everything rejected): defined as 1.0 —
+        // perfectly fair, nobody got anything.
+        assert_eq!(jain_index(&[0.0, 0.0]), 1.0);
+    }
+
+    #[test]
+    fn empty_histogram_merge_stays_empty() {
+        let mut a = Histogram::default();
+        let b = Histogram::default();
+        a.merge(&b);
+        assert_eq!(a.count(), 0);
+        assert_eq!(a.p95_ns(), 0);
+        // Merging an empty histogram into a populated one is identity.
+        let mut c = Histogram::default();
+        c.record(SimTime::from_us(7).as_ns());
+        let before = (c.count(), c.p50_ns(), c.max_ns());
+        c.merge(&b);
+        assert_eq!((c.count(), c.p50_ns(), c.max_ns()), before);
+    }
+
+    #[test]
+    fn miss_rate_counts_rejected_deadline_jobs() {
+        let mut t = TenantStats::new("t".into(), 1.0);
+        assert_eq!(t.miss_rate(), None, "no deadline jobs, no rate");
+        t.deadline_total = 4;
+        t.deadline_misses = 1;
+        t.deadline_rejected = 1;
+        assert_eq!(t.miss_rate(), Some(0.5));
     }
 }

@@ -5,10 +5,26 @@
 //! scheduler always serves the backlogged tenant with the smallest
 //! pass. Over any busy interval each tenant therefore receives device
 //! time proportional to its weight, independent of how bursty its own
-//! arrival stream is. Within a tenant, jobs order by priority
-//! (descending), then arrival, then id.
+//! arrival stream is. Within a tenant, jobs order by the configured
+//! [`QueueOrder`]: FIFO (priority descending, then arrival, then id) or
+//! EDF (earliest absolute deadline first, deadline-free jobs last, with
+//! the FIFO key breaking ties) — deadline jobs then stop missing behind
+//! bulk work without ever stealing service *across* tenants.
 
 use gpsim::SimTime;
+
+/// How jobs are ordered *within* one tenant's queue. Cross-tenant order
+/// is always stride fair sharing; this knob never moves service between
+/// tenants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum QueueOrder {
+    /// Priority (descending), then arrival, then id — PR 9 behavior.
+    #[default]
+    Fifo,
+    /// Earliest absolute deadline first; jobs without a deadline sort
+    /// after every deadline job; the FIFO key breaks ties.
+    Edf,
+}
 
 /// One queued (or requeued) job reference.
 #[derive(Debug, Clone, Copy)]
@@ -21,6 +37,9 @@ pub struct QueueEntry {
     pub arrival: SimTime,
     /// Submission id (final tie-break, keeps order total).
     pub id: u64,
+    /// Absolute completion deadline on the serving clock (release +
+    /// budget), if the job carries one. Drives [`QueueOrder::Edf`].
+    pub deadline: Option<SimTime>,
 }
 
 struct TenantQueue {
@@ -32,6 +51,7 @@ struct TenantQueue {
 /// The fair-share scheduler over a fixed tenant set.
 pub struct FairScheduler {
     tenants: Vec<TenantQueue>,
+    order: QueueOrder,
     /// Global virtual time: the pass of the most recently served
     /// tenant at the moment it was picked. Arriving idle tenants start
     /// here, so idle time banks no credit.
@@ -39,8 +59,14 @@ pub struct FairScheduler {
 }
 
 impl FairScheduler {
-    /// A scheduler for tenants with the given weights (all positive).
+    /// A scheduler for tenants with the given weights (all positive),
+    /// FIFO within each tenant.
     pub fn new(weights: &[f64]) -> FairScheduler {
+        FairScheduler::with_order(weights, QueueOrder::Fifo)
+    }
+
+    /// A scheduler with an explicit within-tenant [`QueueOrder`].
+    pub fn with_order(weights: &[f64], order: QueueOrder) -> FairScheduler {
         assert!(
             weights.iter().all(|w| *w > 0.0),
             "tenant weights must be positive"
@@ -54,6 +80,7 @@ impl FairScheduler {
                     queue: Vec::new(),
                 })
                 .collect(),
+            order,
             vtime: 0.0,
         }
     }
@@ -71,25 +98,44 @@ impl FairScheduler {
 
     /// Dequeue the next job: minimum-pass backlogged tenant, best entry
     /// within it. Returns `(tenant, entry)`.
+    ///
+    /// Passes are compared with [`f64::total_cmp`]: a pass driven to
+    /// `inf` (or worse) by a pathological weight/service combination
+    /// degrades the ordering, never panics the server.
     pub fn pop(&mut self) -> Option<(usize, QueueEntry)> {
         let tenant = self
             .tenants
             .iter()
             .enumerate()
             .filter(|(_, t)| !t.queue.is_empty())
-            .min_by(|(ai, a), (bi, b)| {
-                a.pass.partial_cmp(&b.pass).unwrap().then(ai.cmp(bi))
-            })
+            .min_by(|(ai, a), (bi, b)| a.pass.total_cmp(&b.pass).then(ai.cmp(bi)))
             .map(|(i, _)| i)?;
         self.vtime = self.vtime.max(self.tenants[tenant].pass);
+        let order = self.order;
         let q = &mut self.tenants[tenant].queue;
         let best = q
             .iter()
             .enumerate()
-            .min_by_key(|(_, e)| (std::cmp::Reverse(e.priority), e.arrival, e.id))
+            .min_by_key(|(_, e)| {
+                let fifo = (std::cmp::Reverse(e.priority), e.arrival, e.id);
+                match order {
+                    QueueOrder::Fifo => (SimTime::ZERO, fifo),
+                    QueueOrder::Edf => {
+                        (e.deadline.unwrap_or(SimTime::from_ns(u64::MAX)), fifo)
+                    }
+                }
+            })
             .map(|(i, _)| i)
             .expect("non-empty queue");
         Some((tenant, q.swap_remove(best)))
+    }
+
+    /// Re-enqueue a just-popped entry without the idle clamp: the
+    /// tenant was never idle (its slice was preempted, failed over, or
+    /// blocked on a breaker), so its pass must not be dragged up to the
+    /// global virtual time.
+    pub fn requeue(&mut self, tenant: usize, entry: QueueEntry) {
+        self.tenants[tenant].queue.push(entry);
     }
 
     /// Charge `service` device time against `tenant`'s pass.
@@ -119,6 +165,7 @@ mod tests {
             priority,
             arrival: SimTime::from_us(job as u64),
             id: job as u64,
+            deadline: None,
         }
     }
 
@@ -189,5 +236,65 @@ mod tests {
         s.push(0, entry(2, 1));
         let picked: Vec<usize> = std::iter::from_fn(|| s.pop().map(|(_, e)| e.job)).collect();
         assert_eq!(picked, vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn edf_orders_deadlines_first_within_a_tenant() {
+        let mut s = FairScheduler::with_order(&[1.0], QueueOrder::Edf);
+        // Bulk job with high priority, then two deadline jobs arriving
+        // later with lower priority — EDF must run the deadline jobs
+        // first, tightest deadline leading.
+        let mut bulk = entry(0, 2);
+        bulk.deadline = None;
+        let mut loose = entry(1, 0);
+        loose.deadline = Some(SimTime::from_ms(50));
+        let mut tight = entry(2, 0);
+        tight.deadline = Some(SimTime::from_ms(5));
+        s.push(0, bulk);
+        s.push(0, loose);
+        s.push(0, tight);
+        let picked: Vec<usize> = std::iter::from_fn(|| s.pop().map(|(_, e)| e.job)).collect();
+        assert_eq!(picked, vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn edf_never_moves_service_across_tenants() {
+        // Tenant 1 has a looming deadline, but tenant 0 holds the
+        // smaller pass: stride still picks tenant 0 first.
+        let mut s = FairScheduler::with_order(&[1.0, 1.0], QueueOrder::Edf);
+        s.push(0, entry(0, 0));
+        s.charge(1, SimTime::from_ms(10)); // tenant 1 consumed service
+        let mut dl = entry(1, 0);
+        dl.deadline = Some(SimTime::from_us(1));
+        s.push(1, dl);
+        let (t, _) = s.pop().unwrap();
+        assert_eq!(t, 0, "EDF must not override the stride order");
+    }
+
+    /// Regression: pass comparison used `partial_cmp(..).unwrap()`,
+    /// which panics the server the moment any pass goes NaN. A
+    /// `MIN_POSITIVE` weight charged astronomically drives the pass to
+    /// `inf`; popping with two such tenants is exactly the
+    /// panic-adjacent shape (`inf` vs `inf`, one `total_cmp` step from
+    /// `inf - inf = NaN` arithmetic). With `total_cmp` the pop stays
+    /// total, deterministic and panic-free.
+    #[test]
+    fn non_finite_passes_never_panic_the_pop() {
+        let mut s = FairScheduler::new(&[f64::MIN_POSITIVE, f64::MIN_POSITIVE, 1.0]);
+        s.push(0, entry(0, 0));
+        s.push(1, entry(1, 0));
+        s.push(2, entry(2, 0));
+        // Drive tenants 0 and 1 to pass = inf.
+        s.charge(0, SimTime::from_secs_f64(1e9));
+        s.charge(1, SimTime::from_secs_f64(1e9));
+        assert!(s.tenants[0].pass.is_infinite());
+        assert!(s.tenants[1].pass.is_infinite());
+        let mut order = Vec::new();
+        while let Some((t, _)) = s.pop() {
+            order.push(t);
+        }
+        // The finite-pass tenant wins; the two inf tenants drain in
+        // stable index order. No panic, total order.
+        assert_eq!(order, vec![2, 0, 1]);
     }
 }

@@ -1,23 +1,54 @@
 //! The job server: admission, fair-share dispatch, cost-model
-//! placement, quantum preemption, and completion verification.
+//! placement, quantum preemption, device failover, overload
+//! degradation, and completion verification.
 //!
 //! The server is a serial discrete-event loop over per-device relative
 //! clocks. Each device's context advances only when work runs on it, so
 //! the fleet executes "in parallel" in simulated time even though the
 //! loop dispatches one slice at a time: global *now* is the minimum
-//! device clock, arrivals admit against it, and a slice dispatched to
-//! device `d` occupies exactly `[rel(d), rel(d) + slice_time)`.
+//! clock across devices still in rotation, releases admit against it,
+//! and a slice dispatched to device `d` occupies exactly
+//! `[rel(d), rel(d) + slice_time)`.
+//!
+//! # Time and deadlines
+//!
+//! A job is *released* at its arrival time (open loop) or `think` after
+//! its predecessor completes ([`JobSpec::after`], closed loop).
+//! [`JobSpec::deadline`] is a latency budget relative to release; the
+//! absolute deadline `release + budget` drives both EDF ordering and
+//! miss accounting. Admission — token bucket, overload shed,
+//! feasibility — runs once, at release.
+//!
+//! # Failure handling
+//!
+//! Devices may carry [`FaultPlan`](gpsim::FaultPlan)s (armed via
+//! [`Fleet::arm_fault_plan`]). A slice that dies — injected fault,
+//! device loss, or hang escalated by the watchdog — is rolled back by
+//! [`ResumableRun`]'s checkpoint and the job requeued with its cursor
+//! intact; a lost device is taken out of rotation and the remainder
+//! re-placed on survivors by the same calibrated cost model that placed
+//! it initially. Flaky-but-alive devices are circuit-broken once their
+//! recent failure rate crosses [`BreakerConfig::threshold`], with
+//! half-open probing re-admission. Every job that was preempted *or*
+//! touched by a failure is re-executed uninterrupted on a fresh context
+//! and must match bit for bit.
 
-use gpsim::{DeviceProfile, ExecMode, Gpu, SimTime};
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap, HashMap};
+
+use gpsim::{DeviceProfile, ExecMode, Gpu, SimError, SimTime};
 use pipeline_apps::util::read_host;
 use pipeline_rt::{
-    run_model, CostModel, ExecModel, ResumableRun, RtError, RtResult, RunOptions,
+    run_model, CostModel, ExecModel, KernelBuilder, Region, ResumableRun, RtError, RtResult,
+    RunOptions,
 };
 
-use crate::fleet::Fleet;
-use crate::job::{JobInstance, JobSpec, TenantSpec};
+use crate::admission::{RateLimit, Rejection, RejectionCounts, TokenBucket};
+use crate::breaker::{BreakerConfig, CircuitBreaker};
+use crate::fleet::{DeviceModel, Fleet};
+use crate::job::{JobInstance, JobSpec, ShapeSig, TenantSpec};
 use crate::metrics::{ServeReport, TenantStats};
-use crate::sched::{FairScheduler, QueueEntry};
+use crate::sched::{FairScheduler, QueueEntry, QueueOrder};
 
 /// Serving policy knobs.
 #[derive(Debug, Clone)]
@@ -25,20 +56,49 @@ pub struct ServeOptions {
     /// Target device time per slice; jobs predicted to run longer are
     /// preempted at the nearest iteration boundary and requeued.
     pub quantum: SimTime,
-    /// Re-execute every preempted job uninterrupted on a fresh context
-    /// and require bit-identical output (the server's self-check).
+    /// Re-execute every preempted or failure-touched job uninterrupted
+    /// on a fresh context and require bit-identical output (the
+    /// server's self-check).
     pub verify_preempted: bool,
     /// Options forwarded to every slice execution.
     pub run: RunOptions,
+    /// Within-tenant queue order (EDF by default; FIFO is the PR 9
+    /// baseline the chaos harness compares against).
+    pub order: QueueOrder,
+    /// Per-tenant token-bucket admission quota; `None` admits
+    /// everything.
+    pub rate_limit: Option<RateLimit>,
+    /// Shed deadline jobs whose predicted completion already exceeds
+    /// their budget at release time ([`Rejection::Infeasible`]).
+    pub feasibility: bool,
+    /// Downgrade best-effort tenants' exec model when the predicted
+    /// queue drain time at *release* exceeds this horizon (one ladder
+    /// rung; two beyond twice the horizon). The rung is pinned per job
+    /// at admission. `None` never degrades.
+    pub degrade_horizon: Option<SimTime>,
+    /// Shed best-effort tenants' jobs outright when the predicted drain
+    /// time exceeds this ([`Rejection::Overload`]). `None` never sheds.
+    pub shed_horizon: Option<SimTime>,
+    /// Per-device circuit breaker; `None` disables breaking (a lost
+    /// device still leaves rotation permanently).
+    pub breaker: Option<BreakerConfig>,
 }
 
 impl ServeOptions {
-    /// Defaults: 150 µs quantum, verification on, default run options.
+    /// Defaults: 150 µs quantum, verification on, EDF ordering, default
+    /// breaker, no admission quota, no feasibility shedding, no
+    /// overload horizons.
     pub fn new() -> ServeOptions {
         ServeOptions {
             quantum: SimTime::from_us(150),
             verify_preempted: true,
             run: RunOptions::default(),
+            order: QueueOrder::Edf,
+            rate_limit: None,
+            feasibility: false,
+            degrade_horizon: None,
+            shed_horizon: None,
+            breaker: Some(BreakerConfig::default()),
         }
     }
 
@@ -48,7 +108,7 @@ impl ServeOptions {
         self
     }
 
-    /// Enable or disable preempted-job verification.
+    /// Enable or disable preempted/recovered-job verification.
     pub fn with_verify_preempted(mut self, verify: bool) -> ServeOptions {
         self.verify_preempted = verify;
         self
@@ -57,6 +117,42 @@ impl ServeOptions {
     /// Replace the per-slice run options.
     pub fn with_run(mut self, run: RunOptions) -> ServeOptions {
         self.run = run;
+        self
+    }
+
+    /// Set the within-tenant queue order.
+    pub fn with_order(mut self, order: QueueOrder) -> ServeOptions {
+        self.order = order;
+        self
+    }
+
+    /// Set the per-tenant admission quota.
+    pub fn with_rate_limit(mut self, limit: RateLimit) -> ServeOptions {
+        self.rate_limit = Some(limit);
+        self
+    }
+
+    /// Enable or disable deadline feasibility shedding.
+    pub fn with_feasibility(mut self, on: bool) -> ServeOptions {
+        self.feasibility = on;
+        self
+    }
+
+    /// Set the degradation horizon.
+    pub fn with_degrade_horizon(mut self, h: SimTime) -> ServeOptions {
+        self.degrade_horizon = Some(h);
+        self
+    }
+
+    /// Set the overload shed horizon.
+    pub fn with_shed_horizon(mut self, h: SimTime) -> ServeOptions {
+        self.shed_horizon = Some(h);
+        self
+    }
+
+    /// Replace (or disable, with `None`) the per-device breaker.
+    pub fn with_breaker(mut self, cfg: Option<BreakerConfig>) -> ServeOptions {
+        self.breaker = cfg;
         self
     }
 }
@@ -73,6 +169,24 @@ struct Active {
     run: ResumableRun,
 }
 
+/// Release-time bookkeeping for an admitted job.
+struct JobState {
+    released: SimTime,
+    abs_deadline: Option<SimTime>,
+    /// Best-device per-iteration estimate fixed at admission; drives
+    /// the backlog (`pending_ns`) accounting so additions and
+    /// subtractions cancel exactly per job.
+    pred_per_iter: u64,
+    /// The exec model every slice of this job runs — the requested
+    /// model, or a lower ladder rung fixed at admission if the job was
+    /// released into overload. Pinned per job: the naive rung cannot
+    /// resume a partially-run region, and a single rung keeps the
+    /// uninterrupted verification reference meaningful.
+    model: ExecModel,
+    /// Touched by a device loss, hang escalation or injected fault.
+    hit_failure: bool,
+}
+
 fn effective(model: ExecModel) -> ExecModel {
     match model {
         ExecModel::Auto => ExecModel::PipelinedBuffer,
@@ -80,8 +194,70 @@ fn effective(model: ExecModel) -> ExecModel {
     }
 }
 
-/// Serve `jobs` (any order; sorted internally by arrival) for `tenants`
-/// on `fleet` and drain the stream to completion.
+/// One rung of overload degradation per level: buffered → unbuffered →
+/// naive. Every rung produces bit-identical output (the degradation
+/// ladder's standing guarantee), so verification is unaffected.
+fn degrade(model: ExecModel, level: usize) -> ExecModel {
+    let mut m = model;
+    for _ in 0..level.min(2) {
+        m = match m {
+            ExecModel::PipelinedBuffer => ExecModel::Pipelined,
+            ExecModel::Pipelined => ExecModel::Naive,
+            other => other,
+        };
+    }
+    m
+}
+
+fn model_idx(model: ExecModel) -> u8 {
+    match model {
+        ExecModel::Naive => 0,
+        ExecModel::Pipelined => 1,
+        ExecModel::PipelinedBuffer => 2,
+        ExecModel::Auto => 3,
+    }
+}
+
+/// Whether a slice failure is survivable by requeue + re-placement
+/// (injected faults and device deaths) rather than a bug in the region
+/// or the server (spec errors), which must propagate.
+fn recoverable(e: &RtError) -> bool {
+    matches!(
+        e,
+        RtError::Device { .. }
+            | RtError::RetriesExhausted { .. }
+            | RtError::Sim(SimError::Injected { .. })
+            | RtError::Sim(SimError::DeviceLost)
+    )
+}
+
+/// Per-device per-iteration predictions for one region under one
+/// model, swept over the fleet's calibrated profiles. Two jobs with
+/// equal [`ShapeSig`]s get identical tables (costs depend on shape and
+/// schedule, never on data), which is what makes the cache sound.
+fn per_iter_table(
+    gpu: &Gpu,
+    models: &[DeviceModel],
+    region: &Region,
+    builder: &KernelBuilder<'_>,
+    model: ExecModel,
+    (chunk, streams): (usize, usize),
+    iters_total: u64,
+) -> RtResult<Vec<u64>> {
+    let mut cm = CostModel::new(gpu, region, builder)?;
+    let mut out = Vec::with_capacity(models.len());
+    for m in models {
+        cm.set_profile(m.profile.clone());
+        cm.calibration = m.calibration;
+        let pred = cm.predict(model, chunk, streams)?;
+        out.push((pred.total.as_ns() / iters_total).max(1));
+    }
+    Ok(out)
+}
+
+/// Serve `jobs` (any order; released by arrival or closed-loop chain)
+/// for `tenants` on `fleet` and drain the stream: every job either
+/// completes or is rejected at admission with a typed reason.
 pub fn serve(
     fleet: &mut Fleet,
     tenants: &[TenantSpec],
@@ -94,7 +270,8 @@ pub fn serve(
     if tenants.is_empty() {
         return Err(RtError::Spec("serve: no tenants".into()));
     }
-    for j in jobs {
+    let mut id_to_idx: HashMap<u64, usize> = HashMap::with_capacity(jobs.len());
+    for (i, j) in jobs.iter().enumerate() {
         if j.tenant >= tenants.len() {
             return Err(RtError::Spec(format!(
                 "job {} names tenant {} of {}",
@@ -103,110 +280,280 @@ pub fn serve(
                 tenants.len()
             )));
         }
+        if id_to_idx.insert(j.id, i).is_some() {
+            return Err(RtError::Spec(format!("duplicate job id {}", j.id)));
+        }
     }
+    // Closed-loop chains: dependents keyed by predecessor id.
+    let mut deps: HashMap<u64, Vec<usize>> = HashMap::new();
+    for (i, j) in jobs.iter().enumerate() {
+        if let Some((pred, _)) = j.after {
+            if pred == j.id || !id_to_idx.contains_key(&pred) {
+                return Err(RtError::Spec(format!(
+                    "job {} chained after unknown or self id {pred}",
+                    j.id
+                )));
+            }
+            deps.entry(pred).or_default().push(i);
+        }
+    }
+
     let ndev = fleet.len();
     let t0: Vec<SimTime> = fleet.gpus.iter().map(|g| g.now()).collect();
     let rel = |gpus: &[Gpu], d: usize| gpus[d].now().saturating_sub(t0[d]);
 
     let weights: Vec<f64> = tenants.iter().map(|t| t.weight).collect();
-    let mut sched = FairScheduler::new(&weights);
+    let mut sched = FairScheduler::with_order(&weights, opts.order);
     let mut stats: Vec<TenantStats> = tenants
         .iter()
         .map(|t| TenantStats::new(t.name.clone(), t.weight))
         .collect();
+    let mut buckets: Vec<TokenBucket> = match opts.rate_limit {
+        Some(l) => tenants.iter().map(|_| TokenBucket::new(l)).collect(),
+        None => Vec::new(),
+    };
+    let mut breakers: Vec<CircuitBreaker> = match opts.breaker {
+        Some(cfg) => (0..ndev).map(|_| CircuitBreaker::new(cfg)).collect(),
+        None => Vec::new(),
+    };
+    let mut alive = vec![true; ndev];
 
-    let mut order: Vec<usize> = (0..jobs.len()).collect();
-    order.sort_by_key(|&i| (jobs[i].arrival, jobs[i].id));
+    // Release queue: (release time, id) min-heap. Open-loop jobs enter
+    // up front at their arrival; chained jobs enter when their
+    // predecessor finishes (or is rejected — the client still thinks
+    // and submits its next request).
+    let mut releases: BinaryHeap<Reverse<(SimTime, u64, usize)>> = jobs
+        .iter()
+        .enumerate()
+        .filter(|(_, j)| j.after.is_none())
+        .map(|(i, j)| Reverse((j.arrival, j.id, i)))
+        .collect();
+
+    // (ShapeSig, model) → per-device per-iteration ns. Admission fills
+    // it with a throwaway host-only setup on a cache miss; placement
+    // and quantum sizing reuse it for free thereafter.
+    let mut cost_cache: BTreeMap<(ShapeSig, u8), Vec<u64>> = BTreeMap::new();
+    // Predicted device-ns of admitted-but-unfinished work; drain time
+    // is `pending_ns / alive devices`.
+    let mut pending_ns: u64 = 0;
 
     let mut active: Vec<Option<Active>> = (0..jobs.len()).map(|_| None).collect();
-    let mut next = 0usize;
+    let mut states: Vec<Option<JobState>> = (0..jobs.len()).map(|_| None).collect();
     let mut done = 0usize;
+    let mut rejected_jobs = 0usize;
+    let mut rejected_fleet = RejectionCounts::default();
     let mut preempted = 0u64;
+    let mut recovered = 0u64;
     let mut total_slices = 0u64;
+    let mut failed_slices = 0u64;
+    let mut degraded_slices = 0u64;
+    let mut devices_lost = 0usize;
     let mut verified = 0u64;
     let mut verified_ok = 0u64;
     let mut peak_live_bufs = fleet.pool.live_bufs();
     let mut peak_live_bytes = fleet.pool.live_bytes();
 
-    while done < jobs.len() {
+    while done + rejected_jobs < jobs.len() {
+        let alive_n = alive.iter().filter(|&&a| a).count();
+        if alive_n == 0 {
+            return Err(RtError::Spec(format!(
+                "serve: every device lost with {} jobs outstanding",
+                jobs.len() - done - rejected_jobs
+            )));
+        }
         let now = (0..ndev)
+            .filter(|&d| alive[d])
             .map(|d| rel(&fleet.gpus, d))
             .min()
-            .expect("non-empty fleet");
+            .expect("alive devices exist");
+        let frontier = (0..ndev)
+            .filter(|&d| alive[d])
+            .min_by_key(|&d| rel(&fleet.gpus, d))
+            .expect("alive devices exist");
 
-        // Admission: everything that has arrived by global now.
-        while next < order.len() && jobs[order[next]].arrival <= now {
-            let idx = order[next];
+        // Releases: everything due by global now, in (time, id) order.
+        while let Some(&Reverse((t, _, idx))) = releases.peek() {
+            if t > now {
+                break;
+            }
+            releases.pop();
             let spec = &jobs[idx];
-            stats[spec.tenant].submitted += 1;
+            let tenant = spec.tenant;
+            let base_model = effective(spec.model);
+            let iters_total = spec.shape.iterations().max(1) as u64;
+            stats[tenant].submitted += 1;
+            if spec.deadline.is_some() {
+                stats[tenant].deadline_total += 1;
+            }
+
+            // Admission, cheapest checks first.
+            let drain = SimTime::from_ns(pending_ns / alive_n as u64);
+            let mut verdict = if !buckets.is_empty() && !buckets[tenant].try_admit(t) {
+                Some(Rejection::OverQuota)
+            } else if tenants[tenant].best_effort
+                && opts.shed_horizon.is_some_and(|h| drain > h)
+            {
+                Some(Rejection::Overload)
+            } else {
+                None
+            };
+
+            // Overload degradation: best-effort work released while the
+            // predicted drain time exceeds the horizon is admitted one
+            // ladder rung down (two beyond twice the horizon) and runs
+            // every slice there.
+            let model = match opts.degrade_horizon {
+                Some(h) if tenants[tenant].best_effort && verdict.is_none() => {
+                    let level = if drain > h + h {
+                        2
+                    } else if drain > h {
+                        1
+                    } else {
+                        0
+                    };
+                    degrade(base_model, level)
+                }
+                _ => base_model,
+            };
+
+            // Per-iteration estimate for the rung the job will run
+            // (cache probe is host-only: setup, predict, free — no
+            // engine commands, so it cannot fault).
+            let mut pred_per_iter = 0u64;
+            if verdict.is_none() {
+                let key = (spec.shape.sig(), model_idx(model));
+                if let std::collections::btree_map::Entry::Vacant(slot) = cost_cache.entry(key) {
+                    let inst = spec.shape.setup(&mut fleet.gpus[frontier], spec.id)?;
+                    let table = per_iter_table(
+                        &fleet.gpus[frontier],
+                        &fleet.models,
+                        &inst.region,
+                        &*inst.builder,
+                        model,
+                        spec.shape.schedule(),
+                        iters_total,
+                    )?;
+                    for &b in &inst.buffers {
+                        fleet.gpus[frontier].free_host(b)?;
+                    }
+                    slot.insert(table);
+                }
+                pred_per_iter = cost_cache[&key]
+                    .iter()
+                    .enumerate()
+                    .filter(|&(d, _)| alive[d])
+                    .map(|(_, &p)| p)
+                    .min()
+                    .expect("alive devices exist");
+                if opts.feasibility {
+                    if let Some(budget) = spec.deadline {
+                        if drain + SimTime::from_ns(pred_per_iter * iters_total) > budget {
+                            verdict = Some(Rejection::Infeasible);
+                        }
+                    }
+                }
+            }
+            if let Some(why) = verdict {
+                stats[tenant].rejected.record(why);
+                rejected_fleet.record(why);
+                if spec.deadline.is_some() {
+                    stats[tenant].deadline_rejected += 1;
+                }
+                rejected_jobs += 1;
+                if let Some(dependents) = deps.get(&spec.id) {
+                    for &dep in dependents {
+                        let (_, think) = jobs[dep].after.expect("dependent has a chain link");
+                        releases.push(Reverse((t + think, jobs[dep].id, dep)));
+                    }
+                }
+                continue;
+            }
+
+            let abs_deadline = spec.deadline.map(|budget| t + budget);
+            states[idx] = Some(JobState {
+                released: t,
+                abs_deadline,
+                pred_per_iter,
+                model,
+                hit_failure: false,
+            });
+            pending_ns += pred_per_iter * iters_total;
             sched.push(
-                spec.tenant,
+                tenant,
                 QueueEntry {
                     job: idx,
                     priority: spec.priority,
-                    arrival: spec.arrival,
+                    arrival: t,
                     id: spec.id,
+                    deadline: abs_deadline,
                 },
             );
-            next += 1;
         }
 
         if sched.is_empty() {
-            // All admitted work is finished; fast-forward the frontier
-            // device to the next arrival.
-            if next >= order.len() {
+            if done + rejected_jobs == jobs.len() {
+                // The release pass above rejected the last outstanding
+                // jobs; the stream is fully drained.
+                break;
+            }
+            // All released work is finished; fast-forward the frontier
+            // device to the next release.
+            let Some(&Reverse((target, _, _))) = releases.peek() else {
                 return Err(RtError::Spec(
-                    "serve: internal inconsistency (no queue, no arrivals, jobs unfinished)"
+                    "serve: internal inconsistency (no queue, no releases, jobs unfinished)"
                         .into(),
                 ));
-            }
-            let target = jobs[order[next]].arrival;
-            let d = (0..ndev)
-                .min_by_key(|&d| rel(&fleet.gpus, d))
-                .expect("non-empty fleet");
-            let gap = target.saturating_sub(rel(&fleet.gpus, d));
-            fleet.gpus[d].host_busy(gap.max(SimTime::from_ns(1)));
+            };
+            let gap = target.saturating_sub(rel(&fleet.gpus, frontier));
+            fleet.gpus[frontier].host_busy(gap.max(SimTime::from_ns(1)));
             continue;
         }
 
         let (tenant, entry) = sched.pop().expect("non-empty scheduler");
         let spec = &jobs[entry.job];
-        let model = effective(spec.model);
-        let (chunk, streams) = spec.shape.schedule();
+        let (chunk, _streams) = spec.shape.schedule();
+
+        // Every slice runs the rung pinned at admission.
+        let base_model = effective(spec.model);
+        let model = states[entry.job].as_ref().expect("admitted").model;
 
         // Materialize on first dispatch, on the least-loaded device so
         // the setup's host-API time lands on the frontier clock.
         let first_dispatch = active[entry.job].is_none();
         if first_dispatch {
-            let d = (0..ndev)
-                .min_by_key(|&d| rel(&fleet.gpus, d))
-                .expect("non-empty fleet");
-            let inst = spec.shape.setup(&mut fleet.gpus[d], spec.id)?;
-            let run = ResumableRun::new(&fleet.gpus[d], &inst.region)?;
+            let inst = spec.shape.setup(&mut fleet.gpus[frontier], spec.id)?;
+            let run = ResumableRun::new(&fleet.gpus[frontier], &inst.region)?;
             active[entry.job] = Some(Active { inst, run });
         }
 
-        // Placement: one cost model, swept over per-device calibrated
-        // profiles; pick the earliest predicted completion of the
-        // *remaining* iterations.
+        // Placement: cached per-device per-iteration predictions
+        // (admission filled the job's rung); earliest predicted
+        // completion of the *remaining* iterations among devices in
+        // rotation whose breaker admits.
         let a = active[entry.job].as_mut().expect("just materialized");
         let remaining = a.run.remaining().max(1) as u64;
-        let iters_total = spec.shape.iterations().max(1) as u64;
-        let (best_d, per_iter_ns) = {
-            let mut cm = CostModel::new(&fleet.gpus[0], &a.inst.region, &*a.inst.builder)?;
-            let mut best = (0usize, u64::MAX, u64::MAX);
-            for d in 0..ndev {
-                cm.set_profile(fleet.models[d].profile.clone());
-                cm.calibration = fleet.models[d].calibration;
-                let pred = cm.predict(model, chunk, streams)?;
-                let per_iter = (pred.total.as_ns() / iters_total).max(1);
-                let finish = rel(&fleet.gpus, d).as_ns() + per_iter * remaining;
-                if finish < best.1 {
-                    best = (d, finish, per_iter);
-                }
-            }
-            (best.0, best.2)
+        let table = &cost_cache[&(spec.shape.sig(), model_idx(model))];
+        let placement = (0..ndev)
+            .filter(|&d| alive[d])
+            .filter(|&d| {
+                breakers.is_empty() || breakers[d].admits(rel(&fleet.gpus, d))
+            })
+            .map(|d| (rel(&fleet.gpus, d).as_ns() + table[d] * remaining, d))
+            .min();
+        let Some((_, best_d)) = placement else {
+            // Every in-rotation device is circuit-broken: idle the
+            // frontier to the earliest retry instant, then re-pop.
+            let retry = (0..ndev)
+                .filter(|&d| alive[d])
+                .filter_map(|d| breakers[d].retry_at())
+                .min()
+                .expect("no admitting device implies an open breaker");
+            let gap = retry.saturating_sub(rel(&fleet.gpus, frontier));
+            fleet.gpus[frontier].host_busy(gap.max(SimTime::from_ns(1)));
+            sched.requeue(tenant, entry);
+            continue;
         };
+        let per_iter_ns = table[best_d];
 
         // Slice length: one quantum of predicted work, at least one
         // chunk, never past the end of the region. Naive jobs are a
@@ -221,18 +568,62 @@ pub fn serve(
                 .max(1)
         };
 
+        if !breakers.is_empty() && breakers[best_d].is_open() {
+            // Dispatching off an expired cooldown: this is the probe.
+            breakers[best_d].begin_probe();
+        }
         let started = fleet.gpus[best_d].now();
         if first_dispatch {
-            let wait = rel(&fleet.gpus, best_d).saturating_sub(spec.arrival);
+            let released = states[entry.job].as_ref().expect("admitted").released;
+            let wait = rel(&fleet.gpus, best_d).saturating_sub(released);
             stats[tenant].queue_wait.record(wait.as_ns());
         }
-        let slice = a
-            .run
-            .run_slice(&mut fleet.gpus[best_d], &*a.inst.builder, model, &opts.run, iters)?;
-        debug_assert!(slice.is_some(), "run_slice on an unfinished job");
+        let outcome = a.run.run_slice(
+            &mut fleet.gpus[best_d],
+            &*a.inst.builder,
+            model,
+            &opts.run,
+            iters,
+        );
+        let slice_end = rel(&fleet.gpus, best_d);
+        let slice = match outcome {
+            Ok(s) => {
+                debug_assert!(s.is_some(), "run_slice on an unfinished job");
+                if !breakers.is_empty() {
+                    breakers[best_d].record(slice_end, true);
+                }
+                s
+            }
+            Err(e) => {
+                // The slice is rolled back (cursor intact, ToFrom
+                // windows restored); classify and requeue.
+                failed_slices += 1;
+                let lost = fleet.gpus[best_d].device_lost().is_some();
+                if !lost && !recoverable(&e) {
+                    return Err(e);
+                }
+                if !breakers.is_empty() {
+                    breakers[best_d].record(slice_end, false);
+                }
+                if lost {
+                    alive[best_d] = false;
+                    devices_lost += 1;
+                }
+                states[entry.job].as_mut().expect("admitted").hit_failure = true;
+                sched.requeue(tenant, entry);
+                continue;
+            }
+        };
+        let _ = slice;
         let service = fleet.gpus[best_d].now().saturating_sub(started);
         sched.charge(tenant, service);
         stats[tenant].service += service;
+        if model != base_model {
+            stats[tenant].degraded_slices += 1;
+            degraded_slices += 1;
+        }
+        let state = states[entry.job].as_mut().expect("admitted");
+        pending_ns = pending_ns.saturating_sub(state.pred_per_iter * iters as u64);
         peak_live_bufs = peak_live_bufs.max(fleet.pool.live_bufs());
         peak_live_bytes = peak_live_bytes.max(fleet.pool.live_bytes());
 
@@ -240,14 +631,15 @@ pub fn serve(
             let act = active[entry.job].take().expect("active job");
             let job = act.run.finish()?;
             let finish_rel = rel(&fleet.gpus, best_d);
+            let state = states[entry.job].as_ref().expect("admitted");
             let st = &mut stats[tenant];
             st.done += 1;
             st.slices += job.slices as u64;
             total_slices += job.slices as u64;
             st.makespan
-                .record(finish_rel.saturating_sub(spec.arrival).as_ns());
+                .record(finish_rel.saturating_sub(state.released).as_ns());
             st.stages.merge(&job.report.stage_metrics);
-            if let Some(deadline) = spec.deadline {
+            if let Some(deadline) = state.abs_deadline {
                 if finish_rel > deadline {
                     st.deadline_misses += 1;
                 }
@@ -255,19 +647,29 @@ pub fn serve(
             if job.slices > 1 {
                 st.preempted += 1;
                 preempted += 1;
-                if opts.verify_preempted {
-                    verified += 1;
-                    if verify_preempted(spec, &fleet.gpus[best_d], &act.inst, &opts.run)? {
-                        verified_ok += 1;
-                    }
+            }
+            if state.hit_failure {
+                st.recovered += 1;
+                recovered += 1;
+            }
+            if (job.slices > 1 || state.hit_failure) && opts.verify_preempted {
+                verified += 1;
+                if verify_clean(spec, &fleet.gpus[best_d], &act.inst, &opts.run)? {
+                    verified_ok += 1;
                 }
             }
             for &b in &act.inst.buffers {
                 fleet.gpus[best_d].free_host(b)?;
             }
             done += 1;
+            if let Some(dependents) = deps.get(&spec.id) {
+                for &dep in dependents {
+                    let (_, think) = jobs[dep].after.expect("dependent has a chain link");
+                    releases.push(Reverse((finish_rel + think, jobs[dep].id, dep)));
+                }
+            }
         } else {
-            sched.push(tenant, entry);
+            sched.requeue(tenant, entry);
         }
     }
 
@@ -275,14 +677,19 @@ pub fn serve(
         .map(|d| rel(&fleet.gpus, d))
         .max()
         .expect("non-empty fleet");
-    let submitted = jobs.len() as u64;
     let fairness = ServeReport::compute_fairness(&stats);
     Ok(ServeReport {
         devices: ndev,
-        submitted,
+        submitted: jobs.len() as u64,
         done: done as u64,
+        rejected: rejected_fleet,
         preempted,
+        recovered,
         total_slices,
+        failed_slices,
+        degraded_slices,
+        devices_lost,
+        breaker_trips: breakers.iter().map(|b| b.trips()).sum(),
         verified,
         verified_ok,
         fairness,
@@ -293,9 +700,11 @@ pub fn serve(
     })
 }
 
-/// Re-run a finished (preempted) job uninterrupted on a fresh context
-/// with the same deterministic setup and compare output bits.
-fn verify_preempted(
+/// Re-run a finished (preempted or failure-touched) job uninterrupted
+/// on a fresh context with the same deterministic setup and compare
+/// output bits. The degradation ladder is bit-stable, so the job's
+/// requested model is the reference even if some slices ran degraded.
+fn verify_clean(
     spec: &JobSpec,
     served_on: &Gpu,
     inst: &JobInstance,
